@@ -1,0 +1,112 @@
+//! Per-sequence work descriptors for the coarse-grained cost model.
+//!
+//! One coarse thread executes Algorithm 1 for its whole subject sequence;
+//! its serialized cost is a function of how many words it scans, how many
+//! hits it looks up, and how far its ungapped extensions run. These
+//! numbers come from the *actual* search (the same `blast-cpu` routines
+//! every pipeline shares), so the baselines' modelled time reflects the
+//! real irregularity of the workload — the source of the divergence the
+//! paper measures.
+
+use blast_cpu::hit::{scan_subject_mode, DiagonalScratch, HitStats};
+use blast_cpu::ungapped::UngappedExt;
+use blast_core::{Dfa, Pssm, SearchParams, WORD_LEN};
+use bio_seq::Sequence;
+
+/// Work performed by one coarse thread for one subject sequence.
+#[derive(Debug, Clone, Default)]
+pub struct SeqWork {
+    /// Subject length in residues.
+    pub seq_len: u64,
+    /// Words scanned (columns).
+    pub words: u64,
+    /// Hits looked up in the DFA.
+    pub hits: u64,
+    /// Subject positions scanned by ungapped extensions (including x-drop
+    /// overshoot).
+    pub ext_scanned: u64,
+    /// The extensions themselves (functional output).
+    pub extensions: Vec<UngappedExt>,
+}
+
+/// X-drop overshoot charged per extension end (matches the fine-grained
+/// model's constant).
+pub const OVERSHOOT: u64 = 8;
+
+/// Measure the work of one subject with the shared scan semantics.
+pub fn measure_subject(
+    dfa: &Dfa,
+    pssm: &Pssm,
+    subject: &Sequence,
+    seq_id: u32,
+    params: &SearchParams,
+    scratch: &mut DiagonalScratch,
+) -> SeqWork {
+    let mut stats = HitStats::default();
+    let mut extensions = Vec::new();
+    scan_subject_mode(
+        dfa,
+        pssm,
+        subject.residues(),
+        seq_id,
+        params.two_hit,
+        params.two_hit_window as i64,
+        params.xdrop_ungapped,
+        scratch,
+        &mut extensions,
+        &mut stats,
+    );
+    let ext_scanned = extensions
+        .iter()
+        .map(|e| e.len as u64 + 2 * OVERSHOOT)
+        .sum();
+    SeqWork {
+        seq_len: subject.len() as u64,
+        words: subject.len().saturating_sub(WORD_LEN - 1) as u64,
+        hits: stats.hits,
+        ext_scanned,
+        extensions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bio_seq::generate::make_query;
+    use blast_core::Matrix;
+
+    #[test]
+    fn measure_counts_are_consistent() {
+        let q = make_query(64);
+        let m = Matrix::blosum62();
+        let p = SearchParams::default();
+        let dfa = Dfa::build(&q, &m, p.threshold);
+        let pssm = Pssm::build(&q, &m);
+        let mut scratch = DiagonalScratch::new(0);
+        let s = make_query(300);
+        let subject = Sequence::from_residues("s", s.residues().to_vec());
+        let w = measure_subject(&dfa, &pssm, &subject, 3, &p, &mut scratch);
+        assert_eq!(w.seq_len, 300);
+        assert_eq!(w.words, 298);
+        assert!(w.hits > 0);
+        assert!(w.extensions.iter().all(|e| e.seq_id == 3));
+        if !w.extensions.is_empty() {
+            assert!(w.ext_scanned >= w.extensions.len() as u64 * 2 * OVERSHOOT);
+        }
+    }
+
+    #[test]
+    fn short_subject_has_no_words() {
+        let q = make_query(32);
+        let m = Matrix::blosum62();
+        let p = SearchParams::default();
+        let dfa = Dfa::build(&q, &m, p.threshold);
+        let pssm = Pssm::build(&q, &m);
+        let mut scratch = DiagonalScratch::new(0);
+        let subject = Sequence::from_bytes("s", b"MK");
+        let w = measure_subject(&dfa, &pssm, &subject, 0, &p, &mut scratch);
+        assert_eq!(w.words, 0);
+        assert_eq!(w.hits, 0);
+        assert!(w.extensions.is_empty());
+    }
+}

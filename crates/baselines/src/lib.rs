@@ -1,0 +1,32 @@
+//! Coarse-grained GPU BLASTP baselines.
+//!
+//! The paper compares cuBLASTP against the two fastest published GPU
+//! BLASTP codes, both of which map *one subject sequence to one thread*
+//! and fuse hit detection with ungapped extension in a single kernel
+//! (§3.1, Fig. 4):
+//!
+//! * **CUDA-BLASTP** (Liu, Schmidt, Müller-Wittig 2011) — sorts subject
+//!   sequences by length so that threads of a warp get similar work, uses
+//!   a compressed DFA; see [`cuda_blastp`].
+//! * **GPU-BLASTP** (Xiao, Lin, Feng 2011) — replaces static assignment
+//!   with a runtime work queue (a finished thread grabs the next
+//!   sequence) and adds two-level output buffering to avoid global
+//!   atomics; see [`gpu_blastp`].
+//!
+//! Both stand-ins share the coarse execution model in [`coarse`]: per-lane
+//! serialized costs derived from the *real* per-sequence work (words,
+//! hits, extensions — computed with the same `blast-cpu` semantics, so
+//! their BLAST output is identical to everything else in the workspace)
+//! and per-lane scattered memory traffic — which is exactly why their
+//! divergence overhead is high and their global-load efficiency is in the
+//! single digits (paper Fig. 19: 5.2 % and 11.5 %).
+
+pub mod coarse;
+pub mod cost;
+pub mod cuda_blastp;
+pub mod gpu_blastp;
+
+pub use coarse::{BaselineResult, BaselineTiming};
+pub use cost::SeqWork;
+pub use cuda_blastp::CudaBlastp;
+pub use gpu_blastp::GpuBlastp;

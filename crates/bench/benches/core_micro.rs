@@ -1,0 +1,119 @@
+//! Criterion micro-benchmarks of the core BLAST machinery: the costs
+//! behind the paper's phase breakdown (Fig. 11) at the component level.
+
+use bio_seq::generate::make_query;
+use blast_core::{Dfa, Matrix, Pssm, SearchParams, WordNeighborhood};
+use blast_cpu::gapped::extend_gapped;
+use blast_cpu::hit::{scan_subject, DiagonalScratch, HitStats};
+use blast_cpu::traceback::traceback;
+use blast_cpu::ungapped::{extend, UngappedExt};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_neighborhood(c: &mut Criterion) {
+    let m = Matrix::blosum62();
+    let mut g = c.benchmark_group("word_neighborhood_build");
+    for len in [127usize, 517, 1054] {
+        let q = make_query(len);
+        g.bench_with_input(BenchmarkId::from_parameter(len), &q, |b, q| {
+            b.iter(|| WordNeighborhood::build(q, &m, 11));
+        });
+    }
+    g.finish();
+}
+
+fn bench_pssm(c: &mut Criterion) {
+    let m = Matrix::blosum62();
+    let q = make_query(517);
+    c.bench_function("pssm_build_517", |b| b.iter(|| Pssm::build(&q, &m)));
+}
+
+fn bench_dfa_scan(c: &mut Criterion) {
+    let m = Matrix::blosum62();
+    let q = make_query(517);
+    let dfa = Dfa::build(&q, &m, 11);
+    let subject = make_query(2000);
+    let mut g = c.benchmark_group("dfa_scan");
+    g.throughput(Throughput::Elements(subject.len() as u64));
+    g.bench_function("query517_subject2000", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            dfa.scan(subject.residues(), |_, _| n += 1);
+            n
+        });
+    });
+    g.finish();
+}
+
+fn bench_hit_detection(c: &mut Criterion) {
+    let m = Matrix::blosum62();
+    let q = make_query(517);
+    let dfa = Dfa::build(&q, &m, 11);
+    let pssm = Pssm::build(&q, &m);
+    let subject = make_query(2000);
+    let p = SearchParams::default();
+    c.bench_function("scan_subject_two_hit_517x2000", |b| {
+        let mut scratch = DiagonalScratch::new(q.len() + subject.len() + 1);
+        let mut out = Vec::new();
+        let mut stats = HitStats::default();
+        b.iter(|| {
+            out.clear();
+            scan_subject(
+                &dfa,
+                &pssm,
+                subject.residues(),
+                0,
+                p.two_hit_window as i64,
+                p.xdrop_ungapped,
+                &mut scratch,
+                &mut out,
+                &mut stats,
+            );
+            out.len()
+        });
+    });
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let m = Matrix::blosum62();
+    let q = make_query(517);
+    let pssm = Pssm::build(&q, &m);
+    // Subject embedding the query: extensions run long (worst case).
+    let mut subj = make_query(300).residues().to_vec();
+    subj.extend_from_slice(q.residues());
+    subj.extend(make_query(200).residues().iter());
+    let p = SearchParams::default();
+
+    c.bench_function("ungapped_extend_homolog", |b| {
+        b.iter(|| extend(&pssm, &subj, 0, 250, 550, p.xdrop_ungapped));
+    });
+
+    let seed = UngappedExt {
+        seq_id: 0,
+        q_start: 200,
+        s_start: 500,
+        len: 100,
+        score: 300,
+    };
+    c.bench_function("gapped_extend_homolog", |b| {
+        b.iter(|| extend_gapped(&pssm, &subj, &seed, &p));
+    });
+
+    let g = extend_gapped(&pssm, &subj, &seed, &p);
+    c.bench_function("traceback_homolog", |b| {
+        b.iter(|| traceback(&pssm, q.residues(), &subj, &g, &p));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Ten samples per benchmark: the simulator is deterministic and the
+    // host may be a single shared core, so large sample counts buy noise
+    // reduction the workload does not need.
+    config = Criterion::default().sample_size(10);
+    targets = bench_neighborhood,
+    bench_pssm,
+    bench_dfa_scan,
+    bench_hit_detection,
+    bench_extensions
+}
+criterion_main!(benches);

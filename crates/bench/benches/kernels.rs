@@ -1,0 +1,109 @@
+//! Criterion benchmarks of the simulated fine-grained kernels: host-side
+//! cost of driving the SIMT simulator through the paper's five kernels
+//! and the three extension strategies.
+
+use bio_seq::generate::{generate_db, make_query, DbSpec};
+use blast_core::{Dfa, Matrix, Pssm, SearchParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cublastp::binning::binning_kernel;
+use cublastp::devicedata::{DeviceDbBlock, DeviceQuery};
+use cublastp::extension::extension_kernel;
+use cublastp::gpu_phase::run_gpu_phase;
+use cublastp::reorder::{assemble_kernel, filter_kernel, sort_kernel};
+use cublastp::{CuBlastpConfig, ExtensionStrategy};
+use gpu_sim::DeviceConfig;
+
+fn setup(seqs: usize) -> (DeviceQuery, DeviceDbBlock, SearchParams) {
+    let q = make_query(517);
+    let spec = DbSpec {
+        name: "bench",
+        num_sequences: seqs,
+        mean_length: 220,
+        homolog_fraction: 0.03,
+        seed: 5,
+    };
+    let db = generate_db(&spec, &q).db;
+    let m = Matrix::blosum62();
+    let p = SearchParams::default();
+    let dq = DeviceQuery::upload(Dfa::build(&q, &m, p.threshold), Pssm::build(&q, &m));
+    (dq, DeviceDbBlock::upload(db.sequences(), 0), p)
+}
+
+fn bench_binning(c: &mut Criterion) {
+    let (dq, db, _) = setup(400);
+    let device = DeviceConfig::k20c();
+    let mut g = c.benchmark_group("binning_kernel");
+    for bins in [32usize, 128, 512] {
+        let cfg = CuBlastpConfig {
+            num_bins: bins,
+            ..CuBlastpConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(bins), &cfg, |b, cfg| {
+            b.iter(|| binning_kernel(&device, cfg, &dq, &db).0.total_hits);
+        });
+    }
+    g.finish();
+}
+
+fn bench_reorder(c: &mut Criterion) {
+    let (dq, db, p) = setup(400);
+    let device = DeviceConfig::k20c();
+    let cfg = CuBlastpConfig::default();
+    c.bench_function("assemble_sort_filter", |b| {
+        b.iter(|| {
+            let (binned, _) = binning_kernel(&device, &cfg, &dq, &db);
+            let (mut asm, _) = assemble_kernel(&device, &cfg, binned);
+            sort_kernel(&device, &mut asm);
+            let (f, _) = filter_kernel(&device, &cfg, &asm, p.two_hit_window as i64);
+            f.hits.len()
+        });
+    });
+}
+
+fn bench_extension_strategies(c: &mut Criterion) {
+    let (dq, db, p) = setup(400);
+    let device = DeviceConfig::k20c();
+    let cfg0 = CuBlastpConfig::default();
+    let (binned, _) = binning_kernel(&device, &cfg0, &dq, &db);
+    let (mut asm, _) = assemble_kernel(&device, &cfg0, binned);
+    sort_kernel(&device, &mut asm);
+    let (filtered, _) = filter_kernel(&device, &cfg0, &asm, p.two_hit_window as i64);
+
+    let mut g = c.benchmark_group("extension_strategy");
+    for (label, strategy) in [
+        ("diagonal", ExtensionStrategy::Diagonal),
+        ("hit", ExtensionStrategy::Hit),
+        ("window", ExtensionStrategy::Window),
+    ] {
+        let cfg = CuBlastpConfig {
+            extension: strategy,
+            ..CuBlastpConfig::default()
+        };
+        g.bench_function(label, |b| {
+            b.iter(|| extension_kernel(&device, &cfg, &dq, &db, &filtered, &p).extensions.len());
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_gpu_phase(c: &mut Criterion) {
+    let (dq, db, p) = setup(400);
+    let device = DeviceConfig::k20c();
+    let cfg = CuBlastpConfig::default();
+    c.bench_function("gpu_phase_400seqs", |b| {
+        b.iter(|| run_gpu_phase(&device, &cfg, &dq, &db, &p).counts.extensions);
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // Ten samples per benchmark: the simulator is deterministic and the
+    // host may be a single shared core, so large sample counts buy noise
+    // reduction the workload does not need.
+    config = Criterion::default().sample_size(10);
+    targets = bench_binning,
+    bench_reorder,
+    bench_extension_strategies,
+    bench_full_gpu_phase
+}
+criterion_main!(benches);

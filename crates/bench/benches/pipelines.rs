@@ -1,0 +1,73 @@
+//! Criterion benchmarks of the end-to-end pipelines: host wall-clock of a
+//! whole search under each system (the figure binaries report *modelled*
+//! device time; this measures how fast the reproduction itself runs).
+
+use bench::runners::{
+    figure_config, run_cublastp, run_cuda_blastp, run_fsa_blast, run_gpu_blastp, run_ncbi_blast,
+};
+use bio_seq::generate::{generate_db, make_query, DbSpec};
+use blast_core::SearchParams;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_pipelines(c: &mut Criterion) {
+    let q = make_query(127);
+    let spec = DbSpec {
+        name: "pipe",
+        num_sequences: 300,
+        mean_length: 200,
+        homolog_fraction: 0.03,
+        seed: 17,
+    };
+    let db = generate_db(&spec, &q).db;
+    let p = SearchParams::default();
+
+    let mut g = c.benchmark_group("end_to_end_search");
+    g.sample_size(10);
+    g.bench_function("fsa_blast", |b| b.iter(|| run_fsa_blast(&q, &db, p).hits));
+    g.bench_function("ncbi_blast_4t", |b| {
+        b.iter(|| run_ncbi_blast(&q, &db, p, 4).hits)
+    });
+    g.bench_function("cublastp", |b| {
+        b.iter(|| run_cublastp(&q, &db, p, figure_config()).hits)
+    });
+    g.bench_function("cuda_blastp", |b| b.iter(|| run_cuda_blastp(&q, &db, p).hits));
+    g.bench_function("gpu_blastp", |b| b.iter(|| run_gpu_blastp(&q, &db, p).hits));
+    g.finish();
+}
+
+fn bench_overlap_modes(c: &mut Criterion) {
+    let q = make_query(127);
+    let spec = DbSpec {
+        name: "ovl",
+        num_sequences: 400,
+        mean_length: 180,
+        homolog_fraction: 0.03,
+        seed: 19,
+    };
+    let db = generate_db(&spec, &q).db;
+    let p = SearchParams::default();
+
+    let mut g = c.benchmark_group("pipeline_overlap_host");
+    g.sample_size(10);
+    for overlap in [false, true] {
+        let cfg = cublastp::CuBlastpConfig {
+            overlap,
+            db_block_size: 100,
+            ..figure_config()
+        };
+        g.bench_function(if overlap { "overlapped" } else { "serial" }, |b| {
+            b.iter(|| run_cublastp(&q, &db, p, cfg).hits)
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Ten samples per benchmark: the simulator is deterministic and the
+    // host may be a single shared core, so large sample counts buy noise
+    // reduction the workload does not need.
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipelines, bench_overlap_modes
+}
+criterion_main!(benches);

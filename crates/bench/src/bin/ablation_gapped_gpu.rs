@@ -1,0 +1,128 @@
+//! Ablation — gapped extension on GPU vs on CPU with overlap (§3.6).
+//!
+//! The paper rejects offloading gapped extension to the GPU
+//! (CUDA-BLASTP's design), arguing the CPU would idle, the irregular DP
+//! diverges badly as a coarse kernel, and published GPU ports had to
+//! modify the DP for performance. This harness implements the rejected
+//! design (bit-identical output, no modified DP) and measures both ends
+//! of the trade-off. Where the balance lands depends on the CPU:GPU cost
+//! ratio — see the commentary the binary prints and EXPERIMENTS.md.
+
+use bench::runners::figure_config;
+use bench::table::{fmt, pct, print_table};
+use bench::{database, query};
+use bio_seq::generate::DbPreset;
+use blast_core::SearchParams;
+use blast_cpu::report::{PhaseTimes, SearchReport};
+use cublastp::devicedata::{DeviceDbBlock, DeviceQuery};
+use cublastp::gapped_gpu::gapped_kernel;
+use cublastp::gpu_phase::run_gpu_phase;
+use cublastp::CuBlastp;
+use gpu_sim::DeviceConfig;
+use std::time::Instant;
+
+fn main() {
+    let q = query(517);
+    let db = database(DbPreset::SwissprotMini, &q);
+    let params = SearchParams::default();
+    let device = DeviceConfig::k20c();
+    let cfg = figure_config();
+
+    // Design A (the paper's): CPU gapped + traceback, overlapped.
+    let searcher = CuBlastp::new(q.clone(), params, cfg, device, &db);
+    let a = searcher.search(&db);
+    let a_total = a.timing.total_ms();
+
+    // Design B (rejected): gapped extension as a GPU kernel, traceback on
+    // one CPU thread, no overlap (the GPU is busy with gapped work, so
+    // the block pipeline has nothing to hide the CPU behind).
+    let dq = DeviceQuery::upload(searcher.engine.dfa.clone(), searcher.engine.pssm.clone());
+    let mut b_gpu_ms = 0.0f64;
+    let mut b_gapped_gpu_ms = 0.0f64;
+    let mut b_cpu_ms = 0.0f64;
+    let mut b_transfer_ms = 0.0f64;
+    let mut report = SearchReport::default();
+    let mut gapped_divergence = 0.0f64;
+    for block in db.blocks(cfg.db_block_size) {
+        let seqs = db.block_sequences(block);
+        let dev_block = DeviceDbBlock::upload(seqs, block.start);
+        b_transfer_ms += device.transfer_ms(dev_block.upload_bytes());
+        let out = run_gpu_phase(&device, &cfg, &dq, &dev_block, &params);
+        b_gpu_ms += out.gpu_ms(&device);
+        let (gapped_by_seq, k_gapped) = gapped_kernel(
+            &device,
+            &cfg,
+            &dq,
+            &dev_block,
+            &out.extensions_by_seq,
+            &params,
+            searcher.engine.cutoffs.gapped_trigger,
+        );
+        b_gapped_gpu_ms += k_gapped.time_ms(&device);
+        gapped_divergence = gapped_divergence.max(k_gapped.divergence_overhead());
+        b_transfer_ms += device.transfer_ms(out.download_bytes);
+        let t0 = Instant::now();
+        let mut times = PhaseTimes::default();
+        for (local, gapped) in gapped_by_seq.iter().enumerate() {
+            if gapped.is_empty() {
+                continue;
+            }
+            let idx = block.start + local;
+            searcher.engine.finish_subject_from_gapped(
+                idx,
+                &db.sequences()[idx],
+                gapped,
+                &mut report,
+                Some(&mut times),
+            );
+        }
+        b_cpu_ms += t0.elapsed().as_secs_f64() * 1e3;
+    }
+    report.finalize(params.max_reported);
+    // Fairness: design B threads its traceback exactly as design A does.
+    let b_cpu_ms = b_cpu_ms / blast_cpu::search::modeled_parallel_speedup(cfg.cpu_threads);
+    let b_total = b_gpu_ms + b_gapped_gpu_ms + b_transfer_ms + b_cpu_ms;
+
+    assert_eq!(
+        report.identity_key(),
+        a.report.identity_key(),
+        "both designs must produce identical output"
+    );
+
+    print_table(
+        "Ablation §3.6 — gapped extension placement, query517 × swissprot_mini (ms)",
+        &["design", "GPU kernels", "gapped", "traceback+CPU", "transfers", "total"],
+        &[
+            vec![
+                "CPU gapped + overlap (paper)".into(),
+                fmt(a.timing.gpu_ms),
+                fmt(a.timing.gapped_ms),
+                fmt(a.timing.traceback_ms),
+                fmt(a.timing.h2d_ms + a.timing.d2h_ms),
+                fmt(a_total),
+            ],
+            vec![
+                "GPU gapped kernel (rejected)".into(),
+                fmt(b_gpu_ms),
+                fmt(b_gapped_gpu_ms),
+                fmt(b_cpu_ms),
+                fmt(b_transfer_ms),
+                fmt(b_total),
+            ],
+        ],
+    );
+    println!(
+        "GPU gapped kernel divergence overhead: {} — the irregular banded DP serializes \
+         badly as a coarse kernel. Identical output on both designs.",
+        pct(gapped_divergence)
+    );
+    println!(
+        "Reading the trade-off: in this reproduction the CPU phases are relatively heavier \
+         than in the paper's testbed, so raw totals can favour the GPU kernel despite its \
+         {} divergence. The paper's choice rests on its regime — CPU gapped+traceback small \
+         enough to hide entirely behind the next block's GPU kernels (their Fig. 19d) — \
+         plus keeping the exact, unmodified DP and leaving the GPU free for the critical \
+         phases. Both designs are available; cuBLASTP defaults to the paper's.",
+        pct(gapped_divergence)
+    );
+}

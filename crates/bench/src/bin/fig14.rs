@@ -1,0 +1,56 @@
+//! Fig. 14 — Execution time of the fine-grained kernels as a function of
+//! the number of bins per warp (query517 × swissprot).
+//!
+//! The paper's claims: hit sorting and hit filtering keep improving with
+//! more bins (shorter segments → fewer merge passes), but hit detection
+//! degrades past 128 bins because the per-warp `top` arrays consume
+//! shared memory and depress occupancy; 128 is the sweet spot overall.
+
+use bench::runners::{figure_config, run_cublastp_detailed};
+use bench::table::{fmt, print_table};
+use bench::{database, query};
+use bio_seq::generate::DbPreset;
+use blast_core::SearchParams;
+use cublastp::CuBlastpConfig;
+use gpu_sim::DeviceConfig;
+
+fn main() {
+    let q = query(517);
+    let db = database(DbPreset::SwissprotMini, &q);
+    let params = SearchParams::default();
+    let device = DeviceConfig::k20c();
+
+    let mut rows = Vec::new();
+    for bins in [32usize, 64, 128, 256, 512] {
+        let cfg = CuBlastpConfig {
+            num_bins: bins,
+            ..figure_config()
+        };
+        let (r, _) = run_cublastp_detailed(&q, &db, params, cfg);
+        let k = |name: &str| r.kernel(name).map(|k| k.time_ms(&device)).unwrap_or(0.0);
+        let detection = k("hit_detection");
+        let sorting = k("hit_sorting");
+        let filtering = k("hit_filtering");
+        let total: f64 = r.kernels.iter().map(|k| k.time_ms(&device)).sum();
+        rows.push(vec![
+            bins.to_string(),
+            fmt(detection),
+            fmt(sorting),
+            fmt(filtering),
+            fmt(total),
+            fmt(r.kernel("hit_detection").map(|k| k.occupancy).unwrap_or(0.0)),
+        ]);
+    }
+    print_table(
+        "Fig. 14 — Kernel time vs bins per warp, query517 × swissprot_mini (ms)",
+        &[
+            "bins/warp",
+            "hit detection",
+            "hit sorting",
+            "hit filtering",
+            "total kernels",
+            "detection occupancy",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,81 @@
+//! Fig. 19 — Profiling cuBLASTP against CUDA-BLASTP and GPU-BLASTP for
+//! query517 on env_nr: (a) global-load efficiency, (b) divergence
+//! overhead, (c) achieved occupancy — per kernel — and (d) the breakdown
+//! of cuBLASTP's overall execution time with overlap.
+//!
+//! The paper's claims: the fine-grained kernels reach 25–81 % load
+//! efficiency vs 5.2 % / 11.5 % for the fused coarse kernels, with far
+//! lower divergence and higher occupancy; transfers and CPU phases are
+//! largely hidden by the Fig. 12 pipeline.
+
+use baselines::{CudaBlastp, GpuBlastp};
+use bench::runners::{figure_config, run_cublastp_detailed};
+use bench::table::{fmt, pct, print_table};
+use bench::{database, query};
+use bio_seq::generate::DbPreset;
+use blast_core::SearchParams;
+use gpu_sim::DeviceConfig;
+
+fn main() {
+    let q = query(517);
+    let db = database(DbPreset::EnvNrMini, &q);
+    let params = SearchParams::default();
+    let device = DeviceConfig::k20c();
+
+    let (cu, _) = run_cublastp_detailed(&q, &db, params, figure_config());
+    let cuda = CudaBlastp::new(q.clone(), params, device, &db).search(&db);
+    let mut gpub_searcher = GpuBlastp::new(q.clone(), params, device, &db);
+    gpub_searcher.total_warps = (db.len() / 160).clamp(8, 104);
+    let gpub = gpub_searcher.search(&db);
+
+    // (a)–(c): per-kernel metrics.
+    let mut rows = Vec::new();
+    for k in &cu.kernels {
+        rows.push(vec![
+            format!("cuBLASTP::{}", k.name),
+            pct(k.global_load_efficiency()),
+            pct(k.divergence_overhead()),
+            pct(k.occupancy),
+        ]);
+    }
+    for (label, k) in [("CUDA-BLASTP::fused", &cuda.kernel), ("GPU-BLASTP::fused", &gpub.kernel)] {
+        rows.push(vec![
+            label.to_string(),
+            pct(k.global_load_efficiency()),
+            pct(k.divergence_overhead()),
+            pct(k.occupancy),
+        ]);
+    }
+    print_table(
+        "Fig. 19(a–c) — Per-kernel profile, query517 × env_nr_mini",
+        &["kernel", "load efficiency", "divergence overhead", "occupancy"],
+        &rows,
+    );
+
+    // (d): cuBLASTP overall breakdown.
+    let t = &cu.timing;
+    let serial_total =
+        t.gpu_ms + t.h2d_ms + t.d2h_ms + t.cpu_wall_ms + t.other_ms;
+    let mut rows = Vec::new();
+    let mut push = |label: &str, ms: f64| {
+        rows.push(vec![label.to_string(), fmt(ms), pct(ms / serial_total)]);
+    };
+    for k in &cu.kernels {
+        push(&k.name, k.time_ms(&device));
+    }
+    push("data transfer (H2D+D2H)", t.h2d_ms + t.d2h_ms);
+    push("gapped extension (CPU)", t.gapped_ms);
+    push("final alignment (CPU)", t.traceback_ms);
+    push("other", t.other_ms);
+    print_table(
+        "Fig. 19(d) — cuBLASTP time breakdown, query517 × env_nr_mini (ms, % of serial)",
+        &["stage", "time (ms)", "share"],
+        &rows,
+    );
+    println!(
+        "serial pipeline: {} ms; overlapped (Fig. 12): {} ms; hidden by overlap: {}",
+        fmt(t.serial_ms + t.other_ms),
+        fmt(t.overlapped_ms + t.other_ms),
+        pct(cu.pipeline.saving()),
+    );
+}

@@ -1,0 +1,80 @@
+//! Plain-text table output shared by all figure binaries.
+
+/// Print a titled, column-aligned table. Cells are plain strings; the
+/// first row of `rows` is typically the configuration label.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let parts: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect();
+        println!("| {} |", parts.join(" | "));
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    println!(
+        "|{}|",
+        widths
+            .iter()
+            .map(|w| "-".repeat(w + 2))
+            .collect::<Vec<_>>()
+            .join("|")
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Format a float with sensible precision for tables.
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Format a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_precision_tiers() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(1234.4), "1234");
+        assert_eq!(fmt(12.345), "12.35");
+        assert_eq!(fmt(0.1234), "0.1234");
+    }
+
+    #[test]
+    fn pct_format() {
+        assert_eq!(pct(0.753), "75.3%");
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            "t",
+            &["a", "b"],
+            &[vec!["x".into(), "123".into()], vec!["longer".into()]],
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Canonical workloads of the paper's evaluation (§4): three queries of
+//! length 127 / 517 / 1054 against the `swissprot` and `env_nr` presets.
+
+use bio_seq::generate::{generate_db, make_query, DbPreset};
+use bio_seq::{Sequence, SequenceDb};
+
+/// The paper's three query lengths (short / medium / long).
+pub const QUERY_LENGTHS: [usize; 3] = [127, 517, 1054];
+
+/// Scale factor for database sizes, from `BENCH_SCALE` (default 1.0).
+pub fn bench_scale() -> f64 {
+    std::env::var("BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|v| *v > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// The named query of a given length (`query127` etc.).
+pub fn query(len: usize) -> Sequence {
+    make_query(len)
+}
+
+/// A preset database with homologies planted against `q`, scaled by
+/// [`bench_scale`].
+pub fn database(preset: DbPreset, q: &Sequence) -> SequenceDb {
+    let spec = preset.spec().scaled(bench_scale());
+    generate_db(&spec, q).db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queries_have_expected_lengths() {
+        for len in QUERY_LENGTHS {
+            assert_eq!(query(len).len(), len);
+        }
+    }
+
+    #[test]
+    fn default_scale_is_one() {
+        // The test environment does not set BENCH_SCALE.
+        if std::env::var("BENCH_SCALE").is_err() {
+            assert_eq!(bench_scale(), 1.0);
+        }
+    }
+}

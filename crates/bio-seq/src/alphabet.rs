@@ -1,0 +1,150 @@
+//! The protein alphabet used throughout the workspace.
+//!
+//! BLASTP scores sequences over a 24-symbol alphabet: the 20 standard amino
+//! acids, the two ambiguity codes `B` (Asx) and `Z` (Glx), the unknown
+//! residue `X`, and the stop/translation symbol `*`. Residues are stored as
+//! small integers (`0..24`) so they can index scoring matrices directly;
+//! the ordering matches the classic NCBI BLOSUM layout
+//! `A R N D C Q E G H I L K M F P S T W Y V B Z X *`.
+
+/// Number of symbols in the scoring alphabet.
+pub const ALPHABET_SIZE: usize = 24;
+
+/// Row stride used by GPU-friendly layouts of per-residue tables. The paper
+/// (§3.5) describes PSS-matrix columns of "32 rows with 2 bytes for each";
+/// padding the 24-letter alphabet to 32 keeps those sizes identical.
+pub const PADDED_ALPHABET_SIZE: usize = 32;
+
+/// Alphabet letters in encoding order.
+pub const ALPHABET: [u8; ALPHABET_SIZE] = *b"ARNDCQEGHILKMFPSTWYVBZX*";
+
+/// A residue encoded as an index into [`ALPHABET`].
+pub type Residue = u8;
+
+/// Encoding of `X`, used as the substitute for unknown input letters.
+pub const RESIDUE_X: Residue = 22;
+
+/// Number of standard (unambiguous) amino acids; the synthetic generator
+/// only emits these.
+pub const STANDARD_AA: usize = 20;
+
+/// Robinson–Robinson background frequencies of the 20 standard amino acids,
+/// in encoding order (`A R N D C Q E G H I L K M F P S T W Y V`). These are
+/// the frequencies NCBI BLAST uses for Karlin–Altschul statistics.
+pub const ROBINSON_FREQS: [f64; STANDARD_AA] = [
+    0.078_05, // A
+    0.051_29, // R
+    0.044_87, // N
+    0.053_64, // D
+    0.019_25, // C
+    0.042_64, // Q
+    0.062_95, // E
+    0.073_77, // G
+    0.021_99, // H
+    0.051_42, // I
+    0.090_19, // L
+    0.057_44, // K
+    0.022_43, // M
+    0.038_56, // F
+    0.052_03, // P
+    0.071_29, // S
+    0.058_41, // T
+    0.013_30, // W
+    0.032_16, // Y
+    0.064_41, // V
+];
+
+/// Convert an ASCII letter to its residue encoding.
+///
+/// Lower-case letters are accepted; any letter outside the alphabet
+/// (including `U`, `O`, `J`) maps to `X`, mirroring NCBI BLAST's input
+/// sanitation.
+#[inline]
+pub fn encode(letter: u8) -> Residue {
+    ENCODE_TABLE[letter.to_ascii_uppercase() as usize]
+}
+
+/// Convert a residue encoding back to its ASCII letter.
+///
+/// # Panics
+/// Panics if `r >= ALPHABET_SIZE`.
+#[inline]
+pub fn decode(r: Residue) -> u8 {
+    ALPHABET[r as usize]
+}
+
+/// Encode a full byte string.
+pub fn encode_str(s: &[u8]) -> Vec<Residue> {
+    s.iter().map(|&b| encode(b)).collect()
+}
+
+/// Decode a residue slice into an ASCII string.
+pub fn decode_str(rs: &[Residue]) -> String {
+    rs.iter().map(|&r| decode(r) as char).collect()
+}
+
+/// Returns true if the residue is one of the 20 standard amino acids.
+#[inline]
+pub fn is_standard(r: Residue) -> bool {
+    (r as usize) < STANDARD_AA
+}
+
+const ENCODE_TABLE: [Residue; 256] = build_encode_table();
+
+const fn build_encode_table() -> [Residue; 256] {
+    let mut t = [RESIDUE_X; 256];
+    let mut i = 0;
+    while i < ALPHABET_SIZE {
+        t[ALPHABET[i] as usize] = i as Residue;
+        i += 1;
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_letters() {
+        for (i, &letter) in ALPHABET.iter().enumerate() {
+            assert_eq!(encode(letter), i as Residue);
+            assert_eq!(decode(i as Residue), letter);
+        }
+    }
+
+    #[test]
+    fn lowercase_accepted() {
+        assert_eq!(encode(b'a'), encode(b'A'));
+        assert_eq!(encode(b'w'), encode(b'W'));
+    }
+
+    #[test]
+    fn unknown_letters_become_x() {
+        for b in [b'U', b'O', b'J', b'1', b' ', b'-'] {
+            assert_eq!(encode(b), RESIDUE_X, "byte {b}");
+        }
+    }
+
+    #[test]
+    fn robinson_frequencies_sum_to_one() {
+        let sum: f64 = ROBINSON_FREQS.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "sum = {sum}");
+    }
+
+    #[test]
+    fn encode_str_roundtrip() {
+        let s = b"MKVLAARNDW";
+        let enc = encode_str(s);
+        assert_eq!(decode_str(&enc).as_bytes(), s);
+    }
+
+    #[test]
+    fn standard_partition() {
+        assert!(is_standard(encode(b'A')));
+        assert!(is_standard(encode(b'V')));
+        assert!(!is_standard(encode(b'B')));
+        assert!(!is_standard(encode(b'X')));
+        assert!(!is_standard(encode(b'*')));
+    }
+}

@@ -1,0 +1,159 @@
+//! Minimal FASTA parsing and formatting.
+//!
+//! The benchmark harness generates synthetic databases in memory, but real
+//! users feed FASTA files; this module covers the round trip without pulling
+//! in a heavyweight parser dependency.
+
+use crate::sequence::Sequence;
+use std::io::{self, BufRead, Write};
+
+/// Parse FASTA records from a reader.
+///
+/// Header lines start with `>`; the first whitespace-separated token becomes
+/// the sequence id, the remainder the description. Blank lines are ignored.
+/// Residue lines may be wrapped arbitrarily. A record body may be empty
+/// (some tools emit headers with no residues); such records are kept.
+pub fn read_fasta<R: BufRead>(reader: R) -> io::Result<Vec<Sequence>> {
+    let mut out: Vec<Sequence> = Vec::new();
+    let mut current: Option<Sequence> = None;
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            if let Some(seq) = current.take() {
+                out.push(seq);
+            }
+            let mut parts = header.splitn(2, char::is_whitespace);
+            let id = parts.next().unwrap_or("").to_string();
+            let description = parts.next().unwrap_or("").trim().to_string();
+            current = Some(Sequence {
+                id,
+                description,
+                residues: Vec::new(),
+            });
+        } else {
+            let seq = current.get_or_insert_with(|| Sequence {
+                id: "unnamed".to_string(),
+                description: String::new(),
+                residues: Vec::new(),
+            });
+            seq.residues
+                .extend(line.bytes().filter(|b| !b.is_ascii_whitespace()).map(crate::alphabet::encode));
+        }
+    }
+    if let Some(seq) = current {
+        out.push(seq);
+    }
+    Ok(out)
+}
+
+/// Parse FASTA from an in-memory string.
+pub fn parse_fasta(text: &str) -> Vec<Sequence> {
+    read_fasta(text.as_bytes()).expect("in-memory reads cannot fail")
+}
+
+/// Write sequences in FASTA format, wrapping residue lines at `width`
+/// columns (pass 0 for no wrapping).
+pub fn write_fasta<W: Write>(writer: &mut W, seqs: &[Sequence], width: usize) -> io::Result<()> {
+    for seq in seqs {
+        if seq.description.is_empty() {
+            writeln!(writer, ">{}", seq.id)?;
+        } else {
+            writeln!(writer, ">{} {}", seq.id, seq.description)?;
+        }
+        let ascii = seq.to_ascii();
+        if width == 0 {
+            writeln!(writer, "{ascii}")?;
+        } else {
+            for chunk in ascii.as_bytes().chunks(width) {
+                writer.write_all(chunk)?;
+                writeln!(writer)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Format sequences as a FASTA string.
+pub fn to_fasta(seqs: &[Sequence], width: usize) -> String {
+    let mut buf = Vec::new();
+    write_fasta(&mut buf, seqs, width).expect("in-memory writes cannot fail");
+    String::from_utf8(buf).expect("FASTA output is ASCII")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_two_records() {
+        let seqs = parse_fasta(">a first\nMKV\nLAA\n>b\nARND\n");
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(seqs[0].id, "a");
+        assert_eq!(seqs[0].description, "first");
+        assert_eq!(seqs[0].to_ascii(), "MKVLAA");
+        assert_eq!(seqs[1].id, "b");
+        assert_eq!(seqs[1].to_ascii(), "ARND");
+    }
+
+    #[test]
+    fn blank_lines_and_wrapping_ignored() {
+        let seqs = parse_fasta(">x\n\nMK V\n\nLA\n");
+        assert_eq!(seqs.len(), 1);
+        assert_eq!(seqs[0].to_ascii(), "MKVLA");
+    }
+
+    #[test]
+    fn headerless_body_gets_default_id() {
+        let seqs = parse_fasta("MKV\n");
+        assert_eq!(seqs.len(), 1);
+        assert_eq!(seqs[0].id, "unnamed");
+    }
+
+    #[test]
+    fn empty_record_kept() {
+        let seqs = parse_fasta(">empty\n>full\nMK\n");
+        assert_eq!(seqs.len(), 2);
+        assert!(seqs[0].is_empty());
+        assert_eq!(seqs[1].len(), 2);
+    }
+
+    #[test]
+    fn roundtrip_with_wrapping() {
+        let original = vec![
+            Sequence::from_bytes("a", b"MKVLAARNDCQEGH"),
+            Sequence::from_bytes("b", b"WWYV"),
+        ];
+        let text = to_fasta(&original, 5);
+        let parsed = parse_fasta(&text);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].residues, original[0].residues);
+        assert_eq!(parsed[1].residues, original[1].residues);
+    }
+
+    #[test]
+    fn crlf_line_endings_are_stripped() {
+        let seqs = parse_fasta(">x desc\r\nMKV\r\nLAA\r\n");
+        assert_eq!(seqs.len(), 1);
+        assert_eq!(seqs[0].to_ascii(), "MKVLAA");
+        assert_eq!(seqs[0].description, "desc");
+    }
+
+    #[test]
+    fn width_one_wrapping() {
+        let original = vec![Sequence::from_bytes("a", b"MKV")];
+        let text = to_fasta(&original, 1);
+        assert_eq!(text, ">a\nM\nK\nV\n");
+        assert_eq!(parse_fasta(&text)[0].residues, original[0].residues);
+    }
+
+    #[test]
+    fn roundtrip_no_wrap() {
+        let original = vec![Sequence::from_bytes("a", b"MKV")];
+        let parsed = parse_fasta(&to_fasta(&original, 0));
+        assert_eq!(parsed[0].residues, original[0].residues);
+    }
+}

@@ -1,0 +1,425 @@
+//! Synthetic protein workload generation.
+//!
+//! The paper evaluates on two NCBI databases (`swissprot`, ~300 k sequences
+//! averaging 370 residues, and `env_nr`, ~6 M sequences averaging 200
+//! residues) and three queries of length 127, 517 and 1054. Those inputs are
+//! not redistributable and are far larger than a laptop-scale reproduction
+//! needs, so this module builds statistically equivalent stand-ins:
+//!
+//! * background residues are drawn from the Robinson–Robinson frequencies —
+//!   the same distribution Karlin–Altschul statistics assume — so the rate
+//!   of random word hits per column matches real protein data;
+//! * sequence lengths follow a log-normal distribution fitted to each
+//!   preset's mean, matching the long-tailed length profile of NCBI
+//!   databases;
+//! * a configurable fraction of subjects receives a *planted homology*: a
+//!   mutated copy of a random query segment, so the pipeline exercises real
+//!   two-hit triggers, ungapped extensions that reach the gapped stage, and
+//!   traceback — not just random noise.
+//!
+//! Everything is driven by explicit seeds, so every figure in
+//! EXPERIMENTS.md is reproducible bit-for-bit.
+
+use crate::alphabet::{Residue, ROBINSON_FREQS, STANDARD_AA};
+use crate::db::SequenceDb;
+use crate::sequence::Sequence;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Cumulative distribution over the 20 standard amino acids, used for
+/// inverse-CDF sampling.
+fn residue_cdf() -> [f64; STANDARD_AA] {
+    let mut cdf = [0.0; STANDARD_AA];
+    let mut acc = 0.0;
+    for (i, &p) in ROBINSON_FREQS.iter().enumerate() {
+        acc += p;
+        cdf[i] = acc;
+    }
+    // Guard against floating-point undershoot so sampling never falls off
+    // the end of the table.
+    cdf[STANDARD_AA - 1] = 1.0;
+    cdf
+}
+
+/// Sample one residue from the Robinson–Robinson background.
+fn sample_residue(rng: &mut StdRng, cdf: &[f64; STANDARD_AA]) -> Residue {
+    let u: f64 = rng.gen();
+    cdf.partition_point(|&c| c < u) as Residue
+}
+
+/// Sample a residue different from `r` (used for point mutations).
+fn sample_other_residue(rng: &mut StdRng, cdf: &[f64; STANDARD_AA], r: Residue) -> Residue {
+    loop {
+        let s = sample_residue(rng, cdf);
+        if s != r {
+            return s;
+        }
+    }
+}
+
+/// Named database presets mirroring the paper's two evaluation databases,
+/// scaled so a full figure reproduction runs in seconds on a laptop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbPreset {
+    /// Stand-in for NCBI `swissprot`: fewer, longer sequences (mean 370).
+    SwissprotMini,
+    /// Stand-in for NCBI `env_nr`: more, shorter sequences (mean 200).
+    EnvNrMini,
+}
+
+impl DbPreset {
+    /// The specification behind the preset.
+    pub fn spec(self) -> DbSpec {
+        match self {
+            DbPreset::SwissprotMini => DbSpec {
+                name: "swissprot_mini",
+                num_sequences: 2_000,
+                mean_length: 370,
+                homolog_fraction: 0.03,
+                seed: 0x5155_5057,
+            },
+            DbPreset::EnvNrMini => DbSpec {
+                name: "env_nr_mini",
+                num_sequences: 6_000,
+                mean_length: 200,
+                homolog_fraction: 0.02,
+                seed: 0xE17B_0001,
+            },
+        }
+    }
+
+    /// Human-readable preset name as used in figure output.
+    pub fn name(self) -> &'static str {
+        self.spec().name
+    }
+}
+
+/// Full description of a synthetic database.
+#[derive(Debug, Clone, Copy)]
+pub struct DbSpec {
+    /// Name used in sequence ids and figure labels.
+    pub name: &'static str,
+    /// Number of subject sequences to generate.
+    pub num_sequences: usize,
+    /// Mean sequence length (log-normal distributed).
+    pub mean_length: usize,
+    /// Fraction of subjects that receive a planted query homology.
+    pub homolog_fraction: f64,
+    /// RNG seed; identical specs generate identical databases.
+    pub seed: u64,
+}
+
+impl DbSpec {
+    /// Scale the number of sequences (used by benches that need a quick
+    /// smoke-sized database).
+    pub fn scaled(mut self, factor: f64) -> Self {
+        self.num_sequences = ((self.num_sequences as f64 * factor).round() as usize).max(1);
+        self
+    }
+}
+
+/// A generated database plus the query it was planted against.
+pub struct SyntheticDb {
+    /// The database proper.
+    pub db: SequenceDb,
+    /// Indices of subjects that contain a planted homology.
+    pub planted: Vec<usize>,
+}
+
+/// Generate a deterministic query sequence of the given length.
+///
+/// The three paper queries are `make_query(127)`, `make_query(517)` and
+/// `make_query(1054)`; their ids are `query127` etc.
+pub fn make_query(length: usize) -> Sequence {
+    let cdf = residue_cdf();
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ (length as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let residues: Vec<Residue> = (0..length).map(|_| sample_residue(&mut rng, &cdf)).collect();
+    let mut q = Sequence::from_residues(format!("query{length}"), residues);
+    q.description = format!("synthetic query, {length} residues");
+    q
+}
+
+/// Generate a query like [`make_query`] but with `runs` low-complexity
+/// segments (homopolymer or dipeptide repeats of 14–24 residues) planted
+/// at deterministic positions — the compositional bias real proteins
+/// carry and SEG masking exists for.
+pub fn make_query_with_low_complexity(length: usize, runs: usize) -> Sequence {
+    let mut q = make_query(length);
+    let mut rng = StdRng::seed_from_u64(0xBADC_0DE ^ length as u64);
+    let cdf = residue_cdf();
+    for k in 0..runs {
+        let run_len = 14 + (k * 5) % 11;
+        if length < run_len + 2 {
+            break;
+        }
+        let start = rng.gen_range(0..=length - run_len);
+        let a = sample_residue(&mut rng, &cdf);
+        let b = if rng.gen::<bool>() {
+            a // homopolymer
+        } else {
+            sample_other_residue(&mut rng, &cdf, a) // dipeptide repeat
+        };
+        for (i, slot) in q.residues[start..start + run_len].iter_mut().enumerate() {
+            *slot = if i % 2 == 0 { a } else { b };
+        }
+    }
+    q.id = format!("query{length}lc");
+    q.description = format!("synthetic query with {runs} low-complexity runs");
+    q
+}
+
+/// Draw a log-normally distributed length with the given mean and a shape
+/// parameter (sigma of the underlying normal) of 0.45, clamped to at least
+/// one word length.
+fn sample_length(rng: &mut StdRng, mean: usize) -> usize {
+    const SIGMA: f64 = 0.45;
+    // For a log-normal, mean = exp(mu + sigma^2/2); solve for mu.
+    let mu = (mean as f64).ln() - SIGMA * SIGMA / 2.0;
+    // Box-Muller normal sample.
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    let len = (mu + SIGMA * z).exp();
+    (len.round() as usize).clamp(8, mean * 12)
+}
+
+/// Generate a synthetic database, planting mutated copies of `query`
+/// segments into a `homolog_fraction` of subjects.
+///
+/// Planted segments cover 30–90 % of the query, are copied at ~60 %
+/// identity (each residue mutates with probability 0.4), and occasionally
+/// receive short insertions/deletions so the gapped stage has real work.
+pub fn generate_db(spec: &DbSpec, query: &Sequence) -> SyntheticDb {
+    let cdf = residue_cdf();
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut sequences = Vec::with_capacity(spec.num_sequences);
+    let mut planted = Vec::new();
+
+    for i in 0..spec.num_sequences {
+        let len = sample_length(&mut rng, spec.mean_length);
+        let mut residues: Vec<Residue> = (0..len).map(|_| sample_residue(&mut rng, &cdf)).collect();
+
+        let plant = !query.is_empty()
+            && query.len() >= 12
+            && rng.gen::<f64>() < spec.homolog_fraction
+            && len > query.len() / 4;
+        if plant {
+            plant_homolog(&mut rng, &cdf, query, &mut residues);
+            planted.push(i);
+        }
+
+        let mut seq = Sequence::from_residues(format!("{}_{i:06}", spec.name), residues);
+        if plant {
+            seq.description = format!("planted homolog of {}", query.id);
+        }
+        sequences.push(seq);
+    }
+
+    SyntheticDb {
+        db: SequenceDb::new(spec.name, sequences),
+        planted,
+    }
+}
+
+/// Overwrite a window of `subject` with a mutated copy of a query segment.
+fn plant_homolog(
+    rng: &mut StdRng,
+    cdf: &[f64; STANDARD_AA],
+    query: &Sequence,
+    subject: &mut Vec<Residue>,
+) {
+    let qlen = query.len();
+    let frac = 0.3 + rng.gen::<f64>() * 0.6;
+    let seg_len = ((qlen as f64 * frac) as usize).clamp(10, qlen);
+    let q_start = rng.gen_range(0..=qlen - seg_len);
+
+    // Copy with point mutations (~60 % identity).
+    let mut segment: Vec<Residue> = query.residues[q_start..q_start + seg_len]
+        .iter()
+        .map(|&r| {
+            if rng.gen::<f64>() < 0.4 {
+                sample_other_residue(rng, cdf, r)
+            } else {
+                r
+            }
+        })
+        .collect();
+
+    // Occasionally add a short indel so gapped extension is exercised.
+    if segment.len() > 20 && rng.gen::<f64>() < 0.5 {
+        let pos = rng.gen_range(5..segment.len() - 5);
+        if rng.gen::<bool>() {
+            let ins_len = rng.gen_range(1..=3);
+            for _ in 0..ins_len {
+                segment.insert(pos, sample_residue(rng, cdf));
+            }
+        } else {
+            let del_len = rng.gen_range(1..=3.min(segment.len() - pos - 1));
+            segment.drain(pos..pos + del_len);
+        }
+    }
+
+    if segment.len() >= subject.len() {
+        *subject = segment;
+    } else {
+        let s_start = rng.gen_range(0..=subject.len() - segment.len());
+        subject[s_start..s_start + segment.len()].copy_from_slice(&segment);
+    }
+}
+
+/// Convenience: generate a preset database against a query.
+pub fn generate_preset(preset: DbPreset, query: &Sequence) -> SyntheticDb {
+    generate_db(&preset.spec(), query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::is_standard;
+
+    #[test]
+    fn query_is_deterministic() {
+        let a = make_query(127);
+        let b = make_query(127);
+        assert_eq!(a.residues, b.residues);
+        assert_eq!(a.id, "query127");
+        assert_eq!(a.len(), 127);
+    }
+
+    #[test]
+    fn different_lengths_differ() {
+        let a = make_query(127);
+        let b = make_query(517);
+        assert_ne!(a.residues[..100], b.residues[..100]);
+    }
+
+    #[test]
+    fn db_is_deterministic() {
+        let q = make_query(64);
+        let spec = DbSpec {
+            name: "t",
+            num_sequences: 50,
+            mean_length: 100,
+            homolog_fraction: 0.2,
+            seed: 42,
+        };
+        let a = generate_db(&spec, &q);
+        let b = generate_db(&spec, &q);
+        assert_eq!(a.planted, b.planted);
+        for (x, y) in a.db.sequences().iter().zip(b.db.sequences()) {
+            assert_eq!(x.residues, y.residues);
+        }
+    }
+
+    #[test]
+    fn only_standard_residues_generated() {
+        let q = make_query(32);
+        let spec = DbSpec {
+            name: "t",
+            num_sequences: 20,
+            mean_length: 80,
+            homolog_fraction: 0.5,
+            seed: 7,
+        };
+        let s = generate_db(&spec, &q);
+        for seq in s.db.sequences() {
+            assert!(seq.residues().iter().all(|&r| is_standard(r)));
+        }
+    }
+
+    #[test]
+    fn homolog_fraction_respected_roughly() {
+        let q = make_query(200);
+        let spec = DbSpec {
+            name: "t",
+            num_sequences: 1000,
+            mean_length: 200,
+            homolog_fraction: 0.1,
+            seed: 9,
+        };
+        let s = generate_db(&spec, &q);
+        let frac = s.planted.len() as f64 / 1000.0;
+        assert!((0.05..=0.16).contains(&frac), "fraction = {frac}");
+    }
+
+    #[test]
+    fn mean_length_roughly_matches() {
+        let q = make_query(32);
+        let spec = DbSpec {
+            name: "t",
+            num_sequences: 2000,
+            mean_length: 300,
+            homolog_fraction: 0.0,
+            seed: 3,
+        };
+        let s = generate_db(&spec, &q);
+        let mean =
+            s.db.sequences().iter().map(|s| s.len()).sum::<usize>() as f64 / 2000.0;
+        assert!((240.0..=360.0).contains(&mean), "mean = {mean}");
+    }
+
+    #[test]
+    fn planted_subjects_share_query_words() {
+        // A planted homolog at ~60 % identity must share at least one exact
+        // 3-mer with the query with overwhelming probability.
+        let q = make_query(100);
+        let spec = DbSpec {
+            name: "t",
+            num_sequences: 200,
+            mean_length: 150,
+            homolog_fraction: 0.3,
+            seed: 11,
+        };
+        let s = generate_db(&spec, &q);
+        assert!(!s.planted.is_empty());
+        let query_words: std::collections::HashSet<&[Residue]> =
+            q.residues.windows(3).collect();
+        let mut sharing = 0;
+        for &i in &s.planted {
+            let subj = &s.db.sequences()[i];
+            if subj.residues.windows(3).any(|w| query_words.contains(w)) {
+                sharing += 1;
+            }
+        }
+        assert!(
+            sharing * 10 >= s.planted.len() * 8,
+            "only {sharing}/{} planted homologs share a word",
+            s.planted.len()
+        );
+    }
+
+    #[test]
+    fn low_complexity_query_is_deterministic_and_biased() {
+        let a = make_query_with_low_complexity(300, 5);
+        let b = make_query_with_low_complexity(300, 5);
+        assert_eq!(a.residues, b.residues);
+        assert_eq!(a.id, "query300lc");
+        // The planted runs must differ from the clean query.
+        let clean = make_query(300);
+        let diffs = a
+            .residues
+            .iter()
+            .zip(&clean.residues)
+            .filter(|(x, y)| x != y)
+            .count();
+        assert!(diffs >= 30, "only {diffs} positions changed");
+        // Zero runs leaves the base query intact (id aside).
+        let zero = make_query_with_low_complexity(300, 0);
+        assert_eq!(zero.residues, clean.residues);
+    }
+
+    #[test]
+    fn presets_differ_in_shape() {
+        let sp = DbPreset::SwissprotMini.spec();
+        let env = DbPreset::EnvNrMini.spec();
+        assert!(env.num_sequences > sp.num_sequences);
+        assert!(sp.mean_length > env.mean_length);
+    }
+
+    #[test]
+    fn scaled_spec() {
+        let s = DbPreset::SwissprotMini.spec().scaled(0.1);
+        assert_eq!(s.num_sequences, 200);
+        assert_eq!(DbPreset::SwissprotMini.spec().scaled(0.0).num_sequences, 1);
+    }
+}

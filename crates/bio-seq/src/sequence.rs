@@ -1,0 +1,91 @@
+//! Owned, encoded protein sequences.
+
+use crate::alphabet::{decode_str, encode_str, Residue};
+use serde::{Deserialize, Serialize};
+
+/// A protein sequence stored in residue encoding, together with its
+/// identifier and an optional description line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sequence {
+    /// Identifier (the first token of a FASTA header).
+    pub id: String,
+    /// Free-form description (the rest of the FASTA header).
+    pub description: String,
+    /// Encoded residues; see [`crate::alphabet`].
+    pub residues: Vec<Residue>,
+}
+
+impl Sequence {
+    /// Build a sequence from an ASCII byte string, encoding residues.
+    pub fn from_bytes(id: impl Into<String>, bytes: &[u8]) -> Self {
+        Self {
+            id: id.into(),
+            description: String::new(),
+            residues: encode_str(bytes),
+        }
+    }
+
+    /// Build a sequence from already-encoded residues.
+    pub fn from_residues(id: impl Into<String>, residues: Vec<Residue>) -> Self {
+        Self {
+            id: id.into(),
+            description: String::new(),
+            residues,
+        }
+    }
+
+    /// Sequence length in residues.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.residues.len()
+    }
+
+    /// True if the sequence holds no residues.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.residues.is_empty()
+    }
+
+    /// Decode back to an ASCII string (for display and FASTA output).
+    pub fn to_ascii(&self) -> String {
+        decode_str(&self.residues)
+    }
+
+    /// Borrow the encoded residues.
+    #[inline]
+    pub fn residues(&self) -> &[Residue] {
+        &self.residues
+    }
+}
+
+impl std::fmt::Display for Sequence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, ">{} ({} aa)", self.id, self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_bytes_encodes() {
+        let s = Sequence::from_bytes("q", b"ARND");
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.residues(), &[0, 1, 2, 3]);
+        assert_eq!(s.to_ascii(), "ARND");
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let s = Sequence::from_bytes("e", b"");
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn display_shows_id_and_length() {
+        let s = Sequence::from_bytes("sp|P12345", b"MKV");
+        assert_eq!(format!("{s}"), ">sp|P12345 (3 aa)");
+    }
+}

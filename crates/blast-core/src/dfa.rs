@@ -1,0 +1,194 @@
+//! The Cameron–Williams deterministic finite automaton for hit detection
+//! (paper Fig. 2(a)).
+//!
+//! The subject sequence is consumed one residue at a time. The automaton
+//! state is the last W−1 residues read; reading the next residue both moves
+//! to the follow state and names a complete W-mer whose query-position list
+//! is the hit set for the current column. The paper's hierarchical
+//! buffering (§3.5, Fig. 10) splits the structure into two arrays with
+//! different placement on the device:
+//!
+//! * the **state/transition table** — small, fixed size, goes to shared
+//!   memory;
+//! * the **query-position lists** — query-length dependent, go to global
+//!   memory tagged for the read-only cache.
+//!
+//! Both arrays are exposed flat so the GPU-simulated kernels can upload
+//! them unchanged.
+
+use crate::matrix::Matrix;
+use crate::words::{WordNeighborhood, NUM_WORDS, WORD_LEN};
+use bio_seq::alphabet::{Residue, ALPHABET_SIZE};
+use bio_seq::Sequence;
+
+/// Number of DFA states: one per (W−1)-residue prefix.
+pub const NUM_STATES: usize = ALPHABET_SIZE * ALPHABET_SIZE;
+
+/// Hit-detection automaton for one query.
+#[derive(Debug, Clone)]
+pub struct Dfa {
+    neighborhood: WordNeighborhood,
+    query_len: usize,
+}
+
+impl Dfa {
+    /// Build the automaton for `query` with neighbourhood threshold `t`.
+    pub fn build(query: &Sequence, matrix: &Matrix, t: i32) -> Self {
+        Self {
+            neighborhood: WordNeighborhood::build(query, matrix, t),
+            query_len: query.len(),
+        }
+    }
+
+    /// Wrap an existing neighbourhood.
+    pub fn from_neighborhood(neighborhood: WordNeighborhood, query_len: usize) -> Self {
+        Self {
+            neighborhood,
+            query_len,
+        }
+    }
+
+    /// Length of the query this automaton was built from.
+    pub fn query_len(&self) -> usize {
+        self.query_len
+    }
+
+    /// The underlying word-position table.
+    pub fn neighborhood(&self) -> &WordNeighborhood {
+        &self.neighborhood
+    }
+
+    /// Follow state after reading `letter` in `state`.
+    #[inline]
+    pub fn next_state(state: usize, letter: Residue) -> usize {
+        (state * ALPHABET_SIZE + letter as usize) % NUM_STATES
+    }
+
+    /// Word code named by reading `letter` in `state` (the state encodes the
+    /// preceding W−1 residues).
+    #[inline]
+    pub fn word_of(state: usize, letter: Residue) -> usize {
+        state * ALPHABET_SIZE + letter as usize
+    }
+
+    /// Query positions hit by the word formed at `state` + `letter`.
+    #[inline]
+    pub fn positions(&self, state: usize, letter: Residue) -> &[u32] {
+        self.neighborhood.positions(Self::word_of(state, letter))
+    }
+
+    /// Scan a subject sequence, invoking `on_hit(column, query_pos)` for
+    /// every hit, where `column` is the subject position of the *first*
+    /// residue of the word. This is the automaton traversal of Fig. 2(a):
+    /// state transitions happen once per residue, and the position list of
+    /// the completed word is consulted at each step.
+    pub fn scan(&self, subject: &[Residue], mut on_hit: impl FnMut(usize, u32)) {
+        if subject.len() < WORD_LEN {
+            return;
+        }
+        // Prime the state with the first W−1 residues.
+        let mut state = 0usize;
+        for &r in &subject[..WORD_LEN - 1] {
+            state = Self::next_state(state, r);
+        }
+        for (idx, &r) in subject[WORD_LEN - 1..].iter().enumerate() {
+            let col = idx; // word starts at idx (= position of completed word)
+            for &qpos in self.positions(state, r) {
+                on_hit(col, qpos);
+            }
+            state = Self::next_state(state, r);
+        }
+    }
+
+    /// Size in bytes of the transition/state table — the part §3.5 places
+    /// in shared memory. One 4-byte offset per (state, letter) pair.
+    pub fn states_size_bytes(&self) -> usize {
+        (NUM_WORDS + 1) * std::mem::size_of::<u32>()
+    }
+
+    /// Size in bytes of the query-position lists — the part §3.5 routes
+    /// through the read-only cache.
+    pub fn positions_size_bytes(&self) -> usize {
+        std::mem::size_of_val(self.neighborhood.raw_positions())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::words::word_code;
+    use bio_seq::alphabet::encode_str;
+
+    fn toy_dfa(query: &[u8], t: i32) -> Dfa {
+        let q = Sequence::from_bytes("q", query);
+        Dfa::build(&q, &Matrix::blosum62(), t)
+    }
+
+    #[test]
+    fn state_transitions_shift_window() {
+        let a = 0usize;
+        let s1 = Dfa::next_state(a, 5);
+        let s2 = Dfa::next_state(s1, 7);
+        let s3 = Dfa::next_state(s2, 9);
+        // After reading 5,7,9 the state encodes the last two letters (7,9).
+        assert_eq!(s3, 7 * ALPHABET_SIZE + 9);
+    }
+
+    #[test]
+    fn word_of_matches_word_code() {
+        let w = encode_str(b"WKV");
+        let state = w[0] as usize * ALPHABET_SIZE + w[1] as usize;
+        assert_eq!(Dfa::word_of(state, w[2]), word_code(&w));
+    }
+
+    #[test]
+    fn scan_matches_brute_force() {
+        // Every hit the DFA reports must equal a direct neighbourhood
+        // lookup per column, and vice versa.
+        let q = bio_seq::generate::make_query(60);
+        let dfa = Dfa::build(&q, &Matrix::blosum62(), 11);
+        let subject = bio_seq::generate::make_query(200); // reuse generator
+        let mut scanned: Vec<(usize, u32)> = Vec::new();
+        dfa.scan(subject.residues(), |c, p| scanned.push((c, p)));
+
+        let mut brute: Vec<(usize, u32)> = Vec::new();
+        for (col, code) in crate::words::subject_words(subject.residues()) {
+            for &p in dfa.neighborhood().positions(code) {
+                brute.push((col, p));
+            }
+        }
+        assert_eq!(scanned, brute);
+        assert!(!scanned.is_empty(), "workload produced no hits at all");
+    }
+
+    #[test]
+    fn paper_example_self_hit() {
+        // Query BABBC vs subject CBABB with W = 3 (Fig. 2(a) example, using
+        // real residues): an exact shared word must be reported. Use real
+        // amino acids: query "WKVMS", subject "CWKVM" share word WKV at
+        // query 0 / subject column 1.
+        let dfa = toy_dfa(b"WKVMS", 11);
+        let subject = encode_str(b"CWKVM");
+        let mut hits = Vec::new();
+        dfa.scan(&subject, |c, p| hits.push((c, p)));
+        assert!(hits.contains(&(1, 0)), "hits = {hits:?}");
+    }
+
+    #[test]
+    fn short_subject_yields_nothing() {
+        let dfa = toy_dfa(b"WKVMS", 11);
+        let mut hits = Vec::new();
+        dfa.scan(&encode_str(b"WK"), |c, p| hits.push((c, p)));
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn buffer_sizes_are_consistent() {
+        let dfa = toy_dfa(b"WKVMSARND", 11);
+        assert_eq!(dfa.states_size_bytes(), (NUM_WORDS + 1) * 4);
+        assert_eq!(
+            dfa.positions_size_bytes(),
+            dfa.neighborhood().total_entries() * 4
+        );
+    }
+}

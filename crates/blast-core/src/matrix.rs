@@ -1,0 +1,242 @@
+//! Substitution matrices (paper Fig. 2(c)).
+//!
+//! The paper's hierarchical-buffering study (§3.5, Fig. 15) contrasts two
+//! scoring paths: the query-specific PSS matrix, whose footprint grows with
+//! query length, and the fixed 24×24 substitution matrix (BLOSUM62, ~2 kB)
+//! that always fits in shared memory. This module provides the matrix side:
+//! a built-in BLOSUM62 and a parser for the NCBI text format so users can
+//! substitute any matrix.
+
+use bio_seq::alphabet::{encode, Residue, ALPHABET, ALPHABET_SIZE};
+use serde::{Deserialize, Serialize};
+
+/// A symmetric substitution matrix over the 24-letter alphabet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Matrix {
+    /// Matrix name, e.g. `"BLOSUM62"`.
+    pub name: String,
+    scores: Vec<i8>, // ALPHABET_SIZE * ALPHABET_SIZE, row-major
+}
+
+/// BLOSUM62 in NCBI row order `A R N D C Q E G H I L K M F P S T W Y V B Z X *`.
+#[rustfmt::skip]
+const BLOSUM62: [[i8; ALPHABET_SIZE]; ALPHABET_SIZE] = [
+    // A   R   N   D   C   Q   E   G   H   I   L   K   M   F   P   S   T   W   Y   V   B   Z   X   *
+    [  4, -1, -2, -2,  0, -1, -1,  0, -2, -1, -1, -1, -1, -2, -1,  1,  0, -3, -2,  0, -2, -1,  0, -4], // A
+    [ -1,  5,  0, -2, -3,  1,  0, -2,  0, -3, -2,  2, -1, -3, -2, -1, -1, -3, -2, -3, -1,  0, -1, -4], // R
+    [ -2,  0,  6,  1, -3,  0,  0,  0,  1, -3, -3,  0, -2, -3, -2,  1,  0, -4, -2, -3,  3,  0, -1, -4], // N
+    [ -2, -2,  1,  6, -3,  0,  2, -1, -1, -3, -4, -1, -3, -3, -1,  0, -1, -4, -3, -3,  4,  1, -1, -4], // D
+    [  0, -3, -3, -3,  9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1, -3, -3, -2, -4], // C
+    [ -1,  1,  0,  0, -3,  5,  2, -2,  0, -3, -2,  1,  0, -3, -1,  0, -1, -2, -1, -2,  0,  3, -1, -4], // Q
+    [ -1,  0,  0,  2, -4,  2,  5, -2,  0, -3, -3,  1, -2, -3, -1,  0, -1, -3, -2, -2,  1,  4, -1, -4], // E
+    [  0, -2,  0, -1, -3, -2, -2,  6, -2, -4, -4, -2, -3, -3, -2,  0, -2, -2, -3, -3, -1, -2, -1, -4], // G
+    [ -2,  0,  1, -1, -3,  0,  0, -2,  8, -3, -3, -1, -2, -1, -2, -1, -2, -2,  2, -3,  0,  0, -1, -4], // H
+    [ -1, -3, -3, -3, -1, -3, -3, -4, -3,  4,  2, -3,  1,  0, -3, -2, -1, -3, -1,  3, -3, -3, -1, -4], // I
+    [ -1, -2, -3, -4, -1, -2, -3, -4, -3,  2,  4, -2,  2,  0, -3, -2, -1, -2, -1,  1, -4, -3, -1, -4], // L
+    [ -1,  2,  0, -1, -3,  1,  1, -2, -1, -3, -2,  5, -1, -3, -1,  0, -1, -3, -2, -2,  0,  1, -1, -4], // K
+    [ -1, -1, -2, -3, -1,  0, -2, -3, -2,  1,  2, -1,  5,  0, -2, -1, -1, -1, -1,  1, -3, -1, -1, -4], // M
+    [ -2, -3, -3, -3, -2, -3, -3, -3, -1,  0,  0, -3,  0,  6, -4, -2, -2,  1,  3, -1, -3, -3, -1, -4], // F
+    [ -1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4,  7, -1, -1, -4, -3, -2, -2, -1, -2, -4], // P
+    [  1, -1,  1,  0, -1,  0,  0,  0, -1, -2, -2,  0, -1, -2, -1,  4,  1, -3, -2, -2,  0,  0,  0, -4], // S
+    [  0, -1,  0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1,  1,  5, -2, -2,  0, -1, -1,  0, -4], // T
+    [ -3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1,  1, -4, -3, -2, 11,  2, -3, -4, -3, -2, -4], // W
+    [ -2, -2, -2, -3, -2, -1, -2, -3,  2, -1, -1, -2, -1,  3, -3, -2, -2,  2,  7, -1, -3, -2, -1, -4], // Y
+    [  0, -3, -3, -3, -1, -2, -2, -3, -3,  3,  1, -2,  1, -1, -2, -2,  0, -3, -1,  4, -3, -2, -1, -4], // V
+    [ -2, -1,  3,  4, -3,  0,  1, -1,  0, -3, -4,  0, -3, -3, -2,  0, -1, -4, -3, -3,  4,  1, -1, -4], // B
+    [ -1,  0,  0,  1, -3,  3,  4, -2,  0, -3, -3,  1, -1, -3, -1,  0, -1, -3, -2, -2,  1,  4, -1, -4], // Z
+    [  0, -1, -1, -1, -2, -1, -1, -1, -1, -1, -1, -1, -1, -1, -2,  0,  0, -2, -1, -1, -1, -1, -1, -4], // X
+    [ -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4,  1], // *
+];
+
+impl Matrix {
+    /// The BLOSUM62 matrix, the BLASTP default and the matrix used in all
+    /// of the paper's experiments.
+    pub fn blosum62() -> Self {
+        let mut scores = Vec::with_capacity(ALPHABET_SIZE * ALPHABET_SIZE);
+        for row in BLOSUM62.iter() {
+            scores.extend_from_slice(row);
+        }
+        Self {
+            name: "BLOSUM62".to_string(),
+            scores,
+        }
+    }
+
+    /// Score of substituting residue `a` for residue `b`.
+    #[inline]
+    pub fn score(&self, a: Residue, b: Residue) -> i32 {
+        self.scores[a as usize * ALPHABET_SIZE + b as usize] as i32
+    }
+
+    /// Borrow the raw row-major score table (length 24 × 24). The GPU
+    /// kernels copy this into simulated shared memory.
+    #[inline]
+    pub fn raw(&self) -> &[i8] {
+        &self.scores
+    }
+
+    /// Highest score in the matrix (self-match of the rarest residue; 11
+    /// for BLOSUM62's W/W).
+    pub fn max_score(&self) -> i32 {
+        self.scores.iter().copied().map(i32::from).max().unwrap_or(0)
+    }
+
+    /// Lowest score in the matrix.
+    pub fn min_score(&self) -> i32 {
+        self.scores.iter().copied().map(i32::from).min().unwrap_or(0)
+    }
+
+    /// Parse a matrix in the NCBI text format: a header line listing column
+    /// letters, then one row per line starting with its letter. Lines
+    /// beginning with `#` are comments. Letters outside our alphabet are
+    /// ignored; entries absent from the file keep the score of `X`
+    /// against the row letter.
+    pub fn parse_ncbi(name: &str, text: &str) -> Result<Self, String> {
+        let mut lines = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'));
+        let header = lines.next().ok_or("matrix file is empty")?;
+        let cols: Vec<Residue> = header
+            .split_whitespace()
+            .map(|tok| {
+                let b = tok.as_bytes();
+                if b.len() != 1 {
+                    Err(format!("bad column label {tok:?}"))
+                } else {
+                    Ok(encode(b[0]))
+                }
+            })
+            .collect::<Result<_, _>>()?;
+
+        let mut scores = vec![i8::MIN; ALPHABET_SIZE * ALPHABET_SIZE];
+        let mut seen_rows = 0usize;
+        for line in lines {
+            let mut toks = line.split_whitespace();
+            let row_tok = toks.next().ok_or("missing row label")?;
+            let rb = row_tok.as_bytes();
+            if rb.len() != 1 {
+                return Err(format!("bad row label {row_tok:?}"));
+            }
+            let row = encode(rb[0]);
+            for (col, tok) in cols.iter().zip(toks) {
+                let v: i8 = tok
+                    .parse()
+                    .map_err(|_| format!("bad score {tok:?} in row {row_tok}"))?;
+                scores[row as usize * ALPHABET_SIZE + *col as usize] = v;
+            }
+            seen_rows += 1;
+        }
+        if seen_rows == 0 {
+            return Err("matrix file has no data rows".to_string());
+        }
+        // Fill any unspecified cell with the row-vs-X score so lookups never
+        // hit a sentinel.
+        for a in 0..ALPHABET_SIZE {
+            let x = encode(b'X') as usize;
+            let fallback = scores[a * ALPHABET_SIZE + x];
+            let fallback = if fallback == i8::MIN { -1 } else { fallback };
+            for b in 0..ALPHABET_SIZE {
+                if scores[a * ALPHABET_SIZE + b] == i8::MIN {
+                    scores[a * ALPHABET_SIZE + b] = fallback;
+                }
+            }
+        }
+        Ok(Self {
+            name: name.to_string(),
+            scores,
+        })
+    }
+
+    /// Render the matrix in NCBI text format (useful for tests and for
+    /// exporting a parsed matrix).
+    pub fn to_ncbi_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("  ");
+        for &l in ALPHABET.iter() {
+            out.push_str(&format!(" {:>2}", l as char));
+        }
+        out.push('\n');
+        for (a, &l) in ALPHABET.iter().enumerate() {
+            out.push_str(&format!("{:>2}", l as char));
+            for b in 0..ALPHABET_SIZE {
+                out.push_str(&format!(" {:>2}", self.scores[a * ALPHABET_SIZE + b]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bio_seq::alphabet::encode;
+
+    #[test]
+    fn blosum62_spot_values() {
+        let m = Matrix::blosum62();
+        assert_eq!(m.score(encode(b'A'), encode(b'A')), 4);
+        assert_eq!(m.score(encode(b'W'), encode(b'W')), 11);
+        assert_eq!(m.score(encode(b'X'), encode(b'Y')), -1);
+        assert_eq!(m.score(encode(b'Y'), encode(b'X')), -1);
+        assert_eq!(m.score(encode(b'I'), encode(b'Y')), -1);
+        assert_eq!(m.score(encode(b'P'), encode(b'P')), 7);
+        assert_eq!(m.score(encode(b'*'), encode(b'*')), 1);
+        assert_eq!(m.score(encode(b'A'), encode(b'*')), -4);
+    }
+
+    #[test]
+    fn blosum62_is_symmetric() {
+        let m = Matrix::blosum62();
+        for a in 0..ALPHABET_SIZE as u8 {
+            for b in 0..ALPHABET_SIZE as u8 {
+                assert_eq!(m.score(a, b), m.score(b, a), "asymmetry at ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn blosum62_diagonal_dominates_column() {
+        // Every standard residue scores itself at least as high as any
+        // substitution to it.
+        let m = Matrix::blosum62();
+        for a in 0..20u8 {
+            for b in 0..20u8 {
+                if a != b {
+                    assert!(m.score(a, a) > m.score(a, b), "({a},{b})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extremes() {
+        let m = Matrix::blosum62();
+        assert_eq!(m.max_score(), 11);
+        assert_eq!(m.min_score(), -4);
+    }
+
+    #[test]
+    fn ncbi_text_roundtrip() {
+        let m = Matrix::blosum62();
+        let text = m.to_ncbi_text();
+        let parsed = Matrix::parse_ncbi("BLOSUM62", &text).unwrap();
+        assert_eq!(parsed.raw(), m.raw());
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Matrix::parse_ncbi("bad", "").is_err());
+        assert!(Matrix::parse_ncbi("bad", "A B\n").is_err());
+        assert!(Matrix::parse_ncbi("bad", "A\nA notanumber\n").is_err());
+        assert!(Matrix::parse_ncbi("bad", "AB\nA 1\n").is_err());
+    }
+
+    #[test]
+    fn parser_ignores_comments() {
+        let m = Matrix::parse_ncbi("toy", "# a comment\n A R\nA 4 -1\nR -1 5\n").unwrap();
+        assert_eq!(m.score(encode(b'A'), encode(b'A')), 4);
+        assert_eq!(m.score(encode(b'R'), encode(b'A')), -1);
+    }
+}

@@ -1,0 +1,139 @@
+//! The shared search-parameter set.
+//!
+//! Defaults match BLASTP / FSA-BLAST: word length 3, neighbourhood
+//! threshold 11, two-hit window 40, ungapped x-drop 16 (≈ 7 bits),
+//! gapped x-drop 38 (≈ 15 bits), affine gap penalties 11/1, e-value
+//! cutoff 10. Every pipeline in the workspace (CPU reference, cuBLASTP,
+//! coarse-grained baselines) consumes this same struct, which is what makes
+//! the output-identity test between them meaningful.
+
+use crate::stats::{effective_search_space, KarlinAltschul};
+use serde::{Deserialize, Serialize};
+
+/// BLASTP search parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SearchParams {
+    /// Word length W (§2.1: 3 for protein search).
+    pub word_len: usize,
+    /// Neighbourhood threshold T for word scores.
+    pub threshold: i32,
+    /// Use the two-hit heuristic (BLASTP default). When false, every
+    /// uncovered hit triggers an ungapped extension (BLAST's one-hit mode,
+    /// more sensitive and much slower).
+    pub two_hit: bool,
+    /// Two-hit window A: a hit triggers extension only if the previous hit
+    /// on the same diagonal is within this many subject positions (§3.1).
+    pub two_hit_window: i32,
+    /// X-drop for ungapped extension (raw score units).
+    pub xdrop_ungapped: i32,
+    /// X-drop for gapped extension (raw score units).
+    pub xdrop_gapped: i32,
+    /// Affine gap-open penalty (positive).
+    pub gap_open: i32,
+    /// Affine gap-extend penalty per residue (positive).
+    pub gap_extend: i32,
+    /// Raw ungapped score that triggers the gapped stage. The BLASTP
+    /// default "gap trigger" is 22 *bits*, which under the ungapped
+    /// BLOSUM62 statistics (λ = 0.3176, K = 0.134) is
+    /// (22·ln2 − ln K)/λ ≈ 41 raw.
+    pub gapped_trigger: i32,
+    /// Composition-based statistics: rescale the gapped λ to the query's
+    /// actual residue composition (see
+    /// [`crate::stats::KarlinAltschul::composition_adjusted_gapped`]).
+    /// Off by default to keep raw-score output identical to FSA-BLAST;
+    /// modern NCBI BLASTP defaults this on.
+    pub composition_based_stats: bool,
+    /// Soft-mask low-complexity query regions before seeding (SEG-style,
+    /// see [`crate::seg`]). Off by default so every figure matches the
+    /// paper's FSA-BLAST semantics; real BLASTP defaults this on.
+    pub mask_low_complexity: bool,
+    /// E-value cutoff for reporting.
+    pub evalue_cutoff: f64,
+    /// Maximum number of alignments reported per query.
+    pub max_reported: usize,
+}
+
+impl Default for SearchParams {
+    fn default() -> Self {
+        Self {
+            word_len: 3,
+            threshold: 11,
+            two_hit: true,
+            two_hit_window: 40,
+            xdrop_ungapped: 16,
+            xdrop_gapped: 38,
+            gap_open: 11,
+            gap_extend: 1,
+            gapped_trigger: 41,
+            composition_based_stats: false,
+            mask_low_complexity: false,
+            evalue_cutoff: 10.0,
+            max_reported: 500,
+        }
+    }
+}
+
+/// Score cutoffs derived from the parameters, the statistics and the
+/// database size; computed once per (query, database) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Cutoffs {
+    /// Effective search space after length adjustment.
+    pub search_space: f64,
+    /// Raw ungapped score required to trigger gapped extension.
+    pub gapped_trigger: i32,
+    /// Raw gapped score required to be reported (from the e-value cutoff).
+    pub report_cutoff: i32,
+    /// Gapped-statistics parameters used for reported e-values.
+    pub gapped_ka: KarlinAltschul,
+    /// Ungapped-statistics parameters.
+    pub ungapped_ka: KarlinAltschul,
+}
+
+impl SearchParams {
+    /// Derive score cutoffs for a query of `query_len` against a database
+    /// of `db_residues` total residues across `db_sequences` sequences.
+    pub fn cutoffs(&self, query_len: usize, db_residues: usize, db_sequences: usize) -> Cutoffs {
+        let gapped_ka = KarlinAltschul::blosum62_gapped_11_1();
+        let ungapped_ka = KarlinAltschul::blosum62_ungapped();
+        let search_space = effective_search_space(&gapped_ka, query_len, db_residues, db_sequences);
+        let report_cutoff = gapped_ka.cutoff_score(self.evalue_cutoff, search_space);
+        Cutoffs {
+            search_space,
+            gapped_trigger: self.gapped_trigger,
+            report_cutoff,
+            gapped_ka,
+            ungapped_ka,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_blastp() {
+        let p = SearchParams::default();
+        assert_eq!(p.word_len, 3);
+        assert_eq!(p.threshold, 11);
+        assert_eq!(p.two_hit_window, 40);
+        assert_eq!((p.gap_open, p.gap_extend), (11, 1));
+        assert_eq!(p.evalue_cutoff, 10.0);
+    }
+
+    #[test]
+    fn cutoffs_scale_with_database() {
+        let p = SearchParams::default();
+        let small = p.cutoffs(517, 100_000, 500);
+        let big = p.cutoffs(517, 100_000_000, 500_000);
+        assert!(big.report_cutoff > small.report_cutoff);
+        assert!(big.search_space > small.search_space);
+    }
+
+    #[test]
+    fn report_cutoff_honors_evalue() {
+        let p = SearchParams::default();
+        let c = p.cutoffs(200, 1_000_000, 5_000);
+        assert!(c.gapped_ka.evalue(c.report_cutoff, c.search_space) <= p.evalue_cutoff);
+    }
+}

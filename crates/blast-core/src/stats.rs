@@ -1,0 +1,319 @@
+//! Karlin–Altschul statistics: the machinery BLAST uses to turn raw
+//! alignment scores into normalized bit scores and e-values, and to derive
+//! score cutoffs from an e-value threshold.
+//!
+//! For ungapped alignments the parameters λ and H are computed exactly from
+//! the substitution matrix and the Robinson–Robinson background
+//! frequencies, as NCBI BLAST does. K is taken from the standard published
+//! value for the known matrices and approximated otherwise (the exact K
+//! computation is a delicate lattice-sum evaluation whose output for
+//! BLOSUM62 is the constant we embed; the approximation only affects
+//! e-value scale, never ranking). Gapped parameters come from NCBI's
+//! precomputed table — also what real BLAST does, since no closed form
+//! exists for gapped λ/K.
+
+use crate::matrix::Matrix;
+use bio_seq::alphabet::{ROBINSON_FREQS, STANDARD_AA};
+use serde::{Deserialize, Serialize};
+
+/// Karlin–Altschul parameter set for one scoring system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KarlinAltschul {
+    /// Scale parameter λ (nats per raw score unit).
+    pub lambda: f64,
+    /// Karlin–Altschul K.
+    pub k: f64,
+    /// Relative entropy H (nats per aligned pair).
+    pub h: f64,
+}
+
+impl KarlinAltschul {
+    /// Published NCBI values for ungapped BLOSUM62 with Robinson
+    /// frequencies.
+    pub fn blosum62_ungapped() -> Self {
+        Self {
+            lambda: 0.3176,
+            k: 0.134,
+            h: 0.4012,
+        }
+    }
+
+    /// Published NCBI values for gapped BLOSUM62 with gap open 11 /
+    /// extend 1 (the BLASTP defaults used throughout the paper).
+    pub fn blosum62_gapped_11_1() -> Self {
+        Self {
+            lambda: 0.267,
+            k: 0.041,
+            h: 0.14,
+        }
+    }
+
+    /// Compute ungapped λ and H exactly for an arbitrary matrix under the
+    /// Robinson–Robinson background; K falls back to the BLOSUM62 constant
+    /// scaled by H (a documented approximation — see module docs).
+    pub fn compute_ungapped(matrix: &Matrix) -> Self {
+        let lambda = solve_lambda(matrix).expect("matrix must have negative expected score");
+        let h = relative_entropy(matrix, lambda);
+        let reference = Self::blosum62_ungapped();
+        let k = (reference.k * h / reference.h).clamp(1e-3, 1.0);
+        Self { lambda, k, h }
+    }
+
+    /// Bit score of a raw score.
+    #[inline]
+    pub fn bit_score(&self, raw: i32) -> f64 {
+        (self.lambda * raw as f64 - self.k.ln()) / std::f64::consts::LN_2
+    }
+
+    /// E-value of a raw score over an effective search space (product of
+    /// effective query and database lengths).
+    #[inline]
+    pub fn evalue(&self, raw: i32, search_space: f64) -> f64 {
+        self.k * search_space * (-self.lambda * raw as f64).exp()
+    }
+
+    /// Smallest raw score whose e-value is at most `evalue` in the given
+    /// search space.
+    pub fn cutoff_score(&self, evalue: f64, search_space: f64) -> i32 {
+        let s = ((self.k * search_space / evalue).ln() / self.lambda).ceil();
+        s.max(1.0) as i32
+    }
+}
+
+/// Expected pairwise score under two background distributions; must be
+/// negative for Karlin–Altschul theory to apply.
+pub fn expected_score_pair(matrix: &Matrix, pa: &[f64], pb: &[f64]) -> f64 {
+    let mut e = 0.0;
+    for i in 0..STANDARD_AA {
+        for j in 0..STANDARD_AA {
+            e += pa[i] * pb[j] * matrix.score(i as u8, j as u8) as f64;
+        }
+    }
+    e
+}
+
+/// Expected pairwise score under the Robinson background.
+pub fn expected_score(matrix: &Matrix) -> f64 {
+    expected_score_pair(matrix, &ROBINSON_FREQS, &ROBINSON_FREQS)
+}
+
+/// Composition of a residue slice over the 20 standard amino acids, with
+/// Robinson pseudocounts (weight 20) so short or degenerate inputs stay
+/// solvable.
+pub fn composition(residues: &[u8]) -> [f64; STANDARD_AA] {
+    let mut counts = [0.0f64; STANDARD_AA];
+    let mut n = 0.0;
+    for &r in residues {
+        if (r as usize) < STANDARD_AA {
+            counts[r as usize] += 1.0;
+            n += 1.0;
+        }
+    }
+    let mut freqs = [0.0f64; STANDARD_AA];
+    let pseudo = 20.0;
+    for i in 0..STANDARD_AA {
+        freqs[i] = (counts[i] + pseudo * ROBINSON_FREQS[i]) / (n + pseudo);
+    }
+    freqs
+}
+
+/// Solve Σ pᵢqⱼ·exp(λ·sᵢⱼ) = 1 for λ > 0 by bisection, under arbitrary
+/// compositions for the two sequences (the machinery behind BLAST's
+/// composition-based statistics).
+pub fn solve_lambda_pair(matrix: &Matrix, pa: &[f64], pb: &[f64]) -> Option<f64> {
+    if expected_score_pair(matrix, pa, pb) >= 0.0 {
+        return None;
+    }
+    let f = |lambda: f64| -> f64 {
+        let mut sum = 0.0;
+        for i in 0..STANDARD_AA {
+            for j in 0..STANDARD_AA {
+                sum += pa[i]
+                    * pb[j]
+                    * (lambda * matrix.score(i as u8, j as u8) as f64).exp();
+            }
+        }
+        sum - 1.0
+    };
+    // f(0) = 0; f'(0) = expected score < 0, and f → ∞ as λ grows (positive
+    // scores exist), so there is exactly one positive root. Bracket it.
+    let mut hi = 0.5;
+    while f(hi) < 0.0 {
+        hi *= 2.0;
+        if hi > 1e3 {
+            return None; // no positive score in the matrix
+        }
+    }
+    let mut lo = 0.0;
+    for _ in 0..100 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(0.5 * (lo + hi))
+}
+
+/// Solve for λ under the standard Robinson background.
+pub fn solve_lambda(matrix: &Matrix) -> Option<f64> {
+    solve_lambda_pair(matrix, &ROBINSON_FREQS, &ROBINSON_FREQS)
+}
+
+impl KarlinAltschul {
+    /// Composition-adjusted gapped parameters, in the spirit of BLAST's
+    /// composition-based statistics: the gapped λ is rescaled by the ratio
+    /// of the ungapped λ under the query's composition *on both sides* to
+    /// the standard-background λ. Pairing the query composition with
+    /// itself models the dangerous case — the query's biased regions
+    /// aligning against similarly biased subject regions — so a biased
+    /// query gets a smaller λ and therefore more conservative e-values,
+    /// never less. (NCBI's modes 1–3 adjust per subject pair; this
+    /// query-only variant keeps one cutoff per search, which is what the
+    /// shared-cutoff pipelines require.)
+    pub fn composition_adjusted_gapped(matrix: &Matrix, query_residues: &[u8]) -> Self {
+        let base = Self::blosum62_gapped_11_1();
+        let standard = solve_lambda(matrix);
+        let comp = composition(query_residues);
+        let adjusted = solve_lambda_pair(matrix, &comp, &comp);
+        match (standard, adjusted) {
+            // Only ever adjust downward: a composition that happens to
+            // yield a larger λ than the standard background would make
+            // e-values *less* conservative, which this variant refuses.
+            (Some(s), Some(a)) if s > 0.0 && a < s => Self {
+                lambda: base.lambda * (a / s),
+                ..base
+            },
+            // Degenerate compositions (non-negative expected self score)
+            // fall back to the unadjusted table, as NCBI does.
+            _ => base,
+        }
+    }
+}
+
+/// Relative entropy H = λ·Σ pᵢpⱼ·sᵢⱼ·exp(λ·sᵢⱼ), in nats per pair.
+pub fn relative_entropy(matrix: &Matrix, lambda: f64) -> f64 {
+    let mut h = 0.0;
+    for i in 0..STANDARD_AA {
+        for j in 0..STANDARD_AA {
+            let s = matrix.score(i as u8, j as u8) as f64;
+            h += ROBINSON_FREQS[i] * ROBINSON_FREQS[j] * s * (lambda * s).exp();
+        }
+    }
+    lambda * h
+}
+
+/// Effective search space after NCBI's edge-effect length adjustment.
+///
+/// Solves `l = ln(K·(m−l)·(n−seqs·l)) / H` by fixed-point iteration and
+/// returns `(m−l)·(n−seqs·l)` clamped to at least `m·1`.
+pub fn effective_search_space(
+    ka: &KarlinAltschul,
+    query_len: usize,
+    db_residues: usize,
+    db_sequences: usize,
+) -> f64 {
+    let m = query_len as f64;
+    let n = db_residues as f64;
+    let seqs = db_sequences as f64;
+    if m <= 0.0 || n <= 0.0 {
+        return 1.0;
+    }
+    let mut l = 0.0f64;
+    for _ in 0..20 {
+        let em = (m - l).max(1.0);
+        let en = (n - seqs * l).max(1.0);
+        let next = (ka.k * em * en).ln() / ka.h;
+        let next = next.clamp(0.0, m - 1.0);
+        if (next - l).abs() < 1e-6 {
+            l = next;
+            break;
+        }
+        l = next;
+    }
+    let em = (m - l).max(1.0);
+    let en = (n - seqs * l).max(1.0);
+    em * en
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blosum62_expected_score_is_negative() {
+        let e = expected_score(&Matrix::blosum62());
+        assert!(e < 0.0, "E = {e}");
+        // ≈ −0.95 under Robinson–Robinson frequencies (the often-quoted
+        // −0.52 is under BLOSUM62's own target frequencies).
+        assert!((-1.2..=-0.5).contains(&e), "E = {e}");
+    }
+
+    #[test]
+    fn solved_lambda_matches_published_value() {
+        let lambda = solve_lambda(&Matrix::blosum62()).unwrap();
+        assert!(
+            (lambda - 0.3176).abs() < 0.01,
+            "λ = {lambda}, expected ≈ 0.3176"
+        );
+    }
+
+    #[test]
+    fn entropy_matches_published_value() {
+        let m = Matrix::blosum62();
+        let lambda = solve_lambda(&m).unwrap();
+        let h = relative_entropy(&m, lambda);
+        assert!((h - 0.4012).abs() < 0.02, "H = {h}, expected ≈ 0.40");
+    }
+
+    #[test]
+    fn compute_ungapped_close_to_table() {
+        let ka = KarlinAltschul::compute_ungapped(&Matrix::blosum62());
+        let table = KarlinAltschul::blosum62_ungapped();
+        assert!((ka.lambda - table.lambda).abs() < 0.01);
+        assert!((ka.h - table.h).abs() < 0.02);
+        assert!((ka.k - table.k).abs() < 0.05);
+    }
+
+    #[test]
+    fn evalue_monotonic_in_score() {
+        let ka = KarlinAltschul::blosum62_gapped_11_1();
+        let space = 1e9;
+        assert!(ka.evalue(50, space) > ka.evalue(60, space));
+        assert!(ka.evalue(60, space) > ka.evalue(100, space));
+    }
+
+    #[test]
+    fn bit_score_of_zero_raw_is_positive_offset() {
+        // bit = (λ·0 − ln K)/ln 2 = −ln(0.041)/ln 2 ≈ 4.6 bits.
+        let ka = KarlinAltschul::blosum62_gapped_11_1();
+        assert!((ka.bit_score(0) - 4.6).abs() < 0.1);
+    }
+
+    #[test]
+    fn cutoff_inverts_evalue() {
+        let ka = KarlinAltschul::blosum62_gapped_11_1();
+        let space = 2.5e8;
+        let cut = ka.cutoff_score(10.0, space);
+        assert!(ka.evalue(cut, space) <= 10.0);
+        assert!(ka.evalue(cut - 1, space) > 10.0);
+    }
+
+    #[test]
+    fn length_adjustment_shrinks_space() {
+        let ka = KarlinAltschul::blosum62_gapped_11_1();
+        let space = effective_search_space(&ka, 517, 1_000_000, 5_000);
+        assert!(space > 0.0);
+        assert!(space < 517.0 * 1_000_000.0);
+        // The correction is mild, not absurd.
+        assert!(space > 0.2 * 517.0 * 1_000_000.0, "space = {space}");
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let ka = KarlinAltschul::blosum62_gapped_11_1();
+        assert_eq!(effective_search_space(&ka, 0, 100, 1), 1.0);
+        assert_eq!(effective_search_space(&ka, 100, 0, 1), 1.0);
+    }
+}

@@ -1,0 +1,385 @@
+//! Gapped extension: banded x-drop dynamic programming with affine gaps
+//! (§2.1 "gapped extension").
+//!
+//! High-scoring ungapped segments seed a gapped alignment. From a single
+//! anchor pair (the midpoint of the ungapped segment) the alignment is
+//! grown in both directions with the x-drop heuristic: a DP row only keeps
+//! cells whose score is within `xdrop_gapped` of the best score seen, so
+//! the band follows the alignment instead of filling the full matrix. A
+//! gap of length *k* costs `gap_open + k·gap_extend` (NCBI convention,
+//! defaults 11 + k).
+//!
+//! This is the phase cuBLASTP keeps on the multicore CPU (§3.6); the same
+//! functions are called from `cublastp`'s threaded pipeline.
+
+use crate::ungapped::UngappedExt;
+use blast_core::{Pssm, SearchParams};
+use bio_seq::alphabet::Residue;
+use serde::{Deserialize, Serialize};
+
+/// Sentinel for unreachable DP cells (low enough that arithmetic on it
+/// cannot wrap).
+pub(crate) const NEG_INF: i32 = i32::MIN / 4;
+
+/// Result of a gapped extension (score-only pass).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GappedExt {
+    /// Index of the subject sequence within the database block.
+    pub seq_id: u32,
+    /// Anchor pair the two half-extensions grew from.
+    pub q_seed: u32,
+    /// Anchor subject position.
+    pub s_seed: u32,
+    /// First query position of the alignment (inclusive).
+    pub q_start: u32,
+    /// One past the last query position.
+    pub q_end: u32,
+    /// First subject position (inclusive).
+    pub s_start: u32,
+    /// One past the last subject position.
+    pub s_end: u32,
+    /// Raw gapped score.
+    pub score: i32,
+}
+
+/// One directional x-drop half-extension: aligns `q_at(1..)` against
+/// `s_at(1..)` where the closures map offset → residue-table coordinates.
+/// Returns `(best_score, q_offset, s_offset)` — offsets are counts of
+/// consumed residues at the best-scoring cell (0 means the half extension
+/// is empty).
+fn half_extend(
+    q_len: usize,
+    s_len: usize,
+    score_at: impl Fn(usize, usize) -> i32, // (q_offset-1, s_offset-1) → pssm score
+    params: &SearchParams,
+) -> (i32, usize, usize) {
+    if q_len == 0 || s_len == 0 {
+        return (0, 0, 0);
+    }
+    let open = params.gap_open + params.gap_extend; // cost of a length-1 gap
+    let ext = params.gap_extend;
+    let xdrop = params.xdrop_gapped;
+
+    // Rolling rows over the subject dimension. `d` is the best of the
+    // three affine states; `f` is the vertical gap state (consuming query
+    // residues), carried per column across rows; the horizontal gap state
+    // `e` is carried as a scalar along each row. Row buffers are
+    // thread-local: gapped extension runs thousands of times per search
+    // and on several CPU threads at once (§3.6), so per-call allocation
+    // would serialize on the allocator.
+    let width = s_len + 1;
+    SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        let [d_prev, f_prev, d_row, f_row] = scratch.rows(width);
+
+        let mut best = 0i32;
+        let mut best_cell = (0usize, 0usize);
+
+        // Row 0: leading gap in the query dimension.
+        d_prev[0] = 0;
+        let mut jmax = 0usize;
+        for j in 1..width {
+            let s = -(open + (j as i32 - 1) * ext);
+            if best - s > xdrop {
+                break;
+            }
+            d_prev[j] = s;
+            jmax = j;
+        }
+        let mut jmin = 0usize;
+
+        for i in 1..=q_len {
+            let row_hi = (jmax + 1).min(s_len);
+            if jmin > row_hi {
+                break;
+            }
+            // Clear the band plus a one-cell margin on each side: every
+            // read this row and the next stays inside cleared-or-written
+            // cells, and the cost stays proportional to the band.
+            let clear_lo = jmin.saturating_sub(1);
+            let clear_hi = (row_hi + 1).min(width - 1);
+            d_row[clear_lo..=clear_hi].fill(NEG_INF);
+            f_row[clear_lo..=clear_hi].fill(NEG_INF);
+            let mut new_jmin = usize::MAX;
+            let mut new_jmax = 0usize;
+            let mut e = NEG_INF; // horizontal gap state within this row
+            for j in jmin..=row_hi {
+                // Vertical gap: open from the cell above or extend its F.
+                let f_open = if d_prev[j] > NEG_INF { d_prev[j] - open } else { NEG_INF };
+                let f_ext = if f_prev[j] > NEG_INF { f_prev[j] - ext } else { NEG_INF };
+                let f = f_open.max(f_ext);
+                f_row[j] = f;
+
+                // Horizontal gap: open from the cell to the left or extend.
+                e = if j > 0 {
+                    let e_open = if d_row[j - 1] > NEG_INF { d_row[j - 1] - open } else { NEG_INF };
+                    let e_ext = if e > NEG_INF { e - ext } else { NEG_INF };
+                    e_open.max(e_ext)
+                } else {
+                    NEG_INF
+                };
+
+                // Diagonal match/mismatch.
+                let m = if j >= 1 && d_prev[j - 1] > NEG_INF {
+                    d_prev[j - 1] + score_at(i - 1, j - 1)
+                } else {
+                    NEG_INF
+                };
+
+                let d = m.max(e).max(f);
+                if d > NEG_INF && best - d <= xdrop {
+                    d_row[j] = d;
+                    if d > best {
+                        best = d;
+                        best_cell = (i, j);
+                    }
+                    if j < new_jmin {
+                        new_jmin = j;
+                    }
+                    new_jmax = j;
+                }
+            }
+            if new_jmin == usize::MAX {
+                break; // every cell dropped: the extension is finished
+            }
+            jmin = new_jmin;
+            jmax = new_jmax;
+            std::mem::swap(d_prev, d_row);
+            std::mem::swap(f_prev, f_row);
+        }
+
+        (best, best_cell.0, best_cell.1)
+    })
+}
+
+/// Thread-local DP row buffers for [`half_extend`].
+struct DpScratch {
+    rows: [Vec<i32>; 4],
+}
+
+impl DpScratch {
+    /// Borrow the four row buffers, grown and reset to `NEG_INF` over the
+    /// first `width` cells.
+    fn rows(&mut self, width: usize) -> [&mut Vec<i32>; 4] {
+        for row in &mut self.rows {
+            if row.len() < width {
+                row.resize(width, NEG_INF);
+            }
+            row[..width].fill(NEG_INF);
+        }
+        let [a, b, c, d] = &mut self.rows;
+        [a, b, c, d]
+    }
+}
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<DpScratch> = const {
+        std::cell::RefCell::new(DpScratch {
+            rows: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+        })
+    };
+}
+
+/// Run a gapped extension seeded at the midpoint of `seed`.
+///
+/// The anchor pair is scored once; the right half extends over
+/// `(q_seed+1.., s_seed+1..)` and the left half over the reversed
+/// prefixes. The total is `left + anchor + right`, the gapped analogue of
+/// the paper's Fig. 1 third stage.
+pub fn extend_gapped(
+    pssm: &Pssm,
+    subject: &[Residue],
+    seed: &UngappedExt,
+    params: &SearchParams,
+) -> GappedExt {
+    let qs = seed.q_mid() as usize;
+    let ss = seed.s_mid() as usize;
+    let qlen = pssm.query_len();
+    let slen = subject.len();
+    debug_assert!(qs < qlen && ss < slen);
+
+    let anchor = pssm.score(qs, subject[ss]);
+
+    // Right half: q[qs+1..], s[ss+1..].
+    let (rs, rq, rsj) = half_extend(
+        qlen - qs - 1,
+        slen - ss - 1,
+        |qi, sj| pssm.score(qs + 1 + qi, subject[ss + 1 + sj]),
+        params,
+    );
+
+    // Left half: reversed q[..qs], s[..ss].
+    let (ls, lq, lsj) = half_extend(
+        qs,
+        ss,
+        |qi, sj| pssm.score(qs - 1 - qi, subject[ss - 1 - sj]),
+        params,
+    );
+
+    GappedExt {
+        seq_id: seed.seq_id,
+        q_seed: qs as u32,
+        s_seed: ss as u32,
+        q_start: (qs - lq) as u32,
+        s_start: (ss - lsj) as u32,
+        q_end: (qs + 1 + rq) as u32,
+        s_end: (ss + 1 + rsj) as u32,
+        score: ls + anchor + rs,
+    }
+}
+
+/// Gapped phase for one subject: take every ungapped extension that reached
+/// the trigger score, process them best-first, and skip seeds whose anchor
+/// already lies inside a computed gapped alignment (the standard
+/// containment heuristic — identical across all pipelines).
+pub fn gapped_phase_subject(
+    pssm: &Pssm,
+    subject: &[Residue],
+    ungapped: &[UngappedExt],
+    params: &SearchParams,
+    trigger: i32,
+) -> Vec<GappedExt> {
+    let mut seeds: Vec<&UngappedExt> = ungapped.iter().filter(|e| e.score >= trigger).collect();
+    // Deterministic best-first order.
+    seeds.sort_by(|a, b| {
+        b.score
+            .cmp(&a.score)
+            .then(a.s_start.cmp(&b.s_start))
+            .then(a.q_start.cmp(&b.q_start))
+    });
+    let mut out: Vec<GappedExt> = Vec::new();
+    for seed in seeds {
+        let qm = seed.q_mid();
+        let sm = seed.s_mid();
+        let contained = out.iter().any(|g| {
+            qm >= g.q_start && qm < g.q_end && sm >= g.s_start && sm < g.s_end
+        });
+        if contained {
+            continue;
+        }
+        out.push(extend_gapped(pssm, subject, seed, params));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bio_seq::alphabet::encode_str;
+    use bio_seq::Sequence;
+    use blast_core::Matrix;
+
+    fn pssm_for(q: &[u8]) -> Pssm {
+        Pssm::build(&Sequence::from_bytes("q", q), &Matrix::blosum62())
+    }
+
+    fn seed(q_start: u32, s_start: u32, len: u32) -> UngappedExt {
+        UngappedExt {
+            seq_id: 0,
+            q_start,
+            s_start,
+            len,
+            score: 0,
+        }
+    }
+
+    #[test]
+    fn identical_sequences_align_end_to_end() {
+        let q = b"MKVLWAARNDCQEGH";
+        let pssm = pssm_for(q);
+        let s = encode_str(q);
+        let g = extend_gapped(&pssm, &s, &seed(4, 4, 6), &SearchParams::default());
+        assert_eq!(g.q_start, 0);
+        assert_eq!(g.s_start, 0);
+        assert_eq!(g.q_end as usize, q.len());
+        assert_eq!(g.s_end as usize, q.len());
+        // Ungapped identity score: sum of self-scores.
+        let m = Matrix::blosum62();
+        let expect: i32 = encode_str(q).iter().map(|&r| m.score(r, r)).sum();
+        assert_eq!(g.score, expect);
+    }
+
+    #[test]
+    fn gapped_beats_ungapped_across_an_insertion() {
+        // Subject = query with a 2-residue insertion in the middle. The
+        // gapped score must recover both flanks minus the gap cost.
+        let q = b"WWWWWWKKKKKK";
+        let pssm = pssm_for(q);
+        let s = encode_str(b"WWWWWWGGKKKKKK");
+        let g = extend_gapped(&pssm, &s, &seed(0, 0, 6), &SearchParams::default());
+        let m = Matrix::blosum62();
+        let full: i32 = encode_str(q).iter().map(|&r| m.score(r, r)).sum();
+        // gap of length 2 costs 11 + 2.
+        assert_eq!(g.score, full - 13, "g = {g:?}");
+        assert_eq!(g.q_end, 12);
+        assert_eq!(g.s_end, 14);
+    }
+
+    #[test]
+    fn deletion_in_subject() {
+        // Non-repetitive flank after the deleted residue, so the shifted
+        // substitution path cannot compete with the gap.
+        let q = b"WWWWWWAMKVLHE"; // A deleted in subject
+        let pssm = pssm_for(q);
+        let s = encode_str(b"WWWWWWMKVLHE");
+        let g = extend_gapped(&pssm, &s, &seed(0, 0, 6), &SearchParams::default());
+        let m = Matrix::blosum62();
+        let matched: i32 = encode_str(b"WWWWWWMKVLHE")
+            .iter()
+            .map(|&r| m.score(r, r))
+            .sum();
+        assert_eq!(g.score, matched - 12, "g = {g:?}");
+    }
+
+    #[test]
+    fn xdrop_stops_extension_into_noise() {
+        // Strong 6-residue match followed by junk; the gapped score should
+        // not wander far past the match.
+        let q = b"WWWWWWAAAAAAAAAA";
+        let pssm = pssm_for(q);
+        let s = encode_str(b"WWWWWWPPPPPPPPPP"); // A vs P = −1 each
+        let g = extend_gapped(&pssm, &s, &seed(0, 0, 6), &SearchParams::default());
+        assert_eq!(g.score, 66, "should keep only the W-run, got {g:?}");
+    }
+
+    #[test]
+    fn anchor_only_when_everything_else_mismatches() {
+        let q = b"KWK";
+        let pssm = pssm_for(q);
+        let s = encode_str(b"DWD"); // K/D = −1, W anchor = 11
+        let g = extend_gapped(&pssm, &s, &seed(0, 0, 3), &SearchParams::default());
+        assert_eq!(g.score, 11);
+        assert_eq!((g.q_start, g.q_end), (1, 2));
+    }
+
+    #[test]
+    fn containment_skips_redundant_seeds() {
+        let q = b"MKVLWAARNDCQEGH";
+        let pssm = pssm_for(q);
+        let s = encode_str(q);
+        // Two overlapping seeds over the same diagonal → one gapped result.
+        let seeds = vec![
+            UngappedExt { seq_id: 0, q_start: 2, s_start: 2, len: 8, score: 40 },
+            UngappedExt { seq_id: 0, q_start: 4, s_start: 4, len: 8, score: 38 },
+        ];
+        let out = gapped_phase_subject(&pssm, &s, &seeds, &SearchParams::default(), 22);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn trigger_filters_low_seeds() {
+        let q = b"MKVLWAARNDCQEGH";
+        let pssm = pssm_for(q);
+        let s = encode_str(q);
+        let seeds = vec![UngappedExt { seq_id: 0, q_start: 2, s_start: 2, len: 8, score: 10 }];
+        let out = gapped_phase_subject(&pssm, &s, &seeds, &SearchParams::default(), 22);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn half_extend_empty_inputs() {
+        let p = SearchParams::default();
+        assert_eq!(half_extend(0, 5, |_, _| 0, &p), (0, 0, 0));
+        assert_eq!(half_extend(5, 0, |_, _| 0, &p), (0, 0, 0));
+    }
+}

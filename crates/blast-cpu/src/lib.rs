@@ -1,0 +1,29 @@
+//! CPU BLASTP reference pipeline.
+//!
+//! This crate is the workspace's stand-in for the two CPU baselines of the
+//! paper's evaluation, implemented from scratch:
+//!
+//! * **FSA-BLAST** — the single-threaded, heavily CPU-tuned BLASTP the
+//!   paper uses both as its correctness oracle ("the output of cuBLASTP is
+//!   identical to the output of FSA-BLAST", §4.3) and as the sequential
+//!   baseline of Fig. 18(a–b). See [`search::search_sequential`].
+//! * **NCBI-BLAST with four threads** — the multithreaded CPU baseline of
+//!   Fig. 18(c–d). See [`search::search_parallel`].
+//!
+//! It also hosts the *shared alignment semantics* — ungapped x-drop
+//! extension, the two-hit trigger rule, gapped x-drop DP and traceback —
+//! that `cublastp` and the coarse-grained GPU baselines reuse, so that the
+//! output-identity property the paper claims is testable across pipelines
+//! that order work completely differently.
+
+pub mod gapped;
+pub mod hit;
+pub mod report;
+pub mod search;
+pub mod traceback;
+pub mod ungapped;
+
+pub use hit::{DiagonalState, Hit};
+pub use report::{Alignment, PhaseTimes, SearchReport};
+pub use search::{search_parallel, search_sequential, SearchEngine};
+pub use ungapped::UngappedExt;

@@ -1,0 +1,257 @@
+//! Search results: alignments, ranked reports, and phase timings.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// One alignment operation, relative to the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlignOp {
+    /// Aligned residue pair (match or mismatch).
+    Sub,
+    /// Residue present in the subject only (gap in the query).
+    Ins,
+    /// Residue present in the query only (gap in the subject).
+    Del,
+}
+
+/// A final, traceback-resolved alignment against one subject.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Alignment {
+    /// Subject index within the database block it was computed from.
+    pub seq_id: u32,
+    /// First query position (inclusive).
+    pub q_start: u32,
+    /// One past the last query position.
+    pub q_end: u32,
+    /// First subject position (inclusive).
+    pub s_start: u32,
+    /// One past the last subject position.
+    pub s_end: u32,
+    /// Raw score.
+    pub score: i32,
+    /// Operations from `(q_start, s_start)` to `(q_end, s_end)`.
+    pub ops: Vec<AlignOp>,
+    /// Number of identical aligned pairs.
+    pub identities: u32,
+    /// Number of aligned pairs with a positive substitution score
+    /// (BLAST's "Positives" column; always ≥ identities for BLOSUM62).
+    pub positives: u32,
+    /// Number of gap columns (insertions + deletions).
+    pub gaps: u32,
+}
+
+impl Alignment {
+    /// Alignment length in operations (columns of the alignment).
+    pub fn columns(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Percent identity over alignment columns.
+    pub fn percent_identity(&self) -> f64 {
+        if self.ops.is_empty() {
+            0.0
+        } else {
+            100.0 * self.identities as f64 / self.ops.len() as f64
+        }
+    }
+
+    /// Percent positives over alignment columns.
+    pub fn percent_positives(&self) -> f64 {
+        if self.ops.is_empty() {
+            0.0
+        } else {
+            100.0 * self.positives as f64 / self.ops.len() as f64
+        }
+    }
+
+    /// Compact CIGAR-style rendering, e.g. `"12S2I5S"`.
+    pub fn cigar(&self) -> String {
+        let mut out = String::new();
+        let mut run: Option<(AlignOp, usize)> = None;
+        for &op in &self.ops {
+            match run {
+                Some((o, n)) if o == op => run = Some((o, n + 1)),
+                Some((o, n)) => {
+                    out.push_str(&format!("{n}{}", op_char(o)));
+                    run = Some((op, 1));
+                }
+                None => run = Some((op, 1)),
+            }
+        }
+        if let Some((o, n)) = run {
+            out.push_str(&format!("{n}{}", op_char(o)));
+        }
+        out
+    }
+}
+
+fn op_char(op: AlignOp) -> char {
+    match op {
+        AlignOp::Sub => 'S',
+        AlignOp::Ins => 'I',
+        AlignOp::Del => 'D',
+    }
+}
+
+/// One reported database match.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportedHit {
+    /// Global index of the subject in the database.
+    pub subject_index: usize,
+    /// Subject identifier.
+    pub subject_id: String,
+    /// The alignment.
+    pub alignment: Alignment,
+    /// Normalized bit score.
+    pub bit_score: f64,
+    /// Expectation value.
+    pub evalue: f64,
+}
+
+/// Ranked output of one query search — the BLAST "hit list".
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SearchReport {
+    /// Hits sorted by descending score (ascending e-value), capped at the
+    /// configured maximum.
+    pub hits: Vec<ReportedHit>,
+}
+
+impl SearchReport {
+    /// Sort hits into canonical report order and truncate. Order: raw score
+    /// descending, then subject index ascending, then subject start — fully
+    /// deterministic, so reports from differently-ordered pipelines (or
+    /// differently-threaded runs) compare equal.
+    pub fn finalize(&mut self, max_reported: usize) {
+        self.hits.sort_by(|a, b| {
+            b.alignment
+                .score
+                .cmp(&a.alignment.score)
+                .then(a.subject_index.cmp(&b.subject_index))
+                .then(a.alignment.s_start.cmp(&b.alignment.s_start))
+                .then(a.alignment.q_start.cmp(&b.alignment.q_start))
+        });
+        self.hits.truncate(max_reported);
+    }
+
+    /// Comparison key ignoring floating-point fields — used by the
+    /// output-identity integration tests.
+    pub fn identity_key(&self) -> Vec<(usize, i32, u32, u32, u32, u32)> {
+        self.hits
+            .iter()
+            .map(|h| {
+                (
+                    h.subject_index,
+                    h.alignment.score,
+                    h.alignment.q_start,
+                    h.alignment.q_end,
+                    h.alignment.s_start,
+                    h.alignment.s_end,
+                )
+            })
+            .collect()
+    }
+}
+
+/// Wall-clock time spent in each BLASTP phase (drives Fig. 11 / Fig. 19d).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimes {
+    /// Hit detection + ungapped extension (the "critical phases").
+    pub hit_ungapped: Duration,
+    /// Gapped extension.
+    pub gapped: Duration,
+    /// Alignment with traceback.
+    pub traceback: Duration,
+    /// Everything else (setup, statistics, ranking).
+    pub other: Duration,
+}
+
+impl PhaseTimes {
+    /// Total across phases.
+    pub fn total(&self) -> Duration {
+        self.hit_ungapped + self.gapped + self.traceback + self.other
+    }
+
+    /// Accumulate another measurement.
+    pub fn add(&mut self, other: &PhaseTimes) {
+        self.hit_ungapped += other.hit_ungapped;
+        self.gapped += other.gapped;
+        self.traceback += other.traceback;
+        self.other += other.other;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alignment(score: i32) -> Alignment {
+        Alignment {
+            seq_id: 0,
+            q_start: 0,
+            q_end: 3,
+            s_start: 0,
+            s_end: 3,
+            score,
+            ops: vec![AlignOp::Sub; 3],
+            identities: 2,
+            positives: 2,
+            gaps: 0,
+        }
+    }
+
+    #[test]
+    fn cigar_run_length_encodes() {
+        let mut a = alignment(10);
+        a.ops = vec![
+            AlignOp::Sub,
+            AlignOp::Sub,
+            AlignOp::Ins,
+            AlignOp::Del,
+            AlignOp::Del,
+            AlignOp::Sub,
+        ];
+        assert_eq!(a.cigar(), "2S1I2D1S");
+    }
+
+    #[test]
+    fn empty_cigar() {
+        let mut a = alignment(0);
+        a.ops.clear();
+        assert_eq!(a.cigar(), "");
+        assert_eq!(a.percent_identity(), 0.0);
+    }
+
+    #[test]
+    fn percent_identity() {
+        let a = alignment(10);
+        assert!((a.percent_identity() - 66.666).abs() < 0.01);
+    }
+
+    #[test]
+    fn finalize_sorts_and_truncates() {
+        let mut r = SearchReport::default();
+        for (idx, score) in [(2usize, 30), (0, 50), (1, 30)] {
+            r.hits.push(ReportedHit {
+                subject_index: idx,
+                subject_id: format!("s{idx}"),
+                alignment: alignment(score),
+                bit_score: score as f64,
+                evalue: 1.0 / score as f64,
+            });
+        }
+        r.finalize(2);
+        assert_eq!(r.hits.len(), 2);
+        assert_eq!(r.hits[0].subject_index, 0);
+        assert_eq!(r.hits[1].subject_index, 1, "ties break by subject index");
+    }
+
+    #[test]
+    fn phase_times_accumulate() {
+        let mut a = PhaseTimes::default();
+        a.hit_ungapped = Duration::from_millis(10);
+        let mut b = PhaseTimes::default();
+        b.gapped = Duration::from_millis(5);
+        a.add(&b);
+        assert_eq!(a.total(), Duration::from_millis(15));
+    }
+}

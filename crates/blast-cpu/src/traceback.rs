@@ -1,0 +1,403 @@
+//! Alignment with traceback (§2.1, fourth phase).
+//!
+//! Re-runs the gapped x-drop DP over the extent found by the score-only
+//! pass, this time recording per-cell directions, then backtracks from the
+//! best cell to recover the full alignment and re-score it. Like the
+//! gapped phase, cuBLASTP keeps this on the multicore CPU (§3.6); the same
+//! entry point is called from the threaded pipeline.
+
+use crate::gapped::{GappedExt, NEG_INF};
+use crate::report::{AlignOp, Alignment};
+use blast_core::{Pssm, SearchParams};
+use bio_seq::alphabet::Residue;
+
+// Direction byte layout: bits 0–1 = source state of D (0 = diagonal M,
+// 1 = horizontal gap E, 2 = vertical gap F, 3 = start cell), bit 2 = E
+// opened here (vs extended), bit 3 = F opened here.
+const FROM_M: u8 = 0;
+const FROM_E: u8 = 1;
+const FROM_F: u8 = 2;
+const START: u8 = 3;
+const E_OPEN: u8 = 1 << 2;
+const F_OPEN: u8 = 1 << 3;
+
+/// One directional half-alignment: same banded x-drop DP as
+/// [`crate::gapped`], plus a direction matrix and a backtrack. Ops are
+/// returned from the *anchor outward* (i.e. reversed for the left half —
+/// callers orient them).
+fn half_align(
+    q_len: usize,
+    s_len: usize,
+    score_at: impl Fn(usize, usize) -> i32,
+    params: &SearchParams,
+) -> (i32, usize, usize, Vec<AlignOp>) {
+    if q_len == 0 || s_len == 0 {
+        // Degenerate: no room to extend in one dimension. An x-drop
+        // half-extension never ends in a dangling gap (gaps only lose
+        // score), so the empty alignment is correct.
+        return (0, 0, 0, Vec::new());
+    }
+    let open = params.gap_open + params.gap_extend;
+    let ext = params.gap_extend;
+    let xdrop = params.xdrop_gapped;
+
+    let width = s_len + 1;
+    let mut dir = vec![0u8; (q_len + 1) * width];
+    let mut d_prev = vec![NEG_INF; width];
+    let mut f_prev = vec![NEG_INF; width];
+    let mut d_row = vec![NEG_INF; width];
+    let mut f_row = vec![NEG_INF; width];
+
+    let mut best = 0i32;
+    let mut best_cell = (0usize, 0usize);
+
+    d_prev[0] = 0;
+    dir[0] = START;
+    let mut jmax = 0usize;
+    for j in 1..width {
+        let s = -(open + (j as i32 - 1) * ext);
+        if best - s > xdrop {
+            break;
+        }
+        d_prev[j] = s;
+        dir[j] = FROM_E | if j == 1 { E_OPEN } else { 0 };
+        jmax = j;
+    }
+    let mut jmin = 0usize;
+
+    let mut q_rows = 0usize;
+    for i in 1..=q_len {
+        let row_hi = (jmax + 1).min(s_len);
+        if jmin > row_hi {
+            break;
+        }
+        d_row.fill(NEG_INF);
+        f_row.fill(NEG_INF);
+        let mut new_jmin = usize::MAX;
+        let mut new_jmax = 0usize;
+        let mut e = NEG_INF;
+        let mut e_opened = false;
+        for j in jmin..=row_hi {
+            let f_open_score = if d_prev[j] > NEG_INF { d_prev[j] - open } else { NEG_INF };
+            let f_ext_score = if f_prev[j] > NEG_INF { f_prev[j] - ext } else { NEG_INF };
+            let (f, f_opened) = if f_open_score >= f_ext_score {
+                (f_open_score, true)
+            } else {
+                (f_ext_score, false)
+            };
+            f_row[j] = f;
+
+            if j > 0 {
+                let e_open_score = if d_row[j - 1] > NEG_INF { d_row[j - 1] - open } else { NEG_INF };
+                let e_ext_score = if e > NEG_INF { e - ext } else { NEG_INF };
+                if e_open_score >= e_ext_score {
+                    e = e_open_score;
+                    e_opened = true;
+                } else {
+                    e = e_ext_score;
+                    e_opened = false;
+                }
+            } else {
+                e = NEG_INF;
+            }
+
+            let m = if j >= 1 && d_prev[j - 1] > NEG_INF {
+                d_prev[j - 1] + score_at(i - 1, j - 1)
+            } else {
+                NEG_INF
+            };
+
+            // Prefer the diagonal on ties so alignments favour substitutions
+            // over gaps — the convention BLAST output uses.
+            let (d, from) = if m >= e && m >= f {
+                (m, FROM_M)
+            } else if e >= f {
+                (e, FROM_E)
+            } else {
+                (f, FROM_F)
+            };
+
+            let mut byte = from;
+            if e_opened {
+                byte |= E_OPEN;
+            }
+            if f_opened {
+                byte |= F_OPEN;
+            }
+            dir[i * width + j] = byte;
+
+            if d > NEG_INF && best - d <= xdrop {
+                d_row[j] = d;
+                if d > best {
+                    best = d;
+                    best_cell = (i, j);
+                }
+                if j < new_jmin {
+                    new_jmin = j;
+                }
+                new_jmax = j;
+            }
+        }
+        if new_jmin == usize::MAX {
+            break;
+        }
+        q_rows = i;
+        jmin = new_jmin;
+        jmax = new_jmax;
+        std::mem::swap(&mut d_prev, &mut d_row);
+        std::mem::swap(&mut f_prev, &mut f_row);
+    }
+    let _ = q_rows;
+
+    // Backtrack from the best cell.
+    let mut ops_rev: Vec<AlignOp> = Vec::new();
+    let (mut i, mut j) = best_cell;
+    let mut state = dir[i * width + j] & 0b11;
+    while (i, j) != (0, 0) {
+        match state {
+            FROM_M => {
+                ops_rev.push(AlignOp::Sub);
+                i -= 1;
+                j -= 1;
+                state = dir[i * width + j] & 0b11;
+            }
+            FROM_E => {
+                // Horizontal gap run: consume subject residues.
+                loop {
+                    ops_rev.push(AlignOp::Ins);
+                    let opened = dir[i * width + j] & E_OPEN != 0;
+                    j -= 1;
+                    if opened {
+                        break;
+                    }
+                }
+                state = dir[i * width + j] & 0b11;
+            }
+            FROM_F => {
+                loop {
+                    ops_rev.push(AlignOp::Del);
+                    let opened = dir[i * width + j] & F_OPEN != 0;
+                    i -= 1;
+                    if opened {
+                        break;
+                    }
+                }
+                state = dir[i * width + j] & 0b11;
+            }
+            _ => break, // START
+        }
+    }
+    ops_rev.reverse();
+    (best, best_cell.0, best_cell.1, ops_rev)
+}
+
+/// Recover the full alignment for a gapped extension.
+///
+/// The returned [`Alignment`] is re-scored from its own operations; the
+/// score always equals `g.score` (the score-only pass and this pass run
+/// the identical banded recurrence) — an invariant the test suite checks.
+pub fn traceback(
+    pssm: &Pssm,
+    query: &[Residue],
+    subject: &[Residue],
+    g: &GappedExt,
+    params: &SearchParams,
+) -> Alignment {
+    let qs = g.q_seed as usize;
+    let ss = g.s_seed as usize;
+    let qlen = pssm.query_len();
+    let slen = subject.len();
+
+    let anchor_score = pssm.score(qs, subject[ss]);
+
+    let (right_score, rq, rs, right_ops) = half_align(
+        qlen - qs - 1,
+        slen - ss - 1,
+        |qi, sj| pssm.score(qs + 1 + qi, subject[ss + 1 + sj]),
+        params,
+    );
+    let (left_score, lq, ls, left_ops) = half_align(
+        qs,
+        ss,
+        |qi, sj| pssm.score(qs - 1 - qi, subject[ss - 1 - sj]),
+        params,
+    );
+
+    // Left ops were produced anchor-outward on reversed sequences: reverse
+    // them to read left-to-right. Ins/Del meaning is direction-independent.
+    let mut ops: Vec<AlignOp> = left_ops.into_iter().rev().collect();
+    ops.push(AlignOp::Sub); // the anchor pair
+    ops.extend(right_ops);
+
+    let q_start = qs - lq;
+    let s_start = ss - ls;
+    let q_end = qs + 1 + rq;
+    let s_end = ss + 1 + rs;
+
+    // Identity / positive / gap counts straight from the operations.
+    let mut qi = q_start;
+    let mut si = s_start;
+    let mut identities = 0usize;
+    let mut positives = 0usize;
+    let mut gaps = 0usize;
+    for op in &ops {
+        match op {
+            AlignOp::Sub => {
+                if query[qi] == subject[si] {
+                    identities += 1;
+                }
+                if pssm.score(qi, subject[si]) > 0 {
+                    positives += 1;
+                }
+                qi += 1;
+                si += 1;
+            }
+            AlignOp::Ins => {
+                si += 1;
+                gaps += 1;
+            }
+            AlignOp::Del => {
+                qi += 1;
+                gaps += 1;
+            }
+        }
+    }
+    debug_assert_eq!(qi, q_end);
+    debug_assert_eq!(si, s_end);
+
+    Alignment {
+        seq_id: g.seq_id,
+        q_start: q_start as u32,
+        q_end: q_end as u32,
+        s_start: s_start as u32,
+        s_end: s_end as u32,
+        score: left_score + anchor_score + right_score,
+        ops,
+        identities: identities as u32,
+        positives: positives as u32,
+        gaps: gaps as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gapped::extend_gapped;
+    use crate::ungapped::UngappedExt;
+    use bio_seq::alphabet::encode_str;
+    use bio_seq::Sequence;
+    use blast_core::Matrix;
+
+    fn setup(q: &[u8]) -> (Pssm, Vec<Residue>) {
+        let query = Sequence::from_bytes("q", q);
+        (
+            Pssm::build(&query, &Matrix::blosum62()),
+            query.residues().to_vec(),
+        )
+    }
+
+    fn seed(q_start: u32, s_start: u32, len: u32) -> UngappedExt {
+        UngappedExt { seq_id: 0, q_start, s_start, len, score: 0 }
+    }
+
+    fn run(q: &[u8], s: &[u8], sd: UngappedExt) -> (GappedExt, Alignment) {
+        let (pssm, query) = setup(q);
+        let subject = encode_str(s);
+        let p = SearchParams::default();
+        let g = extend_gapped(&pssm, &subject, &sd, &p);
+        let a = traceback(&pssm, &query, &subject, &g, &p);
+        (g, a)
+    }
+
+    #[test]
+    fn identity_alignment_is_all_subs() {
+        let q = b"MKVLWAARNDCQEGH";
+        let (g, a) = run(q, q, seed(4, 4, 6));
+        assert_eq!(a.score, g.score);
+        assert_eq!(a.ops.len(), q.len());
+        assert!(a.ops.iter().all(|o| *o == AlignOp::Sub));
+        assert_eq!(a.identities as usize, q.len());
+        assert_eq!((a.q_start, a.q_end), (0, q.len() as u32));
+    }
+
+    #[test]
+    fn insertion_recovered_in_ops() {
+        // Non-repetitive flank so the gap path clearly beats substitution.
+        let (g, a) = run(b"WWWWWWMKVLHE", b"WWWWWWGGMKVLHE", seed(0, 0, 6));
+        assert_eq!(a.score, g.score);
+        let ins = a.ops.iter().filter(|o| **o == AlignOp::Ins).count();
+        let del = a.ops.iter().filter(|o| **o == AlignOp::Del).count();
+        assert_eq!((ins, del), (2, 0), "ops = {:?}", a.ops);
+        assert_eq!(a.identities, 12);
+    }
+
+    #[test]
+    fn deletion_recovered_in_ops() {
+        let (g, a) = run(b"WWWWWWAAMKVLHE", b"WWWWWWMKVLHE", seed(0, 0, 6));
+        assert_eq!(a.score, g.score);
+        let ins = a.ops.iter().filter(|o| **o == AlignOp::Ins).count();
+        let del = a.ops.iter().filter(|o| **o == AlignOp::Del).count();
+        assert_eq!((ins, del), (0, 2), "ops = {:?}", a.ops);
+    }
+
+    #[test]
+    fn ops_walk_exactly_the_reported_ranges() {
+        let (_, a) = run(b"WWWWWWKKKKKKMMMM", b"AAWWWWWWKKKGKKKMMMMAA", seed(0, 2, 6));
+        let q_consumed: usize = a
+            .ops
+            .iter()
+            .filter(|o| matches!(o, AlignOp::Sub | AlignOp::Del))
+            .count();
+        let s_consumed: usize = a
+            .ops
+            .iter()
+            .filter(|o| matches!(o, AlignOp::Sub | AlignOp::Ins))
+            .count();
+        assert_eq!(q_consumed as u32, a.q_end - a.q_start);
+        assert_eq!(s_consumed as u32, a.s_end - a.s_start);
+    }
+
+    #[test]
+    fn rescore_from_ops_matches_dp_score() {
+        // Walk the ops and re-add scores; must equal the DP score.
+        let q = b"MKVLWAARNDCQEGHMKVLW";
+        let (pssm, query) = setup(q);
+        let subject = encode_str(b"MKVLWAARGGNDCQEGHMKVLW");
+        let p = SearchParams::default();
+        let g = extend_gapped(&pssm, &subject, &seed(0, 0, 5), &p);
+        let a = traceback(&pssm, &query, &subject, &g, &p);
+        let mut qi = a.q_start as usize;
+        let mut si = a.s_start as usize;
+        let mut score = 0i32;
+        let mut gap_run = 0;
+        for op in &a.ops {
+            match op {
+                AlignOp::Sub => {
+                    score += pssm.score(qi, subject[si]);
+                    qi += 1;
+                    si += 1;
+                    gap_run = 0;
+                }
+                AlignOp::Ins => {
+                    score -= if gap_run == 0 { p.gap_open + p.gap_extend } else { p.gap_extend };
+                    si += 1;
+                    gap_run += 1;
+                }
+                AlignOp::Del => {
+                    score -= if gap_run == 0 { p.gap_open + p.gap_extend } else { p.gap_extend };
+                    qi += 1;
+                    gap_run += 1;
+                }
+            }
+        }
+        assert_eq!(score, a.score);
+        assert_eq!(a.score, g.score);
+    }
+
+    #[test]
+    fn anchor_at_sequence_edge() {
+        let (g, a) = run(b"WWW", b"WWW", seed(0, 0, 3));
+        assert_eq!(a.score, g.score);
+        assert_eq!(a.ops.len(), 3);
+    }
+}

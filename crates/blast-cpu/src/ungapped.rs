@@ -1,0 +1,233 @@
+//! Ungapped x-drop extension along a diagonal.
+//!
+//! Given a word hit `(query_pos, subject_pos)`, extend right from the end
+//! of the word and left from its start, accumulating PSSM scores and
+//! stopping once the running score drops more than `xdrop` below the best
+//! score seen (§2.1 "ungapped extension"). This single function defines the
+//! extension semantics for *every* pipeline in the workspace — the CPU
+//! reference, cuBLASTP's three fine-grained strategies, and the
+//! coarse-grained GPU baselines — which is what makes their outputs
+//! comparable bit-for-bit.
+
+use blast_core::{Pssm, WORD_LEN};
+use bio_seq::alphabet::Residue;
+use serde::{Deserialize, Serialize};
+
+/// Result of one ungapped extension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UngappedExt {
+    /// Index of the subject sequence within the database block.
+    pub seq_id: u32,
+    /// First query position of the extension (inclusive).
+    pub q_start: u32,
+    /// First subject position of the extension (inclusive).
+    pub s_start: u32,
+    /// Extension length in residues (same on both sequences — ungapped).
+    pub len: u32,
+    /// Raw score of the best-scoring segment.
+    pub score: i32,
+}
+
+impl UngappedExt {
+    /// One past the last subject position covered.
+    #[inline]
+    pub fn s_end(&self) -> u32 {
+        self.s_start + self.len
+    }
+
+    /// One past the last query position covered.
+    #[inline]
+    pub fn q_end(&self) -> u32 {
+        self.q_start + self.len
+    }
+
+    /// Subject position of the extension's midpoint, used to seed gapped
+    /// extension.
+    #[inline]
+    pub fn s_mid(&self) -> u32 {
+        self.s_start + self.len / 2
+    }
+
+    /// Query position of the extension's midpoint.
+    #[inline]
+    pub fn q_mid(&self) -> u32 {
+        self.q_start + self.len / 2
+    }
+}
+
+/// Extend a word hit in both directions with an x-drop of `xdrop`.
+///
+/// `query_pos`/`subject_pos` address the first residue of the W-mer hit.
+/// The returned segment is the maximal-scoring contiguous run found: first
+/// the word itself is scored, then the extension grows rightward from the
+/// word end and leftward from the word start, each direction terminating
+/// when the running score falls `xdrop` below the best.
+pub fn extend(
+    pssm: &Pssm,
+    subject: &[Residue],
+    seq_id: u32,
+    query_pos: u32,
+    subject_pos: u32,
+    xdrop: i32,
+) -> UngappedExt {
+    let qlen = pssm.query_len();
+    let slen = subject.len();
+    let qp = query_pos as usize;
+    let sp = subject_pos as usize;
+    debug_assert!(qp + WORD_LEN <= qlen && sp + WORD_LEN <= slen);
+
+    // Score the seed word.
+    let mut word_score = 0i32;
+    for k in 0..WORD_LEN {
+        word_score += pssm.score(qp + k, subject[sp + k]);
+    }
+
+    // Rightward from the residue after the word.
+    let mut best = word_score;
+    let mut running = word_score;
+    let mut best_right = WORD_LEN; // length to the right of (qp, sp), inclusive of word
+    {
+        let mut k = WORD_LEN;
+        while qp + k < qlen && sp + k < slen {
+            running += pssm.score(qp + k, subject[sp + k]);
+            if running > best {
+                best = running;
+                best_right = k + 1;
+            } else if best - running > xdrop {
+                break;
+            }
+            k += 1;
+        }
+    }
+
+    // Leftward from the residue before the word. The running score restarts
+    // from the best-so-far (the left extension adds to the whole segment).
+    let mut running_left = best;
+    let mut best_left = 0usize; // residues added to the left of qp/sp
+    let mut best_total = best;
+    {
+        let mut k = 1usize;
+        while qp >= k && sp >= k {
+            running_left += pssm.score(qp - k, subject[sp - k]);
+            if running_left > best_total {
+                best_total = running_left;
+                best_left = k;
+            } else if best_total - running_left > xdrop {
+                break;
+            }
+            k += 1;
+        }
+    }
+
+    UngappedExt {
+        seq_id,
+        q_start: (qp - best_left) as u32,
+        s_start: (sp - best_left) as u32,
+        len: (best_left + best_right) as u32,
+        score: best_total,
+    }
+}
+
+/// Recompute the score of an ungapped segment directly (test helper and
+/// invariant check used by property tests).
+pub fn rescore(pssm: &Pssm, subject: &[Residue], ext: &UngappedExt) -> i32 {
+    (0..ext.len as usize)
+        .map(|k| {
+            pssm.score(
+                ext.q_start as usize + k,
+                subject[ext.s_start as usize + k],
+            )
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bio_seq::alphabet::encode_str;
+    use bio_seq::Sequence;
+    use blast_core::Matrix;
+
+    fn pssm_for(q: &[u8]) -> Pssm {
+        Pssm::build(&Sequence::from_bytes("q", q), &Matrix::blosum62())
+    }
+
+    #[test]
+    fn identical_sequences_extend_fully() {
+        let q = b"MKVLAARNDW";
+        let pssm = pssm_for(q);
+        let s = encode_str(q);
+        let ext = extend(&pssm, &s, 0, 3, 3, 16);
+        assert_eq!(ext.q_start, 0);
+        assert_eq!(ext.s_start, 0);
+        assert_eq!(ext.len, 10);
+        assert_eq!(ext.score, rescore(&pssm, &s, &ext));
+    }
+
+    #[test]
+    fn extension_stops_at_strong_mismatch_run() {
+        // Query has a matching prefix then diverges into residues that score
+        // very negatively; x-drop must clip the extension.
+        let pssm = pssm_for(b"WWWWWPPPPP");
+        let s = encode_str(b"WWWWWGGGGG"); // P vs G = −2 each
+        let ext = extend(&pssm, &s, 0, 0, 0, 4);
+        assert_eq!(ext.s_start, 0);
+        assert_eq!(ext.len, 5, "ext = {ext:?}");
+        assert_eq!(ext.score, 11 * 5);
+    }
+
+    #[test]
+    fn left_extension_crosses_small_dips() {
+        // A single mismatch inside an otherwise perfect match must be
+        // bridged when the x-drop allows it.
+        let pssm = pssm_for(b"WWWAWWW");
+        let s = encode_str(b"WWWGWWW"); // A vs G = 0
+        let ext = extend(&pssm, &s, 0, 4, 4, 16);
+        assert_eq!(ext.q_start, 0);
+        assert_eq!(ext.len, 7);
+        assert_eq!(ext.score, 6 * 11);
+    }
+
+    #[test]
+    fn score_matches_rescore_on_random_data() {
+        let q = bio_seq::generate::make_query(80);
+        let pssm = Pssm::build(&q, &Matrix::blosum62());
+        let s = bio_seq::generate::make_query(120);
+        for (qp, sp) in [(0u32, 0u32), (10, 40), (70, 100), (77, 117)] {
+            let ext = extend(&pssm, s.residues(), 7, qp, sp, 16);
+            assert_eq!(
+                ext.score,
+                rescore(&pssm, s.residues(), &ext),
+                "seed ({qp},{sp})"
+            );
+            assert_eq!(ext.seq_id, 7);
+            // The seed word stays inside the reported segment.
+            assert!(ext.q_start <= qp && ext.q_end() >= qp + WORD_LEN as u32);
+            assert!(ext.s_start <= sp && ext.s_end() >= sp + WORD_LEN as u32);
+        }
+    }
+
+    #[test]
+    fn extension_at_sequence_edges() {
+        let pssm = pssm_for(b"WWW");
+        let s = encode_str(b"WWW");
+        let ext = extend(&pssm, &s, 0, 0, 0, 16);
+        assert_eq!((ext.q_start, ext.s_start, ext.len), (0, 0, 3));
+        assert_eq!(ext.score, 33);
+    }
+
+    #[test]
+    fn midpoints() {
+        let ext = UngappedExt {
+            seq_id: 0,
+            q_start: 10,
+            s_start: 20,
+            len: 9,
+            score: 50,
+        };
+        assert_eq!(ext.q_mid(), 14);
+        assert_eq!(ext.s_mid(), 24);
+        assert_eq!(ext.q_end(), 19);
+        assert_eq!(ext.s_end(), 29);
+    }
+}

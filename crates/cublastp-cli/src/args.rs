@@ -1,0 +1,285 @@
+//! Argument parsing for the `cublastp` binary (hand-rolled; no external
+//! CLI dependency).
+
+use blast_core::SearchParams;
+use cublastp::{CuBlastpConfig, ExtensionStrategy};
+
+/// Usage text.
+pub const USAGE: &str = "\
+cublastp — protein sequence search (cuBLASTP reproduction)
+
+USAGE:
+    cublastp --query <fasta> --db <fasta> [options]
+    cublastp --demo [options]
+
+OPTIONS:
+    --query <path>       query FASTA (one search per record)
+    --db <path>          database FASTA
+    --demo               use a built-in synthetic query + database
+    --engine <name>      cublastp (default) | cpu | cuda-blastp | gpu-blastp
+    --evalue <float>     e-value cutoff (default 10)
+    --max-hits <n>       alignments shown per query (default 25)
+    --threads <n>        CPU threads for gapped extension/traceback (default 4)
+    --strategy <name>    diagonal | hit | window (default window)
+    --bins <n>           bins per warp (default 128)
+    --mask               SEG-mask low-complexity query regions before seeding
+    --comp-based-stats   composition-adjusted e-values for biased queries
+    --no-overlap         disable the CPU–GPU pipeline overlap
+    --alignments         print the aligned residues, not just the table
+    --outfmt <name>      pairwise (default) | tab (BLAST outfmt-6 columns:
+                         qseqid sseqid pident length mismatch gapopen
+                         qstart qend sstart send evalue bitscore)
+    --help               this text";
+
+/// Output format of the report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutFmt {
+    /// Human-readable BLAST-style report (default).
+    Pairwise,
+    /// Tab-separated values, one line per hit (BLAST `-outfmt 6`).
+    Tab,
+}
+
+/// Which search pipeline to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Fine-grained cuBLASTP on the simulated K20c.
+    CuBlastp,
+    /// CPU reference (FSA-BLAST / NCBI-BLAST stand-in).
+    Cpu,
+    /// Coarse-grained CUDA-BLASTP baseline.
+    CudaBlastp,
+    /// Coarse-grained GPU-BLASTP baseline.
+    GpuBlastp,
+}
+
+impl Engine {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::CuBlastp => "cublastp",
+            Engine::Cpu => "cpu",
+            Engine::CudaBlastp => "cuda-blastp",
+            Engine::GpuBlastp => "gpu-blastp",
+        }
+    }
+}
+
+/// Parsed command line.
+#[derive(Debug, Clone)]
+pub struct Args {
+    pub query: Option<String>,
+    pub db: Option<String>,
+    pub demo: bool,
+    pub engine: Engine,
+    pub evalue: f64,
+    pub max_hits: usize,
+    pub threads: usize,
+    pub strategy: ExtensionStrategy,
+    pub bins: usize,
+    pub mask: bool,
+    pub comp_based_stats: bool,
+    pub overlap: bool,
+    pub alignments: bool,
+    pub outfmt: OutFmt,
+    pub help: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            query: None,
+            db: None,
+            demo: false,
+            engine: Engine::CuBlastp,
+            evalue: 10.0,
+            max_hits: 25,
+            threads: 4,
+            strategy: ExtensionStrategy::Window,
+            bins: 128,
+            mask: false,
+            comp_based_stats: false,
+            overlap: true,
+            alignments: false,
+            outfmt: OutFmt::Pairwise,
+            help: false,
+        }
+    }
+}
+
+impl Args {
+    /// Parse an argument iterator (without the program name).
+    pub fn parse(mut argv: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut args = Args::default();
+        let value = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
+            argv.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        while let Some(arg) = argv.next() {
+            match arg.as_str() {
+                "--query" => args.query = Some(value(&mut argv, "--query")?),
+                "--db" => args.db = Some(value(&mut argv, "--db")?),
+                "--demo" => args.demo = true,
+                "--engine" => {
+                    args.engine = match value(&mut argv, "--engine")?.as_str() {
+                        "cublastp" => Engine::CuBlastp,
+                        "cpu" => Engine::Cpu,
+                        "cuda-blastp" => Engine::CudaBlastp,
+                        "gpu-blastp" => Engine::GpuBlastp,
+                        other => return Err(format!("unknown engine {other:?}")),
+                    }
+                }
+                "--evalue" => {
+                    args.evalue = value(&mut argv, "--evalue")?
+                        .parse()
+                        .map_err(|e| format!("--evalue: {e}"))?
+                }
+                "--max-hits" => {
+                    args.max_hits = value(&mut argv, "--max-hits")?
+                        .parse()
+                        .map_err(|e| format!("--max-hits: {e}"))?
+                }
+                "--threads" => {
+                    args.threads = value(&mut argv, "--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?
+                }
+                "--strategy" => {
+                    args.strategy = match value(&mut argv, "--strategy")?.as_str() {
+                        "diagonal" => ExtensionStrategy::Diagonal,
+                        "hit" => ExtensionStrategy::Hit,
+                        "window" => ExtensionStrategy::Window,
+                        other => return Err(format!("unknown strategy {other:?}")),
+                    }
+                }
+                "--bins" => {
+                    args.bins = value(&mut argv, "--bins")?
+                        .parse()
+                        .map_err(|e| format!("--bins: {e}"))?
+                }
+                "--mask" => args.mask = true,
+                "--comp-based-stats" => args.comp_based_stats = true,
+                "--no-overlap" => args.overlap = false,
+                "--alignments" => args.alignments = true,
+                "--outfmt" => {
+                    args.outfmt = match value(&mut argv, "--outfmt")?.as_str() {
+                        "pairwise" => OutFmt::Pairwise,
+                        "tab" | "6" => OutFmt::Tab,
+                        other => return Err(format!("unknown output format {other:?}")),
+                    }
+                }
+                "--help" | "-h" => args.help = true,
+                other => return Err(format!("unknown option {other:?}")),
+            }
+        }
+        if !args.help && !args.demo && (args.query.is_none() || args.db.is_none()) {
+            return Err("need --query and --db (or --demo)".into());
+        }
+        if args.bins == 0 {
+            return Err("--bins must be positive".into());
+        }
+        Ok(args)
+    }
+
+    /// Search parameters implied by the flags.
+    pub fn params(&self) -> SearchParams {
+        SearchParams {
+            evalue_cutoff: self.evalue,
+            max_reported: self.max_hits,
+            mask_low_complexity: self.mask,
+            composition_based_stats: self.comp_based_stats,
+            ..SearchParams::default()
+        }
+    }
+
+    /// cuBLASTP configuration implied by the flags.
+    pub fn cublastp_config(&self) -> CuBlastpConfig {
+        CuBlastpConfig {
+            extension: self.strategy,
+            num_bins: self.bins,
+            cpu_threads: self.threads,
+            overlap: self.overlap,
+            ..CuBlastpConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        Args::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn demo_alone_is_valid() {
+        let a = parse(&["--demo"]).unwrap();
+        assert!(a.demo);
+        assert_eq!(a.engine, Engine::CuBlastp);
+    }
+
+    #[test]
+    fn query_and_db_required_without_demo() {
+        assert!(parse(&["--query", "q.fa"]).is_err());
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--query", "q.fa", "--db", "d.fa"]).is_ok());
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let a = parse(&[
+            "--demo",
+            "--engine",
+            "cpu",
+            "--evalue",
+            "0.001",
+            "--max-hits",
+            "7",
+            "--threads",
+            "2",
+            "--strategy",
+            "diagonal",
+            "--bins",
+            "64",
+            "--mask",
+            "--no-overlap",
+            "--alignments",
+        ])
+        .unwrap();
+        assert_eq!(a.engine, Engine::Cpu);
+        assert_eq!(a.evalue, 0.001);
+        assert_eq!(a.max_hits, 7);
+        assert_eq!(a.threads, 2);
+        assert_eq!(a.strategy, ExtensionStrategy::Diagonal);
+        assert_eq!(a.bins, 64);
+        assert!(a.mask && !a.overlap && a.alignments);
+        let p = a.params();
+        assert_eq!(p.evalue_cutoff, 0.001);
+        assert!(p.mask_low_complexity);
+        let c = a.cublastp_config();
+        assert_eq!(c.num_bins, 64);
+        assert!(!c.overlap);
+    }
+
+    #[test]
+    fn outfmt_parses_and_rejects() {
+        assert_eq!(parse(&["--demo", "--outfmt", "tab"]).unwrap().outfmt, OutFmt::Tab);
+        assert_eq!(parse(&["--demo", "--outfmt", "6"]).unwrap().outfmt, OutFmt::Tab);
+        assert_eq!(parse(&["--demo"]).unwrap().outfmt, OutFmt::Pairwise);
+        assert!(parse(&["--demo", "--outfmt", "xml"]).is_err());
+    }
+
+    #[test]
+    fn bad_values_rejected() {
+        assert!(parse(&["--demo", "--engine", "warp9"]).is_err());
+        assert!(parse(&["--demo", "--evalue", "abc"]).is_err());
+        assert!(parse(&["--demo", "--bins", "0"]).is_err());
+        assert!(parse(&["--demo", "--frobnicate"]).is_err());
+        assert!(parse(&["--demo", "--evalue"]).is_err());
+    }
+
+    #[test]
+    fn help_skips_validation() {
+        assert!(parse(&["--help"]).unwrap().help);
+    }
+}

@@ -1,0 +1,166 @@
+//! `cublastp` — command-line protein sequence search.
+//!
+//! ```text
+//! cublastp --query queries.fasta --db database.fasta [options]
+//! cublastp --demo                # generate demo FASTA files and search them
+//! ```
+//!
+//! Searches every query in the query FASTA against the database FASTA
+//! with the fine-grained cuBLASTP pipeline (on the simulated K20c) and
+//! prints a BLAST-like report. `--engine` switches to the CPU reference
+//! or the coarse-grained baselines — all of them produce identical hits.
+
+/// Print to stdout, exiting quietly when the reader closed the pipe
+/// (`cublastp --demo | head` must not panic).
+macro_rules! out {
+    ($($t:tt)*) => {{
+        use std::io::Write;
+        if writeln!(std::io::stdout(), $($t)*).is_err() {
+            std::process::exit(0);
+        }
+    }};
+}
+
+mod args;
+mod report;
+
+use args::{Args, Engine};
+use bio_seq::fasta::read_fasta;
+use bio_seq::{Sequence, SequenceDb};
+use blast_cpu::search::{search_parallel, search_sequential, SearchEngine};
+use cublastp::CuBlastp;
+use gpu_sim::DeviceConfig;
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", args::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.help {
+        out!("{}", args::USAGE);
+        return ExitCode::SUCCESS;
+    }
+
+    let (queries, db) = match load_inputs(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let banner = format!(
+        "# cublastp: {} quer{} vs {} ({} sequences, {} residues), engine = {}",
+        queries.len(),
+        if queries.len() == 1 { "y" } else { "ies" },
+        db.name(),
+        db.len(),
+        db.total_residues(),
+        args.engine.name(),
+    );
+    if args.outfmt == args::OutFmt::Tab {
+        // Keep stdout machine-readable: one tab line per hit, nothing else.
+        eprintln!("{banner}");
+    } else {
+        out!("{banner}");
+    }
+
+    for query in &queries {
+        run_query(query, &db, &args);
+    }
+    ExitCode::SUCCESS
+}
+
+fn load_inputs(args: &Args) -> Result<(Vec<Sequence>, SequenceDb), String> {
+    if args.demo {
+        let query = bio_seq::generate::make_query(220);
+        let spec = bio_seq::generate::DbSpec {
+            name: "demo_db",
+            num_sequences: 1_000,
+            mean_length: 260,
+            homolog_fraction: 0.02,
+            seed: 2024,
+        };
+        let db = bio_seq::generate::generate_db(&spec, &query).db;
+        return Ok((vec![query], db));
+    }
+    let qpath = args.query.as_ref().ok_or("missing --query <fasta>")?;
+    let dpath = args.db.as_ref().ok_or("missing --db <fasta>")?;
+    let queries = read_fasta(BufReader::new(
+        File::open(qpath).map_err(|e| format!("{qpath}: {e}"))?,
+    ))
+    .map_err(|e| format!("{qpath}: {e}"))?;
+    if queries.is_empty() {
+        return Err(format!("{qpath}: no sequences"));
+    }
+    let subjects = read_fasta(BufReader::new(
+        File::open(dpath).map_err(|e| format!("{dpath}: {e}"))?,
+    ))
+    .map_err(|e| format!("{dpath}: {e}"))?;
+    if subjects.is_empty() {
+        return Err(format!("{dpath}: no sequences"));
+    }
+    Ok((queries, SequenceDb::new(dpath.clone(), subjects)))
+}
+
+fn run_query(query: &Sequence, db: &SequenceDb, args: &Args) {
+    let params = args.params();
+    let t0 = std::time::Instant::now();
+    let (report, telemetry) = match args.engine {
+        Engine::CuBlastp => {
+            let searcher = CuBlastp::new(
+                query.clone(),
+                params,
+                args.cublastp_config(),
+                DeviceConfig::k20c(),
+                db,
+            );
+            let r = searcher.search(db);
+            let telemetry = format!(
+                "hits {} → filtered {} ({:.1}%) → extensions {}; simulated GPU {:.2} ms, overlapped total {:.2} ms",
+                r.counts.hits,
+                r.counts.filtered,
+                100.0 * r.counts.survival_ratio(),
+                r.counts.extensions,
+                r.timing.gpu_ms,
+                r.timing.total_ms(),
+            );
+            (r.report, telemetry)
+        }
+        Engine::Cpu => {
+            let engine = SearchEngine::new(query.clone(), params, db);
+            let r = if args.threads > 1 {
+                search_parallel(&engine, db, args.threads)
+            } else {
+                search_sequential(&engine, db)
+            };
+            let telemetry = format!(
+                "hits {} → extensions {}",
+                r.hit_stats.hits, r.hit_stats.extensions
+            );
+            (r.report, telemetry)
+        }
+        Engine::CudaBlastp => {
+            let r = baselines::CudaBlastp::new(query.clone(), params, DeviceConfig::k20c(), db)
+                .search(db);
+            let telemetry = format!("fused kernel {:.2} ms (simulated)", r.timing.gpu_ms);
+            (r.report, telemetry)
+        }
+        Engine::GpuBlastp => {
+            let mut s = baselines::GpuBlastp::new(query.clone(), params, DeviceConfig::k20c(), db);
+            s.total_warps = (db.len() / 160).clamp(8, 104);
+            let r = s.search(db);
+            let telemetry = format!("fused kernel {:.2} ms (simulated)", r.timing.gpu_ms);
+            (r.report, telemetry)
+        }
+    };
+    let wall = t0.elapsed();
+    report::print(query, db, &report, args, wall, &telemetry);
+}

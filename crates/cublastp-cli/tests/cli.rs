@@ -1,0 +1,207 @@
+//! End-to-end tests of the `cublastp` binary: spawn the real executable
+//! and assert on its stdout/stderr/exit codes.
+
+use std::io::Write;
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_cublastp"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn write_fasta(path: &std::path::Path, records: &[(&str, &str)]) {
+    let mut f = std::fs::File::create(path).unwrap();
+    for (id, seq) in records {
+        writeln!(f, ">{id}").unwrap();
+        writeln!(f, "{seq}").unwrap();
+    }
+}
+
+/// A deterministic “protein” string long enough to seed hits.
+const CORE: &str = "MKVLWAARNDCQEGHILKMFPSTWYVMKVLWAARNDCQEGHILKMFPSTWYV";
+
+#[test]
+fn help_exits_zero_with_usage() {
+    let out = run(&["--help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("USAGE:"));
+    assert!(text.contains("--engine"));
+}
+
+#[test]
+fn unknown_flag_exits_nonzero_with_usage_on_stderr() {
+    let out = run(&["--demo", "--frobnicate"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown option"));
+    assert!(err.contains("USAGE:"));
+    assert!(out.stdout.is_empty());
+}
+
+#[test]
+fn missing_inputs_is_an_error() {
+    let out = run(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("need --query and --db"));
+}
+
+#[test]
+fn nonexistent_file_reports_path() {
+    let out = run(&["--query", "/nonexistent/q.fa", "--db", "/nonexistent/d.fa"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("/nonexistent/q.fa"));
+}
+
+#[test]
+fn fasta_search_finds_planted_subject_on_every_engine() {
+    let dir = std::env::temp_dir().join(format!("cublastp_cli_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let q = dir.join("q.fa");
+    let d = dir.join("d.fa");
+    write_fasta(&q, &[("probe", CORE)]);
+    write_fasta(
+        &d,
+        &[
+            ("decoy1", "GGGGGGGGGGGGGGGGGGGGGGGGGGGGGGGGGGGGGGGG"),
+            ("planted", &format!("PPPP{CORE}PPPP")),
+            ("decoy2", "KKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKK"),
+        ],
+    );
+
+    let mut tables = Vec::new();
+    for engine in ["cublastp", "cpu", "cuda-blastp", "gpu-blastp"] {
+        let out = run(&[
+            "--query",
+            q.to_str().unwrap(),
+            "--db",
+            d.to_str().unwrap(),
+            "--engine",
+            engine,
+            "--max-hits",
+            "3",
+        ]);
+        assert!(out.status.success(), "engine {engine}");
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("planted"), "engine {engine}: {text}");
+        // Extract just the hit table for cross-engine comparison.
+        let table: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("planted") || l.starts_with("decoy"))
+            .collect();
+        tables.push(table.join("\n"));
+    }
+    assert!(
+        tables.windows(2).all(|w| w[0] == w[1]),
+        "engines disagree:\n{tables:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn alignments_flag_prints_pairwise_blocks() {
+    let dir = std::env::temp_dir().join(format!("cublastp_cli_aln_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let q = dir.join("q.fa");
+    let d = dir.join("d.fa");
+    write_fasta(&q, &[("probe", CORE)]);
+    write_fasta(&d, &[("hitseq", CORE)]);
+    let out = run(&[
+        "--query",
+        q.to_str().unwrap(),
+        "--db",
+        d.to_str().unwrap(),
+        "--alignments",
+        "--max-hits",
+        "1",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("Query "), "{text}");
+    assert!(text.contains("Sbjct "), "{text}");
+    assert!(text.contains("Identities = 52/52 (100%)"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn crlf_fasta_is_parsed() {
+    let dir = std::env::temp_dir().join(format!("cublastp_cli_crlf_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let q = dir.join("q.fa");
+    let d = dir.join("d.fa");
+    std::fs::write(&q, format!(">probe\r\n{CORE}\r\n")).unwrap();
+    std::fs::write(&d, format!(">subject\r\n{CORE}\r\n")).unwrap();
+    let out = run(&[
+        "--query",
+        q.to_str().unwrap(),
+        "--db",
+        d.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        text.contains(&format!("({} letters)", CORE.len())),
+        "CRLF terminator leaked into the sequence: {text}"
+    );
+    assert!(text.contains("subject"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn multibyte_subject_id_does_not_panic() {
+    let dir = std::env::temp_dir().join(format!("cublastp_cli_utf8_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let q = dir.join("q.fa");
+    let d = dir.join("d.fa");
+    write_fasta(&q, &[("probe", CORE)]);
+    write_fasta(&d, &[("sübjéct_ëxtrêmely_löng_ünïcode_идентификатор", CORE)]);
+    let out = run(&[
+        "--query",
+        q.to_str().unwrap(),
+        "--db",
+        d.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8(out.stdout).unwrap().contains("sübjéct"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn tabular_output_has_twelve_columns() {
+    let dir = std::env::temp_dir().join(format!("cublastp_cli_tab_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let q = dir.join("q.fa");
+    let d = dir.join("d.fa");
+    write_fasta(&q, &[("probe", CORE)]);
+    write_fasta(&d, &[("hitseq", CORE)]);
+    let out = run(&[
+        "--query",
+        q.to_str().unwrap(),
+        "--db",
+        d.to_str().unwrap(),
+        "--outfmt",
+        "tab",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let hit_line = text
+        .lines()
+        .find(|l| l.starts_with("probe\t"))
+        .expect("one tabular hit line");
+    let cols: Vec<&str> = hit_line.split('\t').collect();
+    assert_eq!(cols.len(), 12, "{hit_line}");
+    assert_eq!(cols[1], "hitseq");
+    assert_eq!(cols[2], "100.000"); // pident
+    assert_eq!(cols[3], CORE.len().to_string()); // alignment length
+    assert_eq!(cols[4], "0"); // mismatches
+    assert_eq!(cols[5], "0"); // gap opens
+    assert_eq!(cols[6], "1"); // 1-based qstart
+    assert_eq!(cols[7], CORE.len().to_string()); // inclusive qend
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,341 @@
+//! Warp-based hit detection with binning (paper §3.2, Algorithm 2,
+//! Fig. 5).
+//!
+//! Each warp takes database sequences round-robin (`i += numWarps`); the
+//! 32 lanes take consecutive words of the sequence (`j += warpSize`), so
+//! subject reads coalesce. Every hit's diagonal maps to a bin
+//! (`binId = diagonal mod num_bins`); a per-warp `top` array in shared
+//! memory is bumped with an atomic to claim the slot, and the packed
+//! 64-bit element (Fig. 7) is written into the bin in global memory.
+//!
+//! Hierarchical buffering (§3.5, Fig. 10): the DFA state table lives in
+//! shared memory; the query-position lists are fetched through the
+//! read-only cache when [`crate::CuBlastpConfig::use_readonly_cache`] is
+//! set, and as plain global loads otherwise — the Fig. 17 experiment.
+
+use crate::config::CuBlastpConfig;
+use crate::devicedata::{DeviceDbBlock, DeviceQuery};
+use crate::hitpack::pack;
+use blast_core::{word_code, WORD_LEN};
+use gpu_sim::device::WARP_SIZE;
+use gpu_sim::memory::virtual_alloc;
+use gpu_sim::{launch, DeviceConfig, KernelStats, LaunchConfig};
+use parking_lot::Mutex;
+
+/// Shared-memory footprint of the compacted DFA state table (the paper
+/// keeps states in shared memory; FSA-BLAST's compressed automaton for a
+/// protein query fits in a few kilobytes).
+pub const DFA_STATES_SHARED_BYTES: u32 = 8 * 1024;
+
+/// Output of the binning kernel.
+pub struct BinnedHits {
+    /// `bins[warp * num_bins + bin]` — packed hits in detection order
+    /// (interleaved across diagonals, exactly the Fig. 5 situation the
+    /// sorting kernel exists to fix).
+    pub bins: Vec<Vec<u64>>,
+    /// Bins per warp.
+    pub num_bins: usize,
+    /// Total warps that participated.
+    pub num_warps: usize,
+    /// Total hits detected.
+    pub total_hits: u64,
+}
+
+impl BinnedHits {
+    /// Iterate all hits (unordered across bins).
+    pub fn iter_hits(&self) -> impl Iterator<Item = u64> + '_ {
+        self.bins.iter().flatten().copied()
+    }
+}
+
+/// Run the fine-grained hit-detection + binning kernel over one database
+/// block. Returns the bins and the kernel's simulated stats.
+pub fn binning_kernel(
+    device: &DeviceConfig,
+    cfg: &CuBlastpConfig,
+    query: &DeviceQuery,
+    db: &DeviceDbBlock,
+) -> (BinnedHits, KernelStats) {
+    let grid_blocks = cfg.grid_blocks.max(1);
+    let warps_per_block = cfg.warps_per_block.max(1);
+    let num_warps = (grid_blocks * warps_per_block) as usize;
+    let num_bins = cfg.num_bins;
+    let qlen = query.query_len();
+
+    // The packed bin element (Fig. 7) stores diagonal and subject position
+    // in 16 bits each; debug_asserts vanish in release builds, so enforce
+    // the representable range here, once per block.
+    let max_slen = (0..db.num_seqs()).map(|i| db.seq_len(i)).max().unwrap_or(0);
+    assert!(
+        qlen + max_slen <= u16::MAX as usize,
+        "query ({qlen}) + longest subject ({max_slen}) exceeds the 16-bit \
+         diagonal range of the packed hit format (max 65535 combined)"
+    );
+
+    // Shared memory: DFA states + the per-warp bin `top` counters
+    // (4 bytes per bin per warp) — the §4.1 occupancy trade-off.
+    let shared = DFA_STATES_SHARED_BYTES
+        + (warps_per_block as usize * num_bins * 4) as u32;
+    let launch_cfg = LaunchConfig {
+        blocks: grid_blocks,
+        warps_per_block,
+        shared_bytes_per_block: shared,
+        use_readonly_cache: cfg.use_readonly_cache,
+    };
+
+    // Paper capacity: one bin holds up to `query words` hits; the bins of
+    // all warps live in one preallocated global buffer.
+    let bin_capacity = qlen.max(1) as u64;
+    let bins_base = virtual_alloc(num_warps as u64 * num_bins as u64 * bin_capacity * 8);
+
+    let results: Mutex<Vec<(usize, Vec<Vec<u64>>)>> = Mutex::new(Vec::new());
+
+    let stats = launch(device, launch_cfg, "hit_detection", |block| {
+        let mut block_bins: Vec<Vec<u64>> =
+            vec![Vec::new(); warps_per_block as usize * num_bins];
+        // Per-lane scratch reused across chunks.
+        let mut lane_hits: Vec<Vec<(u32, u32)>> = vec![Vec::new(); WARP_SIZE as usize];
+        let mut addrs: Vec<u64> = Vec::with_capacity(WARP_SIZE as usize);
+        let mut targets: Vec<u64> = Vec::with_capacity(WARP_SIZE as usize);
+        let mut writes: Vec<u64> = Vec::with_capacity(WARP_SIZE as usize);
+        let mut produced: Vec<(usize, u64)> = Vec::with_capacity(WARP_SIZE as usize);
+
+        for warp_in_block in 0..warps_per_block as usize {
+            let warp_id = block.block_id as usize * warps_per_block as usize + warp_in_block;
+            let warp_bins_base =
+                bins_base + (warp_id * num_bins) as u64 * bin_capacity * 8;
+            let mut tops = vec![0u64; num_bins];
+
+            let mut i = warp_id;
+            while i < db.num_seqs() {
+                let slen = db.seq_len(i);
+                let words = slen.saturating_sub(WORD_LEN - 1);
+                let subject = db.seq(i);
+
+                let mut j0 = 0usize;
+                while j0 < words {
+                    let active = (words - j0).min(WARP_SIZE as usize);
+
+                    // Coalesced read of each lane's word start (lane ℓ reads
+                    // column j0+ℓ; a word needs W consecutive residues).
+                    addrs.clear();
+                    addrs.extend((0..active).map(|l| db.residue_addr(i, j0 + l)));
+                    block.global_read(&addrs, WORD_LEN as u32);
+                    // DFA state transition via the shared-memory table.
+                    block.shared_access(active as u32);
+
+                    // Look up each lane's query-position list.
+                    addrs.clear();
+                    let mut max_hits = 0usize;
+                    for (l, lane) in lane_hits.iter_mut().take(active).enumerate() {
+                        lane.clear();
+                        let col = j0 + l;
+                        let code = word_code(&subject[col..col + WORD_LEN]);
+                        let positions = query.dfa.neighborhood().positions(code);
+                        let (base, len) = query.position_addrs(code);
+                        for (k, &qpos) in positions.iter().enumerate() {
+                            debug_assert!(k < len.max(1));
+                            lane.push((qpos, col as u32));
+                            addrs.push(base + (k * 4) as u64);
+                        }
+                        max_hits = max_hits.max(positions.len());
+                    }
+                    // Position-list traffic: read-only cache or global,
+                    // depending on the Fig. 17 toggle (readonly_read
+                    // degrades to a global read when the cache is off).
+                    for chunk in addrs.chunks(WARP_SIZE as usize) {
+                        block.readonly_read(chunk, 4);
+                    }
+
+                    // Serialized hit loop: lanes with more hits keep the
+                    // warp busy while others idle (Algorithm 2's `for all
+                    // hits` divergence).
+                    for k in 0..max_hits {
+                        targets.clear();
+                        writes.clear();
+                        produced.clear();
+                        for lane in lane_hits.iter().take(active) {
+                            if let Some(&(qpos, col)) = lane.get(k) {
+                                let diagonal =
+                                    (col as i64 - qpos as i64 + qlen as i64) as u32;
+                                let bin_id = diagonal as usize % num_bins;
+                                let slot = tops[bin_id];
+                                tops[bin_id] += 1;
+                                targets.push(
+                                    (warp_in_block * num_bins + bin_id) as u64,
+                                );
+                                writes.push(
+                                    warp_bins_base
+                                        + (bin_id as u64 * bin_capacity
+                                            + slot % bin_capacity)
+                                            * 8,
+                                );
+                                produced.push((
+                                    bin_id,
+                                    pack(i as u32, diagonal, col as u32),
+                                ));
+                            }
+                        }
+                        // Diagonal/bin arithmetic.
+                        block.instr(targets.len() as u32);
+                        // atomicAdd on the shared `top` array.
+                        block.atomic_shared(&targets);
+                        // Scattered global write of the packed hits.
+                        block.global_write(&writes, 8);
+                        for &(bin_id, element) in &produced {
+                            block_bins[warp_in_block * num_bins + bin_id].push(element);
+                        }
+                    }
+
+                    j0 += WARP_SIZE as usize;
+                }
+                i += num_warps;
+            }
+        }
+        results.lock().push((block.block_id as usize, block_bins));
+    });
+
+    // Stitch per-block bins into warp-major order.
+    let mut per_block = results.into_inner();
+    per_block.sort_by_key(|(id, _)| *id);
+    let mut bins: Vec<Vec<u64>> = Vec::with_capacity(num_warps * num_bins);
+    for (_, mut block_bins) in per_block {
+        bins.append(&mut block_bins);
+    }
+    let total_hits = bins.iter().map(|b| b.len() as u64).sum();
+
+    (
+        BinnedHits {
+            bins,
+            num_bins,
+            num_warps,
+            total_hits,
+        },
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hitpack;
+    use bio_seq::generate::make_query;
+    use bio_seq::Sequence;
+    use blast_core::{Dfa, Matrix, Pssm, SearchParams};
+
+    fn setup(qlen: usize, subjects: Vec<Sequence>) -> (DeviceQuery, DeviceDbBlock) {
+        let q = make_query(qlen);
+        let m = Matrix::blosum62();
+        let p = SearchParams::default();
+        let dq = DeviceQuery::upload(Dfa::build(&q, &m, p.threshold), Pssm::build(&q, &m));
+        let db = DeviceDbBlock::upload(&subjects, 0);
+        (dq, db)
+    }
+
+    fn reference_hits(query: &DeviceQuery, db: &DeviceDbBlock) -> Vec<u64> {
+        // Column-major reference scan, packed the same way.
+        let qlen = query.query_len();
+        let mut out = Vec::new();
+        for i in 0..db.num_seqs() {
+            query.dfa.scan(db.seq(i), |col, qpos| {
+                let d = (col as i64 - qpos as i64 + qlen as i64) as u32;
+                out.push(pack(i as u32, d, col as u32));
+            });
+        }
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn binning_finds_exactly_the_reference_hits() {
+        let subjects: Vec<Sequence> = (0..40)
+            .map(|k| {
+                let s = make_query(60 + k * 7);
+                Sequence::from_residues(format!("s{k}"), s.residues().to_vec())
+            })
+            .collect();
+        let (dq, db) = setup(64, subjects);
+        let cfg = CuBlastpConfig {
+            grid_blocks: 4,
+            warps_per_block: 2,
+            num_bins: 16,
+            ..Default::default()
+        };
+        let (bins, stats) = binning_kernel(&DeviceConfig::k20c(), &cfg, &dq, &db);
+        let mut got: Vec<u64> = bins.iter_hits().collect();
+        got.sort_unstable();
+        let want = reference_hits(&dq, &db);
+        assert_eq!(got, want);
+        assert_eq!(bins.total_hits as usize, want.len());
+        assert!(stats.warp_cycles > 0);
+        assert!(stats.atomic_ops >= bins.total_hits);
+    }
+
+    #[test]
+    fn hits_land_in_their_diagonal_bin() {
+        let subjects = vec![Sequence::from_residues("s", make_query(200).residues().to_vec())];
+        let (dq, db) = setup(50, subjects);
+        let cfg = CuBlastpConfig {
+            grid_blocks: 1,
+            warps_per_block: 1,
+            num_bins: 8,
+            ..Default::default()
+        };
+        let (bins, _) = binning_kernel(&DeviceConfig::k20c(), &cfg, &dq, &db);
+        for (slot, bin) in bins.bins.iter().enumerate() {
+            let bin_id = slot % bins.num_bins;
+            for &e in bin {
+                assert_eq!(hitpack::diagonal(e) as usize % bins.num_bins, bin_id);
+            }
+        }
+    }
+
+    #[test]
+    fn more_bins_use_more_shared_memory_and_lower_occupancy() {
+        let subjects = vec![Sequence::from_residues("s", make_query(150).residues().to_vec())];
+        let (dq, db) = setup(64, subjects);
+        let d = DeviceConfig::k20c();
+        let occ = |bins: usize| {
+            let cfg = CuBlastpConfig {
+                num_bins: bins,
+                grid_blocks: 2,
+                warps_per_block: 8,
+                ..Default::default()
+            };
+            binning_kernel(&d, &cfg, &dq, &db).1.occupancy
+        };
+        assert!(occ(512) < occ(32), "512-bin occupancy must be lower");
+    }
+
+    #[test]
+    fn empty_block_is_clean() {
+        let (dq, db) = setup(64, vec![]);
+        let cfg = CuBlastpConfig::default();
+        let (bins, _) = binning_kernel(&DeviceConfig::k20c(), &cfg, &dq, &db);
+        assert_eq!(bins.total_hits, 0);
+    }
+
+    #[test]
+    fn readonly_cache_reduces_cycles() {
+        let subjects: Vec<Sequence> = (0..20)
+            .map(|k| Sequence::from_residues(format!("s{k}"), make_query(300 + k).residues().to_vec()))
+            .collect();
+        let (dq, db) = setup(127, subjects);
+        let d = DeviceConfig::k20c();
+        let base = CuBlastpConfig {
+            grid_blocks: 2,
+            warps_per_block: 4,
+            ..Default::default()
+        };
+        let with = binning_kernel(&d, &CuBlastpConfig { use_readonly_cache: true, ..base }, &dq, &db).1;
+        let without = binning_kernel(&d, &CuBlastpConfig { use_readonly_cache: false, ..base }, &dq, &db).1;
+        assert!(
+            with.warp_cycles < without.warp_cycles,
+            "cache on: {} cycles, off: {}",
+            with.warp_cycles,
+            without.warp_cycles
+        );
+        assert!(with.rocache_hits > 0);
+        assert_eq!(without.rocache_hits, 0);
+    }
+}

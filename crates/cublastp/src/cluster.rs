@@ -1,0 +1,260 @@
+//! GPU-cluster scaling — the paper's stated future work (§6).
+//!
+//! "In the future, we plan to extend our research for very large databases
+//! on GPU clusters. Our preliminary research with mpiBLAST revealed that
+//! the result sorting, merging, and ranking from multiple nodes could
+//! become a time-consuming step, which in turn, would be the performance
+//! bottleneck on GPU clusters."
+//!
+//! This module implements that design point: the database is sharded
+//! across simulated nodes (mpiBLAST-style segmentation), every node runs
+//! the full fine-grained cuBLASTP pipeline against its shard using
+//! *global* Karlin–Altschul statistics (so e-values and cutoffs — and
+//! therefore the merged output — are identical to a single-node search),
+//! and the per-node hit lists are merged and re-ranked over a binary
+//! reduction tree with a modelled interconnect. Exactly as the paper
+//! predicts, the search phase scales with nodes while the merge phase
+//! grows, eventually bounding speedup — the `cluster_scaling` bench
+//! plots the crossover.
+
+use crate::search::{CuBlastp, CuBlastpResult};
+use bio_seq::SequenceDb;
+use blast_cpu::report::SearchReport;
+use serde::{Deserialize, Serialize};
+
+/// Interconnect and cluster geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of nodes (each with one simulated K20c + its CPU workers).
+    pub nodes: usize,
+    /// Link bandwidth in GB/s (FDR InfiniBand of the paper's era ≈ 6).
+    pub link_gb_per_s: f64,
+    /// Per-message latency in microseconds.
+    pub link_latency_us: f64,
+    /// Per-record merge/rank cost on the receiving node, in nanoseconds
+    /// (comparison-based merging of ranked lists).
+    pub rank_ns_per_record: f64,
+    /// Serialized size of one result record in bytes (alignment
+    /// coordinates, scores, traceback operations).
+    pub record_bytes: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 4,
+            link_gb_per_s: 6.0,
+            link_latency_us: 2.0,
+            rank_ns_per_record: 25.0,
+            record_bytes: 96,
+        }
+    }
+}
+
+/// Outcome of a cluster search.
+pub struct ClusterResult {
+    /// Merged, re-ranked report — identical to a single-node search.
+    pub report: SearchReport,
+    /// Modelled per-node end-to-end times (ms).
+    pub per_node_ms: Vec<f64>,
+    /// Hits each node contributed before the report cap.
+    pub per_node_hits: Vec<usize>,
+    /// Search-phase makespan: the slowest node (ms).
+    pub search_ms: f64,
+    /// Merge/rank phase over the reduction tree (ms).
+    pub merge_ms: f64,
+}
+
+impl ClusterResult {
+    /// Total makespan.
+    pub fn total_ms(&self) -> f64 {
+        self.search_ms + self.merge_ms
+    }
+
+    /// Fraction of the makespan spent merging — the paper's predicted
+    /// bottleneck as nodes grow.
+    pub fn merge_share(&self) -> f64 {
+        if self.total_ms() <= 0.0 {
+            0.0
+        } else {
+            self.merge_ms / self.total_ms()
+        }
+    }
+}
+
+/// Model the binary-tree merge of per-node hit lists: at every level,
+/// half the nodes ship their (already ranked) lists to a partner that
+/// merges them. Level time is the slowest pairwise merge; list sizes cap
+/// at `max_reported` after every merge, as real rankers do.
+pub fn merge_tree_ms(per_node_hits: &[usize], cfg: &ClusterConfig, max_reported: usize) -> f64 {
+    let mut sizes: Vec<usize> = per_node_hits.to_vec();
+    let mut total = 0.0f64;
+    while sizes.len() > 1 {
+        let mut next = Vec::with_capacity(sizes.len().div_ceil(2));
+        let mut level = 0.0f64;
+        for pair in sizes.chunks(2) {
+            if pair.len() == 1 {
+                next.push(pair[0]);
+                continue;
+            }
+            let shipped = pair[1];
+            let transfer = cfg.link_latency_us / 1e3
+                + (shipped as u64 * cfg.record_bytes) as f64 / (cfg.link_gb_per_s * 1e6);
+            let rank = (pair[0] + shipped) as f64 * cfg.rank_ns_per_record / 1e6;
+            level = level.max(transfer + rank);
+            next.push((pair[0] + shipped).min(max_reported));
+        }
+        total += level;
+        sizes = next;
+    }
+    total
+}
+
+/// Run a cluster search: shard the database, search every shard with the
+/// given single-node searcher configuration, merge.
+///
+/// The searcher must have been built against the **full** database so
+/// cutoffs and e-values use global statistics (what mpiBLAST distributes
+/// to its workers); this function shards internally.
+pub fn search_cluster(
+    searcher: &CuBlastp,
+    db: &SequenceDb,
+    cluster: &ClusterConfig,
+) -> ClusterResult {
+    let nodes = cluster.nodes.max(1);
+    let shard_size = db.len().div_ceil(nodes).max(1);
+
+    let mut report = SearchReport::default();
+    let mut per_node_ms = Vec::with_capacity(nodes);
+    let mut per_node_hits = Vec::with_capacity(nodes);
+
+    for node in 0..nodes {
+        let start = node * shard_size;
+        if start >= db.len() {
+            per_node_ms.push(0.0);
+            per_node_hits.push(0);
+            continue;
+        }
+        let end = (start + shard_size).min(db.len());
+        let shard = SequenceDb::new(
+            format!("{}:{node}", db.name()),
+            db.sequences()[start..end].to_vec(),
+        );
+        let r: CuBlastpResult = searcher.search(&shard);
+        per_node_ms.push(r.timing.total_ms());
+        per_node_hits.push(r.report.hits.len());
+        // Remap shard-local subject indices to global database indices.
+        for mut hit in r.report.hits {
+            hit.subject_index += start;
+            report.hits.push(hit);
+        }
+    }
+
+    report.finalize(searcher.engine.params.max_reported);
+    let merge_ms = merge_tree_ms(&per_node_hits, cluster, searcher.engine.params.max_reported);
+    let search_ms = per_node_ms.iter().copied().fold(0.0, f64::max);
+
+    ClusterResult {
+        report,
+        per_node_ms,
+        per_node_hits,
+        search_ms,
+        merge_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CuBlastpConfig;
+    use bio_seq::generate::{generate_db, make_query, DbSpec};
+    use blast_core::SearchParams;
+    use gpu_sim::DeviceConfig;
+
+    fn workload() -> (CuBlastp, SequenceDb) {
+        let q = make_query(96);
+        let spec = DbSpec {
+            name: "cluster",
+            num_sequences: 160,
+            mean_length: 140,
+            homolog_fraction: 0.2,
+            seed: 61,
+        };
+        let db = generate_db(&spec, &q).db;
+        let cfg = CuBlastpConfig {
+            db_block_size: 40,
+            grid_blocks: 3,
+            warps_per_block: 2,
+            ..CuBlastpConfig::default()
+        };
+        let searcher = CuBlastp::new(q, SearchParams::default(), cfg, DeviceConfig::k20c(), &db);
+        (searcher, db)
+    }
+
+    #[test]
+    fn cluster_output_identical_to_single_node() {
+        let (searcher, db) = workload();
+        let single = searcher.search(&db);
+        for nodes in [1usize, 2, 3, 5, 8] {
+            let cluster = ClusterConfig {
+                nodes,
+                ..ClusterConfig::default()
+            };
+            let r = search_cluster(&searcher, &db, &cluster);
+            assert_eq!(
+                r.report.identity_key(),
+                single.report.identity_key(),
+                "nodes = {nodes}"
+            );
+            assert_eq!(r.per_node_ms.len(), nodes);
+        }
+    }
+
+    #[test]
+    fn more_nodes_shrink_search_phase() {
+        let (searcher, db) = workload();
+        let run = |nodes| {
+            search_cluster(
+                &searcher,
+                &db,
+                &ClusterConfig {
+                    nodes,
+                    ..ClusterConfig::default()
+                },
+            )
+        };
+        let one = run(1);
+        let eight = run(8);
+        assert!(eight.search_ms < one.search_ms);
+        assert_eq!(one.merge_ms, 0.0, "single node has nothing to merge");
+        assert!(eight.merge_ms > 0.0);
+    }
+
+    #[test]
+    fn merge_tree_grows_with_nodes_and_hits() {
+        let cfg = ClusterConfig::default();
+        let small = merge_tree_ms(&[100; 2], &cfg, 500);
+        let wide = merge_tree_ms(&[100; 16], &cfg, 500);
+        assert!(wide > small);
+        let heavy = merge_tree_ms(&[10_000; 16], &cfg, 500_000);
+        assert!(heavy > wide);
+        assert_eq!(merge_tree_ms(&[42], &cfg, 500), 0.0);
+        assert_eq!(merge_tree_ms(&[], &cfg, 500), 0.0);
+    }
+
+    #[test]
+    fn ragged_shards_cover_everything() {
+        // 160 sequences over 7 nodes: last shard short, none dropped.
+        let (searcher, db) = workload();
+        let r = search_cluster(
+            &searcher,
+            &db,
+            &ClusterConfig {
+                nodes: 7,
+                ..ClusterConfig::default()
+            },
+        );
+        let single = searcher.search(&db);
+        assert_eq!(r.report.identity_key(), single.report.identity_key());
+    }
+}

@@ -1,0 +1,180 @@
+//! Runtime configuration of the fine-grained pipeline.
+//!
+//! The paper exposes three run-time choices and evaluates each:
+//! the number of bins per warp (Fig. 14), the ungapped-extension strategy
+//! (Fig. 16), and the scoring-matrix placement (Fig. 15); plus the
+//! read-only-cache toggle of Fig. 17. All of them live here.
+
+use serde::{Deserialize, Serialize};
+
+/// Which fine-grained ungapped-extension kernel to run (§3.4, Fig. 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExtensionStrategy {
+    /// Algorithm 3: one thread per diagonal; divergent but no redundancy.
+    Diagonal,
+    /// Algorithm 4: one thread per hit; redundant computation (needs
+    /// de-duplication) traded for less divergence.
+    Hit,
+    /// Algorithm 5: a window of threads per diagonal; the paper's best.
+    Window,
+}
+
+/// Scoring-table placement for the extension kernels (§3.5, Fig. 15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScoringMode {
+    /// Query-specific PSS matrix: shared memory while it fits (query ≤ 768
+    /// residues), global memory beyond.
+    Pssm,
+    /// Fixed 2 kB BLOSUM62 matrix, always in shared memory.
+    Blosum62,
+    /// The paper's tuned choice: PSSM for short queries, BLOSUM62 for
+    /// long ones (§4.1 picks PSSM for query127, BLOSUM62 for query517 and
+    /// query1054).
+    Auto,
+}
+
+/// Query length above which the PSS matrix no longer fits in the 48 kB of
+/// shared memory (64 bytes per query column, §3.5).
+pub const PSSM_SHARED_LIMIT: usize = 768;
+
+/// Query length at which [`ScoringMode::Auto`] switches from PSSM to
+/// BLOSUM62. The paper measures PSSM winning at 127 and losing at 517; the
+/// crossover sits where the PSSM's shared-memory footprint starts to
+/// depress occupancy.
+pub const AUTO_SCORING_CROSSOVER: usize = 320;
+
+/// Full cuBLASTP configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CuBlastpConfig {
+    /// Bins per warp for diagonal binning (Fig. 14; paper default 128).
+    pub num_bins: usize,
+    /// Ungapped-extension strategy (paper default: window-based).
+    pub extension: ExtensionStrategy,
+    /// Threads per extension window (Fig. 8 uses 8).
+    pub window_size: usize,
+    /// Scoring-table placement.
+    pub scoring: ScoringMode,
+    /// Route DFA query positions through the read-only cache (Fig. 17).
+    pub use_readonly_cache: bool,
+    /// Warps per thread block for the fine-grained kernels.
+    pub warps_per_block: u32,
+    /// Thread blocks per grid.
+    pub grid_blocks: u32,
+    /// Database sequences per pipeline block (Fig. 12 granularity).
+    pub db_block_size: usize,
+    /// CPU worker threads for gapped extension and traceback (§3.6).
+    pub cpu_threads: usize,
+    /// Overlap CPU phases and transfers with GPU kernels (Fig. 12).
+    pub overlap: bool,
+}
+
+impl Default for CuBlastpConfig {
+    fn default() -> Self {
+        Self {
+            num_bins: 128,
+            extension: ExtensionStrategy::Window,
+            window_size: 8,
+            scoring: ScoringMode::Auto,
+            use_readonly_cache: true,
+            warps_per_block: 8,
+            grid_blocks: 26, // 2 blocks per K20c SM
+            db_block_size: 1024,
+            cpu_threads: 4,
+            overlap: true,
+        }
+    }
+}
+
+impl CuBlastpConfig {
+    /// Resolve [`ScoringMode::Auto`] for a concrete query length.
+    pub fn resolved_scoring(&self, query_len: usize) -> ScoringMode {
+        match self.scoring {
+            ScoringMode::Auto => {
+                if query_len <= AUTO_SCORING_CROSSOVER {
+                    ScoringMode::Pssm
+                } else {
+                    ScoringMode::Blosum62
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Shared-memory bytes per block consumed by the scoring table.
+    pub fn scoring_shared_bytes(&self, query_len: usize) -> u32 {
+        match self.resolved_scoring(query_len) {
+            ScoringMode::Pssm => {
+                if query_len <= PSSM_SHARED_LIMIT {
+                    (query_len * 64) as u32
+                } else {
+                    0 // spilled to global memory
+                }
+            }
+            ScoringMode::Blosum62 => 2 * 1024,
+            ScoringMode::Auto => unreachable!("resolved above"),
+        }
+    }
+
+    /// True when the PSSM path reads from global memory (query too long
+    /// for shared memory).
+    pub fn pssm_in_global(&self, query_len: usize) -> bool {
+        matches!(self.resolved_scoring(query_len), ScoringMode::Pssm)
+            && query_len > PSSM_SHARED_LIMIT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = CuBlastpConfig::default();
+        assert_eq!(c.num_bins, 128);
+        assert_eq!(c.extension, ExtensionStrategy::Window);
+        assert_eq!(c.window_size, 8);
+        assert!(c.use_readonly_cache);
+        assert_eq!(c.cpu_threads, 4);
+    }
+
+    #[test]
+    fn auto_scoring_matches_paper_choices() {
+        let c = CuBlastpConfig::default();
+        assert_eq!(c.resolved_scoring(127), ScoringMode::Pssm);
+        assert_eq!(c.resolved_scoring(517), ScoringMode::Blosum62);
+        assert_eq!(c.resolved_scoring(1054), ScoringMode::Blosum62);
+    }
+
+    #[test]
+    fn pssm_footprint_matches_section_3_5() {
+        let c = CuBlastpConfig {
+            scoring: ScoringMode::Pssm,
+            ..Default::default()
+        };
+        assert_eq!(c.scoring_shared_bytes(768), 48 * 1024);
+        assert_eq!(c.scoring_shared_bytes(769), 0, "spills to global");
+        assert!(c.pssm_in_global(769));
+        assert!(!c.pssm_in_global(768));
+    }
+
+    #[test]
+    fn auto_crossover_boundary() {
+        let c = CuBlastpConfig::default();
+        assert_eq!(c.resolved_scoring(AUTO_SCORING_CROSSOVER), ScoringMode::Pssm);
+        assert_eq!(
+            c.resolved_scoring(AUTO_SCORING_CROSSOVER + 1),
+            ScoringMode::Blosum62
+        );
+    }
+
+    #[test]
+    fn blosum_is_always_2kb() {
+        let c = CuBlastpConfig {
+            scoring: ScoringMode::Blosum62,
+            ..Default::default()
+        };
+        assert_eq!(c.scoring_shared_bytes(127), 2048);
+        assert_eq!(c.scoring_shared_bytes(10_000), 2048);
+        assert!(!c.pssm_in_global(10_000));
+    }
+}

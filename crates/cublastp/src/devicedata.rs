@@ -1,0 +1,180 @@
+//! Device-resident data: the flattened database block and the query-side
+//! structures (DFA, PSSM) with their synthetic addresses.
+
+use bio_seq::Sequence;
+use blast_core::{Dfa, Pssm};
+use gpu_sim::GlobalBuffer;
+
+/// One database block uploaded to the device: concatenated residues plus
+/// per-sequence offsets (the layout every real GPU BLAST uses).
+pub struct DeviceDbBlock {
+    /// Concatenated residues of all sequences in the block.
+    pub residues: GlobalBuffer<u8>,
+    /// `offsets[i]..offsets[i+1]` delimits sequence `i` in `residues`.
+    pub offsets: Vec<usize>,
+    /// Global database index of the block's first sequence.
+    pub base_index: usize,
+}
+
+impl DeviceDbBlock {
+    /// Flatten a slice of sequences into device layout.
+    pub fn upload(sequences: &[Sequence], base_index: usize) -> Self {
+        let total: usize = sequences.iter().map(|s| s.len()).sum();
+        let mut residues = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(sequences.len() + 1);
+        offsets.push(0);
+        for s in sequences {
+            residues.extend_from_slice(s.residues());
+            offsets.push(residues.len());
+        }
+        Self {
+            residues: GlobalBuffer::new(residues),
+            offsets,
+            base_index,
+        }
+    }
+
+    /// Number of sequences in the block.
+    pub fn num_seqs(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Residues of sequence `i` (block-local index).
+    #[inline]
+    pub fn seq(&self, i: usize) -> &[u8] {
+        &self.residues[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Length of sequence `i`.
+    #[inline]
+    pub fn seq_len(&self, i: usize) -> usize {
+        self.offsets[i + 1] - self.offsets[i]
+    }
+
+    /// Device address of residue `pos` of sequence `i` (for the coalescing
+    /// model).
+    #[inline]
+    pub fn residue_addr(&self, i: usize, pos: usize) -> u64 {
+        self.residues.addr(self.offsets[i] + pos)
+    }
+
+    /// Host→device payload size in bytes (PCIe model input).
+    pub fn upload_bytes(&self) -> u64 {
+        self.residues.size_bytes() + (self.offsets.len() * 8) as u64
+    }
+}
+
+/// Query-side device structures shared by all kernels of one search.
+pub struct DeviceQuery {
+    /// The hit-detection automaton (host copy; the state table is modelled
+    /// as resident in shared memory, Fig. 10).
+    pub dfa: Dfa,
+    /// The PSSM (host copy; placement decided by the buffering policy).
+    pub pssm: Pssm,
+    /// Device buffer behind the DFA query-position lists (read-only-cache
+    /// traffic).
+    pub dfa_positions: GlobalBuffer<u32>,
+    /// Device buffer behind the PSSM when it spills to global memory.
+    pub pssm_global: GlobalBuffer<i16>,
+}
+
+impl DeviceQuery {
+    /// Upload query structures.
+    pub fn upload(dfa: Dfa, pssm: Pssm) -> Self {
+        let dfa_positions = GlobalBuffer::new(dfa.neighborhood().raw_positions().to_vec());
+        let pssm_global = GlobalBuffer::new(pssm.raw().to_vec());
+        Self {
+            dfa,
+            pssm,
+            dfa_positions,
+            pssm_global,
+        }
+    }
+
+    /// Query length in residues.
+    pub fn query_len(&self) -> usize {
+        self.pssm.query_len()
+    }
+
+    /// Device addresses of the position-list entries for a word code —
+    /// what the binning kernel feeds to the read-only cache.
+    pub fn position_addrs(&self, code: usize) -> (u64, usize) {
+        let lo = self.dfa.neighborhood().raw_offsets()[code] as usize;
+        let hi = self.dfa.neighborhood().raw_offsets()[code + 1] as usize;
+        (self.dfa_positions.addr(lo), hi - lo)
+    }
+
+    /// Device address of PSSM cell `(query_pos, residue)` for the
+    /// global-memory PSSM path.
+    #[inline]
+    pub fn pssm_addr(&self, query_pos: usize, residue: u8) -> u64 {
+        self.pssm_global.addr(query_pos * 32 + residue as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blast_core::Matrix;
+
+    #[test]
+    fn upload_preserves_sequences() {
+        let seqs = vec![
+            Sequence::from_bytes("a", b"MKV"),
+            Sequence::from_bytes("b", b"ARNDC"),
+            Sequence::from_bytes("c", b""),
+        ];
+        let block = DeviceDbBlock::upload(&seqs, 10);
+        assert_eq!(block.num_seqs(), 3);
+        assert_eq!(block.seq(0), seqs[0].residues());
+        assert_eq!(block.seq(1), seqs[1].residues());
+        assert!(block.seq(2).is_empty());
+        assert_eq!(block.seq_len(1), 5);
+        assert_eq!(block.base_index, 10);
+    }
+
+    #[test]
+    fn residue_addresses_are_contiguous_across_sequences() {
+        let seqs = vec![
+            Sequence::from_bytes("a", b"MKV"),
+            Sequence::from_bytes("b", b"AR"),
+        ];
+        let block = DeviceDbBlock::upload(&seqs, 0);
+        assert_eq!(block.residue_addr(0, 1) - block.residue_addr(0, 0), 1);
+        // Sequence b starts right after a in the flat buffer.
+        assert_eq!(block.residue_addr(1, 0) - block.residue_addr(0, 2), 1);
+    }
+
+    #[test]
+    fn query_upload_and_position_addrs() {
+        let q = Sequence::from_bytes("q", b"WKVMSARND");
+        let m = Matrix::blosum62();
+        let dq = DeviceQuery::upload(Dfa::build(&q, &m, 11), Pssm::build(&q, &m));
+        assert_eq!(dq.query_len(), 9);
+        // Find a word with hits and check its address span.
+        let n = dq.dfa.neighborhood();
+        let code = (0..blast_core::NUM_WORDS)
+            .find(|&c| !n.positions(c).is_empty())
+            .expect("query must have neighbour words");
+        let (addr, len) = dq.position_addrs(code);
+        assert_eq!(len, n.positions(code).len());
+        assert!(addr >= dq.dfa_positions.addr(0));
+    }
+
+    #[test]
+    fn pssm_addr_stride_matches_layout() {
+        let q = Sequence::from_bytes("q", b"WKVM");
+        let m = Matrix::blosum62();
+        let dq = DeviceQuery::upload(Dfa::build(&q, &m, 11), Pssm::build(&q, &m));
+        // Column stride is 32 entries × 2 bytes.
+        assert_eq!(dq.pssm_addr(1, 0) - dq.pssm_addr(0, 0), 64);
+        assert_eq!(dq.pssm_addr(0, 1) - dq.pssm_addr(0, 0), 2);
+    }
+
+    #[test]
+    fn upload_bytes_counts_payload() {
+        let seqs = vec![Sequence::from_bytes("a", b"MKVLW")];
+        let block = DeviceDbBlock::upload(&seqs, 0);
+        assert_eq!(block.upload_bytes(), 5 + 2 * 8);
+    }
+}

@@ -1,0 +1,537 @@
+//! Fine-grained ungapped extension: the diagonal-based (Algorithm 3),
+//! hit-based (Algorithm 4) and window-based (Algorithm 5) kernels of
+//! §3.4, plus the scoring-table placement policy of §3.5.
+//!
+//! All three strategies compute extensions with the *same* x-drop routine
+//! as the CPU reference ([`blast_cpu::ungapped::extend`]), so functional
+//! output is identical by construction; what differs — and what the cost
+//! model captures — is how work maps to lanes:
+//!
+//! * **diagonal-based**: lane ↦ one (sequence, diagonal) group; walks its
+//!   hits with the coverage check. Divergence from both varying hit counts
+//!   and varying extension lengths.
+//! * **hit-based**: lane ↦ one filtered hit, extended unconditionally; no
+//!   coverage branch, but redundant extensions (duplicates are removed in
+//!   a de-duplication pass) and load imbalance from extension lengths.
+//! * **window-based**: a window of `window_size` lanes ↦ one diagonal;
+//!   each hit is extended cooperatively, `window_size` positions per step
+//!   with a CUB-style prefix scan computing running scores, ChangeSinceBest
+//!   and DropFlag (Fig. 8).
+
+use crate::config::{CuBlastpConfig, ExtensionStrategy, ScoringMode};
+use crate::devicedata::{DeviceDbBlock, DeviceQuery};
+use crate::hitpack::{group_key, query_pos, seq_id, subject_pos};
+use crate::reorder::FilteredHits;
+use blast_cpu::ungapped::{extend, UngappedExt};
+use blast_core::SearchParams;
+use gpu_sim::device::WARP_SIZE;
+use gpu_sim::{launch, DeviceConfig, KernelStats, LaunchConfig};
+use parking_lot::Mutex;
+
+/// Positions an x-drop extension scans beyond the best-scoring end before
+/// giving up (cost-model constant; the functional routine computes the
+/// exact extent).
+const OVERSHOOT: u64 = 8;
+
+/// Output of the ungapped-extension kernel.
+pub struct ExtensionResult {
+    /// Extensions, grouped by subject sequence in block-local ids,
+    /// de-duplicated for the hit-based strategy.
+    pub extensions: Vec<UngappedExt>,
+    /// Kernel stats (divergence overhead drives Fig. 16b).
+    pub stats: KernelStats,
+    /// Redundant extensions the hit-based strategy computed and discarded.
+    pub redundant: u64,
+}
+
+/// Per-lane cost aggregate for one lockstep batch.
+#[derive(Debug, Clone, Copy, Default)]
+struct LaneCost {
+    cycles: u64,
+    global_tx: u64,
+    useful_bytes: u64,
+    shared: u64,
+}
+
+/// Scoring-path cost per extended position, derived from §3.5.
+#[derive(Debug, Clone, Copy)]
+struct ScoringCost {
+    /// Extra cycles per scored position.
+    cycles_per_pos: u64,
+    /// Shared-memory accesses per scored position.
+    shared_per_pos: u64,
+    /// Global transactions per scored position (PSSM spilled to global:
+    /// the 64-byte column stride touches a new line every other position).
+    tx_per_pos_x2: u64, // in halves to keep integer math
+    /// Useful bytes per scored position read from global.
+    bytes_per_pos: u64,
+}
+
+fn scoring_cost(cfg: &CuBlastpConfig, query_len: usize, device: &DeviceConfig) -> ScoringCost {
+    match cfg.resolved_scoring(query_len) {
+        ScoringMode::Pssm => {
+            if cfg.pssm_in_global(query_len) {
+                ScoringCost {
+                    cycles_per_pos: device.global_transaction_cost / 2,
+                    shared_per_pos: 0,
+                    tx_per_pos_x2: 1,
+                    bytes_per_pos: 2,
+                }
+            } else {
+                // One shared-memory load per position, partially hidden
+                // behind the arithmetic.
+                ScoringCost {
+                    cycles_per_pos: 2 * device.shared_access_cost,
+                    shared_per_pos: 1,
+                    tx_per_pos_x2: 0,
+                    bytes_per_pos: 0,
+                }
+            }
+        }
+        // BLOSUM62: the query residue must be loaded before the matrix
+        // cell can be addressed — two *dependent* shared loads whose
+        // latency cannot overlap, plus bank conflicts from effectively
+        // random (query, subject) residue pairs. This is the extra memory
+        // work §3.5 trades against the PSSM's footprint.
+        ScoringMode::Blosum62 => ScoringCost {
+            cycles_per_pos: 5 * device.shared_access_cost + device.atomic_conflict_cost,
+            shared_per_pos: 2,
+            tx_per_pos_x2: 0,
+            bytes_per_pos: 0,
+        },
+        ScoringMode::Auto => unreachable!("resolved"),
+    }
+}
+
+/// Instructions per extended position: score add, running-best update,
+/// drop test, bounds check, predicate and pointer bump.
+const INSTR_PER_POS: u64 = 6;
+
+/// Cost of one sequential (single-lane) extension that scanned `scanned`
+/// subject positions. Every position issues a load (no L1 on Kepler); the
+/// loads walk one line at a time, so DRAM sees only `scanned/128` lines
+/// while the lane pays L2 latency per position.
+fn sequential_ext_cost(scanned: u64, sc: &ScoringCost, device: &DeviceConfig) -> LaneCost {
+    let dram_lines = 1 + scanned / 128;
+    LaneCost {
+        cycles: scanned
+            * (INSTR_PER_POS * device.instr_cost + sc.cycles_per_pos + device.l2_hit_cost)
+            + dram_lines * device.global_transaction_cost
+            + (scanned * sc.tx_per_pos_x2 / 2) * device.global_transaction_cost,
+        global_tx: dram_lines + scanned * sc.tx_per_pos_x2 / 2,
+        useful_bytes: scanned + scanned * sc.bytes_per_pos,
+        shared: scanned * sc.shared_per_pos,
+    }
+}
+
+/// Cost of one window-cooperative extension (`w` lanes scan `w` positions
+/// per step with a warp scan). The window's lanes read `w` *consecutive*
+/// subject bytes per step — one coalesced load, L2-resident after the
+/// first touch of each line — so the window amortizes both latency and
+/// bandwidth `w`-fold over the single-lane strategies.
+fn window_ext_cost(scanned: u64, w: u64, sc: &ScoringCost, device: &DeviceConfig) -> LaneCost {
+    let steps = scanned.div_ceil(w).max(1);
+    // A w-lane shuffle scan needs ⌈log₂ w⌉ steps (3 for the default 8).
+    let scan_steps = (w.max(2) as f64).log2().ceil() as u64;
+    // Redundant positions: the window always completes its last chunk.
+    let scanned_padded = steps * w;
+    let dram_lines = 1 + scanned_padded / 128;
+    LaneCost {
+        cycles: steps
+            * ((scan_steps + INSTR_PER_POS) * device.instr_cost
+                + sc.cycles_per_pos
+                + device.l2_hit_cost)
+            + dram_lines * device.global_transaction_cost
+            + (scanned_padded * sc.tx_per_pos_x2 / 2) * device.global_transaction_cost,
+        global_tx: dram_lines + scanned_padded * sc.tx_per_pos_x2 / 2,
+        useful_bytes: scanned_padded + scanned_padded * sc.bytes_per_pos,
+        shared: scanned_padded * sc.shared_per_pos,
+    }
+}
+
+/// Cost of walking `n_hits` packed hits on one lane (8-byte loads, 16 hits
+/// per 128-byte line since the group is contiguous).
+fn hit_walk_cost(n_hits: u64, device: &DeviceConfig) -> LaneCost {
+    let lines = 1 + n_hits / 16;
+    LaneCost {
+        cycles: n_hits * 2 * device.instr_cost + lines * device.global_transaction_cost,
+        global_tx: lines,
+        useful_bytes: n_hits * 8,
+        shared: 0,
+    }
+}
+
+impl LaneCost {
+    fn add(&mut self, other: LaneCost) {
+        self.cycles += other.cycles;
+        self.global_tx += other.global_tx;
+        self.useful_bytes += other.useful_bytes;
+        self.shared += other.shared;
+    }
+}
+
+/// Slice the filtered hits into (sequence, diagonal) tasks — runs of equal
+/// [`group_key`].
+pub fn build_tasks(hits: &[u64]) -> Vec<(usize, usize)> {
+    let mut tasks = Vec::new();
+    let mut start = 0usize;
+    for i in 1..=hits.len() {
+        if i == hits.len() || group_key(hits[i]) != group_key(hits[start]) {
+            tasks.push((start, i));
+            start = i;
+        }
+    }
+    tasks
+}
+
+/// Functional diagonal walk with the coverage check (Algorithm 3 lines
+/// 12–24) — the semantics shared with the CPU reference.
+fn walk_task(
+    query: &DeviceQuery,
+    db: &DeviceDbBlock,
+    hits: &[u64],
+    params: &SearchParams,
+    out: &mut Vec<UngappedExt>,
+) -> u64 {
+    let qlen = query.query_len();
+    let mut ext_reach: i64 = 0;
+    let mut scanned_total = 0u64;
+    for &h in hits {
+        let spos = subject_pos(h);
+        if (spos as i64) >= ext_reach {
+            let sid = seq_id(h);
+            let qpos = query_pos(h, qlen);
+            let ext = extend(
+                &query.pssm,
+                db.seq(sid as usize),
+                sid,
+                qpos,
+                spos,
+                params.xdrop_ungapped,
+            );
+            ext_reach = ext.s_end() as i64;
+            scanned_total += ext.len as u64 + 2 * OVERSHOOT;
+            out.push(ext);
+        }
+    }
+    scanned_total
+}
+
+/// Run the configured ungapped-extension kernel over the filtered hits.
+pub fn extension_kernel(
+    device: &DeviceConfig,
+    cfg: &CuBlastpConfig,
+    query: &DeviceQuery,
+    db: &DeviceDbBlock,
+    filtered: &FilteredHits,
+    params: &SearchParams,
+) -> ExtensionResult {
+    let tasks = build_tasks(&filtered.hits);
+    let qlen = query.query_len();
+    let sc = scoring_cost(cfg, qlen, device);
+
+    let shared = cfg.scoring_shared_bytes(qlen);
+    let launch_cfg = LaunchConfig {
+        blocks: cfg.grid_blocks,
+        warps_per_block: cfg.warps_per_block,
+        shared_bytes_per_block: shared + 1024, // + per-block output buffer
+        use_readonly_cache: cfg.use_readonly_cache,
+    };
+
+    let name = match cfg.extension {
+        ExtensionStrategy::Diagonal => "ungapped_extension_diagonal",
+        ExtensionStrategy::Hit => "ungapped_extension_hit",
+        ExtensionStrategy::Window => "ungapped_extension_window",
+    };
+
+    let results: Mutex<Vec<(u32, Vec<UngappedExt>)>> = Mutex::new(Vec::new());
+    let blocks = cfg.grid_blocks.max(1);
+
+    let stats = launch(device, launch_cfg, name, |block| {
+        let mut out: Vec<UngappedExt> = Vec::new();
+        match cfg.extension {
+            ExtensionStrategy::Diagonal => {
+                // Lane ↦ task; warp batch = 32 tasks; blocks stride the
+                // batch list.
+                let mut lane_costs: Vec<u64> = Vec::with_capacity(WARP_SIZE as usize);
+                let mut batch = block.block_id as usize;
+                let batches = tasks.len().div_ceil(WARP_SIZE as usize);
+                while batch < batches {
+                    let lo = batch * WARP_SIZE as usize;
+                    let hi = (lo + WARP_SIZE as usize).min(tasks.len());
+                    lane_costs.clear();
+                    let mut traffic = LaneCost::default();
+                    for &(s, e) in &tasks[lo..hi] {
+                        let mut lane = hit_walk_cost((e - s) as u64, block.device());
+                        let before = out.len();
+                        let scanned = walk_task(query, db, &filtered.hits[s..e], params, &mut out);
+                        let _ = before;
+                        lane.add(sequential_ext_cost(scanned, &sc, block.device()));
+                        lane_costs.push(lane.cycles);
+                        traffic.add(LaneCost {
+                            cycles: 0,
+                            global_tx: lane.global_tx,
+                            useful_bytes: lane.useful_bytes,
+                            shared: lane.shared,
+                        });
+                    }
+                    block.lockstep(&lane_costs);
+                    block.bulk_traffic(traffic.global_tx, traffic.useful_bytes, traffic.shared);
+                    batch += blocks as usize;
+                }
+            }
+            ExtensionStrategy::Hit => {
+                // Lane ↦ hit; every filtered hit is extended, coverage be
+                // damned (Algorithm 4) — duplicates removed afterwards.
+                let mut lane_costs: Vec<u64> = Vec::with_capacity(WARP_SIZE as usize);
+                let n = filtered.hits.len();
+                let batches = n.div_ceil(WARP_SIZE as usize);
+                let mut batch = block.block_id as usize;
+                while batch < batches {
+                    let lo = batch * WARP_SIZE as usize;
+                    let hi = (lo + WARP_SIZE as usize).min(n);
+                    lane_costs.clear();
+                    let mut traffic = LaneCost::default();
+                    for &h in &filtered.hits[lo..hi] {
+                        let sid = seq_id(h);
+                        let spos = subject_pos(h);
+                        let qpos = query_pos(h, qlen);
+                        let ext = extend(
+                            &query.pssm,
+                            db.seq(sid as usize),
+                            sid,
+                            qpos,
+                            spos,
+                            params.xdrop_ungapped,
+                        );
+                        let scanned = ext.len as u64 + 2 * OVERSHOOT;
+                        out.push(ext);
+                        let mut lane = hit_walk_cost(1, block.device());
+                        lane.add(sequential_ext_cost(scanned, &sc, block.device()));
+                        lane_costs.push(lane.cycles);
+                        traffic.add(LaneCost { cycles: 0, ..lane });
+                    }
+                    block.lockstep(&lane_costs);
+                    block.bulk_traffic(traffic.global_tx, traffic.useful_bytes, traffic.shared);
+                    batch += blocks as usize;
+                }
+            }
+            ExtensionStrategy::Window => {
+                // Window of `window_size` lanes ↦ task; warp batch =
+                // 32 / window_size tasks (Fig. 9d).
+                let w = cfg.window_size.clamp(2, WARP_SIZE as usize) as u64;
+                let windows_per_warp = (WARP_SIZE as usize / w as usize).max(1);
+                let mut win_costs: Vec<u64> = Vec::with_capacity(windows_per_warp);
+                let batches = tasks.len().div_ceil(windows_per_warp);
+                let mut batch = block.block_id as usize;
+                while batch < batches {
+                    let lo = batch * windows_per_warp;
+                    let hi = (lo + windows_per_warp).min(tasks.len());
+                    win_costs.clear();
+                    let mut traffic = LaneCost::default();
+                    for &(s, e) in &tasks[lo..hi] {
+                        // Per-window serialized cost over its hits.
+                        let mut win = hit_walk_cost((e - s) as u64, block.device());
+                        let before = out.len();
+                        let _ = walk_task(query, db, &filtered.hits[s..e], params, &mut out);
+                        for ext in &out[before..] {
+                            let scanned = ext.len as u64 + 2 * OVERSHOOT;
+                            win.add(window_ext_cost(scanned, w, &sc, block.device()));
+                        }
+                        win_costs.push(win.cycles);
+                        traffic.add(LaneCost { cycles: 0, ..win });
+                    }
+                    // Expand window costs to lane granularity: all lanes of
+                    // a window stay active for the window's duration.
+                    let mut lane_costs: Vec<u64> = Vec::with_capacity(WARP_SIZE as usize);
+                    for &c in &win_costs {
+                        for _ in 0..w {
+                            lane_costs.push(c);
+                        }
+                    }
+                    block.lockstep(&lane_costs);
+                    block.bulk_traffic(traffic.global_tx, traffic.useful_bytes, traffic.shared);
+                    batch += blocks as usize;
+                }
+            }
+        }
+        results.lock().push((block.block_id, out));
+    });
+
+    let mut per_block = results.into_inner();
+    per_block.sort_by_key(|(id, _)| *id);
+    let mut extensions: Vec<UngappedExt> = per_block.into_iter().flat_map(|(_, v)| v).collect();
+
+    // Canonical order: by subject, then position — shared by every
+    // strategy so downstream phases are order-independent.
+    extensions.sort_by_key(|e| (e.seq_id, e.s_start, e.q_start, e.len));
+    let mut redundant = 0u64;
+    if cfg.extension == ExtensionStrategy::Hit {
+        let before = extensions.len();
+        extensions.dedup();
+        redundant = (before - extensions.len()) as u64;
+    }
+
+    ExtensionResult {
+        extensions,
+        stats,
+        redundant,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hitpack::pack;
+    use bio_seq::generate::make_query;
+    use bio_seq::Sequence;
+    use blast_core::{Dfa, Matrix, Pssm};
+
+    fn device_query(qlen: usize) -> DeviceQuery {
+        let q = make_query(qlen);
+        let m = Matrix::blosum62();
+        DeviceQuery::upload(Dfa::build(&q, &m, 11), Pssm::build(&q, &m))
+    }
+
+    fn filtered(hits: Vec<u64>) -> FilteredHits {
+        let before = hits.len() as u64 * 10;
+        FilteredHits { hits, before }
+    }
+
+    #[test]
+    fn build_tasks_groups_by_sequence_and_diagonal() {
+        let hits = vec![
+            pack(0, 3, 1),
+            pack(0, 3, 9),
+            pack(0, 5, 2),
+            pack(1, 3, 4),
+        ];
+        assert_eq!(build_tasks(&hits), vec![(0, 2), (2, 3), (3, 4)]);
+        assert!(build_tasks(&[]).is_empty());
+    }
+
+    fn workload() -> (DeviceQuery, DeviceDbBlock, FilteredHits) {
+        let dq = device_query(64);
+        let q = make_query(64);
+        // Subjects embedding the query → real extendable hits.
+        let subjects: Vec<Sequence> = (0..12)
+            .map(|k| {
+                let mut r = make_query(40 + k).residues().to_vec();
+                r.extend_from_slice(q.residues());
+                r.extend(make_query(30 + k).residues().iter());
+                Sequence::from_residues(format!("s{k}"), r)
+            })
+            .collect();
+        let db = DeviceDbBlock::upload(&subjects, 0);
+        // Generate filtered hits with the real front half of the pipeline.
+        let cfg = CuBlastpConfig {
+            grid_blocks: 2,
+            warps_per_block: 2,
+            num_bins: 16,
+            ..Default::default()
+        };
+        let d = DeviceConfig::k20c();
+        let (binned, _) = crate::binning::binning_kernel(&d, &cfg, &dq, &db);
+        let (mut asm, _) = crate::reorder::assemble_kernel(&d, &cfg, binned);
+        crate::reorder::sort_kernel(&d, &mut asm);
+        let (f, _) = crate::reorder::filter_kernel(&d, &cfg, &asm, 40);
+        (dq, db, f)
+    }
+
+    #[test]
+    fn diagonal_and_window_produce_identical_extensions() {
+        let (dq, db, f) = workload();
+        let d = DeviceConfig::k20c();
+        let p = SearchParams::default();
+        let run = |strategy| {
+            let cfg = CuBlastpConfig {
+                extension: strategy,
+                grid_blocks: 3,
+                warps_per_block: 2,
+                ..Default::default()
+            };
+            extension_kernel(&d, &cfg, &dq, &db, &f, &p)
+        };
+        let diag = run(ExtensionStrategy::Diagonal);
+        let win = run(ExtensionStrategy::Window);
+        assert!(!diag.extensions.is_empty(), "workload produced no extensions");
+        assert_eq!(diag.extensions, win.extensions);
+        assert_eq!(diag.redundant, 0);
+        assert_eq!(win.redundant, 0);
+    }
+
+    #[test]
+    fn hit_based_is_superset_after_dedup() {
+        let (dq, db, f) = workload();
+        let d = DeviceConfig::k20c();
+        let p = SearchParams::default();
+        let mk = |strategy| CuBlastpConfig {
+            extension: strategy,
+            grid_blocks: 2,
+            warps_per_block: 2,
+            ..Default::default()
+        };
+        let diag = extension_kernel(&d, &mk(ExtensionStrategy::Diagonal), &dq, &db, &f, &p);
+        let hit = extension_kernel(&d, &mk(ExtensionStrategy::Hit), &dq, &db, &f, &p);
+        // Every diagonal-based extension appears in the hit-based output.
+        for e in &diag.extensions {
+            assert!(
+                hit.extensions.contains(e),
+                "missing extension {e:?} in hit-based output"
+            );
+        }
+        assert!(hit.extensions.len() >= diag.extensions.len());
+    }
+
+    #[test]
+    fn extension_results_are_independent_of_grid_shape() {
+        let (dq, db, f) = workload();
+        let d = DeviceConfig::k20c();
+        let p = SearchParams::default();
+        let run = |blocks, warps| {
+            let cfg = CuBlastpConfig {
+                grid_blocks: blocks,
+                warps_per_block: warps,
+                ..Default::default()
+            };
+            extension_kernel(&d, &cfg, &dq, &db, &f, &p).extensions
+        };
+        assert_eq!(run(1, 1), run(7, 4));
+    }
+
+    #[test]
+    fn window_has_lowest_divergence() {
+        let (dq, db, f) = workload();
+        let d = DeviceConfig::k20c();
+        let p = SearchParams::default();
+        let run = |strategy| {
+            let cfg = CuBlastpConfig {
+                extension: strategy,
+                grid_blocks: 2,
+                warps_per_block: 2,
+                ..Default::default()
+            };
+            extension_kernel(&d, &cfg, &dq, &db, &f, &p)
+                .stats
+                .divergence_overhead()
+        };
+        let diag = run(ExtensionStrategy::Diagonal);
+        let win = run(ExtensionStrategy::Window);
+        assert!(
+            win < diag,
+            "window divergence {win} must beat diagonal {diag}"
+        );
+    }
+
+    #[test]
+    fn empty_filtered_hits() {
+        let dq = device_query(32);
+        let db = DeviceDbBlock::upload(&[], 0);
+        let d = DeviceConfig::k20c();
+        let p = SearchParams::default();
+        let cfg = CuBlastpConfig::default();
+        let r = extension_kernel(&d, &cfg, &dq, &db, &filtered(vec![]), &p);
+        assert!(r.extensions.is_empty());
+        assert_eq!(r.redundant, 0);
+    }
+}

@@ -1,0 +1,229 @@
+//! The GPU side of cuBLASTP for one database block: the five fine-grained
+//! kernels (hit detection with binning → assembling → sorting → filtering
+//! → ungapped extension) run back to back, as in §3.2–3.4.
+
+use crate::binning::binning_kernel;
+use crate::config::CuBlastpConfig;
+use crate::devicedata::{DeviceDbBlock, DeviceQuery};
+use crate::extension::{extension_kernel, ExtensionResult};
+use crate::reorder::{assemble_kernel, sort_kernel};
+use blast_cpu::ungapped::UngappedExt;
+use blast_core::SearchParams;
+use gpu_sim::{DeviceConfig, KernelStats};
+
+/// Counters describing what the block produced.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GpuPhaseCounts {
+    /// Word hits detected.
+    pub hits: u64,
+    /// Hits surviving the filter.
+    pub filtered: u64,
+    /// Ungapped extensions computed (after de-duplication).
+    pub extensions: u64,
+    /// Redundant extensions discarded (hit-based strategy only).
+    pub redundant: u64,
+}
+
+impl GpuPhaseCounts {
+    /// Fraction of hits that survived filtering (§3.3 reports 5–11 %).
+    pub fn survival_ratio(&self) -> f64 {
+        if self.hits == 0 {
+            0.0
+        } else {
+            self.filtered as f64 / self.hits as f64
+        }
+    }
+}
+
+/// Output of the GPU phase for one database block.
+pub struct GpuPhaseOutput {
+    /// Extensions grouped by block-local subject id (index into the
+    /// block's sequences; empty vectors for subjects without extensions).
+    pub extensions_by_seq: Vec<Vec<UngappedExt>>,
+    /// Per-kernel stats in execution order: hit detection, assembling,
+    /// sorting, filtering, ungapped extension.
+    pub kernels: Vec<KernelStats>,
+    /// Hit/extension counters.
+    pub counts: GpuPhaseCounts,
+    /// Bytes the CPU must download (the extension records, Fig. 12's
+    /// D2H leg).
+    pub download_bytes: u64,
+}
+
+impl GpuPhaseOutput {
+    /// Total simulated GPU time for the block in milliseconds.
+    pub fn gpu_ms(&self, device: &DeviceConfig) -> f64 {
+        self.kernels.iter().map(|k| k.time_ms(device)).sum()
+    }
+
+    /// Find one kernel's stats by name.
+    pub fn kernel(&self, name: &str) -> Option<&KernelStats> {
+        self.kernels.iter().find(|k| k.name.contains(name))
+    }
+}
+
+/// Run the five fine-grained kernels over one uploaded database block.
+pub fn run_gpu_phase(
+    device: &DeviceConfig,
+    cfg: &CuBlastpConfig,
+    query: &DeviceQuery,
+    db: &DeviceDbBlock,
+    params: &SearchParams,
+) -> GpuPhaseOutput {
+    // Kernel 1: warp-based hit detection with binning (Algorithm 2).
+    let (binned, k_bin) = binning_kernel(device, cfg, query, db);
+    let hits = binned.total_hits;
+
+    // Kernel 2: assemble bins into a contiguous array (Fig. 6a).
+    let (mut assembled, k_asm) = assemble_kernel(device, cfg, binned);
+
+    // Kernel 3: segmented sort on the packed 64-bit keys (Fig. 6b, Fig. 7).
+    let k_sort = sort_kernel(device, &mut assembled);
+
+    // Kernel 4: filter non-extendable hits (Fig. 6c); in one-hit mode the
+    // pass degenerates to compaction.
+    let (filtered, k_filter) = crate::reorder::filter_kernel_mode(
+        device,
+        cfg,
+        &assembled,
+        params.two_hit,
+        params.two_hit_window as i64,
+    );
+    let n_filtered = filtered.hits.len() as u64;
+
+    // Kernel 5: fine-grained ungapped extension (Algorithms 3–5).
+    let ExtensionResult {
+        extensions,
+        stats: k_ext,
+        redundant,
+    } = extension_kernel(device, cfg, query, db, &filtered, params);
+
+    let mut extensions_by_seq: Vec<Vec<UngappedExt>> = vec![Vec::new(); db.num_seqs()];
+    let n_ext = extensions.len() as u64;
+    for e in extensions {
+        extensions_by_seq[e.seq_id as usize].push(e);
+    }
+
+    let download_bytes = n_ext * std::mem::size_of::<UngappedExt>() as u64;
+
+    GpuPhaseOutput {
+        extensions_by_seq,
+        kernels: vec![k_bin, k_asm, k_sort, k_filter, k_ext],
+        counts: GpuPhaseCounts {
+            hits,
+            filtered: n_filtered,
+            extensions: n_ext,
+            redundant,
+        },
+        download_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bio_seq::generate::{generate_db, make_query, DbSpec};
+    use blast_core::{Dfa, Matrix, Pssm};
+
+    fn setup() -> (DeviceQuery, DeviceDbBlock, SearchParams) {
+        let q = make_query(96);
+        let spec = DbSpec {
+            name: "t",
+            num_sequences: 80,
+            mean_length: 150,
+            homolog_fraction: 0.3,
+            seed: 5,
+        };
+        let synth = generate_db(&spec, &q);
+        let m = Matrix::blosum62();
+        let p = SearchParams::default();
+        let dq = DeviceQuery::upload(Dfa::build(&q, &m, p.threshold), Pssm::build(&q, &m));
+        let db = DeviceDbBlock::upload(synth.db.sequences(), 0);
+        (dq, db, p)
+    }
+
+    #[test]
+    fn phase_produces_all_five_kernels() {
+        let (dq, db, p) = setup();
+        let cfg = CuBlastpConfig {
+            grid_blocks: 4,
+            warps_per_block: 2,
+            ..Default::default()
+        };
+        let out = run_gpu_phase(&DeviceConfig::k20c(), &cfg, &dq, &db, &p);
+        assert_eq!(out.kernels.len(), 5);
+        assert!(out.kernel("hit_detection").is_some());
+        assert!(out.kernel("hit_sorting").is_some());
+        assert!(out.kernel("hit_filtering").is_some());
+        assert!(out.kernel("ungapped_extension").is_some());
+        assert!(out.counts.hits > 0);
+        assert!(out.counts.extensions > 0);
+        assert!(out.gpu_ms(&DeviceConfig::k20c()) > 0.0);
+    }
+
+    #[test]
+    fn filtering_rejects_most_hits() {
+        let (dq, db, p) = setup();
+        let cfg = CuBlastpConfig {
+            grid_blocks: 4,
+            warps_per_block: 2,
+            ..Default::default()
+        };
+        let out = run_gpu_phase(&DeviceConfig::k20c(), &cfg, &dq, &db, &p);
+        let ratio = out.counts.survival_ratio();
+        assert!(
+            ratio < 0.35,
+            "filter must reject the bulk of hits, survival = {ratio}"
+        );
+        assert!(ratio > 0.0);
+    }
+
+    #[test]
+    fn extensions_match_cpu_reference() {
+        // The decisive semantics test: binning → sorting → filtering →
+        // diagonal walk must reproduce exactly the extension set of the
+        // column-major CPU scan with the two-hit rule.
+        let (dq, db, p) = setup();
+        let cfg = CuBlastpConfig {
+            grid_blocks: 3,
+            ..Default::default()
+        };
+        let out = run_gpu_phase(&DeviceConfig::k20c(), &cfg, &dq, &db, &p);
+
+        let mut cpu_exts: Vec<Vec<UngappedExt>> = vec![Vec::new(); db.num_seqs()];
+        let mut scratch = blast_cpu::hit::DiagonalScratch::new(0);
+        let mut stats = blast_cpu::hit::HitStats::default();
+        for i in 0..db.num_seqs() {
+            let mut v = Vec::new();
+            blast_cpu::hit::scan_subject(
+                &dq.dfa,
+                &dq.pssm,
+                db.seq(i),
+                i as u32,
+                p.two_hit_window as i64,
+                p.xdrop_ungapped,
+                &mut scratch,
+                &mut v,
+                &mut stats,
+            );
+            cpu_exts[i] = v;
+        }
+        for v in cpu_exts.iter_mut() {
+            v.sort_by_key(|e| (e.seq_id, e.s_start, e.q_start, e.len));
+        }
+        assert_eq!(out.extensions_by_seq, cpu_exts);
+        assert_eq!(out.counts.hits, stats.hits);
+    }
+
+    #[test]
+    fn empty_block() {
+        let q = make_query(32);
+        let m = Matrix::blosum62();
+        let p = SearchParams::default();
+        let dq = DeviceQuery::upload(Dfa::build(&q, &m, p.threshold), Pssm::build(&q, &m));
+        let db = DeviceDbBlock::upload(&[], 0);
+        let out = run_gpu_phase(&DeviceConfig::k20c(), &CuBlastpConfig::default(), &dq, &db, &p);
+        assert_eq!(out.counts.hits, 0);
+        assert!(out.extensions_by_seq.is_empty());
+    }
+}

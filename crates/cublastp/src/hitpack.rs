@@ -1,0 +1,116 @@
+//! The packed 64-bit bin element (paper Fig. 7).
+//!
+//! A hit carries four attributes — query position, subject position,
+//! diagonal, subject sequence id — but diagonal = subject − query + qlen,
+//! so three fields suffice. Packing sequence id (bits 63–32), diagonal
+//! (bits 31–16) and subject position (bits 15–0) into one `u64` lets a
+//! single ascending sort order hits by (sequence, diagonal, position) —
+//! the order the filter and the extension kernels need — and one memory
+//! access recovers everything during extension.
+//!
+//! 16 bits per field is what the paper argues is enough: the longest NCBI
+//! NR sequence is 36 805 residues < 64 K.
+
+/// Maximum representable subject position / diagonal (16-bit fields).
+pub const MAX_FIELD: u32 = u16::MAX as u32;
+
+/// Pack `(seq_id, diagonal, subject_pos)` into a bin element.
+///
+/// # Panics
+/// Debug-panics when `diagonal` or `subject_pos` exceed 16 bits (a
+/// sequence longer than 64 K residues — beyond anything in NR).
+#[inline]
+pub fn pack(seq_id: u32, diagonal: u32, subject_pos: u32) -> u64 {
+    debug_assert!(diagonal <= MAX_FIELD, "diagonal {diagonal} overflows 16 bits");
+    debug_assert!(subject_pos <= MAX_FIELD, "subject pos {subject_pos} overflows 16 bits");
+    ((seq_id as u64) << 32) | ((diagonal as u64) << 16) | subject_pos as u64
+}
+
+/// Unpack a bin element into `(seq_id, diagonal, subject_pos)`.
+#[inline]
+pub fn unpack(e: u64) -> (u32, u32, u32) {
+    ((e >> 32) as u32, ((e >> 16) & 0xFFFF) as u32, (e & 0xFFFF) as u32)
+}
+
+/// Sequence id field.
+#[inline]
+pub fn seq_id(e: u64) -> u32 {
+    (e >> 32) as u32
+}
+
+/// Diagonal field.
+#[inline]
+pub fn diagonal(e: u64) -> u32 {
+    ((e >> 16) & 0xFFFF) as u32
+}
+
+/// Subject-position field.
+#[inline]
+pub fn subject_pos(e: u64) -> u32 {
+    (e & 0xFFFF) as u32
+}
+
+/// Query position recovered from the packed fields
+/// (`subject_pos − diagonal + query_len`, inverting Algorithm 1 line 6).
+#[inline]
+pub fn query_pos(e: u64, query_len: usize) -> u32 {
+    (subject_pos(e) as i64 - diagonal(e) as i64 + query_len as i64) as u32
+}
+
+/// The (sequence, diagonal) group key — two hits belong to the same
+/// extension diagonal iff their keys match.
+#[inline]
+pub fn group_key(e: u64) -> u64 {
+    e >> 16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        for (s, d, p) in [(0u32, 0u32, 0u32), (7, 1234, 999), (u32::MAX, 65535, 65535)] {
+            let e = pack(s, d, p);
+            assert_eq!(unpack(e), (s, d, p));
+            assert_eq!(seq_id(e), s);
+            assert_eq!(diagonal(e), d);
+            assert_eq!(subject_pos(e), p);
+        }
+    }
+
+    #[test]
+    fn sort_order_is_seq_then_diag_then_pos() {
+        let mut v = vec![
+            pack(1, 0, 5),
+            pack(0, 9, 0),
+            pack(0, 2, 7),
+            pack(0, 2, 3),
+            pack(1, 0, 1),
+        ];
+        v.sort_unstable();
+        let order: Vec<(u32, u32, u32)> = v.into_iter().map(unpack).collect();
+        assert_eq!(
+            order,
+            vec![(0, 2, 3), (0, 2, 7), (0, 9, 0), (1, 0, 1), (1, 0, 5)]
+        );
+    }
+
+    #[test]
+    fn query_pos_inverts_diagonal_formula() {
+        // diagonal = spos − qpos + qlen  ⇒  qpos = spos − diagonal + qlen.
+        let qlen = 100usize;
+        let qpos = 30u32;
+        let spos = 55u32;
+        let diag = (spos as i64 - qpos as i64 + qlen as i64) as u32;
+        let e = pack(3, diag, spos);
+        assert_eq!(query_pos(e, qlen), qpos);
+    }
+
+    #[test]
+    fn group_key_separates_diagonals() {
+        assert_eq!(group_key(pack(4, 7, 1)), group_key(pack(4, 7, 60000)));
+        assert_ne!(group_key(pack(4, 7, 1)), group_key(pack(4, 8, 1)));
+        assert_ne!(group_key(pack(4, 7, 1)), group_key(pack(5, 7, 1)));
+    }
+}

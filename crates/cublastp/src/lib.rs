@@ -1,0 +1,59 @@
+//! # cuBLASTP-rs
+//!
+//! A from-scratch reproduction of *cuBLASTP: Fine-Grained Parallelization
+//! of Protein Sequence Search on a GPU* (Zhang, Wang, Feng), running on
+//! the SIMT simulator in the `gpu-sim` crate instead of a physical Kepler
+//! GPU (see DESIGN.md for the substitution argument).
+//!
+//! The pipeline decouples BLASTP's phases into five fine-grained GPU
+//! kernels plus a multicore CPU tail, bridged by the paper's
+//! binning–sorting–filtering reorder:
+//!
+//! ```text
+//! hit detection + binning      (Algorithm 2, warp per sequence)
+//!   → hit assembling           (Fig. 6a)
+//!   → segmented hit sorting    (Fig. 6b, packed 64-bit keys of Fig. 7)
+//!   → hit filtering            (Fig. 6c, two-hit window)
+//!   → ungapped extension       (Algorithms 3/4/5: diagonal / hit / window)
+//!   → [PCIe] → gapped extension + traceback on CPU threads (§3.6)
+//! ```
+//!
+//! The end-to-end entry point is [`CuBlastp`]:
+//!
+//! ```
+//! use bio_seq::generate::{generate_preset, make_query, DbPreset};
+//! use blast_core::SearchParams;
+//! use cublastp::{CuBlastp, CuBlastpConfig};
+//! use gpu_sim::DeviceConfig;
+//!
+//! let query = make_query(127);
+//! let db = generate_preset(DbPreset::SwissprotMini, &query).db;
+//! let searcher = CuBlastp::new(
+//!     query,
+//!     SearchParams::default(),
+//!     CuBlastpConfig::default(),
+//!     DeviceConfig::k20c(),
+//!     &db,
+//! );
+//! let result = searcher.search(&db);
+//! println!("{} alignments, {:.2} ms on the simulated K20c",
+//!          result.report.hits.len(), result.timing.total_ms());
+//! ```
+
+pub mod binning;
+pub mod cluster;
+pub mod config;
+pub mod devicedata;
+pub mod extension;
+pub mod gapped_gpu;
+pub mod gpu_phase;
+pub mod hitpack;
+pub mod pipeline;
+pub mod reorder;
+pub mod search;
+
+pub use cluster::{search_cluster, ClusterConfig, ClusterResult};
+pub use config::{CuBlastpConfig, ExtensionStrategy, ScoringMode};
+pub use gpu_phase::{GpuPhaseCounts, GpuPhaseOutput};
+pub use pipeline::{schedule, BlockTiming, PipelineSchedule};
+pub use search::{search_batch, BatchOutcome, CuBlastp, CuBlastpResult, CuBlastpTiming};

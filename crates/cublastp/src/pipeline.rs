@@ -1,0 +1,182 @@
+//! The CPU–GPU overlap pipeline (paper §3.6, Fig. 12).
+//!
+//! The database is processed in blocks. While the GPU runs hit detection
+//! and ungapped extension for block *n+1*, the CPU runs gapped extension
+//! and traceback for block *n*, and the PCIe bus moves block data in both
+//! directions. Two artifacts live here:
+//!
+//! * [`schedule`] — the analytic four-stage pipeline timeline (H2D → GPU →
+//!   D2H → CPU) used by the figures: each stage is a serial resource,
+//!   stages of different blocks overlap freely.
+//! * [`overlap_blocks`] — a real two-thread executor (crossbeam channel,
+//!   bounded to one block in flight) that the search driver uses so the
+//!   overlap is not merely modelled but actually happens on the host.
+
+use crossbeam::channel::bounded;
+use serde::{Deserialize, Serialize};
+
+/// Per-block stage times in milliseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct BlockTiming {
+    /// Host→device transfer.
+    pub h2d_ms: f64,
+    /// GPU kernels (hit detection … ungapped extension).
+    pub gpu_ms: f64,
+    /// Device→host transfer of the extension records.
+    pub d2h_ms: f64,
+    /// CPU gapped extension + traceback.
+    pub cpu_ms: f64,
+}
+
+/// Result of scheduling a block sequence through the four-stage pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PipelineSchedule {
+    /// Makespan with overlap (Fig. 12 execution).
+    pub overlapped_ms: f64,
+    /// Makespan if every stage ran serially (no overlap).
+    pub serial_ms: f64,
+}
+
+impl PipelineSchedule {
+    /// Fraction of serial time hidden by the overlap.
+    pub fn saving(&self) -> f64 {
+        if self.serial_ms <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.overlapped_ms / self.serial_ms
+        }
+    }
+}
+
+/// Compute the pipeline timeline: classic chained-stage recurrence where
+/// each stage is busy with at most one block at a time.
+pub fn schedule(blocks: &[BlockTiming]) -> PipelineSchedule {
+    let mut h2d_free = 0.0f64;
+    let mut gpu_free = 0.0f64;
+    let mut d2h_free = 0.0f64;
+    let mut cpu_free = 0.0f64;
+    let mut serial = 0.0f64;
+    for b in blocks {
+        h2d_free += b.h2d_ms;
+        gpu_free = gpu_free.max(h2d_free) + b.gpu_ms;
+        d2h_free = d2h_free.max(gpu_free) + b.d2h_ms;
+        cpu_free = cpu_free.max(d2h_free) + b.cpu_ms;
+        serial += b.h2d_ms + b.gpu_ms + b.d2h_ms + b.cpu_ms;
+    }
+    PipelineSchedule {
+        overlapped_ms: cpu_free,
+        serial_ms: serial,
+    }
+}
+
+/// Run `producer` (the GPU side) over the inputs on a separate thread and
+/// `consumer` (the CPU side) on the calling thread, overlapping them with
+/// a bounded channel — the executable counterpart of Fig. 12.
+///
+/// Outputs arrive at the consumer in input order; results are returned in
+/// that order.
+pub fn overlap_blocks<I, M, R>(
+    inputs: Vec<I>,
+    producer: impl Fn(I) -> M + Send,
+    mut consumer: impl FnMut(M) -> R,
+) -> Vec<R>
+where
+    I: Send,
+    M: Send,
+{
+    let (tx, rx) = bounded::<M>(1);
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            for input in inputs {
+                let mid = producer(input);
+                if tx.send(mid).is_err() {
+                    break;
+                }
+            }
+        });
+        let mut out = Vec::new();
+        for mid in rx {
+            out.push(consumer(mid));
+        }
+        out
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::{Duration, Instant};
+
+    fn block(h: f64, g: f64, d: f64, c: f64) -> BlockTiming {
+        BlockTiming {
+            h2d_ms: h,
+            gpu_ms: g,
+            d2h_ms: d,
+            cpu_ms: c,
+        }
+    }
+
+    #[test]
+    fn single_block_has_no_overlap() {
+        let s = schedule(&[block(1.0, 5.0, 1.0, 3.0)]);
+        assert!((s.overlapped_ms - 10.0).abs() < 1e-9);
+        assert!((s.serial_ms - 10.0).abs() < 1e-9);
+        assert_eq!(s.saving(), 0.0);
+    }
+
+    #[test]
+    fn balanced_blocks_pipeline_toward_bottleneck() {
+        // 10 equal blocks: makespan ≈ fill latency + 10 × bottleneck stage.
+        let blocks: Vec<BlockTiming> = (0..10).map(|_| block(1.0, 5.0, 1.0, 5.0)).collect();
+        let s = schedule(&blocks);
+        assert!((s.serial_ms - 120.0).abs() < 1e-9);
+        // GPU and CPU both 5 ms → steady state ~5 ms per block per stage
+        // chain; must be far below serial.
+        assert!(s.overlapped_ms < 0.6 * s.serial_ms, "overlap = {s:?}");
+        assert!(s.overlapped_ms >= 57.0, "cannot beat the busiest chain");
+    }
+
+    #[test]
+    fn gpu_bound_pipeline_hides_cpu_entirely() {
+        let blocks: Vec<BlockTiming> = (0..20).map(|_| block(0.1, 10.0, 0.1, 1.0)).collect();
+        let s = schedule(&blocks);
+        // Makespan ≈ 20 × 10 ms GPU + edges.
+        assert!(s.overlapped_ms < 20.0 * 10.0 + 5.0);
+        assert!(s.saving() > 0.05);
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = schedule(&[]);
+        assert_eq!(s.overlapped_ms, 0.0);
+        assert_eq!(s.serial_ms, 0.0);
+    }
+
+    #[test]
+    fn overlap_blocks_preserves_order_and_values() {
+        let out = overlap_blocks(
+            (0..50).collect::<Vec<i32>>(),
+            |x| x * 2,
+            |m| m + 1,
+        );
+        assert_eq!(out, (0..50).map(|x| x * 2 + 1).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn overlap_actually_overlaps_in_wall_time() {
+        // Producer and consumer each sleep 4 × 10 ms; serial would be
+        // ≥ 80 ms, overlapped should be well under.
+        let t0 = Instant::now();
+        let out = overlap_blocks(
+            vec![(); 4],
+            |_| std::thread::sleep(Duration::from_millis(10)),
+            |_| std::thread::sleep(Duration::from_millis(10)),
+        );
+        let elapsed = t0.elapsed();
+        assert_eq!(out.len(), 4);
+        assert!(
+            elapsed < Duration::from_millis(75),
+            "no overlap observed: {elapsed:?}"
+        );
+    }
+}

@@ -1,0 +1,307 @@
+//! Hit reordering: the assembling, sorting, and filtering kernels
+//! (paper §3.3, Fig. 6–7).
+//!
+//! After binning, the hits of one bin interleave across diagonals (and
+//! across the sequences a warp handled). Three kernels restore the order
+//! ungapped extension needs:
+//!
+//! 1. **Assembling** (Fig. 6a) — copy the ragged bins into one contiguous
+//!    array so the segmented sort can stream them at full throughput.
+//! 2. **Sorting** (Fig. 6b) — a segmented sort of the packed 64-bit
+//!    elements; ascending order is (sequence, diagonal, subject position)
+//!    by construction of the packing.
+//! 3. **Filtering** (Fig. 6c) — drop every hit whose left neighbour on the
+//!    same (sequence, diagonal) is farther than the two-hit window: such a
+//!    hit can never trigger an extension. The paper measures only 5–11 %
+//!    of hits surviving, which is what makes the extra pass profitable.
+
+use crate::binning::BinnedHits;
+use crate::config::CuBlastpConfig;
+use crate::hitpack::{group_key, subject_pos};
+use gpu_sim::device::WARP_SIZE;
+use gpu_sim::memory::virtual_alloc;
+use gpu_sim::scan::WARP_SCAN_STEPS;
+use gpu_sim::sort::segmented_sort_u64;
+use gpu_sim::{launch, DeviceConfig, KernelStats, LaunchConfig};
+
+/// Contiguous, segment-delimited hits (output of assembling; segments are
+/// the former bins).
+pub struct AssembledHits {
+    /// One vector per (warp, bin), contiguous in memory on the device.
+    pub segments: Vec<Vec<u64>>,
+}
+
+/// Assemble the ragged bins into a contiguous array. Thread blocks tile
+/// the *output* array (2048 elements each) and gather from the bins —
+/// both sides stream, so reads and writes coalesce and lanes stay fully
+/// active regardless of how small individual bins are.
+pub fn assemble_kernel(
+    device: &DeviceConfig,
+    cfg: &CuBlastpConfig,
+    binned: BinnedHits,
+) -> (AssembledHits, KernelStats) {
+    const TILE: usize = 2048;
+    let total = binned.total_hits as usize;
+    let src_base = virtual_alloc(total.max(1) as u64 * 8);
+    let dst_base = virtual_alloc(total.max(1) as u64 * 8);
+
+    let blocks = total.div_ceil(TILE).max(1) as u32;
+    let launch_cfg = LaunchConfig {
+        blocks,
+        warps_per_block: cfg.warps_per_block,
+        shared_bytes_per_block: 0,
+        use_readonly_cache: false,
+    };
+
+    let stats = launch(device, launch_cfg, "hit_assembling", |block| {
+        let lo = block.block_id as usize * TILE;
+        let hi = (lo + TILE).min(total);
+        let mut addrs: Vec<u64> = Vec::with_capacity(WARP_SIZE as usize);
+        let mut j = lo;
+        while j < hi {
+            let active = (hi - j).min(WARP_SIZE as usize);
+            addrs.clear();
+            addrs.extend((0..active).map(|l| src_base + ((j + l) as u64) * 8));
+            block.global_read(&addrs, 8);
+            addrs.clear();
+            addrs.extend((0..active).map(|l| dst_base + ((j + l) as u64) * 8));
+            block.global_write(&addrs, 8);
+            j += WARP_SIZE as usize;
+        }
+    });
+
+    let segments: Vec<Vec<u64>> = binned.bins.into_iter().filter(|b| !b.is_empty()).collect();
+    (AssembledHits { segments }, stats)
+}
+
+/// Segmented sort of the assembled hits (Fig. 6b / Fig. 7) — delegates to
+/// the ModernGPU-model kernel in `gpu-sim`.
+pub fn sort_kernel(device: &DeviceConfig, hits: &mut AssembledHits) -> KernelStats {
+    segmented_sort_u64(device, &mut hits.segments, "hit_sorting")
+}
+
+/// Output of the filtering kernel.
+pub struct FilteredHits {
+    /// Surviving hits, concatenated segment by segment; within the whole
+    /// vector every (sequence, diagonal) group is contiguous and sorted by
+    /// subject position.
+    pub hits: Vec<u64>,
+    /// Hits before filtering.
+    pub before: u64,
+}
+
+impl FilteredHits {
+    /// Fraction of hits that survived (the paper's 5–11 % observation).
+    pub fn survival_ratio(&self) -> f64 {
+        if self.before == 0 {
+            0.0
+        } else {
+            self.hits.len() as f64 / self.before as f64
+        }
+    }
+}
+
+/// Filtering kernel: one thread per hit compares against its left
+/// neighbour in the concatenated sorted array and keeps the hit only when
+/// the neighbour is on the same (sequence, diagonal) within the two-hit
+/// window. A (sequence, diagonal) group never spans a segment boundary,
+/// so the group-key comparison makes flat tiling over the whole array
+/// correct — lanes stay dense and reads coalesce. Survivors compact into
+/// a per-block buffer with a warp scan, avoiding global atomics (§3.3).
+pub fn filter_kernel(
+    device: &DeviceConfig,
+    cfg: &CuBlastpConfig,
+    sorted: &AssembledHits,
+    window: i64,
+) -> (FilteredHits, KernelStats) {
+    filter_kernel_mode(device, cfg, sorted, true, window)
+}
+
+/// [`filter_kernel`] with an explicit seeding mode. In one-hit mode
+/// (`two_hit = false`) every hit is extendable, so the kernel degenerates
+/// to a pass-through copy (still charged: the hits must be compacted for
+/// the extension kernel either way).
+pub fn filter_kernel_mode(
+    device: &DeviceConfig,
+    cfg: &CuBlastpConfig,
+    sorted: &AssembledHits,
+    two_hit: bool,
+    window: i64,
+) -> (FilteredHits, KernelStats) {
+    const TILE: usize = 2048;
+    let concat: Vec<u64> = sorted.segments.iter().flatten().copied().collect();
+    let before = concat.len() as u64;
+    let src_base = virtual_alloc(before.max(1) * 8);
+    let dst_base = virtual_alloc(before.max(1) * 8);
+
+    let blocks = concat.len().div_ceil(TILE).max(1) as u32;
+    let launch_cfg = LaunchConfig {
+        blocks,
+        warps_per_block: cfg.warps_per_block,
+        shared_bytes_per_block: 0,
+        use_readonly_cache: false,
+    };
+
+    let results: parking_lot::Mutex<Vec<(usize, Vec<u64>)>> =
+        parking_lot::Mutex::new(Vec::new());
+
+    let stats = launch(device, launch_cfg, "hit_filtering", |block| {
+        let lo = block.block_id as usize * TILE;
+        let hi = (lo + TILE).min(concat.len());
+        let mut kept: Vec<u64> = Vec::new();
+        let mut addrs: Vec<u64> = Vec::with_capacity(WARP_SIZE as usize);
+        let mut j = lo;
+        while j < hi {
+            let active = (hi - j).min(WARP_SIZE as usize);
+            // Each lane reads its hit; the left neighbour is the previous
+            // lane's value (one extra element at the chunk boundary).
+            addrs.clear();
+            addrs.extend((0..active).map(|l| src_base + ((j + l) as u64) * 8));
+            block.global_read(&addrs, 8);
+            // Distance comparison + warp-scan compaction of survivors.
+            block.instr(active as u32);
+            block.instr_n(active as u32, WARP_SCAN_STEPS);
+            let mut writes: Vec<u64> = Vec::new();
+            for l in 0..active {
+                let idx = j + l;
+                if idx == 0 {
+                    if !two_hit {
+                        writes.push(dst_base + (kept.len() as u64 + writes.len() as u64) * 8);
+                        kept.push(concat[idx]);
+                    }
+                    continue; // in two-hit mode the very first hit has no neighbour
+                }
+                let cur = concat[idx];
+                let prev = concat[idx - 1];
+                let extendable = !two_hit
+                    || (group_key(cur) == group_key(prev)
+                        && (subject_pos(cur) as i64 - subject_pos(prev) as i64) <= window);
+                if extendable {
+                    writes.push(dst_base + (kept.len() as u64 + writes.len() as u64) * 8);
+                    kept.push(cur);
+                }
+            }
+            block.global_write(&writes, 8);
+            j += WARP_SIZE as usize;
+        }
+        results.lock().push((block.block_id as usize, kept));
+    });
+
+    let mut per_block = results.into_inner();
+    per_block.sort_by_key(|(id, _)| *id);
+    let hits: Vec<u64> = per_block.into_iter().flat_map(|(_, v)| v).collect();
+    (FilteredHits { hits, before }, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hitpack::pack;
+
+    fn binned(bins: Vec<Vec<u64>>) -> BinnedHits {
+        let total = bins.iter().map(|b| b.len() as u64).sum();
+        let num_bins = bins.len();
+        BinnedHits {
+            bins,
+            num_bins,
+            num_warps: 1,
+            total_hits: total,
+        }
+    }
+
+    #[test]
+    fn assemble_drops_empty_bins_and_keeps_hits() {
+        let d = DeviceConfig::k20c();
+        let cfg = CuBlastpConfig::default();
+        let b = binned(vec![
+            vec![pack(0, 5, 3)],
+            vec![],
+            vec![pack(0, 2, 1), pack(1, 2, 9)],
+        ]);
+        let (asm, _) = assemble_kernel(&d, &cfg, b);
+        assert_eq!(asm.segments.len(), 2);
+        assert_eq!(asm.segments.iter().map(Vec::len).sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn assemble_of_large_bins_is_coalesced() {
+        let d = DeviceConfig::k20c();
+        let cfg = CuBlastpConfig::default();
+        let big: Vec<u64> = (0..512u32).map(|k| pack(0, 3, k)).collect();
+        let (_, stats) = assemble_kernel(&d, &cfg, binned(vec![big]));
+        // 32 consecutive 8-byte elements per warp read = 2 transactions.
+        assert!(
+            stats.global_load_efficiency() > 0.9,
+            "efficiency = {}",
+            stats.global_load_efficiency()
+        );
+    }
+
+    #[test]
+    fn sort_orders_within_segments() {
+        let d = DeviceConfig::k20c();
+        let mut asm = AssembledHits {
+            segments: vec![vec![pack(1, 3, 7), pack(0, 9, 2), pack(0, 9, 1)]],
+        };
+        sort_kernel(&d, &mut asm);
+        assert_eq!(
+            asm.segments[0],
+            vec![pack(0, 9, 1), pack(0, 9, 2), pack(1, 3, 7)]
+        );
+    }
+
+    #[test]
+    fn filter_keeps_only_second_hits_within_window() {
+        let d = DeviceConfig::k20c();
+        let cfg = CuBlastpConfig::default();
+        let asm = AssembledHits {
+            segments: vec![vec![
+                pack(0, 4, 10),
+                pack(0, 4, 30),  // within 40 of 10 → kept
+                pack(0, 4, 100), // 70 away → dropped
+                pack(0, 4, 120), // within 40 of 100 → kept
+                pack(0, 7, 125), // different diagonal, no neighbour → dropped
+                pack(1, 4, 11),  // different sequence → dropped
+            ]],
+        };
+        let (f, _) = filter_kernel(&d, &cfg, &asm, 40);
+        assert_eq!(f.hits, vec![pack(0, 4, 30), pack(0, 4, 120)]);
+        assert_eq!(f.before, 6);
+        assert!((f.survival_ratio() - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_boundary_exactly_window() {
+        let d = DeviceConfig::k20c();
+        let cfg = CuBlastpConfig::default();
+        let asm = AssembledHits {
+            segments: vec![vec![pack(0, 4, 0), pack(0, 4, 40), pack(0, 4, 81)]],
+        };
+        let (f, _) = filter_kernel(&d, &cfg, &asm, 40);
+        // Distance 40 ≤ 40 kept; 41 dropped.
+        assert_eq!(f.hits, vec![pack(0, 4, 40)]);
+    }
+
+    #[test]
+    fn filter_across_chunk_boundaries() {
+        // A pair straddling the 32-lane chunk edge must still be compared.
+        let d = DeviceConfig::k20c();
+        let cfg = CuBlastpConfig::default();
+        let mut seg: Vec<u64> = (0..33u32).map(|k| pack(0, 4, k * 2)).collect();
+        seg.sort_unstable();
+        let asm = AssembledHits { segments: vec![seg] };
+        let (f, _) = filter_kernel(&d, &cfg, &asm, 40);
+        assert_eq!(f.hits.len(), 32, "all but the first are within window");
+    }
+
+    #[test]
+    fn empty_everything() {
+        let d = DeviceConfig::k20c();
+        let cfg = CuBlastpConfig::default();
+        let (asm, _) = assemble_kernel(&d, &cfg, binned(vec![vec![], vec![]]));
+        assert!(asm.segments.is_empty());
+        let (f, _) = filter_kernel(&d, &cfg, &asm, 40);
+        assert!(f.hits.is_empty());
+        assert_eq!(f.survival_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,348 @@
+//! The per-block tracer kernels report their execution to.
+//!
+//! A kernel closure receives one [`SimBlock`] per thread block and calls
+//! these methods as it executes warp-wide steps. Each method both charges
+//! the cost model and updates the counters behind the Fig. 19 metrics.
+//! Lockstep style: when lanes of a warp would take different paths on real
+//! hardware, the kernel calls [`SimBlock::instr`] once per serialized path
+//! with that path's active lane count — the divergence overhead then falls
+//! out of the counters with no further modelling.
+
+use crate::cache::ReadOnlyCache;
+use crate::device::{DeviceConfig, TRANSACTION_BYTES, WARP_SIZE};
+use crate::stats::KernelStats;
+
+/// Execution context of one simulated thread block.
+pub struct SimBlock {
+    /// Block index within the launch grid.
+    pub block_id: u32,
+    pub(crate) stats: KernelStats,
+    pub(crate) rocache: Option<ReadOnlyCache>,
+    device: DeviceConfig,
+    scratch_lines: Vec<u64>,
+}
+
+impl SimBlock {
+    pub(crate) fn new(block_id: u32, device: DeviceConfig, rocache: bool) -> Self {
+        Self {
+            block_id,
+            stats: KernelStats::default(),
+            rocache: rocache.then(ReadOnlyCache::kepler),
+            device,
+            scratch_lines: Vec::with_capacity(WARP_SIZE as usize),
+        }
+    }
+
+    /// The device this block runs on.
+    pub fn device(&self) -> &DeviceConfig {
+        &self.device
+    }
+
+    /// One warp instruction with `active` (≤ 32) lanes enabled.
+    #[inline]
+    pub fn instr(&mut self, active: u32) {
+        self.stats.record_instr(active.min(WARP_SIZE), self.device.instr_cost);
+    }
+
+    /// `count` back-to-back warp instructions with the same active mask.
+    #[inline]
+    pub fn instr_n(&mut self, active: u32, count: u64) {
+        let active = active.min(WARP_SIZE);
+        let cost = self.device.instr_cost * count;
+        self.stats.warp_cycles += cost;
+        self.stats.active_lane_cycles += active as u64 * cost;
+        self.stats.divergent_idle_cycles += (WARP_SIZE - active) as u64 * cost;
+    }
+
+    /// Warp-wide global memory read: one byte address per active lane,
+    /// `bytes` consumed per lane. Transactions are the distinct 128-byte
+    /// lines touched (the Kepler coalescing rule).
+    pub fn global_read(&mut self, addrs: &[u64], bytes: u32) {
+        self.global_access(addrs, bytes, true);
+    }
+
+    /// Warp-wide global memory write; same coalescing model as reads, but
+    /// excluded from the load-efficiency metric (as in the profiler).
+    pub fn global_write(&mut self, addrs: &[u64], bytes: u32) {
+        self.global_access(addrs, bytes, false);
+    }
+
+    fn global_access(&mut self, addrs: &[u64], bytes: u32, is_load: bool) {
+        if addrs.is_empty() {
+            return;
+        }
+        let tx = self.count_lines(addrs);
+        let useful = addrs.len() as u64 * bytes as u64;
+        self.stats.global_transactions += tx;
+        self.stats.global_transacted_bytes += tx * TRANSACTION_BYTES;
+        self.stats.global_useful_bytes += useful;
+        if is_load {
+            self.stats.global_load_useful_bytes += useful;
+            self.stats.global_load_transacted_bytes += tx * TRANSACTION_BYTES;
+        }
+        let cost = tx * self.device.global_transaction_cost;
+        let active = addrs.len() as u32;
+        self.stats.warp_cycles += cost;
+        self.stats.active_lane_cycles += active.min(WARP_SIZE) as u64 * cost;
+        self.stats.divergent_idle_cycles +=
+            (WARP_SIZE.saturating_sub(active)) as u64 * cost;
+    }
+
+    /// Warp-wide read through the read-only cache (`const __restrict__`
+    /// loads, §3.5). When the launch was configured without the cache the
+    /// access degrades to an ordinary global read — exactly the
+    /// with/without contrast of Fig. 17.
+    pub fn readonly_read(&mut self, addrs: &[u64], bytes: u32) {
+        if addrs.is_empty() {
+            return;
+        }
+        match &mut self.rocache {
+            None => self.global_access(addrs, bytes, true),
+            Some(cache) => {
+                // Distinct lines probe the cache once; lanes are attributed
+                // to hits/misses proportionally to their lines' outcomes.
+                self.scratch_lines.clear();
+                self.scratch_lines
+                    .extend(addrs.iter().map(|a| a / TRANSACTION_BYTES));
+                self.scratch_lines.sort_unstable();
+                self.scratch_lines.dedup();
+                let mut miss_lines = 0u64;
+                let mut hit_lines = 0u64;
+                for &line in &self.scratch_lines {
+                    if cache.access(line * TRANSACTION_BYTES) {
+                        hit_lines += 1;
+                    } else {
+                        miss_lines += 1;
+                    }
+                }
+                let lines = self.scratch_lines.len() as u64;
+                let lane_hits = addrs.len() as u64 * hit_lines / lines;
+                let lane_misses = addrs.len() as u64 - lane_hits;
+                self.stats.rocache_hits += lane_hits;
+                self.stats.rocache_misses += lane_misses;
+                let cost = miss_lines * self.device.global_transaction_cost
+                    + hit_lines.max(1) * self.device.rocache_hit_cost;
+                let active = addrs.len() as u32;
+                self.stats.warp_cycles += cost;
+                self.stats.active_lane_cycles += active.min(WARP_SIZE) as u64 * cost;
+                self.stats.divergent_idle_cycles +=
+                    (WARP_SIZE.saturating_sub(active)) as u64 * cost;
+            }
+        }
+    }
+
+    /// Warp-wide shared-memory access (bank conflicts are not modelled;
+    /// see DESIGN.md).
+    pub fn shared_access(&mut self, active: u32) {
+        self.stats.shared_accesses += 1;
+        let cost = self.device.shared_access_cost;
+        let active = active.min(WARP_SIZE);
+        self.stats.warp_cycles += cost;
+        self.stats.active_lane_cycles += active as u64 * cost;
+        self.stats.divergent_idle_cycles += (WARP_SIZE - active) as u64 * cost;
+    }
+
+    /// Warp-wide atomic on shared memory: one target address per active
+    /// lane. Lanes hitting the same address serialize (paper §3.2 uses
+    /// shared-memory atomics for the bin `top` array precisely because
+    /// they are cheap relative to global atomics).
+    pub fn atomic_shared(&mut self, targets: &[u64]) {
+        if targets.is_empty() {
+            return;
+        }
+        self.stats.atomic_ops += targets.len() as u64;
+        let max_conflict = max_duplicates(targets);
+        let serial_steps = max_conflict.saturating_sub(1);
+        self.stats.atomic_conflicts += serial_steps;
+        let cost =
+            self.device.shared_access_cost + serial_steps * self.device.atomic_conflict_cost;
+        let active = (targets.len() as u32).min(WARP_SIZE);
+        self.stats.warp_cycles += cost;
+        self.stats.active_lane_cycles += active as u64 * cost;
+        self.stats.divergent_idle_cycles += (WARP_SIZE - active) as u64 * cost;
+    }
+
+    /// Warp-wide atomic on global memory (more expensive; used when a
+    /// kernel spills its per-block buffers).
+    pub fn atomic_global(&mut self, targets: &[u64]) {
+        if targets.is_empty() {
+            return;
+        }
+        self.stats.atomic_ops += targets.len() as u64;
+        let serial_steps = max_duplicates(targets).saturating_sub(1);
+        self.stats.atomic_conflicts += serial_steps;
+        let cost = self.device.global_transaction_cost
+            + serial_steps * self.device.atomic_conflict_cost * 2;
+        let active = (targets.len() as u32).min(WARP_SIZE);
+        self.stats.warp_cycles += cost;
+        self.stats.active_lane_cycles += active as u64 * cost;
+        self.stats.divergent_idle_cycles += (WARP_SIZE - active) as u64 * cost;
+    }
+
+    /// Charge a *lockstep batch*: each lane of a warp runs a serialized
+    /// piece of work costing `lane_cycles[l]` cycles; the warp takes the
+    /// maximum, lanes that finish early idle (SIMT semantics). This is how
+    /// the extension kernels account loops whose trip counts differ per
+    /// lane without simulating every step individually.
+    pub fn lockstep(&mut self, lane_cycles: &[u64]) {
+        if lane_cycles.is_empty() {
+            return;
+        }
+        debug_assert!(lane_cycles.len() <= WARP_SIZE as usize);
+        let max = *lane_cycles.iter().max().expect("non-empty");
+        let sum: u64 = lane_cycles.iter().sum();
+        self.stats.warp_cycles += max;
+        self.stats.active_lane_cycles += sum;
+        self.stats.divergent_idle_cycles += WARP_SIZE as u64 * max - sum;
+    }
+
+    /// Record memory traffic whose cycle cost was already folded into a
+    /// [`Self::lockstep`] batch: `global_tx` 128-byte transactions moving
+    /// `useful_bytes` of requested data (counted as loads), plus
+    /// `shared_accesses` warp-wide shared-memory operations.
+    pub fn bulk_traffic(&mut self, global_tx: u64, useful_bytes: u64, shared_accesses: u64) {
+        self.stats.global_transactions += global_tx;
+        self.stats.global_transacted_bytes += global_tx * TRANSACTION_BYTES;
+        self.stats.global_useful_bytes += useful_bytes;
+        self.stats.global_load_useful_bytes += useful_bytes;
+        self.stats.global_load_transacted_bytes += global_tx * TRANSACTION_BYTES;
+        self.stats.shared_accesses += shared_accesses;
+    }
+
+    /// Block-wide barrier (`__syncthreads()`); charged per resident warp.
+    pub fn sync(&mut self, warps_in_block: u32) {
+        self.instr_n(WARP_SIZE, warps_in_block.max(1) as u64);
+    }
+
+    /// Count distinct 128-byte lines among the addresses.
+    fn count_lines(&mut self, addrs: &[u64]) -> u64 {
+        self.scratch_lines.clear();
+        self.scratch_lines
+            .extend(addrs.iter().map(|a| a / TRANSACTION_BYTES));
+        self.scratch_lines.sort_unstable();
+        self.scratch_lines.dedup();
+        self.scratch_lines.len() as u64
+    }
+
+    /// Read access to the counters accumulated so far (tests and nested
+    /// instrumentation).
+    pub fn stats(&self) -> &KernelStats {
+        &self.stats
+    }
+}
+
+fn max_duplicates(targets: &[u64]) -> u64 {
+    let mut sorted: Vec<u64> = targets.to_vec();
+    sorted.sort_unstable();
+    let mut best = 1u64;
+    let mut run = 1u64;
+    for w in sorted.windows(2) {
+        if w[0] == w[1] {
+            run += 1;
+            best = best.max(run);
+        } else {
+            run = 1;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block() -> SimBlock {
+        SimBlock::new(0, DeviceConfig::k20c(), false)
+    }
+
+    #[test]
+    fn coalesced_read_uses_minimal_transactions() {
+        let mut b = block();
+        // 32 lanes × 4 bytes consecutive = 128 bytes = 1 transaction.
+        let addrs: Vec<u64> = (0..32).map(|i| 0x1000 + i * 4).collect();
+        b.global_read(&addrs, 4);
+        assert_eq!(b.stats().global_transactions, 1);
+        assert!((b.stats().global_load_efficiency() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strided_read_wastes_bandwidth() {
+        let mut b = block();
+        // 32 lanes × 4 bytes, 128-byte stride = 32 transactions.
+        let addrs: Vec<u64> = (0..32).map(|i| 0x1000 + i * 128).collect();
+        b.global_read(&addrs, 4);
+        assert_eq!(b.stats().global_transactions, 32);
+        assert!((b.stats().global_load_efficiency() - 4.0 / 128.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_warp_instr_counts_divergence() {
+        let mut b = block();
+        b.instr(8);
+        assert!((b.stats().divergence_overhead() - 0.75).abs() < 1e-12);
+        b.instr_n(32, 3);
+        assert!(b.stats().divergence_overhead() < 0.75);
+    }
+
+    #[test]
+    fn atomic_conflicts_serialize() {
+        let mut b = block();
+        // All 32 lanes hit the same shared counter.
+        let targets = vec![0x42u64; 32];
+        b.atomic_shared(&targets);
+        assert_eq!(b.stats().atomic_ops, 32);
+        assert_eq!(b.stats().atomic_conflicts, 31);
+        let serialized = b.stats().warp_cycles;
+
+        let mut b2 = block();
+        // Conflict-free atomics across 32 distinct addresses.
+        let targets: Vec<u64> = (0..32u64).collect();
+        b2.atomic_shared(&targets);
+        assert_eq!(b2.stats().atomic_conflicts, 0);
+        assert!(b2.stats().warp_cycles < serialized);
+    }
+
+    #[test]
+    fn readonly_cache_hits_are_cheaper_than_global() {
+        let addrs: Vec<u64> = (0..32).map(|i| 0x2000 + i * 4).collect();
+        let mut cached = SimBlock::new(0, DeviceConfig::k20c(), true);
+        cached.readonly_read(&addrs, 4); // cold: install
+        let cold = cached.stats().warp_cycles;
+        cached.readonly_read(&addrs, 4); // warm: hit
+        let warm = cached.stats().warp_cycles - cold;
+        assert!(warm < cold, "warm {warm} vs cold {cold}");
+        assert!(cached.stats().rocache_hits > 0);
+
+        let mut uncached = SimBlock::new(0, DeviceConfig::k20c(), false);
+        uncached.readonly_read(&addrs, 4);
+        uncached.readonly_read(&addrs, 4);
+        assert!(uncached.stats().warp_cycles > cached.stats().warp_cycles);
+        // Without the cache the traffic shows up as global transactions.
+        assert!(uncached.stats().global_transactions > 0);
+        assert_eq!(cached.stats().global_transactions, 0);
+    }
+
+    #[test]
+    fn empty_accesses_are_free() {
+        let mut b = block();
+        b.global_read(&[], 4);
+        b.atomic_shared(&[]);
+        b.readonly_read(&[], 4);
+        assert_eq!(b.stats().warp_cycles, 0);
+    }
+
+    #[test]
+    fn max_duplicates_counts_worst_conflict() {
+        assert_eq!(max_duplicates(&[1, 2, 3]), 1);
+        assert_eq!(max_duplicates(&[1, 1, 2, 2, 2]), 3);
+        assert_eq!(max_duplicates(&[5]), 1);
+    }
+
+    #[test]
+    fn sync_charges_per_warp() {
+        let mut b = block();
+        b.sync(4);
+        assert_eq!(b.stats().warp_cycles, 4);
+        assert_eq!(b.stats().divergence_overhead(), 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Model of the Kepler 48 kB read-only data cache.
+//!
+//! §3.5 of the paper routes the DFA's query-position lists through this
+//! cache (`const __restrict__` loads): the lists are reused heavily across
+//! words but accessed irregularly, which the read-only cache tolerates
+//! thanks to its relaxed coalescing rules. The model is a set-associative
+//! LRU cache over 128-byte lines; hit/miss counts feed Fig. 17.
+
+use crate::device::TRANSACTION_BYTES;
+
+/// Set-associative LRU cache over 128-byte lines.
+#[derive(Debug, Clone)]
+pub struct ReadOnlyCache {
+    sets: Vec<Vec<u64>>, // each set: line tags, most-recently-used last
+    ways: usize,
+    num_sets: usize,
+}
+
+impl ReadOnlyCache {
+    /// Build a cache of `size_bytes` capacity with `ways`-way
+    /// associativity.
+    pub fn new(size_bytes: u32, ways: usize) -> Self {
+        let lines = (size_bytes as u64 / TRANSACTION_BYTES).max(1) as usize;
+        let ways = ways.clamp(1, lines);
+        let num_sets = (lines / ways).max(1);
+        Self {
+            sets: vec![Vec::with_capacity(ways); num_sets],
+            ways,
+            num_sets,
+        }
+    }
+
+    /// Kepler's 48 kB read-only cache, modelled 4-way associative.
+    pub fn kepler() -> Self {
+        Self::new(48 * 1024, 4)
+    }
+
+    /// Access a byte address; returns `true` on hit. Misses install the
+    /// line, evicting LRU.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / TRANSACTION_BYTES;
+        let set = (line as usize) % self.num_sets;
+        let entries = &mut self.sets[set];
+        if let Some(pos) = entries.iter().position(|&t| t == line) {
+            // Move to MRU position.
+            let tag = entries.remove(pos);
+            entries.push(tag);
+            true
+        } else {
+            if entries.len() == self.ways {
+                entries.remove(0);
+            }
+            entries.push(line);
+            false
+        }
+    }
+
+    /// Drop all cached lines.
+    pub fn clear(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+    }
+
+    /// Cache capacity in lines.
+    pub fn capacity_lines(&self) -> usize {
+        self.num_sets * self.ways
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kepler_capacity() {
+        let c = ReadOnlyCache::kepler();
+        assert_eq!(c.capacity_lines(), 384); // 48 kB / 128 B
+    }
+
+    #[test]
+    fn repeat_access_hits() {
+        let mut c = ReadOnlyCache::new(1024, 2);
+        assert!(!c.access(0));
+        assert!(c.access(64)); // same 128-byte line
+        assert!(c.access(0));
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        // 2 ways, force three lines into the same set.
+        let mut c = ReadOnlyCache::new(512, 2); // 4 lines, 2 sets
+        let stride = 2 * TRANSACTION_BYTES; // same set every time
+        assert!(!c.access(0));
+        assert!(!c.access(stride));
+        assert!(!c.access(2 * stride)); // evicts line 0
+        assert!(!c.access(0), "line 0 must have been evicted");
+        assert!(c.access(2 * stride));
+    }
+
+    #[test]
+    fn mru_refresh_prevents_eviction() {
+        let mut c = ReadOnlyCache::new(512, 2);
+        let stride = 2 * TRANSACTION_BYTES;
+        c.access(0);
+        c.access(stride);
+        c.access(0); // refresh line 0 to MRU
+        c.access(2 * stride); // should evict `stride`, not 0
+        assert!(c.access(0));
+        assert!(!c.access(stride));
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = ReadOnlyCache::new(1024, 2);
+        c.access(0);
+        c.clear();
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = ReadOnlyCache::new(1024, 2); // 8 lines
+        // Touch 64 distinct lines twice; second pass must still miss a lot.
+        let mut second_pass_hits = 0;
+        for pass in 0..2 {
+            for i in 0..64u64 {
+                if c.access(i * TRANSACTION_BYTES) && pass == 1 {
+                    second_pass_hits += 1;
+                }
+            }
+        }
+        assert_eq!(second_pass_hits, 0, "8-line cache cannot hold 64 lines");
+    }
+}

@@ -1,0 +1,152 @@
+//! Kernel launch: grid execution and stat aggregation.
+
+use crate::block::SimBlock;
+use crate::device::DeviceConfig;
+use crate::stats::KernelStats;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Geometry and resources of one kernel launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LaunchConfig {
+    /// Number of thread blocks in the grid.
+    pub blocks: u32,
+    /// Warps per block (threads per block / 32).
+    pub warps_per_block: u32,
+    /// Shared memory per block in bytes (drives occupancy).
+    pub shared_bytes_per_block: u32,
+    /// Whether `const __restrict__` loads go through the read-only cache
+    /// (the Fig. 17 toggle).
+    pub use_readonly_cache: bool,
+}
+
+impl LaunchConfig {
+    /// A typical launch: `blocks` blocks of 8 warps, no shared memory,
+    /// read-only cache enabled.
+    pub fn simple(blocks: u32) -> Self {
+        Self {
+            blocks,
+            warps_per_block: 8,
+            shared_bytes_per_block: 0,
+            use_readonly_cache: true,
+        }
+    }
+}
+
+/// Launch a kernel: run `kernel` once per block (blocks execute in
+/// parallel on host threads — simulated time comes from the cost model,
+/// not wall-clock), merge the per-block counters, and stamp the launch
+/// geometry and achieved occupancy.
+pub fn launch<F>(
+    device: &DeviceConfig,
+    cfg: LaunchConfig,
+    name: &str,
+    kernel: F,
+) -> KernelStats
+where
+    F: Fn(&mut SimBlock) + Sync,
+{
+    // A device without a read-only data cache (e.g. the GTX 680 preset)
+    // cannot honour the `const __restrict__` path regardless of config.
+    let use_cache = cfg.use_readonly_cache && device.readonly_cache_bytes > 0;
+    let partials: Vec<KernelStats> = (0..cfg.blocks)
+        .into_par_iter()
+        .map(|block_id| {
+            let mut block = SimBlock::new(block_id, *device, use_cache);
+            kernel(&mut block);
+            block.stats
+        })
+        .collect();
+
+    let mut stats = KernelStats::new(name);
+    for p in &partials {
+        stats.merge(p);
+    }
+    stats.blocks = cfg.blocks;
+    stats.warps_per_block = cfg.warps_per_block;
+    stats.occupancy = device.occupancy(cfg.warps_per_block, cfg.shared_bytes_per_block);
+    stats
+}
+
+/// Run several dependent launches and return their stats in order (a tiny
+/// convenience for multi-kernel phases like binning → assembling →
+/// sorting → filtering).
+pub fn launch_sequence<F>(
+    device: &DeviceConfig,
+    stages: Vec<(LaunchConfig, String, F)>,
+) -> Vec<KernelStats>
+where
+    F: Fn(&mut SimBlock) + Sync,
+{
+    stages
+        .into_iter()
+        .map(|(cfg, name, kernel)| launch(device, cfg, &name, kernel))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn all_blocks_execute() {
+        let d = DeviceConfig::k20c();
+        let counter = AtomicU64::new(0);
+        let stats = launch(&d, LaunchConfig::simple(16), "count", |b| {
+            counter.fetch_add(1 + b.block_id as u64, Ordering::Relaxed);
+            b.instr(32);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 16 + (0..16).sum::<u64>());
+        assert_eq!(stats.warp_cycles, 16);
+        assert_eq!(stats.blocks, 16);
+        assert_eq!(stats.name, "count");
+    }
+
+    #[test]
+    fn occupancy_stamped_from_config() {
+        let d = DeviceConfig::k20c();
+        let cfg = LaunchConfig {
+            blocks: 4,
+            warps_per_block: 8,
+            shared_bytes_per_block: 24 * 1024,
+            use_readonly_cache: false,
+        };
+        let stats = launch(&d, cfg, "occ", |b| b.instr(32));
+        assert!((stats.occupancy - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cacheless_device_ignores_cache_request() {
+        let d = DeviceConfig::gtx680();
+        let mut cfg = LaunchConfig::simple(2);
+        cfg.use_readonly_cache = true;
+        let stats = launch(&d, cfg, "nocache", |b| {
+            b.readonly_read(&[0, 4, 8], 4);
+        });
+        assert_eq!(stats.rocache_hits + stats.rocache_misses, 0);
+        assert!(stats.global_transactions > 0, "degrades to global loads");
+    }
+
+    #[test]
+    fn zero_blocks_is_empty() {
+        let d = DeviceConfig::k20c();
+        let stats = launch(&d, LaunchConfig::simple(0), "none", |b| b.instr(32));
+        assert_eq!(stats.warp_cycles, 0);
+    }
+
+    #[test]
+    fn stats_merge_deterministically() {
+        // Counter totals must not depend on host-thread scheduling.
+        let d = DeviceConfig::k20c();
+        let run = || {
+            launch(&d, LaunchConfig::simple(32), "det", |b| {
+                b.instr_n(16, (b.block_id + 1) as u64);
+                b.global_read(&[b.block_id as u64 * 1024], 4);
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,103 @@
+//! Simulator introspection: why fine-grained beats coarse-grained.
+//!
+//! Runs the same search three ways — coarse-grained one-thread-per-
+//! sequence (CUDA-BLASTP style), coarse with a runtime work queue
+//! (GPU-BLASTP style), and cuBLASTP's fine-grained kernels — and dumps
+//! the per-kernel SIMT telemetry so the mechanisms of the paper's §3.1
+//! are visible: branch divergence, memory coalescing, and occupancy.
+//!
+//! ```text
+//! cargo run --release -p examples --bin divergence_study -- --seqs 4000
+//! ```
+
+use baselines::{CudaBlastp, GpuBlastp};
+use bio_seq::generate::{generate_db, make_query, DbSpec};
+use blast_core::SearchParams;
+use cublastp::{CuBlastp, CuBlastpConfig, ExtensionStrategy};
+use examples_support::arg;
+use gpu_sim::{DeviceConfig, KernelStats};
+
+fn row(label: &str, k: &KernelStats, device: &DeviceConfig) {
+    println!(
+        "  {:<36} {:>9.3} ms  load-eff {:>5.1}%  divergence {:>5.1}%  occupancy {:>5.1}%",
+        label,
+        k.time_ms(device),
+        100.0 * k.global_load_efficiency(),
+        100.0 * k.divergence_overhead(),
+        100.0 * k.occupancy,
+    );
+}
+
+fn main() {
+    let seqs: usize = arg("--seqs", 4_000);
+    let query = make_query(517);
+    let spec = DbSpec {
+        name: "study",
+        num_sequences: seqs,
+        mean_length: 250,
+        homolog_fraction: 0.02,
+        seed: 99,
+    };
+    let db = generate_db(&spec, &query).db;
+    let params = SearchParams::default();
+    let device = DeviceConfig::k20c();
+
+    println!(
+        "query517 vs {} sequences on the simulated K20c\n",
+        db.len()
+    );
+
+    println!("coarse-grained, one thread per sequence (CUDA-BLASTP style):");
+    let cuda = CudaBlastp::new(query.clone(), params, device, &db).search(&db);
+    row("fused hit-detection+extension", &cuda.kernel, &device);
+
+    println!("\ncoarse-grained with runtime work queue (GPU-BLASTP style):");
+    let mut gb = GpuBlastp::new(query.clone(), params, device, &db);
+    gb.total_warps = (db.len() / 160).clamp(8, 104);
+    let gpub = gb.search(&db);
+    row("fused hit-detection+extension", &gpub.kernel, &device);
+
+    println!("\nfine-grained cuBLASTP (window-based extension):");
+    let searcher = CuBlastp::new(
+        query.clone(),
+        params,
+        CuBlastpConfig::default(),
+        DeviceConfig::k20c(),
+        &db,
+    );
+    let cu = searcher.search(&db);
+    for k in &cu.kernels {
+        row(&k.name, k, &device);
+    }
+
+    // The three extension strategies side by side (paper Fig. 9/16).
+    println!("\nungapped-extension strategy comparison:");
+    for (label, strategy) in [
+        ("diagonal-based (Algorithm 3)", ExtensionStrategy::Diagonal),
+        ("hit-based (Algorithm 4)", ExtensionStrategy::Hit),
+        ("window-based (Algorithm 5)", ExtensionStrategy::Window),
+    ] {
+        let cfg = CuBlastpConfig {
+            extension: strategy,
+            ..CuBlastpConfig::default()
+        };
+        let s = CuBlastp::new(query.clone(), params, cfg, device, &db);
+        let r = s.search(&db);
+        let k = r.kernel("ungapped_extension").expect("extension kernel");
+        row(label, k, &device);
+        if strategy == ExtensionStrategy::Hit {
+            println!(
+                "      ({} redundant extensions de-duplicated)",
+                r.counts.redundant
+            );
+        }
+    }
+
+    println!(
+        "\ncritical-phase totals: CUDA-BLASTP {:.2} ms | GPU-BLASTP {:.2} ms | cuBLASTP {:.2} ms",
+        cuda.timing.gpu_ms, gpub.timing.gpu_ms, cu.timing.gpu_ms
+    );
+    assert_eq!(cu.report.identity_key(), cuda.report.identity_key());
+    assert_eq!(cu.report.identity_key(), gpub.report.identity_key());
+    println!("all three pipelines produced identical BLAST output.");
+}

@@ -1,0 +1,42 @@
+//! Shared helpers for the example binaries: tiny argument parsing and
+//! result pretty-printing, so each example stays focused on the API it
+//! demonstrates.
+
+use blast_cpu::report::SearchReport;
+
+/// Read a `--flag value` style argument from the command line.
+pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Print the top of a hit list in a BLAST-report-like format.
+pub fn print_report(report: &SearchReport, query_id: &str, top: usize) {
+    println!("\nTop alignments for {query_id}:");
+    println!(
+        "{:<28} {:>7} {:>9} {:>10} {:>7} {:>17}",
+        "subject", "score", "bits", "e-value", "ident%", "range(q/s)"
+    );
+    for hit in report.hits.iter().take(top) {
+        let a = &hit.alignment;
+        println!(
+            "{:<28} {:>7} {:>9.1} {:>10.2e} {:>6.1}% {:>6}-{}/{}-{}",
+            hit.subject_id,
+            a.score,
+            hit.bit_score,
+            hit.evalue,
+            a.percent_identity(),
+            a.q_start,
+            a.q_end,
+            a.s_start,
+            a.s_end,
+        );
+    }
+    if report.hits.is_empty() {
+        println!("  (no alignments below the e-value cutoff)");
+    }
+}

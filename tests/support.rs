@@ -1,0 +1,31 @@
+//! Shared workload builders for the integration tests.
+
+use bio_seq::generate::{generate_db, make_query, DbSpec};
+use bio_seq::{Sequence, SequenceDb};
+
+/// A deterministic small workload: query of `query_len` against `seqs`
+/// sequences of mean length `mean_len` with planted homologies.
+pub fn workload(query_len: usize, seqs: usize, mean_len: usize, seed: u64) -> (Sequence, SequenceDb) {
+    let q = make_query(query_len);
+    let spec = DbSpec {
+        name: "itest",
+        num_sequences: seqs,
+        mean_length: mean_len,
+        homolog_fraction: 0.2,
+        seed,
+    };
+    (q.clone(), generate_db(&spec, &q).db)
+}
+
+/// Workload without any planted homologies (pure background noise).
+pub fn noise_workload(query_len: usize, seqs: usize, seed: u64) -> (Sequence, SequenceDb) {
+    let q = make_query(query_len);
+    let spec = DbSpec {
+        name: "noise",
+        num_sequences: seqs,
+        mean_length: 200,
+        homolog_fraction: 0.0,
+        seed,
+    };
+    (q.clone(), generate_db(&spec, &q).db)
+}
