@@ -191,7 +191,13 @@ pub fn finish_on_cpu(
         if exts.is_empty() {
             continue;
         }
-        engine.finish_subject(idx, &db.sequences()[idx], &exts, &mut report, Some(&mut times));
+        engine.finish_subject(
+            idx,
+            &db.sequences()[idx],
+            &exts,
+            &mut report,
+            Some(&mut times),
+        );
     }
     report.finalize(engine.params.max_reported);
     (report, t0.elapsed().as_secs_f64() * 1e3)
@@ -228,7 +234,10 @@ mod tests {
         let assignment: Vec<Vec<usize>> = vec![(0..32).collect(), (32..64).collect()];
         let stats = run_coarse_kernel(&d, "fused", &work, &assignment, &weights, 8);
         let eff = stats.global_load_efficiency();
-        assert!(eff < 0.12, "coarse efficiency must be single-digit-ish: {eff}");
+        assert!(
+            eff < 0.12,
+            "coarse efficiency must be single-digit-ish: {eff}"
+        );
         assert!(eff > 0.0);
     }
 
@@ -258,7 +267,10 @@ mod tests {
         let assignment = vec![(0..32).collect::<Vec<usize>>()];
         let stats2 = run_coarse_kernel(&d, "balanced", &w2, &assignment, &weights, 8);
         assert!(stats2.divergence_overhead() < stats.divergence_overhead());
-        assert!(stats2.divergence_overhead() > 0.2, "structural divergence remains");
+        assert!(
+            stats2.divergence_overhead() > 0.2,
+            "structural divergence remains"
+        );
     }
 
     #[test]

@@ -8,10 +8,10 @@
 //! real irregularity of the workload — the source of the divergence the
 //! paper measures.
 
+use bio_seq::Sequence;
+use blast_core::{Dfa, Pssm, SearchParams, WORD_LEN};
 use blast_cpu::hit::{scan_subject_mode, DiagonalScratch, HitStats};
 use blast_cpu::ungapped::UngappedExt;
-use blast_core::{Dfa, Pssm, SearchParams, WORD_LEN};
-use bio_seq::Sequence;
 
 /// Work performed by one coarse thread for one subject sequence.
 #[derive(Debug, Clone, Default)]

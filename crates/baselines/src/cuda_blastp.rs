@@ -6,12 +6,14 @@
 //! sequences, reducing (but far from eliminating — hit density still
 //! varies) the divergence of the fused kernel.
 
-use crate::coarse::{finish_on_cpu, run_coarse_kernel, BaselineResult, BaselineTiming, CoarseWeights};
+use crate::coarse::{
+    finish_on_cpu, run_coarse_kernel, BaselineResult, BaselineTiming, CoarseWeights,
+};
 use crate::cost::{measure_subject, SeqWork};
 use bio_seq::{Sequence, SequenceDb};
+use blast_core::SearchParams;
 use blast_cpu::hit::DiagonalScratch;
 use blast_cpu::search::SearchEngine;
-use blast_core::SearchParams;
 use gpu_sim::device::WARP_SIZE;
 use gpu_sim::DeviceConfig;
 
@@ -29,7 +31,12 @@ pub struct CudaBlastp {
 
 impl CudaBlastp {
     /// Build the baseline for a query.
-    pub fn new(query: Sequence, params: SearchParams, device: DeviceConfig, db: &SequenceDb) -> Self {
+    pub fn new(
+        query: Sequence,
+        params: SearchParams,
+        device: DeviceConfig,
+        db: &SequenceDb,
+    ) -> Self {
         Self {
             engine: SearchEngine::new(query, params, db),
             device,
@@ -161,7 +168,14 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, s)| {
-                measure_subject(&b.engine.dfa, &b.engine.pssm, s, i as u32, &b.engine.params, &mut scratch)
+                measure_subject(
+                    &b.engine.dfa,
+                    &b.engine.pssm,
+                    s,
+                    i as u32,
+                    &b.engine.params,
+                    &mut scratch,
+                )
             })
             .collect();
         let sorted: Vec<Vec<usize>> = db

@@ -15,12 +15,14 @@
 //! the lane with the smallest accumulated cost — exactly what the atomic
 //! counter achieves on hardware.
 
-use crate::coarse::{finish_on_cpu, run_coarse_kernel, BaselineResult, BaselineTiming, CoarseWeights};
+use crate::coarse::{
+    finish_on_cpu, run_coarse_kernel, BaselineResult, BaselineTiming, CoarseWeights,
+};
 use crate::cost::{measure_subject, SeqWork};
 use bio_seq::{Sequence, SequenceDb};
+use blast_core::SearchParams;
 use blast_cpu::hit::DiagonalScratch;
 use blast_cpu::search::SearchEngine;
-use blast_core::SearchParams;
 use gpu_sim::device::WARP_SIZE;
 use gpu_sim::DeviceConfig;
 
@@ -41,7 +43,12 @@ pub struct GpuBlastp {
 
 impl GpuBlastp {
     /// Build the baseline for a query.
-    pub fn new(query: Sequence, params: SearchParams, device: DeviceConfig, db: &SequenceDb) -> Self {
+    pub fn new(
+        query: Sequence,
+        params: SearchParams,
+        device: DeviceConfig,
+        db: &SequenceDb,
+    ) -> Self {
         let weights = CoarseWeights {
             // Two-level buffering: extension output goes to a local buffer,
             // so per-hit global traffic halves.
@@ -236,7 +243,14 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, s)| {
-                measure_subject(&b.engine.dfa, &b.engine.pssm, s, i as u32, &b.engine.params, &mut scratch)
+                measure_subject(
+                    &b.engine.dfa,
+                    &b.engine.pssm,
+                    s,
+                    i as u32,
+                    &b.engine.params,
+                    &mut scratch,
+                )
             })
             .collect();
         let warps = b.queue_assignment(&work);

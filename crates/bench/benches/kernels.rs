@@ -80,7 +80,11 @@ fn bench_extension_strategies(c: &mut Criterion) {
             ..CuBlastpConfig::default()
         };
         g.bench_function(label, |b| {
-            b.iter(|| extension_kernel(&device, &cfg, &dq, &db, &filtered, &p).extensions.len());
+            b.iter(|| {
+                extension_kernel(&device, &cfg, &dq, &db, &filtered, &p)
+                    .extensions
+                    .len()
+            });
         });
     }
     g.finish();

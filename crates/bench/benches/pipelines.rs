@@ -30,7 +30,9 @@ fn bench_pipelines(c: &mut Criterion) {
     g.bench_function("cublastp", |b| {
         b.iter(|| run_cublastp(&q, &db, p, figure_config()).hits)
     });
-    g.bench_function("cuda_blastp", |b| b.iter(|| run_cuda_blastp(&q, &db, p).hits));
+    g.bench_function("cuda_blastp", |b| {
+        b.iter(|| run_cuda_blastp(&q, &db, p).hits)
+    });
     g.bench_function("gpu_blastp", |b| b.iter(|| run_gpu_blastp(&q, &db, p).hits));
     g.finish();
 }

@@ -54,7 +54,7 @@ fn main() {
             &cfg,
             &dq,
             &dev_block,
-            &out.extensions_by_seq,
+            &out.extensions,
             &params,
             searcher.engine.cutoffs.gapped_trigger,
         );
@@ -91,7 +91,14 @@ fn main() {
 
     print_table(
         "Ablation §3.6 — gapped extension placement, query517 × swissprot_mini (ms)",
-        &["design", "GPU kernels", "gapped", "traceback+CPU", "transfers", "total"],
+        &[
+            "design",
+            "GPU kernels",
+            "gapped",
+            "traceback+CPU",
+            "transfers",
+            "total",
+        ],
         &[
             vec![
                 "CPU gapped + overlap (paper)".into(),

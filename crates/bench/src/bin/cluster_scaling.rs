@@ -76,11 +76,8 @@ fn main() {
     let search_32 = rows.last().expect("rows populated")[1].clone();
     let mut proj = Vec::new();
     for per_node in [1_000usize, 10_000, 100_000, 1_000_000] {
-        let merge = cublastp::cluster::merge_tree_ms(
-            &vec![per_node; 32],
-            &cluster_base,
-            10 * per_node,
-        );
+        let merge =
+            cublastp::cluster::merge_tree_ms(&vec![per_node; 32], &cluster_base, 10 * per_node);
         proj.push(vec![format!("{per_node}"), fmt(merge)]);
     }
     print_table(

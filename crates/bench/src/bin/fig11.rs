@@ -10,8 +10,8 @@ use bench::runners::{figure_config, run_cublastp_detailed};
 use bench::table::{fmt, pct, print_table};
 use bench::{database, query};
 use bio_seq::generate::DbPreset;
-use blast_cpu::search::{search_sequential, SearchEngine};
 use blast_core::SearchParams;
+use blast_cpu::search::{search_sequential, SearchEngine};
 use cublastp::CuBlastpConfig;
 
 fn main() {

@@ -38,11 +38,7 @@ fn main() {
     let mut rows = Vec::new();
     for threads in [1usize, 2, 4] {
         let speedup = blast_cpu::search::modeled_parallel_speedup(threads);
-        rows.push(vec![
-            threads.to_string(),
-            fmt(base / speedup),
-            fmt(speedup),
-        ]);
+        rows.push(vec![threads.to_string(), fmt(base / speedup), fmt(speedup)]);
     }
     print_table(
         "Fig. 13 — Strong scaling of gapped extension + traceback, query517 × swissprot_mini",

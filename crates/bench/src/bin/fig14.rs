@@ -38,7 +38,10 @@ fn main() {
             fmt(sorting),
             fmt(filtering),
             fmt(total),
-            fmt(r.kernel("hit_detection").map(|k| k.occupancy).unwrap_or(0.0)),
+            fmt(r
+                .kernel("hit_detection")
+                .map(|k| k.occupancy)
+                .unwrap_or(0.0)),
         ]);
     }
     print_table(

@@ -29,11 +29,10 @@ fn main() {
             let total: f64 = r.kernels.iter().map(|k| k.time_ms(&device)).sum();
             cells.push(fmt(total));
             if cache {
-                hit_rate = pct(
-                    r.kernel("hit_detection")
-                        .map(|k| k.rocache_hit_rate())
-                        .unwrap_or(0.0),
-                );
+                hit_rate = pct(r
+                    .kernel("hit_detection")
+                    .map(|k| k.rocache_hit_rate())
+                    .unwrap_or(0.0));
             }
         }
         cells.push(hit_rate);

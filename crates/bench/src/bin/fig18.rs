@@ -46,9 +46,7 @@ fn main() {
         for len in QUERY_LENGTHS {
             let q = query(len);
             let db = database(preset, &q);
-            let rep = |f: &dyn Fn() -> bench::runners::RunSummary| {
-                median3(vec![f(), f(), f()])
-            };
+            let rep = |f: &dyn Fn() -> bench::runners::RunSummary| median3(vec![f(), f(), f()]);
             let cu = rep(&|| run_cublastp(&q, &db, params, figure_config()));
             let others = [
                 rep(&|| run_fsa_blast(&q, &db, params)),
@@ -58,7 +56,8 @@ fn main() {
             ];
             for o in &others {
                 assert_eq!(
-                    o.identity, cu.identity,
+                    o.identity,
+                    cu.identity,
                     "{} output differs from cuBLASTP on query{len} × {}",
                     o.name,
                     preset.name()
@@ -68,8 +67,14 @@ fn main() {
                 format!("query{len}"),
                 preset.name().to_string(),
                 Cell {
-                    critical: others.iter().map(|o| o.critical_ms / cu.critical_ms).collect(),
-                    overall: others.iter().map(|o| o.overall_ms / cu.overall_ms).collect(),
+                    critical: others
+                        .iter()
+                        .map(|o| o.critical_ms / cu.critical_ms)
+                        .collect(),
+                    overall: others
+                        .iter()
+                        .map(|o| o.overall_ms / cu.overall_ms)
+                        .collect(),
                 },
             ));
             eprintln!("done: query{len} × {}", preset.name());

@@ -38,7 +38,10 @@ fn main() {
             pct(k.occupancy),
         ]);
     }
-    for (label, k) in [("CUDA-BLASTP::fused", &cuda.kernel), ("GPU-BLASTP::fused", &gpub.kernel)] {
+    for (label, k) in [
+        ("CUDA-BLASTP::fused", &cuda.kernel),
+        ("GPU-BLASTP::fused", &gpub.kernel),
+    ] {
         rows.push(vec![
             label.to_string(),
             pct(k.global_load_efficiency()),
@@ -48,14 +51,18 @@ fn main() {
     }
     print_table(
         "Fig. 19(a–c) — Per-kernel profile, query517 × env_nr_mini",
-        &["kernel", "load efficiency", "divergence overhead", "occupancy"],
+        &[
+            "kernel",
+            "load efficiency",
+            "divergence overhead",
+            "occupancy",
+        ],
         &rows,
     );
 
     // (d): cuBLASTP overall breakdown.
     let t = &cu.timing;
-    let serial_total =
-        t.gpu_ms + t.h2d_ms + t.d2h_ms + t.cpu_wall_ms + t.other_ms;
+    let serial_total = t.gpu_ms + t.h2d_ms + t.d2h_ms + t.cpu_wall_ms + t.other_ms;
     let mut rows = Vec::new();
     let mut push = |label: &str, ms: f64| {
         rows.push(vec![label.to_string(), fmt(ms), pct(ms / serial_total)]);

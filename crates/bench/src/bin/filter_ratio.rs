@@ -29,7 +29,14 @@ fn main() {
     }
     print_table(
         "§3.3 — Hit-filter survival ratio (paper: 5–11 %)",
-        &["query", "database", "hits", "filtered", "survival", "extensions"],
+        &[
+            "query",
+            "database",
+            "hits",
+            "filtered",
+            "survival",
+            "extensions",
+        ],
         &rows,
     );
 }

@@ -1,0 +1,143 @@
+//! Query-stream throughput: the NGS-style workload the paper's
+//! introduction motivates — many queries against one database.
+//!
+//! Sweeps batch sizes over both database presets and reports modelled
+//! queries/sec for three drivers:
+//!
+//! * **serial** — each query runs standalone: re-uploads the database,
+//!   drains the pipeline, pays its own setup.
+//! * **batched** — `search_batch`: the database is flattened once and
+//!   stays device-resident; the pipeline chains across query boundaries.
+//! * **parallel** — `search_batch_parallel`: additionally runs query
+//!   setup (DFA/PSSM build) and searches concurrently on the shared CPU
+//!   pool, so setup overlaps earlier queries' device work.
+//!
+//! The flatten counter verifies residency: one batch flattens the
+//! database once per block, independent of batch size. Results go to
+//! stdout (table) and `BENCH_throughput.json` at the repo root.
+
+use bench::table::{fmt, print_table};
+use bench::{database, query};
+use bio_seq::generate::DbPreset;
+use blast_core::SearchParams;
+use cublastp::{flatten_count, search_batch, search_batch_parallel, CuBlastpConfig};
+use gpu_sim::DeviceConfig;
+
+const BATCH_SIZES: [usize; 4] = [1, 4, 16, 64];
+
+/// Modelled host: 8 CPU threads (the throughput deployment the batch
+/// engine targets; figure configs keep the paper's quad-core).
+const CPU_THREADS: usize = 8;
+
+struct Row {
+    batch: usize,
+    serial_qps: f64,
+    batched_qps: f64,
+    parallel_qps: f64,
+    speedup: f64,
+    flattens: u64,
+    db_blocks: usize,
+}
+
+fn main() {
+    let device = DeviceConfig::k20c();
+    let params = SearchParams::default();
+    let cfg = CuBlastpConfig {
+        cpu_threads: CPU_THREADS,
+        ..CuBlastpConfig::default()
+    };
+    let queries: Vec<_> = (0..*BATCH_SIZES.last().unwrap())
+        .map(|i| query(96 + 13 * (i % 24)))
+        .collect();
+
+    let mut sections: Vec<(String, Vec<Row>)> = Vec::new();
+    for preset in [DbPreset::SwissprotMini, DbPreset::EnvNrMini] {
+        let db = database(preset, &queries[0]);
+        let mut rows = Vec::new();
+        for batch in BATCH_SIZES {
+            let qs = &queries[..batch];
+            let s = search_batch(qs, params, cfg, device, &db);
+            let before = flatten_count();
+            let p = search_batch_parallel(qs, params, cfg, device, &db);
+            let flattens = flatten_count() - before;
+            let db_blocks = s.per_query[0].block_timings.len();
+            rows.push(Row {
+                batch,
+                // Serial baseline and speedup come from the parallel run's
+                // own standalone model, so the comparison shares one set
+                // of measured CPU times.
+                serial_qps: batch as f64 * 1e3 / p.unbatched_ms,
+                batched_qps: s.queries_per_sec(),
+                parallel_qps: p.queries_per_sec(),
+                speedup: p.unbatched_ms / p.batch_ms,
+                flattens,
+                db_blocks,
+            });
+        }
+        sections.push((preset.spec().name.to_string(), rows));
+    }
+
+    for (name, rows) in &sections {
+        print_table(
+            &format!("Query-stream throughput — {name} (modelled queries/sec, {CPU_THREADS} CPU threads)"),
+            &["batch", "serial", "batched", "parallel", "speedup", "flattens"],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.batch.to_string(),
+                        fmt(r.serial_qps),
+                        fmt(r.batched_qps),
+                        fmt(r.parallel_qps),
+                        format!("{:.2}x", r.speedup),
+                        format!("{} ({} blocks)", r.flattens, r.db_blocks),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    let json = render_json(&sections);
+    let path = "BENCH_throughput.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
+fn render_json(sections: &[(String, Vec<Row>)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"throughput\",\n");
+    out.push_str("  \"device\": \"k20c\",\n");
+    out.push_str(&format!("  \"cpu_threads\": {CPU_THREADS},\n"));
+    out.push_str("  \"presets\": [\n");
+    for (pi, (name, rows)) in sections.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"db\": \"{name}\",\n"));
+        out.push_str("      \"sweep\": [\n");
+        for (ri, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"batch\": {}, \"serial_qps\": {:.2}, \"batched_qps\": {:.2}, \
+                 \"parallel_qps\": {:.2}, \"speedup_parallel_vs_serial\": {:.2}, \
+                 \"flattens\": {}, \"db_blocks\": {}}}{}\n",
+                r.batch,
+                r.serial_qps,
+                r.batched_qps,
+                r.parallel_qps,
+                r.speedup,
+                r.flattens,
+                r.db_blocks,
+                if ri + 1 < rows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if pi + 1 < sections.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}

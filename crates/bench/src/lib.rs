@@ -16,8 +16,6 @@ pub mod runners;
 pub mod table;
 pub mod workloads;
 
-pub use runners::{
-    run_cublastp, run_cuda_blastp, run_fsa_blast, run_gpu_blastp, run_ncbi_blast,
-};
+pub use runners::{run_cublastp, run_cuda_blastp, run_fsa_blast, run_gpu_blastp, run_ncbi_blast};
 pub use table::print_table;
 pub use workloads::{bench_scale, database, query, QUERY_LENGTHS};

@@ -3,8 +3,8 @@
 
 use baselines::{CudaBlastp, GpuBlastp};
 use bio_seq::{Sequence, SequenceDb};
-use blast_cpu::search::{search_parallel, search_sequential, SearchEngine};
 use blast_core::SearchParams;
+use blast_cpu::search::{search_parallel, search_sequential, SearchEngine};
 use cublastp::{CuBlastp, CuBlastpConfig, CuBlastpResult};
 use gpu_sim::DeviceConfig;
 
@@ -163,7 +163,11 @@ mod tests {
             run_cuda_blastp(&q, &db, p),
             run_gpu_blastp(&q, &db, p),
         ] {
-            assert_eq!(r.identity, fsa.identity, "{} differs from FSA-BLAST", r.name);
+            assert_eq!(
+                r.identity, fsa.identity,
+                "{} differs from FSA-BLAST",
+                r.name
+            );
             assert!(r.critical_ms > 0.0, "{} critical time", r.name);
             assert!(r.overall_ms > 0.0, "{} overall time", r.name);
         }

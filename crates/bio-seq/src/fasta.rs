@@ -40,8 +40,11 @@ pub fn read_fasta<R: BufRead>(reader: R) -> io::Result<Vec<Sequence>> {
                 description: String::new(),
                 residues: Vec::new(),
             });
-            seq.residues
-                .extend(line.bytes().filter(|b| !b.is_ascii_whitespace()).map(crate::alphabet::encode));
+            seq.residues.extend(
+                line.bytes()
+                    .filter(|b| !b.is_ascii_whitespace())
+                    .map(crate::alphabet::encode),
+            );
         }
     }
     if let Some(seq) = current {

@@ -132,8 +132,11 @@ pub struct SyntheticDb {
 /// `make_query(1054)`; their ids are `query127` etc.
 pub fn make_query(length: usize) -> Sequence {
     let cdf = residue_cdf();
-    let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ (length as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    let residues: Vec<Residue> = (0..length).map(|_| sample_residue(&mut rng, &cdf)).collect();
+    let mut rng =
+        StdRng::seed_from_u64(0xC0FFEE ^ (length as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let residues: Vec<Residue> = (0..length)
+        .map(|_| sample_residue(&mut rng, &cdf))
+        .collect();
     let mut q = Sequence::from_residues(format!("query{length}"), residues);
     q.description = format!("synthetic query, {length} residues");
     q
@@ -145,7 +148,7 @@ pub fn make_query(length: usize) -> Sequence {
 /// carry and SEG masking exists for.
 pub fn make_query_with_low_complexity(length: usize, runs: usize) -> Sequence {
     let mut q = make_query(length);
-    let mut rng = StdRng::seed_from_u64(0xBADC_0DE ^ length as u64);
+    let mut rng = StdRng::seed_from_u64(0x0BAD_C0DE ^ length as u64);
     let cdf = residue_cdf();
     for k in 0..runs {
         let run_len = 14 + (k * 5) % 11;
@@ -353,8 +356,7 @@ mod tests {
             seed: 3,
         };
         let s = generate_db(&spec, &q);
-        let mean =
-            s.db.sequences().iter().map(|s| s.len()).sum::<usize>() as f64 / 2000.0;
+        let mean = s.db.sequences().iter().map(|s| s.len()).sum::<usize>() as f64 / 2000.0;
         assert!((240.0..=360.0).contains(&mean), "mean = {mean}");
     }
 
@@ -372,8 +374,7 @@ mod tests {
         };
         let s = generate_db(&spec, &q);
         assert!(!s.planted.is_empty());
-        let query_words: std::collections::HashSet<&[Residue]> =
-            q.residues.windows(3).collect();
+        let query_words: std::collections::HashSet<&[Residue]> = q.residues.windows(3).collect();
         let mut sharing = 0;
         for &i in &s.planted {
             let subj = &s.db.sequences()[i];

@@ -78,12 +78,22 @@ impl Matrix {
     /// Highest score in the matrix (self-match of the rarest residue; 11
     /// for BLOSUM62's W/W).
     pub fn max_score(&self) -> i32 {
-        self.scores.iter().copied().map(i32::from).max().unwrap_or(0)
+        self.scores
+            .iter()
+            .copied()
+            .map(i32::from)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Lowest score in the matrix.
     pub fn min_score(&self) -> i32 {
-        self.scores.iter().copied().map(i32::from).min().unwrap_or(0)
+        self.scores
+            .iter()
+            .copied()
+            .map(i32::from)
+            .min()
+            .unwrap_or(0)
     }
 
     /// Parse a matrix in the NCBI text format: a header line listing column

@@ -29,13 +29,14 @@ impl Pssm {
         let mut scores = vec![i16::MIN; query_len * PADDED_ALPHABET_SIZE];
         for (pos, &q) in query.residues().iter().enumerate() {
             let col = &mut scores[pos * PADDED_ALPHABET_SIZE..(pos + 1) * PADDED_ALPHABET_SIZE];
-            for r in 0..ALPHABET_SIZE {
-                col[r] = matrix.score(q, r as Residue) as i16;
+            let (alphabet, padding) = col.split_at_mut(ALPHABET_SIZE);
+            for (r, cell) in alphabet.iter_mut().enumerate() {
+                *cell = matrix.score(q, r as Residue) as i16;
             }
             // Padding rows keep the worst score so an out-of-alphabet index
             // can never fabricate a positive match.
-            for r in ALPHABET_SIZE..PADDED_ALPHABET_SIZE {
-                col[r] = matrix.min_score() as i16;
+            for cell in padding {
+                *cell = matrix.min_score() as i16;
             }
         }
         Self { query_len, scores }

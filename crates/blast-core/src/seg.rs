@@ -99,8 +99,8 @@ mod tests {
         seq.extend(encode_str(b"MKVLWARNDCQEGHIW"));
         let mask = default_mask(&seq);
         // The poly-A core must be masked…
-        for i in 20..28 {
-            assert!(mask[i], "position {i} in the poly-A run unmasked");
+        for (i, &masked) in mask.iter().enumerate().take(28).skip(20) {
+            assert!(masked, "position {i} in the poly-A run unmasked");
         }
         // …while the diverse flank interiors stay unmasked.
         assert!(!mask[2]);

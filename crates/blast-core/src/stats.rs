@@ -84,9 +84,9 @@ impl KarlinAltschul {
 /// negative for Karlin–Altschul theory to apply.
 pub fn expected_score_pair(matrix: &Matrix, pa: &[f64], pb: &[f64]) -> f64 {
     let mut e = 0.0;
-    for i in 0..STANDARD_AA {
-        for j in 0..STANDARD_AA {
-            e += pa[i] * pb[j] * matrix.score(i as u8, j as u8) as f64;
+    for (i, &fa) in pa.iter().enumerate().take(STANDARD_AA) {
+        for (j, &fb) in pb.iter().enumerate().take(STANDARD_AA) {
+            e += fa * fb * matrix.score(i as u8, j as u8) as f64;
         }
     }
     e
@@ -126,11 +126,9 @@ pub fn solve_lambda_pair(matrix: &Matrix, pa: &[f64], pb: &[f64]) -> Option<f64>
     }
     let f = |lambda: f64| -> f64 {
         let mut sum = 0.0;
-        for i in 0..STANDARD_AA {
-            for j in 0..STANDARD_AA {
-                sum += pa[i]
-                    * pb[j]
-                    * (lambda * matrix.score(i as u8, j as u8) as f64).exp();
+        for (i, &fa) in pa.iter().enumerate().take(STANDARD_AA) {
+            for (j, &fb) in pb.iter().enumerate().take(STANDARD_AA) {
+                sum += fa * fb * (lambda * matrix.score(i as u8, j as u8) as f64).exp();
             }
         }
         sum - 1.0
@@ -195,10 +193,10 @@ impl KarlinAltschul {
 /// Relative entropy H = λ·Σ pᵢpⱼ·sᵢⱼ·exp(λ·sᵢⱼ), in nats per pair.
 pub fn relative_entropy(matrix: &Matrix, lambda: f64) -> f64 {
     let mut h = 0.0;
-    for i in 0..STANDARD_AA {
-        for j in 0..STANDARD_AA {
+    for (i, &fa) in ROBINSON_FREQS.iter().enumerate().take(STANDARD_AA) {
+        for (j, &fb) in ROBINSON_FREQS.iter().enumerate().take(STANDARD_AA) {
             let s = matrix.score(i as u8, j as u8) as f64;
-            h += ROBINSON_FREQS[i] * ROBINSON_FREQS[j] * s * (lambda * s).exp();
+            h += fa * fb * s * (lambda * s).exp();
         }
     }
     lambda * h

@@ -284,16 +284,14 @@ mod tests {
         let t = 11;
         let n = WordNeighborhood::build(&q, &m, t);
         let pssm = Pssm::build(&q, &m);
-        let exact: Vec<usize> = q
-            .residues()
-            .windows(WORD_LEN)
-            .map(|w| word_code(w))
-            .collect();
+        let exact: Vec<usize> = q.residues().windows(WORD_LEN).map(word_code).collect();
         let mut checked = 0;
         for code in 0..NUM_WORDS {
             for &pos in n.positions(code) {
                 let w = word_decode(code);
-                let score: i32 = (0..WORD_LEN).map(|k| pssm.score(pos as usize + k, w[k])).sum();
+                let score: i32 = (0..WORD_LEN)
+                    .map(|k| pssm.score(pos as usize + k, w[k]))
+                    .sum();
                 let is_exact = exact[pos as usize] == code;
                 assert!(
                     score >= t || is_exact,
@@ -394,7 +392,10 @@ mod tests {
     #[test]
     fn empty_and_short_queries() {
         let m = Matrix::blosum62();
-        for q in [Sequence::from_bytes("q", b""), Sequence::from_bytes("q", b"AR")] {
+        for q in [
+            Sequence::from_bytes("q", b""),
+            Sequence::from_bytes("q", b"AR"),
+        ] {
             let n = WordNeighborhood::build(&q, &m, 11);
             assert_eq!(n.total_entries(), 0);
         }

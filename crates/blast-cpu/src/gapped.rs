@@ -13,8 +13,8 @@
 //! functions are called from `cublastp`'s threaded pipeline.
 
 use crate::ungapped::UngappedExt;
-use blast_core::{Pssm, SearchParams};
 use bio_seq::alphabet::Residue;
+use blast_core::{Pssm, SearchParams};
 use serde::{Deserialize, Serialize};
 
 /// Sentinel for unreachable DP cells (low enough that arithmetic on it
@@ -78,12 +78,12 @@ fn half_extend(
         // Row 0: leading gap in the query dimension.
         d_prev[0] = 0;
         let mut jmax = 0usize;
-        for j in 1..width {
+        for (j, cell) in d_prev.iter_mut().enumerate().take(width).skip(1) {
             let s = -(open + (j as i32 - 1) * ext);
             if best - s > xdrop {
                 break;
             }
-            d_prev[j] = s;
+            *cell = s;
             jmax = j;
         }
         let mut jmin = 0usize;
@@ -105,14 +105,26 @@ fn half_extend(
             let mut e = NEG_INF; // horizontal gap state within this row
             for j in jmin..=row_hi {
                 // Vertical gap: open from the cell above or extend its F.
-                let f_open = if d_prev[j] > NEG_INF { d_prev[j] - open } else { NEG_INF };
-                let f_ext = if f_prev[j] > NEG_INF { f_prev[j] - ext } else { NEG_INF };
+                let f_open = if d_prev[j] > NEG_INF {
+                    d_prev[j] - open
+                } else {
+                    NEG_INF
+                };
+                let f_ext = if f_prev[j] > NEG_INF {
+                    f_prev[j] - ext
+                } else {
+                    NEG_INF
+                };
                 let f = f_open.max(f_ext);
                 f_row[j] = f;
 
                 // Horizontal gap: open from the cell to the left or extend.
                 e = if j > 0 {
-                    let e_open = if d_row[j - 1] > NEG_INF { d_row[j - 1] - open } else { NEG_INF };
+                    let e_open = if d_row[j - 1] > NEG_INF {
+                        d_row[j - 1] - open
+                    } else {
+                        NEG_INF
+                    };
                     let e_ext = if e > NEG_INF { e - ext } else { NEG_INF };
                     e_open.max(e_ext)
                 } else {
@@ -251,9 +263,9 @@ pub fn gapped_phase_subject(
     for seed in seeds {
         let qm = seed.q_mid();
         let sm = seed.s_mid();
-        let contained = out.iter().any(|g| {
-            qm >= g.q_start && qm < g.q_end && sm >= g.s_start && sm < g.s_end
-        });
+        let contained = out
+            .iter()
+            .any(|g| qm >= g.q_start && qm < g.q_end && sm >= g.s_start && sm < g.s_end);
         if contained {
             continue;
         }
@@ -359,8 +371,20 @@ mod tests {
         let s = encode_str(q);
         // Two overlapping seeds over the same diagonal → one gapped result.
         let seeds = vec![
-            UngappedExt { seq_id: 0, q_start: 2, s_start: 2, len: 8, score: 40 },
-            UngappedExt { seq_id: 0, q_start: 4, s_start: 4, len: 8, score: 38 },
+            UngappedExt {
+                seq_id: 0,
+                q_start: 2,
+                s_start: 2,
+                len: 8,
+                score: 40,
+            },
+            UngappedExt {
+                seq_id: 0,
+                q_start: 4,
+                s_start: 4,
+                len: 8,
+                score: 38,
+            },
         ];
         let out = gapped_phase_subject(&pssm, &s, &seeds, &SearchParams::default(), 22);
         assert_eq!(out.len(), 1);
@@ -371,7 +395,13 @@ mod tests {
         let q = b"MKVLWAARNDCQEGH";
         let pssm = pssm_for(q);
         let s = encode_str(q);
-        let seeds = vec![UngappedExt { seq_id: 0, q_start: 2, s_start: 2, len: 8, score: 10 }];
+        let seeds = vec![UngappedExt {
+            seq_id: 0,
+            q_start: 2,
+            s_start: 2,
+            len: 8,
+            score: 10,
+        }];
         let out = gapped_phase_subject(&pssm, &s, &seeds, &SearchParams::default(), 22);
         assert!(out.is_empty());
     }

@@ -16,8 +16,8 @@
 //! both orders, which is exactly why the two orders commute.
 
 use crate::ungapped::{extend, UngappedExt};
-use blast_core::{Dfa, Pssm};
 use bio_seq::alphabet::Residue;
+use blast_core::{Dfa, Pssm};
 
 /// A word hit between the query and one subject sequence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -282,7 +282,17 @@ mod tests {
         let mut out = Vec::new();
         let mut stats = HitStats::default();
         let mut scratch = DiagonalScratch::new(0);
-        scan_subject(&dfa, &pssm, &subject, 0, 40, 16, &mut scratch, &mut out, &mut stats);
+        scan_subject(
+            &dfa,
+            &pssm,
+            &subject,
+            0,
+            40,
+            16,
+            &mut scratch,
+            &mut out,
+            &mut stats,
+        );
         assert!(stats.hits > 0);
         assert!(!out.is_empty(), "no extension on an exact homolog");
         // The best extension covers the full embedded query.
@@ -302,7 +312,17 @@ mod tests {
         let mut out = Vec::new();
         let mut stats = HitStats::default();
         let mut scratch = DiagonalScratch::new(0);
-        scan_subject(&dfa, &pssm, s.residues(), 0, 40, 16, &mut scratch, &mut out, &mut stats);
+        scan_subject(
+            &dfa,
+            &pssm,
+            s.residues(),
+            0,
+            40,
+            16,
+            &mut scratch,
+            &mut out,
+            &mut stats,
+        );
         assert!(stats.hits > 0, "random 400-mer should produce word hits");
         // The two-hit filter must reject the vast majority of random hits
         // (paper §3.3 reports 5–11 % surviving).
@@ -320,8 +340,28 @@ mod tests {
         let mut out = Vec::new();
         let mut stats = HitStats::default();
         let mut scratch = DiagonalScratch::new(0);
-        scan_subject(&dfa, &pssm, &[], 0, 40, 16, &mut scratch, &mut out, &mut stats);
-        scan_subject(&dfa, &pssm, &encode_str(b"MK"), 0, 40, 16, &mut scratch, &mut out, &mut stats);
+        scan_subject(
+            &dfa,
+            &pssm,
+            &[],
+            0,
+            40,
+            16,
+            &mut scratch,
+            &mut out,
+            &mut stats,
+        );
+        scan_subject(
+            &dfa,
+            &pssm,
+            &encode_str(b"MK"),
+            0,
+            40,
+            16,
+            &mut scratch,
+            &mut out,
+            &mut stats,
+        );
         assert_eq!(stats.hits, 0);
         assert!(out.is_empty());
     }

@@ -247,10 +247,14 @@ mod tests {
 
     #[test]
     fn phase_times_accumulate() {
-        let mut a = PhaseTimes::default();
-        a.hit_ungapped = Duration::from_millis(10);
-        let mut b = PhaseTimes::default();
-        b.gapped = Duration::from_millis(5);
+        let mut a = PhaseTimes {
+            hit_ungapped: Duration::from_millis(10),
+            ..PhaseTimes::default()
+        };
+        let b = PhaseTimes {
+            gapped: Duration::from_millis(5),
+            ..PhaseTimes::default()
+        };
         a.add(&b);
         assert_eq!(a.total(), Duration::from_millis(15));
     }

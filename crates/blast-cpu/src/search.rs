@@ -59,10 +59,8 @@ impl SearchEngine {
         };
         let mut cutoffs = params.cutoffs(query.len(), db.total_residues(), db.len());
         if params.composition_based_stats {
-            cutoffs.gapped_ka = blast_core::KarlinAltschul::composition_adjusted_gapped(
-                &matrix,
-                query.residues(),
-            );
+            cutoffs.gapped_ka =
+                blast_core::KarlinAltschul::composition_adjusted_gapped(&matrix, query.residues());
             cutoffs.report_cutoff = cutoffs
                 .gapped_ka
                 .cutoff_score(params.evalue_cutoff, cutoffs.search_space);
@@ -243,6 +241,23 @@ pub fn effective_threads(requested: usize) -> usize {
     requested.clamp(1, host)
 }
 
+static SHARED_POOL: std::sync::OnceLock<rayon::ThreadPool> = std::sync::OnceLock::new();
+
+/// The process-wide CPU worker pool, built lazily on first use and sized
+/// to the host. Every search driver shares it instead of spawning a fresh
+/// pool per call — on a query stream, per-search pool construction used to
+/// dominate small-query setup. Reported timings are unaffected: wall-clock
+/// at a requested thread count is modelled from summed per-subject times
+/// (see [`modeled_parallel_speedup`]), never from pool size.
+pub fn shared_pool() -> &'static rayon::ThreadPool {
+    SHARED_POOL.get_or_init(|| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(effective_threads(usize::MAX))
+            .build()
+            .expect("failed to build shared CPU pool")
+    })
+}
+
 /// Multithreaded NCBI-BLAST-style search over `threads` worker threads.
 ///
 /// The database is partitioned into contiguous chunks; each worker runs the
@@ -251,10 +266,7 @@ pub fn effective_threads(requested: usize) -> usize {
 /// count. Reported times follow [`modeled_parallel_speedup`]; see its
 /// documentation.
 pub fn search_parallel(engine: &SearchEngine, db: &SequenceDb, threads: usize) -> CpuSearchResult {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(effective_threads(threads))
-        .build()
-        .expect("failed to build thread pool");
+    let pool = shared_pool();
 
     let chunk = db.len().div_ceil(threads.max(1)).max(1);
     let partials: Vec<(SearchReport, PhaseTimes, HitStats)> = pool.install(|| {
@@ -266,8 +278,7 @@ pub fn search_parallel(engine: &SearchEngine, db: &SequenceDb, threads: usize) -
                 let mut report = SearchReport::default();
                 let mut times = PhaseTimes::default();
                 let mut stats = HitStats::default();
-                let mut scratch =
-                    DiagonalScratch::new(engine.query.len() + db.max_length() + 1);
+                let mut scratch = DiagonalScratch::new(engine.query.len() + db.max_length() + 1);
                 let mut ungapped: Vec<UngappedExt> = Vec::new();
                 for (off, subject) in subjects.iter().enumerate() {
                     let idx = base + off;

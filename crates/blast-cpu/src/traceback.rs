@@ -8,8 +8,8 @@
 
 use crate::gapped::{GappedExt, NEG_INF};
 use crate::report::{AlignOp, Alignment};
-use blast_core::{Pssm, SearchParams};
 use bio_seq::alphabet::Residue;
+use blast_core::{Pssm, SearchParams};
 
 // Direction byte layout: bits 0–1 = source state of D (0 = diagonal M,
 // 1 = horizontal gap E, 2 = vertical gap F, 3 = start cell), bit 2 = E
@@ -78,8 +78,16 @@ fn half_align(
         let mut e = NEG_INF;
         let mut e_opened = false;
         for j in jmin..=row_hi {
-            let f_open_score = if d_prev[j] > NEG_INF { d_prev[j] - open } else { NEG_INF };
-            let f_ext_score = if f_prev[j] > NEG_INF { f_prev[j] - ext } else { NEG_INF };
+            let f_open_score = if d_prev[j] > NEG_INF {
+                d_prev[j] - open
+            } else {
+                NEG_INF
+            };
+            let f_ext_score = if f_prev[j] > NEG_INF {
+                f_prev[j] - ext
+            } else {
+                NEG_INF
+            };
             let (f, f_opened) = if f_open_score >= f_ext_score {
                 (f_open_score, true)
             } else {
@@ -88,7 +96,11 @@ fn half_align(
             f_row[j] = f;
 
             if j > 0 {
-                let e_open_score = if d_row[j - 1] > NEG_INF { d_row[j - 1] - open } else { NEG_INF };
+                let e_open_score = if d_row[j - 1] > NEG_INF {
+                    d_row[j - 1] - open
+                } else {
+                    NEG_INF
+                };
                 let e_ext_score = if e > NEG_INF { e - ext } else { NEG_INF };
                 if e_open_score >= e_ext_score {
                     e = e_open_score;
@@ -297,7 +309,13 @@ mod tests {
     }
 
     fn seed(q_start: u32, s_start: u32, len: u32) -> UngappedExt {
-        UngappedExt { seq_id: 0, q_start, s_start, len, score: 0 }
+        UngappedExt {
+            seq_id: 0,
+            q_start,
+            s_start,
+            len,
+            score: 0,
+        }
     }
 
     fn run(q: &[u8], s: &[u8], sd: UngappedExt) -> (GappedExt, Alignment) {
@@ -379,12 +397,20 @@ mod tests {
                     gap_run = 0;
                 }
                 AlignOp::Ins => {
-                    score -= if gap_run == 0 { p.gap_open + p.gap_extend } else { p.gap_extend };
+                    score -= if gap_run == 0 {
+                        p.gap_open + p.gap_extend
+                    } else {
+                        p.gap_extend
+                    };
                     si += 1;
                     gap_run += 1;
                 }
                 AlignOp::Del => {
-                    score -= if gap_run == 0 { p.gap_open + p.gap_extend } else { p.gap_extend };
+                    score -= if gap_run == 0 {
+                        p.gap_open + p.gap_extend
+                    } else {
+                        p.gap_extend
+                    };
                     qi += 1;
                     gap_run += 1;
                 }

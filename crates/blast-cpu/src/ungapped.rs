@@ -9,8 +9,8 @@
 //! coarse-grained GPU baselines — which is what makes their outputs
 //! comparable bit-for-bit.
 
-use blast_core::{Pssm, WORD_LEN};
 use bio_seq::alphabet::Residue;
+use blast_core::{Pssm, WORD_LEN};
 use serde::{Deserialize, Serialize};
 
 /// Result of one ungapped extension.
@@ -132,12 +132,7 @@ pub fn extend(
 /// invariant check used by property tests).
 pub fn rescore(pssm: &Pssm, subject: &[Residue], ext: &UngappedExt) -> i32 {
     (0..ext.len as usize)
-        .map(|k| {
-            pssm.score(
-                ext.q_start as usize + k,
-                subject[ext.s_start as usize + k],
-            )
-        })
+        .map(|k| pssm.score(ext.q_start as usize + k, subject[ext.s_start as usize + k]))
         .sum()
 }
 

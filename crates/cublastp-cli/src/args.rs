@@ -263,8 +263,14 @@ mod tests {
 
     #[test]
     fn outfmt_parses_and_rejects() {
-        assert_eq!(parse(&["--demo", "--outfmt", "tab"]).unwrap().outfmt, OutFmt::Tab);
-        assert_eq!(parse(&["--demo", "--outfmt", "6"]).unwrap().outfmt, OutFmt::Tab);
+        assert_eq!(
+            parse(&["--demo", "--outfmt", "tab"]).unwrap().outfmt,
+            OutFmt::Tab
+        );
+        assert_eq!(
+            parse(&["--demo", "--outfmt", "6"]).unwrap().outfmt,
+            OutFmt::Tab
+        );
         assert_eq!(parse(&["--demo"]).unwrap().outfmt, OutFmt::Pairwise);
         assert!(parse(&["--demo", "--outfmt", "xml"]).is_err());
     }

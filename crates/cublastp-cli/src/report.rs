@@ -28,7 +28,11 @@ pub fn print(
     }
     out!(
         "\n{:<30} {:>6} {:>8} {:>10} {:>7}",
-        "Sequences producing significant alignments:", "Score", "Bits", "E-value", "Ident"
+        "Sequences producing significant alignments:",
+        "Score",
+        "Bits",
+        "E-value",
+        "Ident"
     );
     for hit in report.hits.iter().take(args.max_hits) {
         out!(
@@ -92,7 +96,10 @@ fn print_alignment(query: &Sequence, db: &SequenceDb, hit: &ReportedHit) {
     let subject = &db.sequences()[hit.subject_index];
     out!(
         "\n> {}\n Score = {:.1} bits ({}), Expect = {:.2e}",
-        subject.id, hit.bit_score, a.score, hit.evalue
+        subject.id,
+        hit.bit_score,
+        a.score,
+        hit.evalue
     );
     out!(
         " Identities = {}/{} ({:.0}%), Positives = {}/{} ({:.0}%), Gaps = {}/{}",

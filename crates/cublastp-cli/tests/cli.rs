@@ -137,12 +137,7 @@ fn crlf_fasta_is_parsed() {
     let d = dir.join("d.fa");
     std::fs::write(&q, format!(">probe\r\n{CORE}\r\n")).unwrap();
     std::fs::write(&d, format!(">subject\r\n{CORE}\r\n")).unwrap();
-    let out = run(&[
-        "--query",
-        q.to_str().unwrap(),
-        "--db",
-        d.to_str().unwrap(),
-    ]);
+    let out = run(&["--query", q.to_str().unwrap(), "--db", d.to_str().unwrap()]);
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(
@@ -160,14 +155,16 @@ fn multibyte_subject_id_does_not_panic() {
     let q = dir.join("q.fa");
     let d = dir.join("d.fa");
     write_fasta(&q, &[("probe", CORE)]);
-    write_fasta(&d, &[("sübjéct_ëxtrêmely_löng_ünïcode_идентификатор", CORE)]);
-    let out = run(&[
-        "--query",
-        q.to_str().unwrap(),
-        "--db",
-        d.to_str().unwrap(),
-    ]);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    write_fasta(
+        &d,
+        &[("sübjéct_ëxtrêmely_löng_ünïcode_идентификатор", CORE)],
+    );
+    let out = run(&["--query", q.to_str().unwrap(), "--db", d.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8(out.stdout).unwrap().contains("sübjéct"));
     std::fs::remove_dir_all(&dir).ok();
 }

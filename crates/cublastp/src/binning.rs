@@ -74,8 +74,7 @@ pub fn binning_kernel(
 
     // Shared memory: DFA states + the per-warp bin `top` counters
     // (4 bytes per bin per warp) — the §4.1 occupancy trade-off.
-    let shared = DFA_STATES_SHARED_BYTES
-        + (warps_per_block as usize * num_bins * 4) as u32;
+    let shared = DFA_STATES_SHARED_BYTES + (warps_per_block as usize * num_bins * 4) as u32;
     let launch_cfg = LaunchConfig {
         blocks: grid_blocks,
         warps_per_block,
@@ -91,8 +90,7 @@ pub fn binning_kernel(
     let results: Mutex<Vec<(usize, Vec<Vec<u64>>)>> = Mutex::new(Vec::new());
 
     let stats = launch(device, launch_cfg, "hit_detection", |block| {
-        let mut block_bins: Vec<Vec<u64>> =
-            vec![Vec::new(); warps_per_block as usize * num_bins];
+        let mut block_bins: Vec<Vec<u64>> = vec![Vec::new(); warps_per_block as usize * num_bins];
         // Per-lane scratch reused across chunks.
         let mut lane_hits: Vec<Vec<(u32, u32)>> = vec![Vec::new(); WARP_SIZE as usize];
         let mut addrs: Vec<u64> = Vec::with_capacity(WARP_SIZE as usize);
@@ -102,8 +100,7 @@ pub fn binning_kernel(
 
         for warp_in_block in 0..warps_per_block as usize {
             let warp_id = block.block_id as usize * warps_per_block as usize + warp_in_block;
-            let warp_bins_base =
-                bins_base + (warp_id * num_bins) as u64 * bin_capacity * 8;
+            let warp_bins_base = bins_base + (warp_id * num_bins) as u64 * bin_capacity * 8;
             let mut tops = vec![0u64; num_bins];
 
             let mut i = warp_id;
@@ -156,24 +153,16 @@ pub fn binning_kernel(
                         produced.clear();
                         for lane in lane_hits.iter().take(active) {
                             if let Some(&(qpos, col)) = lane.get(k) {
-                                let diagonal =
-                                    (col as i64 - qpos as i64 + qlen as i64) as u32;
+                                let diagonal = (col as i64 - qpos as i64 + qlen as i64) as u32;
                                 let bin_id = diagonal as usize % num_bins;
                                 let slot = tops[bin_id];
                                 tops[bin_id] += 1;
-                                targets.push(
-                                    (warp_in_block * num_bins + bin_id) as u64,
-                                );
+                                targets.push((warp_in_block * num_bins + bin_id) as u64);
                                 writes.push(
                                     warp_bins_base
-                                        + (bin_id as u64 * bin_capacity
-                                            + slot % bin_capacity)
-                                            * 8,
+                                        + (bin_id as u64 * bin_capacity + slot % bin_capacity) * 8,
                                 );
-                                produced.push((
-                                    bin_id,
-                                    pack(i as u32, diagonal, col as u32),
-                                ));
+                                produced.push((bin_id, pack(i as u32, diagonal, col)));
                             }
                         }
                         // Diagonal/bin arithmetic.
@@ -273,7 +262,10 @@ mod tests {
 
     #[test]
     fn hits_land_in_their_diagonal_bin() {
-        let subjects = vec![Sequence::from_residues("s", make_query(200).residues().to_vec())];
+        let subjects = vec![Sequence::from_residues(
+            "s",
+            make_query(200).residues().to_vec(),
+        )];
         let (dq, db) = setup(50, subjects);
         let cfg = CuBlastpConfig {
             grid_blocks: 1,
@@ -292,7 +284,10 @@ mod tests {
 
     #[test]
     fn more_bins_use_more_shared_memory_and_lower_occupancy() {
-        let subjects = vec![Sequence::from_residues("s", make_query(150).residues().to_vec())];
+        let subjects = vec![Sequence::from_residues(
+            "s",
+            make_query(150).residues().to_vec(),
+        )];
         let (dq, db) = setup(64, subjects);
         let d = DeviceConfig::k20c();
         let occ = |bins: usize| {
@@ -318,7 +313,9 @@ mod tests {
     #[test]
     fn readonly_cache_reduces_cycles() {
         let subjects: Vec<Sequence> = (0..20)
-            .map(|k| Sequence::from_residues(format!("s{k}"), make_query(300 + k).residues().to_vec()))
+            .map(|k| {
+                Sequence::from_residues(format!("s{k}"), make_query(300 + k).residues().to_vec())
+            })
             .collect();
         let (dq, db) = setup(127, subjects);
         let d = DeviceConfig::k20c();
@@ -327,8 +324,26 @@ mod tests {
             warps_per_block: 4,
             ..Default::default()
         };
-        let with = binning_kernel(&d, &CuBlastpConfig { use_readonly_cache: true, ..base }, &dq, &db).1;
-        let without = binning_kernel(&d, &CuBlastpConfig { use_readonly_cache: false, ..base }, &dq, &db).1;
+        let with = binning_kernel(
+            &d,
+            &CuBlastpConfig {
+                use_readonly_cache: true,
+                ..base
+            },
+            &dq,
+            &db,
+        )
+        .1;
+        let without = binning_kernel(
+            &d,
+            &CuBlastpConfig {
+                use_readonly_cache: false,
+                ..base
+            },
+            &dq,
+            &db,
+        )
+        .1;
         assert!(
             with.warp_cycles < without.warp_cycles,
             "cache on: {} cycles, off: {}",

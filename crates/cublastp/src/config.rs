@@ -160,7 +160,10 @@ mod tests {
     #[test]
     fn auto_crossover_boundary() {
         let c = CuBlastpConfig::default();
-        assert_eq!(c.resolved_scoring(AUTO_SCORING_CROSSOVER), ScoringMode::Pssm);
+        assert_eq!(
+            c.resolved_scoring(AUTO_SCORING_CROSSOVER),
+            ScoringMode::Pssm
+        );
         assert_eq!(
             c.resolved_scoring(AUTO_SCORING_CROSSOVER + 1),
             ScoringMode::Blosum62

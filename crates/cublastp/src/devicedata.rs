@@ -1,9 +1,24 @@
 //! Device-resident data: the flattened database block and the query-side
-//! structures (DFA, PSSM) with their synthetic addresses.
+//! structures (DFA, PSSM) with their synthetic addresses, plus the
+//! whole-database residency layer ([`DeviceDb`], [`DeviceDbCache`]) that
+//! lets a stream of queries share one flattened copy of the database.
 
-use bio_seq::Sequence;
+use bio_seq::{DbBlock, Sequence, SequenceDb};
 use blast_core::{Dfa, Pssm};
 use gpu_sim::GlobalBuffer;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Process-wide count of database-block flattens ([`DeviceDbBlock::upload`]
+/// calls). Residency is observable through it: a batch of N queries over a
+/// B-block database must flatten B times, not N × B.
+static FLATTEN_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Current value of the flatten counter.
+pub fn flatten_count() -> u64 {
+    FLATTEN_COUNT.load(Ordering::Relaxed)
+}
 
 /// One database block uploaded to the device: concatenated residues plus
 /// per-sequence offsets (the layout every real GPU BLAST uses).
@@ -19,6 +34,7 @@ pub struct DeviceDbBlock {
 impl DeviceDbBlock {
     /// Flatten a slice of sequences into device layout.
     pub fn upload(sequences: &[Sequence], base_index: usize) -> Self {
+        FLATTEN_COUNT.fetch_add(1, Ordering::Relaxed);
         let total: usize = sequences.iter().map(|s| s.len()).sum();
         let mut residues = Vec::with_capacity(total);
         let mut offsets = Vec::with_capacity(sequences.len() + 1);
@@ -61,6 +77,76 @@ impl DeviceDbBlock {
     /// Host→device payload size in bytes (PCIe model input).
     pub fn upload_bytes(&self) -> u64 {
         self.residues.size_bytes() + (self.offsets.len() * 8) as u64
+    }
+}
+
+/// A whole database resident on the device: every block flattened exactly
+/// once and shared (`Arc`) by all queries of a stream. Building one is the
+/// upload; afterwards searches run against the resident copy and pay no
+/// per-query H2D transfer for the database.
+pub struct DeviceDb {
+    blocks: Vec<(DbBlock, Arc<DeviceDbBlock>)>,
+    block_size: usize,
+}
+
+impl DeviceDb {
+    /// Flatten all blocks of `db` at the given partition size.
+    pub fn upload(db: &SequenceDb, block_size: usize) -> Self {
+        let blocks = db
+            .blocks(block_size)
+            .into_iter()
+            .map(|b| {
+                let dev = Arc::new(DeviceDbBlock::upload(db.block_sequences(b), b.start));
+                (b, dev)
+            })
+            .collect();
+        Self { blocks, block_size }
+    }
+
+    /// The resident blocks, in database order.
+    pub fn blocks(&self) -> &[(DbBlock, Arc<DeviceDbBlock>)] {
+        &self.blocks
+    }
+
+    /// Partition size the database was flattened at.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Number of resident blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total host→device payload of the whole database in bytes.
+    pub fn upload_bytes(&self) -> u64 {
+        self.blocks.iter().map(|(_, b)| b.upload_bytes()).sum()
+    }
+}
+
+/// Cache of [`DeviceDb`] uploads keyed by block size, for drivers that
+/// search one database under several partitionings (CLI, benches). Each
+/// distinct block size flattens once; repeat requests share the `Arc`.
+#[derive(Default)]
+pub struct DeviceDbCache {
+    entries: Mutex<Vec<(usize, Arc<DeviceDb>)>>,
+}
+
+impl DeviceDbCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The resident database at `block_size`, uploading it on first use.
+    pub fn get(&self, db: &SequenceDb, block_size: usize) -> Arc<DeviceDb> {
+        let mut entries = self.entries.lock();
+        if let Some((_, cached)) = entries.iter().find(|(size, _)| *size == block_size) {
+            return Arc::clone(cached);
+        }
+        let fresh = Arc::new(DeviceDb::upload(db, block_size));
+        entries.push((block_size, Arc::clone(&fresh)));
+        fresh
     }
 }
 
@@ -176,5 +262,46 @@ mod tests {
         let seqs = vec![Sequence::from_bytes("a", b"MKVLW")];
         let block = DeviceDbBlock::upload(&seqs, 0);
         assert_eq!(block.upload_bytes(), 5 + 2 * 8);
+    }
+
+    fn tiny_db() -> SequenceDb {
+        let seqs = (0..7)
+            .map(|i| Sequence::from_bytes(format!("s{i}"), b"MKVARNDCQEGH"))
+            .collect();
+        SequenceDb::new("tiny", seqs)
+    }
+
+    #[test]
+    fn device_db_blocks_match_fresh_uploads() {
+        // Byte identity: the resident copy must be indistinguishable from
+        // flattening the block directly.
+        let db = tiny_db();
+        let dev = DeviceDb::upload(&db, 3);
+        assert_eq!(dev.num_blocks(), 3);
+        assert_eq!(dev.block_size(), 3);
+        let mut total = 0;
+        for (block, resident) in dev.blocks() {
+            let fresh = DeviceDbBlock::upload(db.block_sequences(*block), block.start);
+            assert_eq!(resident.offsets, fresh.offsets);
+            assert_eq!(resident.base_index, fresh.base_index);
+            assert_eq!(resident.upload_bytes(), fresh.upload_bytes());
+            for i in 0..fresh.num_seqs() {
+                assert_eq!(resident.seq(i), fresh.seq(i));
+            }
+            total += fresh.upload_bytes();
+        }
+        assert_eq!(dev.upload_bytes(), total);
+    }
+
+    #[test]
+    fn cache_shares_one_upload_per_block_size() {
+        let db = tiny_db();
+        let cache = DeviceDbCache::new();
+        let a = cache.get(&db, 4);
+        let b = cache.get(&db, 4);
+        assert!(Arc::ptr_eq(&a, &b), "same block size must share the upload");
+        let c = cache.get(&db, 2);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(c.num_blocks(), 4);
     }
 }

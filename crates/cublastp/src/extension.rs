@@ -22,8 +22,8 @@ use crate::config::{CuBlastpConfig, ExtensionStrategy, ScoringMode};
 use crate::devicedata::{DeviceDbBlock, DeviceQuery};
 use crate::hitpack::{group_key, query_pos, seq_id, subject_pos};
 use crate::reorder::FilteredHits;
-use blast_cpu::ungapped::{extend, UngappedExt};
 use blast_core::SearchParams;
+use blast_cpu::ungapped::{extend, UngappedExt};
 use gpu_sim::device::WARP_SIZE;
 use gpu_sim::{launch, DeviceConfig, KernelStats, LaunchConfig};
 use parking_lot::Mutex;
@@ -400,12 +400,7 @@ mod tests {
 
     #[test]
     fn build_tasks_groups_by_sequence_and_diagonal() {
-        let hits = vec![
-            pack(0, 3, 1),
-            pack(0, 3, 9),
-            pack(0, 5, 2),
-            pack(1, 3, 4),
-        ];
+        let hits = vec![pack(0, 3, 1), pack(0, 3, 9), pack(0, 5, 2), pack(1, 3, 4)];
         assert_eq!(build_tasks(&hits), vec![(0, 2), (2, 3), (3, 4)]);
         assert!(build_tasks(&[]).is_empty());
     }
@@ -454,7 +449,10 @@ mod tests {
         };
         let diag = run(ExtensionStrategy::Diagonal);
         let win = run(ExtensionStrategy::Window);
-        assert!(!diag.extensions.is_empty(), "workload produced no extensions");
+        assert!(
+            !diag.extensions.is_empty(),
+            "workload produced no extensions"
+        );
         assert_eq!(diag.extensions, win.extensions);
         assert_eq!(diag.redundant, 0);
         assert_eq!(win.redundant, 0);

@@ -17,28 +17,28 @@
 
 use crate::config::CuBlastpConfig;
 use crate::devicedata::{DeviceDbBlock, DeviceQuery};
-use blast_cpu::gapped::{gapped_phase_subject, GappedExt};
-use blast_cpu::ungapped::UngappedExt;
+use crate::gpu_phase::ExtensionsCsr;
 use blast_core::SearchParams;
+use blast_cpu::gapped::{gapped_phase_subject, GappedExt};
 use gpu_sim::device::WARP_SIZE;
 use gpu_sim::{launch, DeviceConfig, KernelStats, LaunchConfig};
 use parking_lot::Mutex;
 
 /// Run gapped extension for every subject of a block on the simulated
-/// GPU. `extensions_by_seq` is the ungapped-extension output of the
-/// block's GPU phase (block-local subject ids).
+/// GPU. `extensions` is the ungapped-extension output of the block's GPU
+/// phase (CSR over block-local subject ids).
 pub fn gapped_kernel(
     device: &DeviceConfig,
     cfg: &CuBlastpConfig,
     query: &DeviceQuery,
     db: &DeviceDbBlock,
-    extensions_by_seq: &[Vec<UngappedExt>],
+    extensions: &ExtensionsCsr,
     params: &SearchParams,
     trigger: i32,
 ) -> (Vec<Vec<GappedExt>>, KernelStats) {
     // Work items: subjects with at least one triggering seed.
-    let work: Vec<usize> = (0..extensions_by_seq.len())
-        .filter(|&i| extensions_by_seq[i].iter().any(|e| e.score >= trigger))
+    let work: Vec<usize> = (0..extensions.num_seqs())
+        .filter(|&i| extensions.seq(i).iter().any(|e| e.score >= trigger))
         .collect();
 
     let launch_cfg = LaunchConfig {
@@ -72,7 +72,7 @@ pub fn gapped_kernel(
                 let gapped = gapped_phase_subject(
                     &query.pssm,
                     db.seq(seq),
-                    &extensions_by_seq[seq],
+                    extensions.seq(seq),
                     params,
                     trigger,
                 );
@@ -100,7 +100,7 @@ pub fn gapped_kernel(
         results.lock().extend(out);
     });
 
-    let mut gapped_by_seq: Vec<Vec<GappedExt>> = vec![Vec::new(); extensions_by_seq.len()];
+    let mut gapped_by_seq: Vec<Vec<GappedExt>> = vec![Vec::new(); extensions.num_seqs()];
     for (seq, gapped) in results.into_inner() {
         gapped_by_seq[seq] = gapped;
     }
@@ -113,7 +113,7 @@ mod tests {
     use bio_seq::generate::{generate_db, make_query, DbSpec};
     use blast_core::{Dfa, Matrix, Pssm};
 
-    fn setup() -> (DeviceQuery, DeviceDbBlock, SearchParams, Vec<Vec<UngappedExt>>) {
+    fn setup() -> (DeviceQuery, DeviceDbBlock, SearchParams, ExtensionsCsr) {
         let q = make_query(96);
         let spec = DbSpec {
             name: "gg",
@@ -133,7 +133,7 @@ mod tests {
             ..CuBlastpConfig::default()
         };
         let out = crate::gpu_phase::run_gpu_phase(&DeviceConfig::k20c(), &cfg, &dq, &db, &p);
-        (dq, db, p, out.extensions_by_seq)
+        (dq, db, p, out.extensions)
     }
 
     #[test]
@@ -144,26 +144,43 @@ mod tests {
             warps_per_block: 2,
             ..CuBlastpConfig::default()
         };
-        let (gpu, stats) =
-            gapped_kernel(&DeviceConfig::k20c(), &cfg, &dq, &db, &exts, &p, p.gapped_trigger);
+        let (gpu, stats) = gapped_kernel(
+            &DeviceConfig::k20c(),
+            &cfg,
+            &dq,
+            &db,
+            &exts,
+            &p,
+            p.gapped_trigger,
+        );
         let mut any = false;
-        for (i, seed_list) in exts.iter().enumerate() {
-            let cpu = gapped_phase_subject(&dq.pssm, db.seq(i), seed_list, &p, p.gapped_trigger);
-            assert_eq!(gpu[i], cpu, "subject {i}");
+        for (i, gpu_seq) in gpu.iter().enumerate().take(exts.num_seqs()) {
+            let cpu = gapped_phase_subject(&dq.pssm, db.seq(i), exts.seq(i), &p, p.gapped_trigger);
+            assert_eq!(gpu_seq, &cpu, "subject {i}");
             any |= !cpu.is_empty();
         }
         assert!(any, "workload produced no gapped extensions");
         assert!(stats.warp_cycles > 0);
-        assert!(stats.divergence_overhead() > 0.0, "coarse gapped DP must diverge");
+        assert!(
+            stats.divergence_overhead() > 0.0,
+            "coarse gapped DP must diverge"
+        );
     }
 
     #[test]
     fn empty_extension_input() {
         let (dq, db, p, _) = setup();
         let cfg = CuBlastpConfig::default();
-        let empty: Vec<Vec<UngappedExt>> = vec![Vec::new(); db.num_seqs()];
-        let (gpu, stats) =
-            gapped_kernel(&DeviceConfig::k20c(), &cfg, &dq, &db, &empty, &p, p.gapped_trigger);
+        let empty = ExtensionsCsr::from_stream(Vec::new(), db.num_seqs());
+        let (gpu, stats) = gapped_kernel(
+            &DeviceConfig::k20c(),
+            &cfg,
+            &dq,
+            &db,
+            &empty,
+            &p,
+            p.gapped_trigger,
+        );
         assert!(gpu.iter().all(|g| g.is_empty()));
         assert_eq!(stats.warp_cycles, 0);
     }

@@ -7,8 +7,8 @@ use crate::config::CuBlastpConfig;
 use crate::devicedata::{DeviceDbBlock, DeviceQuery};
 use crate::extension::{extension_kernel, ExtensionResult};
 use crate::reorder::{assemble_kernel, sort_kernel};
-use blast_cpu::ungapped::UngappedExt;
 use blast_core::SearchParams;
+use blast_cpu::ungapped::UngappedExt;
 use gpu_sim::{DeviceConfig, KernelStats};
 
 /// Counters describing what the block produced.
@@ -35,11 +35,72 @@ impl GpuPhaseCounts {
     }
 }
 
+/// Extension records grouped by block-local subject id in CSR form:
+/// `offsets[i]..offsets[i+1]` delimits subject `i`'s records in one flat
+/// buffer. Two allocations per block regardless of subject count — the
+/// dense `Vec<Vec<_>>` it replaces allocated per subject.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtensionsCsr {
+    offsets: Vec<u32>,
+    records: Vec<UngappedExt>,
+}
+
+impl ExtensionsCsr {
+    /// Group an unordered record stream by `seq_id` via a stable counting
+    /// sort; within a subject, stream order is preserved.
+    pub fn from_stream(stream: Vec<UngappedExt>, num_seqs: usize) -> Self {
+        let mut offsets = vec![0u32; num_seqs + 1];
+        for e in &stream {
+            offsets[e.seq_id as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut records = match stream.first() {
+            Some(&first) => vec![first; stream.len()],
+            None => Vec::new(),
+        };
+        let mut cursor: Vec<u32> = offsets[..num_seqs].to_vec();
+        for e in stream {
+            let c = &mut cursor[e.seq_id as usize];
+            records[*c as usize] = e;
+            *c += 1;
+        }
+        Self { offsets, records }
+    }
+
+    /// Number of subjects (including those without records).
+    pub fn num_seqs(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of extension records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when no subject has records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records of subject `i` (block-local index); empty slice when none.
+    #[inline]
+    pub fn seq(&self, i: usize) -> &[UngappedExt] {
+        &self.records[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// The flat record buffer, grouped by subject.
+    pub fn records(&self) -> &[UngappedExt] {
+        &self.records
+    }
+}
+
 /// Output of the GPU phase for one database block.
 pub struct GpuPhaseOutput {
-    /// Extensions grouped by block-local subject id (index into the
-    /// block's sequences; empty vectors for subjects without extensions).
-    pub extensions_by_seq: Vec<Vec<UngappedExt>>,
+    /// Extensions grouped by block-local subject id (CSR over one flat
+    /// buffer; subjects without extensions have empty spans).
+    pub extensions: ExtensionsCsr,
     /// Per-kernel stats in execution order: hit detection, assembling,
     /// sorting, filtering, ungapped extension.
     pub kernels: Vec<KernelStats>,
@@ -98,16 +159,13 @@ pub fn run_gpu_phase(
         redundant,
     } = extension_kernel(device, cfg, query, db, &filtered, params);
 
-    let mut extensions_by_seq: Vec<Vec<UngappedExt>> = vec![Vec::new(); db.num_seqs()];
     let n_ext = extensions.len() as u64;
-    for e in extensions {
-        extensions_by_seq[e.seq_id as usize].push(e);
-    }
+    let extensions = ExtensionsCsr::from_stream(extensions, db.num_seqs());
 
     let download_bytes = n_ext * std::mem::size_of::<UngappedExt>() as u64;
 
     GpuPhaseOutput {
-        extensions_by_seq,
+        extensions,
         kernels: vec![k_bin, k_asm, k_sort, k_filter, k_ext],
         counts: GpuPhaseCounts {
             hits,
@@ -193,7 +251,7 @@ mod tests {
         let mut cpu_exts: Vec<Vec<UngappedExt>> = vec![Vec::new(); db.num_seqs()];
         let mut scratch = blast_cpu::hit::DiagonalScratch::new(0);
         let mut stats = blast_cpu::hit::HitStats::default();
-        for i in 0..db.num_seqs() {
+        for (i, slot) in cpu_exts.iter_mut().enumerate() {
             let mut v = Vec::new();
             blast_cpu::hit::scan_subject(
                 &dq.dfa,
@@ -206,13 +264,40 @@ mod tests {
                 &mut v,
                 &mut stats,
             );
-            cpu_exts[i] = v;
+            *slot = v;
         }
         for v in cpu_exts.iter_mut() {
             v.sort_by_key(|e| (e.seq_id, e.s_start, e.q_start, e.len));
         }
-        assert_eq!(out.extensions_by_seq, cpu_exts);
+        assert_eq!(out.extensions.num_seqs(), cpu_exts.len());
+        for (i, v) in cpu_exts.iter().enumerate() {
+            assert_eq!(out.extensions.seq(i), v.as_slice(), "subject {i}");
+        }
         assert_eq!(out.counts.hits, stats.hits);
+    }
+
+    #[test]
+    fn csr_grouping_matches_per_seq_vectors() {
+        let e = |seq_id: u32, s_start: u32| UngappedExt {
+            seq_id,
+            q_start: 1,
+            s_start,
+            len: 4,
+            score: 13,
+        };
+        let stream = vec![e(2, 9), e(0, 1), e(2, 3), e(1, 7), e(2, 5)];
+        let csr = ExtensionsCsr::from_stream(stream, 4);
+        assert_eq!(csr.num_seqs(), 4);
+        assert_eq!(csr.len(), 5);
+        assert_eq!(csr.seq(0), &[e(0, 1)]);
+        assert_eq!(csr.seq(1), &[e(1, 7)]);
+        // Stream order within a subject is preserved (stable grouping).
+        assert_eq!(csr.seq(2), &[e(2, 9), e(2, 3), e(2, 5)]);
+        assert!(csr.seq(3).is_empty());
+
+        let empty = ExtensionsCsr::from_stream(Vec::new(), 0);
+        assert_eq!(empty.num_seqs(), 0);
+        assert!(empty.is_empty());
     }
 
     #[test]
@@ -222,8 +307,15 @@ mod tests {
         let p = SearchParams::default();
         let dq = DeviceQuery::upload(Dfa::build(&q, &m, p.threshold), Pssm::build(&q, &m));
         let db = DeviceDbBlock::upload(&[], 0);
-        let out = run_gpu_phase(&DeviceConfig::k20c(), &CuBlastpConfig::default(), &dq, &db, &p);
+        let out = run_gpu_phase(
+            &DeviceConfig::k20c(),
+            &CuBlastpConfig::default(),
+            &dq,
+            &db,
+            &p,
+        );
         assert_eq!(out.counts.hits, 0);
-        assert!(out.extensions_by_seq.is_empty());
+        assert_eq!(out.extensions.num_seqs(), 0);
+        assert!(out.extensions.is_empty());
     }
 }

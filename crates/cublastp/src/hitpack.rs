@@ -21,15 +21,25 @@ pub const MAX_FIELD: u32 = u16::MAX as u32;
 /// sequence longer than 64 K residues — beyond anything in NR).
 #[inline]
 pub fn pack(seq_id: u32, diagonal: u32, subject_pos: u32) -> u64 {
-    debug_assert!(diagonal <= MAX_FIELD, "diagonal {diagonal} overflows 16 bits");
-    debug_assert!(subject_pos <= MAX_FIELD, "subject pos {subject_pos} overflows 16 bits");
+    debug_assert!(
+        diagonal <= MAX_FIELD,
+        "diagonal {diagonal} overflows 16 bits"
+    );
+    debug_assert!(
+        subject_pos <= MAX_FIELD,
+        "subject pos {subject_pos} overflows 16 bits"
+    );
     ((seq_id as u64) << 32) | ((diagonal as u64) << 16) | subject_pos as u64
 }
 
 /// Unpack a bin element into `(seq_id, diagonal, subject_pos)`.
 #[inline]
 pub fn unpack(e: u64) -> (u32, u32, u32) {
-    ((e >> 32) as u32, ((e >> 16) & 0xFFFF) as u32, (e & 0xFFFF) as u32)
+    (
+        (e >> 32) as u32,
+        ((e >> 16) & 0xFFFF) as u32,
+        (e & 0xFFFF) as u32,
+    )
 }
 
 /// Sequence id field.

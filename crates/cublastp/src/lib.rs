@@ -54,6 +54,10 @@ pub mod search;
 
 pub use cluster::{search_cluster, ClusterConfig, ClusterResult};
 pub use config::{CuBlastpConfig, ExtensionStrategy, ScoringMode};
-pub use gpu_phase::{GpuPhaseCounts, GpuPhaseOutput};
+pub use devicedata::{flatten_count, DeviceDb, DeviceDbCache};
+pub use gpu_phase::{ExtensionsCsr, GpuPhaseCounts, GpuPhaseOutput};
 pub use pipeline::{schedule, BlockTiming, PipelineSchedule};
-pub use search::{search_batch, BatchOutcome, CuBlastp, CuBlastpResult, CuBlastpTiming};
+pub use search::{
+    search_batch, search_batch_parallel, search_batch_with, BatchOptions, BatchOutcome, CuBlastp,
+    CuBlastpResult, CuBlastpTiming,
+};

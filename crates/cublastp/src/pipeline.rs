@@ -154,11 +154,7 @@ mod tests {
 
     #[test]
     fn overlap_blocks_preserves_order_and_values() {
-        let out = overlap_blocks(
-            (0..50).collect::<Vec<i32>>(),
-            |x| x * 2,
-            |m| m + 1,
-        );
+        let out = overlap_blocks((0..50).collect::<Vec<i32>>(), |x| x * 2, |m| m + 1);
         assert_eq!(out, (0..50).map(|x| x * 2 + 1).collect::<Vec<i32>>());
     }
 

@@ -142,8 +142,7 @@ pub fn filter_kernel_mode(
         use_readonly_cache: false,
     };
 
-    let results: parking_lot::Mutex<Vec<(usize, Vec<u64>)>> =
-        parking_lot::Mutex::new(Vec::new());
+    let results: parking_lot::Mutex<Vec<(usize, Vec<u64>)>> = parking_lot::Mutex::new(Vec::new());
 
     let stats = launch(device, launch_cfg, "hit_filtering", |block| {
         let lo = block.block_id as usize * TILE;
@@ -289,7 +288,9 @@ mod tests {
         let cfg = CuBlastpConfig::default();
         let mut seg: Vec<u64> = (0..33u32).map(|k| pack(0, 4, k * 2)).collect();
         seg.sort_unstable();
-        let asm = AssembledHits { segments: vec![seg] };
+        let asm = AssembledHits {
+            segments: vec![seg],
+        };
         let (f, _) = filter_kernel(&d, &cfg, &asm, 40);
         assert_eq!(f.hits.len(), 32, "all but the first are within window");
     }

@@ -41,7 +41,8 @@ impl SimBlock {
     /// One warp instruction with `active` (≤ 32) lanes enabled.
     #[inline]
     pub fn instr(&mut self, active: u32) {
-        self.stats.record_instr(active.min(WARP_SIZE), self.device.instr_cost);
+        self.stats
+            .record_instr(active.min(WARP_SIZE), self.device.instr_cost);
     }
 
     /// `count` back-to-back warp instructions with the same active mask.
@@ -84,8 +85,7 @@ impl SimBlock {
         let active = addrs.len() as u32;
         self.stats.warp_cycles += cost;
         self.stats.active_lane_cycles += active.min(WARP_SIZE) as u64 * cost;
-        self.stats.divergent_idle_cycles +=
-            (WARP_SIZE.saturating_sub(active)) as u64 * cost;
+        self.stats.divergent_idle_cycles += (WARP_SIZE.saturating_sub(active)) as u64 * cost;
     }
 
     /// Warp-wide read through the read-only cache (`const __restrict__`
@@ -154,8 +154,7 @@ impl SimBlock {
         let max_conflict = max_duplicates(targets);
         let serial_steps = max_conflict.saturating_sub(1);
         self.stats.atomic_conflicts += serial_steps;
-        let cost =
-            self.device.shared_access_cost + serial_steps * self.device.atomic_conflict_cost;
+        let cost = self.device.shared_access_cost + serial_steps * self.device.atomic_conflict_cost;
         let active = (targets.len() as u32).min(WARP_SIZE);
         self.stats.warp_cycles += cost;
         self.stats.active_lane_cycles += active as u64 * cost;

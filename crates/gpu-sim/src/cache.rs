@@ -121,7 +121,7 @@ mod tests {
     #[test]
     fn working_set_larger_than_cache_thrashes() {
         let mut c = ReadOnlyCache::new(1024, 2); // 8 lines
-        // Touch 64 distinct lines twice; second pass must still miss a lot.
+                                                 // Touch 64 distinct lines twice; second pass must still miss a lot.
         let mut second_pass_hits = 0;
         for pass in 0..2 {
             for i in 0..64u64 {

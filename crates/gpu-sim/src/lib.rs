@@ -40,6 +40,6 @@ pub mod stats;
 
 pub use block::SimBlock;
 pub use device::{DeviceConfig, WARP_SIZE};
-pub use launch::{launch, LaunchConfig};
+pub use launch::{launch, launch_sequence, BoxedKernel, LaunchConfig};
 pub use memory::GlobalBuffer;
 pub use stats::KernelStats;

@@ -108,7 +108,7 @@ impl KernelStats {
         // Latency-hiding de-rate: an SM at full occupancy sustains its
         // schedulers; below ~50 % occupancy throughput degrades roughly
         // linearly. Floor keeps tiny kernels finite.
-        let occ_factor = (self.occupancy * 2.0).min(1.0).max(0.05);
+        let occ_factor = (self.occupancy * 2.0).clamp(0.05, 1.0);
         let compute = self.warp_cycles as f64 / (throughput * occ_factor);
         let bandwidth = self.global_transacted_bytes as f64 / device.dram_bytes_per_cycle;
         device.launch_overhead_cycles + compute.max(bandwidth).ceil() as u64

@@ -42,10 +42,7 @@ fn main() {
     let params = SearchParams::default();
     let device = DeviceConfig::k20c();
 
-    println!(
-        "query517 vs {} sequences on the simulated K20c\n",
-        db.len()
-    );
+    println!("query517 vs {} sequences on the simulated K20c\n", db.len());
 
     println!("coarse-grained, one thread per sequence (CUDA-BLASTP style):");
     let cuda = CudaBlastp::new(query.clone(), params, device, &db).search(&db);

@@ -16,6 +16,8 @@ use cublastp::{CuBlastp, CuBlastpConfig};
 use examples_support::arg;
 use gpu_sim::DeviceConfig;
 
+type IdentityKey = Vec<(usize, i32, u32, u32, u32, u32)>;
+
 fn main() {
     let seqs: usize = arg("--seqs", 6_000);
     let query = make_query(517);
@@ -38,20 +40,18 @@ fn main() {
         "block", "blocks", "serial (ms)", "overlap (ms)", "saved", "stage totals g/c (ms)"
     );
 
-    let mut reference: Option<Vec<(usize, i32, u32, u32, u32, u32)>> = None;
+    let mut reference: Option<IdentityKey> = None;
     for block_size in [0usize, 4000, 2000, 1000, 500, 250] {
         let cfg = CuBlastpConfig {
-            db_block_size: if block_size == 0 { db.len() } else { block_size },
+            db_block_size: if block_size == 0 {
+                db.len()
+            } else {
+                block_size
+            },
             overlap: true,
             ..CuBlastpConfig::default()
         };
-        let searcher = CuBlastp::new(
-            query.clone(),
-            params,
-            cfg,
-            DeviceConfig::k20c(),
-            &db,
-        );
+        let searcher = CuBlastp::new(query.clone(), params, cfg, DeviceConfig::k20c(), &db);
         let r = searcher.search(&db);
         let t = &r.timing;
         let label = if block_size == 0 {

@@ -5,7 +5,12 @@ use bio_seq::{Sequence, SequenceDb};
 
 /// A deterministic small workload: query of `query_len` against `seqs`
 /// sequences of mean length `mean_len` with planted homologies.
-pub fn workload(query_len: usize, seqs: usize, mean_len: usize, seed: u64) -> (Sequence, SequenceDb) {
+pub fn workload(
+    query_len: usize,
+    seqs: usize,
+    mean_len: usize,
+    seed: u64,
+) -> (Sequence, SequenceDb) {
     let q = make_query(query_len);
     let spec = DbSpec {
         name: "itest",

@@ -1,0 +1,80 @@
+//! Batch scheduler invariants: parallel batching never changes BLAST
+//! output, and database residency pays off more the longer the stream.
+
+use bio_seq::alphabet::STANDARD_AA;
+use bio_seq::Sequence;
+use blast_core::SearchParams;
+use cublastp::{search_batch, search_batch_parallel, CuBlastp, CuBlastpConfig};
+use gpu_sim::DeviceConfig;
+use integration_support::{noise_workload, workload};
+use proptest::prelude::*;
+
+fn residues(min: usize, max: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..STANDARD_AA as u8, min..=max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The parallel batch driver is a pure throughput optimisation: every
+    /// query's report is bit-identical to running it alone.
+    #[test]
+    fn parallel_batch_output_identical_to_serial_per_query(
+        random_queries in prop::collection::vec(residues(25, 100), 1..4),
+        seed in 0u64..1_000,
+    ) {
+        let (anchor, db) = workload(120, 40, 110, seed);
+        let mut queries: Vec<Sequence> = random_queries
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| Sequence::from_residues(format!("q{i}"), r))
+            .collect();
+        // One query with planted homologs so at least one report is busy.
+        queries.push(anchor);
+
+        let params = SearchParams::default();
+        let config = CuBlastpConfig {
+            db_block_size: 16,
+            ..CuBlastpConfig::default()
+        };
+        let device = DeviceConfig::k20c();
+
+        let batch = search_batch_parallel(&queries, params, config, device, &db);
+        prop_assert_eq!(batch.per_query.len(), queries.len());
+        for (q, br) in queries.iter().zip(&batch.per_query) {
+            let solo = CuBlastp::new(q.clone(), params, config, device, &db).search(&db);
+            prop_assert_eq!(br.report.identity_key(), solo.report.identity_key());
+        }
+    }
+}
+
+/// Upload amortisation is the point of the batch engine: the modelled
+/// saving over one-query-at-a-time must grow with the stream length,
+/// because only the first query of a batch is charged the H2D upload.
+#[test]
+fn saving_grows_with_batch_size() {
+    let (_, db) = noise_workload(96, 360, 11);
+    let queries: Vec<Sequence> = (0..8)
+        .map(|i| bio_seq::generate::make_query(80 + 7 * i))
+        .collect();
+    let params = SearchParams::default();
+    let config = CuBlastpConfig {
+        db_block_size: 90,
+        ..CuBlastpConfig::default()
+    };
+    let device = DeviceConfig::k20c();
+
+    let b2 = search_batch(&queries[..2], params, config, device, &db);
+    let b8 = search_batch(&queries, params, config, device, &db);
+    assert!(
+        b2.saving() > 0.0,
+        "even a 2-query batch must beat standalone runs, saving = {}",
+        b2.saving()
+    );
+    assert!(
+        b8.saving() > b2.saving(),
+        "8-query batch should amortise the upload further: {} vs {}",
+        b8.saving(),
+        b2.saving()
+    );
+}

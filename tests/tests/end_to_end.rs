@@ -153,13 +153,7 @@ fn kernel_stats_are_internally_consistent() {
 fn searching_twice_is_deterministic() {
     let (q, db) = workload(80, 150, 150, 59);
     let p = SearchParams::default();
-    let cu = CuBlastp::new(
-        q,
-        p,
-        CuBlastpConfig::default(),
-        DeviceConfig::k20c(),
-        &db,
-    );
+    let cu = CuBlastp::new(q, p, CuBlastpConfig::default(), DeviceConfig::k20c(), &db);
     let a = cu.search(&db);
     let b = cu.search(&db);
     assert_eq!(a.report, b.report);
@@ -237,5 +231,8 @@ fn composition_based_identity_across_pipelines() {
         gpu_sim::DeviceConfig::k20c(),
         &db,
     );
-    assert_eq!(cu.search(&db).report.identity_key(), cpu.report.identity_key());
+    assert_eq!(
+        cu.search(&db).report.identity_key(),
+        cpu.report.identity_key()
+    );
 }

@@ -43,9 +43,17 @@ fn all_five_pipelines_agree() {
 
     // Coarse baselines.
     let cuda = CudaBlastp::new(q.clone(), p, DeviceConfig::k20c(), &db);
-    assert_eq!(cuda.search(&db).report.identity_key(), reference, "CUDA-BLASTP");
+    assert_eq!(
+        cuda.search(&db).report.identity_key(),
+        reference,
+        "CUDA-BLASTP"
+    );
     let gpub = GpuBlastp::new(q.clone(), p, DeviceConfig::k20c(), &db);
-    assert_eq!(gpub.search(&db).report.identity_key(), reference, "GPU-BLASTP");
+    assert_eq!(
+        gpub.search(&db).report.identity_key(),
+        reference,
+        "GPU-BLASTP"
+    );
 }
 
 #[test]
@@ -106,13 +114,7 @@ fn identity_holds_for_query_longer_than_subjects() {
     let p = SearchParams::default();
     let (q, db) = workload(400, 60, 60, 41);
     let reference = fsa_key(&q, &db, p);
-    let cu = CuBlastp::new(
-        q,
-        p,
-        CuBlastpConfig::default(),
-        DeviceConfig::k20c(),
-        &db,
-    );
+    let cu = CuBlastp::new(q, p, CuBlastpConfig::default(), DeviceConfig::k20c(), &db);
     assert_eq!(cu.search(&db).report.identity_key(), reference);
 }
 
@@ -131,13 +133,7 @@ fn identity_with_nondefault_parameters() {
     };
     let (q, db) = workload(96, 100, 140, 53);
     let reference = fsa_key(&q, &db, p);
-    let cu = CuBlastp::new(
-        q,
-        p,
-        CuBlastpConfig::default(),
-        DeviceConfig::k20c(),
-        &db,
-    );
+    let cu = CuBlastp::new(q, p, CuBlastpConfig::default(), DeviceConfig::k20c(), &db);
     assert_eq!(cu.search(&db).report.identity_key(), reference);
 }
 
@@ -169,9 +165,17 @@ fn one_hit_mode_identity_and_sensitivity() {
         DeviceConfig::k20c(),
         &db,
     );
-    assert_eq!(cu.search(&db).report.identity_key(), ref_one, "cuBLASTP one-hit");
+    assert_eq!(
+        cu.search(&db).report.identity_key(),
+        ref_one,
+        "cuBLASTP one-hit"
+    );
     let cuda = CudaBlastp::new(q.clone(), one_hit, DeviceConfig::k20c(), &db);
-    assert_eq!(cuda.search(&db).report.identity_key(), ref_one, "CUDA-BLASTP one-hit");
+    assert_eq!(
+        cuda.search(&db).report.identity_key(),
+        ref_one,
+        "CUDA-BLASTP one-hit"
+    );
     let r = search_parallel(&SearchEngine::new(q, one_hit, &db), &db, 3);
     assert_eq!(r.report.identity_key(), ref_one, "NCBI one-hit");
 }

@@ -1,0 +1,50 @@
+//! Exact flattening accounting for the device-resident database.
+//!
+//! This file deliberately holds a single test: the flatten counter is
+//! process-global, and any concurrently running search in the same test
+//! binary would make exact-delta assertions racy.
+
+use bio_seq::Sequence;
+use blast_core::SearchParams;
+use cublastp::{flatten_count, search_batch, CuBlastpConfig, DeviceDbCache};
+use gpu_sim::DeviceConfig;
+use integration_support::workload;
+
+#[test]
+fn one_flatten_per_block_regardless_of_batch_size() {
+    let (_, db) = workload(100, 120, 100, 7);
+    let params = SearchParams::default();
+    let config = CuBlastpConfig {
+        db_block_size: 40,
+        ..CuBlastpConfig::default()
+    };
+    let device = DeviceConfig::k20c();
+    let blocks = db.len().div_ceil(config.db_block_size);
+
+    let queries: Vec<Sequence> = (0..5)
+        .map(|i| bio_seq::generate::make_query(70 + 9 * i))
+        .collect();
+
+    // A whole batch flattens the database exactly once per block — not
+    // once per query per block.
+    let before = flatten_count();
+    let outcome = search_batch(&queries, params, config, device, &db);
+    assert_eq!(outcome.per_query.len(), queries.len());
+    assert_eq!(
+        flatten_count() - before,
+        blocks as u64,
+        "search_batch must upload each block exactly once"
+    );
+
+    // The CLI-side cache shares one flattening across repeated lookups.
+    let cache = DeviceDbCache::new();
+    let before = flatten_count();
+    let first = cache.get(&db, config.db_block_size);
+    let second = cache.get(&db, config.db_block_size);
+    assert!(std::sync::Arc::ptr_eq(&first, &second));
+    assert_eq!(
+        flatten_count() - before,
+        blocks as u64,
+        "cache hit must not re-flatten"
+    );
+}
