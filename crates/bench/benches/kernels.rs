@@ -11,7 +11,7 @@ use cublastp::extension::extension_kernel;
 use cublastp::gpu_phase::run_gpu_phase;
 use cublastp::reorder::{assemble_kernel, filter_kernel, sort_kernel};
 use cublastp::{CuBlastpConfig, ExtensionStrategy};
-use gpu_sim::DeviceConfig;
+use gpu_sim::{DeviceConfig, KernelWorkspace};
 
 fn setup(seqs: usize) -> (DeviceQuery, DeviceDbBlock, SearchParams) {
     let q = make_query(517);
@@ -32,6 +32,7 @@ fn setup(seqs: usize) -> (DeviceQuery, DeviceDbBlock, SearchParams) {
 fn bench_binning(c: &mut Criterion) {
     let (dq, db, _) = setup(400);
     let device = DeviceConfig::k20c();
+    let ws = KernelWorkspace::new();
     let mut g = c.benchmark_group("binning_kernel");
     for bins in [32usize, 128, 512] {
         let cfg = CuBlastpConfig {
@@ -39,7 +40,12 @@ fn bench_binning(c: &mut Criterion) {
             ..CuBlastpConfig::default()
         };
         g.bench_with_input(BenchmarkId::from_parameter(bins), &cfg, |b, cfg| {
-            b.iter(|| binning_kernel(&device, cfg, &dq, &db).0.total_hits);
+            b.iter(|| {
+                let (binned, _) = binning_kernel(&device, cfg, &dq, &db, &ws);
+                let hits = binned.total_hits;
+                binned.recycle(&ws);
+                hits
+            });
         });
     }
     g.finish();
@@ -49,13 +55,17 @@ fn bench_reorder(c: &mut Criterion) {
     let (dq, db, p) = setup(400);
     let device = DeviceConfig::k20c();
     let cfg = CuBlastpConfig::default();
+    let ws = KernelWorkspace::new();
     c.bench_function("assemble_sort_filter", |b| {
         b.iter(|| {
-            let (binned, _) = binning_kernel(&device, &cfg, &dq, &db);
-            let (mut asm, _) = assemble_kernel(&device, &cfg, binned);
-            sort_kernel(&device, &mut asm);
-            let (f, _) = filter_kernel(&device, &cfg, &asm, p.two_hit_window as i64);
-            f.hits.len()
+            let (binned, _) = binning_kernel(&device, &cfg, &dq, &db, &ws);
+            let (mut asm, _) = assemble_kernel(&device, &cfg, binned, &ws);
+            sort_kernel(&device, &mut asm, &ws);
+            let (f, _) = filter_kernel(&device, &cfg, &asm, p.two_hit_window as i64, &ws);
+            let n = f.hits.len();
+            asm.recycle(&ws);
+            f.recycle(&ws);
+            n
         });
     });
 }
@@ -64,10 +74,11 @@ fn bench_extension_strategies(c: &mut Criterion) {
     let (dq, db, p) = setup(400);
     let device = DeviceConfig::k20c();
     let cfg0 = CuBlastpConfig::default();
-    let (binned, _) = binning_kernel(&device, &cfg0, &dq, &db);
-    let (mut asm, _) = assemble_kernel(&device, &cfg0, binned);
-    sort_kernel(&device, &mut asm);
-    let (filtered, _) = filter_kernel(&device, &cfg0, &asm, p.two_hit_window as i64);
+    let ws = KernelWorkspace::new();
+    let (binned, _) = binning_kernel(&device, &cfg0, &dq, &db, &ws);
+    let (mut asm, _) = assemble_kernel(&device, &cfg0, binned, &ws);
+    sort_kernel(&device, &mut asm, &ws);
+    let (filtered, _) = filter_kernel(&device, &cfg0, &asm, p.two_hit_window as i64, &ws);
 
     let mut g = c.benchmark_group("extension_strategy");
     for (label, strategy) in [
@@ -94,8 +105,13 @@ fn bench_full_gpu_phase(c: &mut Criterion) {
     let (dq, db, p) = setup(400);
     let device = DeviceConfig::k20c();
     let cfg = CuBlastpConfig::default();
+    let ws = KernelWorkspace::new();
     c.bench_function("gpu_phase_400seqs", |b| {
-        b.iter(|| run_gpu_phase(&device, &cfg, &dq, &db, &p).counts.extensions);
+        b.iter(|| {
+            run_gpu_phase(&device, &cfg, &dq, &db, &p, &ws)
+                .counts
+                .extensions
+        });
     });
 }
 

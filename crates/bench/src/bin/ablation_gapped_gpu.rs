@@ -18,7 +18,7 @@ use cublastp::devicedata::{DeviceDbBlock, DeviceQuery};
 use cublastp::gapped_gpu::gapped_kernel;
 use cublastp::gpu_phase::run_gpu_phase;
 use cublastp::CuBlastp;
-use gpu_sim::DeviceConfig;
+use gpu_sim::{DeviceConfig, KernelWorkspace};
 use std::time::Instant;
 
 fn main() {
@@ -43,11 +43,12 @@ fn main() {
     let mut b_transfer_ms = 0.0f64;
     let mut report = SearchReport::default();
     let mut gapped_divergence = 0.0f64;
+    let ws = KernelWorkspace::new();
     for block in db.blocks(cfg.db_block_size) {
         let seqs = db.block_sequences(block);
         let dev_block = DeviceDbBlock::upload(seqs, block.start);
         b_transfer_ms += device.transfer_ms(dev_block.upload_bytes());
-        let out = run_gpu_phase(&device, &cfg, &dq, &dev_block, &params);
+        let out = run_gpu_phase(&device, &cfg, &dq, &dev_block, &params, &ws);
         b_gpu_ms += out.gpu_ms(&device);
         let (gapped_by_seq, k_gapped) = gapped_kernel(
             &device,

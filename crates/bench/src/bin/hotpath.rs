@@ -1,0 +1,201 @@
+//! Host wall-clock of the hit path — flat arena vs the pre-arena code.
+//!
+//! The simulator's cost model is deterministic, so the arena rework's
+//! *simulated* figures are bit-identical by contract (held in
+//! `tests/hotpath_stats.rs`). What the rework actually buys is host time:
+//! the simulator is driven by real host code, and the ragged
+//! `Vec<Vec<u64>>` bins, Mutex collectors and flatten-concat copies of
+//! the old path were pure overhead. This binary measures that directly:
+//! hit detection → assembling → sorting → filtering over every database
+//! block, legacy vs arena, at batch sizes 1 and 16 (the batch amortizes
+//! the workspace's cold allocations exactly as `search_batch` does).
+//!
+//! Both paths must produce identical surviving hits — asserted per block.
+//! Results go to stdout and `BENCH_hotpath.json`.
+
+use bench::legacy;
+use bench::runners::figure_config;
+use bench::table::print_table;
+use bench::{database, query};
+use bio_seq::generate::DbPreset;
+use blast_core::{Dfa, Matrix, Pssm, SearchParams};
+use cublastp::binning::binning_kernel;
+use cublastp::devicedata::{DeviceDbBlock, DeviceQuery};
+use cublastp::reorder::{assemble_kernel, filter_kernel, sort_kernel};
+use cublastp::CuBlastpConfig;
+use gpu_sim::{DeviceConfig, KernelWorkspace};
+use std::time::Instant;
+
+const BATCHES: [usize; 2] = [1, 16];
+/// Timed repetitions per cell; the best run is reported (the host may be
+/// a shared core, and the minimum is the least noisy location estimate
+/// for a deterministic workload).
+const REPS: usize = 3;
+
+struct Row {
+    batch: usize,
+    legacy_ms: f64,
+    arena_ms: f64,
+    speedup: f64,
+}
+
+fn legacy_batch(
+    device: &DeviceConfig,
+    cfg: &CuBlastpConfig,
+    dq: &DeviceQuery,
+    blocks: &[DeviceDbBlock],
+    window: i64,
+    batch: usize,
+) -> (f64, u64) {
+    let t0 = Instant::now();
+    let mut survivors = 0u64;
+    for _ in 0..batch {
+        for block in blocks {
+            let (binned, _) = legacy::binning_kernel(device, cfg, dq, block);
+            let (mut asm, _) = legacy::assemble_kernel(device, cfg, binned);
+            legacy::sort_kernel(device, &mut asm);
+            let (filtered, _) = legacy::filter_kernel(device, cfg, &asm, window);
+            survivors += filtered.hits.len() as u64;
+        }
+    }
+    (t0.elapsed().as_secs_f64() * 1e3, survivors)
+}
+
+fn arena_batch(
+    device: &DeviceConfig,
+    cfg: &CuBlastpConfig,
+    dq: &DeviceQuery,
+    blocks: &[DeviceDbBlock],
+    window: i64,
+    batch: usize,
+) -> (f64, u64) {
+    let ws = KernelWorkspace::new();
+    let t0 = Instant::now();
+    let mut survivors = 0u64;
+    for _ in 0..batch {
+        for block in blocks {
+            let (binned, _) = binning_kernel(device, cfg, dq, block, &ws);
+            let (mut asm, _) = assemble_kernel(device, cfg, binned, &ws);
+            sort_kernel(device, &mut asm, &ws);
+            let (filtered, _) = filter_kernel(device, cfg, &asm, window, &ws);
+            survivors += filtered.hits.len() as u64;
+            asm.recycle(&ws);
+            filtered.recycle(&ws);
+        }
+    }
+    (t0.elapsed().as_secs_f64() * 1e3, survivors)
+}
+
+fn main() {
+    let device = DeviceConfig::k20c();
+    let params = SearchParams::default();
+    let cfg = figure_config();
+    let window = params.two_hit_window as i64;
+    let q = query(517);
+    let m = Matrix::blosum62();
+    let dq = DeviceQuery::upload(Dfa::build(&q, &m, params.threshold), Pssm::build(&q, &m));
+
+    let mut sections: Vec<(String, Vec<Row>)> = Vec::new();
+    for preset in [DbPreset::SwissprotMini, DbPreset::EnvNrMini] {
+        let db = database(preset, &q);
+        let blocks: Vec<DeviceDbBlock> = db
+            .blocks(cfg.db_block_size)
+            .into_iter()
+            .map(|b| DeviceDbBlock::upload(db.block_sequences(b), b.start))
+            .collect();
+
+        // Functional identity: both paths keep exactly the same hits.
+        let ws = KernelWorkspace::new();
+        for block in &blocks {
+            let (legacy_hits, _) = legacy::hit_path(&device, &cfg, &dq, block, window);
+            let (binned, _) = binning_kernel(&device, &cfg, &dq, block, &ws);
+            let (mut asm, _) = assemble_kernel(&device, &cfg, binned, &ws);
+            sort_kernel(&device, &mut asm, &ws);
+            let (filtered, _) = filter_kernel(&device, &cfg, &asm, window, &ws);
+            assert_eq!(
+                legacy_hits, filtered.hits,
+                "arena path must keep exactly the legacy survivors"
+            );
+            asm.recycle(&ws);
+            filtered.recycle(&ws);
+        }
+
+        let mut rows = Vec::new();
+        for batch in BATCHES {
+            let mut legacy_ms = f64::INFINITY;
+            let mut arena_ms = f64::INFINITY;
+            for _ in 0..REPS {
+                let (lms, ln) = legacy_batch(&device, &cfg, &dq, &blocks, window, batch);
+                let (ams, an) = arena_batch(&device, &cfg, &dq, &blocks, window, batch);
+                assert_eq!(ln, an, "survivor counts must match");
+                legacy_ms = legacy_ms.min(lms);
+                arena_ms = arena_ms.min(ams);
+            }
+            rows.push(Row {
+                batch,
+                legacy_ms,
+                arena_ms,
+                speedup: legacy_ms / arena_ms,
+            });
+        }
+        sections.push((preset.spec().name.to_string(), rows));
+    }
+
+    for (name, rows) in &sections {
+        print_table(
+            &format!("Hit-path host wall-clock — query517 × {name} (ms, best of {REPS})"),
+            &["batch", "legacy", "arena", "speedup"],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.batch.to_string(),
+                        format!("{:.2}", r.legacy_ms),
+                        format!("{:.2}", r.arena_ms),
+                        format!("{:.2}x", r.speedup),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    let json = render_json(&sections);
+    let path = "BENCH_hotpath.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
+fn render_json(sections: &[(String, Vec<Row>)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"hotpath\",\n");
+    out.push_str("  \"query\": 517,\n");
+    out.push_str("  \"kernels\": \"hit_detection..hit_filtering\",\n");
+    out.push_str("  \"presets\": [\n");
+    for (pi, (name, rows)) in sections.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"db\": \"{name}\",\n"));
+        out.push_str("      \"sweep\": [\n");
+        for (ri, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"batch\": {}, \"legacy_ms\": {:.3}, \"arena_ms\": {:.3}, \
+                 \"speedup\": {:.3}}}{}\n",
+                r.batch,
+                r.legacy_ms,
+                r.arena_ms,
+                r.speedup,
+                if ri + 1 < rows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if pi + 1 < sections.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}

@@ -12,6 +12,7 @@
 //! gives a quick smoke run and the default reproduces the EXPERIMENTS.md
 //! numbers exactly.
 
+pub mod legacy;
 pub mod runners;
 pub mod table;
 pub mod workloads;

@@ -1,0 +1,67 @@
+//! Stats-invariance contract of the flat-arena rework.
+//!
+//! The arena pipeline reorganized host data structures and switched the
+//! functional sort to radix, but the simulated cost model is untouched:
+//! for every kernel of the hit path, `KernelStats` must be *bit-identical*
+//! to the pre-arena code (kept verbatim in `bench::legacy`). This is what
+//! lets every figure binary keep reporting exactly the seed's numbers.
+
+use bench::legacy;
+use bench::runners::figure_config;
+use bench::{database, query};
+use bio_seq::generate::DbPreset;
+use blast_core::{Dfa, Matrix, Pssm, SearchParams};
+use cublastp::binning::binning_kernel;
+use cublastp::devicedata::{DeviceDbBlock, DeviceQuery};
+use cublastp::reorder::{assemble_kernel, filter_kernel, sort_kernel};
+use gpu_sim::{DeviceConfig, KernelWorkspace};
+
+fn assert_stats_identical(preset: DbPreset) {
+    // Keep the test quick: a small slice of the preset exercises every
+    // kernel with thousands of hits, which is plenty to catch any
+    // divergence in the per-access accounting.
+    std::env::set_var("BENCH_SCALE", "0.05");
+    let device = DeviceConfig::k20c();
+    let params = SearchParams::default();
+    let cfg = figure_config();
+    let window = params.two_hit_window as i64;
+    let q = query(517);
+    let m = Matrix::blosum62();
+    let dq = DeviceQuery::upload(Dfa::build(&q, &m, params.threshold), Pssm::build(&q, &m));
+    let db = database(preset, &q);
+    let ws = KernelWorkspace::new();
+
+    let mut blocks_checked = 0usize;
+    for b in db.blocks(cfg.db_block_size) {
+        let dev_block = DeviceDbBlock::upload(db.block_sequences(b), b.start);
+        let (legacy_hits, [l_bin, l_asm, l_sort, l_fil]) =
+            legacy::hit_path(&device, &cfg, &dq, &dev_block, window);
+
+        let (binned, a_bin) = binning_kernel(&device, &cfg, &dq, &dev_block, &ws);
+        let (mut asm, a_asm) = assemble_kernel(&device, &cfg, binned, &ws);
+        let a_sort = sort_kernel(&device, &mut asm, &ws);
+        let (filtered, a_fil) = filter_kernel(&device, &cfg, &asm, window, &ws);
+
+        assert_eq!(l_bin, a_bin, "hit_detection stats diverged");
+        assert_eq!(l_asm, a_asm, "hit_assembling stats diverged");
+        assert_eq!(l_sort, a_sort, "hit_sorting stats diverged");
+        assert_eq!(l_fil, a_fil, "hit_filtering stats diverged");
+        assert_eq!(legacy_hits, filtered.hits, "surviving hits diverged");
+        assert!(filtered.before > 0, "workload produced no hits");
+
+        asm.recycle(&ws);
+        filtered.recycle(&ws);
+        blocks_checked += 1;
+    }
+    assert!(blocks_checked > 0, "preset produced no database blocks");
+}
+
+#[test]
+fn swissprot_stats_bit_identical() {
+    assert_stats_identical(DbPreset::SwissprotMini);
+}
+
+#[test]
+fn env_nr_stats_bit_identical() {
+    assert_stats_identical(DbPreset::EnvNrMini);
+}

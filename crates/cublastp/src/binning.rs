@@ -8,6 +8,16 @@
 //! memory is bumped with an atomic to claim the slot, and the packed
 //! 64-bit element (Fig. 7) is written into the bin in global memory.
 //!
+//! Host-side the bins are one flat **hit arena** in CSR form — a single
+//! `keys` buffer with `offsets[slot]..offsets[slot + 1]` delimiting bin
+//! `slot` (slot = `warp * num_bins + bin`) — mirroring the device layout
+//! instead of contradicting it with ragged `Vec<Vec<u64>>` bins. Each
+//! simulated block records its hits in detection order, groups them by
+//! slot with a stable counting sort, and returns its arena page by value
+//! through [`gpu_sim::launch_map`]; the host stitches pages in block
+//! order. All scratch comes from a [`KernelWorkspace`] pool, so the
+//! steady state allocates nothing.
+//!
 //! Hierarchical buffering (§3.5, Fig. 10): the DFA state table lives in
 //! shared memory; the query-position lists are fetched through the
 //! read-only cache when [`crate::CuBlastpConfig::use_readonly_cache`] is
@@ -19,20 +29,23 @@ use crate::hitpack::pack;
 use blast_core::{word_code, WORD_LEN};
 use gpu_sim::device::WARP_SIZE;
 use gpu_sim::memory::virtual_alloc;
-use gpu_sim::{launch, DeviceConfig, KernelStats, LaunchConfig};
-use parking_lot::Mutex;
+use gpu_sim::{launch_map, DeviceConfig, KernelStats, KernelWorkspace, LaunchConfig};
 
 /// Shared-memory footprint of the compacted DFA state table (the paper
 /// keeps states in shared memory; FSA-BLAST's compressed automaton for a
 /// protein query fits in a few kilobytes).
 pub const DFA_STATES_SHARED_BYTES: u32 = 8 * 1024;
 
-/// Output of the binning kernel.
+/// Output of the binning kernel: the flat hit arena. Packed hits of bin
+/// `slot` (slot = `warp * num_bins + bin`) sit in
+/// `keys[offsets[slot]..offsets[slot + 1]]`, in detection order —
+/// interleaved across diagonals, exactly the Fig. 5 situation the sorting
+/// kernel exists to fix.
 pub struct BinnedHits {
-    /// `bins[warp * num_bins + bin]` — packed hits in detection order
-    /// (interleaved across diagonals, exactly the Fig. 5 situation the
-    /// sorting kernel exists to fix).
-    pub bins: Vec<Vec<u64>>,
+    /// CSR bin boundaries: `num_warps * num_bins + 1` entries.
+    pub offsets: Vec<u32>,
+    /// All packed hits, grouped by bin slot.
+    pub keys: Vec<u64>,
     /// Bins per warp.
     pub num_bins: usize,
     /// Total warps that participated.
@@ -42,19 +55,37 @@ pub struct BinnedHits {
 }
 
 impl BinnedHits {
+    /// Number of bin slots (`num_warps * num_bins`).
+    pub fn num_slots(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Packed hits of bin `slot`.
+    #[inline]
+    pub fn bin(&self, slot: usize) -> &[u64] {
+        &self.keys[self.offsets[slot] as usize..self.offsets[slot + 1] as usize]
+    }
+
     /// Iterate all hits (unordered across bins).
     pub fn iter_hits(&self) -> impl Iterator<Item = u64> + '_ {
-        self.bins.iter().flatten().copied()
+        self.keys.iter().copied()
+    }
+
+    /// Return the arena buffers to the workspace they were drawn from.
+    pub fn recycle(self, ws: &KernelWorkspace) {
+        ws.offsets.put(self.offsets);
+        ws.keys.put(self.keys);
     }
 }
 
 /// Run the fine-grained hit-detection + binning kernel over one database
-/// block. Returns the bins and the kernel's simulated stats.
+/// block. Returns the hit arena and the kernel's simulated stats.
 pub fn binning_kernel(
     device: &DeviceConfig,
     cfg: &CuBlastpConfig,
     query: &DeviceQuery,
     db: &DeviceDbBlock,
+    ws: &KernelWorkspace,
 ) -> (BinnedHits, KernelStats) {
     let grid_blocks = cfg.grid_blocks.max(1);
     let warps_per_block = cfg.warps_per_block.max(1);
@@ -65,7 +96,7 @@ pub fn binning_kernel(
     // The packed bin element (Fig. 7) stores diagonal and subject position
     // in 16 bits each; debug_asserts vanish in release builds, so enforce
     // the representable range here, once per block.
-    let max_slen = (0..db.num_seqs()).map(|i| db.seq_len(i)).max().unwrap_or(0);
+    let max_slen = db.max_seq_len;
     assert!(
         qlen + max_slen <= u16::MAX as usize,
         "query ({qlen}) + longest subject ({max_slen}) exceeds the 16-bit \
@@ -87,37 +118,56 @@ pub fn binning_kernel(
     let bin_capacity = qlen.max(1) as u64;
     let bins_base = virtual_alloc(num_warps as u64 * num_bins as u64 * bin_capacity * 8);
 
-    let results: Mutex<Vec<(usize, Vec<Vec<u64>>)>> = Mutex::new(Vec::new());
+    let block_slots = warps_per_block as usize * num_bins;
 
-    let stats = launch(device, launch_cfg, "hit_detection", |block| {
-        let mut block_bins: Vec<Vec<u64>> = vec![Vec::new(); warps_per_block as usize * num_bins];
+    let (pages, stats) = launch_map(device, launch_cfg, "hit_detection", |block| {
+        // Hits in detection order, as (slot, key) columns; grouped into an
+        // arena page at block end. All scratch is pooled.
+        let mut det_slots: Vec<u32> = ws.offsets.take();
+        let mut det_keys: Vec<u64> = ws.keys.take();
         // Per-lane scratch reused across chunks.
-        let mut lane_hits: Vec<Vec<(u32, u32)>> = vec![Vec::new(); WARP_SIZE as usize];
-        let mut addrs: Vec<u64> = Vec::with_capacity(WARP_SIZE as usize);
-        let mut targets: Vec<u64> = Vec::with_capacity(WARP_SIZE as usize);
-        let mut writes: Vec<u64> = Vec::with_capacity(WARP_SIZE as usize);
-        let mut produced: Vec<(usize, u64)> = Vec::with_capacity(WARP_SIZE as usize);
+        let mut lane_hits: Vec<Vec<(u32, u32)>> =
+            (0..WARP_SIZE).map(|_| ws.lane_hits.take()).collect();
+        let mut addrs: Vec<u64> = ws.addrs.take();
+        let mut round_bins: Vec<u64> = ws.addrs.take();
+        let mut writes: Vec<u64> = ws.addrs.take();
+        let mut tops: Vec<u64> = ws.addrs.take();
+        // Per-bin hit count of the current round — the worst count is the
+        // atomic serialization the simulator charges, so the kernel hands
+        // it over instead of having the simulator re-derive it from a
+        // target list. Reset via `round_bins` after every round.
+        let mut round_cnt: Vec<u64> = ws.addrs.take();
+        round_cnt.resize(num_bins, 0);
+        // Bin-size histogram for the block's arena page, filled from the
+        // final `top` counters as each warp retires (no extra pass).
+        let mut page_offsets: Vec<u32> = ws.offsets.take();
+        page_offsets.resize(block_slots + 1, 0);
 
         for warp_in_block in 0..warps_per_block as usize {
             let warp_id = block.block_id as usize * warps_per_block as usize + warp_in_block;
             let warp_bins_base = bins_base + (warp_id * num_bins) as u64 * bin_capacity * 8;
-            let mut tops = vec![0u64; num_bins];
+            tops.clear();
+            tops.resize(num_bins, 0);
 
             let mut i = warp_id;
             while i < db.num_seqs() {
                 let slen = db.seq_len(i);
                 let words = slen.saturating_sub(WORD_LEN - 1);
                 let subject = db.seq(i);
+                // Residues are contiguous bytes, so lane addresses are
+                // `seq_base + column` — one base computation per sequence
+                // instead of an offsets lookup per lane.
+                let seq_base = db.residue_addr(i, 0);
 
                 let mut j0 = 0usize;
                 while j0 < words {
                     let active = (words - j0).min(WARP_SIZE as usize);
 
                     // Coalesced read of each lane's word start (lane ℓ reads
-                    // column j0+ℓ; a word needs W consecutive residues).
-                    addrs.clear();
-                    addrs.extend((0..active).map(|l| db.residue_addr(i, j0 + l)));
-                    block.global_read(&addrs, WORD_LEN as u32);
+                    // column j0+ℓ; a word needs W consecutive residues). The
+                    // lane addresses are a stride-1 sequence, so the
+                    // coalescing is charged analytically.
+                    block.global_read_seq(seq_base + j0 as u64, active as u32, 1, WORD_LEN as u32);
                     // DFA state transition via the shared-memory table.
                     block.shared_access(active as u32);
 
@@ -148,31 +198,36 @@ pub fn binning_kernel(
                     // warp busy while others idle (Algorithm 2's `for all
                     // hits` divergence).
                     for k in 0..max_hits {
-                        targets.clear();
+                        round_bins.clear();
                         writes.clear();
-                        produced.clear();
+                        let mut round_max = 0u64;
                         for lane in lane_hits.iter().take(active) {
                             if let Some(&(qpos, col)) = lane.get(k) {
                                 let diagonal = (col as i64 - qpos as i64 + qlen as i64) as u32;
                                 let bin_id = diagonal as usize % num_bins;
-                                let slot = tops[bin_id];
+                                let top = tops[bin_id];
                                 tops[bin_id] += 1;
-                                targets.push((warp_in_block * num_bins + bin_id) as u64);
+                                let c = round_cnt[bin_id] + 1;
+                                round_cnt[bin_id] = c;
+                                round_max = round_max.max(c);
+                                round_bins.push(bin_id as u64);
                                 writes.push(
                                     warp_bins_base
-                                        + (bin_id as u64 * bin_capacity + slot % bin_capacity) * 8,
+                                        + (bin_id as u64 * bin_capacity + top % bin_capacity) * 8,
                                 );
-                                produced.push((bin_id, pack(i as u32, diagonal, col)));
+                                det_slots.push((warp_in_block * num_bins + bin_id) as u32);
+                                det_keys.push(pack(i as u32, diagonal, col));
                             }
                         }
                         // Diagonal/bin arithmetic.
-                        block.instr(targets.len() as u32);
-                        // atomicAdd on the shared `top` array.
-                        block.atomic_shared(&targets);
+                        block.instr(writes.len() as u32);
+                        // atomicAdd on the shared `top` array; conflicts
+                        // were counted in the lane loop.
+                        block.atomic_shared_counted(writes.len() as u32, round_max);
                         // Scattered global write of the packed hits.
                         block.global_write(&writes, 8);
-                        for &(bin_id, element) in &produced {
-                            block_bins[warp_in_block * num_bins + bin_id].push(element);
+                        for &b in round_bins.iter() {
+                            round_cnt[b as usize] = 0;
                         }
                     }
 
@@ -180,22 +235,58 @@ pub fn binning_kernel(
                 }
                 i += num_warps;
             }
+            for (b, &t) in tops.iter().enumerate() {
+                page_offsets[warp_in_block * num_bins + b + 1] = t as u32;
+            }
         }
-        results.lock().push((block.block_id as usize, block_bins));
+        ws.addrs.put(addrs);
+        ws.addrs.put(round_bins);
+        ws.addrs.put(writes);
+        ws.addrs.put(tops);
+        ws.addrs.put(round_cnt);
+        for lane in lane_hits {
+            ws.lane_hits.put(lane);
+        }
+
+        // Group detection-order hits by slot: stable counting sort into an
+        // arena page (offsets + keys), the block's by-value result.
+        for i in 1..=block_slots {
+            page_offsets[i] += page_offsets[i - 1];
+        }
+        let mut page_keys: Vec<u64> = ws.keys.take();
+        page_keys.resize(det_keys.len(), 0);
+        let mut cursor: Vec<u32> = ws.offsets.take();
+        cursor.extend_from_slice(&page_offsets[..block_slots]);
+        for (&s, &k) in det_slots.iter().zip(det_keys.iter()) {
+            let c = &mut cursor[s as usize];
+            page_keys[*c as usize] = k;
+            *c += 1;
+        }
+        ws.offsets.put(cursor);
+        ws.offsets.put(det_slots);
+        ws.keys.put(det_keys);
+        (page_offsets, page_keys)
     });
 
-    // Stitch per-block bins into warp-major order.
-    let mut per_block = results.into_inner();
-    per_block.sort_by_key(|(id, _)| *id);
-    let mut bins: Vec<Vec<u64>> = Vec::with_capacity(num_warps * num_bins);
-    for (_, mut block_bins) in per_block {
-        bins.append(&mut block_bins);
+    // Stitch per-block pages into the warp-major arena: pages arrive in
+    // block order, and each page is already warp-in-block-major, so plain
+    // concatenation (with rebased offsets) yields the global slot order.
+    let mut offsets: Vec<u32> = ws.offsets.take();
+    let mut keys: Vec<u64> = ws.keys.take();
+    offsets.push(0);
+    for (page_offsets, page_keys) in pages {
+        let base = keys.len() as u32;
+        offsets.extend(page_offsets[1..].iter().map(|&o| base + o));
+        keys.extend_from_slice(&page_keys);
+        ws.offsets.put(page_offsets);
+        ws.keys.put(page_keys);
     }
-    let total_hits = bins.iter().map(|b| b.len() as u64).sum();
+    let total_hits = keys.len() as u64;
 
     (
         BinnedHits {
-            bins,
+            offsets,
+            keys,
             num_bins,
             num_warps,
             total_hits,
@@ -250,12 +341,14 @@ mod tests {
             num_bins: 16,
             ..Default::default()
         };
-        let (bins, stats) = binning_kernel(&DeviceConfig::k20c(), &cfg, &dq, &db);
+        let ws = KernelWorkspace::new();
+        let (bins, stats) = binning_kernel(&DeviceConfig::k20c(), &cfg, &dq, &db, &ws);
         let mut got: Vec<u64> = bins.iter_hits().collect();
         got.sort_unstable();
         let want = reference_hits(&dq, &db);
         assert_eq!(got, want);
         assert_eq!(bins.total_hits as usize, want.len());
+        assert_eq!(bins.num_slots(), bins.num_warps * bins.num_bins);
         assert!(stats.warp_cycles > 0);
         assert!(stats.atomic_ops >= bins.total_hits);
     }
@@ -273,10 +366,11 @@ mod tests {
             num_bins: 8,
             ..Default::default()
         };
-        let (bins, _) = binning_kernel(&DeviceConfig::k20c(), &cfg, &dq, &db);
-        for (slot, bin) in bins.bins.iter().enumerate() {
+        let ws = KernelWorkspace::new();
+        let (bins, _) = binning_kernel(&DeviceConfig::k20c(), &cfg, &dq, &db, &ws);
+        for slot in 0..bins.num_slots() {
             let bin_id = slot % bins.num_bins;
-            for &e in bin {
+            for &e in bins.bin(slot) {
                 assert_eq!(hitpack::diagonal(e) as usize % bins.num_bins, bin_id);
             }
         }
@@ -290,6 +384,7 @@ mod tests {
         )];
         let (dq, db) = setup(64, subjects);
         let d = DeviceConfig::k20c();
+        let ws = KernelWorkspace::new();
         let occ = |bins: usize| {
             let cfg = CuBlastpConfig {
                 num_bins: bins,
@@ -297,7 +392,7 @@ mod tests {
                 warps_per_block: 8,
                 ..Default::default()
             };
-            binning_kernel(&d, &cfg, &dq, &db).1.occupancy
+            binning_kernel(&d, &cfg, &dq, &db, &ws).1.occupancy
         };
         assert!(occ(512) < occ(32), "512-bin occupancy must be lower");
     }
@@ -306,8 +401,39 @@ mod tests {
     fn empty_block_is_clean() {
         let (dq, db) = setup(64, vec![]);
         let cfg = CuBlastpConfig::default();
-        let (bins, _) = binning_kernel(&DeviceConfig::k20c(), &cfg, &dq, &db);
+        let ws = KernelWorkspace::new();
+        let (bins, _) = binning_kernel(&DeviceConfig::k20c(), &cfg, &dq, &db, &ws);
         assert_eq!(bins.total_hits, 0);
+        assert_eq!(bins.num_slots(), bins.num_warps * bins.num_bins);
+        assert!(bins.offsets.iter().all(|&o| o == 0));
+    }
+
+    #[test]
+    fn repeat_runs_reuse_workspace_buffers() {
+        let subjects: Vec<Sequence> = (0..10)
+            .map(|k| {
+                Sequence::from_residues(format!("s{k}"), make_query(120 + k).residues().to_vec())
+            })
+            .collect();
+        let (dq, db) = setup(64, subjects);
+        let cfg = CuBlastpConfig {
+            grid_blocks: 2,
+            warps_per_block: 2,
+            num_bins: 16,
+            ..Default::default()
+        };
+        let d = DeviceConfig::k20c();
+        let ws = KernelWorkspace::new();
+        for _ in 0..2 {
+            let (bins, _) = binning_kernel(&d, &cfg, &dq, &db, &ws);
+            bins.recycle(&ws);
+        }
+        let warm = ws.allocations();
+        for _ in 0..3 {
+            let (bins, _) = binning_kernel(&d, &cfg, &dq, &db, &ws);
+            bins.recycle(&ws);
+        }
+        assert_eq!(ws.allocations(), warm, "steady state must not allocate");
     }
 
     #[test]
@@ -319,6 +445,7 @@ mod tests {
             .collect();
         let (dq, db) = setup(127, subjects);
         let d = DeviceConfig::k20c();
+        let ws = KernelWorkspace::new();
         let base = CuBlastpConfig {
             grid_blocks: 2,
             warps_per_block: 4,
@@ -332,6 +459,7 @@ mod tests {
             },
             &dq,
             &db,
+            &ws,
         )
         .1;
         let without = binning_kernel(
@@ -342,6 +470,7 @@ mod tests {
             },
             &dq,
             &db,
+            &ws,
         )
         .1;
         assert!(

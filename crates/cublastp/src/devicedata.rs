@@ -29,6 +29,9 @@ pub struct DeviceDbBlock {
     pub offsets: Vec<usize>,
     /// Global database index of the block's first sequence.
     pub base_index: usize,
+    /// Length of the longest sequence in the block, cached at upload so
+    /// the per-launch packed-format range check is O(1) instead of a scan.
+    pub max_seq_len: usize,
 }
 
 impl DeviceDbBlock {
@@ -39,14 +42,17 @@ impl DeviceDbBlock {
         let mut residues = Vec::with_capacity(total);
         let mut offsets = Vec::with_capacity(sequences.len() + 1);
         offsets.push(0);
+        let mut max_seq_len = 0usize;
         for s in sequences {
             residues.extend_from_slice(s.residues());
             offsets.push(residues.len());
+            max_seq_len = max_seq_len.max(s.len());
         }
         Self {
             residues: GlobalBuffer::new(residues),
             offsets,
             base_index,
+            max_seq_len,
         }
     }
 
@@ -217,6 +223,7 @@ mod tests {
         assert!(block.seq(2).is_empty());
         assert_eq!(block.seq_len(1), 5);
         assert_eq!(block.base_index, 10);
+        assert_eq!(block.max_seq_len, 5);
     }
 
     #[test]

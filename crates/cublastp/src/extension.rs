@@ -25,8 +25,7 @@ use crate::reorder::FilteredHits;
 use blast_core::SearchParams;
 use blast_cpu::ungapped::{extend, UngappedExt};
 use gpu_sim::device::WARP_SIZE;
-use gpu_sim::{launch, DeviceConfig, KernelStats, LaunchConfig};
-use parking_lot::Mutex;
+use gpu_sim::{launch_map, DeviceConfig, KernelStats, LaunchConfig};
 
 /// Positions an x-drop extension scans beyond the best-scoring end before
 /// giving up (cost-model constant; the functional routine computes the
@@ -244,10 +243,11 @@ pub fn extension_kernel(
         ExtensionStrategy::Window => "ungapped_extension_window",
     };
 
-    let results: Mutex<Vec<(u32, Vec<UngappedExt>)>> = Mutex::new(Vec::new());
     let blocks = cfg.grid_blocks.max(1);
 
-    let stats = launch(device, launch_cfg, name, |block| {
+    // Each block's extensions come back by value in block order — no
+    // mutex collector, no re-sorting by block id.
+    let (per_block, stats) = launch_map(device, launch_cfg, name, |block| {
         let mut out: Vec<UngappedExt> = Vec::new();
         match cfg.extension {
             ExtensionStrategy::Diagonal => {
@@ -355,12 +355,10 @@ pub fn extension_kernel(
                 }
             }
         }
-        results.lock().push((block.block_id, out));
+        out
     });
 
-    let mut per_block = results.into_inner();
-    per_block.sort_by_key(|(id, _)| *id);
-    let mut extensions: Vec<UngappedExt> = per_block.into_iter().flat_map(|(_, v)| v).collect();
+    let mut extensions: Vec<UngappedExt> = per_block.into_iter().flatten().collect();
 
     // Canonical order: by subject, then position — shared by every
     // strategy so downstream phases are order-independent.
@@ -426,10 +424,11 @@ mod tests {
             ..Default::default()
         };
         let d = DeviceConfig::k20c();
-        let (binned, _) = crate::binning::binning_kernel(&d, &cfg, &dq, &db);
-        let (mut asm, _) = crate::reorder::assemble_kernel(&d, &cfg, binned);
-        crate::reorder::sort_kernel(&d, &mut asm);
-        let (f, _) = crate::reorder::filter_kernel(&d, &cfg, &asm, 40);
+        let ws = gpu_sim::KernelWorkspace::new();
+        let (binned, _) = crate::binning::binning_kernel(&d, &cfg, &dq, &db, &ws);
+        let (mut asm, _) = crate::reorder::assemble_kernel(&d, &cfg, binned, &ws);
+        crate::reorder::sort_kernel(&d, &mut asm, &ws);
+        let (f, _) = crate::reorder::filter_kernel(&d, &cfg, &asm, 40, &ws);
         (dq, db, f)
     }
 

@@ -132,7 +132,14 @@ mod tests {
             warps_per_block: 2,
             ..CuBlastpConfig::default()
         };
-        let out = crate::gpu_phase::run_gpu_phase(&DeviceConfig::k20c(), &cfg, &dq, &db, &p);
+        let out = crate::gpu_phase::run_gpu_phase(
+            &DeviceConfig::k20c(),
+            &cfg,
+            &dq,
+            &db,
+            &p,
+            &gpu_sim::KernelWorkspace::new(),
+        );
         (dq, db, p, out.extensions)
     }
 

@@ -9,7 +9,7 @@ use crate::extension::{extension_kernel, ExtensionResult};
 use crate::reorder::{assemble_kernel, sort_kernel};
 use blast_core::SearchParams;
 use blast_cpu::ungapped::UngappedExt;
-use gpu_sim::{DeviceConfig, KernelStats};
+use gpu_sim::{DeviceConfig, KernelStats, KernelWorkspace};
 
 /// Counters describing what the block produced.
 #[derive(Debug, Clone, Copy, Default)]
@@ -124,22 +124,27 @@ impl GpuPhaseOutput {
 }
 
 /// Run the five fine-grained kernels over one uploaded database block.
+/// Hit-path scratch (arena pages, sort ping-pong, compaction buffers)
+/// comes from `ws` and is returned to it before the call ends, so a warm
+/// workspace makes the whole phase allocation-free on the host.
 pub fn run_gpu_phase(
     device: &DeviceConfig,
     cfg: &CuBlastpConfig,
     query: &DeviceQuery,
     db: &DeviceDbBlock,
     params: &SearchParams,
+    ws: &KernelWorkspace,
 ) -> GpuPhaseOutput {
     // Kernel 1: warp-based hit detection with binning (Algorithm 2).
-    let (binned, k_bin) = binning_kernel(device, cfg, query, db);
+    let (binned, k_bin) = binning_kernel(device, cfg, query, db, ws);
     let hits = binned.total_hits;
 
-    // Kernel 2: assemble bins into a contiguous array (Fig. 6a).
-    let (mut assembled, k_asm) = assemble_kernel(device, cfg, binned);
+    // Kernel 2: assemble bins into a contiguous array (Fig. 6a) — the
+    // arena moves, only the offsets are collapsed.
+    let (mut assembled, k_asm) = assemble_kernel(device, cfg, binned, ws);
 
     // Kernel 3: segmented sort on the packed 64-bit keys (Fig. 6b, Fig. 7).
-    let k_sort = sort_kernel(device, &mut assembled);
+    let k_sort = sort_kernel(device, &mut assembled, ws);
 
     // Kernel 4: filter non-extendable hits (Fig. 6c); in one-hit mode the
     // pass degenerates to compaction.
@@ -149,7 +154,9 @@ pub fn run_gpu_phase(
         &assembled,
         params.two_hit,
         params.two_hit_window as i64,
+        ws,
     );
+    assembled.recycle(ws);
     let n_filtered = filtered.hits.len() as u64;
 
     // Kernel 5: fine-grained ungapped extension (Algorithms 3–5).
@@ -158,6 +165,7 @@ pub fn run_gpu_phase(
         stats: k_ext,
         redundant,
     } = extension_kernel(device, cfg, query, db, &filtered, params);
+    filtered.recycle(ws);
 
     let n_ext = extensions.len() as u64;
     let extensions = ExtensionsCsr::from_stream(extensions, db.num_seqs());
@@ -208,7 +216,14 @@ mod tests {
             warps_per_block: 2,
             ..Default::default()
         };
-        let out = run_gpu_phase(&DeviceConfig::k20c(), &cfg, &dq, &db, &p);
+        let out = run_gpu_phase(
+            &DeviceConfig::k20c(),
+            &cfg,
+            &dq,
+            &db,
+            &p,
+            &KernelWorkspace::new(),
+        );
         assert_eq!(out.kernels.len(), 5);
         assert!(out.kernel("hit_detection").is_some());
         assert!(out.kernel("hit_sorting").is_some());
@@ -227,7 +242,14 @@ mod tests {
             warps_per_block: 2,
             ..Default::default()
         };
-        let out = run_gpu_phase(&DeviceConfig::k20c(), &cfg, &dq, &db, &p);
+        let out = run_gpu_phase(
+            &DeviceConfig::k20c(),
+            &cfg,
+            &dq,
+            &db,
+            &p,
+            &KernelWorkspace::new(),
+        );
         let ratio = out.counts.survival_ratio();
         assert!(
             ratio < 0.35,
@@ -246,7 +268,14 @@ mod tests {
             grid_blocks: 3,
             ..Default::default()
         };
-        let out = run_gpu_phase(&DeviceConfig::k20c(), &cfg, &dq, &db, &p);
+        let out = run_gpu_phase(
+            &DeviceConfig::k20c(),
+            &cfg,
+            &dq,
+            &db,
+            &p,
+            &KernelWorkspace::new(),
+        );
 
         let mut cpu_exts: Vec<Vec<UngappedExt>> = vec![Vec::new(); db.num_seqs()];
         let mut scratch = blast_cpu::hit::DiagonalScratch::new(0);
@@ -313,6 +342,7 @@ mod tests {
             &dq,
             &db,
             &p,
+            &KernelWorkspace::new(),
         );
         assert_eq!(out.counts.hits, 0);
         assert_eq!(out.extensions.num_seqs(), 0);

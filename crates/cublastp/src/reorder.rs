@@ -14,6 +14,15 @@
 //!    same (sequence, diagonal) is farther than the two-hit window: such a
 //!    hit can never trigger an extension. The paper measures only 5–11 %
 //!    of hits surviving, which is what makes the extra pass profitable.
+//!
+//! Host-side, all three stages operate on the flat hit arena of
+//! [`BinnedHits`]: assembling *moves* the already-contiguous key buffer
+//! and merely collapses empty bins out of the offsets (zero copies of the
+//! keys themselves — the copy the simulated kernel charges happens only
+//! on the modelled device); sorting runs the radix segmented sort in
+//! place over segment slices; filtering reads the same flat buffer and
+//! compacts survivors through pooled per-block buffers returned by value
+//! from [`gpu_sim::launch_map`].
 
 use crate::binning::BinnedHits;
 use crate::config::CuBlastpConfig;
@@ -21,24 +30,68 @@ use crate::hitpack::{group_key, subject_pos};
 use gpu_sim::device::WARP_SIZE;
 use gpu_sim::memory::virtual_alloc;
 use gpu_sim::scan::WARP_SCAN_STEPS;
-use gpu_sim::sort::segmented_sort_u64;
-use gpu_sim::{launch, DeviceConfig, KernelStats, LaunchConfig};
+use gpu_sim::sort::segmented_sort_flat;
+use gpu_sim::{launch, launch_map, DeviceConfig, KernelStats, KernelWorkspace, LaunchConfig};
 
 /// Contiguous, segment-delimited hits (output of assembling; segments are
-/// the former bins).
+/// the former non-empty bins). `seg_offsets[s]..seg_offsets[s+1]` delimits
+/// segment `s` in `keys`.
 pub struct AssembledHits {
-    /// One vector per (warp, bin), contiguous in memory on the device.
-    pub segments: Vec<Vec<u64>>,
+    /// All hits, one contiguous buffer (the arena, carried over from
+    /// binning without copying).
+    pub keys: Vec<u64>,
+    /// Segment boundaries: leading 0, then the end of every non-empty
+    /// former bin.
+    pub seg_offsets: Vec<u32>,
 }
 
-/// Assemble the ragged bins into a contiguous array. Thread blocks tile
-/// the *output* array (2048 elements each) and gather from the bins —
-/// both sides stream, so reads and writes coalesce and lanes stay fully
-/// active regardless of how small individual bins are.
+impl AssembledHits {
+    /// Number of segments.
+    pub fn num_segments(&self) -> usize {
+        self.seg_offsets.len() - 1
+    }
+
+    /// Iterate the segments as slices of the flat buffer.
+    pub fn segments(&self) -> impl Iterator<Item = &[u64]> + '_ {
+        self.seg_offsets
+            .windows(2)
+            .map(|w| &self.keys[w[0] as usize..w[1] as usize])
+    }
+
+    /// Build from explicit ragged segments (test/bench convenience; the
+    /// pipeline itself never materializes `Vec<Vec<_>>`). Empty segments
+    /// are dropped, matching what assembling does to empty bins.
+    pub fn from_segments(segments: Vec<Vec<u64>>) -> Self {
+        let mut keys = Vec::new();
+        let mut seg_offsets = vec![0u32];
+        for seg in segments {
+            if seg.is_empty() {
+                continue;
+            }
+            keys.extend_from_slice(&seg);
+            seg_offsets.push(keys.len() as u32);
+        }
+        Self { keys, seg_offsets }
+    }
+
+    /// Return the buffers to the workspace they were drawn from.
+    pub fn recycle(self, ws: &KernelWorkspace) {
+        ws.keys.put(self.keys);
+        ws.offsets.put(self.seg_offsets);
+    }
+}
+
+/// Assemble the bins into a contiguous array. Thread blocks tile the
+/// *output* array (2048 elements each) and gather from the bins — both
+/// sides stream, so reads and writes coalesce and lanes stay fully active
+/// regardless of how small individual bins are. Host-side the arena is
+/// already contiguous, so the functional work is only collapsing empty
+/// bins out of the offsets; the key buffer moves, it is never copied.
 pub fn assemble_kernel(
     device: &DeviceConfig,
     cfg: &CuBlastpConfig,
     binned: BinnedHits,
+    ws: &KernelWorkspace,
 ) -> (AssembledHits, KernelStats) {
     const TILE: usize = 2048;
     let total = binned.total_hits as usize;
@@ -56,28 +109,49 @@ pub fn assemble_kernel(
     let stats = launch(device, launch_cfg, "hit_assembling", |block| {
         let lo = block.block_id as usize * TILE;
         let hi = (lo + TILE).min(total);
-        let mut addrs: Vec<u64> = Vec::with_capacity(WARP_SIZE as usize);
         let mut j = lo;
         while j < hi {
-            let active = (hi - j).min(WARP_SIZE as usize);
-            addrs.clear();
-            addrs.extend((0..active).map(|l| src_base + ((j + l) as u64) * 8));
-            block.global_read(&addrs, 8);
-            addrs.clear();
-            addrs.extend((0..active).map(|l| dst_base + ((j + l) as u64) * 8));
-            block.global_write(&addrs, 8);
+            // Both streams are stride-8 sequences, so the coalescing is
+            // charged analytically — no address buffers on the host.
+            let active = ((hi - j).min(WARP_SIZE as usize)) as u32;
+            block.global_read_seq(src_base + (j as u64) * 8, active, 8, 8);
+            block.global_write_seq(dst_base + (j as u64) * 8, active, 8, 8);
             j += WARP_SIZE as usize;
         }
     });
 
-    let segments: Vec<Vec<u64>> = binned.bins.into_iter().filter(|b| !b.is_empty()).collect();
-    (AssembledHits { segments }, stats)
+    // Collapse empty bins: consecutive equal offsets vanish, leaving one
+    // boundary per non-empty bin. The keys are untouched.
+    let BinnedHits { offsets, keys, .. } = binned;
+    let mut seg_offsets: Vec<u32> = ws.offsets.take();
+    seg_offsets.push(0);
+    for w in offsets.windows(2) {
+        if w[1] > w[0] {
+            seg_offsets.push(w[1]);
+        }
+    }
+    ws.offsets.put(offsets);
+    (AssembledHits { keys, seg_offsets }, stats)
 }
 
 /// Segmented sort of the assembled hits (Fig. 6b / Fig. 7) — delegates to
-/// the ModernGPU-model kernel in `gpu-sim`.
-pub fn sort_kernel(device: &DeviceConfig, hits: &mut AssembledHits) -> KernelStats {
-    segmented_sort_u64(device, &mut hits.segments, "hit_sorting")
+/// the ModernGPU-model radix kernel in `gpu-sim`, sorting each segment
+/// slice of the arena in place with pooled ping-pong scratch.
+pub fn sort_kernel(
+    device: &DeviceConfig,
+    hits: &mut AssembledHits,
+    ws: &KernelWorkspace,
+) -> KernelStats {
+    let mut scratch = ws.keys.take();
+    let stats = segmented_sort_flat(
+        device,
+        &mut hits.keys,
+        &hits.seg_offsets,
+        "hit_sorting",
+        &mut scratch,
+    );
+    ws.keys.put(scratch);
+    stats
 }
 
 /// Output of the filtering kernel.
@@ -99,6 +173,11 @@ impl FilteredHits {
             self.hits.len() as f64 / self.before as f64
         }
     }
+
+    /// Return the hit buffer to the workspace it was drawn from.
+    pub fn recycle(self, ws: &KernelWorkspace) {
+        ws.keys.put(self.hits);
+    }
 }
 
 /// Filtering kernel: one thread per hit compares against its left
@@ -113,8 +192,9 @@ pub fn filter_kernel(
     cfg: &CuBlastpConfig,
     sorted: &AssembledHits,
     window: i64,
+    ws: &KernelWorkspace,
 ) -> (FilteredHits, KernelStats) {
-    filter_kernel_mode(device, cfg, sorted, true, window)
+    filter_kernel_mode(device, cfg, sorted, true, window, ws)
 }
 
 /// [`filter_kernel`] with an explicit seeding mode. In one-hit mode
@@ -127,9 +207,10 @@ pub fn filter_kernel_mode(
     sorted: &AssembledHits,
     two_hit: bool,
     window: i64,
+    ws: &KernelWorkspace,
 ) -> (FilteredHits, KernelStats) {
     const TILE: usize = 2048;
-    let concat: Vec<u64> = sorted.segments.iter().flatten().copied().collect();
+    let concat: &[u64] = &sorted.keys;
     let before = concat.len() as u64;
     let src_base = virtual_alloc(before.max(1) * 8);
     let dst_base = virtual_alloc(before.max(1) * 8);
@@ -142,30 +223,27 @@ pub fn filter_kernel_mode(
         use_readonly_cache: false,
     };
 
-    let results: parking_lot::Mutex<Vec<(usize, Vec<u64>)>> = parking_lot::Mutex::new(Vec::new());
-
-    let stats = launch(device, launch_cfg, "hit_filtering", |block| {
+    let (per_block, stats) = launch_map(device, launch_cfg, "hit_filtering", |block| {
         let lo = block.block_id as usize * TILE;
         let hi = (lo + TILE).min(concat.len());
-        let mut kept: Vec<u64> = Vec::new();
-        let mut addrs: Vec<u64> = Vec::with_capacity(WARP_SIZE as usize);
+        let mut kept: Vec<u64> = ws.keys.take();
         let mut j = lo;
         while j < hi {
             let active = (hi - j).min(WARP_SIZE as usize);
             // Each lane reads its hit; the left neighbour is the previous
             // lane's value (one extra element at the chunk boundary).
-            addrs.clear();
-            addrs.extend((0..active).map(|l| src_base + ((j + l) as u64) * 8));
-            block.global_read(&addrs, 8);
+            block.global_read_seq(src_base + (j as u64) * 8, active as u32, 8, 8);
             // Distance comparison + warp-scan compaction of survivors.
             block.instr(active as u32);
             block.instr_n(active as u32, WARP_SCAN_STEPS);
-            let mut writes: Vec<u64> = Vec::new();
+            // Survivor writes advance with both the output cursor and the
+            // in-warp scan rank, a stride-16 sequence from the chunk's
+            // first free output slot — charged analytically.
+            let n0 = kept.len() as u64;
             for l in 0..active {
                 let idx = j + l;
                 if idx == 0 {
                     if !two_hit {
-                        writes.push(dst_base + (kept.len() as u64 + writes.len() as u64) * 8);
                         kept.push(concat[idx]);
                     }
                     continue; // in two-hit mode the very first hit has no neighbour
@@ -176,19 +254,20 @@ pub fn filter_kernel_mode(
                     || (group_key(cur) == group_key(prev)
                         && (subject_pos(cur) as i64 - subject_pos(prev) as i64) <= window);
                 if extendable {
-                    writes.push(dst_base + (kept.len() as u64 + writes.len() as u64) * 8);
                     kept.push(cur);
                 }
             }
-            block.global_write(&writes, 8);
+            block.global_write_seq(dst_base + n0 * 8, (kept.len() as u64 - n0) as u32, 16, 8);
             j += WARP_SIZE as usize;
         }
-        results.lock().push((block.block_id as usize, kept));
+        kept
     });
 
-    let mut per_block = results.into_inner();
-    per_block.sort_by_key(|(id, _)| *id);
-    let hits: Vec<u64> = per_block.into_iter().flat_map(|(_, v)| v).collect();
+    let mut hits: Vec<u64> = ws.keys.take();
+    for kept in per_block {
+        hits.extend_from_slice(&kept);
+        ws.keys.put(kept);
+    }
     (FilteredHits { hits, before }, stats)
 }
 
@@ -198,10 +277,17 @@ mod tests {
     use crate::hitpack::pack;
 
     fn binned(bins: Vec<Vec<u64>>) -> BinnedHits {
-        let total = bins.iter().map(|b| b.len() as u64).sum();
         let num_bins = bins.len();
+        let mut offsets = vec![0u32];
+        let mut keys = Vec::new();
+        for b in &bins {
+            keys.extend_from_slice(b);
+            offsets.push(keys.len() as u32);
+        }
+        let total = keys.len() as u64;
         BinnedHits {
-            bins,
+            offsets,
+            keys,
             num_bins,
             num_warps: 1,
             total_hits: total,
@@ -212,22 +298,37 @@ mod tests {
     fn assemble_drops_empty_bins_and_keeps_hits() {
         let d = DeviceConfig::k20c();
         let cfg = CuBlastpConfig::default();
+        let ws = KernelWorkspace::new();
         let b = binned(vec![
             vec![pack(0, 5, 3)],
             vec![],
             vec![pack(0, 2, 1), pack(1, 2, 9)],
         ]);
-        let (asm, _) = assemble_kernel(&d, &cfg, b);
-        assert_eq!(asm.segments.len(), 2);
-        assert_eq!(asm.segments.iter().map(Vec::len).sum::<usize>(), 3);
+        let (asm, _) = assemble_kernel(&d, &cfg, b, &ws);
+        assert_eq!(asm.num_segments(), 2);
+        assert_eq!(asm.keys.len(), 3);
+        let lens: Vec<usize> = asm.segments().map(<[u64]>::len).collect();
+        assert_eq!(lens, vec![1, 2]);
+    }
+
+    #[test]
+    fn assemble_moves_the_arena_without_copying() {
+        let d = DeviceConfig::k20c();
+        let cfg = CuBlastpConfig::default();
+        let ws = KernelWorkspace::new();
+        let b = binned(vec![vec![pack(0, 1, 1)], vec![pack(0, 2, 2)]]);
+        let key_ptr = b.keys.as_ptr();
+        let (asm, _) = assemble_kernel(&d, &cfg, b, &ws);
+        assert_eq!(asm.keys.as_ptr(), key_ptr, "keys must move, not copy");
     }
 
     #[test]
     fn assemble_of_large_bins_is_coalesced() {
         let d = DeviceConfig::k20c();
         let cfg = CuBlastpConfig::default();
+        let ws = KernelWorkspace::new();
         let big: Vec<u64> = (0..512u32).map(|k| pack(0, 3, k)).collect();
-        let (_, stats) = assemble_kernel(&d, &cfg, binned(vec![big]));
+        let (_, stats) = assemble_kernel(&d, &cfg, binned(vec![big]), &ws);
         // 32 consecutive 8-byte elements per warp read = 2 transactions.
         assert!(
             stats.global_load_efficiency() > 0.9,
@@ -239,31 +340,27 @@ mod tests {
     #[test]
     fn sort_orders_within_segments() {
         let d = DeviceConfig::k20c();
-        let mut asm = AssembledHits {
-            segments: vec![vec![pack(1, 3, 7), pack(0, 9, 2), pack(0, 9, 1)]],
-        };
-        sort_kernel(&d, &mut asm);
-        assert_eq!(
-            asm.segments[0],
-            vec![pack(0, 9, 1), pack(0, 9, 2), pack(1, 3, 7)]
-        );
+        let ws = KernelWorkspace::new();
+        let mut asm =
+            AssembledHits::from_segments(vec![vec![pack(1, 3, 7), pack(0, 9, 2), pack(0, 9, 1)]]);
+        sort_kernel(&d, &mut asm, &ws);
+        assert_eq!(asm.keys, vec![pack(0, 9, 1), pack(0, 9, 2), pack(1, 3, 7)]);
     }
 
     #[test]
     fn filter_keeps_only_second_hits_within_window() {
         let d = DeviceConfig::k20c();
         let cfg = CuBlastpConfig::default();
-        let asm = AssembledHits {
-            segments: vec![vec![
-                pack(0, 4, 10),
-                pack(0, 4, 30),  // within 40 of 10 → kept
-                pack(0, 4, 100), // 70 away → dropped
-                pack(0, 4, 120), // within 40 of 100 → kept
-                pack(0, 7, 125), // different diagonal, no neighbour → dropped
-                pack(1, 4, 11),  // different sequence → dropped
-            ]],
-        };
-        let (f, _) = filter_kernel(&d, &cfg, &asm, 40);
+        let ws = KernelWorkspace::new();
+        let asm = AssembledHits::from_segments(vec![vec![
+            pack(0, 4, 10),
+            pack(0, 4, 30),  // within 40 of 10 → kept
+            pack(0, 4, 100), // 70 away → dropped
+            pack(0, 4, 120), // within 40 of 100 → kept
+            pack(0, 7, 125), // different diagonal, no neighbour → dropped
+            pack(1, 4, 11),  // different sequence → dropped
+        ]]);
+        let (f, _) = filter_kernel(&d, &cfg, &asm, 40, &ws);
         assert_eq!(f.hits, vec![pack(0, 4, 30), pack(0, 4, 120)]);
         assert_eq!(f.before, 6);
         assert!((f.survival_ratio() - 2.0 / 6.0).abs() < 1e-12);
@@ -273,10 +370,10 @@ mod tests {
     fn filter_boundary_exactly_window() {
         let d = DeviceConfig::k20c();
         let cfg = CuBlastpConfig::default();
-        let asm = AssembledHits {
-            segments: vec![vec![pack(0, 4, 0), pack(0, 4, 40), pack(0, 4, 81)]],
-        };
-        let (f, _) = filter_kernel(&d, &cfg, &asm, 40);
+        let ws = KernelWorkspace::new();
+        let asm =
+            AssembledHits::from_segments(vec![vec![pack(0, 4, 0), pack(0, 4, 40), pack(0, 4, 81)]]);
+        let (f, _) = filter_kernel(&d, &cfg, &asm, 40, &ws);
         // Distance 40 ≤ 40 kept; 41 dropped.
         assert_eq!(f.hits, vec![pack(0, 4, 40)]);
     }
@@ -286,12 +383,11 @@ mod tests {
         // A pair straddling the 32-lane chunk edge must still be compared.
         let d = DeviceConfig::k20c();
         let cfg = CuBlastpConfig::default();
+        let ws = KernelWorkspace::new();
         let mut seg: Vec<u64> = (0..33u32).map(|k| pack(0, 4, k * 2)).collect();
         seg.sort_unstable();
-        let asm = AssembledHits {
-            segments: vec![seg],
-        };
-        let (f, _) = filter_kernel(&d, &cfg, &asm, 40);
+        let asm = AssembledHits::from_segments(vec![seg]);
+        let (f, _) = filter_kernel(&d, &cfg, &asm, 40, &ws);
         assert_eq!(f.hits.len(), 32, "all but the first are within window");
     }
 
@@ -299,9 +395,10 @@ mod tests {
     fn empty_everything() {
         let d = DeviceConfig::k20c();
         let cfg = CuBlastpConfig::default();
-        let (asm, _) = assemble_kernel(&d, &cfg, binned(vec![vec![], vec![]]));
-        assert!(asm.segments.is_empty());
-        let (f, _) = filter_kernel(&d, &cfg, &asm, 40);
+        let ws = KernelWorkspace::new();
+        let (asm, _) = assemble_kernel(&d, &cfg, binned(vec![vec![], vec![]]), &ws);
+        assert_eq!(asm.num_segments(), 0);
+        let (f, _) = filter_kernel(&d, &cfg, &asm, 40, &ws);
         assert!(f.hits.is_empty());
         assert_eq!(f.survival_ratio(), 0.0);
     }

@@ -16,7 +16,7 @@ use bio_seq::{DbBlock, Sequence, SequenceDb};
 use blast_core::SearchParams;
 use blast_cpu::report::{PhaseTimes, SearchReport};
 use blast_cpu::search::SearchEngine;
-use gpu_sim::{DeviceConfig, KernelStats};
+use gpu_sim::{DeviceConfig, KernelStats, KernelWorkspace};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -92,6 +92,11 @@ pub struct CuBlastp {
     pub device: DeviceConfig,
     /// Pipeline configuration.
     pub config: CuBlastpConfig,
+    /// Pooled hit-path scratch, reused across database blocks and across
+    /// searches. Batch drivers share one workspace between all queries of
+    /// a stream, so after warm-up the hot path performs zero allocations
+    /// (see [`KernelWorkspace`]).
+    pub workspace: Arc<KernelWorkspace>,
     query_device: DeviceQuery,
     setup_ms: f64,
 }
@@ -115,6 +120,7 @@ impl CuBlastp {
             engine,
             device,
             config,
+            workspace: Arc::new(KernelWorkspace::new()),
             query_device,
             setup_ms,
         }
@@ -158,6 +164,7 @@ impl CuBlastp {
                     &self.query_device,
                     &dev_block,
                     &self.engine.params,
+                    &self.workspace,
                 );
                 let d2h = device.transfer_ms(out.download_bytes);
                 (block.start, out, h2d, d2h)
@@ -364,9 +371,13 @@ pub fn search_batch_with(
 ) -> BatchOutcome {
     let t0 = Instant::now();
     let dev_db = DeviceDb::upload(db, config.db_block_size);
+    // One scratch pool for the whole stream: buffers warmed by early
+    // queries serve every later one.
+    let workspace = Arc::new(KernelWorkspace::new());
 
     let run_query = |(i, q): (usize, &Sequence)| -> CuBlastpResult {
-        let searcher = CuBlastp::new(q.clone(), params, config, device, db);
+        let mut searcher = CuBlastp::new(q.clone(), params, config, device, db);
+        searcher.workspace = Arc::clone(&workspace);
         searcher.search_resident(db, &dev_db, i == 0)
     };
     let per_query: Vec<CuBlastpResult> = if opts.parallel {
@@ -519,6 +530,38 @@ mod tests {
         assert_eq!(
             out.per_query[0].report.identity_key(),
             standalone.report.identity_key()
+        );
+    }
+
+    #[test]
+    fn steady_state_searches_are_workspace_allocation_free() {
+        // The allocation-free contract of the flat-arena hit path: after a
+        // warm-up search, repeat searches check out pooled buffers only —
+        // the workspace's cold-miss counter stops moving.
+        let (q, db) = workload();
+        let cfg = CuBlastpConfig {
+            db_block_size: 50,
+            grid_blocks: 2,
+            warps_per_block: 2,
+            overlap: false,
+            ..Default::default()
+        };
+        let gpu = CuBlastp::new(q, SearchParams::default(), cfg, DeviceConfig::k20c(), &db);
+        let dev_db = DeviceDb::upload(&db, cfg.db_block_size);
+        gpu.search_resident(&db, &dev_db, false);
+        gpu.search_resident(&db, &dev_db, false);
+        let warm_allocs = gpu.workspace.allocations();
+        let warm_checkouts = gpu.workspace.checkouts();
+        let r = gpu.search_resident(&db, &dev_db, false);
+        assert!(!r.report.hits.is_empty());
+        assert!(
+            gpu.workspace.checkouts() > warm_checkouts,
+            "the search must actually use the workspace"
+        );
+        assert_eq!(
+            gpu.workspace.allocations(),
+            warm_allocs,
+            "steady-state search must allocate zero workspace buffers"
         );
     }
 

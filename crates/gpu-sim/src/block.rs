@@ -73,7 +73,32 @@ impl SimBlock {
             return;
         }
         let tx = self.count_lines(addrs);
-        let useful = addrs.len() as u64 * bytes as u64;
+        self.charge_global(tx, addrs.len() as u32, bytes, is_load);
+    }
+
+    /// Warp-wide global read whose lane addresses form the arithmetic
+    /// sequence `start + i * step` (`i < lanes`). Produces stats identical
+    /// to [`Self::global_read`] over the materialized addresses, but the
+    /// coalescing is computed analytically — no address buffer, no scan.
+    #[inline]
+    pub fn global_read_seq(&mut self, start: u64, lanes: u32, step: u32, bytes: u32) {
+        if lanes == 0 {
+            return;
+        }
+        self.charge_global(seq_lines(start, lanes, step), lanes, bytes, true);
+    }
+
+    /// Write counterpart of [`Self::global_read_seq`].
+    #[inline]
+    pub fn global_write_seq(&mut self, start: u64, lanes: u32, step: u32, bytes: u32) {
+        if lanes == 0 {
+            return;
+        }
+        self.charge_global(seq_lines(start, lanes, step), lanes, bytes, false);
+    }
+
+    fn charge_global(&mut self, tx: u64, active: u32, bytes: u32, is_load: bool) {
+        let useful = active as u64 * bytes as u64;
         self.stats.global_transactions += tx;
         self.stats.global_transacted_bytes += tx * TRANSACTION_BYTES;
         self.stats.global_useful_bytes += useful;
@@ -82,7 +107,6 @@ impl SimBlock {
             self.stats.global_load_transacted_bytes += tx * TRANSACTION_BYTES;
         }
         let cost = tx * self.device.global_transaction_cost;
-        let active = addrs.len() as u32;
         self.stats.warp_cycles += cost;
         self.stats.active_lane_cycles += active.min(WARP_SIZE) as u64 * cost;
         self.stats.divergent_idle_cycles += (WARP_SIZE.saturating_sub(active)) as u64 * cost;
@@ -102,9 +126,17 @@ impl SimBlock {
                 // Distinct lines probe the cache once; lanes are attributed
                 // to hits/misses proportionally to their lines' outcomes.
                 self.scratch_lines.clear();
-                self.scratch_lines
-                    .extend(addrs.iter().map(|a| a / TRANSACTION_BYTES));
-                self.scratch_lines.sort_unstable();
+                let mut sorted = true;
+                let mut prev = 0u64;
+                for (i, &a) in addrs.iter().enumerate() {
+                    let line = a / TRANSACTION_BYTES;
+                    sorted &= i == 0 || line >= prev;
+                    prev = line;
+                    self.scratch_lines.push(line);
+                }
+                if !sorted {
+                    self.scratch_lines.sort_unstable();
+                }
                 self.scratch_lines.dedup();
                 let mut miss_lines = 0u64;
                 let mut hit_lines = 0u64;
@@ -151,11 +183,32 @@ impl SimBlock {
             return;
         }
         self.stats.atomic_ops += targets.len() as u64;
-        let max_conflict = max_duplicates(targets);
+        let max_conflict = self.max_duplicates(targets);
         let serial_steps = max_conflict.saturating_sub(1);
         self.stats.atomic_conflicts += serial_steps;
         let cost = self.device.shared_access_cost + serial_steps * self.device.atomic_conflict_cost;
         let active = (targets.len() as u32).min(WARP_SIZE);
+        self.stats.warp_cycles += cost;
+        self.stats.active_lane_cycles += active as u64 * cost;
+        self.stats.divergent_idle_cycles += (WARP_SIZE - active) as u64 * cost;
+    }
+
+    /// [`Self::atomic_shared`] for callers that already know the worst
+    /// per-address conflict of the warp (e.g. a binning kernel tracking
+    /// per-bin counts anyway). Charges stats identical to
+    /// `atomic_shared` over `lanes` targets whose maximal duplicate
+    /// count is `max_conflict` — no target list, no counting.
+    #[inline]
+    pub fn atomic_shared_counted(&mut self, lanes: u32, max_conflict: u64) {
+        if lanes == 0 {
+            return;
+        }
+        debug_assert!(max_conflict >= 1 && max_conflict <= lanes as u64);
+        self.stats.atomic_ops += lanes as u64;
+        let serial_steps = max_conflict - 1;
+        self.stats.atomic_conflicts += serial_steps;
+        let cost = self.device.shared_access_cost + serial_steps * self.device.atomic_conflict_cost;
+        let active = lanes.min(WARP_SIZE);
         self.stats.warp_cycles += cost;
         self.stats.active_lane_cycles += active as u64 * cost;
         self.stats.divergent_idle_cycles += (WARP_SIZE - active) as u64 * cost;
@@ -168,7 +221,7 @@ impl SimBlock {
             return;
         }
         self.stats.atomic_ops += targets.len() as u64;
-        let serial_steps = max_duplicates(targets).saturating_sub(1);
+        let serial_steps = self.max_duplicates(targets).saturating_sub(1);
         self.stats.atomic_conflicts += serial_steps;
         let cost = self.device.global_transaction_cost
             + serial_steps * self.device.atomic_conflict_cost * 2;
@@ -213,14 +266,42 @@ impl SimBlock {
         self.instr_n(WARP_SIZE, warps_in_block.max(1) as u64);
     }
 
-    /// Count distinct 128-byte lines among the addresses.
+    /// Count distinct 128-byte lines among the addresses. Kernel address
+    /// streams are overwhelmingly ascending (coalesced reads and writes),
+    /// so the common case is a single pass; out-of-order streams fall
+    /// back to sorting.
     fn count_lines(&mut self, addrs: &[u64]) -> u64 {
+        let mut count = 1u64;
+        let mut prev_addr = addrs[0];
+        let mut prev_line = prev_addr / TRANSACTION_BYTES;
+        for &a in &addrs[1..] {
+            if a < prev_addr {
+                return self.count_lines_unsorted(addrs);
+            }
+            let line = a / TRANSACTION_BYTES;
+            count += (line != prev_line) as u64;
+            prev_line = line;
+            prev_addr = a;
+        }
+        count
+    }
+
+    fn count_lines_unsorted(&mut self, addrs: &[u64]) -> u64 {
         self.scratch_lines.clear();
         self.scratch_lines
             .extend(addrs.iter().map(|a| a / TRANSACTION_BYTES));
         self.scratch_lines.sort_unstable();
         self.scratch_lines.dedup();
         self.scratch_lines.len() as u64
+    }
+
+    /// Worst per-address conflict among the targets (allocation-free: the
+    /// targets are copied into the block's scratch buffer and sorted).
+    fn max_duplicates(&mut self, targets: &[u64]) -> u64 {
+        self.scratch_lines.clear();
+        self.scratch_lines.extend_from_slice(targets);
+        self.scratch_lines.sort_unstable();
+        max_run(&self.scratch_lines)
     }
 
     /// Read access to the counters accumulated so far (tests and nested
@@ -230,9 +311,22 @@ impl SimBlock {
     }
 }
 
-fn max_duplicates(targets: &[u64]) -> u64 {
-    let mut sorted: Vec<u64> = targets.to_vec();
-    sorted.sort_unstable();
+/// Distinct 128-byte lines touched by the ascending arithmetic address
+/// sequence `start + i * step` (`i < lanes`, `lanes > 0`). With a step of
+/// at least one line every address lands on its own line; below that the
+/// line index is non-decreasing and never skips, so the count is the
+/// first-to-last line span.
+fn seq_lines(start: u64, lanes: u32, step: u32) -> u64 {
+    if step as u64 >= TRANSACTION_BYTES {
+        lanes as u64
+    } else {
+        let last = start + (lanes as u64 - 1) * step as u64;
+        last / TRANSACTION_BYTES - start / TRANSACTION_BYTES + 1
+    }
+}
+
+/// Longest run of equal values in a sorted slice.
+fn max_run(sorted: &[u64]) -> u64 {
     let mut best = 1u64;
     let mut run = 1u64;
     for w in sorted.windows(2) {
@@ -331,10 +425,86 @@ mod tests {
     }
 
     #[test]
-    fn max_duplicates_counts_worst_conflict() {
-        assert_eq!(max_duplicates(&[1, 2, 3]), 1);
-        assert_eq!(max_duplicates(&[1, 1, 2, 2, 2]), 3);
-        assert_eq!(max_duplicates(&[5]), 1);
+    fn max_run_counts_worst_conflict() {
+        assert_eq!(max_run(&[1, 2, 3]), 1);
+        assert_eq!(max_run(&[1, 1, 2, 2, 2]), 3);
+        assert_eq!(max_run(&[5]), 1);
+        // Via the atomic path, unsorted targets give the same answer.
+        let mut b = block();
+        assert_eq!(b.max_duplicates(&[2, 1, 2, 2, 1]), 3);
+    }
+
+    #[test]
+    fn unsorted_addresses_count_the_same_lines_as_sorted() {
+        let addrs: Vec<u64> = vec![0x3000, 0x1000, 0x2000, 0x1040, 0x3000];
+        let mut a = block();
+        a.global_read(&addrs, 4);
+        let mut sorted = addrs.clone();
+        sorted.sort_unstable();
+        let mut b = block();
+        b.global_read(&sorted, 4);
+        assert_eq!(a.stats().global_transactions, b.stats().global_transactions);
+        assert_eq!(a.stats().global_transactions, 3);
+    }
+
+    #[test]
+    fn counted_atomic_matches_target_list() {
+        for targets in [
+            vec![1u64, 2, 3, 4],
+            vec![7, 7, 7, 1, 2],
+            vec![5],
+            (0..32u64).map(|i| i % 3).collect(),
+        ] {
+            let max = {
+                let mut s = targets.clone();
+                s.sort_unstable();
+                let (mut best, mut run) = (1u64, 1u64);
+                for w in s.windows(2) {
+                    run = if w[0] == w[1] { run + 1 } else { 1 };
+                    best = best.max(run);
+                }
+                best
+            };
+            let mut a = block();
+            a.atomic_shared(&targets);
+            let mut b = block();
+            b.atomic_shared_counted(targets.len() as u32, max);
+            assert_eq!(format!("{:?}", a.stats()), format!("{:?}", b.stats()));
+        }
+        let mut b = block();
+        b.atomic_shared_counted(0, 0);
+        assert_eq!(b.stats().atomic_ops, 0);
+    }
+
+    #[test]
+    fn seq_access_matches_materialized_addresses() {
+        for (start, lanes, step, bytes) in [
+            (0x1000u64, 32u32, 4u32, 4u32), // coalesced full warp
+            (0x1003, 17, 1, 3),             // byte stride, partial warp
+            (0x2000, 32, 8, 8),             // 8-byte keys
+            (0x2fe0, 9, 16, 8),             // straddles a line boundary
+            (0x4000, 32, 128, 4),           // one line per lane
+            (0x4000, 5, 300, 4),            // beyond a line per lane
+            (0x5001, 1, 8, 8),              // single lane
+        ] {
+            let addrs: Vec<u64> = (0..lanes as u64).map(|i| start + i * step as u64).collect();
+            let mut a = block();
+            a.global_read(&addrs, bytes);
+            a.global_write(&addrs, bytes);
+            let mut b = block();
+            b.global_read_seq(start, lanes, step, bytes);
+            b.global_write_seq(start, lanes, step, bytes);
+            assert_eq!(
+                format!("{:?}", a.stats()),
+                format!("{:?}", b.stats()),
+                "start={start:#x} lanes={lanes} step={step} bytes={bytes}"
+            );
+        }
+        // Zero lanes is free, like an empty address slice.
+        let mut b = block();
+        b.global_read_seq(0x1000, 0, 4, 4);
+        b.global_write_seq(0x1000, 0, 4, 4);
+        assert_eq!(b.stats().warp_cycles, 0);
     }
 
     #[test]

@@ -8,10 +8,18 @@
 
 use crate::device::TRANSACTION_BYTES;
 
+/// Tag value of an empty way.
+const EMPTY: u64 = u64::MAX;
+
 /// Set-associative LRU cache over 128-byte lines.
+///
+/// Tags live in one flat array (`num_sets × ways`, a few kilobytes for
+/// the Kepler configuration), each set ordered LRU-first with `EMPTY`
+/// padding at the tail — probed once per distinct line of every
+/// read-only access, so the storage must stay pointer-chase-free.
 #[derive(Debug, Clone)]
 pub struct ReadOnlyCache {
-    sets: Vec<Vec<u64>>, // each set: line tags, most-recently-used last
+    tags: Vec<u64>,
     ways: usize,
     num_sets: usize,
 }
@@ -24,7 +32,7 @@ impl ReadOnlyCache {
         let ways = ways.clamp(1, lines);
         let num_sets = (lines / ways).max(1);
         Self {
-            sets: vec![Vec::with_capacity(ways); num_sets],
+            tags: vec![EMPTY; num_sets * ways],
             ways,
             num_sets,
         }
@@ -40,26 +48,30 @@ impl ReadOnlyCache {
     pub fn access(&mut self, addr: u64) -> bool {
         let line = addr / TRANSACTION_BYTES;
         let set = (line as usize) % self.num_sets;
-        let entries = &mut self.sets[set];
-        if let Some(pos) = entries.iter().position(|&t| t == line) {
-            // Move to MRU position.
-            let tag = entries.remove(pos);
-            entries.push(tag);
+        let ways = self.ways;
+        let entries = &mut self.tags[set * ways..(set + 1) * ways];
+        let len = entries.iter().position(|&t| t == EMPTY).unwrap_or(ways);
+        if let Some(pos) = entries[..len].iter().position(|&t| t == line) {
+            // Rotate the hit tag to the MRU position (end of the
+            // occupied prefix).
+            entries.copy_within(pos + 1..len, pos);
+            entries[len - 1] = line;
             true
         } else {
-            if entries.len() == self.ways {
-                entries.remove(0);
+            if len == ways {
+                // Evict LRU: shift everything down, install at MRU.
+                entries.copy_within(1..ways, 0);
+                entries[ways - 1] = line;
+            } else {
+                entries[len] = line;
             }
-            entries.push(line);
             false
         }
     }
 
     /// Drop all cached lines.
     pub fn clear(&mut self) {
-        for s in &mut self.sets {
-            s.clear();
-        }
+        self.tags.fill(EMPTY);
     }
 
     /// Cache capacity in lines.

@@ -41,26 +41,47 @@ pub fn launch<F>(device: &DeviceConfig, cfg: LaunchConfig, name: &str, kernel: F
 where
     F: Fn(&mut SimBlock) + Sync,
 {
+    launch_map(device, cfg, name, |block| kernel(block)).1
+}
+
+/// [`launch`] for kernels that produce a per-block value: each block's
+/// closure returns its result, and the launch hands them back in
+/// `block_id` order alongside the merged stats. This is how the hit
+/// pipeline gets per-block output out of a kernel without funnelling it
+/// through a mutex — results travel by value on the same path as the
+/// counters, and the deterministic ordering falls out for free.
+pub fn launch_map<T, F>(
+    device: &DeviceConfig,
+    cfg: LaunchConfig,
+    name: &str,
+    kernel: F,
+) -> (Vec<T>, KernelStats)
+where
+    T: Send,
+    F: Fn(&mut SimBlock) -> T + Sync,
+{
     // A device without a read-only data cache (e.g. the GTX 680 preset)
     // cannot honour the `const __restrict__` path regardless of config.
     let use_cache = cfg.use_readonly_cache && device.readonly_cache_bytes > 0;
-    let partials: Vec<KernelStats> = (0..cfg.blocks)
+    let partials: Vec<(T, KernelStats)> = (0..cfg.blocks)
         .into_par_iter()
         .map(|block_id| {
             let mut block = SimBlock::new(block_id, *device, use_cache);
-            kernel(&mut block);
-            block.stats
+            let out = kernel(&mut block);
+            (out, block.stats)
         })
         .collect();
 
     let mut stats = KernelStats::new(name);
-    for p in &partials {
-        stats.merge(p);
+    let mut outputs = Vec::with_capacity(partials.len());
+    for (out, p) in partials {
+        outputs.push(out);
+        stats.merge_owned(p);
     }
     stats.blocks = cfg.blocks;
     stats.warps_per_block = cfg.warps_per_block;
     stats.occupancy = device.occupancy(cfg.warps_per_block, cfg.shared_bytes_per_block);
-    stats
+    (outputs, stats)
 }
 
 /// A type-erased kernel body, so one sequence can mix distinct closures.
@@ -98,6 +119,19 @@ mod tests {
         assert_eq!(stats.warp_cycles, 16);
         assert_eq!(stats.blocks, 16);
         assert_eq!(stats.name, "count");
+    }
+
+    #[test]
+    fn launch_map_returns_results_in_block_order() {
+        let d = DeviceConfig::k20c();
+        let (outs, stats) = launch_map(&d, LaunchConfig::simple(8), "map", |b| {
+            b.instr(16);
+            b.block_id * 10
+        });
+        assert_eq!(outs, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+        assert_eq!(stats.blocks, 8);
+        assert_eq!(stats.warp_cycles, 8);
+        assert!(stats.divergence_overhead() > 0.0);
     }
 
     #[test]

@@ -37,9 +37,11 @@ pub mod memory;
 pub mod scan;
 pub mod sort;
 pub mod stats;
+pub mod workspace;
 
 pub use block::SimBlock;
 pub use device::{DeviceConfig, WARP_SIZE};
-pub use launch::{launch, launch_sequence, BoxedKernel, LaunchConfig};
+pub use launch::{launch, launch_map, launch_sequence, BoxedKernel, LaunchConfig};
 pub use memory::GlobalBuffer;
 pub use stats::KernelStats;
+pub use workspace::{BufferPool, KernelWorkspace};

@@ -7,6 +7,15 @@
 //! total element count, throughput improves as the number of segments
 //! grows*, because a merge sort over segments of length ℓ needs ⌈log₂ ℓ⌉
 //! passes and every pass streams the whole data set once.
+//!
+//! The *functional* sort is an LSD radix sort specialized for the packed
+//! 64-bit hit key (fixed-width integer, so comparisons buy nothing):
+//! 8-bit digits, passes whose digit is constant across the segment are
+//! skipped, and short segments fall back to an in-place insertion sort —
+//! the standard small-input tail of a radix sort. The *cost model* is
+//! untouched: simulated cycles, divergence, and load efficiency are
+//! computed from the segment shape exactly as before, so every figure
+//! binary reports bit-identical `KernelStats`.
 
 use crate::device::{DeviceConfig, TRANSACTION_BYTES};
 use crate::stats::KernelStats;
@@ -15,26 +24,98 @@ use crate::stats::KernelStats;
 /// ModernGPU's default tiles of 256 threads × 8 values).
 const TILE_ELEMENTS: usize = 2048;
 
-/// Sort every segment in place and return the modelled kernel stats.
+/// Segment length at or below which the radix sort falls back to an
+/// in-place insertion sort (no histogram, no scratch traffic). Bins hold
+/// at most `query words` hits and are usually far smaller, so most
+/// segments take this path.
+const RADIX_SMALL: usize = 32;
+
+/// Sort `keys` ascending with an LSD radix sort (8-bit digits, low to
+/// high), ping-ponging between `keys` and `scratch`. Passes where every
+/// key shares the digit are skipped — for packed hit keys the high
+/// sequence-id bytes are constant within a block, so typically only 3–4
+/// of the 8 passes run. `scratch` is only grown, never shrunk, so a
+/// pooled buffer amortizes to zero allocations.
+pub fn radix_sort_u64(keys: &mut [u64], scratch: &mut Vec<u64>) {
+    let n = keys.len();
+    if n <= RADIX_SMALL {
+        // Insertion sort: branch-cheap and allocation-free for the short
+        // segments that dominate bin contents.
+        for i in 1..n {
+            let k = keys[i];
+            let mut j = i;
+            while j > 0 && keys[j - 1] > k {
+                keys[j] = keys[j - 1];
+                j -= 1;
+            }
+            keys[j] = k;
+        }
+        return;
+    }
+
+    // One pre-scan finds the bytes that actually vary; only those pay a
+    // histogram + scatter pass. Packed hit keys share their high
+    // sequence-id bytes within a database block (and the low diagonal
+    // bits within a bin), so most of the 8 passes vanish here.
+    let first = keys[0];
+    let mut diff = 0u64;
+    for &k in keys.iter() {
+        diff |= k ^ first;
+    }
+    if diff == 0 {
+        return; // all keys equal
+    }
+
+    if scratch.len() < n {
+        scratch.resize(n, 0);
+    }
+    let mut in_keys = true;
+    for pass in 0..8 {
+        let shift = pass * 8;
+        if (diff >> shift) & 0xFF == 0 {
+            continue; // constant digit — nothing to reorder
+        }
+        let src: &[u64] = if in_keys { keys } else { &scratch[..n] };
+        let mut hist = [0usize; 256];
+        for &k in src {
+            hist[((k >> shift) & 0xFF) as usize] += 1;
+        }
+        let mut starts = [0usize; 256];
+        let mut sum = 0usize;
+        for (s, &c) in starts.iter_mut().zip(&hist) {
+            *s = sum;
+            sum += c;
+        }
+        // Scatter src → dst. Split borrows manually: src and dst are
+        // always distinct buffers.
+        if in_keys {
+            for &k in keys.iter() {
+                let d = ((k >> shift) & 0xFF) as usize;
+                scratch[starts[d]] = k;
+                starts[d] += 1;
+            }
+        } else {
+            for &k in scratch[..n].iter() {
+                let d = ((k >> shift) & 0xFF) as usize;
+                keys[starts[d]] = k;
+                starts[d] += 1;
+            }
+        }
+        in_keys = !in_keys;
+    }
+    if !in_keys {
+        keys.copy_from_slice(&scratch[..n]);
+    }
+}
+
+/// The ModernGPU cost model for one segmented sort over `n` total
+/// elements whose per-segment merge work sums to `work` element-passes:
 ///
-/// Cost model per merge pass over `n` total elements:
 /// * coalesced streaming read of all keys (fully efficient),
 /// * merge-scatter write whose locality degrades to ~2 lines per 32-lane
 ///   warp-write of 8-byte keys (the measured behaviour of merge scatter),
 /// * ~8 compare/move instructions per element, spread over 32 lanes.
-pub fn segmented_sort_u64(
-    device: &DeviceConfig,
-    segments: &mut [Vec<u64>],
-    name: &str,
-) -> KernelStats {
-    let n: usize = segments.iter().map(|s| s.len()).sum();
-    let max_seg = segments.iter().map(|s| s.len()).max().unwrap_or(0);
-
-    // Functional result.
-    for seg in segments.iter_mut() {
-        seg.sort_unstable();
-    }
-
+fn model_stats(device: &DeviceConfig, name: &str, n: usize, work: u64) -> KernelStats {
     let mut stats = KernelStats::new(name);
     let blocks = n.div_ceil(TILE_ELEMENTS).max(1) as u32;
     stats.blocks = blocks;
@@ -46,17 +127,6 @@ pub fn segmented_sort_u64(
     if n == 0 {
         return stats;
     }
-    let _ = max_seg;
-    // Merge passes are per segment: a segment of length ℓ needs
-    // ⌈log₂ ℓ⌉ passes, so for a fixed element count shorter segments mean
-    // less streamed work — the Fig. 14 effect. `work` is the total number
-    // of element-passes.
-    let work: u64 = segments
-        .iter()
-        .filter(|s| !s.is_empty())
-        .map(|s| s.len() as u64 * (s.len().max(2) as f64).log2().ceil() as u64)
-        .sum();
-
     let key_bytes = 8u64;
     {
         let n64 = work;
@@ -88,6 +158,60 @@ pub fn segmented_sort_u64(
     stats
 }
 
+/// Merge passes are per segment: a segment of length ℓ needs ⌈log₂ ℓ⌉
+/// passes, so for a fixed element count shorter segments mean less
+/// streamed work — the Fig. 14 effect. Returns the total number of
+/// element-passes.
+fn merge_work(seg_lens: impl Iterator<Item = usize>) -> u64 {
+    seg_lens
+        .filter(|&l| l > 0)
+        .map(|l| l as u64 * (l.max(2) as f64).log2().ceil() as u64)
+        .sum()
+}
+
+/// Sort every segment of a flat CSR arena in place and return the
+/// modelled kernel stats: `offsets[s]..offsets[s+1]` delimits segment `s`
+/// in `keys`. This is the hit pipeline's zero-copy entry point — the
+/// segments are slices of one contiguous buffer, and `scratch` (from a
+/// [`crate::workspace::KernelWorkspace`] pool) makes the steady state
+/// allocation-free.
+pub fn segmented_sort_flat(
+    device: &DeviceConfig,
+    keys: &mut [u64],
+    offsets: &[u32],
+    name: &str,
+    scratch: &mut Vec<u64>,
+) -> KernelStats {
+    debug_assert!(!offsets.is_empty(), "CSR offsets need a leading 0");
+    debug_assert_eq!(*offsets.last().unwrap() as usize, keys.len());
+
+    for w in offsets.windows(2) {
+        radix_sort_u64(&mut keys[w[0] as usize..w[1] as usize], scratch);
+    }
+
+    let work = merge_work(offsets.windows(2).map(|w| (w[1] - w[0]) as usize));
+    model_stats(device, name, keys.len(), work)
+}
+
+/// Sort every segment in place and return the modelled kernel stats —
+/// the ragged-segment convenience wrapper over the same radix sort and
+/// cost model as [`segmented_sort_flat`].
+pub fn segmented_sort_u64(
+    device: &DeviceConfig,
+    segments: &mut [Vec<u64>],
+    name: &str,
+) -> KernelStats {
+    let n: usize = segments.iter().map(|s| s.len()).sum();
+
+    let mut scratch = Vec::new();
+    for seg in segments.iter_mut() {
+        radix_sort_u64(seg, &mut scratch);
+    }
+
+    let work = merge_work(segments.iter().map(|s| s.len()));
+    model_stats(device, name, n, work)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +224,56 @@ mod tests {
         assert_eq!(segs[0], vec![1, 2, 3]);
         assert_eq!(segs[1], vec![7, 9]);
         assert!(segs[2].is_empty());
+    }
+
+    #[test]
+    fn flat_and_ragged_agree_on_result_and_stats() {
+        let d = DeviceConfig::k20c();
+        let segs: Vec<Vec<u64>> = vec![
+            (0..100u64).rev().map(|k| k << 40 | 7).collect(),
+            vec![],
+            vec![5, 5, 5, 1],
+            (0..4000u64).map(|k| (k * 2654435761) ^ 0xABCD).collect(),
+        ];
+        let mut flat: Vec<u64> = segs.iter().flatten().copied().collect();
+        let mut offsets = vec![0u32];
+        for s in &segs {
+            offsets.push(offsets.last().unwrap() + s.len() as u32);
+        }
+        let mut scratch = Vec::new();
+        let flat_stats = segmented_sort_flat(&d, &mut flat, &offsets, "s", &mut scratch);
+
+        let mut ragged = segs;
+        let ragged_stats = segmented_sort_u64(&d, &mut ragged, "s");
+        assert_eq!(flat_stats, ragged_stats);
+        let reflat: Vec<u64> = ragged.iter().flatten().copied().collect();
+        assert_eq!(flat, reflat);
+        for w in offsets.windows(2) {
+            assert!(flat[w[0] as usize..w[1] as usize]
+                .windows(2)
+                .all(|p| p[0] <= p[1]));
+        }
+    }
+
+    #[test]
+    fn radix_matches_sort_unstable() {
+        let mut scratch = Vec::new();
+        for n in [0usize, 1, 2, 31, 32, 33, 100, 5000] {
+            let mut keys: Vec<u64> = (0..n as u64)
+                .map(|k| (k.wrapping_mul(0x9E3779B97F4A7C15)) ^ (k << 3))
+                .collect();
+            let mut want = keys.clone();
+            want.sort_unstable();
+            radix_sort_u64(&mut keys, &mut scratch);
+            assert_eq!(keys, want, "n = {n}");
+        }
+        // Duplicates and already-sorted inputs.
+        let mut dup = vec![3u64; 100];
+        dup.extend(0..100u64);
+        let mut want = dup.clone();
+        want.sort_unstable();
+        radix_sort_u64(&mut dup, &mut scratch);
+        assert_eq!(dup, want);
     }
 
     #[test]
@@ -130,6 +304,9 @@ mod tests {
         assert_eq!(s.warp_cycles, 0);
         let mut segs = vec![Vec::<u64>::new(); 4];
         let s = segmented_sort_u64(&d, &mut segs, "empty2");
+        assert_eq!(s.warp_cycles, 0);
+        let mut scratch = Vec::new();
+        let s = segmented_sort_flat(&d, &mut [], &[0], "empty3", &mut scratch);
         assert_eq!(s.warp_cycles, 0);
     }
 

@@ -136,6 +136,44 @@ impl KernelStats {
         self.rocache_misses += other.rocache_misses;
     }
 
+    /// [`Self::merge`] taking the sub-execution by value: counter fields
+    /// that are heap-backed move into the accumulator instead of being
+    /// cloned (the move-don't-clone rule of the batch engine's hot path).
+    pub fn merge_owned(&mut self, other: KernelStats) {
+        let KernelStats {
+            name: _,
+            warp_cycles,
+            active_lane_cycles,
+            divergent_idle_cycles,
+            global_useful_bytes,
+            global_transacted_bytes,
+            global_transactions,
+            global_load_useful_bytes,
+            global_load_transacted_bytes,
+            shared_accesses,
+            atomic_ops,
+            atomic_conflicts,
+            rocache_hits,
+            rocache_misses,
+            occupancy: _,
+            blocks: _,
+            warps_per_block: _,
+        } = other;
+        self.warp_cycles += warp_cycles;
+        self.active_lane_cycles += active_lane_cycles;
+        self.divergent_idle_cycles += divergent_idle_cycles;
+        self.global_useful_bytes += global_useful_bytes;
+        self.global_transacted_bytes += global_transacted_bytes;
+        self.global_transactions += global_transactions;
+        self.global_load_useful_bytes += global_load_useful_bytes;
+        self.global_load_transacted_bytes += global_load_transacted_bytes;
+        self.shared_accesses += shared_accesses;
+        self.atomic_ops += atomic_ops;
+        self.atomic_conflicts += atomic_conflicts;
+        self.rocache_hits += rocache_hits;
+        self.rocache_misses += rocache_misses;
+    }
+
     /// Record one warp instruction with `active` of the 32 lanes enabled.
     /// (Used directly by tests; kernels go through [`crate::SimBlock`].)
     pub fn record_instr(&mut self, active: u32, cost: u64) {
@@ -207,6 +245,19 @@ mod tests {
         assert_eq!(a.warp_cycles, 10);
         assert_eq!(a.global_transactions, 5);
         assert!(a.divergence_overhead() > 0.0);
+    }
+
+    #[test]
+    fn merge_owned_matches_borrowed_merge() {
+        let mut b = KernelStats::new("b");
+        b.record_instr(8, 5);
+        b.global_transactions = 3;
+        b.rocache_hits = 2;
+        let mut borrowed = KernelStats::new("a");
+        borrowed.merge(&b);
+        let mut owned = KernelStats::new("a");
+        owned.merge_owned(b);
+        assert_eq!(borrowed, owned);
     }
 
     #[test]

@@ -190,6 +190,42 @@ proptest! {
             prop_assert_eq!(&o, s);
         }
     }
+
+    #[test]
+    fn radix_segmented_sort_matches_comparator_sort(
+        wide in prop::collection::vec(prop::collection::vec(any::<u64>(), 0..200), 0..6),
+        narrow in prop::collection::vec(prop::collection::vec(0u64..4, 0..200), 0..6),
+        dup in any::<u64>(),
+        dups in 0usize..100,
+    ) {
+        // Arbitrary segment shapes over the flat CSR entry point: empty
+        // segments, full-range keys (all 8 radix passes), near-constant
+        // keys (pass skipping), and one all-duplicate segment. Each
+        // segment must come out exactly as `sort_unstable` would leave
+        // it, and the modelled stats must agree with the ragged wrapper.
+        let mut segs = wide;
+        segs.extend(narrow);
+        segs.push(vec![dup; dups]);
+        let mut keys: Vec<u64> = segs.iter().flatten().copied().collect();
+        let mut offsets = vec![0u32];
+        for s in &segs {
+            offsets.push(offsets.last().unwrap() + s.len() as u32);
+        }
+        let device = gpu_sim::DeviceConfig::k20c();
+        let mut scratch = Vec::new();
+        let flat_stats = gpu_sim::sort::segmented_sort_flat(
+            &device, &mut keys, &offsets, "prop", &mut scratch,
+        );
+        for (orig, w) in segs.iter().zip(offsets.windows(2)) {
+            let got = &keys[w[0] as usize..w[1] as usize];
+            let mut want = orig.clone();
+            want.sort_unstable();
+            prop_assert_eq!(got, &want[..]);
+        }
+        let mut ragged = segs;
+        let ragged_stats = gpu_sim::sort::segmented_sort_u64(&device, &mut ragged, "prop");
+        prop_assert_eq!(flat_stats, ragged_stats);
+    }
 }
 
 proptest! {
