@@ -11,7 +11,7 @@ use cublastp::extension::extension_kernel;
 use cublastp::gpu_phase::run_gpu_phase;
 use cublastp::reorder::{assemble_kernel, filter_kernel, sort_kernel};
 use cublastp::{CuBlastpConfig, ExtensionStrategy};
-use gpu_sim::{DeviceConfig, KernelWorkspace};
+use gpu_sim::{DeviceConfig, FaultCtx, FaultInjector, KernelWorkspace};
 
 fn setup(seqs: usize) -> (DeviceQuery, DeviceDbBlock, SearchParams) {
     let q = make_query(517);
@@ -106,11 +106,22 @@ fn bench_full_gpu_phase(c: &mut Criterion) {
     let device = DeviceConfig::k20c();
     let cfg = CuBlastpConfig::default();
     let ws = KernelWorkspace::new();
+    let injector = FaultInjector::none();
     c.bench_function("gpu_phase_400seqs", |b| {
         b.iter(|| {
-            run_gpu_phase(&device, &cfg, &dq, &db, &p, &ws)
-                .counts
-                .extensions
+            run_gpu_phase(
+                &device,
+                &cfg,
+                &dq,
+                &db,
+                &p,
+                &ws,
+                &injector,
+                FaultCtx::default(),
+            )
+            .expect("no faults armed")
+            .counts
+            .extensions
         });
     });
 }

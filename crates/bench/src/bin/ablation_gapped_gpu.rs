@@ -30,7 +30,7 @@ fn main() {
 
     // Design A (the paper's): CPU gapped + traceback, overlapped.
     let searcher = CuBlastp::new(q.clone(), params, cfg, device, &db);
-    let a = searcher.search(&db);
+    let a = searcher.search(&db).expect("fault-free search");
     let a_total = a.timing.total_ms();
 
     // Design B (rejected): gapped extension as a GPU kernel, traceback on
@@ -48,7 +48,17 @@ fn main() {
         let seqs = db.block_sequences(block);
         let dev_block = DeviceDbBlock::upload(seqs, block.start);
         b_transfer_ms += device.transfer_ms(dev_block.upload_bytes());
-        let out = run_gpu_phase(&device, &cfg, &dq, &dev_block, &params, &ws);
+        let out = run_gpu_phase(
+            &device,
+            &cfg,
+            &dq,
+            &dev_block,
+            &params,
+            &ws,
+            &gpu_sim::FaultInjector::none(),
+            gpu_sim::FaultCtx::default(),
+        )
+        .expect("no faults armed");
         b_gpu_ms += out.gpu_ms(&device);
         let (gapped_by_seq, k_gapped) = gapped_kernel(
             &device,

@@ -25,7 +25,7 @@ fn main() {
     // thousands stress ranking exactly as large-database mpiBLAST runs do.
     let cluster_base = ClusterConfig::default();
 
-    let single = searcher.search(&db);
+    let single = searcher.search(&db).expect("fault-free search");
     let base_ms = single.timing.total_ms();
 
     let mut rows = Vec::new();
@@ -38,7 +38,8 @@ fn main() {
                 nodes,
                 ..cluster_base
             },
-        );
+        )
+        .expect("fault-free cluster search");
         let key = r.report.identity_key();
         match &reference {
             None => reference = Some(key),

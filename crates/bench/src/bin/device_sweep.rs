@@ -37,7 +37,9 @@ fn main() {
             use_readonly_cache: device.readonly_cache_bytes > 0,
             ..figure_config()
         };
-        let cu = CuBlastp::new(q.clone(), params, cfg, device, &db).search(&db);
+        let cu = CuBlastp::new(q.clone(), params, cfg, device, &db)
+            .search(&db)
+            .expect("fault-free search");
         let coarse = CudaBlastp::new(q.clone(), params, device, &db).search(&db);
         assert_eq!(cu.report.identity_key(), coarse.report.identity_key());
         let key = cu.report.identity_key();

@@ -30,7 +30,13 @@ fn main() {
     };
     let searcher = CuBlastp::new(q.clone(), params, cfg, DeviceConfig::k20c(), &db);
     let mut samples: Vec<f64> = (0..5)
-        .map(|_| searcher.search(&db).timing.cpu_wall_ms)
+        .map(|_| {
+            searcher
+                .search(&db)
+                .expect("fault-free search")
+                .timing
+                .cpu_wall_ms
+        })
         .collect();
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let base = samples[2];

@@ -60,7 +60,11 @@ fn main() {
             let before = flatten_count();
             let p = search_batch_parallel(qs, params, cfg, device, &db);
             let flattens = flatten_count() - before;
-            let db_blocks = s.per_query[0].block_timings.len();
+            let db_blocks = s.per_query[0]
+                .as_ref()
+                .expect("fault-free batch")
+                .block_timings
+                .len();
             rows.push(Row {
                 batch,
                 // Serial baseline and speedup come from the parallel run's

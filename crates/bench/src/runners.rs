@@ -75,7 +75,7 @@ pub fn run_cublastp_detailed(
     cfg: CuBlastpConfig,
 ) -> (CuBlastpResult, RunSummary) {
     let searcher = CuBlastp::new(q.clone(), params, cfg, DeviceConfig::k20c(), db);
-    let r = searcher.search(db);
+    let r = searcher.search(db).expect("benchmarks run fault-free");
     let summary = RunSummary {
         name: "cuBLASTP".into(),
         critical_ms: r.timing.critical_ms(),

@@ -89,6 +89,15 @@ pub fn is_standard(r: Residue) -> bool {
     (r as usize) < STANDARD_AA
 }
 
+/// Returns true if the ASCII byte is a letter of the scoring alphabet
+/// (case-insensitive). Strict input validation uses this to distinguish
+/// real alphabet letters from bytes the lenient [`encode`] would silently
+/// fold to `X` (`U`, `O`, `J`, digits, gap dashes, …).
+#[inline]
+pub fn is_alphabet_letter(b: u8) -> bool {
+    ENCODE_TABLE[b.to_ascii_uppercase() as usize] != RESIDUE_X || b.eq_ignore_ascii_case(&b'X')
+}
+
 const ENCODE_TABLE: [Residue; 256] = build_encode_table();
 
 const fn build_encode_table() -> [Residue; 256] {
@@ -123,6 +132,17 @@ mod tests {
     fn unknown_letters_become_x() {
         for b in [b'U', b'O', b'J', b'1', b' ', b'-'] {
             assert_eq!(encode(b), RESIDUE_X, "byte {b}");
+        }
+    }
+
+    #[test]
+    fn alphabet_letter_predicate() {
+        for &letter in &ALPHABET {
+            assert!(is_alphabet_letter(letter), "letter {}", letter as char);
+            assert!(is_alphabet_letter(letter.to_ascii_lowercase()));
+        }
+        for b in [b'U', b'O', b'J', b'1', b'-', b' ', b'\n', 0u8, 200u8] {
+            assert!(!is_alphabet_letter(b), "byte {b}");
         }
     }
 

@@ -5,7 +5,84 @@
 //! in a heavyweight parser dependency.
 
 use crate::sequence::Sequence;
+use std::fmt;
 use std::io::{self, BufRead, Write};
+
+/// What is wrong with a FASTA input (strict parsing only — the lenient
+/// [`read_fasta`] accepts all of these).
+#[derive(Debug)]
+pub enum FastaErrorKind {
+    /// A `>` header with no id token (e.g. a bare `>` or `> desc`).
+    EmptyId,
+    /// A residue line before any `>` header (the lenient parser invents an
+    /// `unnamed` record for these).
+    MissingHeader,
+    /// A residue byte outside the 24-letter scoring alphabet. The lenient
+    /// parser folds such bytes to `X`; strict mode reports them.
+    InvalidResidue {
+        /// The offending byte.
+        byte: u8,
+    },
+    /// The underlying reader failed.
+    Io(io::Error),
+}
+
+/// A strict-parse failure, locating the problem by record number and line
+/// number (both 1-based) so the user can fix the file.
+#[derive(Debug)]
+pub struct FastaError {
+    /// 1-based record number (0 when no record started yet, e.g. an I/O
+    /// error before the first header).
+    pub record: usize,
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: FastaErrorKind,
+}
+
+impl fmt::Display for FastaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            FastaErrorKind::EmptyId => {
+                write!(
+                    f,
+                    "record {} (line {}): empty sequence id",
+                    self.record, self.line
+                )
+            }
+            FastaErrorKind::MissingHeader => {
+                write!(f, "line {}: residues before any '>' header", self.line)
+            }
+            FastaErrorKind::InvalidResidue { byte } => {
+                if byte.is_ascii_graphic() {
+                    write!(
+                        f,
+                        "record {} (line {}): invalid residue {:?}",
+                        self.record, self.line, *byte as char
+                    )
+                } else {
+                    write!(
+                        f,
+                        "record {} (line {}): invalid residue byte 0x{byte:02x}",
+                        self.record, self.line
+                    )
+                }
+            }
+            FastaErrorKind::Io(e) => {
+                write!(f, "read failed near line {}: {e}", self.line)
+            }
+        }
+    }
+}
+
+impl std::error::Error for FastaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.kind {
+            FastaErrorKind::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// Parse FASTA records from a reader.
 ///
@@ -56,6 +133,88 @@ pub fn read_fasta<R: BufRead>(reader: R) -> io::Result<Vec<Sequence>> {
 /// Parse FASTA from an in-memory string.
 pub fn parse_fasta(text: &str) -> Vec<Sequence> {
     read_fasta(text.as_bytes()).expect("in-memory reads cannot fail")
+}
+
+/// Parse FASTA records, rejecting malformed input instead of silently
+/// repairing it the way [`read_fasta`] does.
+///
+/// Strict rules on top of the lenient grammar:
+/// * every header must carry a non-empty id token (a bare `>` — which the
+///   lenient parser admits as an empty-id record — is an error);
+/// * residue lines must contain only the 24 scoring-alphabet letters
+///   (either case); `U`/`O`/`J`, digits, gap dashes and other bytes the
+///   lenient parser folds to `X` are errors;
+/// * a residue line before any header is an error (the lenient parser
+///   invents an `unnamed` record).
+///
+/// Errors carry the 1-based record and line numbers of the first problem.
+pub fn read_fasta_strict<R: BufRead>(reader: R) -> Result<Vec<Sequence>, FastaError> {
+    let mut out: Vec<Sequence> = Vec::new();
+    let mut current: Option<Sequence> = None;
+    let mut record = 0usize;
+    for (line_idx, line) in reader.lines().enumerate() {
+        let line_no = line_idx + 1;
+        let line = line.map_err(|e| FastaError {
+            record,
+            line: line_no,
+            kind: FastaErrorKind::Io(e),
+        })?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            record += 1;
+            let mut parts = header.splitn(2, char::is_whitespace);
+            let id = parts.next().unwrap_or_default().to_string();
+            if id.is_empty() {
+                return Err(FastaError {
+                    record,
+                    line: line_no,
+                    kind: FastaErrorKind::EmptyId,
+                });
+            }
+            if let Some(seq) = current.take() {
+                out.push(seq);
+            }
+            let description = parts.next().unwrap_or_default().trim().to_string();
+            current = Some(Sequence {
+                id,
+                description,
+                residues: Vec::new(),
+            });
+        } else {
+            let Some(seq) = current.as_mut() else {
+                return Err(FastaError {
+                    record,
+                    line: line_no,
+                    kind: FastaErrorKind::MissingHeader,
+                });
+            };
+            for b in line.bytes() {
+                if b.is_ascii_whitespace() {
+                    continue;
+                }
+                if !crate::alphabet::is_alphabet_letter(b) {
+                    return Err(FastaError {
+                        record,
+                        line: line_no,
+                        kind: FastaErrorKind::InvalidResidue { byte: b },
+                    });
+                }
+                seq.residues.push(crate::alphabet::encode(b));
+            }
+        }
+    }
+    if let Some(seq) = current {
+        out.push(seq);
+    }
+    Ok(out)
+}
+
+/// [`read_fasta_strict`] over an in-memory string.
+pub fn parse_fasta_strict(text: &str) -> Result<Vec<Sequence>, FastaError> {
+    read_fasta_strict(text.as_bytes())
 }
 
 /// Write sequences in FASTA format, wrapping residue lines at `width`
@@ -158,5 +317,67 @@ mod tests {
         let original = vec![Sequence::from_bytes("a", b"MKV")];
         let parsed = parse_fasta(&to_fasta(&original, 0));
         assert_eq!(parsed[0].residues, original[0].residues);
+    }
+
+    #[test]
+    fn strict_accepts_what_lenient_accepts_when_clean() {
+        let text = ">a first\nMKV\nlaa\n>b\nARND*BZX\n";
+        let strict = parse_fasta_strict(text).expect("clean input");
+        let lenient = parse_fasta(text);
+        assert_eq!(strict.len(), lenient.len());
+        for (s, l) in strict.iter().zip(&lenient) {
+            assert_eq!(s.id, l.id);
+            assert_eq!(s.residues, l.residues);
+        }
+    }
+
+    #[test]
+    fn strict_rejects_empty_id_with_location() {
+        // The lenient parser admits this record with an empty id.
+        assert_eq!(parse_fasta(">\nMKV\n")[0].id, "");
+        let err = parse_fasta_strict(">ok\nMKV\n>\nARND\n").expect_err("bare >");
+        assert_eq!(err.record, 2);
+        assert_eq!(err.line, 3);
+        assert!(matches!(err.kind, FastaErrorKind::EmptyId));
+        assert!(err.to_string().contains("record 2"));
+        assert!(err.to_string().contains("line 3"));
+
+        // A header that is only a description also has no id.
+        let err = parse_fasta_strict("> described but unnamed\nMKV\n").expect_err("no id");
+        assert!(matches!(err.kind, FastaErrorKind::EmptyId));
+        assert_eq!(err.record, 1);
+    }
+
+    #[test]
+    fn strict_rejects_invalid_residues_with_location() {
+        for (text, bad, line) in [
+            (">a\nMKU\n", b'U', 2),            // selenocysteine: lenient folds to X
+            (">a\nMKV\n>b\nAR-ND\n", b'-', 4), // gap character
+            (">a\nMK1\n", b'1', 2),            // digit
+        ] {
+            let err = parse_fasta_strict(text).expect_err("invalid residue");
+            match err.kind {
+                FastaErrorKind::InvalidResidue { byte } => assert_eq!(byte, bad),
+                other => panic!("expected InvalidResidue, got {other:?}"),
+            }
+            assert_eq!(err.line, line, "input {text:?}");
+            assert!(err.to_string().contains(&format!("line {line}")));
+        }
+    }
+
+    #[test]
+    fn strict_rejects_headerless_bodies() {
+        let err = parse_fasta_strict("MKV\n").expect_err("no header");
+        assert!(matches!(err.kind, FastaErrorKind::MissingHeader));
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn strict_keeps_empty_records_and_blank_lines() {
+        let seqs = parse_fasta_strict(">empty\n>full desc\n\nMK V\n").expect("valid");
+        assert_eq!(seqs.len(), 2);
+        assert!(seqs[0].is_empty());
+        assert_eq!(seqs[1].to_ascii(), "MKV");
+        assert_eq!(seqs[1].description, "desc");
     }
 }

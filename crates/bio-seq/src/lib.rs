@@ -23,5 +23,6 @@ pub mod sequence;
 
 pub use alphabet::{Residue, ALPHABET, ALPHABET_SIZE};
 pub use db::{DbBlock, SequenceDb};
+pub use fasta::{parse_fasta_strict, read_fasta_strict, FastaError, FastaErrorKind};
 pub use generate::{DbPreset, DbSpec, SyntheticDb};
 pub use sequence::Sequence;

@@ -3,6 +3,7 @@
 
 use blast_core::SearchParams;
 use cublastp::{CuBlastpConfig, ExtensionStrategy};
+use gpu_sim::FaultPlan;
 
 /// Usage text.
 pub const USAGE: &str = "\
@@ -29,7 +30,17 @@ OPTIONS:
     --outfmt <name>      pairwise (default) | tab (BLAST outfmt-6 columns:
                          qseqid sseqid pident length mismatch gapopen
                          qstart qend sstart send evalue bitscore)
-    --help               this text";
+    --fault-plan <spec>  arm deterministic device faults (testing); spec is
+                         comma-separated site[@b<N>][@q<N>][:x<K>|:perm],
+                         sites: alloc launch h2d d2h h2d-timeout d2h-timeout
+                         workspace panic
+    --max-retries <n>    attempts per block before degrading (default 3)
+    --no-cpu-fallback    fail instead of re-running faulted blocks on CPU
+    --help               this text
+
+EXIT CODES:
+    0 success   2 config error   3 input error   4 device error
+    5 pipeline error";
 
 /// Output format of the report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +93,9 @@ pub struct Args {
     pub overlap: bool,
     pub alignments: bool,
     pub outfmt: OutFmt,
+    pub fault_plan: FaultPlan,
+    pub max_retries: u32,
+    pub cpu_fallback: bool,
     pub help: bool,
 }
 
@@ -102,6 +116,9 @@ impl Default for Args {
             overlap: true,
             alignments: false,
             outfmt: OutFmt::Pairwise,
+            fault_plan: FaultPlan::none(),
+            max_retries: 3,
+            cpu_fallback: true,
             help: false,
         }
     }
@@ -167,6 +184,16 @@ impl Args {
                         other => return Err(format!("unknown output format {other:?}")),
                     }
                 }
+                "--fault-plan" => {
+                    args.fault_plan = FaultPlan::parse(&value(&mut argv, "--fault-plan")?)
+                        .map_err(|e| format!("--fault-plan: {e}"))?
+                }
+                "--max-retries" => {
+                    args.max_retries = value(&mut argv, "--max-retries")?
+                        .parse()
+                        .map_err(|e| format!("--max-retries: {e}"))?
+                }
+                "--no-cpu-fallback" => args.cpu_fallback = false,
                 "--help" | "-h" => args.help = true,
                 other => return Err(format!("unknown option {other:?}")),
             }
@@ -176,6 +203,9 @@ impl Args {
         }
         if args.bins == 0 {
             return Err("--bins must be positive".into());
+        }
+        if args.max_retries == 0 {
+            return Err("--max-retries must be positive".into());
         }
         Ok(args)
     }
@@ -193,13 +223,16 @@ impl Args {
 
     /// cuBLASTP configuration implied by the flags.
     pub fn cublastp_config(&self) -> CuBlastpConfig {
-        CuBlastpConfig {
+        let mut config = CuBlastpConfig {
             extension: self.strategy,
             num_bins: self.bins,
             cpu_threads: self.threads,
             overlap: self.overlap,
             ..CuBlastpConfig::default()
-        }
+        };
+        config.recovery.max_attempts = self.max_retries;
+        config.recovery.cpu_fallback = self.cpu_fallback;
+        config
     }
 }
 
@@ -287,5 +320,32 @@ mod tests {
     #[test]
     fn help_skips_validation() {
         assert!(parse(&["--help"]).unwrap().help);
+    }
+
+    #[test]
+    fn fault_flags_parse_and_reach_the_config() {
+        let a = parse(&[
+            "--demo",
+            "--fault-plan",
+            "launch@b1:x1,alloc:perm",
+            "--max-retries",
+            "5",
+            "--no-cpu-fallback",
+        ])
+        .unwrap();
+        assert_eq!(a.fault_plan.specs().len(), 2);
+        assert_eq!(a.max_retries, 5);
+        assert!(!a.cpu_fallback);
+        let c = a.cublastp_config();
+        assert_eq!(c.recovery.max_attempts, 5);
+        assert!(!c.recovery.cpu_fallback);
+    }
+
+    #[test]
+    fn bad_fault_flags_rejected() {
+        assert!(parse(&["--demo", "--fault-plan", "warpcore:perm"]).is_err());
+        assert!(parse(&["--demo", "--fault-plan", "launch@z9"]).is_err());
+        assert!(parse(&["--demo", "--max-retries", "0"]).is_err());
+        assert!(parse(&["--demo", "--max-retries", "many"]).is_err());
     }
 }

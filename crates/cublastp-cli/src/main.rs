@@ -25,14 +25,34 @@ mod args;
 mod report;
 
 use args::{Args, Engine};
-use bio_seq::fasta::read_fasta;
+use bio_seq::fasta::read_fasta_strict;
 use bio_seq::{Sequence, SequenceDb};
 use blast_cpu::search::{search_parallel, search_sequential, SearchEngine};
-use cublastp::{CuBlastp, DeviceDbCache};
-use gpu_sim::DeviceConfig;
+use cublastp::{CuBlastp, DeviceDbCache, SearchError};
+use gpu_sim::{DeviceConfig, FaultInjector};
 use std::fs::File;
 use std::io::BufReader;
 use std::process::ExitCode;
+use std::sync::Arc;
+
+/// Exit code for configuration problems (bad flags, invalid geometry).
+const EXIT_CONFIG: u8 = 2;
+/// Exit code for input problems (missing or malformed FASTA).
+const EXIT_INPUT: u8 = 3;
+/// Exit code for device faults that survived retry and degradation.
+const EXIT_DEVICE: u8 = 4;
+/// Exit code for pipeline failures (worker panics, channel teardown).
+const EXIT_PIPELINE: u8 = 5;
+
+/// Map a search error to the exit code of its category.
+fn exit_code_for(err: &SearchError) -> u8 {
+    match err.category() {
+        "config" => EXIT_CONFIG,
+        "input" => EXIT_INPUT,
+        "device" => EXIT_DEVICE,
+        _ => EXIT_PIPELINE,
+    }
+}
 
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
@@ -40,7 +60,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}\n");
             eprintln!("{}", args::USAGE);
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_CONFIG);
         }
     };
     if args.help {
@@ -52,7 +72,7 @@ fn main() -> ExitCode {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(EXIT_INPUT);
         }
     };
 
@@ -77,25 +97,43 @@ fn main() -> ExitCode {
     // (only the first is charged the upload). The CPU worker pool is the
     // process-wide shared one, built on first use.
     let dev_cache = DeviceDbCache::new();
+    let injector = Arc::new(FaultInjector::new(args.fault_plan.clone()));
     let t_batch = std::time::Instant::now();
+    let mut failures: Vec<(usize, String, SearchError)> = Vec::new();
     for (i, query) in queries.iter().enumerate() {
-        run_query(query, i, &db, &args, &dev_cache);
+        if let Err(e) = run_query(query, i, &db, &args, &dev_cache, &injector) {
+            eprintln!("error: query {} ({}): {e}", i + 1, query.id);
+            failures.push((i, query.id.clone(), e));
+        }
     }
     let batch_wall = t_batch.elapsed();
 
     let summary = format!(
-        "# batch: {} quer{} in {:.2} ms ({:.2} queries/sec)",
+        "# batch: {} quer{} in {:.2} ms ({:.2} queries/sec), {} ok, {} failed",
         queries.len(),
         if queries.len() == 1 { "y" } else { "ies" },
         batch_wall.as_secs_f64() * 1e3,
         queries.len() as f64 / batch_wall.as_secs_f64().max(1e-12),
+        queries.len() - failures.len(),
+        failures.len(),
     );
     if args.outfmt == args::OutFmt::Tab {
         eprintln!("{summary}");
     } else {
         out!("{summary}");
     }
-    ExitCode::SUCCESS
+    for (i, id, err) in &failures {
+        let row = format!("# query {} ({id}): {} error: {err}", i + 1, err.category());
+        if args.outfmt == args::OutFmt::Tab {
+            eprintln!("{row}");
+        } else {
+            out!("{row}");
+        }
+    }
+    match failures.first() {
+        Some((_, _, err)) => ExitCode::from(exit_code_for(err)),
+        None => ExitCode::SUCCESS,
+    }
 }
 
 fn load_inputs(args: &Args) -> Result<(Vec<Sequence>, SequenceDb), String> {
@@ -113,14 +151,14 @@ fn load_inputs(args: &Args) -> Result<(Vec<Sequence>, SequenceDb), String> {
     }
     let qpath = args.query.as_ref().ok_or("missing --query <fasta>")?;
     let dpath = args.db.as_ref().ok_or("missing --db <fasta>")?;
-    let queries = read_fasta(BufReader::new(
+    let queries = read_fasta_strict(BufReader::new(
         File::open(qpath).map_err(|e| format!("{qpath}: {e}"))?,
     ))
     .map_err(|e| format!("{qpath}: {e}"))?;
     if queries.is_empty() {
         return Err(format!("{qpath}: no sequences"));
     }
-    let subjects = read_fasta(BufReader::new(
+    let subjects = read_fasta_strict(BufReader::new(
         File::open(dpath).map_err(|e| format!("{dpath}: {e}"))?,
     ))
     .map_err(|e| format!("{dpath}: {e}"))?;
@@ -136,16 +174,20 @@ fn run_query(
     db: &SequenceDb,
     args: &Args,
     dev_cache: &DeviceDbCache,
-) {
+    injector: &Arc<FaultInjector>,
+) -> Result<(), SearchError> {
     let params = args.params();
     let t0 = std::time::Instant::now();
     let (report, telemetry) = match args.engine {
         Engine::CuBlastp => {
             let config = args.cublastp_config();
-            let searcher = CuBlastp::new(query.clone(), params, config, DeviceConfig::k20c(), db);
+            let mut searcher =
+                CuBlastp::new(query.clone(), params, config, DeviceConfig::k20c(), db);
+            searcher.injector = Arc::clone(injector);
+            searcher.stream_index = index as u32;
             let dev_db = dev_cache.get(db, config.db_block_size);
-            let r = searcher.search_resident(db, &dev_db, index == 0);
-            let telemetry = format!(
+            let r = searcher.search_resident(db, &dev_db, index == 0)?;
+            let mut telemetry = format!(
                 "hits {} → filtered {} ({:.1}%) → extensions {}; simulated GPU {:.2} ms, overlapped total {:.2} ms",
                 r.counts.hits,
                 r.counts.filtered,
@@ -154,6 +196,21 @@ fn run_query(
                 r.timing.gpu_ms,
                 r.timing.total_ms(),
             );
+            if !r.recovery.is_clean() {
+                telemetry.push_str(&format!(
+                    "; recovered from {} fault{} ({} retr{}, {} block{} degraded to CPU)",
+                    r.recovery.faults,
+                    if r.recovery.faults == 1 { "" } else { "s" },
+                    r.recovery.retries,
+                    if r.recovery.retries == 1 { "y" } else { "ies" },
+                    r.recovery.degraded_blocks,
+                    if r.recovery.degraded_blocks == 1 {
+                        ""
+                    } else {
+                        "s"
+                    },
+                ));
+            }
             (r.report, telemetry)
         }
         Engine::Cpu => {
@@ -185,4 +242,5 @@ fn run_query(
     };
     let wall = t0.elapsed();
     report::print(query, db, &report, args, wall, &telemetry);
+    Ok(())
 }

@@ -44,7 +44,7 @@ fn unknown_flag_exits_nonzero_with_usage_on_stderr() {
 #[test]
 fn missing_inputs_is_an_error() {
     let out = run(&[]);
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8(out.stderr)
         .unwrap()
         .contains("need --query and --db"));
@@ -53,10 +53,88 @@ fn missing_inputs_is_an_error() {
 #[test]
 fn nonexistent_file_reports_path() {
     let out = run(&["--query", "/nonexistent/q.fa", "--db", "/nonexistent/d.fa"]);
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(3));
     assert!(String::from_utf8(out.stderr)
         .unwrap()
         .contains("/nonexistent/q.fa"));
+}
+
+#[test]
+fn malformed_fault_plan_is_a_config_error() {
+    let out = run(&["--demo", "--fault-plan", "flux-capacitor:perm"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("--fault-plan"));
+}
+
+#[test]
+fn invalid_residue_in_fasta_is_an_input_error_with_location() {
+    let dir = std::env::temp_dir().join(format!("cublastp_cli_badres_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let q = dir.join("q.fa");
+    let d = dir.join("d.fa");
+    write_fasta(&q, &[("probe", CORE)]);
+    std::fs::write(&d, ">subject\nMKUV\n").unwrap();
+    let out = run(&["--query", q.to_str().unwrap(), "--db", d.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(3));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("invalid residue 'U'"), "{err}");
+    assert!(err.contains("record 1 (line 2)"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn transient_fault_recovers_and_exits_zero() {
+    let out = run(&["--demo", "--fault-plan", "launch:x1"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("recovered from 1 fault"), "{text}");
+    assert!(text.contains("1 retry"), "{text}");
+}
+
+#[test]
+fn permanent_fault_degrades_to_cpu_and_exits_zero() {
+    let out = run(&["--demo", "--fault-plan", "alloc:perm"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("degraded to CPU"), "{text}");
+}
+
+#[test]
+fn unrecoverable_device_fault_exits_four() {
+    let out = run(&[
+        "--demo",
+        "--fault-plan",
+        "d2h:perm",
+        "--max-retries",
+        "2",
+        "--no-cpu-fallback",
+    ]);
+    assert_eq!(out.status.code(), Some(4));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("device"), "{err}");
+    assert!(
+        err.contains("2 attempts") || err.contains("after 2"),
+        "{err}"
+    );
+}
+
+#[test]
+fn injected_panic_exits_five_with_summary_row() {
+    let out = run(&["--demo", "--fault-plan", "panic:perm"]);
+    assert_eq!(out.status.code(), Some(5));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("0 ok, 1 failed"), "{text}");
+    assert!(text.contains("pipeline error"), "{text}");
 }
 
 #[test]

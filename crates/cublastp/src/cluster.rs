@@ -17,6 +17,7 @@
 //! grows, eventually bounding speedup — the `cluster_scaling` bench
 //! plots the crossover.
 
+use crate::error::SearchError;
 use crate::search::{CuBlastp, CuBlastpResult};
 use bio_seq::SequenceDb;
 use blast_cpu::report::SearchReport;
@@ -116,11 +117,15 @@ pub fn merge_tree_ms(per_node_hits: &[usize], cfg: &ClusterConfig, max_reported:
 /// The searcher must have been built against the **full** database so
 /// cutoffs and e-values use global statistics (what mpiBLAST distributes
 /// to its workers); this function shards internally.
+///
+/// A node whose shard search fails (device fault that survived recovery)
+/// fails the whole cluster search — per-node partial results would break
+/// the identical-to-single-node merge contract.
 pub fn search_cluster(
     searcher: &CuBlastp,
     db: &SequenceDb,
     cluster: &ClusterConfig,
-) -> ClusterResult {
+) -> Result<ClusterResult, SearchError> {
     let nodes = cluster.nodes.max(1);
     let shard_size = db.len().div_ceil(nodes).max(1);
 
@@ -140,7 +145,7 @@ pub fn search_cluster(
             format!("{}:{node}", db.name()),
             db.sequences()[start..end].to_vec(),
         );
-        let r: CuBlastpResult = searcher.search(&shard);
+        let r: CuBlastpResult = searcher.search(&shard)?;
         per_node_ms.push(r.timing.total_ms());
         per_node_hits.push(r.report.hits.len());
         // Remap shard-local subject indices to global database indices.
@@ -154,13 +159,13 @@ pub fn search_cluster(
     let merge_ms = merge_tree_ms(&per_node_hits, cluster, searcher.engine.params.max_reported);
     let search_ms = per_node_ms.iter().copied().fold(0.0, f64::max);
 
-    ClusterResult {
+    Ok(ClusterResult {
         report,
         per_node_ms,
         per_node_hits,
         search_ms,
         merge_ms,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -194,13 +199,13 @@ mod tests {
     #[test]
     fn cluster_output_identical_to_single_node() {
         let (searcher, db) = workload();
-        let single = searcher.search(&db);
+        let single = searcher.search(&db).expect("fault-free search");
         for nodes in [1usize, 2, 3, 5, 8] {
             let cluster = ClusterConfig {
                 nodes,
                 ..ClusterConfig::default()
             };
-            let r = search_cluster(&searcher, &db, &cluster);
+            let r = search_cluster(&searcher, &db, &cluster).expect("fault-free cluster");
             assert_eq!(
                 r.report.identity_key(),
                 single.report.identity_key(),
@@ -222,6 +227,7 @@ mod tests {
                     ..ClusterConfig::default()
                 },
             )
+            .expect("fault-free cluster")
         };
         let one = run(1);
         let eight = run(8);
@@ -253,8 +259,9 @@ mod tests {
                 nodes: 7,
                 ..ClusterConfig::default()
             },
-        );
-        let single = searcher.search(&db);
+        )
+        .expect("fault-free cluster");
+        let single = searcher.search(&db).expect("fault-free search");
         assert_eq!(r.report.identity_key(), single.report.identity_key());
     }
 }

@@ -5,6 +5,7 @@
 //! (Fig. 16), and the scoring-matrix placement (Fig. 15); plus the
 //! read-only-cache toggle of Fig. 17. All of them live here.
 
+use crate::error::SearchError;
 use serde::{Deserialize, Serialize};
 
 /// Which fine-grained ungapped-extension kernel to run (§3.4, Fig. 9).
@@ -43,6 +44,36 @@ pub const PSSM_SHARED_LIMIT: usize = 768;
 /// depress occupancy.
 pub const AUTO_SCORING_CROSSOVER: usize = 320;
 
+/// How the pipeline reacts to device faults (see DESIGN.md §3.3).
+///
+/// Transient faults (kernel-launch failures, transfer errors/timeouts)
+/// are retried up to [`max_attempts`](Self::max_attempts) times with a
+/// linear backoff and a [`gpu_sim::KernelWorkspace`] reset between
+/// attempts. Permanent faults (allocation OOM, pool exhaustion) — or
+/// transient ones that exhaust the budget — degrade to the `blast-cpu`
+/// reference path for that database block when
+/// [`cpu_fallback`](Self::cpu_fallback) is on, producing bit-identical
+/// results; otherwise the search fails with a `SearchError::Device`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryPolicy {
+    /// Total launch attempts per block (1 = no retry). Must be ≥ 1.
+    pub max_attempts: u32,
+    /// Milliseconds of backoff before retry `n` (scaled by `n`).
+    pub backoff_ms: f64,
+    /// Re-run permanently failed blocks on the CPU reference path.
+    pub cpu_fallback: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            backoff_ms: 0.1,
+            cpu_fallback: true,
+        }
+    }
+}
+
 /// Full cuBLASTP configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CuBlastpConfig {
@@ -66,6 +97,8 @@ pub struct CuBlastpConfig {
     pub cpu_threads: usize,
     /// Overlap CPU phases and transfers with GPU kernels (Fig. 12).
     pub overlap: bool,
+    /// Device-fault recovery policy (retry budget, backoff, degradation).
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for CuBlastpConfig {
@@ -81,6 +114,7 @@ impl Default for CuBlastpConfig {
             db_block_size: 1024,
             cpu_threads: 4,
             overlap: true,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -120,6 +154,42 @@ impl CuBlastpConfig {
     pub fn pssm_in_global(&self, query_len: usize) -> bool {
         matches!(self.resolved_scoring(query_len), ScoringMode::Pssm)
             && query_len > PSSM_SHARED_LIMIT
+    }
+
+    /// Reject configurations the pipeline cannot run. Checked once at the
+    /// top of every search, so downstream layers can rely on nonzero
+    /// geometry instead of panicking on division by zero.
+    pub fn validate(&self) -> Result<(), SearchError> {
+        if self.num_bins == 0 {
+            return Err(SearchError::config("num_bins must be > 0"));
+        }
+        if self.extension == ExtensionStrategy::Window && self.window_size == 0 {
+            return Err(SearchError::config(
+                "window_size must be > 0 for the window extension strategy",
+            ));
+        }
+        if self.warps_per_block == 0 || self.grid_blocks == 0 {
+            return Err(SearchError::config(
+                "kernel geometry (warps_per_block, grid_blocks) must be > 0",
+            ));
+        }
+        if self.db_block_size == 0 {
+            return Err(SearchError::config("db_block_size must be > 0"));
+        }
+        if self.cpu_threads == 0 {
+            return Err(SearchError::config("cpu_threads must be > 0"));
+        }
+        if self.recovery.max_attempts == 0 {
+            return Err(SearchError::config(
+                "recovery.max_attempts must be >= 1 (1 = no retry)",
+            ));
+        }
+        if !self.recovery.backoff_ms.is_finite() || self.recovery.backoff_ms < 0.0 {
+            return Err(SearchError::config(
+                "recovery.backoff_ms must be finite and >= 0",
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -168,6 +238,50 @@ mod tests {
             c.resolved_scoring(AUTO_SCORING_CROSSOVER + 1),
             ScoringMode::Blosum62
         );
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_rejects_zero_geometry() {
+        assert!(CuBlastpConfig::default().validate().is_ok());
+        for bad in [
+            CuBlastpConfig {
+                num_bins: 0,
+                ..Default::default()
+            },
+            CuBlastpConfig {
+                window_size: 0,
+                ..Default::default()
+            },
+            CuBlastpConfig {
+                grid_blocks: 0,
+                ..Default::default()
+            },
+            CuBlastpConfig {
+                db_block_size: 0,
+                ..Default::default()
+            },
+            CuBlastpConfig {
+                cpu_threads: 0,
+                ..Default::default()
+            },
+            CuBlastpConfig {
+                recovery: RecoveryPolicy {
+                    max_attempts: 0,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        ] {
+            let err = bad.validate().expect_err("must reject");
+            assert_eq!(err.category(), "config");
+        }
+        // Zero window size is fine off the window strategy.
+        let c = CuBlastpConfig {
+            extension: ExtensionStrategy::Diagonal,
+            window_size: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Typed errors for the search pipeline.
+//!
+//! The pipeline distinguishes four failure categories, mirrored in the
+//! CLI's exit codes: bad *configuration* (caller bug — reject before any
+//! work), bad *input* (malformed query — fail that query alone), *device*
+//! faults that survived the recovery policy (bounded retry, then CPU
+//! degradation), and *pipeline* faults (a worker thread panicked or died).
+//! Each variant carries enough context to print a one-line diagnostic
+//! naming the failing site — no backtrace required to know what happened.
+
+use gpu_sim::DeviceError;
+use std::fmt;
+
+/// A failure inside the CPU–GPU overlap executor or batch scheduler: a
+/// worker panicked or disappeared mid-stream. The executor converts the
+/// panic into this error instead of poisoning its channel and hanging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// A pipeline worker panicked; `side` names the stage ("gpu producer",
+    /// "cpu consumer", "batch query") and `payload` is the stringified
+    /// panic message.
+    WorkerPanicked {
+        /// Which pipeline stage the panic escaped from.
+        side: &'static str,
+        /// The panic payload, stringified (best effort).
+        payload: String,
+    },
+    /// A pipeline channel disconnected before the stream completed — the
+    /// peer thread died without reporting a panic.
+    ChannelClosed {
+        /// Which stage observed the disconnect.
+        side: &'static str,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::WorkerPanicked { side, payload } => {
+                write!(f, "{side} worker panicked: {payload}")
+            }
+            PipelineError::ChannelClosed { side } => {
+                write!(f, "pipeline channel closed early ({side} side)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Stringify a panic payload from [`std::panic::catch_unwind`] — the two
+/// common shapes (`&str` and `String`) verbatim, anything else opaquely.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Top-level error of a search: what failed and in which category.
+///
+/// [`SearchError::category`] gives the stable class name the CLI maps to
+/// exit codes (`config` → 2, `input` → 3, `device` → 4, `pipeline` → 5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchError {
+    /// Invalid search configuration (e.g. zero block size, retry budget
+    /// of zero with fallback disabled, engine/device block-size mismatch).
+    Config {
+        /// What is wrong with the configuration.
+        message: String,
+    },
+    /// Invalid input (empty query, residues outside the alphabet, …).
+    Input {
+        /// What is wrong with the input.
+        message: String,
+    },
+    /// A device fault that survived the full recovery policy — retries
+    /// exhausted and CPU degradation disabled or impossible.
+    Device {
+        /// The final device error.
+        source: DeviceError,
+        /// Database block the fault occurred on.
+        block: u32,
+        /// Launch attempts made before giving up.
+        attempts: u32,
+    },
+    /// The overlap executor or batch scheduler failed.
+    Pipeline(PipelineError),
+}
+
+impl SearchError {
+    /// Stable category label ("config" | "input" | "device" | "pipeline").
+    pub fn category(&self) -> &'static str {
+        match self {
+            SearchError::Config { .. } => "config",
+            SearchError::Input { .. } => "input",
+            SearchError::Device { .. } => "device",
+            SearchError::Pipeline(_) => "pipeline",
+        }
+    }
+
+    /// Convenience constructor for configuration errors.
+    pub fn config(message: impl Into<String>) -> Self {
+        SearchError::Config {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for input errors.
+    pub fn input(message: impl Into<String>) -> Self {
+        SearchError::Input {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SearchError::Config { message } => write!(f, "invalid configuration: {message}"),
+            SearchError::Input { message } => write!(f, "invalid input: {message}"),
+            SearchError::Device {
+                source,
+                block,
+                attempts,
+            } => write!(
+                f,
+                "device fault on block {block} after {attempts} attempt(s): {source}"
+            ),
+            SearchError::Pipeline(e) => write!(f, "pipeline failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SearchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SearchError::Device { source, .. } => Some(source),
+            SearchError::Pipeline(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<PipelineError> for SearchError {
+    fn from(e: PipelineError) -> Self {
+        SearchError::Pipeline(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_are_stable() {
+        assert_eq!(SearchError::config("x").category(), "config");
+        assert_eq!(SearchError::input("x").category(), "input");
+        assert_eq!(
+            SearchError::Device {
+                source: DeviceError::TransferFailed {
+                    dir: gpu_sim::TransferDir::DeviceToHost
+                },
+                block: 2,
+                attempts: 3,
+            }
+            .category(),
+            "device"
+        );
+        assert_eq!(
+            SearchError::from(PipelineError::ChannelClosed { side: "cpu" }).category(),
+            "pipeline"
+        );
+    }
+
+    #[test]
+    fn display_is_one_line_with_context() {
+        let e = SearchError::Device {
+            source: DeviceError::LaunchFailed {
+                kernel: "hit_sorting".into(),
+            },
+            block: 5,
+            attempts: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("block 5") && s.contains("hit_sorting") && s.contains("3 attempt"));
+        assert!(!s.contains('\n'));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn panic_messages_stringify_common_payloads() {
+        let caught = std::panic::catch_unwind(|| panic!("boom {}", 7)).expect_err("must panic");
+        assert_eq!(panic_message(caught.as_ref()), "boom 7");
+        let caught = std::panic::catch_unwind(|| panic!("static")).expect_err("must panic");
+        assert_eq!(panic_message(caught.as_ref()), "static");
+    }
+}

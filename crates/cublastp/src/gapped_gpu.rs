@@ -139,7 +139,10 @@ mod tests {
             &db,
             &p,
             &gpu_sim::KernelWorkspace::new(),
-        );
+            &gpu_sim::FaultInjector::none(),
+            gpu_sim::FaultCtx::default(),
+        )
+        .expect("no faults armed");
         (dq, db, p, out.extensions)
     }
 

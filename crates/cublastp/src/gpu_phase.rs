@@ -9,7 +9,9 @@ use crate::extension::{extension_kernel, ExtensionResult};
 use crate::reorder::{assemble_kernel, sort_kernel};
 use blast_core::SearchParams;
 use blast_cpu::ungapped::UngappedExt;
-use gpu_sim::{DeviceConfig, KernelStats, KernelWorkspace};
+use gpu_sim::{
+    DeviceConfig, DeviceError, FaultCtx, FaultInjector, FaultSite, KernelStats, KernelWorkspace,
+};
 
 /// Counters describing what the block produced.
 #[derive(Debug, Clone, Copy, Default)]
@@ -97,6 +99,7 @@ impl ExtensionsCsr {
 }
 
 /// Output of the GPU phase for one database block.
+#[derive(Debug)]
 pub struct GpuPhaseOutput {
     /// Extensions grouped by block-local subject id (CSR over one flat
     /// buffer; subjects without extensions have empty spans).
@@ -127,6 +130,14 @@ impl GpuPhaseOutput {
 /// Hit-path scratch (arena pages, sort ping-pong, compaction buffers)
 /// comes from `ws` and is returned to it before the call ends, so a warm
 /// workspace makes the whole phase allocation-free on the host.
+///
+/// The `injector` is consulted at every fault site a real driver could
+/// fail at — scratch allocation, workspace checkout, each transfer leg,
+/// and each of the five kernel launches. With a disarmed injector every
+/// check is two relaxed atomic loads and the phase is infallible in
+/// practice; an armed one returns the planned [`DeviceError`] so the
+/// recovery layer above can retry or degrade.
+#[allow(clippy::too_many_arguments)]
 pub fn run_gpu_phase(
     device: &DeviceConfig,
     cfg: &CuBlastpConfig,
@@ -134,20 +145,34 @@ pub fn run_gpu_phase(
     db: &DeviceDbBlock,
     params: &SearchParams,
     ws: &KernelWorkspace,
-) -> GpuPhaseOutput {
+    injector: &FaultInjector,
+    ctx: FaultCtx,
+) -> Result<GpuPhaseOutput, DeviceError> {
+    // The block's device footprint: scratch arena, workspace checkout,
+    // and the H2D leg that made `db`/`query` resident (Fig. 12 upload).
+    injector.check(FaultSite::DeviceAlloc, ctx, "block scratch arena")?;
+    injector.check(FaultSite::Workspace, ctx, "hit-arena pools")?;
+    injector.check(FaultSite::H2d, ctx, "db block upload")?;
+    injector.check(FaultSite::H2dTimeout, ctx, "db block upload")?;
+    injector.check(FaultSite::HostPanic, ctx, "gpu phase")?;
+
     // Kernel 1: warp-based hit detection with binning (Algorithm 2).
+    injector.check(FaultSite::KernelLaunch, ctx, "hit_detection")?;
     let (binned, k_bin) = binning_kernel(device, cfg, query, db, ws);
     let hits = binned.total_hits;
 
     // Kernel 2: assemble bins into a contiguous array (Fig. 6a) — the
     // arena moves, only the offsets are collapsed.
+    injector.check(FaultSite::KernelLaunch, ctx, "hit_assembling")?;
     let (mut assembled, k_asm) = assemble_kernel(device, cfg, binned, ws);
 
     // Kernel 3: segmented sort on the packed 64-bit keys (Fig. 6b, Fig. 7).
+    injector.check(FaultSite::KernelLaunch, ctx, "hit_sorting")?;
     let k_sort = sort_kernel(device, &mut assembled, ws);
 
     // Kernel 4: filter non-extendable hits (Fig. 6c); in one-hit mode the
     // pass degenerates to compaction.
+    injector.check(FaultSite::KernelLaunch, ctx, "hit_filtering")?;
     let (filtered, k_filter) = crate::reorder::filter_kernel_mode(
         device,
         cfg,
@@ -160,6 +185,7 @@ pub fn run_gpu_phase(
     let n_filtered = filtered.hits.len() as u64;
 
     // Kernel 5: fine-grained ungapped extension (Algorithms 3–5).
+    injector.check(FaultSite::KernelLaunch, ctx, "ungapped_extension")?;
     let ExtensionResult {
         extensions,
         stats: k_ext,
@@ -172,7 +198,11 @@ pub fn run_gpu_phase(
 
     let download_bytes = n_ext * std::mem::size_of::<UngappedExt>() as u64;
 
-    GpuPhaseOutput {
+    // D2H leg: the extension records the CPU tail consumes (Fig. 12).
+    injector.check(FaultSite::D2h, ctx, "extension download")?;
+    injector.check(FaultSite::D2hTimeout, ctx, "extension download")?;
+
+    Ok(GpuPhaseOutput {
         extensions,
         kernels: vec![k_bin, k_asm, k_sort, k_filter, k_ext],
         counts: GpuPhaseCounts {
@@ -182,7 +212,7 @@ pub fn run_gpu_phase(
             redundant,
         },
         download_bytes,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -223,7 +253,10 @@ mod tests {
             &db,
             &p,
             &KernelWorkspace::new(),
-        );
+            &FaultInjector::none(),
+            FaultCtx::default(),
+        )
+        .expect("no faults armed");
         assert_eq!(out.kernels.len(), 5);
         assert!(out.kernel("hit_detection").is_some());
         assert!(out.kernel("hit_sorting").is_some());
@@ -249,7 +282,10 @@ mod tests {
             &db,
             &p,
             &KernelWorkspace::new(),
-        );
+            &FaultInjector::none(),
+            FaultCtx::default(),
+        )
+        .expect("no faults armed");
         let ratio = out.counts.survival_ratio();
         assert!(
             ratio < 0.35,
@@ -275,7 +311,10 @@ mod tests {
             &db,
             &p,
             &KernelWorkspace::new(),
-        );
+            &FaultInjector::none(),
+            FaultCtx::default(),
+        )
+        .expect("no faults armed");
 
         let mut cpu_exts: Vec<Vec<UngappedExt>> = vec![Vec::new(); db.num_seqs()];
         let mut scratch = blast_cpu::hit::DiagonalScratch::new(0);
@@ -303,6 +342,87 @@ mod tests {
             assert_eq!(out.extensions.seq(i), v.as_slice(), "subject {i}");
         }
         assert_eq!(out.counts.hits, stats.hits);
+    }
+
+    #[test]
+    fn every_device_fault_site_surfaces_as_err() {
+        use gpu_sim::{FaultPlan, FaultSpec};
+        let (dq, db, p) = setup();
+        let cfg = CuBlastpConfig {
+            grid_blocks: 3,
+            ..Default::default()
+        };
+        for site in FaultSite::DEVICE {
+            let inj = FaultInjector::new(FaultPlan::none().with(FaultSpec::once(site)));
+            let err = run_gpu_phase(
+                &DeviceConfig::k20c(),
+                &cfg,
+                &dq,
+                &db,
+                &p,
+                &KernelWorkspace::new(),
+                &inj,
+                FaultCtx::block(0),
+            )
+            .expect_err("armed fault must surface");
+            assert_eq!(inj.injected(), 1, "site {}", site.name());
+            // Second run: the transient single-shot fault has cleared.
+            run_gpu_phase(
+                &DeviceConfig::k20c(),
+                &cfg,
+                &dq,
+                &db,
+                &p,
+                &KernelWorkspace::new(),
+                &inj,
+                FaultCtx::block(0),
+            )
+            .unwrap_or_else(|e| panic!("site {} must clear, got {e}", site.name()));
+            let _ = err;
+        }
+    }
+
+    #[test]
+    fn launch_faults_name_the_failing_kernel_and_respect_block_scope() {
+        use gpu_sim::{FaultPlan, FaultSpec};
+        let (dq, db, p) = setup();
+        let cfg = CuBlastpConfig {
+            grid_blocks: 3,
+            ..Default::default()
+        };
+        let inj = FaultInjector::new(
+            FaultPlan::none().with(FaultSpec::permanent(FaultSite::KernelLaunch).on_block(2)),
+        );
+        // Block 0 is out of scope — the phase runs clean.
+        run_gpu_phase(
+            &DeviceConfig::k20c(),
+            &cfg,
+            &dq,
+            &db,
+            &p,
+            &KernelWorkspace::new(),
+            &inj,
+            FaultCtx::block(0),
+        )
+        .expect("fault scoped to block 2 must not fire on block 0");
+        // Block 2 fails, naming the first kernel launch.
+        let err = run_gpu_phase(
+            &DeviceConfig::k20c(),
+            &cfg,
+            &dq,
+            &db,
+            &p,
+            &KernelWorkspace::new(),
+            &inj,
+            FaultCtx::block(2),
+        )
+        .expect_err("scoped fault must fire on block 2");
+        assert_eq!(
+            err,
+            gpu_sim::DeviceError::LaunchFailed {
+                kernel: "hit_detection".into()
+            }
+        );
     }
 
     #[test]
@@ -343,7 +463,10 @@ mod tests {
             &db,
             &p,
             &KernelWorkspace::new(),
-        );
+            &FaultInjector::none(),
+            FaultCtx::default(),
+        )
+        .expect("no faults armed");
         assert_eq!(out.counts.hits, 0);
         assert_eq!(out.extensions.num_seqs(), 0);
         assert!(out.extensions.is_empty());

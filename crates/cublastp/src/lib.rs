@@ -35,15 +35,21 @@
 //!     DeviceConfig::k20c(),
 //!     &db,
 //! );
-//! let result = searcher.search(&db);
+//! let result = searcher.search(&db).expect("search failed");
 //! println!("{} alignments, {:.2} ms on the simulated K20c",
 //!          result.report.hits.len(), result.timing.total_ms());
 //! ```
+//!
+//! Searches return `Result`: device faults that survive the bounded-retry
+//! and CPU-degradation policy ([`RecoveryPolicy`]), invalid configurations,
+//! and pipeline worker panics surface as typed [`SearchError`]s instead of
+//! process aborts. See DESIGN.md §3.3 for the fault model.
 
 pub mod binning;
 pub mod cluster;
 pub mod config;
 pub mod devicedata;
+pub mod error;
 pub mod extension;
 pub mod gapped_gpu;
 pub mod gpu_phase;
@@ -53,11 +59,12 @@ pub mod reorder;
 pub mod search;
 
 pub use cluster::{search_cluster, ClusterConfig, ClusterResult};
-pub use config::{CuBlastpConfig, ExtensionStrategy, ScoringMode};
+pub use config::{CuBlastpConfig, ExtensionStrategy, RecoveryPolicy, ScoringMode};
 pub use devicedata::{flatten_count, DeviceDb, DeviceDbCache};
+pub use error::{PipelineError, SearchError};
 pub use gpu_phase::{ExtensionsCsr, GpuPhaseCounts, GpuPhaseOutput};
 pub use pipeline::{schedule, BlockTiming, PipelineSchedule};
 pub use search::{
     search_batch, search_batch_parallel, search_batch_with, BatchOptions, BatchOutcome, CuBlastp,
-    CuBlastpResult, CuBlastpTiming,
+    CuBlastpResult, CuBlastpTiming, RecoveryReport,
 };

@@ -12,8 +12,10 @@
 //!   bounded to one block in flight) that the search driver uses so the
 //!   overlap is not merely modelled but actually happens on the host.
 
+use crate::error::{panic_message, PipelineError};
 use crossbeam::channel::bounded;
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Per-block stage times in milliseconds.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -75,30 +77,72 @@ pub fn schedule(blocks: &[BlockTiming]) -> PipelineSchedule {
 ///
 /// Outputs arrive at the consumer in input order; results are returned in
 /// that order.
+///
+/// Both sides run under [`catch_unwind`]: a panic on either thread is
+/// converted into [`PipelineError::WorkerPanicked`] instead of poisoning
+/// the channel and hanging the peer. When the producer dies, dropping its
+/// sender closes the channel, the consumer loop drains and stops, and the
+/// stored panic wins; when the consumer dies, the receiver drops, the
+/// producer's next `send` fails, and its loop exits. Either way both
+/// threads terminate and the first panic is reported.
 pub fn overlap_blocks<I, M, R>(
     inputs: Vec<I>,
     producer: impl Fn(I) -> M + Send,
     mut consumer: impl FnMut(M) -> R,
-) -> Vec<R>
+) -> Result<Vec<R>, PipelineError>
 where
     I: Send,
     M: Send,
 {
     let (tx, rx) = bounded::<M>(1);
     std::thread::scope(|scope| {
-        scope.spawn(move || {
-            for input in inputs {
-                let mid = producer(input);
-                if tx.send(mid).is_err() {
+        let gpu = scope.spawn(move || {
+            // The closure owns `tx`; dropping it (normally or via unwind)
+            // is what lets the consumer loop below terminate.
+            catch_unwind(AssertUnwindSafe(move || {
+                for input in inputs {
+                    let mid = producer(input);
+                    if tx.send(mid).is_err() {
+                        break;
+                    }
+                }
+            }))
+        });
+        let mut out = Vec::new();
+        let mut cpu_panic: Option<PipelineError> = None;
+        // recv() returns Err when the producer is done (or panicked and
+        // dropped its sender) — either way the loop terminates.
+        while let Ok(mid) = rx.recv() {
+            match catch_unwind(AssertUnwindSafe(|| consumer(mid))) {
+                Ok(r) => out.push(r),
+                Err(payload) => {
+                    cpu_panic = Some(PipelineError::WorkerPanicked {
+                        side: "cpu consumer",
+                        payload: panic_message(payload.as_ref()),
+                    });
                     break;
                 }
             }
-        });
-        let mut out = Vec::new();
-        for mid in rx {
-            out.push(consumer(mid));
         }
-        out
+        // Close the channel so a producer blocked on send() fails fast
+        // and its thread winds down instead of deadlocking the join.
+        drop(rx);
+        let gpu_result = match gpu.join() {
+            Ok(r) => r,
+            // The spawned closure already caught unwinds, so join itself
+            // only fails if the catch machinery was bypassed.
+            Err(payload) => Err(payload),
+        };
+        if let Err(payload) = gpu_result {
+            return Err(PipelineError::WorkerPanicked {
+                side: "gpu producer",
+                payload: panic_message(payload.as_ref()),
+            });
+        }
+        if let Some(e) = cpu_panic {
+            return Err(e);
+        }
+        Ok(out)
     })
 }
 
@@ -154,7 +198,8 @@ mod tests {
 
     #[test]
     fn overlap_blocks_preserves_order_and_values() {
-        let out = overlap_blocks((0..50).collect::<Vec<i32>>(), |x| x * 2, |m| m + 1);
+        let out =
+            overlap_blocks((0..50).collect::<Vec<i32>>(), |x| x * 2, |m| m + 1).expect("no panics");
         assert_eq!(out, (0..50).map(|x| x * 2 + 1).collect::<Vec<i32>>());
     }
 
@@ -167,12 +212,84 @@ mod tests {
             vec![(); 4],
             |_| std::thread::sleep(Duration::from_millis(10)),
             |_| std::thread::sleep(Duration::from_millis(10)),
-        );
+        )
+        .expect("no panics");
         let elapsed = t0.elapsed();
         assert_eq!(out.len(), 4);
         assert!(
             elapsed < Duration::from_millis(75),
             "no overlap observed: {elapsed:?}"
         );
+    }
+
+    #[test]
+    fn overlap_with_empty_block_list_returns_empty() {
+        let out = overlap_blocks(Vec::<i32>::new(), |x| x, |m: i32| m).expect("no panics");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn schedule_with_zero_timings_is_zero_not_nan() {
+        let s = schedule(&[block(0.0, 0.0, 0.0, 0.0); 3]);
+        assert_eq!(s.overlapped_ms, 0.0);
+        assert_eq!(s.serial_ms, 0.0);
+        assert_eq!(s.saving(), 0.0, "zero serial time must not divide to NaN");
+    }
+
+    #[test]
+    fn producer_panic_returns_err_not_deadlock() {
+        let out = overlap_blocks(
+            (0..10).collect::<Vec<i32>>(),
+            |x| {
+                if x == 3 {
+                    panic!("injected gpu-side panic");
+                }
+                x
+            },
+            |m| m,
+        );
+        match out {
+            Err(PipelineError::WorkerPanicked { side, payload }) => {
+                assert_eq!(side, "gpu producer");
+                assert!(payload.contains("injected gpu-side panic"));
+            }
+            other => panic!("expected producer panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn consumer_panic_returns_err_not_deadlock() {
+        // The producer keeps sending while the consumer dies; the closed
+        // channel must wind the producer down instead of blocking forever
+        // on the bounded(1) send.
+        let out = overlap_blocks(
+            (0..100).collect::<Vec<i32>>(),
+            |x| x,
+            |m| {
+                if m == 5 {
+                    panic!("injected cpu-side panic");
+                }
+                m
+            },
+        );
+        match out {
+            Err(PipelineError::WorkerPanicked { side, payload }) => {
+                assert_eq!(side, "cpu consumer");
+                assert!(payload.contains("injected cpu-side panic"));
+            }
+            other => panic!("expected consumer panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panic_on_first_input_still_terminates() {
+        let out = overlap_blocks(vec![0i32], |_| panic!("immediate"), |m: i32| m);
+        assert!(matches!(
+            out,
+            Err(PipelineError::WorkerPanicked {
+                side: "gpu producer",
+                ..
+            })
+        ));
     }
 }

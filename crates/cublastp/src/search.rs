@@ -8,19 +8,21 @@
 //! (`blast_cpu::search_sequential`) — the property §4.3 claims and the
 //! integration tests enforce.
 
-use crate::config::CuBlastpConfig;
+use crate::config::{CuBlastpConfig, ExtensionStrategy};
 use crate::devicedata::{DeviceDb, DeviceDbBlock, DeviceQuery};
-use crate::gpu_phase::{run_gpu_phase, GpuPhaseCounts, GpuPhaseOutput};
+use crate::error::{panic_message, PipelineError, SearchError};
+use crate::gpu_phase::{run_gpu_phase, ExtensionsCsr, GpuPhaseCounts, GpuPhaseOutput};
 use crate::pipeline::{overlap_blocks, schedule, BlockTiming, PipelineSchedule};
 use bio_seq::{DbBlock, Sequence, SequenceDb};
 use blast_core::SearchParams;
 use blast_cpu::report::{PhaseTimes, SearchReport};
 use blast_cpu::search::SearchEngine;
-use gpu_sim::{DeviceConfig, KernelStats, KernelWorkspace};
+use gpu_sim::{DeviceConfig, FaultCtx, FaultInjector, KernelStats, KernelWorkspace};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Timing summary of one cuBLASTP search (figure inputs).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -59,7 +61,33 @@ impl CuBlastpTiming {
     }
 }
 
+/// What the recovery policy had to do to complete a search (see
+/// DESIGN.md §3.3). All zeros on a fault-free run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryReport {
+    /// Device faults observed across all blocks and attempts.
+    pub faults: u64,
+    /// Block launches retried after a transient fault.
+    pub retries: u64,
+    /// Blocks re-run on the CPU degradation path.
+    pub degraded_blocks: u64,
+}
+
+impl RecoveryReport {
+    /// True when the search completed without touching the recovery path.
+    pub fn is_clean(&self) -> bool {
+        *self == Self::default()
+    }
+
+    fn absorb(&mut self, other: &RecoveryReport) {
+        self.faults += other.faults;
+        self.retries += other.retries;
+        self.degraded_blocks += other.degraded_blocks;
+    }
+}
+
 /// Result of a cuBLASTP search.
+#[derive(Debug)]
 pub struct CuBlastpResult {
     /// Ranked hit list — identical to the CPU reference.
     pub report: SearchReport,
@@ -74,6 +102,8 @@ pub struct CuBlastpResult {
     /// Per-block stage times in pipeline order — the raw schedule input,
     /// kept so batch drivers can chain several queries into one timeline.
     pub block_timings: Vec<BlockTiming>,
+    /// What the fault-recovery policy did (all zeros when fault-free).
+    pub recovery: RecoveryReport,
 }
 
 impl CuBlastpResult {
@@ -97,6 +127,13 @@ pub struct CuBlastp {
     /// a stream, so after warm-up the hot path performs zero allocations
     /// (see [`KernelWorkspace`]).
     pub workspace: Arc<KernelWorkspace>,
+    /// Fault injector consulted at every device fault site. Defaults to
+    /// disarmed (never fires); tests and chaos runs arm it with a
+    /// [`gpu_sim::FaultPlan`].
+    pub injector: Arc<FaultInjector>,
+    /// This query's index in a batch stream (0 standalone) — the `query`
+    /// coordinate fault specs can scope to.
+    pub stream_index: u32,
     query_device: DeviceQuery,
     setup_ms: f64,
 }
@@ -121,6 +158,8 @@ impl CuBlastp {
             device,
             config,
             workspace: Arc::new(KernelWorkspace::new()),
+            injector: Arc::new(FaultInjector::none()),
+            stream_index: 0,
             query_device,
             setup_ms,
         }
@@ -128,9 +167,129 @@ impl CuBlastp {
 
     /// Search the database: flatten it into device layout once, then run
     /// the pipeline against the resident copy (charging the upload).
-    pub fn search(&self, db: &SequenceDb) -> CuBlastpResult {
+    pub fn search(&self, db: &SequenceDb) -> Result<CuBlastpResult, SearchError> {
         let dev_db = DeviceDb::upload(db, self.config.db_block_size);
         self.search_resident(db, &dev_db, true)
+    }
+
+    /// Run one block's GPU phase under the recovery policy: retry
+    /// transient faults (workspace reset + linear backoff between
+    /// attempts), degrade permanent or retry-exhausted ones to the CPU
+    /// reference path when the policy allows, and fail the search with a
+    /// [`SearchError::Device`] otherwise.
+    fn run_block_recovered(
+        &self,
+        dev_block: &DeviceDbBlock,
+        block_idx: u32,
+    ) -> Result<(GpuPhaseOutput, RecoveryReport), SearchError> {
+        let ctx = FaultCtx {
+            query: self.stream_index,
+            block: block_idx,
+        };
+        let policy = self.config.recovery;
+        let mut recovery = RecoveryReport::default();
+        let mut attempts = 0u32;
+        let final_err = loop {
+            attempts += 1;
+            match run_gpu_phase(
+                &self.device,
+                &self.config,
+                &self.query_device,
+                dev_block,
+                &self.engine.params,
+                &self.workspace,
+                &self.injector,
+                ctx,
+            ) {
+                Ok(out) => return Ok((out, recovery)),
+                Err(e) => {
+                    recovery.faults += 1;
+                    if e.is_transient() && attempts < policy.max_attempts {
+                        // A retry starts from known-good device state: drop
+                        // pooled buffers the failed launch may have left
+                        // inconsistent, then back off linearly.
+                        recovery.retries += 1;
+                        self.workspace.reset();
+                        if policy.backoff_ms > 0.0 {
+                            std::thread::sleep(Duration::from_secs_f64(
+                                policy.backoff_ms * attempts as f64 / 1e3,
+                            ));
+                        }
+                        continue;
+                    }
+                    break e;
+                }
+            }
+        };
+        if policy.cpu_fallback {
+            recovery.degraded_blocks += 1;
+            Ok((self.cpu_fallback_phase(dev_block), recovery))
+        } else {
+            Err(SearchError::Device {
+                source: final_err,
+                block: block_idx,
+                attempts,
+            })
+        }
+    }
+
+    /// Degradation path: reproduce the GPU phase for one block on the CPU
+    /// reference scan (`blast_cpu::hit`). The extension records — and so
+    /// every downstream alignment — are bit-identical to what the kernels
+    /// produce (the equivalence the `extensions_match_cpu_reference` test
+    /// pins down); only the performance counters differ (zeroed kernel
+    /// stats: the block did no simulated GPU work).
+    fn cpu_fallback_phase(&self, db: &DeviceDbBlock) -> GpuPhaseOutput {
+        let p = &self.engine.params;
+        let mut scratch = blast_cpu::hit::DiagonalScratch::new(0);
+        let mut stats = blast_cpu::hit::HitStats::default();
+        let mut stream = Vec::new();
+        for i in 0..db.num_seqs() {
+            blast_cpu::hit::scan_subject_mode(
+                &self.query_device.dfa,
+                &self.query_device.pssm,
+                db.seq(i),
+                i as u32,
+                p.two_hit,
+                p.two_hit_window as i64,
+                p.xdrop_ungapped,
+                &mut scratch,
+                &mut stream,
+                &mut stats,
+            );
+        }
+        // The GPU phase emits each subject's records sorted by the packed
+        // hit key; the same order here keeps the CSR bit-identical.
+        stream.sort_by_key(|e| (e.seq_id, e.s_start, e.q_start, e.len));
+        let n_ext = stream.len() as u64;
+        let download_bytes = n_ext * std::mem::size_of::<blast_cpu::ungapped::UngappedExt>() as u64;
+        let extension_kernel_name = match self.config.extension {
+            ExtensionStrategy::Diagonal => "ungapped_extension_diagonal",
+            ExtensionStrategy::Hit => "ungapped_extension_hit",
+            ExtensionStrategy::Window => "ungapped_extension_window",
+        };
+        GpuPhaseOutput {
+            extensions: ExtensionsCsr::from_stream(stream, db.num_seqs()),
+            // Zeroed stats under the standard names keep the per-kernel
+            // merge across blocks aligned.
+            kernels: [
+                "hit_detection",
+                "hit_assembling",
+                "hit_sorting",
+                "hit_filtering",
+                extension_kernel_name,
+            ]
+            .into_iter()
+            .map(KernelStats::new)
+            .collect(),
+            counts: GpuPhaseCounts {
+                hits: stats.hits,
+                filtered: stats.triggers,
+                extensions: n_ext,
+                redundant: 0,
+            },
+            download_bytes,
+        }
     }
 
     /// Search against a database already resident on the device (see
@@ -142,41 +301,52 @@ impl CuBlastp {
         db: &SequenceDb,
         dev_db: &DeviceDb,
         charge_h2d: bool,
-    ) -> CuBlastpResult {
-        assert_eq!(
-            dev_db.block_size(),
-            self.config.db_block_size,
-            "resident database was partitioned at a different block size"
-        );
+    ) -> Result<CuBlastpResult, SearchError> {
+        self.config.validate()?;
+        if dev_db.block_size() != self.config.db_block_size {
+            return Err(SearchError::config(format!(
+                "resident database was partitioned at block size {}, config wants {}",
+                dev_db.block_size(),
+                self.config.db_block_size
+            )));
+        }
         let device = self.device;
 
-        // GPU side of one block: five kernels over the resident block.
+        // GPU side of one block: five kernels over the resident block,
+        // under the recovery policy.
+        type GpuSideOut = Result<(usize, GpuPhaseOutput, RecoveryReport, f64, f64), SearchError>;
         let gpu_side =
-            |(block, dev_block): (DbBlock, Arc<DeviceDbBlock>)| -> (usize, GpuPhaseOutput, f64, f64) {
+            |(idx, (block, dev_block)): (usize, (DbBlock, Arc<DeviceDbBlock>))| -> GpuSideOut {
                 let h2d = if charge_h2d {
                     device.transfer_ms(dev_block.upload_bytes())
                 } else {
                     0.0
                 };
-                let out = run_gpu_phase(
-                    &device,
-                    &self.config,
-                    &self.query_device,
-                    &dev_block,
-                    &self.engine.params,
-                    &self.workspace,
-                );
+                let (out, recovery) = self.run_block_recovered(&dev_block, idx as u32)?;
                 let d2h = device.transfer_ms(out.download_bytes);
-                (block.start, out, h2d, d2h)
+                Ok((block.start, out, recovery, h2d, d2h))
             };
 
         // CPU side of one block: gapped extension + traceback on the
         // shared pool. The pool never oversubscribes the host; wall-clock
         // at the requested thread count is modelled from the summed
         // per-subject times (see `blast_cpu::search::modeled_parallel_speedup`).
+        // A failed block skips the CPU phase and carries its error through.
         let pool = blast_cpu::search::shared_pool();
-        let cpu_side = |(base, out, h2d, d2h): (usize, GpuPhaseOutput, f64, f64)| {
-            let t0 = Instant::now();
+        type CpuSideOut = Result<
+            (
+                SearchReport,
+                PhaseTimes,
+                GpuPhaseOutput,
+                RecoveryReport,
+                f64,
+                f64,
+                f64,
+            ),
+            SearchError,
+        >;
+        let cpu_side = |gpu_out: GpuSideOut| -> CpuSideOut {
+            let (base, out, recovery, h2d, d2h) = gpu_out?;
             let mut times = PhaseTimes::default();
             let csr = &out.extensions;
             let partials: Vec<(SearchReport, PhaseTimes)> = pool.install(|| {
@@ -203,23 +373,23 @@ impl CuBlastp {
                 report.hits.extend(partial.hits);
                 times.add(&t);
             }
-            let _measured_wall_ms = t0.elapsed().as_secs_f64() * 1e3;
             // Modelled multicore wall-clock: summed per-subject phase time
             // over the Fig. 13 scaling curve.
             let cpu_wall_ms = (times.gapped + times.traceback).as_secs_f64() * 1e3
                 / blast_cpu::search::modeled_parallel_speedup(self.config.cpu_threads);
-            (report, times, out, h2d, d2h, cpu_wall_ms)
+            Ok((report, times, out, recovery, h2d, d2h, cpu_wall_ms))
         };
 
         // Run the pipeline: actually overlapped (two host threads) when
         // configured, serial otherwise. Functional output is identical.
-        let inputs: Vec<(DbBlock, Arc<DeviceDbBlock>)> = dev_db
+        let inputs: Vec<(usize, (DbBlock, Arc<DeviceDbBlock>))> = dev_db
             .blocks()
             .iter()
             .map(|(b, d)| (*b, Arc::clone(d)))
+            .enumerate()
             .collect();
-        let block_results = if self.config.overlap {
-            overlap_blocks(inputs, gpu_side, cpu_side)
+        let block_results: Vec<CpuSideOut> = if self.config.overlap {
+            overlap_blocks(inputs, gpu_side, cpu_side).map_err(SearchError::Pipeline)?
         } else {
             inputs.into_iter().map(|b| cpu_side(gpu_side(b))).collect()
         };
@@ -231,8 +401,11 @@ impl CuBlastp {
         let mut counts = GpuPhaseCounts::default();
         let mut timings: Vec<BlockTiming> = Vec::new();
         let mut timing = CuBlastpTiming::default();
-        for (partial, times, out, h2d, d2h, cpu_wall_ms) in block_results {
+        let mut recovery_total = RecoveryReport::default();
+        for block_result in block_results {
+            let (partial, times, out, recovery, h2d, d2h, cpu_wall_ms) = block_result?;
             report.hits.extend(partial.hits);
+            recovery_total.absorb(&recovery);
             counts.hits += out.counts.hits;
             counts.filtered += out.counts.filtered;
             counts.extensions += out.counts.extensions;
@@ -267,21 +440,23 @@ impl CuBlastp {
         timing.serial_ms = pipeline.serial_ms;
         timing.other_ms = self.setup_ms + t_merge.elapsed().as_secs_f64() * 1e3;
 
-        CuBlastpResult {
+        Ok(CuBlastpResult {
             report,
             kernels,
             counts,
             timing,
             pipeline,
             block_timings: timings,
-        }
+            recovery: recovery_total,
+        })
     }
 }
 
 /// Outcome of a multi-query batch (see [`search_batch`]).
 pub struct BatchOutcome {
-    /// Per-query results, in input order.
-    pub per_query: Vec<CuBlastpResult>,
+    /// Per-query results, in input order. A failed (or panicked) query is
+    /// an `Err` in its slot; the rest of the batch completes normally.
+    pub per_query: Vec<Result<CuBlastpResult, SearchError>>,
     /// Modelled makespan with the database resident on the device: one
     /// pipeline timeline chained over every (query, block) pair, with the
     /// host→device upload paid once for the whole batch.
@@ -311,15 +486,32 @@ impl BatchOutcome {
             self.per_query.len() as f64 * 1e3 / self.batch_ms
         }
     }
+
+    /// Queries that completed successfully.
+    pub fn succeeded(&self) -> usize {
+        self.per_query.iter().filter(|r| r.is_ok()).count()
+    }
+
+    /// Queries that failed, with their input index and error.
+    pub fn failures(&self) -> impl Iterator<Item = (usize, &SearchError)> {
+        self.per_query
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().err().map(|e| (i, e)))
+    }
 }
 
 /// Options for a multi-query batch.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct BatchOptions {
     /// Run the queries concurrently on the shared CPU pool. Results stay
     /// in input order and bit-identical to the serial path; only host
     /// wall-clock changes, never the modelled timings.
     pub parallel: bool,
+    /// Fault injector shared by every query of the stream (disarmed when
+    /// `None`). Specs can scope to a query index with
+    /// [`gpu_sim::FaultSpec::on_query`].
+    pub injector: Option<Arc<FaultInjector>>,
 }
 
 /// Search a batch of queries against one database, keeping the database
@@ -352,7 +544,10 @@ pub fn search_batch_parallel(
         config,
         device,
         db,
-        BatchOptions { parallel: true },
+        BatchOptions {
+            parallel: true,
+            ..Default::default()
+        },
     )
 }
 
@@ -361,6 +556,10 @@ pub fn search_batch_parallel(
 /// the first charged the upload. The batched makespan chains all queries'
 /// block timings through one [`schedule`] timeline, so later queries'
 /// GPU work overlaps earlier queries' CPU tail across query boundaries.
+///
+/// Queries are isolated: each runs under [`catch_unwind`], so a poisoned
+/// query (malformed state, injected panic) lands as an `Err` in its own
+/// `per_query` slot while every other query completes normally.
 pub fn search_batch_with(
     queries: &[Sequence],
     params: SearchParams,
@@ -375,12 +574,24 @@ pub fn search_batch_with(
     // queries serve every later one.
     let workspace = Arc::new(KernelWorkspace::new());
 
-    let run_query = |(i, q): (usize, &Sequence)| -> CuBlastpResult {
-        let mut searcher = CuBlastp::new(q.clone(), params, config, device, db);
-        searcher.workspace = Arc::clone(&workspace);
-        searcher.search_resident(db, &dev_db, i == 0)
+    let run_query = |(i, q): (usize, &Sequence)| -> Result<CuBlastpResult, SearchError> {
+        catch_unwind(AssertUnwindSafe(|| {
+            let mut searcher = CuBlastp::new(q.clone(), params, config, device, db);
+            searcher.workspace = Arc::clone(&workspace);
+            if let Some(inj) = &opts.injector {
+                searcher.injector = Arc::clone(inj);
+            }
+            searcher.stream_index = i as u32;
+            searcher.search_resident(db, &dev_db, i == 0)
+        }))
+        .unwrap_or_else(|payload| {
+            Err(SearchError::Pipeline(PipelineError::WorkerPanicked {
+                side: "batch query",
+                payload: panic_message(payload.as_ref()),
+            }))
+        })
     };
-    let per_query: Vec<CuBlastpResult> = if opts.parallel {
+    let per_query: Vec<Result<CuBlastpResult, SearchError>> = if opts.parallel {
         blast_cpu::search::shared_pool()
             .install(|| queries.par_iter().enumerate().map(run_query).collect())
     } else {
@@ -413,7 +624,9 @@ pub fn search_batch_with(
     let mut stream: Vec<BlockTiming> = Vec::new();
     let mut other_serial = 0.0f64;
     let mut unbatched_ms = 0.0f64;
+    // Failed queries contribute nothing to the modelled timelines.
     for (i, r) in per_query.iter().enumerate() {
+        let Ok(r) = r else { continue };
         if opts.parallel {
             stream.push(BlockTiming {
                 h2d_ms: 0.0,
@@ -477,13 +690,14 @@ mod tests {
                 ..Default::default()
             };
             let gpu = CuBlastp::new(q.clone(), params, cfg, DeviceConfig::k20c(), &db);
-            let result = gpu.search(&db);
+            let result = gpu.search(&db).expect("fault-free search");
             assert_eq!(
                 result.report.identity_key(),
                 cpu.report.identity_key(),
                 "overlap = {overlap}"
             );
             assert!(!result.report.hits.is_empty());
+            assert!(result.recovery.is_clean());
         }
     }
 
@@ -499,7 +713,7 @@ mod tests {
             ..Default::default()
         };
         let gpu = CuBlastp::new(q, params, cfg, DeviceConfig::k20c(), &db);
-        let result = gpu.search(&db);
+        let result = gpu.search(&db).expect("fault-free search");
         assert_eq!(result.counts.hits, cpu.hit_stats.hits);
         assert_eq!(result.counts.extensions, cpu.hit_stats.extensions);
     }
@@ -522,13 +736,19 @@ mod tests {
             &db,
         );
         assert_eq!(out.per_query.len(), 3);
+        assert_eq!(out.succeeded(), 3);
         assert!(out.batch_ms < out.unbatched_ms);
         assert!(out.saving() > 0.0);
         // Per-query results equal standalone searches.
-        let standalone =
-            CuBlastp::new(q, SearchParams::default(), cfg, DeviceConfig::k20c(), &db).search(&db);
+        let standalone = CuBlastp::new(q, SearchParams::default(), cfg, DeviceConfig::k20c(), &db)
+            .search(&db)
+            .expect("fault-free search");
         assert_eq!(
-            out.per_query[0].report.identity_key(),
+            out.per_query[0]
+                .as_ref()
+                .expect("query 0")
+                .report
+                .identity_key(),
             standalone.report.identity_key()
         );
     }
@@ -548,11 +768,13 @@ mod tests {
         };
         let gpu = CuBlastp::new(q, SearchParams::default(), cfg, DeviceConfig::k20c(), &db);
         let dev_db = DeviceDb::upload(&db, cfg.db_block_size);
-        gpu.search_resident(&db, &dev_db, false);
-        gpu.search_resident(&db, &dev_db, false);
+        gpu.search_resident(&db, &dev_db, false).expect("warmup");
+        gpu.search_resident(&db, &dev_db, false).expect("warmup");
         let warm_allocs = gpu.workspace.allocations();
         let warm_checkouts = gpu.workspace.checkouts();
-        let r = gpu.search_resident(&db, &dev_db, false);
+        let r = gpu
+            .search_resident(&db, &dev_db, false)
+            .expect("steady-state search");
         assert!(!r.report.hits.is_empty());
         assert!(
             gpu.workspace.checkouts() > warm_checkouts,
@@ -575,12 +797,179 @@ mod tests {
             ..Default::default()
         };
         let gpu = CuBlastp::new(q, SearchParams::default(), cfg, DeviceConfig::k20c(), &db);
-        let r = gpu.search(&db);
+        let r = gpu.search(&db).expect("fault-free search");
         assert!(r.timing.gpu_ms > 0.0);
         assert!(r.timing.h2d_ms > 0.0);
         assert!(r.timing.overlapped_ms > 0.0);
         assert!(r.timing.overlapped_ms <= r.timing.serial_ms + 1e-9);
         assert_eq!(r.kernels.len(), 5);
         assert!(r.kernel("hit_detection").is_some());
+    }
+
+    #[test]
+    fn mismatched_block_size_is_a_config_error_not_a_panic() {
+        let (q, db) = workload();
+        let cfg = CuBlastpConfig {
+            db_block_size: 50,
+            ..Default::default()
+        };
+        let gpu = CuBlastp::new(q, SearchParams::default(), cfg, DeviceConfig::k20c(), &db);
+        let dev_db = DeviceDb::upload(&db, 64);
+        let err = gpu
+            .search_resident(&db, &dev_db, true)
+            .expect_err("block-size mismatch must be rejected");
+        assert_eq!(err.category(), "config");
+    }
+
+    #[test]
+    fn transient_fault_retries_to_bit_identical_output() {
+        use gpu_sim::{FaultPlan, FaultSite, FaultSpec};
+        let (q, db) = workload();
+        let cfg = CuBlastpConfig {
+            db_block_size: 40,
+            grid_blocks: 3,
+            warps_per_block: 2,
+            ..Default::default()
+        };
+        let clean = CuBlastp::new(
+            q.clone(),
+            SearchParams::default(),
+            cfg,
+            DeviceConfig::k20c(),
+            &db,
+        )
+        .search(&db)
+        .expect("fault-free search");
+
+        let mut faulty = CuBlastp::new(q, SearchParams::default(), cfg, DeviceConfig::k20c(), &db);
+        faulty.injector = Arc::new(FaultInjector::new(
+            FaultPlan::none().with(FaultSpec::once(FaultSite::KernelLaunch).on_block(1)),
+        ));
+        let r = faulty.search(&db).expect("transient fault must recover");
+        assert_eq!(r.recovery.faults, 1);
+        assert_eq!(r.recovery.retries, 1);
+        assert_eq!(r.recovery.degraded_blocks, 0);
+        assert_eq!(r.report.identity_key(), clean.report.identity_key());
+        assert_eq!(r.counts.hits, clean.counts.hits);
+        assert_eq!(r.counts.extensions, clean.counts.extensions);
+    }
+
+    #[test]
+    fn permanent_fault_degrades_to_bit_identical_output() {
+        use gpu_sim::{FaultPlan, FaultSite, FaultSpec};
+        let (q, db) = workload();
+        let cfg = CuBlastpConfig {
+            db_block_size: 40,
+            grid_blocks: 3,
+            warps_per_block: 2,
+            ..Default::default()
+        };
+        let clean = CuBlastp::new(
+            q.clone(),
+            SearchParams::default(),
+            cfg,
+            DeviceConfig::k20c(),
+            &db,
+        )
+        .search(&db)
+        .expect("fault-free search");
+
+        let mut faulty = CuBlastp::new(q, SearchParams::default(), cfg, DeviceConfig::k20c(), &db);
+        faulty.injector = Arc::new(FaultInjector::new(
+            FaultPlan::none().with(FaultSpec::permanent(FaultSite::DeviceAlloc).on_block(0)),
+        ));
+        let r = faulty.search(&db).expect("permanent fault must degrade");
+        assert_eq!(r.recovery.degraded_blocks, 1);
+        assert_eq!(r.recovery.retries, 0, "permanent faults are not retried");
+        assert_eq!(r.report.identity_key(), clean.report.identity_key());
+        assert_eq!(r.counts.hits, clean.counts.hits);
+        assert_eq!(r.counts.extensions, clean.counts.extensions);
+    }
+
+    #[test]
+    fn fallback_disabled_surfaces_the_device_error() {
+        use crate::config::RecoveryPolicy;
+        use gpu_sim::{FaultPlan, FaultSite, FaultSpec};
+        let (q, db) = workload();
+        let cfg = CuBlastpConfig {
+            db_block_size: 40,
+            grid_blocks: 2,
+            recovery: RecoveryPolicy {
+                max_attempts: 2,
+                backoff_ms: 0.0,
+                cpu_fallback: false,
+            },
+            ..Default::default()
+        };
+        let mut faulty = CuBlastp::new(q, SearchParams::default(), cfg, DeviceConfig::k20c(), &db);
+        faulty.injector = Arc::new(FaultInjector::new(
+            FaultPlan::none().with(FaultSpec::permanent(FaultSite::D2h).on_block(1)),
+        ));
+        let err = faulty
+            .search(&db)
+            .expect_err("no fallback, permanent fault must fail the search");
+        match err {
+            SearchError::Device {
+                block, attempts, ..
+            } => {
+                // Transient class: the policy budget of 2 attempts is spent.
+                assert_eq!(block, 1);
+                assert_eq!(attempts, 2);
+            }
+            other => panic!("expected device error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn poisoned_batch_query_fails_alone() {
+        use gpu_sim::{FaultPlan, FaultSite, FaultSpec};
+        let (q, db) = workload();
+        let queries = vec![q.clone(), make_query(80), make_query(110)];
+        let cfg = CuBlastpConfig {
+            db_block_size: 60,
+            grid_blocks: 2,
+            warps_per_block: 2,
+            ..Default::default()
+        };
+        let injector = Arc::new(FaultInjector::new(
+            FaultPlan::none().with(FaultSpec::permanent(FaultSite::HostPanic).on_query(1)),
+        ));
+        for parallel in [false, true] {
+            let out = search_batch_with(
+                &queries,
+                SearchParams::default(),
+                cfg,
+                DeviceConfig::k20c(),
+                &db,
+                BatchOptions {
+                    parallel,
+                    injector: Some(Arc::clone(&injector)),
+                },
+            );
+            assert_eq!(out.per_query.len(), 3, "parallel = {parallel}");
+            assert_eq!(out.succeeded(), 2, "parallel = {parallel}");
+            let failures: Vec<_> = out.failures().collect();
+            assert_eq!(failures.len(), 1);
+            assert_eq!(failures[0].0, 1, "query 1 carries the injected panic");
+            assert_eq!(failures[0].1.category(), "pipeline");
+            // The surviving queries match their standalone runs.
+            let solo = CuBlastp::new(
+                queries[2].clone(),
+                SearchParams::default(),
+                cfg,
+                DeviceConfig::k20c(),
+                &db,
+            )
+            .search(&db)
+            .expect("fault-free search");
+            assert_eq!(
+                out.per_query[2]
+                    .as_ref()
+                    .expect("query 2")
+                    .report
+                    .identity_key(),
+                solo.report.identity_key()
+            );
+        }
     }
 }

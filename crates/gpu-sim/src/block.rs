@@ -241,7 +241,7 @@ impl SimBlock {
             return;
         }
         debug_assert!(lane_cycles.len() <= WARP_SIZE as usize);
-        let max = *lane_cycles.iter().max().expect("non-empty");
+        let max = lane_cycles.iter().copied().max().unwrap_or(0);
         let sum: u64 = lane_cycles.iter().sum();
         self.stats.warp_cycles += max;
         self.stats.active_lane_cycles += sum;

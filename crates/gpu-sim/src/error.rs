@@ -1,0 +1,159 @@
+//! Typed device-level failures.
+//!
+//! A real CUDA stack reports faults through `cudaError_t`: allocation
+//! failures, launch failures, transfer errors and timeouts. The simulator
+//! mirrors that surface so the pipeline layers above can implement the
+//! same recovery policies a production GPU service needs — retry the
+//! transient classes, fall back for the permanent ones — without a
+//! physical device to misbehave. Faults are produced deterministically by
+//! the [`crate::fault::FaultInjector`].
+
+use std::fmt;
+
+/// Direction of a host↔device transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransferDir {
+    /// Host → device (database/query upload).
+    HostToDevice,
+    /// Device → host (extension-record download).
+    DeviceToHost,
+}
+
+impl fmt::Display for TransferDir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransferDir::HostToDevice => write!(f, "H2D"),
+            TransferDir::DeviceToHost => write!(f, "D2H"),
+        }
+    }
+}
+
+/// A device-level fault, classified the way a driver reports it.
+///
+/// [`DeviceError::is_transient`] partitions the variants into the two
+/// recovery classes the search pipeline distinguishes: transient faults
+/// (launch failures, transfer errors/timeouts) are worth retrying after a
+/// workspace reset; permanent faults (out-of-memory, pool exhaustion)
+/// will not succeed on the same device state and go straight to the CPU
+/// degradation path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// Device memory allocation failed (the `cudaErrorMemoryAllocation`
+    /// analogue).
+    AllocFailed {
+        /// What was being allocated.
+        what: String,
+    },
+    /// A kernel launch failed (`cudaErrorLaunchFailure`).
+    LaunchFailed {
+        /// Name of the kernel that failed to launch.
+        kernel: String,
+    },
+    /// A host↔device transfer failed outright.
+    TransferFailed {
+        /// Transfer direction.
+        dir: TransferDir,
+    },
+    /// A host↔device transfer timed out (stuck DMA engine / link hiccup).
+    TransferTimeout {
+        /// Transfer direction.
+        dir: TransferDir,
+    },
+    /// The pinned workspace pool could not provide a buffer.
+    WorkspaceExhausted {
+        /// Which pool was exhausted.
+        pool: String,
+    },
+}
+
+impl DeviceError {
+    /// True for fault classes that a bounded retry (with workspace reset)
+    /// can plausibly clear; false for faults that require degradation.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            DeviceError::LaunchFailed { .. }
+                | DeviceError::TransferFailed { .. }
+                | DeviceError::TransferTimeout { .. }
+        )
+    }
+
+    /// Short stable label of the fault class (for logs and summaries).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DeviceError::AllocFailed { .. } => "alloc",
+            DeviceError::LaunchFailed { .. } => "launch",
+            DeviceError::TransferFailed { .. } => "transfer",
+            DeviceError::TransferTimeout { .. } => "transfer-timeout",
+            DeviceError::WorkspaceExhausted { .. } => "workspace",
+        }
+    }
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::AllocFailed { what } => {
+                write!(f, "device allocation failed: {what}")
+            }
+            DeviceError::LaunchFailed { kernel } => {
+                write!(f, "kernel launch failed: {kernel}")
+            }
+            DeviceError::TransferFailed { dir } => {
+                write!(f, "{dir} transfer failed")
+            }
+            DeviceError::TransferTimeout { dir } => {
+                write!(f, "{dir} transfer timed out")
+            }
+            DeviceError::WorkspaceExhausted { pool } => {
+                write!(f, "workspace pool exhausted: {pool}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transience_partitions_the_variants() {
+        assert!(DeviceError::LaunchFailed { kernel: "k".into() }.is_transient());
+        assert!(DeviceError::TransferFailed {
+            dir: TransferDir::HostToDevice
+        }
+        .is_transient());
+        assert!(DeviceError::TransferTimeout {
+            dir: TransferDir::DeviceToHost
+        }
+        .is_transient());
+        assert!(!DeviceError::AllocFailed {
+            what: "arena".into()
+        }
+        .is_transient());
+        assert!(!DeviceError::WorkspaceExhausted {
+            pool: "keys".into()
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn display_is_one_line_and_names_the_site() {
+        let e = DeviceError::LaunchFailed {
+            kernel: "hit_detection".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("hit_detection"));
+        assert!(!s.contains('\n'));
+        assert_eq!(e.kind(), "launch");
+        assert_eq!(
+            DeviceError::TransferTimeout {
+                dir: TransferDir::HostToDevice
+            }
+            .to_string(),
+            "H2D transfer timed out"
+        );
+    }
+}

@@ -1,0 +1,526 @@
+//! Deterministic fault injection for the simulated device.
+//!
+//! Production GPU services treat device failure as routine: allocations
+//! fail under memory pressure, kernels abort, PCIe transfers error out or
+//! stall. The simulator has no hardware to misbehave, so faults are
+//! *injected* — deterministically, so every failure scenario is an
+//! ordinary reproducible test case rather than a flaky one.
+//!
+//! A [`FaultPlan`] lists [`FaultSpec`]s: which [`FaultSite`] fails, on
+//! which pipeline block / stream query it fails, and whether the fault is
+//! transient (fails the first *n* attempts, then clears — the class a
+//! retry recovers) or permanent (fails every attempt — the class that
+//! forces degradation). The [`FaultInjector`] is the armed plan: pipeline
+//! layers call [`FaultInjector::check`] at each site and get `Err` exactly
+//! when a spec matches. An empty plan never injects and costs two atomic
+//! loads per site, so the injector can stay wired into release builds.
+//!
+//! Plans can be built programmatically, parsed from a compact string
+//! (`launch@b1:perm,h2d@b0:x2` — the CLI's `--fault-plan`), or generated
+//! pseudo-randomly from a seed for chaos-style sweeps.
+
+use crate::error::{DeviceError, TransferDir};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// A place in the pipeline where a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// Device scratch allocation at the start of a block's GPU phase.
+    DeviceAlloc,
+    /// Launch of one of the fine-grained kernels.
+    KernelLaunch,
+    /// Host→device transfer error.
+    H2d,
+    /// Device→host transfer error.
+    D2h,
+    /// Host→device transfer timeout.
+    H2dTimeout,
+    /// Device→host transfer timeout.
+    D2hTimeout,
+    /// Workspace buffer-pool exhaustion.
+    Workspace,
+    /// A panic on the host side of the pipeline (exercises the batch
+    /// scheduler's panic isolation, not the device-error path).
+    HostPanic,
+}
+
+impl FaultSite {
+    /// Every injectable site, in a stable order (the fault-matrix tests
+    /// iterate this).
+    pub const ALL: [FaultSite; 8] = [
+        FaultSite::DeviceAlloc,
+        FaultSite::KernelLaunch,
+        FaultSite::H2d,
+        FaultSite::D2h,
+        FaultSite::H2dTimeout,
+        FaultSite::D2hTimeout,
+        FaultSite::Workspace,
+        FaultSite::HostPanic,
+    ];
+
+    /// The device-error sites (everything except [`FaultSite::HostPanic`]).
+    pub const DEVICE: [FaultSite; 7] = [
+        FaultSite::DeviceAlloc,
+        FaultSite::KernelLaunch,
+        FaultSite::H2d,
+        FaultSite::D2h,
+        FaultSite::H2dTimeout,
+        FaultSite::D2hTimeout,
+        FaultSite::Workspace,
+    ];
+
+    /// Stable textual name (used by `--fault-plan` and summaries).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::DeviceAlloc => "alloc",
+            FaultSite::KernelLaunch => "launch",
+            FaultSite::H2d => "h2d",
+            FaultSite::D2h => "d2h",
+            FaultSite::H2dTimeout => "h2d-timeout",
+            FaultSite::D2hTimeout => "d2h-timeout",
+            FaultSite::Workspace => "workspace",
+            FaultSite::HostPanic => "panic",
+        }
+    }
+
+    /// Inverse of [`FaultSite::name`].
+    pub fn parse(s: &str) -> Option<FaultSite> {
+        FaultSite::ALL.into_iter().find(|site| site.name() == s)
+    }
+
+    /// The device error this site produces when it fires. `detail` names
+    /// the specific resource (kernel name, pool name).
+    fn error(self, detail: &str) -> DeviceError {
+        match self {
+            FaultSite::DeviceAlloc => DeviceError::AllocFailed {
+                what: detail.to_string(),
+            },
+            FaultSite::KernelLaunch => DeviceError::LaunchFailed {
+                kernel: detail.to_string(),
+            },
+            FaultSite::H2d => DeviceError::TransferFailed {
+                dir: TransferDir::HostToDevice,
+            },
+            FaultSite::D2h => DeviceError::TransferFailed {
+                dir: TransferDir::DeviceToHost,
+            },
+            FaultSite::H2dTimeout => DeviceError::TransferTimeout {
+                dir: TransferDir::HostToDevice,
+            },
+            FaultSite::D2hTimeout => DeviceError::TransferTimeout {
+                dir: TransferDir::DeviceToHost,
+            },
+            FaultSite::Workspace => DeviceError::WorkspaceExhausted {
+                pool: detail.to_string(),
+            },
+            FaultSite::HostPanic => {
+                unreachable!("HostPanic panics instead of returning an error")
+            }
+        }
+    }
+}
+
+/// How often a matching site fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail the first `failures` matching checks, then succeed — the
+    /// class a bounded retry recovers from.
+    Transient {
+        /// Number of failures before the site clears.
+        failures: u32,
+    },
+    /// Fail every matching check — forces the degradation path.
+    Permanent,
+}
+
+/// One planned fault: a site, an optional scope, and a failure mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Which site fails.
+    pub site: FaultSite,
+    /// Restrict to one pipeline block index (`None` = every block).
+    pub block: Option<u32>,
+    /// Restrict to one stream query index (`None` = every query).
+    pub query: Option<u32>,
+    /// Failure mode.
+    pub kind: FaultKind,
+}
+
+impl FaultSpec {
+    /// A transient single-shot fault at `site` (fails once, then clears).
+    pub fn once(site: FaultSite) -> Self {
+        Self {
+            site,
+            block: None,
+            query: None,
+            kind: FaultKind::Transient { failures: 1 },
+        }
+    }
+
+    /// A permanent fault at `site`.
+    pub fn permanent(site: FaultSite) -> Self {
+        Self {
+            site,
+            block: None,
+            query: None,
+            kind: FaultKind::Permanent,
+        }
+    }
+
+    /// Scope the fault to pipeline block `block`.
+    pub fn on_block(mut self, block: u32) -> Self {
+        self.block = Some(block);
+        self
+    }
+
+    /// Scope the fault to stream query `query`.
+    pub fn on_query(mut self, query: u32) -> Self {
+        self.query = Some(query);
+        self
+    }
+
+    fn matches(&self, site: FaultSite, ctx: FaultCtx) -> bool {
+        self.site == site
+            && self.block.is_none_or(|b| b == ctx.block)
+            && self.query.is_none_or(|q| q == ctx.query)
+    }
+}
+
+/// Where in the stream a check is happening: which query of the batch and
+/// which pipeline (database) block.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCtx {
+    /// Stream query index (0 for standalone searches).
+    pub query: u32,
+    /// Pipeline block index within the search.
+    pub block: u32,
+}
+
+impl FaultCtx {
+    /// Context for `block` of a standalone (non-batch) search.
+    pub fn block(block: u32) -> Self {
+        Self { query: 0, block }
+    }
+}
+
+/// An ordered list of planned faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Add a spec (builder style).
+    pub fn with(mut self, spec: FaultSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// The planned specs.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Generate `count` pseudo-random transient faults over device sites
+    /// and blocks `0..blocks`, deterministically from `seed` (a splitmix64
+    /// stream — the same seed always yields the same plan). Chaos-style
+    /// sweeps use this to cover many scenarios with one knob.
+    pub fn seeded(seed: u64, count: usize, blocks: u32) -> Self {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut plan = FaultPlan::none();
+        for _ in 0..count {
+            let site = FaultSite::DEVICE[(next() % FaultSite::DEVICE.len() as u64) as usize];
+            let block = (next() % blocks.max(1) as u64) as u32;
+            let failures = (next() % 2 + 1) as u32;
+            plan = plan.with(
+                FaultSpec {
+                    site,
+                    block: None,
+                    query: None,
+                    kind: FaultKind::Transient { failures },
+                }
+                .on_block(block),
+            );
+        }
+        plan
+    }
+
+    /// Parse a compact plan string: comma-separated specs of the form
+    /// `site[@b<block>][@q<query>][:x<failures>|:perm]`, e.g.
+    /// `launch@b1:perm,h2d@b0:x2,workspace`. The default mode is a
+    /// transient single failure (`:x1`).
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::none();
+        for raw in text.split(',') {
+            let raw = raw.trim();
+            if raw.is_empty() {
+                continue;
+            }
+            let mut kind = FaultKind::Transient { failures: 1 };
+            let (scoped, mode) = match raw.split_once(':') {
+                Some((head, tail)) => (head, Some(tail)),
+                None => (raw, None),
+            };
+            if let Some(mode) = mode {
+                kind = if mode == "perm" {
+                    FaultKind::Permanent
+                } else if let Some(n) = mode.strip_prefix('x') {
+                    let failures: u32 = n
+                        .parse()
+                        .map_err(|_| format!("bad failure count in fault spec {raw:?}"))?;
+                    FaultKind::Transient { failures }
+                } else {
+                    return Err(format!(
+                        "bad mode {mode:?} in fault spec {raw:?} (want x<n> or perm)"
+                    ));
+                };
+            }
+            let mut parts = scoped.split('@');
+            let site_name = parts.next().unwrap_or("");
+            let site = FaultSite::parse(site_name)
+                .ok_or_else(|| format!("unknown fault site {site_name:?} in {raw:?}"))?;
+            let mut spec = FaultSpec {
+                site,
+                block: None,
+                query: None,
+                kind,
+            };
+            for scope in parts {
+                if let Some(b) = scope.strip_prefix('b') {
+                    spec.block = Some(
+                        b.parse()
+                            .map_err(|_| format!("bad block scope {scope:?} in {raw:?}"))?,
+                    );
+                } else if let Some(q) = scope.strip_prefix('q') {
+                    spec.query = Some(
+                        q.parse()
+                            .map_err(|_| format!("bad query scope {scope:?} in {raw:?}"))?,
+                    );
+                } else {
+                    return Err(format!(
+                        "bad scope {scope:?} in {raw:?} (want b<n> or q<n>)"
+                    ));
+                }
+            }
+            plan = plan.with(spec);
+        }
+        Ok(plan)
+    }
+}
+
+/// An armed [`FaultPlan`]: tracks per-spec hit counts (so transient specs
+/// clear after their budgeted failures) and injects faults on matching
+/// [`check`](FaultInjector::check) calls. Thread-safe; one injector is
+/// shared across all worker threads of a search or batch.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    specs: Vec<(FaultSpec, AtomicU32)>,
+    injected: AtomicU64,
+}
+
+impl FaultInjector {
+    /// An injector that never fires.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Arm a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        Self {
+            specs: plan
+                .specs
+                .into_iter()
+                .map(|s| (s, AtomicU32::new(0)))
+                .collect(),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// Check a site: `Err` exactly when an armed spec matches and has
+    /// failures left. `detail` names the concrete resource (kernel or
+    /// pool name) for the produced error. A matching
+    /// [`FaultSite::HostPanic`] spec panics instead of returning, to
+    /// exercise host-side panic isolation.
+    pub fn check(&self, site: FaultSite, ctx: FaultCtx, detail: &str) -> Result<(), DeviceError> {
+        for (spec, hits) in &self.specs {
+            if !spec.matches(site, ctx) {
+                continue;
+            }
+            let fire = match spec.kind {
+                FaultKind::Permanent => true,
+                FaultKind::Transient { failures } => {
+                    // Reserve one failure slot; later checks see the
+                    // incremented count and pass once the budget is spent.
+                    hits.fetch_add(1, Ordering::Relaxed) < failures
+                }
+            };
+            if fire {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                if site == FaultSite::HostPanic {
+                    panic!(
+                        "injected host panic (query {}, block {})",
+                        ctx.query, ctx.block
+                    );
+                }
+                return Err(site.error(detail));
+            }
+        }
+        Ok(())
+    }
+
+    /// Total faults injected so far (panics included).
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// True when the injector has no armed specs.
+    pub fn is_disarmed(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_injector_never_fires() {
+        let inj = FaultInjector::none();
+        for site in FaultSite::ALL {
+            for block in 0..4 {
+                assert!(inj.check(site, FaultCtx::block(block), "x").is_ok());
+            }
+        }
+        assert_eq!(inj.injected(), 0);
+        assert!(inj.is_disarmed());
+    }
+
+    #[test]
+    fn transient_fault_clears_after_budget() {
+        let inj = FaultInjector::new(FaultPlan::none().with(FaultSpec {
+            site: FaultSite::KernelLaunch,
+            block: None,
+            query: None,
+            kind: FaultKind::Transient { failures: 2 },
+        }));
+        let ctx = FaultCtx::block(0);
+        assert!(inj.check(FaultSite::KernelLaunch, ctx, "k").is_err());
+        assert!(inj.check(FaultSite::KernelLaunch, ctx, "k").is_err());
+        assert!(inj.check(FaultSite::KernelLaunch, ctx, "k").is_ok());
+        assert!(inj.check(FaultSite::KernelLaunch, ctx, "k").is_ok());
+        assert_eq!(inj.injected(), 2);
+    }
+
+    #[test]
+    fn permanent_fault_never_clears() {
+        let inj = FaultInjector::new(FaultPlan::none().with(FaultSpec::permanent(FaultSite::D2h)));
+        for _ in 0..10 {
+            assert!(inj.check(FaultSite::D2h, FaultCtx::block(3), "").is_err());
+        }
+        assert_eq!(inj.injected(), 10);
+    }
+
+    #[test]
+    fn block_and_query_scopes_restrict_matching() {
+        let inj = FaultInjector::new(
+            FaultPlan::none()
+                .with(FaultSpec::permanent(FaultSite::H2d).on_block(1))
+                .with(FaultSpec::permanent(FaultSite::D2h).on_query(2)),
+        );
+        assert!(inj.check(FaultSite::H2d, FaultCtx::block(0), "").is_ok());
+        assert!(inj.check(FaultSite::H2d, FaultCtx::block(1), "").is_err());
+        assert!(inj
+            .check(FaultSite::D2h, FaultCtx { query: 1, block: 0 }, "")
+            .is_ok());
+        assert!(inj
+            .check(FaultSite::D2h, FaultCtx { query: 2, block: 7 }, "")
+            .is_err());
+    }
+
+    #[test]
+    fn errors_carry_the_site_detail() {
+        let inj =
+            FaultInjector::new(FaultPlan::none().with(FaultSpec::once(FaultSite::KernelLaunch)));
+        let err = inj
+            .check(FaultSite::KernelLaunch, FaultCtx::default(), "hit_sorting")
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DeviceError::LaunchFailed {
+                kernel: "hit_sorting".into()
+            }
+        );
+        assert!(err.is_transient());
+    }
+
+    #[test]
+    #[should_panic(expected = "injected host panic")]
+    fn host_panic_site_panics() {
+        let inj = FaultInjector::new(FaultPlan::none().with(FaultSpec::once(FaultSite::HostPanic)));
+        let _ = inj.check(FaultSite::HostPanic, FaultCtx::default(), "");
+    }
+
+    #[test]
+    fn parse_roundtrips_the_compact_syntax() {
+        let plan = FaultPlan::parse("launch@b1:perm, h2d@b0:x2 ,workspace,d2h-timeout@q3").unwrap();
+        assert_eq!(
+            plan.specs(),
+            &[
+                FaultSpec::permanent(FaultSite::KernelLaunch).on_block(1),
+                FaultSpec {
+                    site: FaultSite::H2d,
+                    block: Some(0),
+                    query: None,
+                    kind: FaultKind::Transient { failures: 2 },
+                },
+                FaultSpec::once(FaultSite::Workspace),
+                FaultSpec::once(FaultSite::D2hTimeout).on_query(3),
+            ]
+        );
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse("warpcore").is_err());
+        assert!(FaultPlan::parse("launch:sometimes").is_err());
+        assert!(FaultPlan::parse("launch@z9").is_err());
+        assert!(FaultPlan::parse("launch@bx").is_err());
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_transient() {
+        let a = FaultPlan::seeded(42, 5, 8);
+        let b = FaultPlan::seeded(42, 5, 8);
+        assert_eq!(a, b);
+        assert_eq!(a.specs().len(), 5);
+        let c = FaultPlan::seeded(43, 5, 8);
+        assert_ne!(a, c, "different seeds should give different plans");
+        for spec in a.specs() {
+            assert!(matches!(spec.kind, FaultKind::Transient { .. }));
+            assert!(spec.block.is_some());
+            assert_ne!(spec.site, FaultSite::HostPanic);
+        }
+    }
+
+    #[test]
+    fn site_names_roundtrip() {
+        for site in FaultSite::ALL {
+            assert_eq!(FaultSite::parse(site.name()), Some(site));
+        }
+        assert_eq!(FaultSite::parse("quantum"), None);
+    }
+}

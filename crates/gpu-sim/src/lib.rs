@@ -32,6 +32,8 @@
 pub mod block;
 pub mod cache;
 pub mod device;
+pub mod error;
+pub mod fault;
 pub mod launch;
 pub mod memory;
 pub mod scan;
@@ -41,6 +43,8 @@ pub mod workspace;
 
 pub use block::SimBlock;
 pub use device::{DeviceConfig, WARP_SIZE};
+pub use error::{DeviceError, TransferDir};
+pub use fault::{FaultCtx, FaultInjector, FaultKind, FaultPlan, FaultSite, FaultSpec};
 pub use launch::{launch, launch_map, launch_sequence, BoxedKernel, LaunchConfig};
 pub use memory::GlobalBuffer;
 pub use stats::KernelStats;

@@ -183,7 +183,7 @@ pub fn segmented_sort_flat(
     scratch: &mut Vec<u64>,
 ) -> KernelStats {
     debug_assert!(!offsets.is_empty(), "CSR offsets need a leading 0");
-    debug_assert_eq!(*offsets.last().unwrap() as usize, keys.len());
+    debug_assert_eq!(offsets.last().map(|&o| o as usize), Some(keys.len()));
 
     for w in offsets.windows(2) {
         radix_sort_u64(&mut keys[w[0] as usize..w[1] as usize], scratch);

@@ -78,6 +78,14 @@ impl<T> BufferPool<T> {
     pub fn pooled(&self) -> usize {
         self.free.lock().len()
     }
+
+    /// Drop every pooled buffer, releasing retained capacity. The recovery
+    /// path calls this between retries of a failed block: a fault may leave
+    /// outstanding buffers unreturned, and a fresh free list restores the
+    /// pool to a known-good (cold) state. Counters are preserved.
+    pub fn reset(&self) {
+        self.free.lock().clear();
+    }
 }
 
 /// The scratch pools the hit-path kernels draw from, shared by every
@@ -112,6 +120,16 @@ impl KernelWorkspace {
     /// workspace-reuse test asserts on.
     pub fn allocations(&self) -> u64 {
         self.keys.allocs() + self.addrs.allocs() + self.offsets.allocs() + self.lane_hits.allocs()
+    }
+
+    /// Reset every pool to a cold free list (see [`BufferPool::reset`]).
+    /// Called by the retry path after a device fault so the next attempt
+    /// starts from known-good workspace state.
+    pub fn reset(&self) {
+        self.keys.reset();
+        self.addrs.reset();
+        self.offsets.reset();
+        self.lane_hits.reset();
     }
 }
 
@@ -163,6 +181,24 @@ mod tests {
         assert_eq!(ws.checkouts(), 3);
         assert_eq!(ws.allocations(), 2);
         assert_eq!(ws.keys.pooled(), 1);
+    }
+
+    #[test]
+    fn reset_drops_pooled_buffers_but_keeps_counters() {
+        let ws = KernelWorkspace::new();
+        let k = ws.keys.take();
+        let o = ws.offsets.take();
+        ws.keys.put(k);
+        ws.offsets.put(o);
+        assert_eq!(ws.keys.pooled(), 1);
+        ws.reset();
+        assert_eq!(ws.keys.pooled(), 0);
+        assert_eq!(ws.offsets.pooled(), 0);
+        assert_eq!(ws.checkouts(), 2, "counters survive the reset");
+        // The next take is a cold miss again.
+        let k = ws.keys.take();
+        ws.keys.put(k);
+        assert_eq!(ws.keys.allocs(), 2);
     }
 
     #[test]

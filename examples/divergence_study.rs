@@ -62,7 +62,7 @@ fn main() {
         DeviceConfig::k20c(),
         &db,
     );
-    let cu = searcher.search(&db);
+    let cu = searcher.search(&db).expect("fault-free search");
     for k in &cu.kernels {
         row(&k.name, k, &device);
     }
@@ -79,7 +79,7 @@ fn main() {
             ..CuBlastpConfig::default()
         };
         let s = CuBlastp::new(query.clone(), params, cfg, device, &db);
-        let r = s.search(&db);
+        let r = s.search(&db).expect("fault-free search");
         let k = r.kernel("ungapped_extension").expect("extension kernel");
         row(label, k, &device);
         if strategy == ExtensionStrategy::Hit {

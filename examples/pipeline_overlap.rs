@@ -52,7 +52,7 @@ fn main() {
             ..CuBlastpConfig::default()
         };
         let searcher = CuBlastp::new(query.clone(), params, cfg, DeviceConfig::k20c(), &db);
-        let r = searcher.search(&db);
+        let r = searcher.search(&db).expect("fault-free search");
         let t = &r.timing;
         let label = if block_size == 0 {
             "whole-db".to_string()

@@ -73,7 +73,7 @@ fn main() {
             DeviceConfig::k20c(),
             &db,
         );
-        let gpu = searcher.search(&db);
+        let gpu = searcher.search(&db).expect("fault-free search");
         let gpu_ms = gpu.timing.total_ms();
 
         let identical = gpu.report.identity_key() == cpu.report.identity_key();

@@ -43,7 +43,7 @@ fn main() {
         DeviceConfig::k20c(),
         &db,
     );
-    let result = searcher.search(&db);
+    let result = searcher.search(&db).expect("fault-free search");
 
     // 3. Results: identical to FSA-BLAST, plus GPU-side telemetry.
     print_report(&result.report, &query.id, 10);

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Forbid unwrap()/expect( in the non-test code of the two library crates
+# that sit on the search hot path. Device faults must surface as typed
+# errors (SearchError / DeviceError), not panics; see DESIGN.md §3.3.
+#
+# Test modules live at the end of each file behind `#[cfg(test)]`, so the
+# check strips everything from that marker onward before grepping. Doc
+# comments (`///`, `//!`) are exempt: doctest examples may use expect().
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+for file in crates/cublastp/src/*.rs crates/gpu-sim/src/*.rs; do
+    hits=$(sed '/#\[cfg(test)\]/,$d' "$file" \
+        | grep -n 'unwrap()\|expect(' \
+        | grep -vE '^[0-9]+:[[:space:]]*//[/!]' || true)
+    if [ -n "$hits" ]; then
+        echo "panic-prone call in non-test code of $file:" >&2
+        echo "$hits" >&2
+        status=1
+    fi
+done
+if [ "$status" -ne 0 ]; then
+    echo "error: library hot paths must return typed errors, not panic" >&2
+    echo "       (wrap genuinely-infallible cases in a test module or" >&2
+    echo "       restructure; see DESIGN.md §3.3)" >&2
+fi
+exit "$status"

@@ -42,7 +42,10 @@ proptest! {
         let batch = search_batch_parallel(&queries, params, config, device, &db);
         prop_assert_eq!(batch.per_query.len(), queries.len());
         for (q, br) in queries.iter().zip(&batch.per_query) {
-            let solo = CuBlastp::new(q.clone(), params, config, device, &db).search(&db);
+            let br = br.as_ref().expect("fault-free batch query");
+            let solo = CuBlastp::new(q.clone(), params, config, device, &db)
+                .search(&db)
+                .expect("fault-free solo query");
             prop_assert_eq!(br.report.identity_key(), solo.report.identity_key());
         }
     }

@@ -91,7 +91,7 @@ fn survival_ratio_is_in_a_plausible_band() {
         DeviceConfig::k20c(),
         &db,
     );
-    let r = cu.search(&db);
+    let r = cu.search(&db).expect("fault-free search");
     let ratio = r.counts.survival_ratio();
     assert!((0.02..=0.40).contains(&ratio), "survival = {ratio}");
     assert!(r.counts.extensions <= r.counts.filtered);
@@ -107,7 +107,9 @@ fn overlap_never_changes_results_and_never_slows_the_model() {
             db_block_size: 60,
             ..CuBlastpConfig::default()
         };
-        CuBlastp::new(q.clone(), p, cfg, DeviceConfig::k20c(), &db).search(&db)
+        CuBlastp::new(q.clone(), p, cfg, DeviceConfig::k20c(), &db)
+            .search(&db)
+            .expect("fault-free search")
     };
     let serial = run(false);
     let overlapped = run(true);
@@ -130,7 +132,7 @@ fn kernel_stats_are_internally_consistent() {
         DeviceConfig::k20c(),
         &db,
     );
-    let r = cu.search(&db);
+    let r = cu.search(&db).expect("fault-free search");
     assert_eq!(r.kernels.len(), 5);
     for k in &r.kernels {
         assert!(k.global_load_efficiency() > 0.0 && k.global_load_efficiency() <= 1.0);
@@ -154,8 +156,8 @@ fn searching_twice_is_deterministic() {
     let (q, db) = workload(80, 150, 150, 59);
     let p = SearchParams::default();
     let cu = CuBlastp::new(q, p, CuBlastpConfig::default(), DeviceConfig::k20c(), &db);
-    let a = cu.search(&db);
-    let b = cu.search(&db);
+    let a = cu.search(&db).expect("fault-free search");
+    let b = cu.search(&db).expect("fault-free search");
     assert_eq!(a.report, b.report);
     assert_eq!(a.counts.hits, b.counts.hits);
     // Simulated kernel counters are exactly reproducible too.
@@ -232,7 +234,10 @@ fn composition_based_identity_across_pipelines() {
         &db,
     );
     assert_eq!(
-        cu.search(&db).report.identity_key(),
+        cu.search(&db)
+            .expect("fault-free search")
+            .report
+            .identity_key(),
         cpu.report.identity_key()
     );
 }

@@ -39,7 +39,14 @@ fn all_five_pipelines_agree() {
         DeviceConfig::k20c(),
         &db,
     );
-    assert_eq!(cu.search(&db).report.identity_key(), reference, "cuBLASTP");
+    assert_eq!(
+        cu.search(&db)
+            .expect("fault-free search")
+            .report
+            .identity_key(),
+        reference,
+        "cuBLASTP"
+    );
 
     // Coarse baselines.
     let cuda = CudaBlastp::new(q.clone(), p, DeviceConfig::k20c(), &db);
@@ -72,7 +79,10 @@ fn cublastp_identity_across_extension_strategies() {
         };
         let cu = CuBlastp::new(q.clone(), p, cfg, DeviceConfig::k20c(), &db);
         assert_eq!(
-            cu.search(&db).report.identity_key(),
+            cu.search(&db)
+                .expect("fault-free search")
+                .report
+                .identity_key(),
             reference,
             "strategy {strategy:?}"
         );
@@ -99,7 +109,7 @@ fn cublastp_identity_across_configurations() {
                     };
                     let cu = CuBlastp::new(q.clone(), p, cfg, DeviceConfig::k20c(), &db);
                     assert_eq!(
-                        cu.search(&db).report.identity_key(),
+                        cu.search(&db).expect("fault-free search").report.identity_key(),
                         reference,
                         "bins {num_bins} scoring {scoring:?} cache {use_cache} block {db_block_size}"
                     );
@@ -115,7 +125,13 @@ fn identity_holds_for_query_longer_than_subjects() {
     let (q, db) = workload(400, 60, 60, 41);
     let reference = fsa_key(&q, &db, p);
     let cu = CuBlastp::new(q, p, CuBlastpConfig::default(), DeviceConfig::k20c(), &db);
-    assert_eq!(cu.search(&db).report.identity_key(), reference);
+    assert_eq!(
+        cu.search(&db)
+            .expect("fault-free search")
+            .report
+            .identity_key(),
+        reference
+    );
 }
 
 #[test]
@@ -134,7 +150,13 @@ fn identity_with_nondefault_parameters() {
     let (q, db) = workload(96, 100, 140, 53);
     let reference = fsa_key(&q, &db, p);
     let cu = CuBlastp::new(q, p, CuBlastpConfig::default(), DeviceConfig::k20c(), &db);
-    assert_eq!(cu.search(&db).report.identity_key(), reference);
+    assert_eq!(
+        cu.search(&db)
+            .expect("fault-free search")
+            .report
+            .identity_key(),
+        reference
+    );
 }
 
 #[test]
@@ -166,7 +188,10 @@ fn one_hit_mode_identity_and_sensitivity() {
         &db,
     );
     assert_eq!(
-        cu.search(&db).report.identity_key(),
+        cu.search(&db)
+            .expect("fault-free search")
+            .report
+            .identity_key(),
         ref_one,
         "cuBLASTP one-hit"
     );
@@ -203,7 +228,13 @@ fn masked_seeding_identity_across_pipelines() {
         DeviceConfig::k20c(),
         &db,
     );
-    assert_eq!(cu.search(&db).report.identity_key(), reference);
+    assert_eq!(
+        cu.search(&db)
+            .expect("fault-free search")
+            .report
+            .identity_key(),
+        reference
+    );
     let gpub = GpuBlastp::new(q, params, DeviceConfig::k20c(), &db);
     assert_eq!(gpub.search(&db).report.identity_key(), reference);
 }

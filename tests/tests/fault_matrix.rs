@@ -1,0 +1,149 @@
+//! The fault matrix: every injectable device fault site, on every pipeline
+//! block, in both transient and permanent flavours, against both database
+//! presets — and every cell must recover to the bit-identical fault-free
+//! result. Transient faults recover by retry (no degradation); permanent
+//! faults recover by re-running the poisoned block on the CPU fallback.
+
+use bio_seq::generate::{generate_db, make_query, DbPreset, DbSpec};
+use bio_seq::{Sequence, SequenceDb};
+use blast_core::SearchParams;
+use cublastp::{search_batch_with, BatchOptions, CuBlastp, CuBlastpConfig, CuBlastpResult};
+use gpu_sim::{DeviceConfig, FaultInjector, FaultPlan, FaultSite, FaultSpec};
+use std::sync::Arc;
+
+/// Blocks per search: enough that first / middle / last block scoping all
+/// differ, small enough that the full matrix stays fast.
+const NUM_BLOCKS: u32 = 3;
+const BLOCK_SIZE: usize = 15;
+
+/// The preset character (sequence-length regime, homology level, seed) at
+/// matrix-friendly scale.
+fn scaled_workload(preset: DbPreset) -> (Sequence, SequenceDb) {
+    let q = make_query(120);
+    let spec = DbSpec {
+        num_sequences: NUM_BLOCKS as usize * BLOCK_SIZE,
+        ..preset.spec()
+    };
+    (q.clone(), generate_db(&spec, &q).db)
+}
+
+fn matrix_config() -> CuBlastpConfig {
+    CuBlastpConfig {
+        db_block_size: BLOCK_SIZE,
+        grid_blocks: 2,
+        warps_per_block: 2,
+        ..CuBlastpConfig::default()
+    }
+}
+
+fn run_with_plan(
+    q: &Sequence,
+    db: &SequenceDb,
+    plan: FaultPlan,
+) -> Result<CuBlastpResult, cublastp::SearchError> {
+    let mut searcher = CuBlastp::new(
+        q.clone(),
+        SearchParams::default(),
+        matrix_config(),
+        DeviceConfig::k20c(),
+        db,
+    );
+    searcher.injector = Arc::new(FaultInjector::new(plan));
+    searcher.search(db)
+}
+
+#[test]
+fn every_fault_cell_recovers_bit_identically() {
+    for preset in [DbPreset::SwissprotMini, DbPreset::EnvNrMini] {
+        let (q, db) = scaled_workload(preset);
+        let clean = run_with_plan(&q, &db, FaultPlan::none()).expect("fault-free baseline");
+        assert!(clean.recovery.is_clean());
+        let reference = clean.report.identity_key();
+
+        for site in FaultSite::DEVICE {
+            for block in 0..NUM_BLOCKS {
+                for permanent in [false, true] {
+                    let label = format!(
+                        "{} / {} on block {block} ({})",
+                        db.name(),
+                        site.name(),
+                        if permanent { "permanent" } else { "transient" },
+                    );
+                    let spec = if permanent {
+                        FaultSpec::permanent(site)
+                    } else {
+                        FaultSpec::once(site)
+                    };
+                    let r = run_with_plan(&q, &db, FaultPlan::none().with(spec.on_block(block)))
+                        .unwrap_or_else(|e| panic!("{label}: not recovered: {e}"));
+
+                    assert_eq!(r.report.identity_key(), reference, "{label}");
+                    assert_eq!(r.counts.extensions, clean.counts.extensions, "{label}");
+                    assert!(r.recovery.faults >= 1, "{label}: no fault recorded");
+                    // Allocation-class faults are classified non-transient
+                    // and skip straight to degradation; launch/transfer
+                    // faults are retried first.
+                    let retryable = !matches!(site, FaultSite::DeviceAlloc | FaultSite::Workspace);
+                    match (retryable, permanent) {
+                        (true, false) => {
+                            // One transient failure clears within the retry
+                            // budget, so the CPU fallback never engages.
+                            assert_eq!(r.recovery.retries, 1, "{label}");
+                            assert_eq!(r.recovery.degraded_blocks, 0, "{label}");
+                        }
+                        (true, true) => {
+                            // The retry budget is exhausted, then the block
+                            // degrades to the CPU.
+                            assert_eq!(r.recovery.retries, 2, "{label}");
+                            assert_eq!(r.recovery.degraded_blocks, 1, "{label}");
+                        }
+                        (false, _) => {
+                            assert_eq!(r.recovery.retries, 0, "{label}");
+                            assert_eq!(r.recovery.degraded_blocks, 1, "{label}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Fault scoping is per query: a plan pinned to stream index 1 must leave
+/// the other queries of a parallel batch untouched, and an injected panic
+/// in one query must not take down the batch.
+#[test]
+fn batch_fault_isolation_across_queries() {
+    let (q, db) = scaled_workload(DbPreset::SwissprotMini);
+    let queries = vec![q.clone(), make_query(80), make_query(95)];
+    let injector = Arc::new(FaultInjector::new(
+        FaultPlan::none().with(FaultSpec::permanent(FaultSite::HostPanic).on_query(1)),
+    ));
+    let out = search_batch_with(
+        &queries,
+        SearchParams::default(),
+        matrix_config(),
+        DeviceConfig::k20c(),
+        &db,
+        BatchOptions {
+            parallel: true,
+            injector: Some(Arc::clone(&injector)),
+        },
+    );
+    assert_eq!(out.per_query.len(), 3);
+    assert_eq!(out.succeeded(), 2);
+    let failures: Vec<_> = out.failures().collect();
+    assert_eq!(failures.len(), 1);
+    assert_eq!(failures[0].0, 1, "only the poisoned query fails");
+    assert_eq!(failures[0].1.category(), "pipeline");
+
+    // Survivors are bit-identical to their standalone runs.
+    for idx in [0usize, 2] {
+        let solo = run_with_plan(&queries[idx], &db, FaultPlan::none()).expect("fault-free");
+        let batched = out.per_query[idx].as_ref().expect("survivor");
+        assert_eq!(
+            batched.report.identity_key(),
+            solo.report.identity_key(),
+            "query {idx}"
+        );
+    }
+}
