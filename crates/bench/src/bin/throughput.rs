@@ -16,8 +16,9 @@
 //! database once per block, independent of batch size. Results go to
 //! stdout (table) and `BENCH_throughput.json` at the repo root.
 
+use bench::obsenv;
 use bench::table::{fmt, print_table};
-use bench::{database, query};
+use bench::{bench_scale, database, query};
 use bio_seq::generate::DbPreset;
 use blast_core::SearchParams;
 use cublastp::{flatten_count, search_batch, search_batch_parallel, CuBlastpConfig};
@@ -40,6 +41,8 @@ struct Row {
 }
 
 fn main() {
+    let scale = bench_scale();
+    obsenv::arm_from_env();
     let device = DeviceConfig::k20c();
     let params = SearchParams::default();
     let cfg = CuBlastpConfig {
@@ -51,6 +54,7 @@ fn main() {
         .collect();
 
     let mut sections: Vec<(String, Vec<Row>)> = Vec::new();
+    let mut medians: Vec<(String, Vec<(String, f64)>)> = Vec::new();
     for preset in [DbPreset::SwissprotMini, DbPreset::EnvNrMini] {
         let db = database(preset, &queries[0]);
         let mut rows = Vec::new();
@@ -77,6 +81,34 @@ fn main() {
                 flattens,
                 db_blocks,
             });
+            // Perf-gate medians from the largest batch: per-query
+            // deterministic simulated/modelled times (host wall-clock is
+            // reported in the sweep sections but never gated).
+            if batch == *BATCH_SIZES.last().unwrap() {
+                let results: Vec<_> = s.per_query.iter().flatten().collect();
+                let med = |f: &dyn Fn(&cublastp::CuBlastpResult) -> f64| {
+                    let mut xs: Vec<f64> = results.iter().map(|r| f(r)).collect();
+                    obsenv::median(&mut xs)
+                };
+                let mut phases: Vec<(String, f64)> = vec![
+                    ("gpu_ms".to_string(), med(&|r| r.timing.gpu_ms)),
+                    ("h2d_ms".to_string(), med(&|r| r.timing.h2d_ms)),
+                    ("d2h_ms".to_string(), med(&|r| r.timing.d2h_ms)),
+                ];
+                // Per-kernel simulated time, merged across each query's
+                // blocks (kernel order is the pipeline order).
+                if let Some(first) = results.first() {
+                    for (ki, k) in first.kernels.iter().enumerate() {
+                        let mut xs: Vec<f64> = results
+                            .iter()
+                            .filter_map(|r| r.kernels.get(ki))
+                            .map(|k| k.time_ms(&device))
+                            .collect();
+                        phases.push((k.name.clone(), obsenv::median(&mut xs)));
+                    }
+                }
+                medians.push((preset.spec().name.to_string(), phases));
+            }
         }
         sections.push((preset.spec().name.to_string(), rows));
     }
@@ -101,20 +133,41 @@ fn main() {
         );
     }
 
-    let json = render_json(&sections);
+    let json = render_json(&sections, &medians, scale);
     let path = "BENCH_throughput.json";
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
         Err(e) => eprintln!("failed to write {path}: {e}"),
     }
+    obsenv::write_exports();
 }
 
-fn render_json(sections: &[(String, Vec<Row>)]) -> String {
+fn render_json(
+    sections: &[(String, Vec<Row>)],
+    medians: &[(String, Vec<(String, f64)>)],
+    scale: f64,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"bench\": \"throughput\",\n");
     out.push_str("  \"device\": \"k20c\",\n");
+    out.push_str(&format!("  \"scale\": {scale},\n"));
     out.push_str(&format!("  \"cpu_threads\": {CPU_THREADS},\n"));
+    out.push_str("  \"phase_medians\": {\n");
+    for (pi, (name, phases)) in medians.iter().enumerate() {
+        out.push_str(&format!("    \"{name}\": {{"));
+        for (ki, (phase, ms)) in phases.iter().enumerate() {
+            out.push_str(&format!(
+                "\"{phase}\": {ms:.6}{}",
+                if ki + 1 < phases.len() { ", " } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "}}{}\n",
+            if pi + 1 < medians.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n");
     out.push_str("  \"presets\": [\n");
     for (pi, (name, rows)) in sections.iter().enumerate() {
         out.push_str("    {\n");

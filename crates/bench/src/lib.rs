@@ -12,11 +12,13 @@
 //! gives a quick smoke run and the default reproduces the EXPERIMENTS.md
 //! numbers exactly.
 
+pub mod gate;
 pub mod legacy;
+pub mod obsenv;
 pub mod runners;
 pub mod table;
 pub mod workloads;
 
 pub use runners::{run_cublastp, run_cuda_blastp, run_fsa_blast, run_gpu_blastp, run_ncbi_blast};
 pub use table::print_table;
-pub use workloads::{bench_scale, database, query, QUERY_LENGTHS};
+pub use workloads::{bench_scale, database, parse_bench_scale, query, QUERY_LENGTHS};

@@ -7,13 +7,38 @@ use bio_seq::{Sequence, SequenceDb};
 /// The paper's three query lengths (short / medium / long).
 pub const QUERY_LENGTHS: [usize; 3] = [127, 517, 1054];
 
+/// Parse a `BENCH_SCALE` value. `None` (unset) is the default 1.0; a set
+/// value must parse as a finite, strictly positive float — anything else
+/// is an error, never a silent fallback (a typo like `BENCH_SCALE=O.25`
+/// must not quietly run the full-size benchmark in CI).
+pub fn parse_bench_scale(raw: Option<&str>) -> Result<f64, String> {
+    let Some(s) = raw else { return Ok(1.0) };
+    let v: f64 = s
+        .trim()
+        .parse()
+        .map_err(|_| format!("BENCH_SCALE={s:?} is not a number"))?;
+    if !v.is_finite() {
+        return Err(format!("BENCH_SCALE={s:?} must be finite"));
+    }
+    if v <= 0.0 {
+        return Err(format!("BENCH_SCALE={s:?} must be > 0"));
+    }
+    Ok(v)
+}
+
 /// Scale factor for database sizes, from `BENCH_SCALE` (default 1.0).
+/// An invalid value aborts the benchmark with exit code 2 — the bench
+/// binaries call this before doing any work, so the failure is loud and
+/// immediate.
 pub fn bench_scale() -> f64 {
-    std::env::var("BENCH_SCALE")
-        .ok()
-        .and_then(|s| s.parse::<f64>().ok())
-        .filter(|v| *v > 0.0)
-        .unwrap_or(1.0)
+    let raw = std::env::var("BENCH_SCALE").ok();
+    match parse_bench_scale(raw.as_deref()) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// The named query of a given length (`query127` etc.).
@@ -44,6 +69,26 @@ mod tests {
         // The test environment does not set BENCH_SCALE.
         if std::env::var("BENCH_SCALE").is_err() {
             assert_eq!(bench_scale(), 1.0);
+        }
+    }
+
+    #[test]
+    fn parse_bench_scale_accepts_valid_values() {
+        assert_eq!(parse_bench_scale(None), Ok(1.0));
+        assert_eq!(parse_bench_scale(Some("0.25")), Ok(0.25));
+        assert_eq!(parse_bench_scale(Some(" 2 ")), Ok(2.0));
+        assert_eq!(parse_bench_scale(Some("1e-3")), Ok(0.001));
+    }
+
+    #[test]
+    fn parse_bench_scale_rejects_garbage() {
+        for bad in ["O.25", "", "0", "-1", "nan", "inf", "0.5x"] {
+            let r = parse_bench_scale(Some(bad));
+            assert!(r.is_err(), "{bad:?} must be rejected, got {r:?}");
+            assert!(
+                r.unwrap_err().contains("BENCH_SCALE"),
+                "error must name the variable"
+            );
         }
     }
 }

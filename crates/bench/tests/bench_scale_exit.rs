@@ -1,0 +1,83 @@
+//! A malformed `BENCH_SCALE` must abort the bench binaries with exit
+//! code 2 before any work runs — never silently fall back to the
+//! full-size workload (the failure mode this guards against: a typo in a
+//! CI variable runs the unscaled benchmark and the perf gate compares
+//! apples to oranges).
+
+use std::process::Command;
+
+fn run_with_scale(exe: &str, scale: &str) -> std::process::Output {
+    Command::new(exe)
+        .env("BENCH_SCALE", scale)
+        // Keep the failing runs cheap and out of the repo root.
+        .current_dir(std::env::temp_dir())
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn hotpath_rejects_malformed_bench_scale() {
+    for bad in ["O.25", "0", "-1", "nan", ""] {
+        let out = run_with_scale(env!("CARGO_BIN_EXE_hotpath"), bad);
+        assert_eq!(out.status.code(), Some(2), "BENCH_SCALE={bad:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("BENCH_SCALE"), "{err}");
+        assert!(out.stdout.is_empty(), "must fail before any output");
+    }
+}
+
+#[test]
+fn throughput_rejects_malformed_bench_scale() {
+    let out = run_with_scale(env!("CARGO_BIN_EXE_throughput"), "fast");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("BENCH_SCALE"));
+}
+
+#[test]
+fn perf_gate_usage_error_exits_two() {
+    let out = Command::new(env!("CARGO_BIN_EXE_perf_gate"))
+        .arg("--frobnicate")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn perf_gate_passes_and_fails_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("perf_gate_e2e_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = dir.join("base.json");
+    let meas = dir.join("meas.json");
+    std::fs::write(
+        &base,
+        "{\"phase_medians\": {\"db\": {\"hit_detection\": 1.0}}}",
+    )
+    .unwrap();
+    std::fs::write(
+        &meas,
+        "{\"phase_medians\": {\"db\": {\"hit_detection\": 1.05}}}",
+    )
+    .unwrap();
+    let run = |tol: &str| {
+        Command::new(env!("CARGO_BIN_EXE_perf_gate"))
+            .args([
+                "--baseline",
+                base.to_str().unwrap(),
+                "--measured",
+                meas.to_str().unwrap(),
+                "--tolerance",
+                tol,
+            ])
+            .output()
+            .expect("binary runs")
+    };
+    // +5% regression: inside the default-ish tolerance, outside a tight one.
+    let ok = run("0.15");
+    assert_eq!(ok.status.code(), Some(0), "{:?}", ok);
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("PASS"));
+    let tight = run("0.01");
+    assert_eq!(tight.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&tight.stdout).contains("FAIL"));
+    std::fs::remove_dir_all(&dir).ok();
+}

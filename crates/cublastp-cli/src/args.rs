@@ -36,6 +36,11 @@ OPTIONS:
                          workspace panic
     --max-retries <n>    attempts per block before degrading (default 3)
     --no-cpu-fallback    fail instead of re-running faulted blocks on CPU
+    --trace-out <path>   write a Chrome trace_event JSON of the run (open
+                         in Perfetto / chrome://tracing)
+    --metrics-out <path> write pipeline metrics; .json extension selects
+                         JSON, anything else Prometheus text format
+    --phase-table        print a per-phase timing table (Fig. 11 style)
     --help               this text
 
 EXIT CODES:
@@ -96,6 +101,9 @@ pub struct Args {
     pub fault_plan: FaultPlan,
     pub max_retries: u32,
     pub cpu_fallback: bool,
+    pub trace_out: Option<String>,
+    pub metrics_out: Option<String>,
+    pub phase_table: bool,
     pub help: bool,
 }
 
@@ -119,6 +127,9 @@ impl Default for Args {
             fault_plan: FaultPlan::none(),
             max_retries: 3,
             cpu_fallback: true,
+            trace_out: None,
+            metrics_out: None,
+            phase_table: false,
             help: false,
         }
     }
@@ -194,6 +205,9 @@ impl Args {
                         .map_err(|e| format!("--max-retries: {e}"))?
                 }
                 "--no-cpu-fallback" => args.cpu_fallback = false,
+                "--trace-out" => args.trace_out = Some(value(&mut argv, "--trace-out")?),
+                "--metrics-out" => args.metrics_out = Some(value(&mut argv, "--metrics-out")?),
+                "--phase-table" => args.phase_table = true,
                 "--help" | "-h" => args.help = true,
                 other => return Err(format!("unknown option {other:?}")),
             }
@@ -339,6 +353,25 @@ mod tests {
         let c = a.cublastp_config();
         assert_eq!(c.recovery.max_attempts, 5);
         assert!(!c.recovery.cpu_fallback);
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let a = parse(&[
+            "--demo",
+            "--trace-out",
+            "t.json",
+            "--metrics-out",
+            "m.prom",
+            "--phase-table",
+        ])
+        .unwrap();
+        assert_eq!(a.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(a.metrics_out.as_deref(), Some("m.prom"));
+        assert!(a.phase_table);
+        let d = parse(&["--demo"]).unwrap();
+        assert!(d.trace_out.is_none() && d.metrics_out.is_none() && !d.phase_table);
+        assert!(parse(&["--demo", "--trace-out"]).is_err());
     }
 
     #[test]

@@ -54,6 +54,100 @@ fn exit_code_for(err: &SearchError) -> u8 {
     }
 }
 
+/// Per-phase simulated time accumulated across the batch, for the
+/// `--phase-table` report (Fig. 11-style breakdown).
+#[derive(Default)]
+struct PhaseTable {
+    /// `(kernel name, summed simulated ms)` in pipeline order.
+    kernels: Vec<(String, f64)>,
+    h2d_ms: f64,
+    d2h_ms: f64,
+    gapped_ms: f64,
+    traceback_ms: f64,
+    other_ms: f64,
+    overlapped_ms: f64,
+    serial_ms: f64,
+    queries: usize,
+}
+
+impl PhaseTable {
+    fn absorb(&mut self, r: &cublastp::CuBlastpResult, device: &DeviceConfig) {
+        for k in &r.kernels {
+            let ms = k.time_ms(device);
+            match self.kernels.iter_mut().find(|(n, _)| *n == k.name) {
+                Some((_, acc)) => *acc += ms,
+                None => self.kernels.push((k.name.clone(), ms)),
+            }
+        }
+        self.h2d_ms += r.timing.h2d_ms;
+        self.d2h_ms += r.timing.d2h_ms;
+        self.gapped_ms += r.timing.gapped_ms;
+        self.traceback_ms += r.timing.traceback_ms;
+        self.other_ms += r.timing.other_ms;
+        self.overlapped_ms += r.timing.overlapped_ms;
+        self.serial_ms += r.timing.serial_ms;
+        self.queries += 1;
+    }
+
+    fn print(&self) {
+        let gpu: f64 = self.kernels.iter().map(|(_, ms)| ms).sum();
+        let total =
+            gpu + self.h2d_ms + self.d2h_ms + self.gapped_ms + self.traceback_ms + self.other_ms;
+        let pct = |ms: f64| if total > 0.0 { 100.0 * ms / total } else { 0.0 };
+        out!(
+            "# per-phase timing, summed over {} quer{} (simulated device + modelled CPU):",
+            self.queries,
+            if self.queries == 1 { "y" } else { "ies" }
+        );
+        out!("# {:<28} {:>10} {:>7}", "phase", "ms", "%");
+        for (name, ms) in &self.kernels {
+            out!("# {:<28} {:>10.3} {:>6.1}%", name, ms, pct(*ms));
+        }
+        for (name, ms) in [
+            ("h2d_transfer", self.h2d_ms),
+            ("d2h_transfer", self.d2h_ms),
+            ("gapped_extension", self.gapped_ms),
+            ("traceback", self.traceback_ms),
+            ("other (setup+merge)", self.other_ms),
+        ] {
+            out!("# {:<28} {:>10.3} {:>6.1}%", name, ms, pct(ms));
+        }
+        out!("# {:<28} {:>10.3} {:>6.1}%", "total (serial)", total, 100.0);
+        if self.serial_ms > 0.0 {
+            out!(
+                "# pipeline overlap: {:.3} ms overlapped vs {:.3} ms serial ({:.1}% hidden)",
+                self.overlapped_ms,
+                self.serial_ms,
+                100.0 * (1.0 - self.overlapped_ms / self.serial_ms)
+            );
+        }
+    }
+}
+
+/// Write the accumulated trace / metrics exports requested by
+/// `--trace-out` / `--metrics-out`. Returns an error string on I/O
+/// failure.
+fn write_observability(args: &Args) -> Result<(), String> {
+    if let Some(path) = &args.trace_out {
+        let trace = obs::take_trace();
+        std::fs::write(path, trace.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "# trace: {} events -> {path} (load in Perfetto or chrome://tracing)",
+            trace.events.len()
+        );
+    }
+    if let Some(path) = &args.metrics_out {
+        let body = if path.ends_with(".json") {
+            obs::metrics().to_json()
+        } else {
+            obs::metrics().to_prometheus()
+        };
+        std::fs::write(path, body).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("# metrics -> {path}");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match Args::parse(std::env::args().skip(1)) {
         Ok(a) => a,
@@ -98,15 +192,34 @@ fn main() -> ExitCode {
     // process-wide shared one, built on first use.
     let dev_cache = DeviceDbCache::new();
     let injector = Arc::new(FaultInjector::new(args.fault_plan.clone()));
+    obs::arm(args.trace_out.is_some(), args.metrics_out.is_some());
+    let mut phase_table = args.phase_table.then(PhaseTable::default);
     let t_batch = std::time::Instant::now();
     let mut failures: Vec<(usize, String, SearchError)> = Vec::new();
     for (i, query) in queries.iter().enumerate() {
-        if let Err(e) = run_query(query, i, &db, &args, &dev_cache, &injector) {
+        if let Err(e) = run_query(
+            query,
+            i,
+            &db,
+            &args,
+            &dev_cache,
+            &injector,
+            &mut phase_table,
+        ) {
             eprintln!("error: query {} ({}): {e}", i + 1, query.id);
             failures.push((i, query.id.clone(), e));
         }
     }
     let batch_wall = t_batch.elapsed();
+    if let Some(table) = &phase_table {
+        if args.outfmt != args::OutFmt::Tab {
+            table.print();
+        }
+    }
+    if let Err(e) = write_observability(&args) {
+        eprintln!("error: {e}");
+        return ExitCode::from(EXIT_INPUT);
+    }
 
     let summary = format!(
         "# batch: {} quer{} in {:.2} ms ({:.2} queries/sec), {} ok, {} failed",
@@ -168,6 +281,7 @@ fn load_inputs(args: &Args) -> Result<(Vec<Sequence>, SequenceDb), String> {
     Ok((queries, SequenceDb::new(dpath.clone(), subjects)))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_query(
     query: &Sequence,
     index: usize,
@@ -175,6 +289,7 @@ fn run_query(
     args: &Args,
     dev_cache: &DeviceDbCache,
     injector: &Arc<FaultInjector>,
+    phase_table: &mut Option<PhaseTable>,
 ) -> Result<(), SearchError> {
     let params = args.params();
     let t0 = std::time::Instant::now();
@@ -187,6 +302,9 @@ fn run_query(
             searcher.stream_index = index as u32;
             let dev_db = dev_cache.get(db, config.db_block_size);
             let r = searcher.search_resident(db, &dev_db, index == 0)?;
+            if let Some(table) = phase_table {
+                table.absorb(&r, &DeviceConfig::k20c());
+            }
             let mut telemetry = format!(
                 "hits {} → filtered {} ({:.1}%) → extensions {}; simulated GPU {:.2} ms, overlapped total {:.2} ms",
                 r.counts.hits,

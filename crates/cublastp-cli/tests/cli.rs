@@ -248,6 +248,52 @@ fn multibyte_subject_id_does_not_panic() {
 }
 
 #[test]
+fn trace_and_metrics_flags_write_exports() {
+    let dir = std::env::temp_dir().join(format!("cublastp_cli_obs_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("trace.json");
+    let prom = dir.join("metrics.prom");
+    let mjson = dir.join("metrics.json");
+    let out = run(&[
+        "--demo",
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--metrics-out",
+        prom.to_str().unwrap(),
+        "--phase-table",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("per-phase timing"), "{text}");
+    assert!(text.contains("hit_detection"), "{text}");
+    assert!(text.contains("gapped_extension"), "{text}");
+
+    let trace_body = std::fs::read_to_string(&trace).unwrap();
+    assert!(trace_body.contains("\"traceEvents\""), "not a Chrome trace");
+    assert!(trace_body.contains("gpu_phase"));
+    assert!(trace_body.contains("gpu (modelled)"));
+
+    let prom_body = std::fs::read_to_string(&prom).unwrap();
+    assert!(
+        prom_body.contains("# TYPE cublastp_hits_detected_total counter"),
+        "{prom_body}"
+    );
+    assert!(prom_body.contains("cublastp_phase_ms"), "{prom_body}");
+
+    // A .json metrics path selects the JSON exporter.
+    let out = run(&["--demo", "--metrics-out", mjson.to_str().unwrap()]);
+    assert!(out.status.success());
+    let json_body = std::fs::read_to_string(&mjson).unwrap();
+    assert!(json_body.trim_start().starts_with('{'), "{json_body}");
+    assert!(json_body.contains("hits_detected_total"), "{json_body}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn tabular_output_has_twelve_columns() {
     let dir = std::env::temp_dir().join(format!("cublastp_cli_tab_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();

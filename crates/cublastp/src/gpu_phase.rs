@@ -3,7 +3,7 @@
 //! → ungapped extension) run back to back, as in §3.2–3.4.
 
 use crate::binning::binning_kernel;
-use crate::config::CuBlastpConfig;
+use crate::config::{CuBlastpConfig, ExtensionStrategy};
 use crate::devicedata::{DeviceDbBlock, DeviceQuery};
 use crate::extension::{extension_kernel, ExtensionResult};
 use crate::reorder::{assemble_kernel, sort_kernel};
@@ -126,6 +126,22 @@ impl GpuPhaseOutput {
     }
 }
 
+/// Map a kernel's stats name onto its static span label (modelled trace
+/// events need `&'static str`; the extension kernel name varies by
+/// strategy).
+fn kernel_label(name: &str) -> &'static str {
+    match name {
+        "hit_detection" => "hit_detection",
+        "hit_assembling" => "hit_assembling",
+        "hit_sorting" => "hit_sorting",
+        "hit_filtering" => "hit_filtering",
+        "ungapped_extension_diagonal" => "ungapped_extension_diagonal",
+        "ungapped_extension_hit" => "ungapped_extension_hit",
+        "ungapped_extension_window" => "ungapped_extension_window",
+        _ => "kernel",
+    }
+}
+
 /// Run the five fine-grained kernels over one uploaded database block.
 /// Hit-path scratch (arena pages, sort ping-pong, compaction buffers)
 /// comes from `ws` and is returned to it before the call ends, so a warm
@@ -148,6 +164,10 @@ pub fn run_gpu_phase(
     injector: &FaultInjector,
     ctx: FaultCtx,
 ) -> Result<GpuPhaseOutput, DeviceError> {
+    let _phase_span = obs::span("gpu_phase", "gpu")
+        .with_block(ctx.block)
+        .with_query(ctx.query);
+
     // The block's device footprint: scratch arena, workspace checkout,
     // and the H2D leg that made `db`/`query` resident (Fig. 12 upload).
     injector.check(FaultSite::DeviceAlloc, ctx, "block scratch arena")?;
@@ -158,21 +178,31 @@ pub fn run_gpu_phase(
 
     // Kernel 1: warp-based hit detection with binning (Algorithm 2).
     injector.check(FaultSite::KernelLaunch, ctx, "hit_detection")?;
+    let mut k_span = obs::span("hit_detection", "kernel").with_block(ctx.block);
     let (binned, k_bin) = binning_kernel(device, cfg, query, db, ws);
+    k_span.set_arg("sim_ms", k_bin.time_ms(device));
+    drop(k_span);
     let hits = binned.total_hits;
 
     // Kernel 2: assemble bins into a contiguous array (Fig. 6a) — the
     // arena moves, only the offsets are collapsed.
     injector.check(FaultSite::KernelLaunch, ctx, "hit_assembling")?;
+    let mut k_span = obs::span("hit_assembling", "kernel").with_block(ctx.block);
     let (mut assembled, k_asm) = assemble_kernel(device, cfg, binned, ws);
+    k_span.set_arg("sim_ms", k_asm.time_ms(device));
+    drop(k_span);
 
     // Kernel 3: segmented sort on the packed 64-bit keys (Fig. 6b, Fig. 7).
     injector.check(FaultSite::KernelLaunch, ctx, "hit_sorting")?;
+    let mut k_span = obs::span("hit_sorting", "kernel").with_block(ctx.block);
     let k_sort = sort_kernel(device, &mut assembled, ws);
+    k_span.set_arg("sim_ms", k_sort.time_ms(device));
+    drop(k_span);
 
     // Kernel 4: filter non-extendable hits (Fig. 6c); in one-hit mode the
     // pass degenerates to compaction.
     injector.check(FaultSite::KernelLaunch, ctx, "hit_filtering")?;
+    let mut k_span = obs::span("hit_filtering", "kernel").with_block(ctx.block);
     let (filtered, k_filter) = crate::reorder::filter_kernel_mode(
         device,
         cfg,
@@ -181,16 +211,26 @@ pub fn run_gpu_phase(
         params.two_hit_window as i64,
         ws,
     );
+    k_span.set_arg("sim_ms", k_filter.time_ms(device));
+    drop(k_span);
     assembled.recycle(ws);
     let n_filtered = filtered.hits.len() as u64;
 
     // Kernel 5: fine-grained ungapped extension (Algorithms 3–5).
     injector.check(FaultSite::KernelLaunch, ctx, "ungapped_extension")?;
+    let ext_span_name = match cfg.extension {
+        ExtensionStrategy::Diagonal => "ungapped_extension_diagonal",
+        ExtensionStrategy::Hit => "ungapped_extension_hit",
+        ExtensionStrategy::Window => "ungapped_extension_window",
+    };
+    let mut k_span = obs::span(ext_span_name, "kernel").with_block(ctx.block);
     let ExtensionResult {
         extensions,
         stats: k_ext,
         redundant,
     } = extension_kernel(device, cfg, query, db, &filtered, params);
+    k_span.set_arg("sim_ms", k_ext.time_ms(device));
+    drop(k_span);
     filtered.recycle(ws);
 
     let n_ext = extensions.len() as u64;
@@ -201,6 +241,31 @@ pub fn run_gpu_phase(
     // D2H leg: the extension records the CPU tail consumes (Fig. 12).
     injector.check(FaultSite::D2h, ctx, "extension download")?;
     injector.check(FaultSite::D2hTimeout, ctx, "extension download")?;
+
+    if obs::state() != 0 {
+        for k in [&k_bin, &k_asm, &k_sort, &k_filter, &k_ext] {
+            let sim_ms = k.time_ms(device);
+            obs::modelled(
+                "gpu (modelled)",
+                kernel_label(&k.name),
+                sim_ms,
+                Some(ctx.block),
+                None,
+            );
+            obs::observe("kernel_sim_ms", &[("kernel", &k.name)], sim_ms);
+        }
+        obs::counter("hits_detected_total", &[], hits);
+        obs::counter("hits_survived_total", &[], n_filtered);
+        obs::counter("extensions_total", &[], n_ext);
+        obs::counter("extensions_redundant_total", &[], redundant);
+        if hits > 0 {
+            obs::observe(
+                "filter_survival_pct",
+                &[],
+                100.0 * n_filtered as f64 / hits as f64,
+            );
+        }
+    }
 
     Ok(GpuPhaseOutput {
         extensions,

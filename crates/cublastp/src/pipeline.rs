@@ -100,8 +100,12 @@ where
             // The closure owns `tx`; dropping it (normally or via unwind)
             // is what lets the consumer loop below terminate.
             catch_unwind(AssertUnwindSafe(move || {
-                for input in inputs {
-                    let mid = producer(input);
+                for (i, input) in inputs.into_iter().enumerate() {
+                    let mid = {
+                        let _span = obs::span("producer_block", "pipeline").with_block(i as u32);
+                        producer(input)
+                    };
+                    obs::counter("pipeline_blocks_total", &[("side", "producer")], 1);
                     if tx.send(mid).is_err() {
                         break;
                     }
@@ -110,10 +114,20 @@ where
         });
         let mut out = Vec::new();
         let mut cpu_panic: Option<PipelineError> = None;
+        let mut consumed: u32 = 0;
         // recv() returns Err when the producer is done (or panicked and
         // dropped its sender) — either way the loop terminates.
         while let Ok(mid) = rx.recv() {
-            match catch_unwind(AssertUnwindSafe(|| consumer(mid))) {
+            let block = consumed;
+            consumed += 1;
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                let _span = obs::span("consumer_block", "pipeline").with_block(block);
+                consumer(mid)
+            }));
+            if run.is_ok() {
+                obs::counter("pipeline_blocks_total", &[("side", "consumer")], 1);
+            }
+            match run {
                 Ok(r) => out.push(r),
                 Err(payload) => {
                     cpu_panic = Some(PipelineError::WorkerPanicked {

@@ -150,8 +150,10 @@ impl CuBlastp {
         db: &SequenceDb,
     ) -> Self {
         let t0 = Instant::now();
+        let setup_span = obs::span("query_setup", "host");
         let engine = SearchEngine::new(query, params, db);
         let query_device = DeviceQuery::upload(engine.dfa.clone(), engine.pssm.clone());
+        drop(setup_span);
         let setup_ms = t0.elapsed().as_secs_f64() * 1e3;
         Self {
             engine,
@@ -191,6 +193,16 @@ impl CuBlastp {
         let mut attempts = 0u32;
         let final_err = loop {
             attempts += 1;
+            // Re-launches after a fault get their own span, so retry storms
+            // are visible as repeated `block_retry` lanes in the trace.
+            let _retry_span = if attempts > 1 {
+                obs::span("block_retry", "recovery")
+                    .with_block(block_idx)
+                    .with_query(self.stream_index)
+                    .with_arg("attempt", attempts as f64)
+            } else {
+                obs::PhaseSpan::inert()
+            };
             match run_gpu_phase(
                 &self.device,
                 &self.config,
@@ -204,11 +216,13 @@ impl CuBlastp {
                 Ok(out) => return Ok((out, recovery)),
                 Err(e) => {
                     recovery.faults += 1;
+                    obs::counter("recovery_faults_total", &[], 1);
                     if e.is_transient() && attempts < policy.max_attempts {
                         // A retry starts from known-good device state: drop
                         // pooled buffers the failed launch may have left
                         // inconsistent, then back off linearly.
                         recovery.retries += 1;
+                        obs::counter("recovery_retries_total", &[], 1);
                         self.workspace.reset();
                         if policy.backoff_ms > 0.0 {
                             std::thread::sleep(Duration::from_secs_f64(
@@ -223,6 +237,10 @@ impl CuBlastp {
         };
         if policy.cpu_fallback {
             recovery.degraded_blocks += 1;
+            obs::counter("recovery_degraded_blocks_total", &[], 1);
+            let _fb_span = obs::span("cpu_fallback", "recovery")
+                .with_block(block_idx)
+                .with_query(self.stream_index);
             Ok((self.cpu_fallback_phase(dev_block), recovery))
         } else {
             Err(SearchError::Device {
@@ -302,6 +320,7 @@ impl CuBlastp {
         dev_db: &DeviceDb,
         charge_h2d: bool,
     ) -> Result<CuBlastpResult, SearchError> {
+        let _search_span = obs::span("search", "host").with_query(self.stream_index);
         self.config.validate()?;
         if dev_db.block_size() != self.config.db_block_size {
             return Err(SearchError::config(format!(
@@ -318,12 +337,33 @@ impl CuBlastp {
         let gpu_side =
             |(idx, (block, dev_block)): (usize, (DbBlock, Arc<DeviceDbBlock>))| -> GpuSideOut {
                 let h2d = if charge_h2d {
-                    device.transfer_ms(dev_block.upload_bytes())
+                    let ms = device.transfer_ms(dev_block.upload_bytes());
+                    obs::modelled(
+                        "pcie h2d (modelled)",
+                        "h2d_transfer",
+                        ms,
+                        Some(idx as u32),
+                        Some(self.stream_index),
+                    );
+                    obs::counter(
+                        "pcie_bytes_total",
+                        &[("dir", "h2d")],
+                        dev_block.upload_bytes(),
+                    );
+                    ms
                 } else {
                     0.0
                 };
                 let (out, recovery) = self.run_block_recovered(&dev_block, idx as u32)?;
                 let d2h = device.transfer_ms(out.download_bytes);
+                obs::modelled(
+                    "pcie d2h (modelled)",
+                    "d2h_transfer",
+                    d2h,
+                    Some(idx as u32),
+                    Some(self.stream_index),
+                );
+                obs::counter("pcie_bytes_total", &[("dir", "d2h")], out.download_bytes);
                 Ok((block.start, out, recovery, h2d, d2h))
             };
 
@@ -347,6 +387,7 @@ impl CuBlastp {
         >;
         let cpu_side = |gpu_out: GpuSideOut| -> CpuSideOut {
             let (base, out, recovery, h2d, d2h) = gpu_out?;
+            let mut cpu_span = obs::span("cpu_phase", "cpu").with_query(self.stream_index);
             let mut times = PhaseTimes::default();
             let csr = &out.extensions;
             let partials: Vec<(SearchReport, PhaseTimes)> = pool.install(|| {
@@ -375,8 +416,32 @@ impl CuBlastp {
             }
             // Modelled multicore wall-clock: summed per-subject phase time
             // over the Fig. 13 scaling curve.
-            let cpu_wall_ms = (times.gapped + times.traceback).as_secs_f64() * 1e3
-                / blast_cpu::search::modeled_parallel_speedup(self.config.cpu_threads);
+            let cpu_scale =
+                1.0 / blast_cpu::search::modeled_parallel_speedup(self.config.cpu_threads);
+            let gapped_ms = times.gapped.as_secs_f64() * 1e3 * cpu_scale;
+            let traceback_ms = times.traceback.as_secs_f64() * 1e3 * cpu_scale;
+            let cpu_wall_ms = gapped_ms + traceback_ms;
+            if obs::state() != 0 {
+                cpu_span.set_arg("gapped_ms", gapped_ms);
+                cpu_span.set_arg("traceback_ms", traceback_ms);
+                // The two CPU sub-phases interleave per subject on the
+                // pool, so their wall-clocks are modelled lanes (like the
+                // GPU kernels), while `cpu_phase` above is the measured
+                // host span.
+                let q = Some(self.stream_index);
+                obs::modelled(
+                    "cpu tail (modelled)",
+                    "gapped_extension",
+                    gapped_ms,
+                    None,
+                    q,
+                );
+                obs::modelled("cpu tail (modelled)", "traceback", traceback_ms, None, q);
+                obs::observe("gapped_ms", &[], gapped_ms);
+                obs::observe("traceback_ms", &[], traceback_ms);
+                obs::counter("alignments_total", &[], report.hits.len() as u64);
+            }
+            drop(cpu_span);
             Ok((report, times, out, recovery, h2d, d2h, cpu_wall_ms))
         };
 
@@ -396,6 +461,7 @@ impl CuBlastp {
 
         // Merge.
         let t_merge = Instant::now();
+        let merge_span = obs::span("merge", "host").with_query(self.stream_index);
         let mut report = SearchReport::default();
         let mut kernels: Vec<KernelStats> = Vec::new();
         let mut counts = GpuPhaseCounts::default();
@@ -439,6 +505,15 @@ impl CuBlastp {
         timing.overlapped_ms = pipeline.overlapped_ms;
         timing.serial_ms = pipeline.serial_ms;
         timing.other_ms = self.setup_ms + t_merge.elapsed().as_secs_f64() * 1e3;
+        drop(merge_span);
+        if obs::metrics_enabled() {
+            let checkouts = self.workspace.checkouts();
+            let allocs = self.workspace.allocations();
+            if checkouts > 0 {
+                let hit_rate = 1.0 - allocs as f64 / checkouts as f64;
+                obs::gauge("workspace_pool_hit_rate", &[], hit_rate);
+            }
+        }
 
         Ok(CuBlastpResult {
             report,
@@ -575,7 +650,8 @@ pub fn search_batch_with(
     let workspace = Arc::new(KernelWorkspace::new());
 
     let run_query = |(i, q): (usize, &Sequence)| -> Result<CuBlastpResult, SearchError> {
-        catch_unwind(AssertUnwindSafe(|| {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _batch_span = obs::span("batch_query", "batch").with_query(i as u32);
             let mut searcher = CuBlastp::new(q.clone(), params, config, device, db);
             searcher.workspace = Arc::clone(&workspace);
             if let Some(inj) = &opts.injector {
@@ -589,7 +665,10 @@ pub fn search_batch_with(
                 side: "batch query",
                 payload: panic_message(payload.as_ref()),
             }))
-        })
+        });
+        let outcome = if result.is_ok() { "ok" } else { "err" };
+        obs::counter("batch_queries_total", &[("outcome", outcome)], 1);
+        result
     };
     let per_query: Vec<Result<CuBlastpResult, SearchError>> = if opts.parallel {
         blast_cpu::search::shared_pool()

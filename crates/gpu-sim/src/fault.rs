@@ -373,6 +373,7 @@ impl FaultInjector {
             };
             if fire {
                 self.injected.fetch_add(1, Ordering::Relaxed);
+                obs::counter("faults_injected_total", &[("site", site.name())], 1);
                 if site == FaultSite::HostPanic {
                     panic!(
                         "injected host panic (query {}, block {})",

@@ -25,15 +25,13 @@ pub struct BufferPool<T> {
     free: Mutex<Vec<Vec<T>>>,
     takes: AtomicU64,
     allocs: AtomicU64,
+    /// Metric label; anonymous pools (empty name) skip metric emission.
+    name: &'static str,
 }
 
 impl<T> Default for BufferPool<T> {
     fn default() -> Self {
-        Self {
-            free: Mutex::new(Vec::new()),
-            takes: AtomicU64::new(0),
-            allocs: AtomicU64::new(0),
-        }
+        Self::named("")
     }
 }
 
@@ -43,16 +41,32 @@ impl<T> BufferPool<T> {
         Self::default()
     }
 
+    /// An empty pool labelled `name` in the `workspace_*` metric series.
+    pub fn named(name: &'static str) -> Self {
+        Self {
+            free: Mutex::new(Vec::new()),
+            takes: AtomicU64::new(0),
+            allocs: AtomicU64::new(0),
+            name,
+        }
+    }
+
     /// Check out a cleared buffer, reusing retained capacity when any is
     /// pooled.
     pub fn take(&self) -> Vec<T> {
         self.takes.fetch_add(1, Ordering::Relaxed);
-        if let Some(buf) = self.free.lock().pop() {
-            buf
-        } else {
+        let buf = self.free.lock().pop();
+        let cold = buf.is_none();
+        if cold {
             self.allocs.fetch_add(1, Ordering::Relaxed);
-            Vec::new()
         }
+        if !self.name.is_empty() {
+            obs::counter("workspace_checkouts_total", &[("pool", self.name)], 1);
+            if cold {
+                obs::counter("workspace_cold_allocs_total", &[("pool", self.name)], 1);
+            }
+        }
+        buf.unwrap_or_default()
     }
 
     /// Return a buffer to the pool. Contents are dropped; capacity is
@@ -92,7 +106,6 @@ impl<T> BufferPool<T> {
 /// search of an engine (and across a whole batch). All pools are
 /// thread-safe, so parallel per-block kernel bodies and parallel batch
 /// queries check buffers in and out concurrently.
-#[derive(Default)]
 pub struct KernelWorkspace {
     /// Packed 64-bit hit keys: arena pages, sort scratch, filter output.
     pub keys: BufferPool<u64>,
@@ -102,6 +115,17 @@ pub struct KernelWorkspace {
     pub offsets: BufferPool<u32>,
     /// Per-lane `(query_pos, subject_col)` staging in the binning kernel.
     pub lane_hits: BufferPool<(u32, u32)>,
+}
+
+impl Default for KernelWorkspace {
+    fn default() -> Self {
+        Self {
+            keys: BufferPool::named("keys"),
+            addrs: BufferPool::named("addrs"),
+            offsets: BufferPool::named("offsets"),
+            lane_hits: BufferPool::named("lane_hits"),
+        }
+    }
 }
 
 impl KernelWorkspace {

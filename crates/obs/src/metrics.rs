@@ -1,0 +1,579 @@
+//! The metrics registry: labelled counters, gauges and histograms.
+//!
+//! One process-wide [`Registry`] (via [`metrics`]) aggregates everything
+//! the instrumented pipeline emits — hits binned, post-filter survival,
+//! retries, degraded blocks, workspace-pool hit rate, bytes per simulated
+//! PCIe leg. It exports as JSON ([`Registry::to_json`]) and Prometheus
+//! text exposition format ([`Registry::to_prometheus`]).
+//!
+//! The registry itself is unconditional (local instances are plainly
+//! testable); the *armed gate* lives in the free helpers
+//! [`counter`] / [`gauge`] / [`observe`], which cost one relaxed atomic
+//! load when metrics are disarmed.
+
+use crate::json;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Histogram bucket upper bounds (plus an implicit +Inf overflow): three
+/// per decade across eight decades, covering sub-µs phase times through
+/// multi-second batches.
+pub const BUCKET_BOUNDS: [f64; 24] = [
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0, 25000.0, 50000.0,
+];
+
+/// An exponential-bucket histogram with exact count/sum/min/max.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Per-bucket counts; index `i` counts values `v <= BUCKET_BOUNDS[i]`
+    /// (last slot is the +Inf overflow).
+    pub buckets: [u64; BUCKET_BOUNDS.len() + 1],
+    pub count: u64,
+    pub sum: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; BUCKET_BOUNDS.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Histogram {
+    fn observe(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        let i = BUCKET_BOUNDS
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(BUCKET_BOUNDS.len());
+        self.buckets[i] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// within the covering bucket, clamped to the observed min/max.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if next as f64 >= target {
+                let lower = if i == 0 { 0.0 } else { BUCKET_BOUNDS[i - 1] };
+                let upper = if i < BUCKET_BOUNDS.len() {
+                    BUCKET_BOUNDS[i]
+                } else {
+                    self.max
+                };
+                let frac = ((target - cum as f64) / c as f64).clamp(0.0, 1.0);
+                let v = lower + frac * (upper - lower);
+                return Some(v.clamp(self.min, self.max));
+            }
+            cum = next;
+        }
+        Some(self.max)
+    }
+}
+
+/// `(metric name, sorted label pairs)` — the identity of one series.
+type Key = (&'static str, Vec<(&'static str, String)>);
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<Key, u64>,
+    gauges: BTreeMap<Key, f64>,
+    histograms: BTreeMap<Key, Histogram>,
+}
+
+/// A metrics registry. Use the global one via [`metrics`], or construct
+/// local instances in tests.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+fn key(name: &'static str, labels: &[(&'static str, &str)]) -> Key {
+    let mut l: Vec<(&'static str, String)> =
+        labels.iter().map(|(k, v)| (*k, (*v).to_string())).collect();
+    l.sort();
+    (name, l)
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Add `v` to a counter series (creating it at zero).
+    pub fn counter_add(&self, name: &'static str, labels: &[(&'static str, &str)], v: u64) {
+        *self.lock().counters.entry(key(name, labels)).or_insert(0) += v;
+    }
+
+    /// Set a gauge series to `v`.
+    pub fn gauge_set(&self, name: &'static str, labels: &[(&'static str, &str)], v: f64) {
+        self.lock().gauges.insert(key(name, labels), v);
+    }
+
+    /// Record `v` into a histogram series.
+    pub fn observe(&self, name: &'static str, labels: &[(&'static str, &str)], v: f64) {
+        self.lock()
+            .histograms
+            .entry(key(name, labels))
+            .or_default()
+            .observe(v);
+    }
+
+    /// Current value of a counter series (0 when absent).
+    pub fn counter_value(&self, name: &'static str, labels: &[(&'static str, &str)]) -> u64 {
+        self.lock()
+            .counters
+            .get(&key(name, labels))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Current value of a gauge series.
+    pub fn gauge_value(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Option<f64> {
+        self.lock().gauges.get(&key(name, labels)).copied()
+    }
+
+    /// Observation count of a histogram series (0 when absent).
+    pub fn histogram_count(&self, name: &'static str, labels: &[(&'static str, &str)]) -> u64 {
+        self.lock()
+            .histograms
+            .get(&key(name, labels))
+            .map(|h| h.count)
+            .unwrap_or(0)
+    }
+
+    /// Quantile estimate of a histogram series.
+    pub fn histogram_quantile(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        q: f64,
+    ) -> Option<f64> {
+        self.lock()
+            .histograms
+            .get(&key(name, labels))
+            .and_then(|h| h.quantile(q))
+    }
+
+    /// Drop every series (tests and between CLI batches).
+    pub fn reset(&self) {
+        let mut inner = self.lock();
+        inner.counters.clear();
+        inner.gauges.clear();
+        inner.histograms.clear();
+    }
+
+    /// True when no series exist.
+    pub fn is_empty(&self) -> bool {
+        let inner = self.lock();
+        inner.counters.is_empty() && inner.gauges.is_empty() && inner.histograms.is_empty()
+    }
+
+    /// Export as JSON: three objects keyed by `name{label="value"}`
+    /// series strings; histograms carry count/sum/min/max and p50/p90/p99.
+    pub fn to_json(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::from("{\n  \"counters\": {");
+        let mut first = true;
+        for ((name, labels), v) in &inner.counters {
+            sep(&mut out, &mut first);
+            json::escape_into(&mut out, &series_key(name, labels));
+            let _ = write!(out, ": {v}");
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        first = true;
+        for ((name, labels), v) in &inner.gauges {
+            sep(&mut out, &mut first);
+            json::escape_into(&mut out, &series_key(name, labels));
+            let _ = write!(out, ": {}", json::num(*v));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        first = true;
+        for ((name, labels), h) in &inner.histograms {
+            sep(&mut out, &mut first);
+            json::escape_into(&mut out, &series_key(name, labels));
+            let q = |p: f64| json::num(h.quantile(p).unwrap_or(0.0));
+            let _ = write!(
+                out,
+                ": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                 \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                h.count,
+                json::num(h.sum),
+                json::num(if h.count == 0 { 0.0 } else { h.min }),
+                json::num(if h.count == 0 { 0.0 } else { h.max }),
+                q(0.5),
+                q(0.9),
+                q(0.99),
+            );
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Export in Prometheus text exposition format. Metric names get a
+    /// `cublastp_` prefix; label values are escaped per the format
+    /// (backslash, double-quote and newline).
+    pub fn to_prometheus(&self) -> String {
+        let inner = self.lock();
+        let mut out = String::new();
+        // Series keys are sorted by (name, labels), so one TYPE line per
+        // name means: emit it only when the name changes.
+        let mut last: Option<&str> = None;
+        for ((name, labels), v) in &inner.counters {
+            let pname = prom_name(name);
+            if last != Some(*name) {
+                let _ = writeln!(out, "# TYPE {pname} counter");
+                last = Some(name);
+            }
+            let _ = writeln!(out, "{pname}{} {v}", prom_labels(labels, None));
+        }
+        last = None;
+        for ((name, labels), v) in &inner.gauges {
+            let pname = prom_name(name);
+            if last != Some(*name) {
+                let _ = writeln!(out, "# TYPE {pname} gauge");
+                last = Some(name);
+            }
+            let _ = writeln!(
+                out,
+                "{pname}{} {}",
+                prom_labels(labels, None),
+                json::num(*v)
+            );
+        }
+        last = None;
+        for ((name, labels), h) in &inner.histograms {
+            let pname = prom_name(name);
+            if last != Some(*name) {
+                let _ = writeln!(out, "# TYPE {pname} histogram");
+                last = Some(name);
+            }
+            let mut cum = 0u64;
+            for (i, &c) in h.buckets.iter().enumerate() {
+                cum += c;
+                let le = if i < BUCKET_BOUNDS.len() {
+                    format!("{}", BUCKET_BOUNDS[i])
+                } else {
+                    "+Inf".to_string()
+                };
+                let _ = writeln!(
+                    out,
+                    "{pname}_bucket{} {cum}",
+                    prom_labels(labels, Some(&le))
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{pname}_sum{} {}",
+                prom_labels(labels, None),
+                json::num(h.sum)
+            );
+            let _ = writeln!(
+                out,
+                "{pname}_count{} {}",
+                prom_labels(labels, None),
+                h.count
+            );
+        }
+        out
+    }
+}
+
+fn sep(out: &mut String, first: &mut bool) {
+    if *first {
+        out.push_str("\n    ");
+        *first = false;
+    } else {
+        out.push_str(",\n    ");
+    }
+}
+
+/// `name{k="v",…}` series identity used as JSON keys.
+fn series_key(name: &str, labels: &[(&'static str, String)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = format!("{name}{{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// Sanitize a metric name into the Prometheus grammar and namespace it.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 9);
+    out.push_str("cublastp_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escape a label value per the Prometheus text format.
+fn prom_escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn prom_labels(labels: &[(&'static str, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", prom_escape(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// The process-wide registry.
+pub fn metrics() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::new)
+}
+
+/// Add to a global counter — no-op (one relaxed load) unless metrics are
+/// armed.
+#[inline]
+pub fn counter(name: &'static str, labels: &[(&'static str, &str)], v: u64) {
+    if crate::metrics_enabled() {
+        metrics().counter_add(name, labels, v);
+    }
+}
+
+/// Set a global gauge — no-op (one relaxed load) unless metrics are armed.
+#[inline]
+pub fn gauge(name: &'static str, labels: &[(&'static str, &str)], v: f64) {
+    if crate::metrics_enabled() {
+        metrics().gauge_set(name, labels, v);
+    }
+}
+
+/// Record into a global histogram — no-op (one relaxed load) unless
+/// metrics are armed.
+#[inline]
+pub fn observe(name: &'static str, labels: &[(&'static str, &str)], v: f64) {
+    if crate::metrics_enabled() {
+        metrics().observe(name, labels, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrent_increments_are_lossless() {
+        let reg = Registry::new();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let reg = &reg;
+                scope.spawn(move || {
+                    for i in 0..1000 {
+                        reg.counter_add("ops_total", &[("worker", "shared")], 1);
+                        reg.observe("latency_ms", &[], (t * 1000 + i) as f64 / 100.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            reg.counter_value("ops_total", &[("worker", "shared")]),
+            8000
+        );
+        assert_eq!(reg.histogram_count("latency_ms", &[]), 8000);
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate_within_buckets() {
+        let reg = Registry::new();
+        // 1000 values uniform on (0, 10] ms.
+        for i in 1..=1000 {
+            reg.observe("phase_ms", &[], i as f64 / 100.0);
+        }
+        let q = |p| {
+            reg.histogram_quantile("phase_ms", &[], p)
+                .expect("observed")
+        };
+        assert!((q(0.5) - 5.0).abs() < 0.5, "p50 = {}", q(0.5));
+        assert!((q(0.99) - 9.9).abs() < 0.5, "p99 = {}", q(0.99));
+        assert_eq!(q(0.0), 0.01, "p0 clamps to the observed min");
+        assert_eq!(q(1.0), 10.0, "p100 clamps to the observed max");
+        assert!(reg.histogram_quantile("absent", &[], 0.5).is_none());
+    }
+
+    #[test]
+    fn overflow_bucket_quantile_is_bounded_by_max() {
+        let reg = Registry::new();
+        reg.observe("huge", &[], 1e9);
+        reg.observe("huge", &[], 2e9);
+        let q = reg.histogram_quantile("huge", &[], 0.99).expect("observed");
+        assert!((1e9..=2e9).contains(&q), "q = {q}");
+    }
+
+    #[test]
+    fn gauges_overwrite_and_label_sets_are_distinct_series() {
+        let reg = Registry::new();
+        reg.gauge_set("pool_hit_rate", &[("pool", "keys")], 0.5);
+        reg.gauge_set("pool_hit_rate", &[("pool", "keys")], 0.75);
+        reg.gauge_set("pool_hit_rate", &[("pool", "addrs")], 0.25);
+        assert_eq!(
+            reg.gauge_value("pool_hit_rate", &[("pool", "keys")]),
+            Some(0.75)
+        );
+        assert_eq!(
+            reg.gauge_value("pool_hit_rate", &[("pool", "addrs")]),
+            Some(0.25)
+        );
+        // Label order does not fork a series.
+        reg.counter_add("c", &[("a", "1"), ("b", "2")], 1);
+        reg.counter_add("c", &[("b", "2"), ("a", "1")], 1);
+        assert_eq!(reg.counter_value("c", &[("a", "1"), ("b", "2")]), 2);
+    }
+
+    #[test]
+    fn prometheus_text_escapes_label_values() {
+        let reg = Registry::new();
+        reg.counter_add("weird_total", &[("path", "a\\b\"c\nd")], 3);
+        let text = reg.to_prometheus();
+        assert!(text.contains("# TYPE cublastp_weird_total counter"));
+        assert!(
+            text.contains(r#"cublastp_weird_total{path="a\\b\"c\nd"} 3"#),
+            "{text}"
+        );
+        assert!(!text.contains('\u{0}'));
+        // The raw newline must not appear inside the label value.
+        for line in text.lines() {
+            assert!(!line.ends_with("d\"} 3") || line.contains("\\n"), "{line}");
+        }
+    }
+
+    #[test]
+    fn prometheus_histogram_is_cumulative_with_inf_bucket() {
+        let reg = Registry::new();
+        reg.observe("h", &[("phase", "sort")], 0.002);
+        reg.observe("h", &[("phase", "sort")], 3.0);
+        reg.observe("h", &[("phase", "sort")], 1e7);
+        let text = reg.to_prometheus();
+        assert!(text.contains("# TYPE cublastp_h histogram"));
+        assert!(
+            text.contains(r#"cublastp_h_bucket{phase="sort",le="+Inf"} 3"#),
+            "{text}"
+        );
+        assert!(text.contains(r#"cublastp_h_count{phase="sort"} 3"#));
+        // Cumulative counts never decrease.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket")) {
+            let v: u64 = line
+                .rsplit(' ')
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("count");
+            assert!(v >= last, "{line}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn json_export_parses_and_round_trips_series() {
+        let reg = Registry::new();
+        reg.counter_add("hits_total", &[("phase", "hit_detection")], 42);
+        reg.gauge_set("rate", &[], 0.875);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            reg.observe("ms", &[("phase", "sort")], v);
+        }
+        let doc = crate::json::parse(&reg.to_json()).expect("metrics JSON must parse");
+        assert_eq!(
+            doc.get("counters")
+                .and_then(|c| c.get("hits_total{phase=\"hit_detection\"}"))
+                .and_then(|v| v.as_f64()),
+            Some(42.0)
+        );
+        assert_eq!(
+            doc.get("gauges")
+                .and_then(|g| g.get("rate"))
+                .and_then(|v| v.as_f64()),
+            Some(0.875)
+        );
+        let h = doc
+            .get("histograms")
+            .and_then(|h| h.get("ms{phase=\"sort\"}"))
+            .expect("histogram series");
+        assert_eq!(h.get("count").and_then(|v| v.as_f64()), Some(4.0));
+        assert_eq!(h.get("sum").and_then(|v| v.as_f64()), Some(10.0));
+        assert_eq!(h.get("min").and_then(|v| v.as_f64()), Some(1.0));
+        assert_eq!(h.get("max").and_then(|v| v.as_f64()), Some(4.0));
+    }
+
+    #[test]
+    fn global_helpers_are_gated_on_the_armed_state() {
+        let _g = crate::test_lock();
+        crate::disarm();
+        metrics().reset();
+        counter("gated_total", &[], 5);
+        gauge("gated_gauge", &[], 1.0);
+        observe("gated_ms", &[], 1.0);
+        assert!(metrics().is_empty(), "disarmed helpers must not record");
+        crate::arm(false, true);
+        counter("gated_total", &[], 5);
+        crate::disarm();
+        assert_eq!(metrics().counter_value("gated_total", &[]), 5);
+        metrics().reset();
+    }
+}
