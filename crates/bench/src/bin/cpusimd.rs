@@ -1,0 +1,319 @@
+//! CPU-stage SIMD speedup — scalar vs runtime-dispatched vector kernels.
+//!
+//! The gapped x-drop extension and the ungapped two-hit walk carry SIMD
+//! inner loops (`blast_cpu::simd`) selected at runtime (AVX2 → SSE4.1 →
+//! scalar). Their outputs are bit-identical to the scalar reference by
+//! contract, so what the vectorization buys is pure host time. This
+//! binary measures it directly: the same seed set (collected once per
+//! database preset) is pushed through the gapped phase and the traceback
+//! phase twice — once forced scalar, once at the detected ISA — and both
+//! passes must produce identical extensions and alignments.
+//!
+//! DP throughput is reported as cells/second from the monotone
+//! [`blast_cpu::gapped::dp_cells`] counter, whose value is a pure
+//! function of the inputs (the band evolution is ISA-independent). Those
+//! counts — not wall-clock — feed the `phase_medians` section the perf
+//! gate checks, so the gate watches the *work done* (band growth,
+//! alignment ops, surviving alignments), deterministic for a given
+//! `BENCH_SCALE`; wall-clock stays in the informational sections.
+//!
+//! Results go to stdout and `BENCH_cpusimd.json`.
+
+use bench::obsenv;
+use bench::table::print_table;
+use bench::{bench_scale, database, query};
+use bio_seq::generate::DbPreset;
+use bio_seq::{Sequence, SequenceDb};
+use blast_cpu::gapped::{dp_cells, gapped_phase_subject, GappedExt};
+use blast_cpu::hit::{scan_subject_mode, DiagonalScratch, HitStats};
+use blast_cpu::report::Alignment;
+use blast_cpu::search::SearchEngine;
+use blast_cpu::simd::{self, IsaLevel};
+use blast_cpu::traceback::traceback;
+use blast_cpu::UngappedExt;
+use std::time::Instant;
+
+/// Timed repetitions per pass; the best run is reported (deterministic
+/// workload, so the minimum is the least-noisy location estimate).
+const REPS: usize = 3;
+
+/// Seeds for one subject that reached the two-hit trigger.
+struct SubjectSeeds {
+    index: usize,
+    ungapped: Vec<UngappedExt>,
+}
+
+/// One timed pass over every seeded subject at the currently forced ISA:
+/// full gapped phase, then traceback of everything above the report
+/// cutoff. Returns the outputs (for the bit-identity assertion) plus the
+/// wall-clock of each phase and the DP cells the gapped phase touched.
+struct PassOut {
+    gapped: Vec<Vec<GappedExt>>,
+    alignments: Vec<Alignment>,
+    gapped_ms: f64,
+    traceback_ms: f64,
+    cells: u64,
+}
+
+fn run_pass(engine: &SearchEngine, db: &SequenceDb, seeds: &[SubjectSeeds]) -> PassOut {
+    let c0 = dp_cells();
+    let t0 = Instant::now();
+    let mut gapped: Vec<Vec<GappedExt>> = Vec::with_capacity(seeds.len());
+    for s in seeds {
+        gapped.push(gapped_phase_subject(
+            &engine.pssm,
+            db.sequences()[s.index].residues(),
+            &s.ungapped,
+            &engine.params,
+            engine.cutoffs.gapped_trigger,
+        ));
+    }
+    let gapped_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let cells = dp_cells() - c0;
+
+    let t1 = Instant::now();
+    let mut alignments = Vec::new();
+    for (s, exts) in seeds.iter().zip(&gapped) {
+        let subject = db.sequences()[s.index].residues();
+        for g in exts {
+            if g.score < engine.cutoffs.report_cutoff {
+                continue;
+            }
+            alignments.push(traceback(
+                &engine.pssm,
+                engine.query.residues(),
+                subject,
+                g,
+                &engine.params,
+            ));
+        }
+    }
+    let traceback_ms = t1.elapsed().as_secs_f64() * 1e3;
+    PassOut {
+        gapped,
+        alignments,
+        gapped_ms,
+        traceback_ms,
+        cells,
+    }
+}
+
+/// Best-of-[`REPS`] pass at a forced ISA level. The outputs of every rep
+/// are identical (asserted), so only the first rep's are kept.
+fn best_pass(
+    level: Option<IsaLevel>,
+    engine: &SearchEngine,
+    db: &SequenceDb,
+    seeds: &[SubjectSeeds],
+) -> PassOut {
+    simd::force_level(level);
+    let mut best = run_pass(engine, db, seeds);
+    for _ in 1..REPS {
+        let rep = run_pass(engine, db, seeds);
+        assert_eq!(rep.cells, best.cells, "DP cell count must be deterministic");
+        best.gapped_ms = best.gapped_ms.min(rep.gapped_ms);
+        best.traceback_ms = best.traceback_ms.min(rep.traceback_ms);
+    }
+    simd::force_level(None);
+    best
+}
+
+struct Row {
+    preset: String,
+    cells: u64,
+    scalar_gapped_ms: f64,
+    simd_gapped_ms: f64,
+    scalar_stage_ms: f64,
+    simd_stage_ms: f64,
+    traceback_ops: u64,
+    alignments: u64,
+}
+
+impl Row {
+    fn scalar_cps(&self) -> f64 {
+        self.cells as f64 / (self.scalar_gapped_ms / 1e3)
+    }
+    fn simd_cps(&self) -> f64 {
+        self.cells as f64 / (self.simd_gapped_ms / 1e3)
+    }
+}
+
+fn collect_seeds(engine: &SearchEngine, db: &SequenceDb) -> (Vec<SubjectSeeds>, HitStats) {
+    let mut scratch = DiagonalScratch::new(engine.pssm.query_len() + db.max_length() + 1);
+    let mut stats = HitStats::default();
+    let mut seeds = Vec::new();
+    for (index, subject) in db.sequences().iter().enumerate() {
+        let mut ungapped = Vec::new();
+        scan_subject_mode(
+            &engine.dfa,
+            &engine.pssm,
+            subject.residues(),
+            index as u32,
+            engine.params.two_hit,
+            engine.params.two_hit_window as i64,
+            engine.params.xdrop_ungapped,
+            &mut scratch,
+            &mut ungapped,
+            &mut stats,
+        );
+        if !ungapped.is_empty() {
+            seeds.push(SubjectSeeds { index, ungapped });
+        }
+    }
+    (seeds, stats)
+}
+
+fn main() {
+    let scale = bench_scale();
+    obsenv::arm_from_env();
+    let report = simd::dispatch_report();
+    println!(
+        "cpu simd dispatch: active {} (detected {}{})",
+        report.active.name(),
+        report.detected.name(),
+        if report.forced_scalar_env {
+            ", CUBLASTP_FORCE_SCALAR=1"
+        } else {
+            ""
+        }
+    );
+    let q: Sequence = query(517);
+    let params = blast_core::SearchParams::default();
+
+    let mut rows: Vec<Row> = Vec::new();
+    for preset in [DbPreset::SwissprotMini, DbPreset::EnvNrMini] {
+        let db = database(preset, &q);
+        let engine = SearchEngine::new(q.clone(), params, &db);
+        let (seeds, _) = collect_seeds(&engine, &db);
+
+        let scalar = best_pass(Some(IsaLevel::Scalar), &engine, &db, &seeds);
+        let native = best_pass(None, &engine, &db, &seeds);
+
+        // The whole point: the vector path must change nothing but time.
+        assert_eq!(
+            scalar.gapped, native.gapped,
+            "SIMD gapped extensions must be bit-identical to scalar"
+        );
+        assert_eq!(
+            scalar.alignments, native.alignments,
+            "SIMD alignments must be bit-identical to scalar"
+        );
+        assert_eq!(scalar.cells, native.cells, "band evolution must match");
+
+        let traceback_ops: u64 = scalar.alignments.iter().map(|a| a.ops.len() as u64).sum();
+        rows.push(Row {
+            preset: preset.spec().name.to_string(),
+            cells: scalar.cells,
+            scalar_gapped_ms: scalar.gapped_ms,
+            simd_gapped_ms: native.gapped_ms,
+            scalar_stage_ms: scalar.gapped_ms + scalar.traceback_ms,
+            simd_stage_ms: native.gapped_ms + native.traceback_ms,
+            traceback_ops,
+            alignments: scalar.alignments.len() as u64,
+        });
+    }
+
+    print_table(
+        &format!("Gapped DP throughput — query517 (best of {REPS}, single thread)"),
+        &[
+            "db",
+            "cells",
+            "scalar ms",
+            "simd ms",
+            "scalar Mc/s",
+            "simd Mc/s",
+            "speedup",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.preset.clone(),
+                    r.cells.to_string(),
+                    format!("{:.2}", r.scalar_gapped_ms),
+                    format!("{:.2}", r.simd_gapped_ms),
+                    format!("{:.1}", r.scalar_cps() / 1e6),
+                    format!("{:.1}", r.simd_cps() / 1e6),
+                    format!("{:.2}x", r.scalar_gapped_ms / r.simd_gapped_ms),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    print_table(
+        &format!("CPU stage end-to-end (gapped + traceback, best of {REPS})"),
+        &["db", "scalar ms", "simd ms", "speedup", "alignments"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.preset.clone(),
+                    format!("{:.2}", r.scalar_stage_ms),
+                    format!("{:.2}", r.simd_stage_ms),
+                    format!("{:.2}x", r.scalar_stage_ms / r.simd_stage_ms),
+                    r.alignments.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let json = render_json(&rows, &report, scale);
+    let path = "BENCH_cpusimd.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+    obsenv::write_exports();
+}
+
+fn render_json(rows: &[Row], report: &blast_cpu::DispatchReport, scale: f64) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"cpusimd\",\n");
+    out.push_str("  \"query\": 517,\n");
+    out.push_str(&format!("  \"scale\": {scale},\n"));
+    out.push_str(&format!(
+        "  \"dispatch\": {{\"active\": \"{}\", \"detected\": \"{}\", \"forced_scalar_env\": {}}},\n",
+        report.active.name(),
+        report.detected.name(),
+        report.forced_scalar_env,
+    ));
+    // Deterministic work counts only — this is what the perf gate checks.
+    out.push_str("  \"phase_medians\": {\n");
+    for (ri, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\"gapped_cells\": {}, \"traceback_ops\": {}, \"alignments\": {}}}{}\n",
+            r.preset,
+            r.cells,
+            r.traceback_ops,
+            r.alignments,
+            if ri + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"presets\": [\n");
+    for (ri, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"db\": \"{}\", \"gapped_cells\": {}, \
+             \"scalar_gapped_ms\": {:.3}, \"simd_gapped_ms\": {:.3}, \
+             \"scalar_cells_per_sec\": {:.0}, \"simd_cells_per_sec\": {:.0}, \
+             \"gapped_speedup\": {:.3}, \
+             \"scalar_stage_ms\": {:.3}, \"simd_stage_ms\": {:.3}, \
+             \"stage_speedup\": {:.3}, \"alignments\": {}}}{}\n",
+            r.preset,
+            r.cells,
+            r.scalar_gapped_ms,
+            r.simd_gapped_ms,
+            r.scalar_cps(),
+            r.simd_cps(),
+            r.scalar_gapped_ms / r.simd_gapped_ms,
+            r.scalar_stage_ms,
+            r.simd_stage_ms,
+            r.scalar_stage_ms / r.simd_stage_ms,
+            r.alignments,
+            if ri + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}

@@ -20,10 +20,12 @@ pub mod gapped;
 pub mod hit;
 pub mod report;
 pub mod search;
+pub mod simd;
 pub mod traceback;
 pub mod ungapped;
 
 pub use hit::{DiagonalState, Hit};
 pub use report::{Alignment, PhaseTimes, SearchReport};
 pub use search::{search_parallel, search_sequential, SearchEngine};
+pub use simd::{DispatchReport, IsaLevel};
 pub use ungapped::UngappedExt;

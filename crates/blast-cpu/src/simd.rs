@@ -1,0 +1,738 @@
+//! Runtime-dispatched SIMD kernels for the CPU alignment phases.
+//!
+//! The gapped x-drop DP and the ungapped diagonal extension are the
+//! pipeline's CPU-resident stages (§3.6); this module vectorizes their
+//! inner loops without changing a single output bit. The dispatch ladder
+//! is AVX2 (8×i32 lanes) → SSE4.1 (4×i32) → scalar, selected once per
+//! process from CPUID and clampable two ways:
+//!
+//! * `CUBLASTP_FORCE_SCALAR=1` in the environment pins the scalar path
+//!   (the CI fallback job runs the whole suite this way);
+//! * [`force_level`] clamps programmatically (equivalence tests and the
+//!   `cpusimd` bench flip it to compare paths in-process).
+//!
+//! Bit-identity is achieved by replicating the scalar guard idiom
+//! (`if x > NEG_INF { x - cost } else { NEG_INF }`) lane-wise with
+//! compare + subtract + blend, and by keeping every order-dependent
+//! decision (x-drop acceptance, running best, band endpoints, the serial
+//! E state) in a scalar correction pass over the vector pass's output.
+//! See DESIGN.md §3.5 for the lane layout and the garbage-lane
+//! containment argument.
+
+use crate::gapped::NEG_INF;
+use bio_seq::alphabet::Residue;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// Extra lanes kept past the logical row width so the vector passes can
+/// always run full-width chunks; sized for the widest path (AVX2).
+pub(crate) const LANE_PAD: usize = 8;
+
+/// One rung of the dispatch ladder. Order is meaningful: forcing a level
+/// clamps with `min`, so a forced AVX2 on an SSE4.1 host still runs
+/// SSE4.1, never an unsupported instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum IsaLevel {
+    /// Portable scalar path — the reference semantics.
+    Scalar = 0,
+    /// 4×i32 lanes via SSE4.1.
+    Sse41 = 1,
+    /// 8×i32 lanes via AVX2.
+    Avx2 = 2,
+}
+
+impl IsaLevel {
+    /// Display name, as surfaced in metrics and the CLI phase table.
+    pub fn name(self) -> &'static str {
+        match self {
+            IsaLevel::Scalar => "scalar",
+            IsaLevel::Sse41 => "sse4.1",
+            IsaLevel::Avx2 => "avx2",
+        }
+    }
+
+    /// i32 lanes processed per vector step (1 for scalar).
+    pub fn lanes(self) -> usize {
+        match self {
+            IsaLevel::Scalar => 1,
+            IsaLevel::Sse41 => 4,
+            IsaLevel::Avx2 => 8,
+        }
+    }
+
+    fn from_u8(v: u8) -> IsaLevel {
+        match v {
+            2 => IsaLevel::Avx2,
+            1 => IsaLevel::Sse41,
+            _ => IsaLevel::Scalar,
+        }
+    }
+}
+
+/// Sentinel for "not yet computed" in the two cached atomics below.
+const UNSET: u8 = 0xFF;
+
+static DETECTED: AtomicU8 = AtomicU8::new(UNSET);
+static ENV_SCALAR: AtomicU8 = AtomicU8::new(UNSET);
+static FORCED: AtomicU8 = AtomicU8::new(UNSET);
+
+fn hardware_level() -> IsaLevel {
+    #[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+    {
+        if is_x86_feature_detected!("avx2") {
+            return IsaLevel::Avx2;
+        }
+        if is_x86_feature_detected!("sse4.1") {
+            return IsaLevel::Sse41;
+        }
+    }
+    IsaLevel::Scalar
+}
+
+/// Interpret a `CUBLASTP_FORCE_SCALAR` value: set and not explicitly
+/// falsy means "force scalar".
+pub(crate) fn parse_force_scalar(value: Option<&str>) -> bool {
+    match value {
+        None => false,
+        Some(v) => !matches!(v.trim(), "" | "0" | "false" | "no" | "off"),
+    }
+}
+
+fn env_forces_scalar() -> bool {
+    match ENV_SCALAR.load(Ordering::Relaxed) {
+        UNSET => {
+            let v = std::env::var("CUBLASTP_FORCE_SCALAR").ok();
+            let forced = parse_force_scalar(v.as_deref());
+            ENV_SCALAR.store(forced as u8, Ordering::Relaxed);
+            forced
+        }
+        v => v != 0,
+    }
+}
+
+/// Best ISA level the host CPU supports (cached; ignores overrides).
+pub fn detected_level() -> IsaLevel {
+    match DETECTED.load(Ordering::Relaxed) {
+        UNSET => {
+            let l = hardware_level();
+            DETECTED.store(l as u8, Ordering::Relaxed);
+            l
+        }
+        v => IsaLevel::from_u8(v),
+    }
+}
+
+/// Programmatic override: clamp the active level to `level` (`None`
+/// removes the clamp). The clamp can only lower the level — requesting
+/// AVX2 on a host without it still runs the best supported path.
+pub fn force_level(level: Option<IsaLevel>) {
+    FORCED.store(level.map_or(UNSET, |l| l as u8), Ordering::Relaxed);
+}
+
+/// The ISA level the alignment kernels will actually use right now:
+/// hardware capability clamped by the env override and [`force_level`].
+pub fn active_level() -> IsaLevel {
+    let mut level = detected_level();
+    if env_forces_scalar() {
+        return IsaLevel::Scalar;
+    }
+    match FORCED.load(Ordering::Relaxed) {
+        UNSET => {}
+        v => level = level.min(IsaLevel::from_u8(v)),
+    }
+    level
+}
+
+/// Snapshot of the dispatch decision, for metrics and the CLI phase
+/// table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DispatchReport {
+    /// Best level the CPU supports.
+    pub detected: IsaLevel,
+    /// Level the kernels run at after overrides.
+    pub active: IsaLevel,
+    /// Whether `CUBLASTP_FORCE_SCALAR` pinned the scalar path.
+    pub forced_scalar_env: bool,
+}
+
+/// Current dispatch decision.
+pub fn dispatch_report() -> DispatchReport {
+    DispatchReport {
+        detected: detected_level(),
+        active: active_level(),
+        forced_scalar_env: env_forces_scalar(),
+    }
+}
+
+/// Run `f` with the active level clamped to `level`, restoring the
+/// un-forced state afterwards. Serialized by a global lock so concurrent
+/// tests forcing different levels cannot interleave their overrides.
+pub fn with_forced<R>(level: Option<IsaLevel>, f: impl FnOnce() -> R) -> R {
+    static LOCK: Mutex<()> = Mutex::new(());
+    let _guard = LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    force_level(level);
+    let out = f();
+    force_level(None);
+    out
+}
+
+/// Widen one PSSM column (32 × i16, see `blast_core::Pssm::raw`) to the
+/// i32 gather table the row pass indexes by residue.
+pub(crate) fn widen_col(col: &[i16], out: &mut [i32; 32]) {
+    for (o, &c) in out.iter_mut().zip(col.iter()) {
+        *o = c as i32;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gapped DP row pass
+// ---------------------------------------------------------------------------
+
+/// One banded DP row for the vector pass of `gapped::half_extend`: for
+/// every column `j` in `j0..=j1` (processed in whole vector chunks, so
+/// writes run past `j1` into the padding) compute
+///
+/// * `f_row[j] = max(guard(d_prev[j]) - open, guard(f_prev[j]) - ext)`
+/// * `d_row[j] = max(guard(d_prev[j-1]) + score(sub[j-1]), f_row[j])`
+///
+/// where `guard(x)` maps dead cells (`x <= NEG_INF`) to `NEG_INF`,
+/// exactly mirroring the scalar guard idiom. The serial E state, x-drop
+/// acceptance and band bookkeeping stay in the caller's scalar
+/// correction pass. Returns one past the last lane written, so the
+/// caller can re-clear the overshoot.
+pub(crate) struct GappedRow<'a> {
+    /// Previous row's D values (read `j0-1 ..` through the padding).
+    pub d_prev: &'a [i32],
+    /// Previous row's F values.
+    pub f_prev: &'a [i32],
+    /// This row's D output (pre-correction: `max(M, F)`).
+    pub d_row: &'a mut [i32],
+    /// This row's F output.
+    pub f_row: &'a mut [i32],
+    /// Widened PSSM column for this row's query position.
+    pub col: &'a [i32; 32],
+    /// Subject residues in band coordinates: `sub[j-1]` pairs with
+    /// column `j`.
+    pub sub: &'a [Residue],
+    /// First column of the vector pass (≥ 1; column 0 has no diagonal
+    /// and is handled by the correction pass).
+    pub j0: usize,
+    /// Last column that must be computed (inclusive).
+    pub j1: usize,
+    /// Cost of opening a length-1 gap (`gap_open + gap_extend`).
+    pub open: i32,
+    /// Gap extension cost.
+    pub ext: i32,
+}
+
+impl GappedRow<'_> {
+    /// Dispatch to the widest kernel `level` allows. Bounds are checked
+    /// here once per row; the unsafe kernels rely on them.
+    pub(crate) fn run(self, level: IsaLevel) -> usize {
+        assert!(self.j0 >= 1 && self.j0 <= self.j1, "empty or invalid band");
+        let need = self.j1 + LANE_PAD;
+        assert!(
+            self.d_prev.len() >= need
+                && self.f_prev.len() >= need
+                && self.d_row.len() >= need
+                && self.f_row.len() >= need,
+            "row buffers must cover the padded band"
+        );
+        assert!(
+            self.sub.len() + 1 >= need,
+            "subject view must cover the band"
+        );
+        #[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+        {
+            debug_assert!(level <= detected_level());
+            match level {
+                // SAFETY: the dispatcher clamps `level` to the detected
+                // CPU capability, and the asserts above bound every
+                // unaligned load/store to the padded buffers. Gather
+                // indices are masked to 0..32, inside `col`.
+                IsaLevel::Avx2 => return unsafe { x86::gapped_row_avx2(self) },
+                IsaLevel::Sse41 => return unsafe { x86::gapped_row_sse41(self) },
+                IsaLevel::Scalar => {}
+            }
+        }
+        let _ = level;
+        self.run_generic()
+    }
+
+    /// Portable implementation of the same pass (non-x86 fallback and
+    /// the reference the kernel unit tests compare against). Chunks by
+    /// [`LANE_PAD`] so the write extent matches the widest kernel.
+    pub(crate) fn run_generic(self) -> usize {
+        let guard = |x: i32, cost: i32| if x > NEG_INF { x - cost } else { NEG_INF };
+        let mut j = self.j0;
+        while j <= self.j1 {
+            for lane in j..j + LANE_PAD {
+                let f = guard(self.d_prev[lane], self.open).max(guard(self.f_prev[lane], self.ext));
+                self.f_row[lane] = f;
+                let dpl = self.d_prev[lane - 1];
+                let m = if dpl > NEG_INF {
+                    dpl + self.col[(self.sub[lane - 1] & 31) as usize]
+                } else {
+                    NEG_INF
+                };
+                self.d_row[lane] = m.max(f);
+            }
+            j += LANE_PAD;
+        }
+        j
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ungapped diagonal chunk
+// ---------------------------------------------------------------------------
+
+/// Outcome of one vectorized step of the ungapped x-drop walk: the
+/// inclusive prefix sums of `lanes` residue scores on top of the running
+/// total, reduced to what the scalar loop needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct DiagChunk {
+    /// Running total after the whole chunk.
+    pub total: i32,
+    /// Maximum prefix sum inside the chunk.
+    pub max: i32,
+    /// First lane attaining `max` (strict-improvement semantics: ties
+    /// keep the earliest position, like the scalar `>` update).
+    pub max_lane: usize,
+    /// True when some lane fails the x-drop test — the caller falls back
+    /// to the scalar loop, which replays the chunk and breaks exactly
+    /// where the scalar walk would.
+    pub dropped: bool,
+}
+
+/// Evaluate one chunk of `level.lanes()` scores. `running` is the sum
+/// before the chunk, `best` the best prefix sum seen so far; the drop
+/// test matches the scalar walk exactly: a lane fires iff its running
+/// sum is below the best seen *before* that lane by more than `xdrop`.
+pub(crate) fn diag_chunk(
+    level: IsaLevel,
+    scores: &[i32],
+    running: i32,
+    best: i32,
+    xdrop: i32,
+) -> DiagChunk {
+    debug_assert_eq!(scores.len(), level.lanes());
+    #[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+    {
+        debug_assert!(level <= detected_level());
+        match level {
+            // SAFETY: level is clamped to the detected capability and
+            // `scores` has exactly `lanes` elements (debug-asserted,
+            // guaranteed by the only callers), covering every load.
+            IsaLevel::Avx2 if scores.len() == 8 => {
+                return unsafe { x86::diag_chunk_avx2(scores, running, best, xdrop) }
+            }
+            IsaLevel::Sse41 if scores.len() == 4 => {
+                return unsafe { x86::diag_chunk_sse41(scores, running, best, xdrop) }
+            }
+            _ => {}
+        }
+    }
+    diag_chunk_generic(scores, running, best, xdrop)
+}
+
+/// Portable reference for [`diag_chunk`] (any chunk length).
+pub(crate) fn diag_chunk_generic(scores: &[i32], running: i32, best: i32, xdrop: i32) -> DiagChunk {
+    let mut sum = running;
+    let mut max = i32::MIN;
+    let mut max_lane = 0usize;
+    let mut b = best;
+    let mut dropped = false;
+    for (lane, &sc) in scores.iter().enumerate() {
+        sum += sc;
+        if sum > max {
+            max = sum;
+            max_lane = lane;
+        }
+        if sum > b {
+            b = sum;
+        } else if b - sum > xdrop {
+            dropped = true;
+        }
+    }
+    DiagChunk {
+        total: sum,
+        max,
+        max_lane,
+        dropped,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// x86 kernels
+// ---------------------------------------------------------------------------
+
+#[cfg(any(target_arch = "x86_64", target_arch = "x86"))]
+mod x86 {
+    use super::{DiagChunk, GappedRow, NEG_INF};
+    #[cfg(target_arch = "x86")]
+    use std::arch::x86::*;
+    #[cfg(target_arch = "x86_64")]
+    use std::arch::x86_64::*;
+
+    /// AVX2 gapped row pass: 8 columns per step.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available and the buffer bounds checked
+    /// in [`GappedRow::run`] hold.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn gapped_row_avx2(row: GappedRow<'_>) -> usize {
+        let neg = _mm256_set1_epi32(NEG_INF);
+        let open = _mm256_set1_epi32(row.open);
+        let ext = _mm256_set1_epi32(row.ext);
+        let idx_mask = _mm256_set1_epi32(31);
+        let col = row.col.as_ptr();
+        let mut j = row.j0;
+        while j <= row.j1 {
+            let dp = _mm256_loadu_si256(row.d_prev.as_ptr().add(j) as *const __m256i);
+            let fp = _mm256_loadu_si256(row.f_prev.as_ptr().add(j) as *const __m256i);
+            // guard(d_prev) - open / guard(f_prev) - ext, dead lanes stay NEG_INF.
+            let f_open =
+                _mm256_blendv_epi8(neg, _mm256_sub_epi32(dp, open), _mm256_cmpgt_epi32(dp, neg));
+            let f_ext =
+                _mm256_blendv_epi8(neg, _mm256_sub_epi32(fp, ext), _mm256_cmpgt_epi32(fp, neg));
+            let f = _mm256_max_epi32(f_open, f_ext);
+            _mm256_storeu_si256(row.f_row.as_mut_ptr().add(j) as *mut __m256i, f);
+
+            // Diagonal: d_prev[j-1] + pssm[sub[j-1]].
+            let dpl = _mm256_loadu_si256(row.d_prev.as_ptr().add(j - 1) as *const __m256i);
+            let res = _mm_loadl_epi64(row.sub.as_ptr().add(j - 1) as *const __m128i);
+            let idx = _mm256_and_si256(_mm256_cvtepu8_epi32(res), idx_mask);
+            let sc = _mm256_i32gather_epi32::<4>(col, idx);
+            let m =
+                _mm256_blendv_epi8(neg, _mm256_add_epi32(dpl, sc), _mm256_cmpgt_epi32(dpl, neg));
+            let d0 = _mm256_max_epi32(m, f);
+            _mm256_storeu_si256(row.d_row.as_mut_ptr().add(j) as *mut __m256i, d0);
+            j += 8;
+        }
+        j
+    }
+
+    /// SSE4.1 gapped row pass: 4 columns per step, scalar score gather.
+    ///
+    /// # Safety
+    /// Caller must ensure SSE4.1 is available and the buffer bounds
+    /// checked in [`GappedRow::run`] hold.
+    #[target_feature(enable = "sse4.1")]
+    pub(super) unsafe fn gapped_row_sse41(row: GappedRow<'_>) -> usize {
+        let neg = _mm_set1_epi32(NEG_INF);
+        let open = _mm_set1_epi32(row.open);
+        let ext = _mm_set1_epi32(row.ext);
+        let mut j = row.j0;
+        while j <= row.j1 {
+            let dp = _mm_loadu_si128(row.d_prev.as_ptr().add(j) as *const __m128i);
+            let fp = _mm_loadu_si128(row.f_prev.as_ptr().add(j) as *const __m128i);
+            let f_open = _mm_blendv_epi8(neg, _mm_sub_epi32(dp, open), _mm_cmpgt_epi32(dp, neg));
+            let f_ext = _mm_blendv_epi8(neg, _mm_sub_epi32(fp, ext), _mm_cmpgt_epi32(fp, neg));
+            let f = _mm_max_epi32(f_open, f_ext);
+            _mm_storeu_si128(row.f_row.as_mut_ptr().add(j) as *mut __m128i, f);
+
+            let dpl = _mm_loadu_si128(row.d_prev.as_ptr().add(j - 1) as *const __m128i);
+            let s = row.sub.as_ptr().add(j - 1);
+            let sc = _mm_setr_epi32(
+                row.col[(*s & 31) as usize],
+                row.col[(*s.add(1) & 31) as usize],
+                row.col[(*s.add(2) & 31) as usize],
+                row.col[(*s.add(3) & 31) as usize],
+            );
+            let m = _mm_blendv_epi8(neg, _mm_add_epi32(dpl, sc), _mm_cmpgt_epi32(dpl, neg));
+            let d0 = _mm_max_epi32(m, f);
+            _mm_storeu_si128(row.d_row.as_mut_ptr().add(j) as *mut __m128i, d0);
+            j += 4;
+        }
+        j
+    }
+
+    /// AVX2 ungapped chunk: inclusive prefix sum + prefix max over 8
+    /// lanes, horizontal reduction, exact x-drop fire mask.
+    ///
+    /// # Safety
+    /// Caller must ensure AVX2 is available and `scores.len() == 8`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn diag_chunk_avx2(
+        scores: &[i32],
+        running: i32,
+        best: i32,
+        xdrop: i32,
+    ) -> DiagChunk {
+        let v = _mm256_loadu_si256(scores.as_ptr() as *const __m256i);
+        // Inclusive prefix sum: log-step shifts within each 128-bit half,
+        // then fold the low half's total into the high half.
+        let t = _mm256_add_epi32(v, _mm256_slli_si256::<4>(v));
+        let t = _mm256_add_epi32(t, _mm256_slli_si256::<8>(t));
+        let lo_tot = _mm256_permutevar8x32_epi32(t, _mm256_set1_epi32(3));
+        let fold = _mm256_blend_epi32::<0xF0>(_mm256_setzero_si256(), lo_tot);
+        let prefix = _mm256_add_epi32(t, fold);
+        let sums = _mm256_add_epi32(prefix, _mm256_set1_epi32(running));
+
+        // Inclusive prefix max of the running sums (same shift pattern,
+        // i32::MIN fill so short prefixes never win).
+        let minv = _mm256_set1_epi32(i32::MIN);
+        let m = _mm256_max_epi32(sums, _mm256_alignr_epi8::<12>(sums, minv));
+        let m = _mm256_max_epi32(m, _mm256_alignr_epi8::<8>(m, minv));
+        let lo_max = _mm256_permutevar8x32_epi32(m, _mm256_set1_epi32(3));
+        let m = _mm256_max_epi32(m, _mm256_blend_epi32::<0xF0>(minv, lo_max));
+
+        // Best-before-lane = max(best, inclusive max shifted one lane).
+        let bestv = _mm256_set1_epi32(best);
+        let rot = _mm256_permutevar8x32_epi32(m, _mm256_setr_epi32(7, 0, 1, 2, 3, 4, 5, 6));
+        let b_pre = _mm256_max_epi32(_mm256_blend_epi32::<0x01>(rot, bestv), bestv);
+
+        // Fire exactly when the scalar walk would: the sum did not improve
+        // the best and trails it by more than xdrop.
+        let diff = _mm256_sub_epi32(b_pre, sums);
+        let fire = _mm256_and_si256(
+            _mm256_cmpgt_epi32(b_pre, sums),
+            _mm256_cmpgt_epi32(diff, _mm256_set1_epi32(xdrop)),
+        );
+        let dropped = _mm256_movemask_epi8(fire) != 0;
+
+        // Horizontal max + first lane attaining it.
+        let hm = _mm256_max_epi32(sums, _mm256_permute2x128_si256::<1>(sums, sums));
+        let hm = _mm256_max_epi32(hm, _mm256_shuffle_epi32::<0b0100_1110>(hm));
+        let hm = _mm256_max_epi32(hm, _mm256_shuffle_epi32::<0b1011_0001>(hm));
+        let max = _mm256_extract_epi32::<0>(hm);
+        let eq = _mm256_cmpeq_epi32(sums, _mm256_set1_epi32(max));
+        let max_lane =
+            (_mm256_movemask_ps(_mm256_castsi256_ps(eq)) as u32).trailing_zeros() as usize;
+
+        DiagChunk {
+            total: _mm256_extract_epi32::<7>(sums),
+            max,
+            max_lane,
+            dropped,
+        }
+    }
+
+    /// SSE4.1 ungapped chunk over 4 lanes.
+    ///
+    /// # Safety
+    /// Caller must ensure SSE4.1 is available and `scores.len() == 4`.
+    #[target_feature(enable = "sse4.1")]
+    pub(super) unsafe fn diag_chunk_sse41(
+        scores: &[i32],
+        running: i32,
+        best: i32,
+        xdrop: i32,
+    ) -> DiagChunk {
+        let v = _mm_loadu_si128(scores.as_ptr() as *const __m128i);
+        let t = _mm_add_epi32(v, _mm_slli_si128::<4>(v));
+        let prefix = _mm_add_epi32(t, _mm_slli_si128::<8>(t));
+        let sums = _mm_add_epi32(prefix, _mm_set1_epi32(running));
+
+        let minv = _mm_set1_epi32(i32::MIN);
+        let m = _mm_max_epi32(sums, _mm_alignr_epi8::<12>(sums, minv));
+        let m = _mm_max_epi32(m, _mm_alignr_epi8::<8>(m, minv));
+
+        let bestv = _mm_set1_epi32(best);
+        let rot = _mm_shuffle_epi32::<0b10_01_00_11>(m);
+        let b_pre = _mm_max_epi32(_mm_blend_epi16::<0x03>(rot, bestv), bestv);
+
+        let diff = _mm_sub_epi32(b_pre, sums);
+        let fire = _mm_and_si128(
+            _mm_cmpgt_epi32(b_pre, sums),
+            _mm_cmpgt_epi32(diff, _mm_set1_epi32(xdrop)),
+        );
+        let dropped = _mm_movemask_epi8(fire) != 0;
+
+        let hm = _mm_max_epi32(sums, _mm_shuffle_epi32::<0b01_00_11_10>(sums));
+        let hm = _mm_max_epi32(hm, _mm_shuffle_epi32::<0b10_11_00_01>(hm));
+        let max = _mm_cvtsi128_si32(hm);
+        let eq = _mm_cmpeq_epi32(sums, _mm_set1_epi32(max));
+        let max_lane = (_mm_movemask_ps(_mm_castsi128_ps(eq)) as u32).trailing_zeros() as usize;
+
+        DiagChunk {
+            total: _mm_extract_epi32::<3>(sums),
+            max,
+            max_lane,
+            dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic LCG so kernel tests need no external RNG.
+    struct Lcg(u64);
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 33
+        }
+        fn score(&mut self) -> i32 {
+            (self.next() % 25) as i32 - 12
+        }
+    }
+
+    fn available_vector_levels() -> Vec<IsaLevel> {
+        let mut out = Vec::new();
+        if detected_level() >= IsaLevel::Sse41 {
+            out.push(IsaLevel::Sse41);
+        }
+        if detected_level() >= IsaLevel::Avx2 {
+            out.push(IsaLevel::Avx2);
+        }
+        out
+    }
+
+    #[test]
+    fn level_order_and_lanes() {
+        assert!(IsaLevel::Scalar < IsaLevel::Sse41);
+        assert!(IsaLevel::Sse41 < IsaLevel::Avx2);
+        assert_eq!(IsaLevel::Scalar.lanes(), 1);
+        assert_eq!(IsaLevel::Sse41.lanes(), 4);
+        assert_eq!(IsaLevel::Avx2.lanes(), 8);
+        assert_eq!(IsaLevel::Avx2.name(), "avx2");
+    }
+
+    #[test]
+    fn force_scalar_env_parsing() {
+        assert!(!parse_force_scalar(None));
+        assert!(!parse_force_scalar(Some("0")));
+        assert!(!parse_force_scalar(Some("")));
+        assert!(!parse_force_scalar(Some("false")));
+        assert!(!parse_force_scalar(Some("off")));
+        assert!(parse_force_scalar(Some("1")));
+        assert!(parse_force_scalar(Some("true")));
+        assert!(parse_force_scalar(Some("yes")));
+    }
+
+    #[test]
+    fn forcing_clamps_but_never_raises() {
+        with_forced(Some(IsaLevel::Scalar), || {
+            assert_eq!(active_level(), IsaLevel::Scalar);
+        });
+        with_forced(Some(IsaLevel::Avx2), || {
+            // Forcing above the hardware level clamps to the hardware.
+            assert!(active_level() <= detected_level());
+        });
+        with_forced(None, || {
+            // With no programmatic force the detected level wins, unless
+            // the CUBLASTP_FORCE_SCALAR env override pins the scalar path
+            // (the forced-scalar CI job runs this whole suite that way).
+            if dispatch_report().forced_scalar_env {
+                assert_eq!(active_level(), IsaLevel::Scalar);
+            } else {
+                assert_eq!(active_level(), detected_level());
+            }
+        });
+    }
+
+    #[test]
+    fn diag_chunk_kernels_match_reference() {
+        let mut rng = Lcg(0x5eed);
+        for level in available_vector_levels() {
+            let lanes = level.lanes();
+            for case in 0..500 {
+                let scores: Vec<i32> = (0..lanes).map(|_| rng.score()).collect();
+                let running = rng.score() * 7;
+                let best = running + (rng.next() % 30) as i32;
+                let xdrop = [0, 1, 5, 22, 1000][case % 5];
+                let got = diag_chunk(level, &scores, running, best, xdrop);
+                let want = diag_chunk_generic(&scores, running, best, xdrop);
+                assert_eq!(got, want, "{level:?} case {case}: scores {scores:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn diag_chunk_ties_keep_first_lane() {
+        // Two lanes reach the same max; the scalar walk's strict `>`
+        // keeps the first.
+        let scores = [5, -5, 5, 0, 0, 0, 0, 0];
+        for level in available_vector_levels() {
+            let c = diag_chunk(level, &scores[..level.lanes()], 0, 0, 100);
+            assert_eq!(c.max, 5);
+            assert_eq!(c.max_lane, 0, "{level:?}");
+        }
+    }
+
+    #[test]
+    fn gapped_row_kernels_match_generic() {
+        let mut rng = Lcg(0xabcdef);
+        for level in available_vector_levels() {
+            for case in 0..200 {
+                let width = 1 + (rng.next() % 40) as usize;
+                let n = width + LANE_PAD;
+                let fill = |rng: &mut Lcg| -> Vec<i32> {
+                    (0..n)
+                        .map(|_| {
+                            if rng.next() % 3 == 0 {
+                                NEG_INF
+                            } else {
+                                rng.score() * 3
+                            }
+                        })
+                        .collect()
+                };
+                let d_prev = fill(&mut rng);
+                let f_prev = fill(&mut rng);
+                let sub: Vec<u8> = (0..n).map(|_| (rng.next() % 24) as u8).collect();
+                let mut col = [0i32; 32];
+                for c in col.iter_mut() {
+                    *c = rng.score();
+                }
+                let j0 = 1 + (rng.next() as usize % width.max(1)).min(width - 1);
+                let j1 = j0 + (rng.next() as usize % (width - j0 + 1)).min(width - j0);
+                let (open, ext) = (12, 1);
+
+                let mut d_a = vec![0i32; n + LANE_PAD];
+                let mut f_a = vec![0i32; n + LANE_PAD];
+                let wrote_a = GappedRow {
+                    d_prev: &d_prev,
+                    f_prev: &f_prev,
+                    d_row: &mut d_a,
+                    f_row: &mut f_a,
+                    col: &col,
+                    sub: &sub,
+                    j0,
+                    j1,
+                    open,
+                    ext,
+                }
+                .run(level);
+                let mut d_b = vec![0i32; n + LANE_PAD];
+                let mut f_b = vec![0i32; n + LANE_PAD];
+                let wrote_b = GappedRow {
+                    d_prev: &d_prev,
+                    f_prev: &f_prev,
+                    d_row: &mut d_b,
+                    f_row: &mut f_b,
+                    col: &col,
+                    sub: &sub,
+                    j0,
+                    j1,
+                    open,
+                    ext,
+                }
+                .run_generic();
+                // Compare only the contracted range [j0, j1]; lanes past
+                // j1 are padding both variants may fill differently
+                // (different chunk widths) and the caller re-clears.
+                assert_eq!(d_a[j0..=j1], d_b[j0..=j1], "{level:?} case {case} D");
+                assert_eq!(f_a[j0..=j1], f_b[j0..=j1], "{level:?} case {case} F");
+                assert!(wrote_a > j1 && wrote_b > j1);
+            }
+        }
+    }
+
+    #[test]
+    fn widen_col_preserves_values() {
+        let col: Vec<i16> = (0..32).map(|i| (i as i16) - 16).collect();
+        let mut out = [0i32; 32];
+        widen_col(&col, &mut out);
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, (i as i32) - 16);
+        }
+    }
+}

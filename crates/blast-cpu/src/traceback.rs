@@ -5,6 +5,14 @@
 //! best cell to recover the full alignment and re-score it. Like the
 //! gapped phase, cuBLASTP keeps this on the multicore CPU (§3.6); the same
 //! entry point is called from the threaded pipeline.
+//!
+//! The DP state (four rolling rows), the direction storage and the op
+//! accumulator all live in a thread-local `TraceScratch` mirroring the
+//! gapped phase's `DpScratch`, so the steady-state CPU stage performs no
+//! per-call allocation beyond the returned [`Alignment`]'s own op vector
+//! (sized exactly once). Directions are stored band-limited — one byte per
+//! *band* cell, not per matrix cell — which keeps traceback memory
+//! proportional to the x-drop band like the score-only pass.
 
 use crate::gapped::{GappedExt, NEG_INF};
 use crate::report::{AlignOp, Alignment};
@@ -21,58 +29,160 @@ const START: u8 = 3;
 const E_OPEN: u8 = 1 << 2;
 const F_OPEN: u8 = 1 << 3;
 
+/// Largest cell count a thread-local row buffer keeps after a call (same
+/// policy as the gapped phase's scratch).
+const MAX_RETAIN: usize = 64 * 1024;
+/// Retention cap for the direction byte arena.
+const BYTES_RETAIN: usize = 1 << 20;
+
+/// Band-limited direction storage: row `i` records one byte per band cell
+/// `[jlo, jlo+len)`. The backtrack only ever visits cells whose DP value
+/// was live, and every live cell's sources lie inside the previous rows'
+/// recorded bands, so out-of-band reads cannot occur (debug-asserted).
+#[derive(Default)]
+struct DirBand {
+    rows: Vec<BandRow>,
+    bytes: Vec<u8>,
+}
+
+struct BandRow {
+    jlo: usize,
+    off: usize,
+    len: usize,
+}
+
+impl DirBand {
+    fn clear(&mut self) {
+        self.rows.clear();
+        self.bytes.clear();
+    }
+
+    /// Append storage for row `row` covering columns `[jlo, jlo+len)` and
+    /// return it zeroed for writing. Rows must be pushed in order.
+    fn push_row(&mut self, row: usize, jlo: usize, len: usize) -> &mut [u8] {
+        debug_assert_eq!(self.rows.len(), row, "direction rows must be contiguous");
+        let off = self.bytes.len();
+        self.rows.push(BandRow { jlo, off, len });
+        self.bytes.resize(off + len, 0);
+        &mut self.bytes[off..]
+    }
+
+    fn get(&self, i: usize, j: usize) -> u8 {
+        let r = &self.rows[i];
+        debug_assert!(
+            j >= r.jlo && j < r.jlo + r.len,
+            "backtrack left the recorded band: row {i}, col {j}, band [{}, {})",
+            r.jlo,
+            r.jlo + r.len
+        );
+        self.bytes[r.off + (j - r.jlo)]
+    }
+}
+
+/// Thread-local working set for [`traceback`].
+struct TraceScratch {
+    rows: [Vec<i32>; 4],
+    dirs: DirBand,
+    /// Raw backtrack ops: the right half's ops first, then the left
+    /// half's; [`traceback`] assembles the final vector from both runs.
+    ops: Vec<AlignOp>,
+}
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<TraceScratch> = const {
+        std::cell::RefCell::new(TraceScratch {
+            rows: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+            dirs: DirBand {
+                rows: Vec::new(),
+                bytes: Vec::new(),
+            },
+            ops: Vec::new(),
+        })
+    };
+}
+
 /// One directional half-alignment: same banded x-drop DP as
-/// [`crate::gapped`], plus a direction matrix and a backtrack. Ops are
-/// returned from the *anchor outward* (i.e. reversed for the left half —
-/// callers orient them).
+/// [`crate::gapped`], plus band-limited per-cell directions and a
+/// backtrack. Ops are appended to `scratch.ops` in raw backtrack order
+/// (outermost cell → anchor); returns `(score, q_offset, s_offset,
+/// ops_appended)`.
 fn half_align(
+    scratch: &mut TraceScratch,
     q_len: usize,
     s_len: usize,
     score_at: impl Fn(usize, usize) -> i32,
     params: &SearchParams,
-) -> (i32, usize, usize, Vec<AlignOp>) {
+) -> (i32, usize, usize, usize) {
     if q_len == 0 || s_len == 0 {
         // Degenerate: no room to extend in one dimension. An x-drop
         // half-extension never ends in a dangling gap (gaps only lose
-        // score), so the empty alignment is correct.
-        return (0, 0, 0, Vec::new());
+        // score), so the empty alignment is correct — and reaches here
+        // without touching the DP buffers at all.
+        return (0, 0, 0, 0);
     }
     let open = params.gap_open + params.gap_extend;
     let ext = params.gap_extend;
     let xdrop = params.xdrop_gapped;
 
     let width = s_len + 1;
-    let mut dir = vec![0u8; (q_len + 1) * width];
-    let mut d_prev = vec![NEG_INF; width];
-    let mut f_prev = vec![NEG_INF; width];
-    let mut d_row = vec![NEG_INF; width];
-    let mut f_row = vec![NEG_INF; width];
+    let TraceScratch { rows, dirs, ops } = scratch;
+    for row in rows.iter_mut() {
+        if row.len() < width {
+            row.resize(width, NEG_INF);
+        } else if width <= MAX_RETAIN && row.len() > MAX_RETAIN {
+            row.truncate(MAX_RETAIN);
+            row.shrink_to(MAX_RETAIN);
+        }
+    }
+    dirs.clear();
+    if dirs.bytes.capacity() > BYTES_RETAIN {
+        dirs.bytes.shrink_to(BYTES_RETAIN);
+    }
+    if dirs.rows.capacity() > MAX_RETAIN {
+        dirs.rows.shrink_to(MAX_RETAIN);
+    }
+    let [d_prev, f_prev, d_row, f_row] = rows;
 
     let mut best = 0i32;
     let mut best_cell = (0usize, 0usize);
 
+    // Row 0: leading gap in the query dimension.
     d_prev[0] = 0;
-    dir[0] = START;
     let mut jmax = 0usize;
-    for j in 1..width {
+    for (j, cell) in d_prev.iter_mut().enumerate().take(width).skip(1) {
         let s = -(open + (j as i32 - 1) * ext);
-        if best - s > xdrop {
+        if -s > xdrop {
             break;
         }
-        d_prev[j] = s;
-        dir[j] = FROM_E | if j == 1 { E_OPEN } else { 0 };
+        *cell = s;
         jmax = j;
     }
+    let row0 = dirs.push_row(0, 0, jmax + 1);
+    row0[0] = START;
+    for (j, byte) in row0.iter_mut().enumerate().skip(1) {
+        *byte = FROM_E | if j == 1 { E_OPEN } else { 0 };
+    }
+    // The buffers are not pre-cleared: make exactly the cells row 1 reads
+    // beyond row 0's writes look unreachable. When row 0 spans the whole
+    // width there is no cell past its last write.
+    if jmax + 1 < width {
+        d_prev[jmax + 1] = NEG_INF;
+    }
+    f_prev[..=(jmax + 1).min(s_len)].fill(NEG_INF);
     let mut jmin = 0usize;
 
-    let mut q_rows = 0usize;
     for i in 1..=q_len {
         let row_hi = (jmax + 1).min(s_len);
         if jmin > row_hi {
             break;
         }
-        d_row.fill(NEG_INF);
-        f_row.fill(NEG_INF);
+        // Clear the band plus a one-cell margin on each side (the same
+        // cleared-or-written protocol as the score-only pass).
+        let clear_lo = jmin.saturating_sub(1);
+        let clear_hi = (row_hi + 1).min(width - 1);
+        d_row[clear_lo..=clear_hi].fill(NEG_INF);
+        f_row[clear_lo..=clear_hi].fill(NEG_INF);
+        let band = dirs.push_row(i, jmin, row_hi - jmin + 1);
         let mut new_jmin = usize::MAX;
         let mut new_jmax = 0usize;
         let mut e = NEG_INF;
@@ -136,7 +246,7 @@ fn half_align(
             if f_opened {
                 byte |= F_OPEN;
             }
-            dir[i * width + j] = byte;
+            band[j - jmin] = byte;
 
             if d > NEG_INF && best - d <= xdrop {
                 d_row[j] = d;
@@ -153,54 +263,52 @@ fn half_align(
         if new_jmin == usize::MAX {
             break;
         }
-        q_rows = i;
         jmin = new_jmin;
         jmax = new_jmax;
-        std::mem::swap(&mut d_prev, &mut d_row);
-        std::mem::swap(&mut f_prev, &mut f_row);
+        std::mem::swap(d_prev, d_row);
+        std::mem::swap(f_prev, f_row);
     }
-    let _ = q_rows;
 
-    // Backtrack from the best cell.
-    let mut ops_rev: Vec<AlignOp> = Vec::new();
+    // Backtrack from the best cell, appending ops in raw order (from the
+    // outermost cell toward the anchor).
+    let before = ops.len();
     let (mut i, mut j) = best_cell;
-    let mut state = dir[i * width + j] & 0b11;
+    let mut state = dirs.get(i, j) & 0b11;
     while (i, j) != (0, 0) {
         match state {
             FROM_M => {
-                ops_rev.push(AlignOp::Sub);
+                ops.push(AlignOp::Sub);
                 i -= 1;
                 j -= 1;
-                state = dir[i * width + j] & 0b11;
+                state = dirs.get(i, j) & 0b11;
             }
             FROM_E => {
                 // Horizontal gap run: consume subject residues.
                 loop {
-                    ops_rev.push(AlignOp::Ins);
-                    let opened = dir[i * width + j] & E_OPEN != 0;
+                    ops.push(AlignOp::Ins);
+                    let opened = dirs.get(i, j) & E_OPEN != 0;
                     j -= 1;
                     if opened {
                         break;
                     }
                 }
-                state = dir[i * width + j] & 0b11;
+                state = dirs.get(i, j) & 0b11;
             }
             FROM_F => {
                 loop {
-                    ops_rev.push(AlignOp::Del);
-                    let opened = dir[i * width + j] & F_OPEN != 0;
+                    ops.push(AlignOp::Del);
+                    let opened = dirs.get(i, j) & F_OPEN != 0;
                     i -= 1;
                     if opened {
                         break;
                     }
                 }
-                state = dir[i * width + j] & 0b11;
+                state = dirs.get(i, j) & 0b11;
             }
             _ => break, // START
         }
     }
-    ops_rev.reverse();
-    (best, best_cell.0, best_cell.1, ops_rev)
+    (best, best_cell.0, best_cell.1, ops.len() - before)
 }
 
 /// Recover the full alignment for a gapped extension.
@@ -222,73 +330,87 @@ pub fn traceback(
 
     let anchor_score = pssm.score(qs, subject[ss]);
 
-    let (right_score, rq, rs, right_ops) = half_align(
-        qlen - qs - 1,
-        slen - ss - 1,
-        |qi, sj| pssm.score(qs + 1 + qi, subject[ss + 1 + sj]),
-        params,
-    );
-    let (left_score, lq, ls, left_ops) = half_align(
-        qs,
-        ss,
-        |qi, sj| pssm.score(qs - 1 - qi, subject[ss - 1 - sj]),
-        params,
-    );
+    SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        scratch.ops.clear();
+        if scratch.ops.capacity() > MAX_RETAIN {
+            scratch.ops.shrink_to(MAX_RETAIN);
+        }
 
-    // Left ops were produced anchor-outward on reversed sequences: reverse
-    // them to read left-to-right. Ins/Del meaning is direction-independent.
-    let mut ops: Vec<AlignOp> = left_ops.into_iter().rev().collect();
-    ops.push(AlignOp::Sub); // the anchor pair
-    ops.extend(right_ops);
+        let (right_score, rq, rs, right_len) = half_align(
+            scratch,
+            qlen - qs - 1,
+            slen - ss - 1,
+            |qi, sj| pssm.score(qs + 1 + qi, subject[ss + 1 + sj]),
+            params,
+        );
+        let (left_score, lq, ls, left_len) = half_align(
+            scratch,
+            qs,
+            ss,
+            |qi, sj| pssm.score(qs - 1 - qi, subject[ss - 1 - sj]),
+            params,
+        );
 
-    let q_start = qs - lq;
-    let s_start = ss - ls;
-    let q_end = qs + 1 + rq;
-    let s_end = ss + 1 + rs;
+        // Raw backtrack order is outermost → anchor. For the left half
+        // (computed on reversed sequences) that already reads left-to-right
+        // in true coordinates; the right half needs reversing. One exact
+        // allocation assembles the owned op vector.
+        let raw = &scratch.ops;
+        let mut ops: Vec<AlignOp> = Vec::with_capacity(left_len + right_len + 1);
+        ops.extend_from_slice(&raw[right_len..right_len + left_len]);
+        ops.push(AlignOp::Sub); // the anchor pair
+        ops.extend(raw[..right_len].iter().rev().copied());
 
-    // Identity / positive / gap counts straight from the operations.
-    let mut qi = q_start;
-    let mut si = s_start;
-    let mut identities = 0usize;
-    let mut positives = 0usize;
-    let mut gaps = 0usize;
-    for op in &ops {
-        match op {
-            AlignOp::Sub => {
-                if query[qi] == subject[si] {
-                    identities += 1;
+        let q_start = qs - lq;
+        let s_start = ss - ls;
+        let q_end = qs + 1 + rq;
+        let s_end = ss + 1 + rs;
+
+        // Identity / positive / gap counts straight from the operations.
+        let mut qi = q_start;
+        let mut si = s_start;
+        let mut identities = 0usize;
+        let mut positives = 0usize;
+        let mut gaps = 0usize;
+        for op in &ops {
+            match op {
+                AlignOp::Sub => {
+                    if query[qi] == subject[si] {
+                        identities += 1;
+                    }
+                    if pssm.score(qi, subject[si]) > 0 {
+                        positives += 1;
+                    }
+                    qi += 1;
+                    si += 1;
                 }
-                if pssm.score(qi, subject[si]) > 0 {
-                    positives += 1;
+                AlignOp::Ins => {
+                    si += 1;
+                    gaps += 1;
                 }
-                qi += 1;
-                si += 1;
-            }
-            AlignOp::Ins => {
-                si += 1;
-                gaps += 1;
-            }
-            AlignOp::Del => {
-                qi += 1;
-                gaps += 1;
+                AlignOp::Del => {
+                    qi += 1;
+                    gaps += 1;
+                }
             }
         }
-    }
-    debug_assert_eq!(qi, q_end);
-    debug_assert_eq!(si, s_end);
+        debug_assert_eq!(qi, q_end);
+        debug_assert_eq!(si, s_end);
 
-    Alignment {
-        seq_id: g.seq_id,
-        q_start: q_start as u32,
-        q_end: q_end as u32,
-        s_start: s_start as u32,
-        s_end: s_end as u32,
-        score: left_score + anchor_score + right_score,
-        ops,
-        identities: identities as u32,
-        positives: positives as u32,
-        gaps: gaps as u32,
-    }
+        Alignment {
+            seq_id: g.seq_id,
+            q_start: q_start as u32,
+            q_end: q_end as u32,
+            s_start: s_start as u32,
+            s_end: s_end as u32,
+            score: left_score + anchor_score + right_score,
+            ops,
+            identities: identities as u32,
+            positives: positives as u32,
+            gaps: gaps as u32,
+        }
+    })
 }
 
 #[cfg(test)]
@@ -425,5 +547,28 @@ mod tests {
         let (g, a) = run(b"WWW", b"WWW", seed(0, 0, 3));
         assert_eq!(a.score, g.score);
         assert_eq!(a.ops.len(), 3);
+    }
+
+    #[test]
+    fn ops_vector_has_exact_capacity() {
+        // The returned op vector is the only allocation of the steady
+        // state; it must be sized exactly, not grown by pushes.
+        let q = b"WWWWWWKKKKKKMMMM";
+        let (pssm, query) = setup(q);
+        let subject = encode_str(b"AAWWWWWWKKKGKKKMMMMAA");
+        let p = SearchParams::default();
+        let g = extend_gapped(&pssm, &subject, &seed(0, 2, 6), &p);
+        let a = traceback(&pssm, &query, &subject, &g, &p);
+        assert_eq!(a.ops.capacity(), a.ops.len());
+    }
+
+    #[test]
+    fn anchor_only_alignment_uses_empty_fast_path() {
+        // Anchor at position 0/0: the left half has zero length on both
+        // sequences and must come back through the no-DP fast path.
+        let (g, a) = run(b"WKV", b"WKV", seed(0, 0, 1));
+        assert_eq!(a.score, g.score);
+        assert_eq!(a.q_start, 0);
+        assert_eq!(a.ops[0], AlignOp::Sub);
     }
 }

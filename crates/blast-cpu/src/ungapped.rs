@@ -9,6 +9,7 @@
 //! coarse-grained GPU baselines — which is what makes their outputs
 //! comparable bit-for-bit.
 
+use crate::simd;
 use bio_seq::alphabet::Residue;
 use blast_core::{Pssm, WORD_LEN};
 use serde::{Deserialize, Serialize};
@@ -82,12 +83,39 @@ pub fn extend(
         word_score += pssm.score(qp + k, subject[sp + k]);
     }
 
+    // Both walks run whole vector chunks through a prefix-sum/prefix-max
+    // scan (`simd::diag_chunk`) while no lane trips the x-drop; the first
+    // chunk that would is discarded and replayed by the scalar tail, which
+    // then breaks exactly where the pure scalar walk would. Committing a
+    // clean chunk is exact: the chunk max is the best prefix sum and its
+    // first-occurrence lane matches the scalar strict-`>` update.
+    let level = simd::active_level();
+    let lanes = level.lanes();
+    let mut scores = [0i32; 8];
+
     // Rightward from the residue after the word.
     let mut best = word_score;
     let mut running = word_score;
     let mut best_right = WORD_LEN; // length to the right of (qp, sp), inclusive of word
     {
         let mut k = WORD_LEN;
+        if lanes > 1 {
+            while qp + k + lanes <= qlen && sp + k + lanes <= slen {
+                for (l, slot) in scores[..lanes].iter_mut().enumerate() {
+                    *slot = pssm.score(qp + k + l, subject[sp + k + l]);
+                }
+                let c = simd::diag_chunk(level, &scores[..lanes], running, best, xdrop);
+                if c.dropped {
+                    break;
+                }
+                if c.max > best {
+                    best = c.max;
+                    best_right = k + c.max_lane + 1;
+                }
+                running = c.total;
+                k += lanes;
+            }
+        }
         while qp + k < qlen && sp + k < slen {
             running += pssm.score(qp + k, subject[sp + k]);
             if running > best {
@@ -107,6 +135,23 @@ pub fn extend(
     let mut best_total = best;
     {
         let mut k = 1usize;
+        if lanes > 1 {
+            while qp >= k + lanes - 1 && sp >= k + lanes - 1 {
+                for (l, slot) in scores[..lanes].iter_mut().enumerate() {
+                    *slot = pssm.score(qp - k - l, subject[sp - k - l]);
+                }
+                let c = simd::diag_chunk(level, &scores[..lanes], running_left, best_total, xdrop);
+                if c.dropped {
+                    break;
+                }
+                if c.max > best_total {
+                    best_total = c.max;
+                    best_left = k + c.max_lane;
+                }
+                running_left = c.total;
+                k += lanes;
+            }
+        }
         while qp >= k && sp >= k {
             running_left += pssm.score(qp - k, subject[sp - k]);
             if running_left > best_total {
@@ -209,6 +254,23 @@ mod tests {
         let ext = extend(&pssm, &s, 0, 0, 0, 16);
         assert_eq!((ext.q_start, ext.s_start, ext.len), (0, 0, 3));
         assert_eq!(ext.score, 33);
+    }
+
+    #[test]
+    fn simd_and_scalar_walks_are_bit_identical() {
+        let q = bio_seq::generate::make_query(300);
+        let pssm = Pssm::build(&q, &Matrix::blosum62());
+        let s = bio_seq::generate::make_query(400);
+        for (qp, sp) in [(0u32, 0u32), (10, 40), (150, 90), (280, 380), (297, 397)] {
+            for xdrop in [0, 1, 5, 16, 10_000] {
+                let scalar = simd::with_forced(Some(simd::IsaLevel::Scalar), || {
+                    extend(&pssm, s.residues(), 1, qp, sp, xdrop)
+                });
+                let native =
+                    simd::with_forced(None, || extend(&pssm, s.residues(), 1, qp, sp, xdrop));
+                assert_eq!(scalar, native, "seed ({qp},{sp}) xdrop {xdrop}");
+            }
+        }
     }
 
     #[test]

@@ -26,6 +26,8 @@ OPTIONS:
     --mask               SEG-mask low-complexity query regions before seeding
     --comp-based-stats   composition-adjusted e-values for biased queries
     --no-overlap         disable the CPU–GPU pipeline overlap
+    --pipeline-depth <n> database blocks the GPU side may run ahead of the
+                         CPU side when overlapped (default 1)
     --alignments         print the aligned residues, not just the table
     --outfmt <name>      pairwise (default) | tab (BLAST outfmt-6 columns:
                          qseqid sseqid pident length mismatch gapopen
@@ -96,6 +98,7 @@ pub struct Args {
     pub mask: bool,
     pub comp_based_stats: bool,
     pub overlap: bool,
+    pub pipeline_depth: usize,
     pub alignments: bool,
     pub outfmt: OutFmt,
     pub fault_plan: FaultPlan,
@@ -122,6 +125,7 @@ impl Default for Args {
             mask: false,
             comp_based_stats: false,
             overlap: true,
+            pipeline_depth: 1,
             alignments: false,
             outfmt: OutFmt::Pairwise,
             fault_plan: FaultPlan::none(),
@@ -187,6 +191,11 @@ impl Args {
                 "--mask" => args.mask = true,
                 "--comp-based-stats" => args.comp_based_stats = true,
                 "--no-overlap" => args.overlap = false,
+                "--pipeline-depth" => {
+                    args.pipeline_depth = value(&mut argv, "--pipeline-depth")?
+                        .parse()
+                        .map_err(|e| format!("--pipeline-depth: {e}"))?
+                }
                 "--alignments" => args.alignments = true,
                 "--outfmt" => {
                     args.outfmt = match value(&mut argv, "--outfmt")?.as_str() {
@@ -221,6 +230,9 @@ impl Args {
         if args.max_retries == 0 {
             return Err("--max-retries must be positive".into());
         }
+        if args.pipeline_depth == 0 {
+            return Err("--pipeline-depth must be positive".into());
+        }
         Ok(args)
     }
 
@@ -246,6 +258,7 @@ impl Args {
         };
         config.recovery.max_attempts = self.max_retries;
         config.recovery.cpu_fallback = self.cpu_fallback;
+        config.pipeline.depth = self.pipeline_depth;
         config
     }
 }
@@ -290,6 +303,8 @@ mod tests {
             "64",
             "--mask",
             "--no-overlap",
+            "--pipeline-depth",
+            "3",
             "--alignments",
         ])
         .unwrap();
@@ -306,6 +321,16 @@ mod tests {
         let c = a.cublastp_config();
         assert_eq!(c.num_bins, 64);
         assert!(!c.overlap);
+        assert_eq!(c.pipeline.depth, 3);
+    }
+
+    #[test]
+    fn pipeline_depth_defaults_and_rejects_zero() {
+        let a = parse(&["--demo"]).unwrap();
+        assert_eq!(a.pipeline_depth, 1);
+        assert_eq!(a.cublastp_config().pipeline.depth, 1);
+        assert!(parse(&["--demo", "--pipeline-depth", "0"]).is_err());
+        assert!(parse(&["--demo", "--pipeline-depth", "two"]).is_err());
     }
 
     #[test]

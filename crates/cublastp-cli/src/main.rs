@@ -113,6 +113,17 @@ impl PhaseTable {
             out!("# {:<28} {:>10.3} {:>6.1}%", name, ms, pct(ms));
         }
         out!("# {:<28} {:>10.3} {:>6.1}%", "total (serial)", total, 100.0);
+        let dispatch = blast_cpu::simd::dispatch_report();
+        out!(
+            "# cpu simd dispatch: {} (detected {}{})",
+            dispatch.active.name(),
+            dispatch.detected.name(),
+            if dispatch.forced_scalar_env {
+                ", CUBLASTP_FORCE_SCALAR=1"
+            } else {
+                ""
+            }
+        );
         if self.serial_ms > 0.0 {
             out!(
                 "# pipeline overlap: {:.3} ms overlapped vs {:.3} ms serial ({:.1}% hidden)",

@@ -74,6 +74,23 @@ impl Default for RecoveryPolicy {
     }
 }
 
+/// Tuning for the executable CPU–GPU overlap pipeline (Fig. 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Database blocks the GPU side may run ahead of the CPU side (the
+    /// bound of the channel between them). 1 reproduces the paper's
+    /// one-staged-block regime; larger values smooth GPU-side jitter at
+    /// the cost of holding more extension records in host memory. Must be
+    /// ≥ 1. Per-block results are bit-identical at any depth.
+    pub depth: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self { depth: 1 }
+    }
+}
+
 /// Full cuBLASTP configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CuBlastpConfig {
@@ -97,6 +114,9 @@ pub struct CuBlastpConfig {
     pub cpu_threads: usize,
     /// Overlap CPU phases and transfers with GPU kernels (Fig. 12).
     pub overlap: bool,
+    /// Overlap-executor tuning (in-flight block depth).
+    #[serde(default)]
+    pub pipeline: PipelineConfig,
     /// Device-fault recovery policy (retry budget, backoff, degradation).
     pub recovery: RecoveryPolicy,
 }
@@ -114,6 +134,7 @@ impl Default for CuBlastpConfig {
             db_block_size: 1024,
             cpu_threads: 4,
             overlap: true,
+            pipeline: PipelineConfig::default(),
             recovery: RecoveryPolicy::default(),
         }
     }
@@ -179,6 +200,11 @@ impl CuBlastpConfig {
         if self.cpu_threads == 0 {
             return Err(SearchError::config("cpu_threads must be > 0"));
         }
+        if self.pipeline.depth == 0 {
+            return Err(SearchError::config(
+                "pipeline.depth must be >= 1 (blocks in flight)",
+            ));
+        }
         if self.recovery.max_attempts == 0 {
             return Err(SearchError::config(
                 "recovery.max_attempts must be >= 1 (1 = no retry)",
@@ -205,6 +231,7 @@ mod tests {
         assert_eq!(c.window_size, 8);
         assert!(c.use_readonly_cache);
         assert_eq!(c.cpu_threads, 4);
+        assert_eq!(c.pipeline.depth, 1, "default depth is the paper regime");
     }
 
     #[test]
@@ -269,6 +296,10 @@ mod tests {
                     max_attempts: 0,
                     ..Default::default()
                 },
+                ..Default::default()
+            },
+            CuBlastpConfig {
+                pipeline: PipelineConfig { depth: 0 },
                 ..Default::default()
             },
         ] {

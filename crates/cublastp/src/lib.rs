@@ -59,11 +59,11 @@ pub mod reorder;
 pub mod search;
 
 pub use cluster::{search_cluster, ClusterConfig, ClusterResult};
-pub use config::{CuBlastpConfig, ExtensionStrategy, RecoveryPolicy, ScoringMode};
+pub use config::{CuBlastpConfig, ExtensionStrategy, PipelineConfig, RecoveryPolicy, ScoringMode};
 pub use devicedata::{flatten_count, DeviceDb, DeviceDbCache};
 pub use error::{PipelineError, SearchError};
 pub use gpu_phase::{ExtensionsCsr, GpuPhaseCounts, GpuPhaseOutput};
-pub use pipeline::{schedule, BlockTiming, PipelineSchedule};
+pub use pipeline::{overlap_blocks, overlap_blocks_depth, schedule, BlockTiming, PipelineSchedule};
 pub use search::{
     search_batch, search_batch_parallel, search_batch_with, BatchOptions, BatchOutcome, CuBlastp,
     CuBlastpResult, CuBlastpTiming, RecoveryReport,

@@ -12,7 +12,7 @@ use crate::config::{CuBlastpConfig, ExtensionStrategy};
 use crate::devicedata::{DeviceDb, DeviceDbBlock, DeviceQuery};
 use crate::error::{panic_message, PipelineError, SearchError};
 use crate::gpu_phase::{run_gpu_phase, ExtensionsCsr, GpuPhaseCounts, GpuPhaseOutput};
-use crate::pipeline::{overlap_blocks, schedule, BlockTiming, PipelineSchedule};
+use crate::pipeline::{overlap_blocks_depth, schedule, BlockTiming, PipelineSchedule};
 use bio_seq::{DbBlock, Sequence, SequenceDb};
 use blast_core::SearchParams;
 use blast_cpu::report::{PhaseTimes, SearchReport};
@@ -322,6 +322,10 @@ impl CuBlastp {
     ) -> Result<CuBlastpResult, SearchError> {
         let _search_span = obs::span("search", "host").with_query(self.stream_index);
         self.config.validate()?;
+        // Record which SIMD instruction set the CPU phases (gapped
+        // extension, traceback) dispatch to for this search.
+        let dispatch = blast_cpu::simd::dispatch_report();
+        obs::gauge("cpu_simd_dispatch", &[("isa", dispatch.active.name())], 1.0);
         if dev_db.block_size() != self.config.db_block_size {
             return Err(SearchError::config(format!(
                 "resident database was partitioned at block size {}, config wants {}",
@@ -454,7 +458,8 @@ impl CuBlastp {
             .enumerate()
             .collect();
         let block_results: Vec<CpuSideOut> = if self.config.overlap {
-            overlap_blocks(inputs, gpu_side, cpu_side).map_err(SearchError::Pipeline)?
+            overlap_blocks_depth(self.config.pipeline.depth, inputs, gpu_side, cpu_side)
+                .map_err(SearchError::Pipeline)?
         } else {
             inputs.into_iter().map(|b| cpu_side(gpu_side(b))).collect()
         };
