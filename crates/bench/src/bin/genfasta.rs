@@ -1,0 +1,80 @@
+//! Emit the bench workloads as FASTA files, so shell-level jobs — CI's
+//! grouped-vs-per-query equivalence job — can drive the CLI over the
+//! same preset databases the bench binaries use. Respects `BENCH_SCALE`
+//! like every other bench entry point.
+//!
+//! ```text
+//! genfasta --preset <swissprot_mini|env_nr_mini> --queries <n> --out-dir <dir>
+//! ```
+//!
+//! Writes `<dir>/queries.fasta` (`n` queries, lengths 48, 50, 52, … —
+//! the grouped-seeding sweep's regime) and `<dir>/db.fasta` (the preset
+//! database with homologies planted against the first query).
+
+use bench::{database, query};
+use bio_seq::fasta::to_fasta;
+use bio_seq::generate::DbPreset;
+use std::process::exit;
+
+const USAGE: &str =
+    "usage: genfasta --preset <swissprot_mini|env_nr_mini> --queries <n> --out-dir <dir>";
+
+fn main() {
+    let mut preset = None;
+    let mut queries = 16usize;
+    let mut out_dir = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |flag: &str| {
+            argv.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value\n{USAGE}");
+                exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--preset" => {
+                let name = value("--preset");
+                preset = Some(match name.as_str() {
+                    "swissprot_mini" => DbPreset::SwissprotMini,
+                    "env_nr_mini" => DbPreset::EnvNrMini,
+                    other => {
+                        eprintln!("error: unknown preset {other:?}\n{USAGE}");
+                        exit(2);
+                    }
+                });
+            }
+            "--queries" => {
+                queries = value("--queries").parse().unwrap_or_else(|e| {
+                    eprintln!("error: --queries: {e}\n{USAGE}");
+                    exit(2);
+                });
+            }
+            "--out-dir" => out_dir = Some(value("--out-dir")),
+            other => {
+                eprintln!("error: unknown option {other:?}\n{USAGE}");
+                exit(2);
+            }
+        }
+    }
+    let (Some(preset), Some(out_dir)) = (preset, out_dir) else {
+        eprintln!("error: --preset and --out-dir are required\n{USAGE}");
+        exit(2);
+    };
+
+    let qs: Vec<_> = (0..queries).map(|i| query(48 + 2 * i)).collect();
+    let db = database(preset, &qs[0]);
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("error: create {out_dir}: {e}");
+        exit(2);
+    }
+    for (name, seqs) in [("queries.fasta", &qs[..]), ("db.fasta", db.sequences())] {
+        let path = format!("{out_dir}/{name}");
+        match std::fs::write(&path, to_fasta(seqs, 70)) {
+            Ok(()) => println!("wrote {path} ({} records)", seqs.len()),
+            Err(e) => {
+                eprintln!("error: write {path}: {e}");
+                exit(2);
+            }
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Grouped-seeding amortization: the cost ISSUE the grouped engine
+//! exists to attack — per-query seeding work that re-reads every
+//! database block once per query.
+//!
+//! Sweeps batch size over both database presets, running the same batch
+//! through the per-query and grouped seeding paths. For every cell the
+//! two paths must produce bit-identical per-query reports (checked via
+//! `identity_key`); the grouped path's telemetry then gives the
+//! amortized seeding cost in simulated milliseconds per database block
+//! per query. The sweep asserts that cost decreases monotonically with
+//! batch size and is at least 2x lower at batch 16 than at batch 1
+//! (grouped-vs-grouped — batch 1 is a singleton round paying the full
+//! pass alone). Violations abort with exit code 1, so CI's perf-gate
+//! job cannot silently pass a regressed grouping engine.
+//!
+//! Note the baseline deliberately is the singleton *grouped* round, not
+//! the per-query DFA kernel: a single grouped pass probes a hashed slot
+//! table through the read-only cache, which at high occupancy costs more
+//! per hit than the per-query automaton — the engine wins by amortizing
+//! that pass across members, not by beating the DFA one-on-one (see
+//! DESIGN.md §3.6). Results go to stdout (table) and
+//! `BENCH_grouped_seeding.json` at the repo root.
+
+use bench::obsenv;
+use bench::table::{fmt, print_table};
+use bench::{bench_scale, database, query};
+use bio_seq::generate::DbPreset;
+use blast_core::SearchParams;
+use cublastp::{search_batch_with, BatchOptions, CuBlastpConfig, SeedMode};
+use gpu_sim::DeviceConfig;
+
+const BATCH_SIZES: [usize; 5] = [1, 2, 4, 8, 16];
+
+/// Required amortization at the largest batch size vs the singleton
+/// round (the ISSUE's acceptance threshold).
+const MIN_AMORTIZATION: f64 = 2.0;
+
+struct Row {
+    batch: usize,
+    rounds: usize,
+    occupancy: f64,
+    index_kib: f64,
+    seeding_ms: f64,
+    amortized: f64,
+    amortization: f64,
+}
+
+fn main() {
+    let scale = bench_scale();
+    obsenv::arm_from_env();
+    let device = DeviceConfig::k20c();
+    let params = SearchParams::default();
+    let cfg = CuBlastpConfig::default();
+    // Moderate query lengths (48..=78): the regime where a group's
+    // combined neighborhood still fits one index round at the default
+    // budget, so batch 16 is a single 16-member round.
+    let queries: Vec<_> = (0..*BATCH_SIZES.last().unwrap())
+        .map(|i| query(48 + 2 * i))
+        .collect();
+
+    let mut failures = 0usize;
+    let mut sections: Vec<(String, Vec<Row>)> = Vec::new();
+    let mut medians: Vec<(String, Vec<(String, f64)>)> = Vec::new();
+    for preset in [DbPreset::SwissprotMini, DbPreset::EnvNrMini] {
+        let db = database(preset, &queries[0]);
+        let name = preset.spec().name.to_string();
+        let mut rows = Vec::new();
+        for batch in BATCH_SIZES {
+            let qs = &queries[..batch];
+            let baseline = search_batch_with(qs, params, cfg, device, &db, BatchOptions::default());
+            let grouped = search_batch_with(
+                qs,
+                params,
+                cfg,
+                device,
+                &db,
+                BatchOptions {
+                    seed_mode: SeedMode::Grouped,
+                    ..Default::default()
+                },
+            );
+            for (qi, (b, g)) in baseline
+                .per_query
+                .iter()
+                .zip(grouped.per_query.iter())
+                .enumerate()
+            {
+                let (b, g) = match (b, g) {
+                    (Ok(b), Ok(g)) => (b, g),
+                    _ => {
+                        eprintln!("error: {name} batch {batch} query {qi}: search failed");
+                        failures += 1;
+                        continue;
+                    }
+                };
+                if b.report.identity_key() != g.report.identity_key() {
+                    eprintln!(
+                        "error: {name} batch {batch} query {qi}: grouped output \
+                         diverges from per-query seeding"
+                    );
+                    failures += 1;
+                }
+            }
+            let Some(report) = grouped.grouped.as_ref() else {
+                eprintln!("error: {name} batch {batch}: grouped run returned no telemetry");
+                failures += 1;
+                continue;
+            };
+            if report.queries_covered() != batch {
+                eprintln!(
+                    "error: {name} batch {batch}: rounds cover {} queries",
+                    report.queries_covered()
+                );
+                failures += 1;
+            }
+            let occupancy = if report.rounds.is_empty() {
+                0.0
+            } else {
+                report.rounds.iter().map(|r| r.occupancy).sum::<f64>() / report.rounds.len() as f64
+            };
+            let index_bytes: u64 = report.rounds.iter().map(|r| r.index_upload_bytes).sum();
+            rows.push(Row {
+                batch,
+                rounds: report.rounds.len(),
+                occupancy,
+                index_kib: index_bytes as f64 / 1024.0,
+                seeding_ms: report.total_seeding_ms(),
+                amortized: report.seeding_ms_per_block_query(),
+                amortization: 1.0, // filled against the batch-1 row below
+            });
+        }
+
+        let base = rows.first().map(|r| r.amortized).unwrap_or(0.0);
+        for r in &mut rows {
+            r.amortization = if r.amortized > 0.0 {
+                base / r.amortized
+            } else {
+                0.0
+            };
+        }
+        for pair in rows.windows(2) {
+            if pair[1].amortized > pair[0].amortized {
+                eprintln!(
+                    "error: {name}: amortized seeding cost rose from {:.6} ms \
+                     (batch {}) to {:.6} ms (batch {})",
+                    pair[0].amortized, pair[0].batch, pair[1].amortized, pair[1].batch
+                );
+                failures += 1;
+            }
+        }
+        if let Some(last) = rows.last() {
+            if last.amortization < MIN_AMORTIZATION {
+                eprintln!(
+                    "error: {name}: batch {} amortizes seeding only {:.2}x vs \
+                     batch 1 (need >= {MIN_AMORTIZATION}x)",
+                    last.batch, last.amortization
+                );
+                failures += 1;
+            }
+        }
+
+        let phases: Vec<(String, f64)> = rows
+            .iter()
+            .map(|r| (format!("amortized_b{}", r.batch), r.amortized))
+            .collect();
+        medians.push((name.clone(), phases));
+        sections.push((name, rows));
+    }
+
+    for (name, rows) in &sections {
+        print_table(
+            &format!("Grouped seeding amortization — {name} (simulated ms, k20c)"),
+            &[
+                "batch",
+                "rounds",
+                "occupancy",
+                "index KiB",
+                "seeding ms",
+                "ms/block/query",
+                "vs batch 1",
+            ],
+            &rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.batch.to_string(),
+                        r.rounds.to_string(),
+                        format!("{:.3}", r.occupancy),
+                        fmt(r.index_kib),
+                        fmt(r.seeding_ms),
+                        format!("{:.5}", r.amortized),
+                        format!("{:.2}x", r.amortization),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    let json = render_json(&sections, &medians, scale);
+    let path = "BENCH_grouped_seeding.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+    obsenv::write_exports();
+    if failures > 0 {
+        eprintln!("error: {failures} grouped-seeding check(s) failed");
+        std::process::exit(1);
+    }
+}
+
+fn render_json(
+    sections: &[(String, Vec<Row>)],
+    medians: &[(String, Vec<(String, f64)>)],
+    scale: f64,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"grouped_seeding\",\n");
+    out.push_str("  \"device\": \"k20c\",\n");
+    out.push_str(&format!("  \"scale\": {scale},\n"));
+    out.push_str("  \"phase_medians\": {\n");
+    for (pi, (name, phases)) in medians.iter().enumerate() {
+        out.push_str(&format!("    \"{name}\": {{"));
+        for (ki, (phase, ms)) in phases.iter().enumerate() {
+            out.push_str(&format!(
+                "\"{phase}\": {ms:.6}{}",
+                if ki + 1 < phases.len() { ", " } else { "" }
+            ));
+        }
+        out.push_str(&format!(
+            "}}{}\n",
+            if pi + 1 < medians.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"presets\": [\n");
+    for (pi, (name, rows)) in sections.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"db\": \"{name}\",\n"));
+        out.push_str("      \"sweep\": [\n");
+        for (ri, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"batch\": {}, \"rounds\": {}, \"occupancy\": {:.4}, \
+                 \"index_kib\": {:.2}, \"seeding_ms\": {:.4}, \
+                 \"seeding_ms_per_block_query\": {:.6}, \
+                 \"amortization_vs_batch1\": {:.3}}}{}\n",
+                r.batch,
+                r.rounds,
+                r.occupancy,
+                r.index_kib,
+                r.seeding_ms,
+                r.amortized,
+                r.amortization,
+                if ri + 1 < rows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(&format!(
+            "    }}{}\n",
+            if pi + 1 < sections.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}

@@ -11,6 +11,10 @@
 //! * **parallel** — `search_batch_parallel`: additionally runs query
 //!   setup (DFA/PSSM build) and searches concurrently on the shared CPU
 //!   pool, so setup overlaps earlier queries' device work.
+//! * **grouped** — `search_batch_with` in `SeedMode::Grouped`: queries
+//!   are packed into index rounds and each database block is seeded once
+//!   per round instead of once per query (see `bench --bin
+//!   grouped_seeding` for the seeding-cost sweep).
 //!
 //! The flatten counter verifies residency: one batch flattens the
 //! database once per block, independent of batch size. Results go to
@@ -21,7 +25,10 @@ use bench::table::{fmt, print_table};
 use bench::{bench_scale, database, query};
 use bio_seq::generate::DbPreset;
 use blast_core::SearchParams;
-use cublastp::{flatten_count, search_batch, search_batch_parallel, CuBlastpConfig};
+use cublastp::{
+    flatten_count, search_batch, search_batch_parallel, search_batch_with, BatchOptions,
+    CuBlastpConfig, SeedMode,
+};
 use gpu_sim::DeviceConfig;
 
 const BATCH_SIZES: [usize; 4] = [1, 4, 16, 64];
@@ -35,6 +42,7 @@ struct Row {
     serial_qps: f64,
     batched_qps: f64,
     parallel_qps: f64,
+    grouped_qps: f64,
     speedup: f64,
     flattens: u64,
     db_blocks: usize,
@@ -64,6 +72,17 @@ fn main() {
             let before = flatten_count();
             let p = search_batch_parallel(qs, params, cfg, device, &db);
             let flattens = flatten_count() - before;
+            let g = search_batch_with(
+                qs,
+                params,
+                cfg,
+                device,
+                &db,
+                BatchOptions {
+                    seed_mode: SeedMode::Grouped,
+                    ..Default::default()
+                },
+            );
             let db_blocks = s.per_query[0]
                 .as_ref()
                 .expect("fault-free batch")
@@ -77,6 +96,7 @@ fn main() {
                 serial_qps: batch as f64 * 1e3 / p.unbatched_ms,
                 batched_qps: s.queries_per_sec(),
                 parallel_qps: p.queries_per_sec(),
+                grouped_qps: g.queries_per_sec(),
                 speedup: p.unbatched_ms / p.batch_ms,
                 flattens,
                 db_blocks,
@@ -116,7 +136,7 @@ fn main() {
     for (name, rows) in &sections {
         print_table(
             &format!("Query-stream throughput — {name} (modelled queries/sec, {CPU_THREADS} CPU threads)"),
-            &["batch", "serial", "batched", "parallel", "speedup", "flattens"],
+            &["batch", "serial", "batched", "parallel", "grouped", "speedup", "flattens"],
             &rows
                 .iter()
                 .map(|r| {
@@ -125,6 +145,7 @@ fn main() {
                         fmt(r.serial_qps),
                         fmt(r.batched_qps),
                         fmt(r.parallel_qps),
+                        fmt(r.grouped_qps),
                         format!("{:.2}x", r.speedup),
                         format!("{} ({} blocks)", r.flattens, r.db_blocks),
                     ]
@@ -176,12 +197,14 @@ fn render_json(
         for (ri, r) in rows.iter().enumerate() {
             out.push_str(&format!(
                 "        {{\"batch\": {}, \"serial_qps\": {:.2}, \"batched_qps\": {:.2}, \
-                 \"parallel_qps\": {:.2}, \"speedup_parallel_vs_serial\": {:.2}, \
+                 \"parallel_qps\": {:.2}, \"grouped_qps\": {:.2}, \
+                 \"speedup_parallel_vs_serial\": {:.2}, \
                  \"flattens\": {}, \"db_blocks\": {}}}{}\n",
                 r.batch,
                 r.serial_qps,
                 r.batched_qps,
                 r.parallel_qps,
+                r.grouped_qps,
                 r.speedup,
                 r.flattens,
                 r.db_blocks,

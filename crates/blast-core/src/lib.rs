@@ -20,6 +20,7 @@ pub mod matrix;
 pub mod montecarlo;
 pub mod params;
 pub mod pssm;
+pub mod qindex;
 pub mod seg;
 pub mod stats;
 pub mod words;
@@ -28,5 +29,6 @@ pub use dfa::Dfa;
 pub use matrix::Matrix;
 pub use params::SearchParams;
 pub use pssm::Pssm;
+pub use qindex::{Posting, QueryIndex};
 pub use stats::KarlinAltschul;
 pub use words::{word_code, WordNeighborhood, NUM_WORDS, WORD_LEN};

@@ -561,18 +561,10 @@ mod tests {
     use bio_seq::Sequence;
     use blast_core::Matrix;
 
+    use crate::testutil::seed;
+
     fn pssm_for(q: &[u8]) -> Pssm {
         Pssm::build(&Sequence::from_bytes("q", q), &Matrix::blosum62())
-    }
-
-    fn seed(q_start: u32, s_start: u32, len: u32) -> UngappedExt {
-        UngappedExt {
-            seq_id: 0,
-            q_start,
-            s_start,
-            len,
-            score: 0,
-        }
     }
 
     #[test]

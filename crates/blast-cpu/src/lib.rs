@@ -21,6 +21,8 @@ pub mod hit;
 pub mod report;
 pub mod search;
 pub mod simd;
+#[cfg(test)]
+pub(crate) mod testutil;
 pub mod traceback;
 pub mod ungapped;
 

@@ -1,0 +1,15 @@
+//! Shared helpers for this crate's unit tests.
+
+use crate::ungapped::UngappedExt;
+
+/// An ungapped seed on subject 0 with no score — the minimal trigger the
+/// gapped-extension and traceback tests feed into `extend_gapped`.
+pub(crate) fn seed(q_start: u32, s_start: u32, len: u32) -> UngappedExt {
+    UngappedExt {
+        seq_id: 0,
+        q_start,
+        s_start,
+        len,
+        score: 0,
+    }
+}

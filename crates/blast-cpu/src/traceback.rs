@@ -430,15 +430,7 @@ mod tests {
         )
     }
 
-    fn seed(q_start: u32, s_start: u32, len: u32) -> UngappedExt {
-        UngappedExt {
-            seq_id: 0,
-            q_start,
-            s_start,
-            len,
-            score: 0,
-        }
-    }
+    use crate::testutil::seed;
 
     fn run(q: &[u8], s: &[u8], sd: UngappedExt) -> (GappedExt, Alignment) {
         let (pssm, query) = setup(q);

@@ -2,7 +2,7 @@
 //! CLI dependency).
 
 use blast_core::SearchParams;
-use cublastp::{CuBlastpConfig, ExtensionStrategy};
+use cublastp::{CuBlastpConfig, ExtensionStrategy, SeedMode, DEFAULT_GROUP_BUDGET};
 use gpu_sim::FaultPlan;
 
 /// Usage text.
@@ -26,6 +26,12 @@ OPTIONS:
     --mask               SEG-mask low-complexity query regions before seeding
     --comp-based-stats   composition-adjusted e-values for biased queries
     --no-overlap         disable the CPU–GPU pipeline overlap
+    --seed-mode <name>   per-query (default) | grouped — grouped packs the
+                         query stream into rounds sharing one device word
+                         index and makes a single seeding pass per round
+                         over each database block (cublastp engine only)
+    --group-budget <n>   device index budget per grouped round, in
+                         word-entry units (default 65536)
     --pipeline-depth <n> database blocks the GPU side may run ahead of the
                          CPU side when overlapped (default 1)
     --alignments         print the aligned residues, not just the table
@@ -99,6 +105,8 @@ pub struct Args {
     pub comp_based_stats: bool,
     pub overlap: bool,
     pub pipeline_depth: usize,
+    pub seed_mode: SeedMode,
+    pub group_budget: usize,
     pub alignments: bool,
     pub outfmt: OutFmt,
     pub fault_plan: FaultPlan,
@@ -126,6 +134,8 @@ impl Default for Args {
             comp_based_stats: false,
             overlap: true,
             pipeline_depth: 1,
+            seed_mode: SeedMode::PerQuery,
+            group_budget: DEFAULT_GROUP_BUDGET,
             alignments: false,
             outfmt: OutFmt::Pairwise,
             fault_plan: FaultPlan::none(),
@@ -196,6 +206,18 @@ impl Args {
                         .parse()
                         .map_err(|e| format!("--pipeline-depth: {e}"))?
                 }
+                "--seed-mode" => {
+                    args.seed_mode = match value(&mut argv, "--seed-mode")?.as_str() {
+                        "per-query" => SeedMode::PerQuery,
+                        "grouped" => SeedMode::Grouped,
+                        other => return Err(format!("unknown seed mode {other:?}")),
+                    }
+                }
+                "--group-budget" => {
+                    args.group_budget = value(&mut argv, "--group-budget")?
+                        .parse()
+                        .map_err(|e| format!("--group-budget: {e}"))?
+                }
                 "--alignments" => args.alignments = true,
                 "--outfmt" => {
                     args.outfmt = match value(&mut argv, "--outfmt")?.as_str() {
@@ -232,6 +254,12 @@ impl Args {
         }
         if args.pipeline_depth == 0 {
             return Err("--pipeline-depth must be positive".into());
+        }
+        if args.group_budget == 0 {
+            return Err("--group-budget must be positive".into());
+        }
+        if args.seed_mode == SeedMode::Grouped && args.engine != Engine::CuBlastp {
+            return Err("--seed-mode grouped requires --engine cublastp".into());
         }
         Ok(args)
     }
@@ -359,6 +387,25 @@ mod tests {
     #[test]
     fn help_skips_validation() {
         assert!(parse(&["--help"]).unwrap().help);
+    }
+
+    #[test]
+    fn seed_mode_parses_and_validates() {
+        let d = parse(&["--demo"]).unwrap();
+        assert_eq!(d.seed_mode, SeedMode::PerQuery);
+        assert_eq!(d.group_budget, DEFAULT_GROUP_BUDGET);
+        let a = parse(&["--demo", "--seed-mode", "grouped", "--group-budget", "4096"]).unwrap();
+        assert_eq!(a.seed_mode, SeedMode::Grouped);
+        assert_eq!(a.group_budget, 4096);
+        assert_eq!(
+            parse(&["--demo", "--seed-mode", "per-query"])
+                .unwrap()
+                .seed_mode,
+            SeedMode::PerQuery
+        );
+        assert!(parse(&["--demo", "--seed-mode", "psychic"]).is_err());
+        assert!(parse(&["--demo", "--group-budget", "0"]).is_err());
+        assert!(parse(&["--demo", "--seed-mode", "grouped", "--engine", "cpu"]).is_err());
     }
 
     #[test]

@@ -28,7 +28,7 @@ use args::{Args, Engine};
 use bio_seq::fasta::read_fasta_strict;
 use bio_seq::{Sequence, SequenceDb};
 use blast_cpu::search::{search_parallel, search_sequential, SearchEngine};
-use cublastp::{CuBlastp, DeviceDbCache, SearchError};
+use cublastp::{search_batch_with, BatchOptions, CuBlastp, DeviceDbCache, SearchError, SeedMode};
 use gpu_sim::{DeviceConfig, FaultInjector};
 use std::fs::File;
 use std::io::BufReader;
@@ -207,18 +207,22 @@ fn main() -> ExitCode {
     let mut phase_table = args.phase_table.then(PhaseTable::default);
     let t_batch = std::time::Instant::now();
     let mut failures: Vec<(usize, String, SearchError)> = Vec::new();
-    for (i, query) in queries.iter().enumerate() {
-        if let Err(e) = run_query(
-            query,
-            i,
-            &db,
-            &args,
-            &dev_cache,
-            &injector,
-            &mut phase_table,
-        ) {
-            eprintln!("error: query {} ({}): {e}", i + 1, query.id);
-            failures.push((i, query.id.clone(), e));
+    if args.engine == Engine::CuBlastp && args.seed_mode == SeedMode::Grouped {
+        failures = run_grouped_batch(&queries, &db, &args, &injector, &mut phase_table);
+    } else {
+        for (i, query) in queries.iter().enumerate() {
+            if let Err(e) = run_query(
+                query,
+                i,
+                &db,
+                &args,
+                &dev_cache,
+                &injector,
+                &mut phase_table,
+            ) {
+                eprintln!("error: query {} ({}): {e}", i + 1, query.id);
+                failures.push((i, query.id.clone(), e));
+            }
         }
     }
     let batch_wall = t_batch.elapsed();
@@ -290,6 +294,101 @@ fn load_inputs(args: &Args) -> Result<(Vec<Sequence>, SequenceDb), String> {
         return Err(format!("{dpath}: no sequences"));
     }
     Ok((queries, SequenceDb::new(dpath.clone(), subjects)))
+}
+
+/// The `--seed-mode grouped` path: the whole query stream runs as one
+/// grouped batch (round-packed shared word index, one seeding pass per
+/// round per database block), then per-query reports print in input
+/// order — bit-identical to what `run_query` prints per query.
+fn run_grouped_batch(
+    queries: &[Sequence],
+    db: &SequenceDb,
+    args: &Args,
+    injector: &Arc<FaultInjector>,
+    phase_table: &mut Option<PhaseTable>,
+) -> Vec<(usize, String, SearchError)> {
+    let params = args.params();
+    let config = args.cublastp_config();
+    let t0 = std::time::Instant::now();
+    let out = search_batch_with(
+        queries,
+        params,
+        config,
+        DeviceConfig::k20c(),
+        db,
+        BatchOptions {
+            injector: Some(Arc::clone(injector)),
+            seed_mode: SeedMode::Grouped,
+            group_budget: args.group_budget,
+            ..Default::default()
+        },
+    );
+    // Individual wall-clocks are not observable in a batched run; report
+    // each query's share of the batch.
+    let wall = t0.elapsed().div_f64(queries.len().max(1) as f64);
+    let mut failures = Vec::new();
+    for (i, (query, result)) in queries.iter().zip(out.per_query).enumerate() {
+        match result {
+            Ok(r) => {
+                if let Some(table) = phase_table {
+                    table.absorb(&r, &DeviceConfig::k20c());
+                }
+                let mut telemetry = format!(
+                    "hits {} → filtered {} ({:.1}%) → extensions {}; simulated GPU {:.2} ms (grouped seeding)",
+                    r.counts.hits,
+                    r.counts.filtered,
+                    100.0 * r.counts.survival_ratio(),
+                    r.counts.extensions,
+                    r.timing.gpu_ms,
+                );
+                if !r.recovery.is_clean() {
+                    telemetry.push_str(&format!(
+                        "; recovered from {} fault{} ({} block{} degraded to CPU)",
+                        r.recovery.faults,
+                        if r.recovery.faults == 1 { "" } else { "s" },
+                        r.recovery.degraded_blocks,
+                        if r.recovery.degraded_blocks == 1 {
+                            ""
+                        } else {
+                            "s"
+                        },
+                    ));
+                }
+                report::print(query, db, &r.report, args, wall, &telemetry);
+            }
+            Err(e) => {
+                eprintln!("error: query {} ({}): {e}", i + 1, query.id);
+                failures.push((i, query.id.clone(), e));
+            }
+        }
+    }
+    match &out.grouped {
+        Some(g) => {
+            let mean_occ = if g.rounds.is_empty() {
+                0.0
+            } else {
+                g.rounds.iter().map(|r| r.occupancy).sum::<f64>() / g.rounds.len() as f64
+            };
+            let row = format!(
+                "# grouped seeding: rounds={} queries={} budget={} mean-occupancy={:.3} \
+                 amortized-seeding={:.4} ms/block/query",
+                g.rounds.len(),
+                g.queries_covered(),
+                args.group_budget,
+                mean_occ,
+                g.seeding_ms_per_block_query(),
+            );
+            if args.outfmt == args::OutFmt::Tab {
+                eprintln!("{row}");
+            } else {
+                out!("{row}");
+            }
+        }
+        // Unreachable by construction; keep it loud so the CI equivalence
+        // job catches any future silent fallback.
+        None => eprintln!("# warning: grouped seed mode fell back to per-query seeding"),
+    }
+    failures
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -168,13 +168,7 @@ pub fn run_gpu_phase(
         .with_block(ctx.block)
         .with_query(ctx.query);
 
-    // The block's device footprint: scratch arena, workspace checkout,
-    // and the H2D leg that made `db`/`query` resident (Fig. 12 upload).
-    injector.check(FaultSite::DeviceAlloc, ctx, "block scratch arena")?;
-    injector.check(FaultSite::Workspace, ctx, "hit-arena pools")?;
-    injector.check(FaultSite::H2d, ctx, "db block upload")?;
-    injector.check(FaultSite::H2dTimeout, ctx, "db block upload")?;
-    injector.check(FaultSite::HostPanic, ctx, "gpu phase")?;
+    check_phase_preamble(injector, ctx)?;
 
     // Kernel 1: warp-based hit detection with binning (Algorithm 2).
     injector.check(FaultSite::KernelLaunch, ctx, "hit_detection")?;
@@ -182,6 +176,47 @@ pub fn run_gpu_phase(
     let (binned, k_bin) = binning_kernel(device, cfg, query, db, ws);
     k_span.set_arg("sim_ms", k_bin.time_ms(device));
     drop(k_span);
+
+    run_gpu_tail(
+        device, cfg, query, db, params, ws, injector, ctx, binned, k_bin,
+    )
+}
+
+/// The device-footprint fault checks every GPU phase starts with: scratch
+/// arena, workspace checkout, and the H2D leg that made the block resident
+/// (Fig. 12 upload). Shared between the per-query phase and the grouped
+/// seeding driver, which runs them once per member before the tail.
+pub(crate) fn check_phase_preamble(
+    injector: &FaultInjector,
+    ctx: FaultCtx,
+) -> Result<(), DeviceError> {
+    injector.check(FaultSite::DeviceAlloc, ctx, "block scratch arena")?;
+    injector.check(FaultSite::Workspace, ctx, "hit-arena pools")?;
+    injector.check(FaultSite::H2d, ctx, "db block upload")?;
+    injector.check(FaultSite::H2dTimeout, ctx, "db block upload")?;
+    injector.check(FaultSite::HostPanic, ctx, "gpu phase")?;
+    Ok(())
+}
+
+/// Kernels 2–5 over an already-binned hit arena: assembling → sorting →
+/// filtering → ungapped extension, plus the D2H leg and the phase's
+/// metrics. The per-query path feeds this the `binning_kernel` arena; the
+/// grouped path feeds it one member's demuxed slice of a grouped seeding
+/// pass — either way `binned` holds that query's hits in the standard
+/// arena shape, so downstream semantics are identical by construction.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_gpu_tail(
+    device: &DeviceConfig,
+    cfg: &CuBlastpConfig,
+    query: &DeviceQuery,
+    db: &DeviceDbBlock,
+    params: &SearchParams,
+    ws: &KernelWorkspace,
+    injector: &FaultInjector,
+    ctx: FaultCtx,
+    binned: crate::binning::BinnedHits,
+    k_bin: KernelStats,
+) -> Result<GpuPhaseOutput, DeviceError> {
     let hits = binned.total_hits;
 
     // Kernel 2: assemble bins into a contiguous array (Fig. 6a) — the

@@ -1,0 +1,108 @@
+//! Round packing for the grouped seeding engine.
+//!
+//! The grouped kernel probes one [`blast_core::QueryIndex`] per *round* —
+//! a contiguous run of batch queries whose combined neighbourhood size
+//! fits the configured device index budget. Packing is first-fit in
+//! input order: batch order is preserved (so per-query output order never
+//! changes), and a query whose neighbourhood alone exceeds the budget
+//! still gets a singleton round — the grouped path never silently falls
+//! back to per-query seeding.
+
+use std::ops::Range;
+
+/// Pack queries into index-budget-bounded rounds.
+///
+/// `entry_counts[q]` is the neighbourhood size (total word → position
+/// entries) of batch query `q`; `budget` is the device index capacity in
+/// entries. Returns contiguous, in-order, non-empty ranges that cover
+/// `0..entry_counts.len()` exactly once.
+pub fn plan_rounds(entry_counts: &[usize], budget: usize) -> Vec<Range<usize>> {
+    let budget = budget.max(1);
+    let mut rounds = Vec::new();
+    let mut start = 0usize;
+    let mut used = 0usize;
+    for (q, &entries) in entry_counts.iter().enumerate() {
+        if q > start && used + entries > budget {
+            rounds.push(start..q);
+            start = q;
+            used = 0;
+        }
+        used += entries;
+    }
+    if start < entry_counts.len() {
+        rounds.push(start..entry_counts.len());
+    }
+    rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn covers_exactly(rounds: &[Range<usize>], n: usize) {
+        let mut next = 0;
+        for r in rounds {
+            assert_eq!(r.start, next, "rounds must be contiguous and in order");
+            assert!(r.start < r.end, "rounds must be non-empty");
+            next = r.end;
+        }
+        assert_eq!(next, n, "rounds must cover every query");
+    }
+
+    #[test]
+    fn everything_fits_one_round() {
+        let rounds = plan_rounds(&[10, 20, 30], 100);
+        assert_eq!(rounds, vec![0..3]);
+    }
+
+    #[test]
+    fn splits_at_the_budget() {
+        let rounds = plan_rounds(&[40, 40, 40, 40], 100);
+        assert_eq!(rounds, vec![0..2, 2..4]);
+        covers_exactly(&rounds, 4);
+    }
+
+    #[test]
+    fn oversized_query_gets_a_singleton_round() {
+        let rounds = plan_rounds(&[10, 500, 10], 100);
+        assert_eq!(rounds, vec![0..1, 1..2, 2..3]);
+        covers_exactly(&rounds, 3);
+    }
+
+    #[test]
+    fn leading_oversized_query_does_not_drag_neighbours_in() {
+        let rounds = plan_rounds(&[500, 10, 10], 100);
+        assert_eq!(rounds, vec![0..1, 1..3]);
+        covers_exactly(&rounds, 3);
+    }
+
+    #[test]
+    fn empty_and_zero_cases() {
+        assert!(plan_rounds(&[], 100).is_empty());
+        // Zero-entry queries (empty neighbourhoods) still get scheduled.
+        let rounds = plan_rounds(&[0, 0, 0], 1);
+        covers_exactly(&rounds, 3);
+        assert_eq!(rounds, vec![0..3]);
+        // A degenerate budget still covers everything, one query at a time.
+        let rounds = plan_rounds(&[5, 5], 0);
+        covers_exactly(&rounds, 2);
+    }
+
+    #[test]
+    fn coverage_invariant_over_a_sweep() {
+        let counts: Vec<usize> = (0..37).map(|i| (i * 97) % 250).collect();
+        for budget in [1, 64, 250, 251, 1000, 100_000] {
+            let rounds = plan_rounds(&counts, budget);
+            covers_exactly(&rounds, counts.len());
+            for r in &rounds {
+                // Either the round respects the budget, or it is a
+                // singleton forced by an oversized query.
+                let sum: usize = counts[r.clone()].iter().sum();
+                assert!(
+                    sum <= budget || r.len() == 1,
+                    "round {r:?} sum {sum} over budget {budget}"
+                );
+            }
+        }
+    }
+}

@@ -53,6 +53,8 @@ pub mod error;
 pub mod extension;
 pub mod gapped_gpu;
 pub mod gpu_phase;
+pub mod grouped;
+pub mod grouping;
 pub mod hitpack;
 pub mod pipeline;
 pub mod reorder;
@@ -63,8 +65,11 @@ pub use config::{CuBlastpConfig, ExtensionStrategy, PipelineConfig, RecoveryPoli
 pub use devicedata::{flatten_count, DeviceDb, DeviceDbCache};
 pub use error::{PipelineError, SearchError};
 pub use gpu_phase::{ExtensionsCsr, GpuPhaseCounts, GpuPhaseOutput};
+pub use grouped::DeviceGroupIndex;
+pub use grouping::plan_rounds;
 pub use pipeline::{overlap_blocks, overlap_blocks_depth, schedule, BlockTiming, PipelineSchedule};
 pub use search::{
     search_batch, search_batch_parallel, search_batch_with, BatchOptions, BatchOutcome, CuBlastp,
-    CuBlastpResult, CuBlastpTiming, RecoveryReport,
+    CuBlastpResult, CuBlastpTiming, GroupedReport, RecoveryReport, RoundReport, SeedMode,
+    DEFAULT_GROUP_BUDGET,
 };

@@ -8,10 +8,16 @@
 //! (`blast_cpu::search_sequential`) — the property §4.3 claims and the
 //! integration tests enforce.
 
+use crate::binning::BinnedHits;
 use crate::config::{CuBlastpConfig, ExtensionStrategy};
 use crate::devicedata::{DeviceDb, DeviceDbBlock, DeviceQuery};
 use crate::error::{panic_message, PipelineError, SearchError};
-use crate::gpu_phase::{run_gpu_phase, ExtensionsCsr, GpuPhaseCounts, GpuPhaseOutput};
+use crate::gpu_phase::{
+    check_phase_preamble, run_gpu_phase, run_gpu_tail, ExtensionsCsr, GpuPhaseCounts,
+    GpuPhaseOutput,
+};
+use crate::grouped::{grouped_seeding_kernel, DeviceGroupIndex};
+use crate::grouping::plan_rounds;
 use crate::pipeline::{overlap_blocks_depth, schedule, BlockTiming, PipelineSchedule};
 use bio_seq::{DbBlock, Sequence, SequenceDb};
 use blast_core::SearchParams;
@@ -310,6 +316,202 @@ impl CuBlastp {
         }
     }
 
+    /// CPU tail for one block: gapped extension + traceback over the
+    /// block's extension CSR on the shared pool, with the Fig. 13
+    /// multicore wall-clock model and the phase's metrics. Shared between
+    /// the per-query pipeline and the grouped-seeding member tails.
+    fn cpu_finish_block(
+        &self,
+        db: &SequenceDb,
+        base: usize,
+        csr: &ExtensionsCsr,
+    ) -> (SearchReport, PhaseTimes, f64) {
+        let mut cpu_span = obs::span("cpu_phase", "cpu").with_query(self.stream_index);
+        let mut times = PhaseTimes::default();
+        let partials: Vec<(SearchReport, PhaseTimes)> =
+            blast_cpu::search::shared_pool().install(|| {
+                (0..csr.num_seqs())
+                    .into_par_iter()
+                    .filter(|&local| !csr.seq(local).is_empty())
+                    .map(|local| {
+                        let idx = base + local;
+                        let mut report = SearchReport::default();
+                        let mut t = PhaseTimes::default();
+                        self.engine.finish_subject(
+                            idx,
+                            &db.sequences()[idx],
+                            csr.seq(local),
+                            &mut report,
+                            Some(&mut t),
+                        );
+                        (report, t)
+                    })
+                    .collect()
+            });
+        let mut report = SearchReport::default();
+        for (partial, t) in partials {
+            report.hits.extend(partial.hits);
+            times.add(&t);
+        }
+        // Modelled multicore wall-clock: summed per-subject phase time
+        // over the Fig. 13 scaling curve.
+        let cpu_scale = 1.0 / blast_cpu::search::modeled_parallel_speedup(self.config.cpu_threads);
+        let gapped_ms = times.gapped.as_secs_f64() * 1e3 * cpu_scale;
+        let traceback_ms = times.traceback.as_secs_f64() * 1e3 * cpu_scale;
+        let cpu_wall_ms = gapped_ms + traceback_ms;
+        if obs::state() != 0 {
+            cpu_span.set_arg("gapped_ms", gapped_ms);
+            cpu_span.set_arg("traceback_ms", traceback_ms);
+            // The two CPU sub-phases interleave per subject on the pool,
+            // so their wall-clocks are modelled lanes (like the GPU
+            // kernels), while `cpu_phase` above is the measured host span.
+            let q = Some(self.stream_index);
+            obs::modelled(
+                "cpu tail (modelled)",
+                "gapped_extension",
+                gapped_ms,
+                None,
+                q,
+            );
+            obs::modelled("cpu tail (modelled)", "traceback", traceback_ms, None, q);
+            obs::observe("gapped_ms", &[], gapped_ms);
+            obs::observe("traceback_ms", &[], traceback_ms);
+            obs::counter("alignments_total", &[], report.hits.len() as u64);
+        }
+        drop(cpu_span);
+        (report, times, cpu_wall_ms)
+    }
+
+    /// Finish a search whose hit detection already happened: one demuxed
+    /// [`BinnedHits`] arena per database block (this query's slice of a
+    /// grouped seeding pass) runs through kernels 2–5 and the CPU tail.
+    ///
+    /// The per-member `hit_detection` stats are zeroed — the grouped pass
+    /// is a round-level cost accounted once by the batch driver, not
+    /// re-billed to each member. Device faults on a member's tail degrade
+    /// straight to the CPU reference path when the policy allows (the
+    /// binned arena is consumed by the failed tail, so the retry path of
+    /// the per-query driver does not apply) and fail the member otherwise.
+    fn search_resident_prebinned(
+        &self,
+        db: &SequenceDb,
+        dev_db: &DeviceDb,
+        binned: Vec<BinnedHits>,
+    ) -> Result<CuBlastpResult, SearchError> {
+        let _search_span = obs::span("search", "host").with_query(self.stream_index);
+        self.config.validate()?;
+        let device = self.device;
+        debug_assert_eq!(binned.len(), dev_db.blocks().len());
+
+        let mut report = SearchReport::default();
+        let mut kernels: Vec<KernelStats> = Vec::new();
+        let mut counts = GpuPhaseCounts::default();
+        let mut timings: Vec<BlockTiming> = Vec::new();
+        let mut timing = CuBlastpTiming::default();
+        let mut recovery_total = RecoveryReport::default();
+        for ((idx, (block, dev_block)), member_bins) in
+            dev_db.blocks().iter().enumerate().zip(binned)
+        {
+            let ctx = FaultCtx {
+                query: self.stream_index,
+                block: idx as u32,
+            };
+            let tail = {
+                let _phase_span = obs::span("gpu_phase", "gpu")
+                    .with_block(ctx.block)
+                    .with_query(ctx.query);
+                check_phase_preamble(&self.injector, ctx).and_then(|()| {
+                    run_gpu_tail(
+                        &device,
+                        &self.config,
+                        &self.query_device,
+                        dev_block,
+                        &self.engine.params,
+                        &self.workspace,
+                        &self.injector,
+                        ctx,
+                        member_bins,
+                        KernelStats::new("hit_detection"),
+                    )
+                })
+            };
+            let out = match tail {
+                Ok(out) => out,
+                Err(e) => {
+                    recovery_total.faults += 1;
+                    obs::counter("recovery_faults_total", &[], 1);
+                    if self.config.recovery.cpu_fallback {
+                        recovery_total.degraded_blocks += 1;
+                        obs::counter("recovery_degraded_blocks_total", &[], 1);
+                        let _fb_span = obs::span("cpu_fallback", "recovery")
+                            .with_block(ctx.block)
+                            .with_query(ctx.query);
+                        self.cpu_fallback_phase(dev_block)
+                    } else {
+                        return Err(SearchError::Device {
+                            source: e,
+                            block: ctx.block,
+                            attempts: 1,
+                        });
+                    }
+                }
+            };
+            let d2h = device.transfer_ms(out.download_bytes);
+            obs::modelled(
+                "pcie d2h (modelled)",
+                "d2h_transfer",
+                d2h,
+                Some(ctx.block),
+                Some(self.stream_index),
+            );
+            obs::counter("pcie_bytes_total", &[("dir", "d2h")], out.download_bytes);
+            let (partial, times, cpu_wall_ms) =
+                self.cpu_finish_block(db, block.start, &out.extensions);
+            report.hits.extend(partial.hits);
+            counts.hits += out.counts.hits;
+            counts.filtered += out.counts.filtered;
+            counts.extensions += out.counts.extensions;
+            counts.redundant += out.counts.redundant;
+            let gpu_ms = out.gpu_ms(&device);
+            if kernels.is_empty() {
+                kernels = out.kernels;
+            } else {
+                for (k, o) in kernels.iter_mut().zip(&out.kernels) {
+                    k.merge(o);
+                }
+            }
+            timings.push(BlockTiming {
+                h2d_ms: 0.0,
+                gpu_ms,
+                d2h_ms: d2h,
+                cpu_ms: cpu_wall_ms,
+            });
+            timing.gpu_ms += gpu_ms;
+            timing.d2h_ms += d2h;
+            let cpu_scale =
+                1.0 / blast_cpu::search::modeled_parallel_speedup(self.config.cpu_threads);
+            timing.gapped_ms += times.gapped.as_secs_f64() * 1e3 * cpu_scale;
+            timing.traceback_ms += times.traceback.as_secs_f64() * 1e3 * cpu_scale;
+            timing.cpu_wall_ms += cpu_wall_ms;
+        }
+        let t_merge = Instant::now();
+        report.finalize(self.engine.params.max_reported);
+        let pipeline = schedule(&timings);
+        timing.overlapped_ms = pipeline.overlapped_ms;
+        timing.serial_ms = pipeline.serial_ms;
+        timing.other_ms = self.setup_ms + t_merge.elapsed().as_secs_f64() * 1e3;
+
+        Ok(CuBlastpResult {
+            report,
+            kernels,
+            counts,
+            timing,
+            pipeline,
+            block_timings: timings,
+            recovery: recovery_total,
+        })
+    }
+
     /// Search against a database already resident on the device (see
     /// [`DeviceDb`]). `charge_h2d` controls whether the database upload is
     /// billed to this query's timing: a standalone search pays it; in a
@@ -376,7 +578,6 @@ impl CuBlastp {
         // at the requested thread count is modelled from the summed
         // per-subject times (see `blast_cpu::search::modeled_parallel_speedup`).
         // A failed block skips the CPU phase and carries its error through.
-        let pool = blast_cpu::search::shared_pool();
         type CpuSideOut = Result<
             (
                 SearchReport,
@@ -391,61 +592,7 @@ impl CuBlastp {
         >;
         let cpu_side = |gpu_out: GpuSideOut| -> CpuSideOut {
             let (base, out, recovery, h2d, d2h) = gpu_out?;
-            let mut cpu_span = obs::span("cpu_phase", "cpu").with_query(self.stream_index);
-            let mut times = PhaseTimes::default();
-            let csr = &out.extensions;
-            let partials: Vec<(SearchReport, PhaseTimes)> = pool.install(|| {
-                (0..csr.num_seqs())
-                    .into_par_iter()
-                    .filter(|&local| !csr.seq(local).is_empty())
-                    .map(|local| {
-                        let idx = base + local;
-                        let mut report = SearchReport::default();
-                        let mut t = PhaseTimes::default();
-                        self.engine.finish_subject(
-                            idx,
-                            &db.sequences()[idx],
-                            csr.seq(local),
-                            &mut report,
-                            Some(&mut t),
-                        );
-                        (report, t)
-                    })
-                    .collect()
-            });
-            let mut report = SearchReport::default();
-            for (partial, t) in partials {
-                report.hits.extend(partial.hits);
-                times.add(&t);
-            }
-            // Modelled multicore wall-clock: summed per-subject phase time
-            // over the Fig. 13 scaling curve.
-            let cpu_scale =
-                1.0 / blast_cpu::search::modeled_parallel_speedup(self.config.cpu_threads);
-            let gapped_ms = times.gapped.as_secs_f64() * 1e3 * cpu_scale;
-            let traceback_ms = times.traceback.as_secs_f64() * 1e3 * cpu_scale;
-            let cpu_wall_ms = gapped_ms + traceback_ms;
-            if obs::state() != 0 {
-                cpu_span.set_arg("gapped_ms", gapped_ms);
-                cpu_span.set_arg("traceback_ms", traceback_ms);
-                // The two CPU sub-phases interleave per subject on the
-                // pool, so their wall-clocks are modelled lanes (like the
-                // GPU kernels), while `cpu_phase` above is the measured
-                // host span.
-                let q = Some(self.stream_index);
-                obs::modelled(
-                    "cpu tail (modelled)",
-                    "gapped_extension",
-                    gapped_ms,
-                    None,
-                    q,
-                );
-                obs::modelled("cpu tail (modelled)", "traceback", traceback_ms, None, q);
-                obs::observe("gapped_ms", &[], gapped_ms);
-                obs::observe("traceback_ms", &[], traceback_ms);
-                obs::counter("alignments_total", &[], report.hits.len() as u64);
-            }
-            drop(cpu_span);
+            let (report, times, cpu_wall_ms) = self.cpu_finish_block(db, base, &out.extensions);
             Ok((report, times, out, recovery, h2d, d2h, cpu_wall_ms))
         };
 
@@ -532,6 +679,95 @@ impl CuBlastp {
     }
 }
 
+/// How a batch detects word hits (see DESIGN.md §3.6).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeedMode {
+    /// One hit-detection pass per query through that query's DFA — the
+    /// paper's Algorithm 2, and the default.
+    #[default]
+    PerQuery,
+    /// One pass per query *group*: queries are packed into
+    /// index-budget-bounded rounds, each round probes a shared
+    /// [`blast_core::QueryIndex`] over every database block once, and hits
+    /// are demuxed back into per-query arenas. Per-query output is
+    /// bit-identical to [`SeedMode::PerQuery`].
+    Grouped,
+}
+
+/// Default device index budget for [`SeedMode::Grouped`], in word →
+/// (query, position) entries. Roughly the combined neighbourhood of 16–24
+/// typical queries; see DESIGN.md §3.6 for the occupancy trade-off.
+pub const DEFAULT_GROUP_BUDGET: usize = 65_536;
+
+/// One grouped seeding round: the group it covered and what its shared
+/// index looked like.
+#[derive(Debug, Clone, Serialize)]
+pub struct RoundReport {
+    /// Batch indices covered by this round (contiguous, in input order).
+    pub first_query: usize,
+    /// Number of group members.
+    pub members: usize,
+    /// Word → (query, position) entries in the round's index.
+    pub index_entries: usize,
+    /// Slot-table capacity (power of two).
+    pub index_capacity: usize,
+    /// Filled fraction of the slot table.
+    pub occupancy: f64,
+    /// Modelled H2D payload of the index upload.
+    pub index_upload_bytes: u64,
+    /// Simulated time of the round's seeding passes, summed over database
+    /// blocks.
+    pub seeding_ms: f64,
+    /// Database blocks the round passed over.
+    pub blocks: usize,
+}
+
+impl RoundReport {
+    /// Amortized seeding cost: simulated milliseconds per database block
+    /// per group member — the quantity `bench --bin grouped_seeding`
+    /// sweeps against batch size.
+    pub fn seeding_ms_per_block_query(&self) -> f64 {
+        if self.blocks == 0 || self.members == 0 {
+            0.0
+        } else {
+            self.seeding_ms / (self.blocks as f64 * self.members as f64)
+        }
+    }
+}
+
+/// What the grouped seeding engine did for a batch. Present on
+/// [`BatchOutcome`] exactly when the batch ran with
+/// [`SeedMode::Grouped`] — callers (and the CI equivalence job) use it to
+/// verify the grouped path actually ran instead of silently falling back.
+#[derive(Debug, Clone, Serialize)]
+pub struct GroupedReport {
+    /// One entry per seeding round, in batch order.
+    pub rounds: Vec<RoundReport>,
+}
+
+impl GroupedReport {
+    /// Total simulated seeding time across rounds and blocks.
+    pub fn total_seeding_ms(&self) -> f64 {
+        self.rounds.iter().map(|r| r.seeding_ms).sum()
+    }
+
+    /// Queries covered by the rounds (must equal the batch size).
+    pub fn queries_covered(&self) -> usize {
+        self.rounds.iter().map(|r| r.members).sum()
+    }
+
+    /// Amortized seeding cost over the whole batch: simulated
+    /// milliseconds per database block per query.
+    pub fn seeding_ms_per_block_query(&self) -> f64 {
+        let block_queries: usize = self.rounds.iter().map(|r| r.blocks * r.members).sum();
+        if block_queries == 0 {
+            0.0
+        } else {
+            self.total_seeding_ms() / block_queries as f64
+        }
+    }
+}
+
 /// Outcome of a multi-query batch (see [`search_batch`]).
 pub struct BatchOutcome {
     /// Per-query results, in input order. A failed (or panicked) query is
@@ -546,6 +782,9 @@ pub struct BatchOutcome {
     pub unbatched_ms: f64,
     /// Measured host wall-clock for the whole batch (setup included).
     pub wall_ms: f64,
+    /// Grouped seeding telemetry — `Some` exactly when the batch ran with
+    /// [`SeedMode::Grouped`], `None` on the per-query path.
+    pub grouped: Option<GroupedReport>,
 }
 
 impl BatchOutcome {
@@ -582,7 +821,7 @@ impl BatchOutcome {
 }
 
 /// Options for a multi-query batch.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct BatchOptions {
     /// Run the queries concurrently on the shared CPU pool. Results stay
     /// in input order and bit-identical to the serial path; only host
@@ -592,6 +831,23 @@ pub struct BatchOptions {
     /// `None`). Specs can scope to a query index with
     /// [`gpu_sim::FaultSpec::on_query`].
     pub injector: Option<Arc<FaultInjector>>,
+    /// Hit-detection strategy: per-query DFA passes (default) or grouped
+    /// index passes. Per-query output is bit-identical either way.
+    pub seed_mode: SeedMode,
+    /// Device index budget for [`SeedMode::Grouped`], in word →
+    /// (query, position) entries per round. Ignored in per-query mode.
+    pub group_budget: usize,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        Self {
+            parallel: false,
+            injector: None,
+            seed_mode: SeedMode::default(),
+            group_budget: DEFAULT_GROUP_BUDGET,
+        }
+    }
 }
 
 /// Search a batch of queries against one database, keeping the database
@@ -641,6 +897,21 @@ pub fn search_batch_parallel(
 /// query (malformed state, injected panic) lands as an `Err` in its own
 /// `per_query` slot while every other query completes normally.
 pub fn search_batch_with(
+    queries: &[Sequence],
+    params: SearchParams,
+    config: CuBlastpConfig,
+    device: DeviceConfig,
+    db: &SequenceDb,
+    opts: BatchOptions,
+) -> BatchOutcome {
+    match opts.seed_mode {
+        SeedMode::PerQuery => search_batch_per_query(queries, params, config, device, db, opts),
+        SeedMode::Grouped => search_batch_grouped(queries, params, config, device, db, opts),
+    }
+}
+
+/// The per-query batch driver (the default [`SeedMode::PerQuery`] path).
+fn search_batch_per_query(
     queries: &[Sequence],
     params: SearchParams,
     config: CuBlastpConfig,
@@ -737,6 +1008,246 @@ pub fn search_batch_with(
         batch_ms,
         unbatched_ms,
         wall_ms,
+        grouped: None,
+    }
+}
+
+/// The grouped batch driver ([`SeedMode::Grouped`]): pack the batch into
+/// index-budget-bounded rounds, run one grouped seeding pass per
+/// (round, database block), demux each pass into per-member hit arenas,
+/// and finish every member through the unchanged kernels 2–5 + CPU tail.
+///
+/// Per-query reports are bit-identical to the per-query driver (the demux
+/// reproduces each member's hit multiset per arena slot, and downstream
+/// sorting is insensitive to within-slot order). The modelled batch
+/// timeline charges each seeding pass once per round; the unbatched
+/// baseline conservatively charges every member the full pass of its
+/// round — i.e. what it would pay running the grouped engine alone.
+fn search_batch_grouped(
+    queries: &[Sequence],
+    params: SearchParams,
+    config: CuBlastpConfig,
+    device: DeviceConfig,
+    db: &SequenceDb,
+    opts: BatchOptions,
+) -> BatchOutcome {
+    let t0 = Instant::now();
+    let dev_db = DeviceDb::upload(db, config.db_block_size);
+    let workspace = Arc::new(KernelWorkspace::new());
+
+    // Query setup (DFA/PSSM build + device upload), isolated per query so
+    // a poisoned input cannot take the batch down.
+    let mut searchers: Vec<Result<CuBlastp, SearchError>> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            catch_unwind(AssertUnwindSafe(|| {
+                let mut s = CuBlastp::new(q.clone(), params, config, device, db);
+                s.workspace = Arc::clone(&workspace);
+                if let Some(inj) = &opts.injector {
+                    s.injector = Arc::clone(inj);
+                }
+                s.stream_index = i as u32;
+                s
+            }))
+            .map_err(|payload| {
+                SearchError::Pipeline(PipelineError::WorkerPanicked {
+                    side: "batch query setup",
+                    payload: panic_message(payload.as_ref()),
+                })
+            })
+        })
+        .collect();
+
+    // Round packing over the queries that set up cleanly; failed ones
+    // already occupy their per_query slot as errors.
+    let ok_idx: Vec<usize> = searchers
+        .iter()
+        .enumerate()
+        .filter_map(|(i, s)| s.is_ok().then_some(i))
+        .collect();
+    let entry_counts: Vec<usize> = ok_idx
+        .iter()
+        .map(|&i| match &searchers[i] {
+            Ok(s) => s.query_device.dfa.neighborhood().total_entries(),
+            Err(_) => unreachable!("ok_idx only holds Ok slots"),
+        })
+        .collect();
+    let rounds = plan_rounds(&entry_counts, opts.group_budget);
+    obs::counter("grouped_rounds_total", &[], rounds.len() as u64);
+
+    let num_blocks = dev_db.blocks().len();
+    let mut per_query: Vec<Option<Result<CuBlastpResult, SearchError>>> =
+        (0..queries.len()).map(|_| None).collect();
+    let mut round_reports: Vec<RoundReport> = Vec::with_capacity(rounds.len());
+    let mut seeding_rows: Vec<BlockTiming> = Vec::new();
+    // Per-round, per-block seeding gpu_ms — re-billed to standalone
+    // members by the unbatched model.
+    let mut round_block_ms: Vec<Vec<f64>> = Vec::with_capacity(rounds.len());
+
+    for round in &rounds {
+        let members: Vec<&CuBlastp> = ok_idx[round.clone()]
+            .iter()
+            .map(|&i| match &searchers[i] {
+                Ok(s) => s,
+                Err(_) => unreachable!("ok_idx only holds Ok slots"),
+            })
+            .collect();
+        let member_queries: Vec<&DeviceQuery> = members.iter().map(|s| &s.query_device).collect();
+
+        let group = {
+            let _span =
+                obs::span("group_index_build", "grouped").with_query(ok_idx[round.start] as u32);
+            DeviceGroupIndex::upload(&member_queries)
+        };
+        let index = group.index();
+        obs::gauge("group_index_occupancy", &[], index.occupancy());
+        obs::gauge("group_index_entries", &[], index.entries() as f64);
+        obs::gauge("group_members", &[], members.len() as f64);
+        let index_h2d_ms = device.transfer_ms(group.upload_bytes());
+
+        // One pass over each resident block for the whole round.
+        let mut per_member_bins: Vec<Vec<BinnedHits>> = (0..members.len())
+            .map(|_| Vec::with_capacity(num_blocks))
+            .collect();
+        let mut seeding_ms = 0.0f64;
+        let mut block_ms = Vec::with_capacity(num_blocks);
+        for (idx, (_, dev_block)) in dev_db.blocks().iter().enumerate() {
+            let mut k_span = obs::span("grouped_seeding", "kernel").with_block(idx as u32);
+            let (bins, stats) =
+                grouped_seeding_kernel(&device, &config, &group, dev_block, &workspace);
+            let sim_ms = stats.time_ms(&device);
+            k_span.set_arg("sim_ms", sim_ms);
+            drop(k_span);
+            obs::modelled(
+                "gpu (modelled)",
+                "grouped_seeding",
+                sim_ms,
+                Some(idx as u32),
+                None,
+            );
+            seeding_ms += sim_ms;
+            block_ms.push(sim_ms);
+            for (m, b) in bins.into_iter().enumerate() {
+                per_member_bins[m].push(b);
+            }
+            seeding_rows.push(BlockTiming {
+                // The first round's first pass rides on the database
+                // upload; the index upload is charged to the round's
+                // first block row.
+                h2d_ms: if idx == 0 { index_h2d_ms } else { 0.0 }
+                    + if round_reports.is_empty() {
+                        device.transfer_ms(dev_block.upload_bytes())
+                    } else {
+                        0.0
+                    },
+                gpu_ms: sim_ms,
+                d2h_ms: 0.0,
+                cpu_ms: 0.0,
+            });
+        }
+        round_block_ms.push(block_ms);
+
+        round_reports.push(RoundReport {
+            first_query: ok_idx[round.start],
+            members: members.len(),
+            index_entries: index.entries(),
+            index_capacity: index.capacity(),
+            occupancy: index.occupancy(),
+            index_upload_bytes: group.upload_bytes(),
+            seeding_ms,
+            blocks: num_blocks,
+        });
+
+        // Finish each member through kernels 2–5 and the CPU tail,
+        // panic-isolated like the per-query driver.
+        for (m, bins) in per_member_bins.into_iter().enumerate() {
+            let qi = ok_idx[round.start + m];
+            let searcher = match &searchers[qi] {
+                Ok(s) => s,
+                Err(_) => unreachable!("ok_idx only holds Ok slots"),
+            };
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let _batch_span = obs::span("batch_query", "batch").with_query(qi as u32);
+                searcher.search_resident_prebinned(db, &dev_db, bins)
+            }))
+            .unwrap_or_else(|payload| {
+                Err(SearchError::Pipeline(PipelineError::WorkerPanicked {
+                    side: "batch query",
+                    payload: panic_message(payload.as_ref()),
+                }))
+            });
+            let outcome = if result.is_ok() { "ok" } else { "err" };
+            obs::counter("batch_queries_total", &[("outcome", outcome)], 1);
+            per_query[qi] = Some(result);
+        }
+    }
+
+    // Fold setup failures back into their input slots.
+    for (i, slot) in per_query.iter_mut().enumerate() {
+        if slot.is_none() {
+            let err = match std::mem::replace(
+                &mut searchers[i],
+                Err(SearchError::config("slot already drained")),
+            ) {
+                Err(e) => e,
+                Ok(_) => SearchError::config("grouped driver skipped a healthy query"),
+            };
+            *slot = Some(Err(err));
+        }
+    }
+    let per_query: Vec<Result<CuBlastpResult, SearchError>> = per_query
+        .into_iter()
+        .map(|r| {
+            r.unwrap_or_else(|| {
+                Err(SearchError::config(
+                    "grouped driver left a query slot unfilled",
+                ))
+            })
+        })
+        .collect();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    // Modelled timelines. The batch pays each seeding pass once (the
+    // seeding rows) and chains every member's tail; a standalone member
+    // would pay the database upload plus its round's full seeding passes
+    // itself.
+    let h2d_per_block: Vec<f64> = dev_db
+        .blocks()
+        .iter()
+        .map(|(_, b)| device.transfer_ms(b.upload_bytes()))
+        .collect();
+    let mut stream: Vec<BlockTiming> = seeding_rows;
+    let mut other_serial = 0.0f64;
+    let mut unbatched_ms = 0.0f64;
+    for (round_i, round) in rounds.iter().enumerate() {
+        for m in 0..round.len() {
+            let qi = ok_idx[round.start + m];
+            let Ok(r) = &per_query[qi] else { continue };
+            other_serial += r.timing.other_ms;
+            stream.extend(&r.block_timings);
+            let mut alone = r.block_timings.clone();
+            for ((t, h), seed) in alone
+                .iter_mut()
+                .zip(&h2d_per_block)
+                .zip(&round_block_ms[round_i])
+            {
+                t.h2d_ms = *h;
+                t.gpu_ms += *seed;
+            }
+            unbatched_ms += schedule(&alone).overlapped_ms + r.timing.other_ms;
+        }
+    }
+    let batch_ms = schedule(&stream).overlapped_ms + other_serial;
+
+    BatchOutcome {
+        per_query,
+        batch_ms,
+        unbatched_ms,
+        wall_ms,
+        grouped: Some(GroupedReport {
+            rounds: round_reports,
+        }),
     }
 }
 
@@ -1005,6 +1516,159 @@ mod tests {
     }
 
     #[test]
+    fn grouped_batch_is_bit_identical_to_per_query_batch() {
+        let (q, db) = workload();
+        let queries = vec![q, make_query(80), make_query(110), make_query(64)];
+        let cfg = CuBlastpConfig {
+            db_block_size: 60,
+            grid_blocks: 2,
+            warps_per_block: 2,
+            ..Default::default()
+        };
+        let per_query = search_batch(
+            &queries,
+            SearchParams::default(),
+            cfg,
+            DeviceConfig::k20c(),
+            &db,
+        );
+        // One big round, and tiny budgets that force round splits — the
+        // report must not depend on the packing.
+        for budget in [DEFAULT_GROUP_BUDGET, 1] {
+            let grouped = search_batch_with(
+                &queries,
+                SearchParams::default(),
+                cfg,
+                DeviceConfig::k20c(),
+                &db,
+                BatchOptions {
+                    seed_mode: SeedMode::Grouped,
+                    group_budget: budget,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(grouped.succeeded(), queries.len(), "budget {budget}");
+            for (i, (g, p)) in grouped
+                .per_query
+                .iter()
+                .zip(&per_query.per_query)
+                .enumerate()
+            {
+                let (g, p) = (g.as_ref().expect("grouped"), p.as_ref().expect("per-query"));
+                assert_eq!(
+                    g.report.identity_key(),
+                    p.report.identity_key(),
+                    "query {i}, budget {budget}"
+                );
+                assert_eq!(g.counts.hits, p.counts.hits, "query {i}, budget {budget}");
+                assert_eq!(
+                    g.counts.extensions, p.counts.extensions,
+                    "query {i}, budget {budget}"
+                );
+            }
+            let report = grouped.grouped.as_ref().expect("grouped telemetry");
+            assert_eq!(report.queries_covered(), queries.len());
+            if budget == 1 {
+                // An impossible budget degrades to singleton rounds, never
+                // to a silent per-query fallback.
+                assert_eq!(report.rounds.len(), queries.len());
+            } else {
+                assert_eq!(report.rounds.len(), 1);
+            }
+            for r in &report.rounds {
+                assert!(r.occupancy > 0.0 && r.occupancy <= 0.5 + f64::EPSILON);
+                assert!(r.seeding_ms > 0.0);
+                assert!(r.index_upload_bytes > 0);
+            }
+        }
+        assert!(per_query.grouped.is_none());
+    }
+
+    #[test]
+    fn grouped_round_amortizes_seeding_over_members() {
+        let (_, db) = workload();
+        let queries: Vec<Sequence> = (0..6).map(|k| make_query(56 + 4 * k)).collect();
+        let cfg = CuBlastpConfig {
+            db_block_size: 60,
+            grid_blocks: 2,
+            warps_per_block: 2,
+            ..Default::default()
+        };
+        let run = |budget: usize| {
+            search_batch_with(
+                &queries,
+                SearchParams::default(),
+                cfg,
+                DeviceConfig::k20c(),
+                &db,
+                BatchOptions {
+                    seed_mode: SeedMode::Grouped,
+                    group_budget: budget,
+                    ..Default::default()
+                },
+            )
+            .grouped
+            .expect("grouped telemetry")
+        };
+        let one_round = run(DEFAULT_GROUP_BUDGET);
+        let singletons = run(1);
+        assert_eq!(one_round.rounds.len(), 1);
+        assert_eq!(singletons.rounds.len(), queries.len());
+        assert!(
+            one_round.seeding_ms_per_block_query() * 2.0 < singletons.seeding_ms_per_block_query(),
+            "grouping 6 queries must amortize seeding at least 2x: {} vs {}",
+            one_round.seeding_ms_per_block_query(),
+            singletons.seeding_ms_per_block_query()
+        );
+    }
+
+    #[test]
+    fn grouped_member_fault_degrades_to_identical_output() {
+        use gpu_sim::{FaultPlan, FaultSite, FaultSpec};
+        let (q, db) = workload();
+        let queries = vec![q, make_query(80), make_query(110)];
+        let cfg = CuBlastpConfig {
+            db_block_size: 60,
+            grid_blocks: 2,
+            warps_per_block: 2,
+            ..Default::default()
+        };
+        let clean = search_batch(
+            &queries,
+            SearchParams::default(),
+            cfg,
+            DeviceConfig::k20c(),
+            &db,
+        );
+        let injector = Arc::new(FaultInjector::new(
+            FaultPlan::none().with(FaultSpec::permanent(FaultSite::DeviceAlloc).on_query(1)),
+        ));
+        let out = search_batch_with(
+            &queries,
+            SearchParams::default(),
+            cfg,
+            DeviceConfig::k20c(),
+            &db,
+            BatchOptions {
+                seed_mode: SeedMode::Grouped,
+                injector: Some(injector),
+                ..Default::default()
+            },
+        );
+        assert_eq!(out.succeeded(), 3);
+        let r1 = out.per_query[1].as_ref().expect("degraded, not failed");
+        assert!(r1.recovery.degraded_blocks > 0);
+        assert_eq!(
+            r1.report.identity_key(),
+            clean.per_query[1]
+                .as_ref()
+                .expect("clean")
+                .report
+                .identity_key()
+        );
+    }
+
+    #[test]
     fn poisoned_batch_query_fails_alone() {
         use gpu_sim::{FaultPlan, FaultSite, FaultSpec};
         let (q, db) = workload();
@@ -1028,6 +1692,7 @@ mod tests {
                 BatchOptions {
                     parallel,
                     injector: Some(Arc::clone(&injector)),
+                    ..Default::default()
                 },
             );
             assert_eq!(out.per_query.len(), 3, "parallel = {parallel}");

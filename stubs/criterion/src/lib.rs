@@ -1,0 +1,174 @@
+//! Offline stand-in for the slice of criterion the workspace's bench
+//! targets use. `cargo bench` becomes a smoke run: every benchmark body
+//! executes once per sample-less invocation and wall time is printed,
+//! without statistics, plotting, or state. The point is that bench
+//! targets compile and run in CI (`--all-targets`), not that they
+//! measure — the repo's real measurements come from `bench`'s binary
+//! harnesses and the modelled simulator timings.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Per-iteration driver handed to benchmark closures.
+pub struct Bencher {
+    iters: u32,
+}
+
+impl Bencher {
+    pub fn iter<R>(&mut self, mut body: impl FnMut() -> R) {
+        for _ in 0..self.iters {
+            std_black_box(body());
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier of a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+#[derive(Debug)]
+pub struct Criterion {
+    iters: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { iters: 1 }
+    }
+}
+
+fn run_one(label: &str, iters: u32, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { iters };
+    let t0 = Instant::now();
+    f(&mut b);
+    println!(
+        "bench {label}: {:.3} ms ({iters} iter, smoke run)",
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+}
+
+impl Criterion {
+    /// Sample counts are meaningless in a smoke run; accepted and
+    /// ignored.
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut f = f;
+        run_one(name, self.iters, |b| f(b));
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            iters: self.iters,
+            _parent: self,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u32,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut f = f;
+        run_one(&format!("{}/{}", self.name, id), self.iters, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut f = f;
+        run_one(&format!("{}/{}", self.name, id.0), self.iters, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_each_body() {
+        let mut c = Criterion::default().sample_size(10);
+        let mut runs = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(4));
+            g.bench_with_input(BenchmarkId::from_parameter(4), &4u32, |b, &n| {
+                b.iter(|| runs += n)
+            });
+            g.finish();
+        }
+        assert!(runs > 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Offline stand-in for the `crossbeam::channel` surface the pipeline
+//! uses: a bounded MPSC channel with blocking `send`/`recv` and
+//! disconnect-on-drop semantics, delegated to `std::sync::mpsc`.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks while the channel is full; errs once every receiver is
+        /// gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives; errs once every sender is gone
+        /// and the queue has drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            self.0.try_recv().map_err(|_| RecvError)
+        }
+    }
+
+    impl<T> Iterator for Receiver<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.recv().ok()
+        }
+    }
+
+    /// Bounded channel with capacity `cap` (≥ 1).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap.max(1));
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::bounded;
+
+        #[test]
+        fn send_recv_roundtrip_and_disconnect() {
+            let (tx, rx) = bounded(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            drop(tx);
+            assert!(rx.recv().is_err());
+        }
+
+        #[test]
+        fn bounded_blocks_producer_until_consumed() {
+            let (tx, rx) = bounded(1);
+            let producer = std::thread::spawn(move || {
+                for i in 0..8 {
+                    tx.send(i).unwrap();
+                }
+            });
+            let got: Vec<i32> = rx.into_iter().collect();
+            producer.join().unwrap();
+            assert_eq!(got, (0..8).collect::<Vec<_>>());
+        }
+    }
+}

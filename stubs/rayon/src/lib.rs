@@ -1,0 +1,163 @@
+//! Offline stand-in for the slice of rayon the workspace uses. All
+//! "parallel" iterators are the underlying sequential iterators — the
+//! pipeline's timing is *modelled* (`obs::modelled`, `PhaseTimes`), not
+//! wall-clock-measured, so the sequential fallback changes no observable
+//! result, only host wall time.
+
+/// Mirrors `rayon::ThreadPool`: `install` just runs the closure on the
+/// current thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type for [`ThreadPoolBuilder::build`]; never produced here.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: if self.num_threads == 0 {
+                1
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+pub fn current_num_threads() -> usize {
+    1
+}
+
+pub mod prelude {
+    /// `into_par_iter()` — the sequential `IntoIterator` in disguise.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+    /// `par_iter()` / `par_iter_mut()` over anything whose reference
+    /// iterates (slices, `Vec`, maps).
+    pub trait IntoParallelRefIterator {
+        type RefIter<'a>
+        where
+            Self: 'a;
+        fn par_iter(&self) -> Self::RefIter<'_>;
+    }
+
+    impl<C: ?Sized> IntoParallelRefIterator for C
+    where
+        for<'a> &'a C: IntoIterator,
+    {
+        type RefIter<'a>
+            = <&'a C as IntoIterator>::IntoIter
+        where
+            C: 'a;
+
+        fn par_iter(&self) -> Self::RefIter<'_> {
+            self.into_iter()
+        }
+    }
+
+    pub trait IntoParallelRefMutIterator {
+        type RefMutIter<'a>
+        where
+            Self: 'a;
+        fn par_iter_mut(&mut self) -> Self::RefMutIter<'_>;
+    }
+
+    impl<C: ?Sized> IntoParallelRefMutIterator for C
+    where
+        for<'a> &'a mut C: IntoIterator,
+    {
+        type RefMutIter<'a>
+            = <&'a mut C as IntoIterator>::IntoIter
+        where
+            C: 'a;
+
+        fn par_iter_mut(&mut self) -> Self::RefMutIter<'_> {
+            self.into_iter()
+        }
+    }
+
+    /// Slice-specific parallel adapters.
+    pub trait ParallelSlice<T> {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// Rayon's bridge from a sequential iterator; the identity here.
+    pub trait ParallelBridge: Iterator + Sized {
+        fn par_bridge(self) -> Self {
+            self
+        }
+    }
+
+    impl<I: Iterator + Sized> ParallelBridge for I {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_adapters_are_sequential_iterators() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let sum: i32 = (0..5).into_par_iter().sum();
+        assert_eq!(sum, 10);
+    }
+
+    #[test]
+    fn pool_install_runs_inline() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| 7), 7);
+        assert_eq!(pool.current_num_threads(), 4);
+    }
+}

@@ -1,0 +1,12 @@
+//! Offline stand-in for the serde facade. The workspace derives
+//! `Serialize`/`Deserialize` on config types but never routes them
+//! through a serde serializer (all JSON in the repo is hand-rolled), so
+//! marker traits plus the no-op derives are the whole surface.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

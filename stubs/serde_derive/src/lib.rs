@@ -1,0 +1,17 @@
+//! No-op `#[derive(Serialize, Deserialize)]` stand-ins for offline
+//! builds. The workspace only uses the derives as annotations (nothing
+//! serializes through serde at runtime — JSON output is hand-rolled), so
+//! the derives expand to nothing and `#[serde(...)]` attributes are
+//! accepted and ignored.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

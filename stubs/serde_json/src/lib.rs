@@ -1,0 +1,3 @@
+//! Offline placeholder for serde_json. The workspace declares the
+//! dependency but emits and parses JSON with its own hand-rolled
+//! formatter (`obs::json`), so no API surface is required here.

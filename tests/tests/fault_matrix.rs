@@ -127,6 +127,7 @@ fn batch_fault_isolation_across_queries() {
         BatchOptions {
             parallel: true,
             injector: Some(Arc::clone(&injector)),
+            ..Default::default()
         },
     );
     assert_eq!(out.per_query.len(), 3);

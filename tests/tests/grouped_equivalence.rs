@@ -1,0 +1,101 @@
+//! Grouped seeding is a pure scheduling optimisation: packing a batch's
+//! queries into index rounds and seeding each database block once per
+//! round must leave every query's BLAST report bit-identical to the
+//! per-query path — at any round budget, including budgets so small that
+//! every query overflows into its own singleton round.
+
+use bio_seq::alphabet::STANDARD_AA;
+use bio_seq::Sequence;
+use blast_core::SearchParams;
+use cublastp::{search_batch_with, BatchOptions, CuBlastpConfig, SeedMode, DEFAULT_GROUP_BUDGET};
+use gpu_sim::DeviceConfig;
+use integration_support::workload;
+use proptest::prelude::*;
+
+fn residues(min: usize, max: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..STANDARD_AA as u8, min..=max)
+}
+
+fn run(
+    queries: &[Sequence],
+    db: &bio_seq::SequenceDb,
+    opts: BatchOptions,
+) -> cublastp::BatchOutcome {
+    let config = CuBlastpConfig {
+        db_block_size: 16,
+        ..CuBlastpConfig::default()
+    };
+    search_batch_with(
+        queries,
+        SearchParams::default(),
+        config,
+        DeviceConfig::k20c(),
+        db,
+        opts,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn grouped_seeding_output_identical_at_any_budget(
+        random_queries in prop::collection::vec(residues(25, 100), 1..4),
+        seed in 0u64..1_000,
+    ) {
+        let (anchor, db) = workload(120, 40, 110, seed);
+        let mut queries: Vec<Sequence> = random_queries
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| Sequence::from_residues(format!("q{i}"), r))
+            .collect();
+        // One query with planted homologs so at least one report is busy.
+        queries.push(anchor);
+
+        let baseline = run(&queries, &db, BatchOptions::default());
+        prop_assert!(baseline.grouped.is_none(), "per-query path has no rounds");
+
+        // A generous budget packs every query into one round; budget 1
+        // overflows every query into a singleton round. Both must be
+        // bit-identical to per-query seeding — overflow degrades packing,
+        // never output.
+        for budget in [DEFAULT_GROUP_BUDGET, 1] {
+            let grouped = run(
+                &queries,
+                &db,
+                BatchOptions {
+                    seed_mode: SeedMode::Grouped,
+                    group_budget: budget,
+                    ..Default::default()
+                },
+            );
+            let report = grouped.grouped.as_ref().expect("grouped telemetry");
+            prop_assert_eq!(
+                report.queries_covered(),
+                queries.len(),
+                "budget {}: rounds must cover the batch, never fall back",
+                budget
+            );
+            if budget == 1 {
+                prop_assert_eq!(report.rounds.len(), queries.len());
+            }
+            for (qi, (b, g)) in baseline
+                .per_query
+                .iter()
+                .zip(&grouped.per_query)
+                .enumerate()
+            {
+                let b = b.as_ref().expect("fault-free per-query");
+                let g = g.as_ref().expect("fault-free grouped");
+                prop_assert_eq!(
+                    b.report.identity_key(),
+                    g.report.identity_key(),
+                    "budget {}: query {} diverges",
+                    budget,
+                    qi
+                );
+                prop_assert_eq!(b.counts.extensions, g.counts.extensions);
+            }
+        }
+    }
+}

@@ -324,3 +324,68 @@ proptest! {
         }
     }
 }
+
+// Grouped seeding's core equivalence (DESIGN.md §3.6): folding a query
+// group's word neighbourhoods into one hashed `QueryIndex` and probing
+// it with the subject's word stream yields exactly the multiset of
+// `(query, q_pos, s_pos)` seeds the per-query DFA scans produce — across
+// random groups, thresholds, and round budgets small enough to force
+// index-full overflow into singleton rounds.
+proptest! {
+    #[test]
+    fn query_index_probe_matches_per_query_dfa_scan(
+        queries in prop::collection::vec(residues(0, 48), 1..5),
+        subject in residues(0, 120),
+        t in 8i32..14,
+        budget in 1usize..4_000,
+    ) {
+        use blast_core::words::subject_words;
+        use blast_core::{Dfa, QueryIndex};
+        use cublastp::plan_rounds;
+        use std::collections::BTreeSet;
+
+        let matrix = Matrix::blosum62();
+        let dfas: Vec<Dfa> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                Dfa::build(&Sequence::from_residues(format!("q{i}"), r.clone()), &matrix, t)
+            })
+            .collect();
+
+        // Reference: each query's own automaton over the subject.
+        let mut expected: BTreeSet<(usize, u32, usize)> = BTreeSet::new();
+        for (qi, dfa) in dfas.iter().enumerate() {
+            dfa.scan(&subject, |col, qpos| {
+                expected.insert((qi, qpos, col));
+            });
+        }
+
+        // Grouped: pack rounds under the budget, build one index per
+        // round, probe it with the subject word stream.
+        let entry_counts: Vec<usize> =
+            dfas.iter().map(|d| d.neighborhood().total_entries()).collect();
+        let rounds = plan_rounds(&entry_counts, budget);
+        prop_assert_eq!(
+            rounds.iter().map(|r| r.len()).sum::<usize>(),
+            queries.len(),
+            "rounds must cover every query exactly once"
+        );
+        let mut actual: BTreeSet<(usize, u32, usize)> = BTreeSet::new();
+        for round in rounds {
+            let members: Vec<_> = dfas[round.clone()].iter().map(|d| d.neighborhood()).collect();
+            let index = QueryIndex::build(&members);
+            prop_assert!(index.occupancy() <= 0.5 + 1e-9, "load factor bound");
+            for (col, code) in subject_words(&subject) {
+                let probe = index.probe(code);
+                prop_assert!(probe.steps >= 1);
+                for p in probe.postings {
+                    let inserted =
+                        actual.insert((round.start + p.query as usize, p.qpos as u32, col));
+                    prop_assert!(inserted, "duplicate posting for one subject word");
+                }
+            }
+        }
+        prop_assert_eq!(actual, expected);
+    }
+}
