@@ -52,9 +52,11 @@ impl KarlinAltschul {
     /// Robinson–Robinson background; K falls back to the BLOSUM62 constant
     /// scaled by H (a documented approximation — see module docs).
     pub fn compute_ungapped(matrix: &Matrix) -> Self {
-        let lambda = solve_lambda(matrix).expect("matrix must have negative expected score");
-        let h = relative_entropy(matrix, lambda);
         let reference = Self::blosum62_ungapped();
+        // A matrix with a non-negative expected score has no ungapped λ;
+        // fall back to the BLOSUM62 reference rather than panicking.
+        let lambda = solve_lambda(matrix).unwrap_or(reference.lambda);
+        let h = relative_entropy(matrix, lambda);
         let k = (reference.k * h / reference.h).clamp(1e-3, 1.0);
         Self { lambda, k, h }
     }

@@ -103,8 +103,7 @@ impl WordNeighborhood {
                     .map(|k| {
                         (0..STANDARD_AA as Residue)
                             .map(|r| pssm.score(pos + k, r))
-                            .max()
-                            .expect("non-empty alphabet")
+                            .fold(i32::MIN, i32::max)
                     })
                     .collect();
                 // suffix_max_sum[k] = max achievable score from word letters k..

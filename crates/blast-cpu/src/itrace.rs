@@ -1,0 +1,729 @@
+//! Interval-checkpoint traceback: the constant-memory alignment recovery
+//! the device gapped backend runs (DESIGN.md §3.7).
+//!
+//! [`crate::traceback`] records one direction byte per *band* cell over the
+//! whole extent — O(rows × band) bytes, fine on a host but exactly the
+//! per-cell buffer a GPU cannot afford per in-flight alignment. Following
+//! IMPACT's interval scheme, this module splits the recovery into:
+//!
+//! 1. a **forward score pass** identical to the gapped DP that stores a
+//!    *checkpoint* (the rolling D/F rows plus band bounds and the running
+//!    best) every `interval` rows — O(band × rows / interval) words; and
+//! 2. a **multi-pass re-fill**: walking back from the best cell, each
+//!    interval of rows is recomputed from its checkpoint with direction
+//!    bytes recorded only for those rows — O(band × interval) bytes
+//!    resident at any time — and the backtrack consumes them before the
+//!    next interval down is re-filled.
+//!
+//! Both passes run the exact recurrence of [`crate::traceback::traceback`]
+//! (same tie-breaks, same x-drop acceptance, same running-best evolution),
+//! so the recovered alignment is bit-identical — an invariant the
+//! equivalence proptests pin down. The checkpoint and direction buffers are
+//! caller-provided ([`ItraceScratch`]) so `cublastp`'s device workspace can
+//! pool them; [`ItraceReport`] returns the work and peak-memory counters
+//! the simulated kernel charges and asserts its memory bound against.
+
+use crate::gapped::{GappedExt, NEG_INF};
+use crate::report::{AlignOp, Alignment};
+use bio_seq::alphabet::Residue;
+use blast_core::{Pssm, SearchParams};
+
+// Direction byte layout — identical to `crate::traceback`.
+const FROM_M: u8 = 0;
+const FROM_E: u8 = 1;
+const FROM_F: u8 = 2;
+const START: u8 = 3;
+const E_OPEN: u8 = 1 << 2;
+const F_OPEN: u8 = 1 << 3;
+
+/// Largest cell count a thread-local row buffer keeps after a call (same
+/// policy as the gapped phase's scratch).
+const MAX_RETAIN: usize = 64 * 1024;
+
+/// Caller-provided buffers: checkpoint words and the single resident
+/// interval of direction bytes. `cublastp::gapped_device` checks these out
+/// of the pooled kernel workspace; standalone callers can pass fresh vecs.
+#[derive(Default)]
+pub struct ItraceScratch {
+    /// Checkpoint storage: per checkpoint a fixed header followed by the
+    /// D then F row values over the live band (see `CKPT_HEADER`).
+    pub ckpt: Vec<i32>,
+    /// Direction bytes of the one resident interval.
+    pub dirs: Vec<u8>,
+}
+
+/// Work and memory counters of one interval traceback, accumulated over
+/// both half-extensions. The simulated kernel derives its cost from these
+/// and the memory-bound regression test asserts
+/// `peak_dir_bytes <= band_max * interval`.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ItraceReport {
+    /// Checkpoint interval used (rows between checkpoints).
+    pub interval: u64,
+    /// DP cells computed by the forward (checkpointing) passes.
+    pub forward_cells: u64,
+    /// DP cells recomputed by interval re-fills.
+    pub refill_cells: u64,
+    /// Number of interval re-fills performed.
+    pub refill_passes: u64,
+    /// Peak checkpoint words (i32) resident at any time.
+    pub checkpoint_words: u64,
+    /// Peak direction bytes resident at any time (one interval).
+    pub peak_dir_bytes: u64,
+    /// Widest band row seen (cells).
+    pub band_max: u64,
+    /// DP rows processed by the forward passes (row 0 included).
+    pub rows: u64,
+}
+
+impl ItraceReport {
+    /// Merge another report into this one (peaks max, counters add; the
+    /// interval must match).
+    pub fn absorb(&mut self, other: &ItraceReport) {
+        debug_assert!(self.interval == 0 || self.interval == other.interval);
+        self.interval = self.interval.max(other.interval);
+        self.forward_cells += other.forward_cells;
+        self.refill_cells += other.refill_cells;
+        self.refill_passes += other.refill_passes;
+        self.checkpoint_words = self.checkpoint_words.max(other.checkpoint_words);
+        self.peak_dir_bytes = self.peak_dir_bytes.max(other.peak_dir_bytes);
+        self.band_max = self.band_max.max(other.band_max);
+        self.rows += other.rows;
+    }
+
+    /// The declared memory budget the resident direction buffer must stay
+    /// within: one interval of the widest band.
+    pub fn dir_budget(&self) -> u64 {
+        self.band_max * self.interval
+    }
+}
+
+/// Checkpoint interval for an extension spanning `rows` query rows:
+/// √rows balances checkpoint storage against re-fill work, clamped so
+/// degenerate extents still checkpoint and huge ones stay bounded.
+pub fn default_interval(rows: usize) -> usize {
+    (rows as f64).sqrt().ceil().clamp(1.0, 256.0) as usize
+}
+
+/// Words of fixed header per checkpoint: `[row, jmin, jmax, lo, len, best]`.
+const CKPT_HEADER: usize = 6;
+
+/// Thread-local working set: four rolling DP rows, the resident-interval
+/// band metadata, and the raw op accumulator. The large buffers (checkpoint
+/// words, direction bytes) are the caller's.
+struct LocalScratch {
+    rows: [Vec<i32>; 4],
+    band_rows: Vec<(u32, u32, u32)>, // (jlo, off, len) per resident row
+    ops: Vec<AlignOp>,
+}
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<LocalScratch> = const {
+        std::cell::RefCell::new(LocalScratch {
+            rows: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+            band_rows: Vec::new(),
+            ops: Vec::new(),
+        })
+    };
+}
+
+/// Forward state at a checkpoint row, parsed back out of the flat buffer.
+struct Ckpt {
+    row: usize,
+    jmin: usize,
+    jmax: usize,
+    lo: usize,
+    len: usize,
+    best: i32,
+    values_at: usize,
+}
+
+/// Append a checkpoint for row `row` to `ckpt`. `d` / `f` are the rolling
+/// rows holding row `row`'s values; the stored band `[lo, lo+len)` covers
+/// every cell the next row reads (accepted band plus the one-cell cleared
+/// margin on each side).
+#[allow(clippy::too_many_arguments)]
+fn push_ckpt(
+    ckpt: &mut Vec<i32>,
+    index: &mut Vec<usize>,
+    row: usize,
+    jmin: usize,
+    jmax: usize,
+    s_len: usize,
+    best: i32,
+    d: &[i32],
+    f: &[i32],
+) {
+    let lo = jmin.saturating_sub(1);
+    let hi = (jmax + 1).min(s_len);
+    let len = hi - lo + 1;
+    index.push(ckpt.len());
+    ckpt.extend_from_slice(&[
+        row as i32,
+        jmin as i32,
+        jmax as i32,
+        lo as i32,
+        len as i32,
+        best,
+    ]);
+    ckpt.extend_from_slice(&d[lo..=hi]);
+    ckpt.extend_from_slice(&f[lo..=hi]);
+}
+
+fn read_ckpt(ckpt: &[i32], at: usize) -> Ckpt {
+    Ckpt {
+        row: ckpt[at] as usize,
+        jmin: ckpt[at + 1] as usize,
+        jmax: ckpt[at + 2] as usize,
+        lo: ckpt[at + 3] as usize,
+        len: ckpt[at + 4] as usize,
+        best: ckpt[at + 5],
+        values_at: at + CKPT_HEADER,
+    }
+}
+
+/// One directional half-alignment via checkpoint + interval re-fill.
+/// Appends ops to `scratch.ops` in raw backtrack order (outermost →
+/// anchor); returns `(score, q_offset, s_offset, ops_appended)` — exactly
+/// the contract of the full-matrix `half_align`.
+#[allow(clippy::too_many_arguments)]
+fn half_itrace(
+    local: &mut LocalScratch,
+    buffers: &mut ItraceScratch,
+    report: &mut ItraceReport,
+    q_len: usize,
+    s_len: usize,
+    score_at: &dyn Fn(usize, usize) -> i32,
+    params: &SearchParams,
+    interval: usize,
+) -> (i32, usize, usize, usize) {
+    if q_len == 0 || s_len == 0 {
+        return (0, 0, 0, 0);
+    }
+    let interval = interval.max(1);
+    let open = params.gap_open + params.gap_extend;
+    let ext = params.gap_extend;
+    let xdrop = params.xdrop_gapped;
+    let width = s_len + 1;
+
+    for row in local.rows.iter_mut() {
+        if row.len() < width {
+            row.resize(width, NEG_INF);
+        } else if width <= MAX_RETAIN && row.len() > MAX_RETAIN {
+            row.truncate(MAX_RETAIN);
+            row.shrink_to(MAX_RETAIN);
+        }
+    }
+    buffers.ckpt.clear();
+    let mut ckpt_index: Vec<usize> = Vec::new();
+    let [d_prev, f_prev, d_row, f_row] = &mut local.rows;
+
+    // ---- Forward pass: score-only DP, checkpoints every `interval` rows.
+    let mut best = 0i32;
+    let mut best_cell = (0usize, 0usize);
+
+    d_prev[0] = 0;
+    let mut jmax = 0usize;
+    for (j, cell) in d_prev.iter_mut().enumerate().take(width).skip(1) {
+        let s = -(open + (j as i32 - 1) * ext);
+        if -s > xdrop {
+            break;
+        }
+        *cell = s;
+        jmax = j;
+    }
+    if jmax + 1 < width {
+        d_prev[jmax + 1] = NEG_INF;
+    }
+    f_prev[..=(jmax + 1).min(s_len)].fill(NEG_INF);
+    let mut jmin = 0usize;
+    report.rows += 1;
+    report.forward_cells += jmax as u64 + 1;
+    report.band_max = report.band_max.max(jmax as u64 + 1);
+    push_ckpt(
+        &mut buffers.ckpt,
+        &mut ckpt_index,
+        0,
+        jmin,
+        jmax,
+        s_len,
+        best,
+        d_prev,
+        f_prev,
+    );
+
+    for i in 1..=q_len {
+        let row_hi = (jmax + 1).min(s_len);
+        if jmin > row_hi {
+            break;
+        }
+        let clear_lo = jmin.saturating_sub(1);
+        let clear_hi = (row_hi + 1).min(width - 1);
+        d_row[clear_lo..=clear_hi].fill(NEG_INF);
+        f_row[clear_lo..=clear_hi].fill(NEG_INF);
+        report.rows += 1;
+        report.forward_cells += (row_hi - jmin + 1) as u64;
+        report.band_max = report.band_max.max((row_hi - jmin + 1) as u64);
+        let mut new_jmin = usize::MAX;
+        let mut new_jmax = 0usize;
+        let mut e = NEG_INF;
+        for j in jmin..=row_hi {
+            let f_open = if d_prev[j] > NEG_INF {
+                d_prev[j] - open
+            } else {
+                NEG_INF
+            };
+            let f_ext = if f_prev[j] > NEG_INF {
+                f_prev[j] - ext
+            } else {
+                NEG_INF
+            };
+            let f = f_open.max(f_ext);
+            f_row[j] = f;
+            e = if j > 0 {
+                let e_open = if d_row[j - 1] > NEG_INF {
+                    d_row[j - 1] - open
+                } else {
+                    NEG_INF
+                };
+                let e_ext = if e > NEG_INF { e - ext } else { NEG_INF };
+                e_open.max(e_ext)
+            } else {
+                NEG_INF
+            };
+            let m = if j >= 1 && d_prev[j - 1] > NEG_INF {
+                d_prev[j - 1] + score_at(i - 1, j - 1)
+            } else {
+                NEG_INF
+            };
+            let d = m.max(e).max(f);
+            if d > NEG_INF && best - d <= xdrop {
+                d_row[j] = d;
+                if d > best {
+                    best = d;
+                    best_cell = (i, j);
+                }
+                if j < new_jmin {
+                    new_jmin = j;
+                }
+                new_jmax = j;
+            }
+        }
+        if new_jmin == usize::MAX {
+            break;
+        }
+        jmin = new_jmin;
+        jmax = new_jmax;
+        std::mem::swap(d_prev, d_row);
+        std::mem::swap(f_prev, f_row);
+        if i % interval == 0 {
+            push_ckpt(
+                &mut buffers.ckpt,
+                &mut ckpt_index,
+                i,
+                jmin,
+                jmax,
+                s_len,
+                best,
+                d_prev,
+                f_prev,
+            );
+        }
+    }
+    report.checkpoint_words = report.checkpoint_words.max(buffers.ckpt.len() as u64);
+
+    // ---- Backward pass: re-fill one interval at a time and backtrack.
+    // `resident` = rows (r_base, r_hi] whose direction bytes are live in
+    // `buffers.dirs` / `local.band_rows`; row 0's bytes are synthesized.
+    let mut resident: Option<(usize, usize)> = None;
+
+    // Re-fill rows (ck.row, hi] from the last checkpoint at or below
+    // `hi - 1`... precisely: the largest checkpoint row strictly below
+    // `hi`, so the checkpoint row's own bytes stay with the interval
+    // *below* it (they were written while that row was computed).
+    macro_rules! refill {
+        ($hi:expr) => {{
+            let hi: usize = $hi;
+            let ci = match ckpt_index
+                .iter()
+                .rposition(|&at| read_ckpt(&buffers.ckpt, at).row < hi)
+            {
+                Some(p) => p,
+                // Unreachable: checkpoint 0 sits at row 0 < hi for hi >= 1.
+                None => 0,
+            };
+            let ck = read_ckpt(&buffers.ckpt, ckpt_index[ci]);
+            report.refill_passes += 1;
+            d_prev[..width].fill(NEG_INF);
+            f_prev[..width].fill(NEG_INF);
+            let vals = &buffers.ckpt[ck.values_at..ck.values_at + 2 * ck.len];
+            d_prev[ck.lo..ck.lo + ck.len].copy_from_slice(&vals[..ck.len]);
+            f_prev[ck.lo..ck.lo + ck.len].copy_from_slice(&vals[ck.len..]);
+            let mut rjmin = ck.jmin;
+            let mut rjmax = ck.jmax;
+            let mut rbest = ck.best;
+            buffers.dirs.clear();
+            local.band_rows.clear();
+            for i in ck.row + 1..=hi {
+                let row_hi = (rjmax + 1).min(s_len);
+                debug_assert!(rjmin <= row_hi, "re-fill ran past the live band");
+                let clear_lo = rjmin.saturating_sub(1);
+                let clear_hi = (row_hi + 1).min(width - 1);
+                d_row[clear_lo..=clear_hi].fill(NEG_INF);
+                f_row[clear_lo..=clear_hi].fill(NEG_INF);
+                report.refill_cells += (row_hi - rjmin + 1) as u64;
+                let off = buffers.dirs.len();
+                let len = row_hi - rjmin + 1;
+                buffers.dirs.resize(off + len, 0);
+                local.band_rows.push((rjmin as u32, off as u32, len as u32));
+                let band = &mut buffers.dirs[off..];
+                let mut new_jmin = usize::MAX;
+                let mut new_jmax = 0usize;
+                let mut e = NEG_INF;
+                let mut e_opened = false;
+                for j in rjmin..=row_hi {
+                    let f_open_score = if d_prev[j] > NEG_INF {
+                        d_prev[j] - open
+                    } else {
+                        NEG_INF
+                    };
+                    let f_ext_score = if f_prev[j] > NEG_INF {
+                        f_prev[j] - ext
+                    } else {
+                        NEG_INF
+                    };
+                    let (f, f_opened) = if f_open_score >= f_ext_score {
+                        (f_open_score, true)
+                    } else {
+                        (f_ext_score, false)
+                    };
+                    f_row[j] = f;
+                    if j > 0 {
+                        let e_open_score = if d_row[j - 1] > NEG_INF {
+                            d_row[j - 1] - open
+                        } else {
+                            NEG_INF
+                        };
+                        let e_ext_score = if e > NEG_INF { e - ext } else { NEG_INF };
+                        if e_open_score >= e_ext_score {
+                            e = e_open_score;
+                            e_opened = true;
+                        } else {
+                            e = e_ext_score;
+                            e_opened = false;
+                        }
+                    } else {
+                        e = NEG_INF;
+                    }
+                    let m = if j >= 1 && d_prev[j - 1] > NEG_INF {
+                        d_prev[j - 1] + score_at(i - 1, j - 1)
+                    } else {
+                        NEG_INF
+                    };
+                    let (d, from) = if m >= e && m >= f {
+                        (m, FROM_M)
+                    } else if e >= f {
+                        (e, FROM_E)
+                    } else {
+                        (f, FROM_F)
+                    };
+                    let mut byte = from;
+                    if e_opened {
+                        byte |= E_OPEN;
+                    }
+                    if f_opened {
+                        byte |= F_OPEN;
+                    }
+                    band[j - rjmin] = byte;
+                    if d > NEG_INF && rbest - d <= xdrop {
+                        d_row[j] = d;
+                        if d > rbest {
+                            rbest = d;
+                        }
+                        if j < new_jmin {
+                            new_jmin = j;
+                        }
+                        new_jmax = j;
+                    }
+                }
+                debug_assert!(
+                    new_jmin != usize::MAX || i == hi,
+                    "re-fill band died before the requested row"
+                );
+                if new_jmin != usize::MAX {
+                    rjmin = new_jmin;
+                    rjmax = new_jmax;
+                }
+                std::mem::swap(d_prev, d_row);
+                std::mem::swap(f_prev, f_row);
+            }
+            report.peak_dir_bytes = report.peak_dir_bytes.max(buffers.dirs.len() as u64);
+            debug_assert!(
+                buffers.dirs.len() as u64 <= report.band_max * interval as u64,
+                "resident direction bytes exceed the O(band x interval) budget"
+            );
+            resident = Some((ck.row, hi));
+        }};
+    }
+
+    macro_rules! dir_at {
+        ($i:expr, $j:expr) => {{
+            let (i, j): (usize, usize) = ($i, $j);
+            if i == 0 {
+                if j == 0 {
+                    START
+                } else if j == 1 {
+                    FROM_E | E_OPEN
+                } else {
+                    FROM_E
+                }
+            } else {
+                let hit = matches!(resident, Some((base, hi)) if i > base && i <= hi);
+                if !hit {
+                    refill!(i);
+                }
+                let base = match resident {
+                    Some((base, _)) => base,
+                    None => 0,
+                };
+                let (jlo, off, _len) = local.band_rows[i - base - 1];
+                debug_assert!(
+                    j >= jlo as usize && j < (jlo + _len) as usize,
+                    "backtrack left the recorded band: row {i}, col {j}"
+                );
+                buffers.dirs[off as usize + (j - jlo as usize)]
+            }
+        }};
+    }
+
+    let before = local.ops.len();
+    let (mut i, mut j) = best_cell;
+    let mut state = dir_at!(i, j) & 0b11;
+    while (i, j) != (0, 0) {
+        match state {
+            FROM_M => {
+                local.ops.push(AlignOp::Sub);
+                i -= 1;
+                j -= 1;
+                state = dir_at!(i, j) & 0b11;
+            }
+            FROM_E => {
+                loop {
+                    local.ops.push(AlignOp::Ins);
+                    let opened = dir_at!(i, j) & E_OPEN != 0;
+                    j -= 1;
+                    if opened {
+                        break;
+                    }
+                }
+                state = dir_at!(i, j) & 0b11;
+            }
+            FROM_F => {
+                loop {
+                    local.ops.push(AlignOp::Del);
+                    let opened = dir_at!(i, j) & F_OPEN != 0;
+                    i -= 1;
+                    if opened {
+                        break;
+                    }
+                }
+                state = dir_at!(i, j) & 0b11;
+            }
+            _ => break, // START
+        }
+    }
+    (best, best_cell.0, best_cell.1, local.ops.len() - before)
+}
+
+/// Recover the full alignment for a gapped extension using interval
+/// checkpointing — bit-identical to [`crate::traceback::traceback`] with
+/// direction memory bounded by O(band × interval).
+pub fn traceback_interval(
+    pssm: &Pssm,
+    query: &[Residue],
+    subject: &[Residue],
+    g: &GappedExt,
+    params: &SearchParams,
+    interval: usize,
+    buffers: &mut ItraceScratch,
+) -> (Alignment, ItraceReport) {
+    let qs = g.q_seed as usize;
+    let ss = g.s_seed as usize;
+    let qlen = pssm.query_len();
+    let slen = subject.len();
+    let anchor_score = pssm.score(qs, subject[ss]);
+    let mut report = ItraceReport {
+        interval: interval.max(1) as u64,
+        ..ItraceReport::default()
+    };
+
+    SCRATCH.with(|cell| {
+        let local = &mut *cell.borrow_mut();
+        local.ops.clear();
+        if local.ops.capacity() > MAX_RETAIN {
+            local.ops.shrink_to(MAX_RETAIN);
+        }
+
+        let (right_score, rq, rs, right_len) = half_itrace(
+            local,
+            buffers,
+            &mut report,
+            qlen - qs - 1,
+            slen - ss - 1,
+            &|qi, sj| pssm.score(qs + 1 + qi, subject[ss + 1 + sj]),
+            params,
+            interval,
+        );
+        let (left_score, lq, ls, left_len) = half_itrace(
+            local,
+            buffers,
+            &mut report,
+            qs,
+            ss,
+            &|qi, sj| pssm.score(qs - 1 - qi, subject[ss - 1 - sj]),
+            params,
+            interval,
+        );
+
+        let raw = &local.ops;
+        let mut ops: Vec<AlignOp> = Vec::with_capacity(left_len + right_len + 1);
+        ops.extend_from_slice(&raw[right_len..right_len + left_len]);
+        ops.push(AlignOp::Sub);
+        ops.extend(raw[..right_len].iter().rev().copied());
+
+        let q_start = qs - lq;
+        let s_start = ss - ls;
+        let q_end = qs + 1 + rq;
+        let s_end = ss + 1 + rs;
+
+        let mut qi = q_start;
+        let mut si = s_start;
+        let mut identities = 0usize;
+        let mut positives = 0usize;
+        let mut gaps = 0usize;
+        for op in &ops {
+            match op {
+                AlignOp::Sub => {
+                    if query[qi] == subject[si] {
+                        identities += 1;
+                    }
+                    if pssm.score(qi, subject[si]) > 0 {
+                        positives += 1;
+                    }
+                    qi += 1;
+                    si += 1;
+                }
+                AlignOp::Ins => {
+                    si += 1;
+                    gaps += 1;
+                }
+                AlignOp::Del => {
+                    qi += 1;
+                    gaps += 1;
+                }
+            }
+        }
+        debug_assert_eq!(qi, q_end);
+        debug_assert_eq!(si, s_end);
+
+        (
+            Alignment {
+                seq_id: g.seq_id,
+                q_start: q_start as u32,
+                q_end: q_end as u32,
+                s_start: s_start as u32,
+                s_end: s_end as u32,
+                score: left_score + anchor_score + right_score,
+                ops,
+                identities: identities as u32,
+                positives: positives as u32,
+                gaps: gaps as u32,
+            },
+            report,
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gapped::extend_gapped;
+    use crate::testutil::seed;
+    use crate::traceback::traceback;
+    use bio_seq::alphabet::encode_str;
+    use bio_seq::Sequence;
+    use blast_core::Matrix;
+
+    fn compare(q: &[u8], s: &[u8], sd: crate::ungapped::UngappedExt, interval: usize) {
+        let query = Sequence::from_bytes("q", q);
+        let pssm = Pssm::build(&query, &Matrix::blosum62());
+        let subject = encode_str(s);
+        let p = SearchParams::default();
+        let g = extend_gapped(&pssm, &subject, &sd, &p);
+        let want = traceback(&pssm, query.residues(), &subject, &g, &p);
+        let mut scratch = ItraceScratch::default();
+        let (got, rep) = traceback_interval(
+            &pssm,
+            query.residues(),
+            &subject,
+            &g,
+            &p,
+            interval,
+            &mut scratch,
+        );
+        assert_eq!(got, want, "interval={interval}");
+        assert_eq!(got.score, g.score);
+        assert!(rep.peak_dir_bytes <= rep.dir_budget().max(rep.band_max));
+    }
+
+    #[test]
+    fn matches_full_traceback_on_identity() {
+        let q = b"MKVLWAARNDCQEGHMKVLWAARNDCQEGH";
+        for interval in [1, 2, 3, 7, 64] {
+            compare(q, q, seed(4, 4, 6), interval);
+        }
+    }
+
+    #[test]
+    fn matches_full_traceback_across_gaps() {
+        for interval in [1, 2, 3, 5, 8, 256] {
+            compare(
+                b"WWWWWWKKKKKKMMMMHHHHHH",
+                b"AAWWWWWWKKKGGGKKKMMMMHHHHHHAA",
+                seed(0, 2, 6),
+                interval,
+            );
+            compare(
+                b"WWWWWWAAHHKKMMKVLHE",
+                b"WWWWWWHHKKMMKVLHE",
+                seed(0, 0, 6),
+                interval,
+            );
+        }
+    }
+
+    #[test]
+    fn interval_one_degenerates_to_checkpoint_per_row() {
+        // With interval 1 every row is a checkpoint and each re-fill
+        // regenerates exactly one row: peak resident bytes = one band row.
+        let q = b"MKVLWAARNDCQEGH";
+        let query = Sequence::from_bytes("q", q);
+        let pssm = Pssm::build(&query, &Matrix::blosum62());
+        let subject = encode_str(q);
+        let p = SearchParams::default();
+        let g = extend_gapped(&pssm, &subject, &seed(4, 4, 6), &p);
+        let mut scratch = ItraceScratch::default();
+        let (_, rep) =
+            traceback_interval(&pssm, query.residues(), &subject, &g, &p, 1, &mut scratch);
+        assert!(rep.peak_dir_bytes <= rep.band_max);
+        assert!(rep.refill_passes > 0);
+    }
+
+    #[test]
+    fn default_interval_is_sane() {
+        assert_eq!(default_interval(0), 1);
+        assert_eq!(default_interval(1), 1);
+        assert_eq!(default_interval(100), 10);
+        assert_eq!(default_interval(1 << 20), 256);
+    }
+}

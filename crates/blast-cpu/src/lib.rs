@@ -18,6 +18,7 @@
 
 pub mod gapped;
 pub mod hit;
+pub mod itrace;
 pub mod report;
 pub mod search;
 pub mod simd;
@@ -27,6 +28,7 @@ pub mod traceback;
 pub mod ungapped;
 
 pub use hit::{DiagonalState, Hit};
+pub use itrace::{default_interval, traceback_interval, ItraceReport, ItraceScratch};
 pub use report::{Alignment, PhaseTimes, SearchReport};
 pub use search::{search_parallel, search_sequential, SearchEngine};
 pub use simd::{DispatchReport, IsaLevel};

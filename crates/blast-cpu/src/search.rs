@@ -162,6 +162,38 @@ impl SearchEngine {
             });
         }
     }
+
+    /// Reporting-only tail for alignments recovered elsewhere (the device
+    /// gapped backend, DESIGN.md §3.7): compute statistics and append hits
+    /// below the e-value cutoff. Callers must pass exactly the alignments
+    /// of extensions at or above [`Cutoffs::report_cutoff`], in
+    /// gapped-phase order — then the pushed hits are bit-identical to
+    /// [`Self::finish_subject`]'s.
+    pub fn report_from_alignments(
+        &self,
+        subject_index: usize,
+        subject: &Sequence,
+        alignments: &[crate::report::Alignment],
+        out: &mut SearchReport,
+    ) {
+        for alignment in alignments {
+            let evalue = self
+                .cutoffs
+                .gapped_ka
+                .evalue(alignment.score, self.cutoffs.search_space);
+            if evalue > self.params.evalue_cutoff {
+                continue;
+            }
+            let bit_score = self.cutoffs.gapped_ka.bit_score(alignment.score);
+            out.hits.push(ReportedHit {
+                subject_index,
+                subject_id: subject.id.clone(),
+                alignment: alignment.clone(),
+                bit_score,
+                evalue,
+            });
+        }
+    }
 }
 
 /// Result of a CPU search: the ranked report, phase timings, and hit
@@ -254,7 +286,12 @@ pub fn shared_pool() -> &'static rayon::ThreadPool {
         rayon::ThreadPoolBuilder::new()
             .num_threads(effective_threads(usize::MAX))
             .build()
-            .expect("failed to build shared CPU pool")
+            .or_else(|_| {
+                // Thread spawning failed (resource exhaustion): degrade to
+                // a single worker before giving up entirely.
+                rayon::ThreadPoolBuilder::new().num_threads(1).build()
+            })
+            .unwrap_or_else(|e| panic!("cannot start any CPU worker pool: {e}"))
     })
 }
 

@@ -2,7 +2,7 @@
 //! CLI dependency).
 
 use blast_core::SearchParams;
-use cublastp::{CuBlastpConfig, ExtensionStrategy, SeedMode, DEFAULT_GROUP_BUDGET};
+use cublastp::{CuBlastpConfig, ExtensionStrategy, GappedBackend, SeedMode, DEFAULT_GROUP_BUDGET};
 use gpu_sim::FaultPlan;
 
 /// Usage text.
@@ -32,6 +32,12 @@ OPTIONS:
                          over each database block (cublastp engine only)
     --group-budget <n>   device index budget per grouped round, in
                          word-entry units (default 65536)
+    --gapped-backend <name>
+                         cpu (default) | gpu — where gapped extension +
+                         traceback run; gpu moves them into the per-block
+                         device timeline as a warp-per-seed banded-DP
+                         kernel with constant-memory interval traceback
+                         (cublastp engine only; output is identical)
     --pipeline-depth <n> database blocks the GPU side may run ahead of the
                          CPU side when overlapped (default 1)
     --alignments         print the aligned residues, not just the table
@@ -41,7 +47,7 @@ OPTIONS:
     --fault-plan <spec>  arm deterministic device faults (testing); spec is
                          comma-separated site[@b<N>][@q<N>][:x<K>|:perm],
                          sites: alloc launch h2d d2h h2d-timeout d2h-timeout
-                         workspace panic
+                         workspace panic gapped-launch gapped-d2h
     --max-retries <n>    attempts per block before degrading (default 3)
     --no-cpu-fallback    fail instead of re-running faulted blocks on CPU
     --trace-out <path>   write a Chrome trace_event JSON of the run (open
@@ -107,6 +113,7 @@ pub struct Args {
     pub pipeline_depth: usize,
     pub seed_mode: SeedMode,
     pub group_budget: usize,
+    pub gapped_backend: GappedBackend,
     pub alignments: bool,
     pub outfmt: OutFmt,
     pub fault_plan: FaultPlan,
@@ -136,6 +143,7 @@ impl Default for Args {
             pipeline_depth: 1,
             seed_mode: SeedMode::PerQuery,
             group_budget: DEFAULT_GROUP_BUDGET,
+            gapped_backend: GappedBackend::Cpu,
             alignments: false,
             outfmt: OutFmt::Pairwise,
             fault_plan: FaultPlan::none(),
@@ -218,6 +226,13 @@ impl Args {
                         .parse()
                         .map_err(|e| format!("--group-budget: {e}"))?
                 }
+                "--gapped-backend" => {
+                    args.gapped_backend = match value(&mut argv, "--gapped-backend")?.as_str() {
+                        "cpu" => GappedBackend::Cpu,
+                        "gpu" => GappedBackend::Gpu,
+                        other => return Err(format!("unknown gapped backend {other:?}")),
+                    }
+                }
                 "--alignments" => args.alignments = true,
                 "--outfmt" => {
                     args.outfmt = match value(&mut argv, "--outfmt")?.as_str() {
@@ -261,6 +276,9 @@ impl Args {
         if args.seed_mode == SeedMode::Grouped && args.engine != Engine::CuBlastp {
             return Err("--seed-mode grouped requires --engine cublastp".into());
         }
+        if args.gapped_backend == GappedBackend::Gpu && args.engine != Engine::CuBlastp {
+            return Err("--gapped-backend gpu requires --engine cublastp".into());
+        }
         Ok(args)
     }
 
@@ -282,6 +300,7 @@ impl Args {
             num_bins: self.bins,
             cpu_threads: self.threads,
             overlap: self.overlap,
+            gapped_backend: self.gapped_backend,
             ..CuBlastpConfig::default()
         };
         config.recovery.max_attempts = self.max_retries;
@@ -406,6 +425,32 @@ mod tests {
         assert!(parse(&["--demo", "--seed-mode", "psychic"]).is_err());
         assert!(parse(&["--demo", "--group-budget", "0"]).is_err());
         assert!(parse(&["--demo", "--seed-mode", "grouped", "--engine", "cpu"]).is_err());
+    }
+
+    #[test]
+    fn gapped_backend_parses_and_validates() {
+        let d = parse(&["--demo"]).unwrap();
+        assert_eq!(d.gapped_backend, GappedBackend::Cpu);
+        assert_eq!(d.cublastp_config().gapped_backend, GappedBackend::Cpu);
+        let a = parse(&["--demo", "--gapped-backend", "gpu"]).unwrap();
+        assert_eq!(a.gapped_backend, GappedBackend::Gpu);
+        assert_eq!(a.cublastp_config().gapped_backend, GappedBackend::Gpu);
+        assert_eq!(
+            parse(&["--demo", "--gapped-backend", "cpu"])
+                .unwrap()
+                .gapped_backend,
+            GappedBackend::Cpu
+        );
+        assert!(parse(&["--demo", "--gapped-backend", "fpga"]).is_err());
+        assert!(parse(&["--demo", "--gapped-backend", "gpu", "--engine", "cpu"]).is_err());
+        // The new fault sites parse in a --fault-plan spec.
+        let f = parse(&[
+            "--demo",
+            "--fault-plan",
+            "gapped-launch@b0:x1,gapped-d2h:perm",
+        ])
+        .unwrap();
+        assert_eq!(f.fault_plan.specs().len(), 2);
     }
 
     #[test]

@@ -28,7 +28,9 @@ use args::{Args, Engine};
 use bio_seq::fasta::read_fasta_strict;
 use bio_seq::{Sequence, SequenceDb};
 use blast_cpu::search::{search_parallel, search_sequential, SearchEngine};
-use cublastp::{search_batch_with, BatchOptions, CuBlastp, DeviceDbCache, SearchError, SeedMode};
+use cublastp::{
+    search_batch_with, BatchOptions, CuBlastp, DeviceDbCache, GappedBackend, SearchError, SeedMode,
+};
 use gpu_sim::{DeviceConfig, FaultInjector};
 use std::fs::File;
 use std::io::BufReader;
@@ -68,6 +70,8 @@ struct PhaseTable {
     overlapped_ms: f64,
     serial_ms: f64,
     queries: usize,
+    /// Active gapped backend name (set once from the flags).
+    gapped_backend: &'static str,
 }
 
 impl PhaseTable {
@@ -124,12 +128,59 @@ impl PhaseTable {
                 ""
             }
         );
+        if !self.gapped_backend.is_empty() {
+            out!("# gapped backend: {}", self.gapped_backend);
+        }
         if self.serial_ms > 0.0 {
             out!(
                 "# pipeline overlap: {:.3} ms overlapped vs {:.3} ms serial ({:.1}% hidden)",
                 self.overlapped_ms,
                 self.serial_ms,
                 100.0 * (1.0 - self.overlapped_ms / self.serial_ms)
+            );
+        }
+    }
+}
+
+/// Batch-level gapped-backend telemetry behind the `# gapped backend:`
+/// summary row — the grep target of the CI backend-equivalence job, like
+/// the `# grouped seeding:` row for grouped seeding.
+#[derive(Default)]
+struct GappedSummary {
+    /// Simulated time of the fine gapped kernel, summed over queries.
+    fine_kernel_ms: f64,
+    /// Blocks whose device gapped phase degraded to the CPU tail.
+    degraded: u64,
+}
+
+impl GappedSummary {
+    fn absorb(&mut self, r: &cublastp::CuBlastpResult, device: &DeviceConfig) {
+        if let Some(k) = r.kernel("gapped_extension_fine") {
+            self.fine_kernel_ms += k.time_ms(device);
+        }
+        self.degraded += r.recovery.degraded_gapped;
+    }
+
+    /// Print the summary row (stderr under `--outfmt tab` to keep stdout
+    /// machine-readable), plus a loud warning when any block silently
+    /// left the device gapped path.
+    fn print(&self, args: &Args) {
+        let row = format!(
+            "# gapped backend: {} fine-kernel-ms={:.3} degraded-gapped={}",
+            args.gapped_backend.name(),
+            self.fine_kernel_ms,
+            self.degraded,
+        );
+        if args.outfmt == args::OutFmt::Tab {
+            eprintln!("{row}");
+        } else {
+            out!("{row}");
+        }
+        if args.gapped_backend == GappedBackend::Gpu && self.degraded > 0 {
+            eprintln!(
+                "# warning: gapped device backend degraded {} block{} to the CPU tail",
+                self.degraded,
+                if self.degraded == 1 { "" } else { "s" },
             );
         }
     }
@@ -205,10 +256,21 @@ fn main() -> ExitCode {
     let injector = Arc::new(FaultInjector::new(args.fault_plan.clone()));
     obs::arm(args.trace_out.is_some(), args.metrics_out.is_some());
     let mut phase_table = args.phase_table.then(PhaseTable::default);
+    if let Some(table) = &mut phase_table {
+        table.gapped_backend = args.gapped_backend.name();
+    }
+    let mut gapped_summary = (args.engine == Engine::CuBlastp).then(GappedSummary::default);
     let t_batch = std::time::Instant::now();
     let mut failures: Vec<(usize, String, SearchError)> = Vec::new();
     if args.engine == Engine::CuBlastp && args.seed_mode == SeedMode::Grouped {
-        failures = run_grouped_batch(&queries, &db, &args, &injector, &mut phase_table);
+        failures = run_grouped_batch(
+            &queries,
+            &db,
+            &args,
+            &injector,
+            &mut phase_table,
+            &mut gapped_summary,
+        );
     } else {
         for (i, query) in queries.iter().enumerate() {
             if let Err(e) = run_query(
@@ -219,6 +281,7 @@ fn main() -> ExitCode {
                 &dev_cache,
                 &injector,
                 &mut phase_table,
+                &mut gapped_summary,
             ) {
                 eprintln!("error: query {} ({}): {e}", i + 1, query.id);
                 failures.push((i, query.id.clone(), e));
@@ -230,6 +293,9 @@ fn main() -> ExitCode {
         if args.outfmt != args::OutFmt::Tab {
             table.print();
         }
+    }
+    if let Some(summary) = &gapped_summary {
+        summary.print(&args);
     }
     if let Err(e) = write_observability(&args) {
         eprintln!("error: {e}");
@@ -306,6 +372,7 @@ fn run_grouped_batch(
     args: &Args,
     injector: &Arc<FaultInjector>,
     phase_table: &mut Option<PhaseTable>,
+    gapped_summary: &mut Option<GappedSummary>,
 ) -> Vec<(usize, String, SearchError)> {
     let params = args.params();
     let config = args.cublastp_config();
@@ -332,6 +399,9 @@ fn run_grouped_batch(
             Ok(r) => {
                 if let Some(table) = phase_table {
                     table.absorb(&r, &DeviceConfig::k20c());
+                }
+                if let Some(summary) = gapped_summary {
+                    summary.absorb(&r, &DeviceConfig::k20c());
                 }
                 let mut telemetry = format!(
                     "hits {} → filtered {} ({:.1}%) → extensions {}; simulated GPU {:.2} ms (grouped seeding)",
@@ -400,6 +470,7 @@ fn run_query(
     dev_cache: &DeviceDbCache,
     injector: &Arc<FaultInjector>,
     phase_table: &mut Option<PhaseTable>,
+    gapped_summary: &mut Option<GappedSummary>,
 ) -> Result<(), SearchError> {
     let params = args.params();
     let t0 = std::time::Instant::now();
@@ -414,6 +485,9 @@ fn run_query(
             let r = searcher.search_resident(db, &dev_db, index == 0)?;
             if let Some(table) = phase_table {
                 table.absorb(&r, &DeviceConfig::k20c());
+            }
+            if let Some(summary) = gapped_summary {
+                summary.absorb(&r, &DeviceConfig::k20c());
             }
             let mut telemetry = format!(
                 "hits {} → filtered {} ({:.1}%) → extensions {}; simulated GPU {:.2} ms, overlapped total {:.2} ms",

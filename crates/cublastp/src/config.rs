@@ -34,6 +34,33 @@ pub enum ScoringMode {
     Auto,
 }
 
+/// Where the gapped extension + traceback phase runs (DESIGN.md §3.7).
+///
+/// The paper's pipeline leaves gapped extension on the CPU (§3.6); the
+/// device backend moves it into the per-block GPU timeline as a
+/// warp-cooperative banded-DP kernel with constant-memory interval
+/// traceback. Output is bit-identical either way — the backend only moves
+/// where the same arithmetic happens and what the cost model charges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum GappedBackend {
+    /// Gapped extension + traceback on the host CPU pool (paper §3.6).
+    #[default]
+    Cpu,
+    /// Fine-grained device kernel: one warp per gapped seed, anti-diagonal
+    /// wavefronts within the band, interval-checkpoint traceback.
+    Gpu,
+}
+
+impl GappedBackend {
+    /// Stable lowercase name, matching the CLI flag values.
+    pub fn name(self) -> &'static str {
+        match self {
+            GappedBackend::Cpu => "cpu",
+            GappedBackend::Gpu => "gpu",
+        }
+    }
+}
+
 /// Query length above which the PSS matrix no longer fits in the 48 kB of
 /// shared memory (64 bytes per query column, §3.5).
 pub const PSSM_SHARED_LIMIT: usize = 768;
@@ -117,6 +144,9 @@ pub struct CuBlastpConfig {
     /// Overlap-executor tuning (in-flight block depth).
     #[serde(default)]
     pub pipeline: PipelineConfig,
+    /// Where the gapped phase runs (CPU tail vs device kernel, §3.7).
+    #[serde(default)]
+    pub gapped_backend: GappedBackend,
     /// Device-fault recovery policy (retry budget, backoff, degradation).
     pub recovery: RecoveryPolicy,
 }
@@ -135,6 +165,7 @@ impl Default for CuBlastpConfig {
             cpu_threads: 4,
             overlap: true,
             pipeline: PipelineConfig::default(),
+            gapped_backend: GappedBackend::default(),
             recovery: RecoveryPolicy::default(),
         }
     }
@@ -232,6 +263,14 @@ mod tests {
         assert!(c.use_readonly_cache);
         assert_eq!(c.cpu_threads, 4);
         assert_eq!(c.pipeline.depth, 1, "default depth is the paper regime");
+        assert_eq!(c.gapped_backend, GappedBackend::Cpu, "paper tail is CPU");
+    }
+
+    #[test]
+    fn gapped_backend_names_are_cli_values() {
+        assert_eq!(GappedBackend::Cpu.name(), "cpu");
+        assert_eq!(GappedBackend::Gpu.name(), "gpu");
+        assert_eq!(GappedBackend::default(), GappedBackend::Cpu);
     }
 
     #[test]

@@ -1,0 +1,482 @@
+//! Fine-grained gapped extension + traceback on the device (DESIGN.md
+//! §3.7) — the `--gapped-backend gpu` path.
+//!
+//! Where [`crate::gapped_gpu`] models the *coarse* port the paper rejects
+//! (one lane per gapped seed, per-lane scattered traffic, divergence
+//! bounded only by the slowest seed of a warp), this kernel decomposes the
+//! banded x-drop DP the way the paper decomposes hit detection:
+//!
+//! * **one warp per gapped seed** — the warp sweeps the band in
+//!   anti-diagonal wavefronts, `ceil(band / 32)` warp-wide steps per DP
+//!   row, all 32 lanes in lockstep (zero intra-warp divergence);
+//! * **SaLoBa-style work packing** — seeds are tiled into bounded row
+//!   chunks, sorted by band area, and assigned longest-processing-time
+//!   first across the launch's warp slots, so one giant alignment cannot
+//!   idle the rest of the grid;
+//! * **constant-memory interval traceback** — no per-cell direction
+//!   matrix lives on the device. The forward pass checkpoints the rolling
+//!   D/F rows every `interval` rows into a pooled workspace buffer and
+//!   the backtrack re-fills one interval at a time, keeping at most
+//!   O(band × interval) direction bytes resident
+//!   ([`blast_cpu::itrace`]); the kernel asserts that bound against the
+//!   measured peak.
+//!
+//! Functionally the module computes exactly
+//! [`blast_cpu::gapped::gapped_phase_subject`] followed by
+//! [`blast_cpu::itrace::traceback_interval`] per reportable extension —
+//! both bit-identical to the CPU reference — so swapping the backend can
+//! never change a search's output, only where the cost model charges it.
+
+use crate::config::CuBlastpConfig;
+use crate::devicedata::{DeviceDbBlock, DeviceQuery};
+use crate::gpu_phase::ExtensionsCsr;
+use bio_seq::alphabet::Residue;
+use blast_core::SearchParams;
+use blast_cpu::gapped::{gapped_phase_subject, GappedExt};
+use blast_cpu::itrace::{default_interval, traceback_interval, ItraceReport, ItraceScratch};
+use blast_cpu::report::Alignment;
+use gpu_sim::device::{TRANSACTION_BYTES, WARP_SIZE};
+use gpu_sim::{
+    launch, DeviceConfig, DeviceError, FaultCtx, FaultInjector, FaultSite, KernelStats,
+    KernelWorkspace, LaunchConfig,
+};
+
+/// Stats name of the fine gapped kernel (the pipeline's 6th kernel entry).
+pub const FINE_GAPPED_KERNEL: &str = "gapped_extension_fine";
+
+/// Work-packing tile height in DP rows: extensions taller than this are
+/// split so the LPT packing below can balance them across warp slots
+/// (SaLoBa's inter-sequence tiling of oversized subjects).
+const TILE_ROWS: u64 = 512;
+
+/// Warp instructions per 32-cell wavefront chunk: the affine recurrence
+/// (F, E, M, D plus the x-drop accept test and band bookkeeping).
+const CHUNK_INSTRS: u64 = 6;
+
+/// Warp-wide shared-memory accesses per chunk (rolling D/F row read +
+/// write; the band lives in shared memory, not per-thread local arrays).
+const CHUNK_SHARED: u64 = 2;
+
+/// Serialized size of one downloaded alignment record: the fixed header
+/// (coordinates, score, identity counters, op count) plus one byte per op.
+const ALIGN_HEADER_BYTES: u64 = 44;
+
+/// Output of the fine gapped kernel for one database block.
+#[derive(Debug)]
+pub struct GappedDeviceOutput {
+    /// Per block-local subject: the alignments of its reportable gapped
+    /// extensions (score ≥ report cutoff), in gapped-phase order —
+    /// exactly what [`blast_cpu::SearchEngine::report_from_alignments`]
+    /// expects.
+    pub alignments: Vec<Vec<Alignment>>,
+    /// Per block-local subject: every gapped extension (reportable or
+    /// not), bit-identical to `gapped_phase_subject`.
+    pub gapped: Vec<Vec<GappedExt>>,
+    /// Simulated kernel counters (merges into the pipeline's kernel list
+    /// as its 6th entry).
+    pub stats: KernelStats,
+    /// Bytes of the alignment download (the D2H leg this backend adds).
+    pub download_bytes: u64,
+    /// Interval-traceback work/memory counters, merged across extensions.
+    pub itrace: ItraceReport,
+}
+
+/// One packed work tile: a row slice of one extension's banded DP, with
+/// its share of the traceback re-fill and checkpoint traffic.
+struct Tile {
+    /// Warp-cycles of the wavefront sweep (forward + re-fill chunks).
+    cycles: u64,
+    /// 128-byte global transactions (subject stage-in, checkpoint
+    /// write/read, resident-interval direction bytes).
+    tx: u64,
+    /// Useful bytes behind those transactions.
+    useful_bytes: u64,
+    /// Warp-wide shared-memory accesses of the sweep.
+    shared: u64,
+}
+
+/// Run fine-grained gapped extension + interval traceback for one block.
+///
+/// `trigger` and `report_cutoff` are the engine's gapped-trigger and
+/// report cutoffs; `query_seq` is the raw query (the traceback needs
+/// residues, not just PSSM scores). Scratch (checkpoint words, direction
+/// bytes) comes from `ws` and returns to it before the call ends.
+///
+/// The injector is consulted at the two sites this backend adds:
+/// [`FaultSite::GappedLaunch`] before the kernel and
+/// [`FaultSite::GappedD2h`] on the alignment download.
+#[allow(clippy::too_many_arguments)]
+pub fn gapped_fine_kernel(
+    device: &DeviceConfig,
+    cfg: &CuBlastpConfig,
+    query: &DeviceQuery,
+    query_seq: &[Residue],
+    db: &DeviceDbBlock,
+    extensions: &ExtensionsCsr,
+    params: &SearchParams,
+    trigger: i32,
+    report_cutoff: i32,
+    ws: &KernelWorkspace,
+    injector: &FaultInjector,
+    ctx: FaultCtx,
+) -> Result<GappedDeviceOutput, DeviceError> {
+    injector.check(FaultSite::GappedLaunch, ctx, FINE_GAPPED_KERNEL)?;
+
+    // One checkpoint interval per launch (merged reports must agree, and
+    // a uniform interval gives the workspace one fixed budget to honour).
+    let interval = default_interval(query.query_len());
+    let band = (2 * params.xdrop_gapped + 1).max(1) as u64;
+
+    // ---- Functional pass: the exact CPU semantics, per subject in
+    // block order (the gapped phase is serial per subject — containment
+    // skipping makes its output order-dependent).
+    let num_seqs = extensions.num_seqs();
+    let mut gapped_by_seq: Vec<Vec<GappedExt>> = vec![Vec::new(); num_seqs];
+    let mut aligns_by_seq: Vec<Vec<Alignment>> = vec![Vec::new(); num_seqs];
+    let mut itrace = ItraceReport::default();
+    let mut tiles: Vec<Tile> = Vec::new();
+    let mut download_bytes = 0u64;
+    let mut scratch = ItraceScratch {
+        ckpt: ws.ckpt.take(),
+        dirs: ws.dirs.take(),
+    };
+    for i in 0..num_seqs {
+        let seeds = extensions.seq(i);
+        if !seeds.iter().any(|e| e.score >= trigger) {
+            continue;
+        }
+        let subject = db.seq(i);
+        let gapped = gapped_phase_subject(&query.pssm, subject, seeds, params, trigger);
+        for g in &gapped {
+            let rows = (g.q_end - g.q_start) as u64 + 1;
+            let span_bytes = (g.s_end - g.s_start) as u64 + 1;
+            let (mut refill_cells, mut ckpt_words) = (0u64, 0u64);
+            if g.score >= report_cutoff {
+                let (al, rep) = traceback_interval(
+                    &query.pssm,
+                    query_seq,
+                    subject,
+                    g,
+                    params,
+                    interval,
+                    &mut scratch,
+                );
+                // The constant-memory contract: the resident direction
+                // buffer never exceeds one interval of the widest band.
+                assert!(
+                    rep.peak_dir_bytes <= rep.dir_budget(),
+                    "device traceback broke its memory bound: \
+                     {} resident direction bytes > band {} x interval {}",
+                    rep.peak_dir_bytes,
+                    rep.band_max,
+                    rep.interval,
+                );
+                refill_cells = rep.refill_cells;
+                ckpt_words = rep.checkpoint_words;
+                itrace.absorb(&rep);
+                download_bytes += ALIGN_HEADER_BYTES + al.ops.len() as u64;
+                aligns_by_seq[i].push(al);
+            }
+            push_tiles(
+                &mut tiles,
+                device,
+                rows,
+                band.min(subject.len() as u64 + 1),
+                span_bytes,
+                refill_cells,
+                ckpt_words,
+            );
+        }
+        gapped_by_seq[i] = gapped;
+    }
+    ws.ckpt.put(scratch.ckpt);
+    ws.dirs.put(scratch.dirs);
+
+    // ---- SaLoBa work packing: LPT over every warp slot of the grid.
+    tiles.sort_by_key(|t| std::cmp::Reverse(t.cycles));
+    let blocks = cfg.grid_blocks.max(1);
+    let warps = cfg.warps_per_block.max(1);
+    let slots = (blocks * warps) as usize;
+    let mut slot_tiles: Vec<Vec<usize>> = vec![Vec::new(); slots];
+    let mut slot_load = vec![0u64; slots];
+    for (t, tile) in tiles.iter().enumerate() {
+        let s = slot_load
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &load)| (load, i))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        slot_tiles[s].push(t);
+        slot_load[s] += tile.cycles;
+    }
+
+    // Rolling D/F band rows per resident warp, in shared memory — far
+    // below the coarse port's 24 kB per-block footprint, which is what
+    // buys this kernel its occupancy.
+    let shared_bytes = (warps * 4 * band as u32 * 4).min(device.shared_mem_per_sm);
+    let launch_cfg = LaunchConfig {
+        blocks,
+        warps_per_block: warps,
+        shared_bytes_per_block: shared_bytes,
+        use_readonly_cache: false,
+    };
+
+    let stats = launch(device, launch_cfg, FINE_GAPPED_KERNEL, |block| {
+        let lanes = [0u64; WARP_SIZE as usize];
+        for w in 0..warps {
+            let slot = (block.block_id * warps + w) as usize;
+            for &t in &slot_tiles[slot] {
+                let tile = &tiles[t];
+                // All 32 lanes sweep the wavefront in lockstep: the warp
+                // serializes `cycles`, no lane idles (the fine kernel's
+                // whole point versus the coarse lane-per-seed port).
+                let mut lanes = lanes;
+                lanes.fill(tile.cycles.max(1));
+                block.lockstep(&lanes);
+                block.bulk_traffic(tile.tx, tile.useful_bytes, tile.shared);
+            }
+        }
+    });
+
+    // D2H leg: the finished alignments the CPU reporting tail consumes.
+    injector.check(FaultSite::GappedD2h, ctx, "alignment download")?;
+
+    Ok(GappedDeviceOutput {
+        alignments: aligns_by_seq,
+        gapped: gapped_by_seq,
+        stats,
+        download_bytes,
+        itrace,
+    })
+}
+
+/// Split one extension's DP into `TILE_ROWS`-row tiles and append their
+/// modelled costs. Re-fill cells and checkpoint words are spread evenly
+/// across the extension's tiles (remainder to the first).
+fn push_tiles(
+    tiles: &mut Vec<Tile>,
+    device: &DeviceConfig,
+    rows: u64,
+    band: u64,
+    span_bytes: u64,
+    refill_cells: u64,
+    ckpt_words: u64,
+) {
+    let band = band.max(1);
+    let n = rows.div_ceil(TILE_ROWS).max(1);
+    let chunk_cost = CHUNK_INSTRS * device.instr_cost + CHUNK_SHARED * device.shared_access_cost;
+    for t in 0..n {
+        let tile_rows = if t == n - 1 {
+            rows - t * TILE_ROWS
+        } else {
+            TILE_ROWS
+        };
+        let extra = if t == 0 {
+            (refill_cells % n, ckpt_words % n, span_bytes % n)
+        } else {
+            (0, 0, 0)
+        };
+        let refill = refill_cells / n + extra.0;
+        let ckpt = ckpt_words / n + extra.1;
+        let stage = span_bytes / n + extra.2;
+        // Forward wavefront plus traceback re-fill, both warp-wide.
+        let chunks =
+            tile_rows * band.div_ceil(WARP_SIZE as u64) + refill.div_ceil(WARP_SIZE as u64);
+        // Global traffic: subject stage-in (coalesced, once), checkpoint
+        // rows written then re-read (4 bytes per word), and the resident
+        // interval's direction bytes written and drained once each.
+        let ckpt_bytes = ckpt * 4;
+        let dir_bytes = refill * 2;
+        let useful = stage + 2 * ckpt_bytes + dir_bytes;
+        let tx = stage.div_ceil(TRANSACTION_BYTES)
+            + (2 * ckpt_bytes).div_ceil(TRANSACTION_BYTES)
+            + dir_bytes.div_ceil(TRANSACTION_BYTES);
+        tiles.push(Tile {
+            cycles: chunks * chunk_cost,
+            tx,
+            useful_bytes: useful,
+            shared: chunks * CHUNK_SHARED,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bio_seq::generate::{generate_db, make_query, DbSpec};
+    use blast_core::{Dfa, Matrix, Pssm};
+    use blast_cpu::traceback::traceback;
+
+    fn setup() -> (
+        bio_seq::Sequence,
+        DeviceQuery,
+        DeviceDbBlock,
+        SearchParams,
+        ExtensionsCsr,
+    ) {
+        let q = make_query(96);
+        let spec = DbSpec {
+            name: "gd",
+            num_sequences: 60,
+            mean_length: 140,
+            homolog_fraction: 0.3,
+            seed: 43,
+        };
+        let synth = generate_db(&spec, &q);
+        let m = Matrix::blosum62();
+        let p = SearchParams::default();
+        let dq = DeviceQuery::upload(Dfa::build(&q, &m, p.threshold), Pssm::build(&q, &m));
+        let db = DeviceDbBlock::upload(synth.db.sequences(), 0);
+        let cfg = CuBlastpConfig {
+            grid_blocks: 2,
+            warps_per_block: 2,
+            ..CuBlastpConfig::default()
+        };
+        let out = crate::gpu_phase::run_gpu_phase(
+            &DeviceConfig::k20c(),
+            &cfg,
+            &dq,
+            &db,
+            &p,
+            &gpu_sim::KernelWorkspace::new(),
+            &gpu_sim::FaultInjector::none(),
+            gpu_sim::FaultCtx::default(),
+        )
+        .expect("no faults armed");
+        (q, dq, db, p, out.extensions)
+    }
+
+    #[test]
+    fn fine_kernel_matches_cpu_gapped_and_traceback() {
+        let (q, dq, db, p, exts) = setup();
+        let cfg = CuBlastpConfig {
+            grid_blocks: 3,
+            warps_per_block: 2,
+            ..CuBlastpConfig::default()
+        };
+        let ws = KernelWorkspace::new();
+        let out = gapped_fine_kernel(
+            &DeviceConfig::k20c(),
+            &cfg,
+            &dq,
+            q.residues(),
+            &db,
+            &exts,
+            &p,
+            p.gapped_trigger,
+            0,
+            &ws,
+            &FaultInjector::none(),
+            FaultCtx::default(),
+        )
+        .expect("no faults armed");
+        let mut any = false;
+        for i in 0..exts.num_seqs() {
+            let cpu = gapped_phase_subject(&dq.pssm, db.seq(i), exts.seq(i), &p, p.gapped_trigger);
+            assert_eq!(out.gapped[i], cpu, "subject {i} gapped extensions");
+            let cpu_aligns: Vec<Alignment> = cpu
+                .iter()
+                .filter(|g| g.score >= 0)
+                .map(|g| traceback(&dq.pssm, q.residues(), db.seq(i), g, &p))
+                .collect();
+            assert_eq!(out.alignments[i], cpu_aligns, "subject {i} alignments");
+            any |= !cpu.is_empty();
+        }
+        assert!(any, "workload produced no gapped extensions");
+        assert!(out.stats.warp_cycles > 0);
+        assert!(out.download_bytes > 0);
+        // Warp-cooperative sweep: zero intra-warp divergence by design.
+        assert_eq!(out.stats.divergence_overhead(), 0.0);
+        // The memory bound the backend exists for.
+        assert!(out.itrace.peak_dir_bytes <= out.itrace.dir_budget());
+        assert!(out.itrace.refill_passes > 0);
+    }
+
+    #[test]
+    fn fine_kernel_beats_coarse_on_modelled_time() {
+        let (q, dq, db, p, exts) = setup();
+        let cfg = CuBlastpConfig {
+            grid_blocks: 3,
+            warps_per_block: 2,
+            ..CuBlastpConfig::default()
+        };
+        let dev = DeviceConfig::k20c();
+        let fine = gapped_fine_kernel(
+            &dev,
+            &cfg,
+            &dq,
+            q.residues(),
+            &db,
+            &exts,
+            &p,
+            p.gapped_trigger,
+            0,
+            &KernelWorkspace::new(),
+            &FaultInjector::none(),
+            FaultCtx::default(),
+        )
+        .expect("no faults armed");
+        let (_, coarse) =
+            crate::gapped_gpu::gapped_kernel(&dev, &cfg, &dq, &db, &exts, &p, p.gapped_trigger);
+        assert!(
+            fine.stats.time_ms(&dev) < coarse.time_ms(&dev),
+            "fine {} ms must beat coarse {} ms",
+            fine.stats.time_ms(&dev),
+            coarse.time_ms(&dev)
+        );
+    }
+
+    #[test]
+    fn gapped_fault_sites_surface_and_clear() {
+        use gpu_sim::{FaultPlan, FaultSpec};
+        let (q, dq, db, p, exts) = setup();
+        let cfg = CuBlastpConfig::default();
+        for site in FaultSite::GAPPED {
+            let inj = FaultInjector::new(FaultPlan::none().with(FaultSpec::once(site)));
+            let ws = KernelWorkspace::new();
+            let run = |inj: &FaultInjector, ws: &KernelWorkspace| {
+                gapped_fine_kernel(
+                    &DeviceConfig::k20c(),
+                    &cfg,
+                    &dq,
+                    q.residues(),
+                    &db,
+                    &exts,
+                    &p,
+                    p.gapped_trigger,
+                    0,
+                    ws,
+                    inj,
+                    FaultCtx::block(0),
+                )
+            };
+            run(&inj, &ws).expect_err("armed fault must surface");
+            assert_eq!(inj.injected(), 1, "site {}", site.name());
+            run(&inj, &ws).unwrap_or_else(|e| panic!("site {} must clear, got {e}", site.name()));
+        }
+    }
+
+    #[test]
+    fn empty_extension_input_is_free() {
+        let (q, dq, db, p, _) = setup();
+        let empty = ExtensionsCsr::from_stream(Vec::new(), db.num_seqs());
+        let out = gapped_fine_kernel(
+            &DeviceConfig::k20c(),
+            &CuBlastpConfig::default(),
+            &dq,
+            q.residues(),
+            &db,
+            &empty,
+            &p,
+            p.gapped_trigger,
+            0,
+            &KernelWorkspace::new(),
+            &FaultInjector::none(),
+            FaultCtx::default(),
+        )
+        .expect("no faults armed");
+        assert_eq!(out.stats.warp_cycles, 0);
+        assert_eq!(out.download_bytes, 0);
+        assert!(out.alignments.iter().all(|a| a.is_empty()));
+    }
+}

@@ -138,6 +138,7 @@ fn kernel_label(name: &str) -> &'static str {
         "ungapped_extension_diagonal" => "ungapped_extension_diagonal",
         "ungapped_extension_hit" => "ungapped_extension_hit",
         "ungapped_extension_window" => "ungapped_extension_window",
+        "gapped_extension_fine" => "gapped_extension_fine",
         _ => "kernel",
     }
 }

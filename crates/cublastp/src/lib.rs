@@ -51,6 +51,7 @@ pub mod config;
 pub mod devicedata;
 pub mod error;
 pub mod extension;
+pub mod gapped_device;
 pub mod gapped_gpu;
 pub mod gpu_phase;
 pub mod grouped;
@@ -61,7 +62,9 @@ pub mod reorder;
 pub mod search;
 
 pub use cluster::{search_cluster, ClusterConfig, ClusterResult};
-pub use config::{CuBlastpConfig, ExtensionStrategy, PipelineConfig, RecoveryPolicy, ScoringMode};
+pub use config::{
+    CuBlastpConfig, ExtensionStrategy, GappedBackend, PipelineConfig, RecoveryPolicy, ScoringMode,
+};
 pub use devicedata::{flatten_count, DeviceDb, DeviceDbCache};
 pub use error::{PipelineError, SearchError};
 pub use gpu_phase::{ExtensionsCsr, GpuPhaseCounts, GpuPhaseOutput};

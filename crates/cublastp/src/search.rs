@@ -9,9 +9,10 @@
 //! integration tests enforce.
 
 use crate::binning::BinnedHits;
-use crate::config::{CuBlastpConfig, ExtensionStrategy};
+use crate::config::{CuBlastpConfig, ExtensionStrategy, GappedBackend};
 use crate::devicedata::{DeviceDb, DeviceDbBlock, DeviceQuery};
 use crate::error::{panic_message, PipelineError, SearchError};
+use crate::gapped_device::{gapped_fine_kernel, GappedDeviceOutput, FINE_GAPPED_KERNEL};
 use crate::gpu_phase::{
     check_phase_preamble, run_gpu_phase, run_gpu_tail, ExtensionsCsr, GpuPhaseCounts,
     GpuPhaseOutput,
@@ -21,7 +22,7 @@ use crate::grouping::plan_rounds;
 use crate::pipeline::{overlap_blocks_depth, schedule, BlockTiming, PipelineSchedule};
 use bio_seq::{DbBlock, Sequence, SequenceDb};
 use blast_core::SearchParams;
-use blast_cpu::report::{PhaseTimes, SearchReport};
+use blast_cpu::report::{Alignment, PhaseTimes, SearchReport};
 use blast_cpu::search::SearchEngine;
 use gpu_sim::{DeviceConfig, FaultCtx, FaultInjector, KernelStats, KernelWorkspace};
 use rayon::prelude::*;
@@ -77,6 +78,10 @@ pub struct RecoveryReport {
     pub retries: u64,
     /// Blocks re-run on the CPU degradation path.
     pub degraded_blocks: u64,
+    /// Blocks whose *gapped* device phase fell back to the CPU tail
+    /// (`--gapped-backend gpu` only; the hit-path kernels still ran).
+    #[serde(default)]
+    pub degraded_gapped: u64,
 }
 
 impl RecoveryReport {
@@ -89,6 +94,7 @@ impl RecoveryReport {
         self.faults += other.faults;
         self.retries += other.retries;
         self.degraded_blocks += other.degraded_blocks;
+        self.degraded_gapped += other.degraded_gapped;
     }
 }
 
@@ -257,6 +263,136 @@ impl CuBlastp {
         }
     }
 
+    /// Run the fine-grained device gapped kernel over one block's
+    /// extension CSR under the recovery policy (`--gapped-backend gpu`,
+    /// DESIGN.md §3.7): transient faults retry with workspace reset and
+    /// linear backoff; permanent or retry-exhausted faults degrade *only
+    /// this block's gapped phase* back to the CPU tail when the policy
+    /// allows (`Ok(None)` — the hit-path kernels' output is already
+    /// downloaded and stays valid), and fail the search otherwise.
+    fn run_gapped_device_recovered(
+        &self,
+        dev_block: &DeviceDbBlock,
+        extensions: &ExtensionsCsr,
+        block_idx: u32,
+    ) -> Result<(Option<GappedDeviceOutput>, RecoveryReport), SearchError> {
+        let ctx = FaultCtx {
+            query: self.stream_index,
+            block: block_idx,
+        };
+        let policy = self.config.recovery;
+        let mut recovery = RecoveryReport::default();
+        let mut attempts = 0u32;
+        let final_err = loop {
+            attempts += 1;
+            let _retry_span = if attempts > 1 {
+                obs::span("gapped_retry", "recovery")
+                    .with_block(block_idx)
+                    .with_query(self.stream_index)
+                    .with_arg("attempt", attempts as f64)
+            } else {
+                obs::PhaseSpan::inert()
+            };
+            let run = {
+                let _span = obs::span("gapped_device", "gpu")
+                    .with_block(block_idx)
+                    .with_query(self.stream_index);
+                gapped_fine_kernel(
+                    &self.device,
+                    &self.config,
+                    &self.query_device,
+                    self.engine.query.residues(),
+                    dev_block,
+                    extensions,
+                    &self.engine.params,
+                    self.engine.cutoffs.gapped_trigger,
+                    self.engine.cutoffs.report_cutoff,
+                    &self.workspace,
+                    &self.injector,
+                    ctx,
+                )
+            };
+            match run {
+                Ok(out) => {
+                    if obs::state() != 0 {
+                        let sim_ms = out.stats.time_ms(&self.device);
+                        obs::modelled(
+                            "gpu (modelled)",
+                            "gapped_extension_fine",
+                            sim_ms,
+                            Some(block_idx),
+                            None,
+                        );
+                        obs::observe("kernel_sim_ms", &[("kernel", FINE_GAPPED_KERNEL)], sim_ms);
+                    }
+                    return Ok((Some(out), recovery));
+                }
+                Err(e) => {
+                    recovery.faults += 1;
+                    obs::counter("recovery_faults_total", &[], 1);
+                    if e.is_transient() && attempts < policy.max_attempts {
+                        recovery.retries += 1;
+                        obs::counter("recovery_retries_total", &[], 1);
+                        self.workspace.reset();
+                        if policy.backoff_ms > 0.0 {
+                            std::thread::sleep(Duration::from_secs_f64(
+                                policy.backoff_ms * attempts as f64 / 1e3,
+                            ));
+                        }
+                        continue;
+                    }
+                    break e;
+                }
+            }
+        };
+        if policy.cpu_fallback {
+            recovery.degraded_gapped += 1;
+            obs::counter("recovery_degraded_gapped_total", &[], 1);
+            Ok((None, recovery))
+        } else {
+            Err(SearchError::Device {
+                source: final_err,
+                block: block_idx,
+                attempts,
+            })
+        }
+    }
+
+    /// Run the gapped backend for one block whose hit phase is done:
+    /// under [`GappedBackend::Gpu`] the fine kernel produces the block's
+    /// alignments on the device (its stats join `out.kernels` as the 6th
+    /// entry — zeroed when the gapped phase degraded — and its alignment
+    /// download joins `out.download_bytes`); under [`GappedBackend::Cpu`]
+    /// this is a no-op and the CPU tail owns the gapped phase.
+    fn attach_gapped_backend(
+        &self,
+        dev_block: &DeviceDbBlock,
+        out: &mut GpuPhaseOutput,
+        recovery: &mut RecoveryReport,
+        block_idx: u32,
+    ) -> Result<Option<Vec<Vec<Alignment>>>, SearchError> {
+        if self.config.gapped_backend != GappedBackend::Gpu {
+            return Ok(None);
+        }
+        let (dev_out, gr) =
+            self.run_gapped_device_recovered(dev_block, &out.extensions, block_idx)?;
+        recovery.absorb(&gr);
+        match dev_out {
+            Some(g) => {
+                out.download_bytes += g.download_bytes;
+                out.kernels.push(g.stats);
+                Ok(Some(g.alignments))
+            }
+            None => {
+                // A zeroed 6th entry keeps the positional per-kernel merge
+                // aligned across blocks; `None` routes this block's tail to
+                // the CPU gapped phase (bit-identical by construction).
+                out.kernels.push(KernelStats::new(FINE_GAPPED_KERNEL));
+                Ok(None)
+            }
+        }
+    }
+
     /// Degradation path: reproduce the GPU phase for one block on the CPU
     /// reference scan (`blast_cpu::hit`). The extension records — and so
     /// every downstream alignment — are bit-identical to what the kernels
@@ -382,6 +518,36 @@ impl CuBlastp {
         (report, times, cpu_wall_ms)
     }
 
+    /// CPU reporting tail for one block whose gapped extension *and*
+    /// traceback already ran on the device (`--gapped-backend gpu`):
+    /// statistics and e-value filtering over the downloaded alignments
+    /// only. Returns the block report and the measured host wall-clock of
+    /// the reporting pass (the CPU lane all but vanishes — the gapped
+    /// work now shows up in the block's kernel time instead).
+    fn cpu_report_block(
+        &self,
+        db: &SequenceDb,
+        base: usize,
+        alignments: &[Vec<Alignment>],
+    ) -> (SearchReport, f64) {
+        let t0 = Instant::now();
+        let cpu_span = obs::span("cpu_report", "cpu").with_query(self.stream_index);
+        let mut report = SearchReport::default();
+        for (local, aligns) in alignments.iter().enumerate() {
+            if aligns.is_empty() {
+                continue;
+            }
+            let idx = base + local;
+            self.engine
+                .report_from_alignments(idx, &db.sequences()[idx], aligns, &mut report);
+        }
+        if obs::state() != 0 {
+            obs::counter("alignments_total", &[], report.hits.len() as u64);
+        }
+        drop(cpu_span);
+        (report, t0.elapsed().as_secs_f64() * 1e3)
+    }
+
     /// Finish a search whose hit detection already happened: one demuxed
     /// [`BinnedHits`] arena per database block (this query's slice of a
     /// grouped seeding pass) runs through kernels 2–5 and the CPU tail.
@@ -435,7 +601,7 @@ impl CuBlastp {
                     )
                 })
             };
-            let out = match tail {
+            let mut out = match tail {
                 Ok(out) => out,
                 Err(e) => {
                     recovery_total.faults += 1;
@@ -456,6 +622,8 @@ impl CuBlastp {
                     }
                 }
             };
+            let aligns =
+                self.attach_gapped_backend(dev_block, &mut out, &mut recovery_total, ctx.block)?;
             let d2h = device.transfer_ms(out.download_bytes);
             obs::modelled(
                 "pcie d2h (modelled)",
@@ -465,8 +633,13 @@ impl CuBlastp {
                 Some(self.stream_index),
             );
             obs::counter("pcie_bytes_total", &[("dir", "d2h")], out.download_bytes);
-            let (partial, times, cpu_wall_ms) =
-                self.cpu_finish_block(db, block.start, &out.extensions);
+            let (partial, times, cpu_wall_ms) = match aligns {
+                Some(a) => {
+                    let (partial, wall_ms) = self.cpu_report_block(db, block.start, &a);
+                    (partial, PhaseTimes::default(), wall_ms)
+                }
+                None => self.cpu_finish_block(db, block.start, &out.extensions),
+            };
             report.hits.extend(partial.hits);
             counts.hits += out.counts.hits;
             counts.filtered += out.counts.filtered;
@@ -528,6 +701,12 @@ impl CuBlastp {
         // extension, traceback) dispatch to for this search.
         let dispatch = blast_cpu::simd::dispatch_report();
         obs::gauge("cpu_simd_dispatch", &[("isa", dispatch.active.name())], 1.0);
+        // ... and which backend owns the gapped phase (§3.7).
+        obs::gauge(
+            "gapped_backend",
+            &[("backend", self.config.gapped_backend.name())],
+            1.0,
+        );
         if dev_db.block_size() != self.config.db_block_size {
             return Err(SearchError::config(format!(
                 "resident database was partitioned at block size {}, config wants {}",
@@ -537,9 +716,21 @@ impl CuBlastp {
         }
         let device = self.device;
 
-        // GPU side of one block: five kernels over the resident block,
-        // under the recovery policy.
-        type GpuSideOut = Result<(usize, GpuPhaseOutput, RecoveryReport, f64, f64), SearchError>;
+        // GPU side of one block: five kernels over the resident block
+        // (six under the device gapped backend), under the recovery
+        // policy. `Some(alignments)` routes the block's CPU tail to the
+        // reporting-only path.
+        type GpuSideOut = Result<
+            (
+                usize,
+                GpuPhaseOutput,
+                Option<Vec<Vec<Alignment>>>,
+                RecoveryReport,
+                f64,
+                f64,
+            ),
+            SearchError,
+        >;
         let gpu_side =
             |(idx, (block, dev_block)): (usize, (DbBlock, Arc<DeviceDbBlock>))| -> GpuSideOut {
                 let h2d = if charge_h2d {
@@ -560,7 +751,9 @@ impl CuBlastp {
                 } else {
                     0.0
                 };
-                let (out, recovery) = self.run_block_recovered(&dev_block, idx as u32)?;
+                let (mut out, mut recovery) = self.run_block_recovered(&dev_block, idx as u32)?;
+                let aligns =
+                    self.attach_gapped_backend(&dev_block, &mut out, &mut recovery, idx as u32)?;
                 let d2h = device.transfer_ms(out.download_bytes);
                 obs::modelled(
                     "pcie d2h (modelled)",
@@ -570,7 +763,7 @@ impl CuBlastp {
                     Some(self.stream_index),
                 );
                 obs::counter("pcie_bytes_total", &[("dir", "d2h")], out.download_bytes);
-                Ok((block.start, out, recovery, h2d, d2h))
+                Ok((block.start, out, aligns, recovery, h2d, d2h))
             };
 
         // CPU side of one block: gapped extension + traceback on the
@@ -591,9 +784,28 @@ impl CuBlastp {
             SearchError,
         >;
         let cpu_side = |gpu_out: GpuSideOut| -> CpuSideOut {
-            let (base, out, recovery, h2d, d2h) = gpu_out?;
-            let (report, times, cpu_wall_ms) = self.cpu_finish_block(db, base, &out.extensions);
-            Ok((report, times, out, recovery, h2d, d2h, cpu_wall_ms))
+            let (base, out, aligns, recovery, h2d, d2h) = gpu_out?;
+            match aligns {
+                // Device gapped backend: the alignments came down the PCIe
+                // link already — the CPU lane only does statistics.
+                Some(a) => {
+                    let (report, wall_ms) = self.cpu_report_block(db, base, &a);
+                    Ok((
+                        report,
+                        PhaseTimes::default(),
+                        out,
+                        recovery,
+                        h2d,
+                        d2h,
+                        wall_ms,
+                    ))
+                }
+                None => {
+                    let (report, times, cpu_wall_ms) =
+                        self.cpu_finish_block(db, base, &out.extensions);
+                    Ok((report, times, out, recovery, h2d, d2h, cpu_wall_ms))
+                }
+            }
         };
 
         // Run the pipeline: actually overlapped (two host threads) when
@@ -1482,6 +1694,106 @@ mod tests {
     }
 
     #[test]
+    fn gpu_gapped_backend_is_bit_identical_to_cpu_backend() {
+        let (q, db) = workload();
+        let params = SearchParams::default();
+        let cpu_cfg = CuBlastpConfig {
+            db_block_size: 40,
+            grid_blocks: 3,
+            warps_per_block: 2,
+            cpu_threads: 2,
+            ..Default::default()
+        };
+        let cpu = CuBlastp::new(q.clone(), params, cpu_cfg, DeviceConfig::k20c(), &db)
+            .search(&db)
+            .expect("fault-free search");
+        for overlap in [false, true] {
+            let cfg = CuBlastpConfig {
+                gapped_backend: GappedBackend::Gpu,
+                overlap,
+                ..cpu_cfg
+            };
+            let gpu = CuBlastp::new(q.clone(), params, cfg, DeviceConfig::k20c(), &db)
+                .search(&db)
+                .expect("fault-free search");
+            assert_eq!(
+                gpu.report.identity_key(),
+                cpu.report.identity_key(),
+                "overlap = {overlap}"
+            );
+            assert!(gpu.recovery.is_clean());
+            // The gapped kernel joins the pipeline as its 6th entry and
+            // does real modelled work; the measured CPU gapped lane is
+            // gone (its time now lives in gpu_ms).
+            assert_eq!(gpu.kernels.len(), 6, "overlap = {overlap}");
+            let fine = gpu.kernel("gapped_extension_fine").expect("6th kernel");
+            assert!(fine.warp_cycles > 0);
+            assert_eq!(gpu.timing.gapped_ms, 0.0);
+            assert!(gpu.timing.gpu_ms > cpu.timing.gpu_ms);
+            assert!(gpu.timing.d2h_ms > cpu.timing.d2h_ms, "alignment download");
+        }
+    }
+
+    #[test]
+    fn gpu_gapped_transient_fault_retries_to_identical_output() {
+        use gpu_sim::{FaultPlan, FaultSpec};
+        let (q, db) = workload();
+        let params = SearchParams::default();
+        let cfg = CuBlastpConfig {
+            db_block_size: 40,
+            grid_blocks: 3,
+            warps_per_block: 2,
+            gapped_backend: GappedBackend::Gpu,
+            ..Default::default()
+        };
+        let clean = CuBlastp::new(q.clone(), params, cfg, DeviceConfig::k20c(), &db)
+            .search(&db)
+            .expect("fault-free search");
+        for site in gpu_sim::FaultSite::GAPPED {
+            let mut faulty = CuBlastp::new(q.clone(), params, cfg, DeviceConfig::k20c(), &db);
+            faulty.injector = Arc::new(FaultInjector::new(
+                FaultPlan::none().with(FaultSpec::once(site).on_block(1)),
+            ));
+            let r = faulty.search(&db).expect("transient fault must recover");
+            assert_eq!(r.recovery.faults, 1, "site {}", site.name());
+            assert_eq!(r.recovery.retries, 1, "site {}", site.name());
+            assert_eq!(r.recovery.degraded_gapped, 0, "site {}", site.name());
+            assert_eq!(r.report.identity_key(), clean.report.identity_key());
+        }
+    }
+
+    #[test]
+    fn gpu_gapped_permanent_fault_degrades_gapped_phase_only() {
+        use gpu_sim::{FaultPlan, FaultSite, FaultSpec};
+        let (q, db) = workload();
+        let params = SearchParams::default();
+        let cfg = CuBlastpConfig {
+            db_block_size: 40,
+            grid_blocks: 3,
+            warps_per_block: 2,
+            gapped_backend: GappedBackend::Gpu,
+            ..Default::default()
+        };
+        let clean = CuBlastp::new(q.clone(), params, cfg, DeviceConfig::k20c(), &db)
+            .search(&db)
+            .expect("fault-free search");
+        let mut faulty = CuBlastp::new(q, params, cfg, DeviceConfig::k20c(), &db);
+        faulty.injector = Arc::new(FaultInjector::new(
+            FaultPlan::none().with(FaultSpec::permanent(FaultSite::GappedLaunch).on_block(0)),
+        ));
+        let r = faulty.search(&db).expect("gapped fault must degrade");
+        assert_eq!(r.recovery.degraded_gapped, 1);
+        assert_eq!(
+            r.recovery.degraded_blocks, 0,
+            "hit-path kernels stay on the device"
+        );
+        assert_eq!(r.report.identity_key(), clean.report.identity_key());
+        // The degraded block contributes a zeroed 6th entry, so the
+        // positional merge stays aligned.
+        assert_eq!(r.kernels.len(), 6);
+    }
+
+    #[test]
     fn fallback_disabled_surfaces_the_device_error() {
         use crate::config::RecoveryPolicy;
         use gpu_sim::{FaultPlan, FaultSite, FaultSpec};
@@ -1582,6 +1894,62 @@ mod tests {
             }
         }
         assert!(per_query.grouped.is_none());
+    }
+
+    #[test]
+    fn grouped_batch_with_gpu_gapped_backend_is_identical() {
+        // The prebinned member tail must honour the backend too: grouped
+        // seeding + device gapped phase vs the plain per-query CPU tail.
+        let (q, db) = workload();
+        let queries = vec![q, make_query(80), make_query(110)];
+        let cpu_cfg = CuBlastpConfig {
+            db_block_size: 60,
+            grid_blocks: 2,
+            warps_per_block: 2,
+            ..Default::default()
+        };
+        let reference = search_batch(
+            &queries,
+            SearchParams::default(),
+            cpu_cfg,
+            DeviceConfig::k20c(),
+            &db,
+        );
+        let cfg = CuBlastpConfig {
+            gapped_backend: GappedBackend::Gpu,
+            ..cpu_cfg
+        };
+        let grouped = search_batch_with(
+            &queries,
+            SearchParams::default(),
+            cfg,
+            DeviceConfig::k20c(),
+            &db,
+            BatchOptions {
+                seed_mode: SeedMode::Grouped,
+                ..Default::default()
+            },
+        );
+        assert_eq!(grouped.succeeded(), queries.len());
+        for (i, (g, p)) in grouped
+            .per_query
+            .iter()
+            .zip(&reference.per_query)
+            .enumerate()
+        {
+            let (g, p) = (g.as_ref().expect("grouped"), p.as_ref().expect("per-query"));
+            assert_eq!(
+                g.report.identity_key(),
+                p.report.identity_key(),
+                "query {i}"
+            );
+            assert_eq!(g.kernels.len(), 6, "query {i}");
+            let fine = g.kernel("gapped_extension_fine").expect("6th kernel");
+            if i == 0 {
+                // The homolog-bearing workload query has real gapped work.
+                assert!(fine.warp_cycles > 0);
+            }
+        }
     }
 
     #[test]

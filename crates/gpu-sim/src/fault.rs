@@ -42,12 +42,17 @@ pub enum FaultSite {
     /// A panic on the host side of the pipeline (exercises the batch
     /// scheduler's panic isolation, not the device-error path).
     HostPanic,
+    /// Launch of the device gapped-extension kernel (the `--gapped-backend
+    /// gpu` path; degradation re-scans the block's gapped phase on CPU).
+    GappedLaunch,
+    /// Device→host download of recovered alignments (gapped backend).
+    GappedD2h,
 }
 
 impl FaultSite {
     /// Every injectable site, in a stable order (the fault-matrix tests
     /// iterate this).
-    pub const ALL: [FaultSite; 8] = [
+    pub const ALL: [FaultSite; 10] = [
         FaultSite::DeviceAlloc,
         FaultSite::KernelLaunch,
         FaultSite::H2d,
@@ -56,9 +61,13 @@ impl FaultSite {
         FaultSite::D2hTimeout,
         FaultSite::Workspace,
         FaultSite::HostPanic,
+        FaultSite::GappedLaunch,
+        FaultSite::GappedD2h,
     ];
 
-    /// The device-error sites (everything except [`FaultSite::HostPanic`]).
+    /// The device-error sites checked inside every block's GPU phase
+    /// (everything except [`FaultSite::HostPanic`] and the gapped-backend
+    /// sites, which only fire when `--gapped-backend gpu` is active).
     pub const DEVICE: [FaultSite; 7] = [
         FaultSite::DeviceAlloc,
         FaultSite::KernelLaunch,
@@ -68,6 +77,9 @@ impl FaultSite {
         FaultSite::D2hTimeout,
         FaultSite::Workspace,
     ];
+
+    /// The gapped-backend sites, checked inside the device gapped phase.
+    pub const GAPPED: [FaultSite; 2] = [FaultSite::GappedLaunch, FaultSite::GappedD2h];
 
     /// Stable textual name (used by `--fault-plan` and summaries).
     pub fn name(self) -> &'static str {
@@ -80,6 +92,8 @@ impl FaultSite {
             FaultSite::D2hTimeout => "d2h-timeout",
             FaultSite::Workspace => "workspace",
             FaultSite::HostPanic => "panic",
+            FaultSite::GappedLaunch => "gapped-launch",
+            FaultSite::GappedD2h => "gapped-d2h",
         }
     }
 
@@ -116,6 +130,12 @@ impl FaultSite {
             FaultSite::HostPanic => {
                 unreachable!("HostPanic panics instead of returning an error")
             }
+            FaultSite::GappedLaunch => DeviceError::LaunchFailed {
+                kernel: detail.to_string(),
+            },
+            FaultSite::GappedD2h => DeviceError::TransferFailed {
+                dir: TransferDir::DeviceToHost,
+            },
         }
     }
 }

@@ -237,8 +237,10 @@ mod tests {
         ];
         let mut flat: Vec<u64> = segs.iter().flatten().copied().collect();
         let mut offsets = vec![0u32];
+        let mut total = 0u32;
         for s in &segs {
-            offsets.push(offsets.last().unwrap() + s.len() as u32);
+            total += s.len() as u32;
+            offsets.push(total);
         }
         let mut scratch = Vec::new();
         let flat_stats = segmented_sort_flat(&d, &mut flat, &offsets, "s", &mut scratch);

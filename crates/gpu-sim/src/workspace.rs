@@ -115,6 +115,13 @@ pub struct KernelWorkspace {
     pub offsets: BufferPool<u32>,
     /// Per-lane `(query_pos, subject_col)` staging in the binning kernel.
     pub lane_hits: BufferPool<(u32, u32)>,
+    /// Interval-traceback checkpoint rows (device gapped backend): the
+    /// bounded D/F snapshots the multi-pass re-fill restores from.
+    pub ckpt: BufferPool<i32>,
+    /// Resident-interval direction bytes (device gapped backend): at most
+    /// one interval's band is live at a time — the O(band x interval)
+    /// budget DESIGN.md §3.7 asserts.
+    pub dirs: BufferPool<u8>,
 }
 
 impl Default for KernelWorkspace {
@@ -124,6 +131,8 @@ impl Default for KernelWorkspace {
             addrs: BufferPool::named("addrs"),
             offsets: BufferPool::named("offsets"),
             lane_hits: BufferPool::named("lane_hits"),
+            ckpt: BufferPool::named("ckpt"),
+            dirs: BufferPool::named("dirs"),
         }
     }
 }
@@ -136,14 +145,24 @@ impl KernelWorkspace {
 
     /// Total checkouts across all pools.
     pub fn checkouts(&self) -> u64 {
-        self.keys.takes() + self.addrs.takes() + self.offsets.takes() + self.lane_hits.takes()
+        self.keys.takes()
+            + self.addrs.takes()
+            + self.offsets.takes()
+            + self.lane_hits.takes()
+            + self.ckpt.takes()
+            + self.dirs.takes()
     }
 
     /// Total cold-miss allocations across all pools. Once the pools are
     /// warm this is constant across searches — the quantity the
     /// workspace-reuse test asserts on.
     pub fn allocations(&self) -> u64 {
-        self.keys.allocs() + self.addrs.allocs() + self.offsets.allocs() + self.lane_hits.allocs()
+        self.keys.allocs()
+            + self.addrs.allocs()
+            + self.offsets.allocs()
+            + self.lane_hits.allocs()
+            + self.ckpt.allocs()
+            + self.dirs.allocs()
     }
 
     /// Reset every pool to a cold free list (see [`BufferPool::reset`]).
@@ -154,6 +173,8 @@ impl KernelWorkspace {
         self.addrs.reset();
         self.offsets.reset();
         self.lane_hits.reset();
+        self.ckpt.reset();
+        self.dirs.reset();
     }
 }
 

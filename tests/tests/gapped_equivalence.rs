@@ -1,0 +1,194 @@
+//! Device gapped backend ↔ CPU tail equivalence — the bit-identity
+//! contract of `--gapped-backend gpu` (DESIGN.md §3.7).
+//!
+//! Two layers:
+//!
+//! * **Kernel primitive** — the constant-memory interval traceback
+//!   ([`blast_cpu::itrace::traceback_interval`]) must recover *exactly*
+//!   the alignment of the full-matrix reference
+//!   ([`blast_cpu::traceback::traceback`]) across random PSSMs, extreme
+//!   x-drop and gap parameters, subject lengths to 3000, and checkpoint
+//!   intervals from 1 to the cap — while never holding more than
+//!   O(band × interval) direction bytes resident (the memory-bound
+//!   regression the backend exists for).
+//! * **Whole pipeline** — a full search with the fine device kernel must
+//!   produce the same ranked report as the CPU tail, fault-free and under
+//!   armed gapped-phase fault plans (retry and degradation paths).
+
+use bio_seq::alphabet::{Residue, STANDARD_AA};
+use bio_seq::generate::{generate_db, make_query, DbSpec};
+use bio_seq::Sequence;
+use blast_core::{Matrix, Pssm, SearchParams};
+use blast_cpu::gapped::extend_gapped;
+use blast_cpu::itrace::{default_interval, traceback_interval, ItraceScratch};
+use blast_cpu::traceback::traceback;
+use blast_cpu::ungapped::UngappedExt;
+use cublastp::{CuBlastp, CuBlastpConfig, GappedBackend};
+use gpu_sim::{DeviceConfig, FaultInjector, FaultPlan, FaultSite, FaultSpec};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Strategy: a protein sequence of standard residues.
+fn residues(min: usize, max: usize) -> impl Strategy<Value = Vec<Residue>> {
+    prop::collection::vec(0u8..STANDARD_AA as u8, min..=max)
+}
+
+/// Gap/x-drop parameters from raw draws, including the extremes (see
+/// `simd_equivalence.rs`, which this mirrors): a zero x-drop collapses
+/// the band to the greedy ridge, a huge one never prunes.
+fn gap_params(gap_open: i32, gap_extend: i32, xdrop_sel: u8, xdrop_raw: i32) -> SearchParams {
+    let xdrop_gapped = match xdrop_sel {
+        0 => 0,
+        1 => 1,
+        2 => 10_000,
+        3 => 1_000_000,
+        _ => xdrop_raw,
+    };
+    SearchParams {
+        gap_open,
+        gap_extend,
+        xdrop_gapped,
+        ..SearchParams::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Interval traceback recovers the reference alignment bit-for-bit at
+    /// every checkpoint interval, and its resident direction buffer stays
+    /// within the declared O(band × interval) budget.
+    #[test]
+    fn interval_traceback_matches_full_matrix_reference(
+        q in residues(1, 400),
+        s in residues(1, 3000),
+        qm_frac in 0.0f64..1.0,
+        sm_frac in 0.0f64..1.0,
+        gap_open in 1i32..32,
+        gap_extend in 1i32..16,
+        xdrop_sel in 0u8..8,
+        xdrop_raw in 2i32..200,
+        interval_sel in 0u8..4,
+    ) {
+        let params = gap_params(gap_open, gap_extend, xdrop_sel, xdrop_raw);
+        let query = Sequence::from_residues("q", q.clone());
+        let pssm = Pssm::build(&query, &Matrix::blosum62());
+        let qm = ((query.len() - 1) as f64 * qm_frac) as u32;
+        let sm = ((s.len() - 1) as f64 * sm_frac) as u32;
+        let seed = UngappedExt { seq_id: 0, q_start: qm, s_start: sm, len: 1, score: 0 };
+        let g = extend_gapped(&pssm, &s, &seed, &params);
+        let reference = traceback(&pssm, &q, &s, &g, &params);
+        let rows = (g.q_end - g.q_start) as usize + 1;
+        let interval = match interval_sel {
+            0 => 1,
+            1 => 2,
+            2 => 256,
+            _ => default_interval(rows),
+        };
+        let mut scratch = ItraceScratch::default();
+        let (got, rep) = traceback_interval(&pssm, &q, &s, &g, &params, interval, &mut scratch);
+        prop_assert_eq!(
+            &got, &reference,
+            "interval {} diverged (seed ({}, {}), params {:?})",
+            interval, qm, sm, params
+        );
+        // The memory bound: never more resident direction bytes than one
+        // interval of the widest band row.
+        prop_assert!(
+            rep.peak_dir_bytes <= rep.dir_budget(),
+            "peak {} B broke the band({}) x interval({}) = {} B budget",
+            rep.peak_dir_bytes, rep.band_max, rep.interval, rep.dir_budget()
+        );
+        // And the budget itself is what §3.7 declares.
+        prop_assert_eq!(rep.dir_budget(), rep.band_max * rep.interval);
+    }
+}
+
+/// A synthetic workload with enough homology to exercise the gapped tail.
+fn workload() -> (Sequence, bio_seq::SequenceDb) {
+    let q = make_query(120);
+    let spec = DbSpec {
+        name: "geq",
+        num_sequences: 180,
+        mean_length: 150,
+        homolog_fraction: 0.25,
+        seed: 77,
+    };
+    (q.clone(), generate_db(&spec, &q).db)
+}
+
+fn run(
+    q: &Sequence,
+    db: &bio_seq::SequenceDb,
+    backend: GappedBackend,
+    plan: FaultPlan,
+) -> cublastp::search::CuBlastpResult {
+    let cfg = CuBlastpConfig {
+        db_block_size: 48,
+        grid_blocks: 3,
+        warps_per_block: 2,
+        cpu_threads: 2,
+        gapped_backend: backend,
+        ..CuBlastpConfig::default()
+    };
+    let mut s = CuBlastp::new(
+        q.clone(),
+        SearchParams::default(),
+        cfg,
+        DeviceConfig::k20c(),
+        db,
+    );
+    s.injector = Arc::new(FaultInjector::new(plan));
+    s.search(db).expect("search must complete")
+}
+
+/// Fault-free: the device gapped backend's ranked report equals the CPU
+/// tail's, hit for hit.
+#[test]
+fn gpu_backend_report_is_bit_identical() {
+    let (q, db) = workload();
+    let cpu = run(&q, &db, GappedBackend::Cpu, FaultPlan::none());
+    let gpu = run(&q, &db, GappedBackend::Gpu, FaultPlan::none());
+    assert!(!cpu.report.hits.is_empty(), "workload must produce hits");
+    assert_eq!(gpu.report.identity_key(), cpu.report.identity_key());
+    assert!(gpu.recovery.is_clean());
+    assert!(
+        gpu.kernel("gapped_extension_fine")
+            .is_some_and(|k| k.warp_cycles > 0),
+        "fine kernel must do the gapped work"
+    );
+}
+
+/// Every gapped fault site, transient and permanent, recovers to the
+/// same report — retries stay on the device, degradation falls back to
+/// the CPU tail for the faulted block only.
+#[test]
+fn gapped_fault_plans_recover_to_identical_reports() {
+    let (q, db) = workload();
+    let clean = run(&q, &db, GappedBackend::Cpu, FaultPlan::none());
+    for site in FaultSite::GAPPED {
+        for (label, spec, expect_degraded) in [
+            ("once", FaultSpec::once(site).on_block(0), false),
+            ("permanent", FaultSpec::permanent(site).on_block(1), true),
+        ] {
+            let r = run(&q, &db, GappedBackend::Gpu, FaultPlan::none().with(spec));
+            assert_eq!(
+                r.report.identity_key(),
+                clean.report.identity_key(),
+                "site {} ({label})",
+                site.name()
+            );
+            assert!(r.recovery.faults > 0, "site {} ({label})", site.name());
+            assert_eq!(
+                r.recovery.degraded_gapped > 0,
+                expect_degraded,
+                "site {} ({label})",
+                site.name()
+            );
+            assert_eq!(
+                r.recovery.degraded_blocks, 0,
+                "gapped faults must never degrade the hit-path kernels"
+            );
+        }
+    }
+}
