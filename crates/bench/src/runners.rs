@@ -75,7 +75,16 @@ pub fn run_cublastp_detailed(
     cfg: CuBlastpConfig,
 ) -> (CuBlastpResult, RunSummary) {
     let searcher = CuBlastp::new(q.clone(), params, cfg, DeviceConfig::k20c(), db);
-    let r = searcher.search(db).expect("benchmarks run fault-free");
+    // The figure binaries run without fault injection, so a search error
+    // here means the workload or config is broken — report it and exit
+    // with the device-category code instead of panicking mid-figure.
+    let r = match searcher.search(db) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("benchmark search failed ({}): {e}", e.category());
+            std::process::exit(4);
+        }
+    };
     let summary = RunSummary {
         name: "cuBLASTP".into(),
         critical_ms: r.timing.critical_ms(),

@@ -12,6 +12,7 @@ cublastp — protein sequence search (cuBLASTP reproduction)
 USAGE:
     cublastp --query <fasta> --db <fasta> [options]
     cublastp --demo [options]
+    cublastp serve --demo [serve options]
 
 OPTIONS:
     --query <path>       query FASTA (one search per record)
@@ -57,9 +58,21 @@ OPTIONS:
     --phase-table        print a per-phase timing table (Fig. 11 style)
     --help               this text
 
+SERVE OPTIONS (after the `serve` subcommand; the query stream is replayed
+through the admission-controlled server, streaming per-block progress):
+    --requests <n>       total requests to replay, round-robin over the
+                         query FASTA, every fourth one bulk (default 8)
+    --workers <n>        serve worker threads (default 2; one is reserved
+                         for interactive traffic when more than one)
+    --queue-capacity <n> bounded admission queue depth (default 16)
+    --deadline-ms <n>    per-request deadline; queue wait counts against
+                         it (default: none)
+
 EXIT CODES:
     0 success   2 config error   3 input error   4 device error
-    5 pipeline error";
+    5 pipeline error   6 deadline exceeded   7 overloaded
+    (serve mode exits 0 as long as any request completed; 6/7 report a
+    run where every request missed its deadline / was shed)";
 
 /// Output format of the report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,6 +136,13 @@ pub struct Args {
     pub metrics_out: Option<String>,
     pub phase_table: bool,
     pub help: bool,
+    /// `serve` subcommand: replay the query stream through the
+    /// admission-controlled server (cublastp-serve).
+    pub serve: bool,
+    pub serve_requests: usize,
+    pub serve_workers: usize,
+    pub serve_queue_capacity: usize,
+    pub serve_deadline_ms: Option<u64>,
 }
 
 impl Default for Args {
@@ -153,6 +173,11 @@ impl Default for Args {
             metrics_out: None,
             phase_table: false,
             help: false,
+            serve: false,
+            serve_requests: 8,
+            serve_workers: 2,
+            serve_queue_capacity: 16,
+            serve_deadline_ms: None,
         }
     }
 }
@@ -164,8 +189,32 @@ impl Args {
         let value = |argv: &mut dyn Iterator<Item = String>, flag: &str| {
             argv.next().ok_or_else(|| format!("{flag} needs a value"))
         };
+        let mut first = true;
         while let Some(arg) = argv.next() {
             match arg.as_str() {
+                "serve" if first => args.serve = true,
+                "--requests" => {
+                    args.serve_requests = value(&mut argv, "--requests")?
+                        .parse()
+                        .map_err(|e| format!("--requests: {e}"))?
+                }
+                "--workers" => {
+                    args.serve_workers = value(&mut argv, "--workers")?
+                        .parse()
+                        .map_err(|e| format!("--workers: {e}"))?
+                }
+                "--queue-capacity" => {
+                    args.serve_queue_capacity = value(&mut argv, "--queue-capacity")?
+                        .parse()
+                        .map_err(|e| format!("--queue-capacity: {e}"))?
+                }
+                "--deadline-ms" => {
+                    args.serve_deadline_ms = Some(
+                        value(&mut argv, "--deadline-ms")?
+                            .parse()
+                            .map_err(|e| format!("--deadline-ms: {e}"))?,
+                    )
+                }
                 "--query" => args.query = Some(value(&mut argv, "--query")?),
                 "--db" => args.db = Some(value(&mut argv, "--db")?),
                 "--demo" => args.demo = true,
@@ -257,6 +306,7 @@ impl Args {
                 "--help" | "-h" => args.help = true,
                 other => return Err(format!("unknown option {other:?}")),
             }
+            first = false;
         }
         if !args.help && !args.demo && (args.query.is_none() || args.db.is_none()) {
             return Err("need --query and --db (or --demo)".into());
@@ -278,6 +328,20 @@ impl Args {
         }
         if args.gapped_backend == GappedBackend::Gpu && args.engine != Engine::CuBlastp {
             return Err("--gapped-backend gpu requires --engine cublastp".into());
+        }
+        if args.serve {
+            if args.engine != Engine::CuBlastp {
+                return Err("serve requires --engine cublastp".into());
+            }
+            if args.serve_requests == 0 {
+                return Err("--requests must be positive".into());
+            }
+            if args.serve_workers == 0 {
+                return Err("--workers must be positive".into());
+            }
+            if args.serve_queue_capacity == 0 {
+                return Err("--queue-capacity must be positive".into());
+            }
         }
         Ok(args)
     }
@@ -489,6 +553,36 @@ mod tests {
         let d = parse(&["--demo"]).unwrap();
         assert!(d.trace_out.is_none() && d.metrics_out.is_none() && !d.phase_table);
         assert!(parse(&["--demo", "--trace-out"]).is_err());
+    }
+
+    #[test]
+    fn serve_subcommand_parses_and_validates() {
+        let d = parse(&["--demo"]).unwrap();
+        assert!(!d.serve);
+        let a = parse(&[
+            "serve",
+            "--demo",
+            "--requests",
+            "12",
+            "--workers",
+            "3",
+            "--queue-capacity",
+            "4",
+            "--deadline-ms",
+            "250",
+        ])
+        .unwrap();
+        assert!(a.serve);
+        assert_eq!(a.serve_requests, 12);
+        assert_eq!(a.serve_workers, 3);
+        assert_eq!(a.serve_queue_capacity, 4);
+        assert_eq!(a.serve_deadline_ms, Some(250));
+        // `serve` is a subcommand, not a flag: only the first token counts.
+        assert!(parse(&["--demo", "serve"]).is_err());
+        assert!(parse(&["serve", "--demo", "--requests", "0"]).is_err());
+        assert!(parse(&["serve", "--demo", "--workers", "0"]).is_err());
+        assert!(parse(&["serve", "--demo", "--queue-capacity", "0"]).is_err());
+        assert!(parse(&["serve", "--demo", "--engine", "cpu"]).is_err());
     }
 
     #[test]

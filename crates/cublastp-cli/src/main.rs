@@ -45,6 +45,10 @@ const EXIT_INPUT: u8 = 3;
 const EXIT_DEVICE: u8 = 4;
 /// Exit code for pipeline failures (worker panics, channel teardown).
 const EXIT_PIPELINE: u8 = 5;
+/// Exit code for a request whose deadline expired mid-search.
+const EXIT_DEADLINE: u8 = 6;
+/// Exit code for a request refused by the admission controller.
+const EXIT_OVERLOADED: u8 = 7;
 
 /// Map a search error to the exit code of its category.
 fn exit_code_for(err: &SearchError) -> u8 {
@@ -52,6 +56,8 @@ fn exit_code_for(err: &SearchError) -> u8 {
         "config" => EXIT_CONFIG,
         "input" => EXIT_INPUT,
         "device" => EXIT_DEVICE,
+        "deadline" => EXIT_DEADLINE,
+        "overloaded" => EXIT_OVERLOADED,
         _ => EXIT_PIPELINE,
     }
 }
@@ -72,6 +78,11 @@ struct PhaseTable {
     queries: usize,
     /// Active gapped backend name (set once from the flags).
     gapped_backend: &'static str,
+    /// Host wall-clock spent queued behind earlier work, microseconds
+    /// (batch scheduler / serving layer; zero for standalone searches).
+    queue_wait_us: u64,
+    /// Host wall-clock spent on the fault-retry path, microseconds.
+    retry_wait_us: u64,
 }
 
 impl PhaseTable {
@@ -90,6 +101,8 @@ impl PhaseTable {
         self.other_ms += r.timing.other_ms;
         self.overlapped_ms += r.timing.overlapped_ms;
         self.serial_ms += r.timing.serial_ms;
+        self.queue_wait_us += r.recovery.queue_wait_us;
+        self.retry_wait_us += r.recovery.retry_wait_us;
         self.queries += 1;
     }
 
@@ -131,6 +144,14 @@ impl PhaseTable {
         if !self.gapped_backend.is_empty() {
             out!("# gapped backend: {}", self.gapped_backend);
         }
+        // Host wait time, kept out of the phase totals above so retries
+        // and queueing are no longer indistinguishable from compute.
+        out!(
+            "# recovery waits: queue {:.3} ms, retry {:.3} ms (host wall-clock, \
+             excluded from phase totals)",
+            self.queue_wait_us as f64 / 1e3,
+            self.retry_wait_us as f64 / 1e3,
+        );
         if self.serial_ms > 0.0 {
             out!(
                 "# pipeline overlap: {:.3} ms overlapped vs {:.3} ms serial ({:.1}% hidden)",
@@ -232,6 +253,10 @@ fn main() -> ExitCode {
         }
     };
 
+    if args.serve {
+        return run_serve(&queries, db, &args);
+    }
+
     let banner = format!(
         "# cublastp: {} quer{} vs {} ({} sequences, {} residues), engine = {}",
         queries.len(),
@@ -327,6 +352,163 @@ fn main() -> ExitCode {
     match failures.first() {
         Some((_, _, err)) => ExitCode::from(exit_code_for(err)),
         None => ExitCode::SUCCESS,
+    }
+}
+
+/// The `serve` subcommand: replay the query stream through the
+/// admission-controlled server (cublastp-serve, DESIGN.md §3.8),
+/// streaming per-block progress rows and reporting each request's
+/// outcome. Shed and expired requests are *expected* outcomes of an
+/// overloaded service, so the run exits 0 as long as at least one
+/// request completed; a run where every request failed exits with the
+/// first failure's code (6 deadline, 7 overloaded, …).
+fn run_serve(queries: &[Sequence], db: SequenceDb, args: &Args) -> ExitCode {
+    use cublastp_serve::{Event, Request, ServeConfig, Server};
+    use std::time::Duration;
+
+    obs::arm(args.trace_out.is_some(), args.metrics_out.is_some());
+    let serve_cfg = ServeConfig {
+        workers: args.serve_workers,
+        reserved_interactive_workers: usize::from(args.serve_workers > 1),
+        queue_capacity: args.serve_queue_capacity,
+        default_deadline: args.serve_deadline_ms.map(Duration::from_millis),
+        ..ServeConfig::default()
+    };
+    let injector = (!args.fault_plan.is_empty())
+        .then(|| Arc::new(FaultInjector::new(args.fault_plan.clone())));
+    let server = match Server::with_injector(
+        db,
+        args.params(),
+        args.cublastp_config(),
+        DeviceConfig::k20c(),
+        serve_cfg,
+        injector,
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: serve: {e}");
+            return ExitCode::from(exit_code_for(&e));
+        }
+    };
+    out!(
+        "# serve: {} worker{}, queue capacity {}, deadline {}, {} database blocks/search",
+        args.serve_workers,
+        if args.serve_workers == 1 { "" } else { "s" },
+        args.serve_queue_capacity,
+        args.serve_deadline_ms
+            .map_or_else(|| "none".to_string(), |ms| format!("{ms} ms")),
+        server.num_blocks(),
+    );
+
+    let mut handles = Vec::new();
+    let mut first_error: Option<SearchError> = None;
+    let mut shed = 0usize;
+    for i in 0..args.serve_requests {
+        let query = queries[i % queries.len()].clone();
+        // Every fourth request is bulk-class: enough to exercise the
+        // weighted scheduler and the shed-bulk ladder rung in a demo run.
+        let req = if i % 4 == 3 {
+            Request::bulk(query, "cli-bulk")
+        } else {
+            Request::interactive(query, "cli")
+        };
+        let class = req.priority.name();
+        match server.submit(req) {
+            Ok(h) => handles.push((i, h)),
+            Err(e) => {
+                out!("# serve q{} {class}: refused: {e}", i + 1);
+                if matches!(e, SearchError::Overloaded { .. }) {
+                    shed += 1;
+                }
+                first_error.get_or_insert(e);
+            }
+        }
+    }
+
+    let mut ok = 0usize;
+    let mut deadline = 0usize;
+    let mut latencies = Vec::new();
+    for (i, h) in handles {
+        let class = h.priority.name();
+        loop {
+            match h.next_event() {
+                Some(Event::Block {
+                    block,
+                    blocks_total,
+                    partial,
+                }) => {
+                    out!(
+                        "# serve q{} {class}: block {}/{blocks_total} streamed ({} hit{})",
+                        i + 1,
+                        block + 1,
+                        partial.hits.len(),
+                        if partial.hits.len() == 1 { "" } else { "s" },
+                    );
+                }
+                Some(Event::Done(result)) => {
+                    match *result {
+                        Ok(r) => {
+                            ok += 1;
+                            latencies.push(r.queue_wait_ms + r.service_ms);
+                            out!(
+                                "# serve q{} {class}: ok, {} hits, queue-wait {:.2} ms, \
+                                 service {:.2} ms{}",
+                                i + 1,
+                                r.result.report.hits.len(),
+                                r.queue_wait_ms,
+                                r.service_ms,
+                                if r.degraded_placement {
+                                    " (coarse gapped placement)"
+                                } else {
+                                    ""
+                                },
+                            );
+                        }
+                        Err(e) => {
+                            out!("# serve q{} {class}: {} error: {e}", i + 1, e.category());
+                            if e.category() == "deadline" {
+                                deadline += 1;
+                            }
+                            first_error.get_or_insert(e);
+                        }
+                    }
+                    break;
+                }
+                // Unreachable by the serve contract (every admitted
+                // request ends in exactly one Done); keep it loud.
+                None => {
+                    eprintln!(
+                        "# serve q{} {class}: worker channel closed without a result",
+                        i + 1
+                    );
+                    first_error.get_or_insert(SearchError::config(
+                        "serve: worker channel closed without a result",
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+    latencies.sort_by(f64::total_cmp);
+    let p50 = latencies
+        .get(latencies.len().saturating_sub(1) / 2)
+        .copied()
+        .unwrap_or(0.0);
+    out!(
+        "# serve summary: {} requests, {} ok, {} deadline-exceeded, {} shed, p50 latency {:.2} ms",
+        args.serve_requests,
+        ok,
+        deadline,
+        shed,
+        p50,
+    );
+    if let Err(e) = write_observability(args) {
+        eprintln!("error: {e}");
+        return ExitCode::from(EXIT_INPUT);
+    }
+    match first_error {
+        Some(e) if ok == 0 => ExitCode::from(exit_code_for(&e)),
+        _ => ExitCode::SUCCESS,
     }
 }
 

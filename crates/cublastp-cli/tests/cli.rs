@@ -326,3 +326,101 @@ fn tabular_output_has_twelve_columns() {
     assert_eq!(cols[7], CORE.len().to_string()); // inclusive qend
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn serve_subcommand_streams_blocks_and_exits_zero() {
+    let dir = std::env::temp_dir().join(format!("cublastp_cli_serve_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let q = dir.join("q.fa");
+    let d = dir.join("d.fa");
+    write_fasta(&q, &[("probe", CORE)]);
+    write_fasta(
+        &d,
+        &[
+            ("planted", &format!("PPPP{CORE}PPPP")),
+            ("decoy1", "GGGGGGGGGGGGGGGGGGGGGGGGGGGGGGGGGGGGGGGG"),
+            ("decoy2", "KKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKK"),
+        ],
+    );
+    let out = run(&[
+        "serve",
+        "--query",
+        q.to_str().unwrap(),
+        "--db",
+        d.to_str().unwrap(),
+        "--requests",
+        "5",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    // Per-block streaming rows, both priority classes, and the summary.
+    assert!(text.contains("block 1/1 streamed"), "{text}");
+    assert!(text.contains("q4 bulk: ok"), "{text}");
+    assert!(text.contains("q5 interactive: ok"), "{text}");
+    assert!(
+        text.contains("# serve summary: 5 requests, 5 ok, 0 deadline-exceeded, 0 shed"),
+        "{text}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_deadline_run_exits_six_with_typed_rows() {
+    let out = run(&["serve", "--demo", "--requests", "2", "--deadline-ms", "0"]);
+    assert_eq!(out.status.code(), Some(6));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("deadline error: deadline exceeded"), "{text}");
+    assert!(text.contains("2 deadline-exceeded"), "{text}");
+}
+
+#[test]
+fn serve_degrades_gapped_faults_without_shedding() {
+    let out = run(&[
+        "serve",
+        "--demo",
+        "--requests",
+        "2",
+        "--gapped-backend",
+        "gpu",
+        "--fault-plan",
+        "gapped-launch:perm",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("2 ok, 0 deadline-exceeded, 0 shed"), "{text}");
+}
+
+#[test]
+fn phase_table_reports_recovery_waits_separately() {
+    let out = run(&["--demo", "--phase-table", "--fault-plan", "launch:x1"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    let row = text
+        .lines()
+        .find(|l| l.starts_with("# recovery waits:"))
+        .expect("recovery waits row");
+    assert!(row.contains("queue"), "{row}");
+    assert!(row.contains("retry"), "{row}");
+    assert!(row.contains("excluded from phase totals"), "{row}");
+    // A retried launch spent real host time on the retry path.
+    let retry_ms: f64 = row
+        .split("retry ")
+        .nth(1)
+        .and_then(|s| s.split(" ms").next())
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(retry_ms > 0.0, "{row}");
+}

@@ -1,0 +1,175 @@
+//! The load controller: maps observed pressure to a degradation level.
+//!
+//! The controller is deliberately dumb — it reads four gauges the server
+//! publishes into the [`obs`] metrics registry, computes a single scalar
+//! *pressure* in `[0, 1]`, and maps it through three fixed thresholds to a
+//! [`DegradationLevel`]. Keeping the policy stateless (pure function of
+//! current gauges) means there is no hysteresis state to corrupt under
+//! concurrent assessment, and the bench can reproduce any decision from a
+//! metrics snapshot alone.
+//!
+//! The ladder, in escalation order (DESIGN.md §3.8):
+//!
+//! | level | trigger (pressure) | effect |
+//! |---|---|---|
+//! | `Normal` | < 0.60 | none |
+//! | `ShedBulk` | ≥ 0.60 | bulk submissions refused with `Overloaded` |
+//! | `ShrinkBudgets` | ≥ 0.80 | admission caps halved for everyone |
+//! | `CoarseOnly` | ≥ 0.95 | gapped placement forced to the coarse CPU backend |
+//!
+//! Each level implies all the ones below it: at `CoarseOnly` bulk is shed
+//! *and* budgets are shrunk *and* placement is coarse.
+
+use obs::Registry;
+
+/// Rung on the degradation ladder. `Ord` follows escalation order, so
+/// `level >= DegradationLevel::ShedBulk` reads as "shedding bulk (or
+/// worse)".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradationLevel {
+    /// Full service.
+    Normal,
+    /// Refuse new bulk-class submissions.
+    ShedBulk,
+    /// Additionally halve the admission queue and cost budgets.
+    ShrinkBudgets,
+    /// Additionally force gapped placement to the coarse CPU backend.
+    CoarseOnly,
+}
+
+impl DegradationLevel {
+    /// Stable lowercase name for metrics labels and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Normal => "normal",
+            Self::ShedBulk => "shed_bulk",
+            Self::ShrinkBudgets => "shrink_budgets",
+            Self::CoarseOnly => "coarse_only",
+        }
+    }
+}
+
+/// Pressure thresholds for the ladder. Defaults follow the table above;
+/// the bench overrides them to exercise specific rungs.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadController {
+    /// Pressure at which bulk submissions are refused.
+    pub shed_bulk_at: f64,
+    /// Pressure at which admission budgets are halved.
+    pub shrink_at: f64,
+    /// Pressure at which gapped placement degrades to coarse.
+    pub coarse_at: f64,
+}
+
+impl Default for LoadController {
+    fn default() -> Self {
+        Self {
+            shed_bulk_at: 0.60,
+            shrink_at: 0.80,
+            coarse_at: 0.95,
+        }
+    }
+}
+
+impl LoadController {
+    /// Compute current pressure from the server's published gauges:
+    /// the worst of (queue occupancy fraction, cost budget fraction).
+    /// Missing gauges read as zero pressure, so an unarmed registry
+    /// degrades to "always Normal" rather than spurious shedding.
+    pub fn pressure(&self, reg: &Registry) -> f64 {
+        let queue_cap = reg.gauge_value("serve_queue_capacity", &[]).unwrap_or(0.0);
+        let queued = reg
+            .gauge_value("serve_queue_depth", &[("class", "interactive")])
+            .unwrap_or(0.0)
+            .max(
+                reg.gauge_value("serve_queue_depth", &[("class", "bulk")])
+                    .unwrap_or(0.0),
+            );
+        let queue_frac = if queue_cap > 0.0 {
+            queued / queue_cap
+        } else {
+            0.0
+        };
+
+        let cost_cap = reg.gauge_value("serve_cost_capacity", &[]).unwrap_or(0.0);
+        let cost = reg
+            .gauge_value("serve_cost_outstanding", &[])
+            .unwrap_or(0.0);
+        let cost_frac = if cost_cap > 0.0 { cost / cost_cap } else { 0.0 };
+
+        queue_frac.max(cost_frac).clamp(0.0, 1.0)
+    }
+
+    /// Map a pressure value to its ladder rung.
+    pub fn level_for_pressure(&self, p: f64) -> DegradationLevel {
+        if p >= self.coarse_at {
+            DegradationLevel::CoarseOnly
+        } else if p >= self.shrink_at {
+            DegradationLevel::ShrinkBudgets
+        } else if p >= self.shed_bulk_at {
+            DegradationLevel::ShedBulk
+        } else {
+            DegradationLevel::Normal
+        }
+    }
+
+    /// Read the gauges and return the current rung.
+    pub fn assess(&self, reg: &Registry) -> DegradationLevel {
+        self.level_for_pressure(self.pressure(reg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg_with(queued_i: f64, queued_b: f64, cap: f64, cost: f64, cost_cap: f64) -> Registry {
+        let reg = Registry::new();
+        reg.gauge_set("serve_queue_depth", &[("class", "interactive")], queued_i);
+        reg.gauge_set("serve_queue_depth", &[("class", "bulk")], queued_b);
+        reg.gauge_set("serve_queue_capacity", &[], cap);
+        reg.gauge_set("serve_cost_outstanding", &[], cost);
+        reg.gauge_set("serve_cost_capacity", &[], cost_cap);
+        reg
+    }
+
+    #[test]
+    fn levels_escalate_with_pressure() {
+        let c = LoadController::default();
+        assert_eq!(c.level_for_pressure(0.0), DegradationLevel::Normal);
+        assert_eq!(c.level_for_pressure(0.59), DegradationLevel::Normal);
+        assert_eq!(c.level_for_pressure(0.60), DegradationLevel::ShedBulk);
+        assert_eq!(c.level_for_pressure(0.80), DegradationLevel::ShrinkBudgets);
+        assert_eq!(c.level_for_pressure(0.95), DegradationLevel::CoarseOnly);
+        assert_eq!(c.level_for_pressure(1.0), DegradationLevel::CoarseOnly);
+        // Ord follows escalation.
+        assert!(DegradationLevel::CoarseOnly > DegradationLevel::ShedBulk);
+        assert!(DegradationLevel::ShedBulk > DegradationLevel::Normal);
+    }
+
+    #[test]
+    fn pressure_is_worst_of_queue_and_cost() {
+        let c = LoadController::default();
+        // Queue pressure dominates: 8/10 queued, cost near-idle.
+        let reg = reg_with(8.0, 2.0, 10.0, 10.0, 1000.0);
+        assert!((c.pressure(&reg) - 0.8).abs() < 1e-9);
+        // Cost pressure dominates: queues empty, budget nearly spent.
+        let reg = reg_with(0.0, 0.0, 10.0, 960.0, 1000.0);
+        assert!((c.pressure(&reg) - 0.96).abs() < 1e-9);
+        assert_eq!(c.assess(&reg), DegradationLevel::CoarseOnly);
+    }
+
+    #[test]
+    fn missing_gauges_read_as_no_pressure() {
+        let c = LoadController::default();
+        let reg = Registry::new();
+        assert_eq!(c.pressure(&reg), 0.0);
+        assert_eq!(c.assess(&reg), DegradationLevel::Normal);
+    }
+
+    #[test]
+    fn level_names_are_stable() {
+        assert_eq!(DegradationLevel::Normal.name(), "normal");
+        assert_eq!(DegradationLevel::CoarseOnly.name(), "coarse_only");
+    }
+}

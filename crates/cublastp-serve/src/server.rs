@@ -1,0 +1,962 @@
+//! The serving front-end: priority queues, worker pool, deadlines and
+//! result streaming over a resident database.
+//!
+//! A [`Server`] owns one database (flattened to device layout once, via
+//! [`DeviceDbCache`]) and a small pool of worker threads. [`Server::submit`]
+//! is the admission gate — it runs the tenant rate limit, the degradation
+//! ladder, and the bounded-cost admission check *on the caller's thread*
+//! and returns either a [`ResponseHandle`] or a typed
+//! [`SearchError::Overloaded`]. Admitted jobs carry a [`CancelToken`]
+//! whose deadline clock starts at admission, so time spent queued counts
+//! against the budget — a server that queues a request for its whole
+//! deadline refuses it at the first checkpoint instead of wasting a full
+//! search on a client that has already given up.
+//!
+//! Workers drain the two class queues by weighted round-robin
+//! (`interactive_weight` interactive picks per bulk pick), with the first
+//! `reserved_interactive_workers` threads dedicated to the interactive
+//! class so a long bulk search can never occupy every lane. Results stream
+//! back over the handle's channel: one [`Event::Block`] per database block
+//! as its CPU tail completes, then exactly one [`Event::Done`]. **Every
+//! admitted request terminates with a `Done`** — worker panics become
+//! typed pipeline errors, shutdown drains the queues, and a dropped
+//! handle just discards events.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bio_seq::{Sequence, SequenceDb};
+use blast_core::SearchParams;
+use blast_cpu::report::SearchReport;
+use cublastp::error::{panic_message, PipelineError};
+use cublastp::CancelToken;
+use cublastp::{
+    BlockProgress, CuBlastp, CuBlastpConfig, CuBlastpResult, DeviceDb, DeviceDbCache,
+    GappedBackend, SearchError, SearchHooks,
+};
+use gpu_sim::{DeviceConfig, FaultInjector, KernelWorkspace};
+
+use crate::admission::{estimate_cost, Admission, AdmissionConfig, RateLimitConfig, RateLimiter};
+use crate::controller::{DegradationLevel, LoadController};
+
+/// Request priority class. Interactive requests get the weighted share of
+/// worker picks and a reserved lane; bulk requests are the first to shed
+/// under load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Priority {
+    /// Latency-sensitive: favored by scheduling, never shed by the ladder.
+    Interactive,
+    /// Throughput traffic: shed first when pressure crosses `shed_bulk_at`.
+    Bulk,
+}
+
+impl Priority {
+    /// Stable lowercase name for metrics labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Interactive => "interactive",
+            Self::Bulk => "bulk",
+        }
+    }
+
+    /// Index into per-class arrays (interactive first).
+    pub(crate) fn index(self) -> usize {
+        match self {
+            Self::Interactive => 0,
+            Self::Bulk => 1,
+        }
+    }
+}
+
+/// One search request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The protein query.
+    pub query: Sequence,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Tenant id for per-tenant rate limiting.
+    pub tenant: String,
+    /// Wall-clock budget from admission to completion; `None` uses the
+    /// server's `default_deadline` (which may also be `None` = unbounded).
+    pub deadline: Option<Duration>,
+}
+
+impl Request {
+    /// An interactive request for `tenant` with no explicit deadline.
+    pub fn interactive(query: Sequence, tenant: impl Into<String>) -> Self {
+        Self {
+            query,
+            priority: Priority::Interactive,
+            tenant: tenant.into(),
+            deadline: None,
+        }
+    }
+
+    /// A bulk request for `tenant` with no explicit deadline.
+    pub fn bulk(query: Sequence, tenant: impl Into<String>) -> Self {
+        Self {
+            query,
+            priority: Priority::Bulk,
+            tenant: tenant.into(),
+            deadline: None,
+        }
+    }
+
+    /// Set the per-request deadline.
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+}
+
+/// A streamed server event. Blocks arrive in pipeline order, then exactly
+/// one `Done`.
+#[derive(Debug)]
+pub enum Event {
+    /// One database block finished its CPU tail; `partial` holds that
+    /// block's alignments (blocks never alias, so accumulating partials
+    /// reproduces the final unranked hit set).
+    Block {
+        /// Database block index.
+        block: u32,
+        /// Total blocks in this search.
+        blocks_total: u32,
+        /// The block's hits.
+        partial: SearchReport,
+    },
+    /// Terminal event: the full result or a typed error. Boxed because
+    /// [`CuBlastpResult`] is large next to a `Block`.
+    Done(Box<Result<ServeResult, SearchError>>),
+}
+
+/// Successful completion, with serving-side telemetry alongside the
+/// search result.
+#[derive(Debug)]
+pub struct ServeResult {
+    /// The search result (its `recovery.queue_wait_us` is filled in with
+    /// the serving queue wait).
+    pub result: CuBlastpResult,
+    /// Time from admission to a worker picking the job up, ms.
+    pub queue_wait_ms: f64,
+    /// Time from pickup to completion, ms.
+    pub service_ms: f64,
+    /// True when the degradation ladder forced coarse (CPU) gapped
+    /// placement for this request.
+    pub degraded_placement: bool,
+}
+
+/// Client-side handle for one admitted request.
+#[derive(Debug)]
+pub struct ResponseHandle {
+    /// Server-assigned request id (monotonic).
+    pub id: u64,
+    /// The class the request was admitted under.
+    pub priority: Priority,
+    rx: mpsc::Receiver<Event>,
+}
+
+impl ResponseHandle {
+    /// Next streamed event, or `None` once the channel is exhausted
+    /// (after `Done`, or if the server was dropped mid-request — which
+    /// [`wait`](Self::wait) turns into a typed error).
+    pub fn next_event(&self) -> Option<Event> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking variant of [`next_event`](Self::next_event): `None`
+    /// when no event is ready right now. Load generators poll many
+    /// handles from one thread with this instead of parking a thread per
+    /// request.
+    pub fn try_event(&self) -> Option<Event> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Drain events until the terminal `Done` and return it. Block events
+    /// are discarded — use [`next_event`](Self::next_event) to consume
+    /// them incrementally.
+    pub fn wait(self) -> Result<ServeResult, SearchError> {
+        while let Some(ev) = self.next_event() {
+            if let Event::Done(res) = ev {
+                return *res;
+            }
+        }
+        Err(SearchError::from(PipelineError::ChannelClosed {
+            side: "serve worker",
+        }))
+    }
+}
+
+/// Serving configuration. Defaults suit the tests and demo: two workers
+/// with one reserved for interactive traffic, small bounded queues, and no
+/// rate limit.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads draining the queues.
+    pub workers: usize,
+    /// Of those, how many serve *only* the interactive class. Must be less
+    /// than `workers` (so bulk always has a lane) unless `workers == 1`.
+    pub reserved_interactive_workers: usize,
+    /// Queued requests allowed per priority class.
+    pub queue_capacity: usize,
+    /// Outstanding DP-cell budget across all admitted requests.
+    pub cost_capacity: u64,
+    /// Interactive picks per bulk pick when both queues are non-empty.
+    pub interactive_weight: u32,
+    /// Deadline applied when a request does not carry its own.
+    pub default_deadline: Option<Duration>,
+    /// Per-tenant token-bucket limits.
+    pub tenant_rate: RateLimitConfig,
+    /// Degradation-ladder thresholds.
+    pub controller: LoadController,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            reserved_interactive_workers: 1,
+            queue_capacity: 16,
+            cost_capacity: 1 << 32,
+            interactive_weight: 4,
+            default_deadline: None,
+            tenant_rate: RateLimitConfig::default(),
+            controller: LoadController::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validate the configuration; called by [`Server::new`].
+    pub fn validate(&self) -> Result<(), SearchError> {
+        if self.workers == 0 {
+            return Err(SearchError::config("serve: workers must be > 0"));
+        }
+        if self.workers > 1 && self.reserved_interactive_workers >= self.workers {
+            return Err(SearchError::config(
+                "serve: reserved_interactive_workers must leave at least one general worker",
+            ));
+        }
+        if self.workers == 1 && self.reserved_interactive_workers != 0 {
+            return Err(SearchError::config(
+                "serve: a single worker cannot be reserved for one class",
+            ));
+        }
+        if self.queue_capacity == 0 {
+            return Err(SearchError::config("serve: queue_capacity must be > 0"));
+        }
+        if self.interactive_weight == 0 {
+            return Err(SearchError::config("serve: interactive_weight must be > 0"));
+        }
+        Ok(())
+    }
+}
+
+/// An admitted job waiting in a class queue.
+struct Job {
+    query: Sequence,
+    priority: Priority,
+    cost: u64,
+    cancel: CancelToken,
+    enqueued: Instant,
+    tx: mpsc::Sender<Event>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    queues: [std::collections::VecDeque<Job>; 2],
+    /// Consecutive interactive picks since the last bulk pick (WRR state).
+    interactive_run: u32,
+    closed: bool,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    state: Mutex<QueueState>,
+    cv: Condvar,
+    admission: Admission,
+    limiter: RateLimiter,
+    db: Arc<SequenceDb>,
+    dev_db: Arc<DeviceDb>,
+    params: SearchParams,
+    search_cfg: CuBlastpConfig,
+    device: DeviceConfig,
+    injector: Option<Arc<FaultInjector>>,
+    next_id: AtomicU64,
+}
+
+impl Shared {
+    /// Publish the admission gauges the load controller reads.
+    fn publish_gauges(&self) {
+        let (cost, queued) = self.admission.snapshot();
+        obs::gauge(
+            "serve_queue_depth",
+            &[("class", "interactive")],
+            queued[0] as f64,
+        );
+        obs::gauge("serve_queue_depth", &[("class", "bulk")], queued[1] as f64);
+        obs::gauge("serve_cost_outstanding", &[], cost as f64);
+    }
+
+    fn level(&self) -> DegradationLevel {
+        self.cfg.controller.assess(obs::metrics())
+    }
+}
+
+/// The admission-controlled search service. See the module docs for the
+/// lifecycle; construction uploads the database once and spawns the
+/// worker pool, [`shutdown`](Server::shutdown) (or drop) drains it.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Build a server over `db`: validates both configs, arms the metrics
+    /// registry (the load controller reads its own gauges back), flattens
+    /// the database to device layout once, and spawns the workers.
+    pub fn new(
+        db: SequenceDb,
+        params: SearchParams,
+        search_cfg: CuBlastpConfig,
+        device: DeviceConfig,
+        cfg: ServeConfig,
+    ) -> Result<Self, SearchError> {
+        Self::with_injector(db, params, search_cfg, device, cfg, None)
+    }
+
+    /// [`new`](Self::new) with a fault injector shared by every request —
+    /// the chaos/fault-matrix entry point.
+    pub fn with_injector(
+        db: SequenceDb,
+        params: SearchParams,
+        search_cfg: CuBlastpConfig,
+        device: DeviceConfig,
+        cfg: ServeConfig,
+        injector: Option<Arc<FaultInjector>>,
+    ) -> Result<Self, SearchError> {
+        cfg.validate()?;
+        search_cfg.validate()?;
+        // The ladder reads gauges back out of the registry, so metrics
+        // must be armed for the lifetime of the server (tracing keeps its
+        // prior state).
+        obs::arm(obs::tracing_enabled(), true);
+
+        let cache = DeviceDbCache::new();
+        let dev_db = cache.get(&db, search_cfg.db_block_size);
+        let shared = Arc::new(Shared {
+            admission: Admission::new(AdmissionConfig {
+                queue_capacity: cfg.queue_capacity,
+                cost_capacity: cfg.cost_capacity,
+            }),
+            limiter: RateLimiter::new(cfg.tenant_rate),
+            cfg,
+            state: Mutex::new(QueueState::default()),
+            cv: Condvar::new(),
+            db: Arc::new(db),
+            dev_db,
+            params,
+            search_cfg,
+            device,
+            injector,
+            next_id: AtomicU64::new(1),
+        });
+        obs::gauge(
+            "serve_queue_capacity",
+            &[],
+            shared.cfg.queue_capacity as f64,
+        );
+        obs::gauge("serve_cost_capacity", &[], shared.cfg.cost_capacity as f64);
+        shared.publish_gauges();
+
+        let workers = (0..shared.cfg.workers)
+            .map(|w| {
+                let sh = Arc::clone(&shared);
+                let interactive_only = w < sh.cfg.reserved_interactive_workers;
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{w}"))
+                    .spawn(move || worker_loop(&sh, interactive_only))
+                    .map_err(|e| SearchError::config(format!("serve: spawn failed: {e}")))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { shared, workers })
+    }
+
+    /// Number of database blocks a search of this server will run.
+    pub fn num_blocks(&self) -> u32 {
+        self.shared.dev_db.blocks().len() as u32
+    }
+
+    /// Current degradation level as seen by the next submission.
+    pub fn level(&self) -> DegradationLevel {
+        self.shared.level()
+    }
+
+    /// Admit a request or refuse it with a typed error. Refusals:
+    /// `Overloaded` (rate limit, ladder shed, or full budgets) with a
+    /// backoff hint; `config`/`input` errors for a shut-down server or an
+    /// empty query. Admission is ordered rate-limit → ladder → budgets so
+    /// an abusive tenant is refused before it can influence global state.
+    pub fn submit(&self, request: Request) -> Result<ResponseHandle, SearchError> {
+        let sh = &self.shared;
+        if sh.state.lock().unwrap_or_else(|e| e.into_inner()).closed {
+            return Err(SearchError::config("serve: server is shut down"));
+        }
+        if request.query.is_empty() {
+            return Err(SearchError::input("serve: empty query"));
+        }
+        let class = request.priority;
+
+        if let Err(retry_after_ms) = sh.limiter.try_acquire(&request.tenant) {
+            obs::counter(
+                "serve_shed_total",
+                &[("class", class.name()), ("reason", "rate_limit")],
+                1,
+            );
+            return Err(SearchError::Overloaded { retry_after_ms });
+        }
+
+        let level = sh.level();
+        if level >= DegradationLevel::ShedBulk && class == Priority::Bulk {
+            obs::counter(
+                "serve_shed_total",
+                &[("class", class.name()), ("reason", "degraded")],
+                1,
+            );
+            return Err(SearchError::Overloaded {
+                retry_after_ms: sh.admission.backoff_hint(),
+            });
+        }
+
+        let cost = estimate_cost(request.query.len(), sh.db.total_residues());
+        if let Err(e) =
+            sh.admission
+                .try_admit(class, cost, level >= DegradationLevel::ShrinkBudgets)
+        {
+            obs::counter(
+                "serve_shed_total",
+                &[("class", class.name()), ("reason", "queue_full")],
+                1,
+            );
+            return Err(e);
+        }
+
+        // The deadline clock starts here, at admission — queue time is
+        // part of the client's wait and must count against the budget.
+        let cancel = match request.deadline.or(sh.cfg.default_deadline) {
+            Some(d) => CancelToken::with_deadline(d),
+            None => CancelToken::never(),
+        };
+        let id = sh.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut st = sh.state.lock().unwrap_or_else(|e| e.into_inner());
+            if st.closed {
+                // Lost the race with shutdown: refund and refuse.
+                drop(st);
+                sh.admission.dequeued(class);
+                sh.admission.complete(cost, 0.1);
+                sh.publish_gauges();
+                return Err(SearchError::config("serve: server is shut down"));
+            }
+            st.queues[class.index()].push_back(Job {
+                query: request.query,
+                priority: class,
+                cost,
+                cancel,
+                enqueued: Instant::now(),
+                tx,
+            });
+        }
+        sh.cv.notify_all();
+        obs::counter("serve_admitted_total", &[("class", class.name())], 1);
+        sh.publish_gauges();
+        Ok(ResponseHandle {
+            id,
+            priority: class,
+            rx,
+        })
+    }
+
+    /// Stop accepting new requests, drain everything already admitted,
+    /// and join the workers. Idempotent; also run by `Drop`.
+    pub fn shutdown(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.closed = true;
+        }
+        self.shared.cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Pick the next job for a worker, honoring the reserved lane and the
+/// weighted round-robin between classes. Returns `None` when the worker
+/// should exit (closed and nothing pickable).
+fn pick_job(sh: &Shared, interactive_only: bool) -> Option<Job> {
+    let mut st = sh.state.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        let has_i = !st.queues[0].is_empty();
+        let has_b = !st.queues[1].is_empty() && !interactive_only;
+        if has_i || has_b {
+            let take_interactive = if has_i && has_b {
+                if st.interactive_run < sh.cfg.interactive_weight {
+                    st.interactive_run += 1;
+                    true
+                } else {
+                    st.interactive_run = 0;
+                    false
+                }
+            } else {
+                has_i
+            };
+            let job = if take_interactive {
+                st.queues[0].pop_front()
+            } else {
+                st.queues[1].pop_front()
+            };
+            drop(st);
+            let job = job?; // non-empty by construction
+            sh.admission.dequeued(job.priority);
+            sh.publish_gauges();
+            return Some(job);
+        }
+        if st.closed {
+            return None;
+        }
+        st = sh.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+fn worker_loop(sh: &Shared, interactive_only: bool) {
+    // One scratch workspace per worker, reused across requests, so the
+    // steady-state hot path allocates nothing (same pooling as the batch
+    // drivers — but never shared between workers, which run concurrently).
+    let workspace = Arc::new(KernelWorkspace::new());
+    while let Some(job) = pick_job(sh, interactive_only) {
+        process_job(sh, &workspace, job);
+    }
+}
+
+fn process_job(sh: &Shared, workspace: &Arc<KernelWorkspace>, job: Job) {
+    let class = job.priority;
+    let queue_wait = job.enqueued.elapsed();
+    let queue_wait_ms = queue_wait.as_secs_f64() * 1e3;
+    obs::observe(
+        "serve_queue_wait_ms",
+        &[("class", class.name())],
+        queue_wait_ms,
+    );
+    let blocks_total = sh.dev_db.blocks().len() as u32;
+
+    // A request whose deadline expired while queued is refused before any
+    // device work — this is the "server queued you to death" path.
+    if job.cancel.check() {
+        finish(
+            sh,
+            &job,
+            queue_wait_ms,
+            0.0,
+            false,
+            Err(SearchError::DeadlineExceeded {
+                elapsed_ms: job.cancel.elapsed_ms(),
+                blocks_completed: 0,
+                blocks_total,
+            }),
+        );
+        return;
+    }
+
+    // Re-assess the ladder at pickup: pressure may have crossed the
+    // coarse-placement rung while this job was queued.
+    let mut search_cfg = sh.search_cfg;
+    let mut degraded_placement = false;
+    if sh.level() >= DegradationLevel::CoarseOnly && search_cfg.gapped_backend == GappedBackend::Gpu
+    {
+        search_cfg.gapped_backend = GappedBackend::Cpu;
+        degraded_placement = true;
+        obs::counter("serve_coarse_placements_total", &[], 1);
+    }
+
+    let t_service = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let mut searcher =
+            CuBlastp::new(job.query.clone(), sh.params, search_cfg, sh.device, &sh.db);
+        searcher.workspace = Arc::clone(workspace);
+        if let Some(inj) = &sh.injector {
+            searcher.injector = Arc::clone(inj);
+        }
+        let on_block = |p: BlockProgress<'_>| {
+            obs::counter("serve_blocks_streamed_total", &[], 1);
+            // A receiver that hung up just stops streaming; the search
+            // itself still completes and settles the admission budget.
+            let _ = job.tx.send(Event::Block {
+                block: p.block,
+                blocks_total: p.blocks_total,
+                partial: p.partial.clone(),
+            });
+        };
+        let hooks = SearchHooks {
+            cancel: job.cancel.clone(),
+            on_block: Some(&on_block),
+        };
+        // The database is already resident; no request pays the upload.
+        searcher.search_resident_with_hooks(&sh.db, &sh.dev_db, false, &hooks)
+    }));
+    let service_ms = t_service.elapsed().as_secs_f64() * 1e3;
+
+    let result = match outcome {
+        Ok(res) => res,
+        Err(payload) => Err(SearchError::from(PipelineError::WorkerPanicked {
+            side: "serve worker",
+            payload: panic_message(payload.as_ref()),
+        })),
+    };
+    finish(
+        sh,
+        &job,
+        queue_wait_ms,
+        service_ms,
+        degraded_placement,
+        result,
+    );
+}
+
+/// Settle one job: release its admission cost, record telemetry, and send
+/// the terminal `Done` event.
+fn finish(
+    sh: &Shared,
+    job: &Job,
+    queue_wait_ms: f64,
+    service_ms: f64,
+    degraded_placement: bool,
+    result: Result<CuBlastpResult, SearchError>,
+) {
+    sh.admission.complete(job.cost, service_ms.max(0.1));
+    sh.publish_gauges();
+    let class = job.priority;
+    let total_ms = queue_wait_ms + service_ms;
+    obs::observe("serve_latency_ms", &[("class", class.name())], total_ms);
+
+    let done = match result {
+        Ok(mut r) => {
+            r.recovery.queue_wait_us = (queue_wait_ms * 1e3) as u64;
+            obs::counter(
+                "serve_completed_total",
+                &[("class", class.name()), ("outcome", "ok")],
+                1,
+            );
+            Ok(ServeResult {
+                result: r,
+                queue_wait_ms,
+                service_ms,
+                degraded_placement,
+            })
+        }
+        Err(e) => {
+            if matches!(e, SearchError::DeadlineExceeded { .. }) {
+                obs::counter("serve_deadline_total", &[("class", class.name())], 1);
+            }
+            obs::counter(
+                "serve_completed_total",
+                &[("class", class.name()), ("outcome", e.category())],
+                1,
+            );
+            Err(e)
+        }
+    };
+    let _ = job.tx.send(Event::Done(Box::new(done)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bio_seq::generate::{generate_db, make_query, DbSpec};
+
+    /// The obs metrics registry is process-global and `cargo test` runs
+    /// unit tests threaded, so every test that builds a `Server` (which
+    /// arms metrics and publishes gauges) must hold this lock.
+    /// (`obs::test_lock` is crate-private.)
+    static REGISTRY_LOCK: Mutex<()> = Mutex::new(());
+
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        REGISTRY_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn workload() -> (Sequence, SequenceDb) {
+        let q = make_query(96);
+        let spec = DbSpec {
+            name: "serve-t",
+            num_sequences: 120,
+            mean_length: 130,
+            homolog_fraction: 0.2,
+            seed: 33,
+        };
+        (q.clone(), generate_db(&spec, &q).db)
+    }
+
+    fn search_cfg() -> CuBlastpConfig {
+        CuBlastpConfig {
+            db_block_size: 40,
+            grid_blocks: 2,
+            warps_per_block: 2,
+            cpu_threads: 1,
+            ..Default::default()
+        }
+    }
+
+    fn server(cfg: ServeConfig) -> (Server, Sequence) {
+        let (q, db) = workload();
+        let srv = Server::new(
+            db,
+            SearchParams::default(),
+            search_cfg(),
+            DeviceConfig::k20c(),
+            cfg,
+        )
+        .expect("server config valid");
+        (srv, q)
+    }
+
+    #[test]
+    fn served_search_matches_direct_search() {
+        let _g = lock();
+        obs::metrics().reset();
+        let (srv, q) = server(ServeConfig::default());
+        let (_, db) = workload();
+        let direct = CuBlastp::new(
+            q.clone(),
+            SearchParams::default(),
+            search_cfg(),
+            DeviceConfig::k20c(),
+            &db,
+        )
+        .search(&db)
+        .expect("direct search");
+
+        let handle = srv.submit(Request::interactive(q, "t0")).expect("admitted");
+        let out = handle.wait().expect("served search");
+        assert_eq!(
+            out.result.report.identity_key(),
+            direct.report.identity_key()
+        );
+        assert!(out.queue_wait_ms >= 0.0 && out.service_ms > 0.0);
+        assert!(!out.degraded_placement);
+        // Queue wait is surfaced through the recovery report (satellite 1).
+        assert_eq!(
+            out.result.recovery.queue_wait_us,
+            (out.queue_wait_ms * 1e3) as u64
+        );
+    }
+
+    #[test]
+    fn block_events_stream_in_order_then_done() {
+        let _g = lock();
+        obs::metrics().reset();
+        let (srv, q) = server(ServeConfig::default());
+        let total = srv.num_blocks();
+        assert!(total > 1, "workload must span multiple blocks");
+        let handle = srv.submit(Request::interactive(q, "t0")).expect("admitted");
+        let mut blocks = Vec::new();
+        let mut done = None;
+        while let Some(ev) = handle.next_event() {
+            match ev {
+                Event::Block {
+                    block,
+                    blocks_total,
+                    ..
+                } => {
+                    assert_eq!(blocks_total, total);
+                    blocks.push(block);
+                }
+                Event::Done(res) => {
+                    done = Some(*res);
+                    break;
+                }
+            }
+        }
+        assert_eq!(blocks, (0..total).collect::<Vec<_>>());
+        assert!(done.expect("terminal event").is_ok());
+    }
+
+    #[test]
+    fn zero_deadline_yields_typed_deadline_error() {
+        let _g = lock();
+        obs::metrics().reset();
+        let (srv, q) = server(ServeConfig::default());
+        let handle = srv
+            .submit(Request::interactive(q, "t0").with_deadline(Duration::ZERO))
+            .expect("admission does not check deadlines");
+        match handle.wait() {
+            Err(SearchError::DeadlineExceeded {
+                blocks_completed,
+                blocks_total,
+                ..
+            }) => {
+                assert_eq!(blocks_completed, 0);
+                assert_eq!(blocks_total, srv.num_blocks());
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shed_bulk_rung_refuses_bulk_but_not_interactive() {
+        let _g = lock();
+        obs::metrics().reset();
+        let cfg = ServeConfig {
+            // Threshold at zero pressure: permanently at ShedBulk.
+            controller: LoadController {
+                shed_bulk_at: 0.0,
+                shrink_at: 2.0,
+                coarse_at: 2.0,
+            },
+            ..Default::default()
+        };
+        let (srv, q) = server(cfg);
+        let err = srv
+            .submit(Request::bulk(q.clone(), "t0"))
+            .expect_err("bulk must shed");
+        match err {
+            SearchError::Overloaded { retry_after_ms } => assert!(retry_after_ms > 0),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        let ok = srv
+            .submit(Request::interactive(q, "t0"))
+            .expect("interactive admitted");
+        assert!(ok.wait().is_ok());
+    }
+
+    #[test]
+    fn tenant_rate_limit_refuses_with_backoff() {
+        let _g = lock();
+        obs::metrics().reset();
+        let cfg = ServeConfig {
+            tenant_rate: RateLimitConfig {
+                rate_per_sec: 0.001, // one request per ~17 minutes
+                burst: 1.0,
+            },
+            ..Default::default()
+        };
+        let (srv, q) = server(cfg);
+        assert!(srv.submit(Request::interactive(q.clone(), "t0")).is_ok());
+        let err = srv
+            .submit(Request::interactive(q.clone(), "t0"))
+            .expect_err("tenant t0 over its rate");
+        assert_eq!(err.category(), "overloaded");
+        // Another tenant has its own bucket.
+        assert!(srv.submit(Request::interactive(q, "t1")).is_ok());
+    }
+
+    #[test]
+    fn queue_capacity_sheds_with_typed_overload() {
+        let _g = lock();
+        obs::metrics().reset();
+        // One worker, one queue slot: the third submission in a burst must
+        // be refused (one running + one queued).
+        let cfg = ServeConfig {
+            workers: 1,
+            reserved_interactive_workers: 0,
+            queue_capacity: 1,
+            ..Default::default()
+        };
+        let (srv, q) = server(cfg);
+        let mut handles = Vec::new();
+        let mut shed = 0;
+        for _ in 0..6 {
+            match srv.submit(Request::interactive(q.clone(), "t0")) {
+                Ok(h) => handles.push(h),
+                Err(SearchError::Overloaded { retry_after_ms }) => {
+                    assert!(retry_after_ms > 0);
+                    shed += 1;
+                }
+                Err(other) => panic!("expected Overloaded, got {other:?}"),
+            }
+        }
+        assert!(shed > 0, "a 6-deep burst into a 1-slot queue must shed");
+        // Every admitted request still terminates cleanly.
+        for h in handles {
+            h.wait().expect("admitted request completes");
+        }
+    }
+
+    #[test]
+    fn shutdown_drains_admitted_requests() {
+        let _g = lock();
+        obs::metrics().reset();
+        let (mut srv, q) = server(ServeConfig::default());
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let class = if i % 2 == 0 {
+                    Request::interactive(q.clone(), "t0")
+                } else {
+                    Request::bulk(q.clone(), "t1")
+                };
+                srv.submit(class).expect("admitted")
+            })
+            .collect();
+        srv.shutdown();
+        for h in handles {
+            h.wait().expect("drained, not dropped");
+        }
+        // New submissions are refused after shutdown.
+        let err = srv
+            .submit(Request::interactive(q, "t0"))
+            .expect_err("closed");
+        assert_eq!(err.category(), "config");
+    }
+
+    #[test]
+    fn empty_query_is_an_input_error() {
+        let _g = lock();
+        obs::metrics().reset();
+        let (srv, _q) = server(ServeConfig::default());
+        let empty = Sequence::from_residues("empty", Vec::new());
+        let err = srv
+            .submit(Request::interactive(empty, "t0"))
+            .expect_err("empty query refused");
+        assert_eq!(err.category(), "input");
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_pools() {
+        for bad in [
+            ServeConfig {
+                workers: 0,
+                ..Default::default()
+            },
+            ServeConfig {
+                workers: 2,
+                reserved_interactive_workers: 2,
+                ..Default::default()
+            },
+            ServeConfig {
+                workers: 1,
+                reserved_interactive_workers: 1,
+                ..Default::default()
+            },
+            ServeConfig {
+                queue_capacity: 0,
+                ..Default::default()
+            },
+            ServeConfig {
+                interactive_weight: 0,
+                ..Default::default()
+            },
+        ] {
+            assert_eq!(bad.validate().expect_err("invalid").category(), "config");
+        }
+    }
+}

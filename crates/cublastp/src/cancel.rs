@@ -1,0 +1,217 @@
+//! Cooperative cancellation for long-running searches.
+//!
+//! A [`CancelToken`] is polled by the search driver at block boundaries
+//! (and at the top of every recovery retry), so an expired or cancelled
+//! query frees its device slot between database blocks instead of running
+//! to completion — the serving layer's deadline mechanism (DESIGN.md
+//! §3.8). The token is deliberately *cooperative*: a search never stops
+//! mid-kernel, so every observable intermediate state is a whole-block
+//! state and cancellation can never corrupt pooled workspaces.
+//!
+//! Three flavours:
+//!
+//! * [`CancelToken::never`] — the default; polling is a no-op returning
+//!   `false` (no allocation, no atomics).
+//! * [`CancelToken::with_deadline`] — trips once the wall-clock budget is
+//!   spent. The budget includes any time the caller held the token before
+//!   the search started, so queue wait counts against the deadline.
+//! * [`CancelToken::after_checks`] — deterministic test mode: trips on the
+//!   `n`-th poll regardless of wall-clock. The cancellation proptest uses
+//!   this to place a cancel point between any two blocks reproducibly.
+//!
+//! Tokens are cheap to clone (one `Arc`) and safe to poll from any
+//! thread; [`CancelToken::cancel`] from another thread trips every clone.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+struct Inner {
+    cancelled: AtomicBool,
+    /// Wall-clock budget measured from `started`, if any.
+    deadline: Option<Duration>,
+    /// Deterministic trip point: cancel on the `n`-th `check()` call
+    /// (1-based), if set. Test-only mode; never combined with `deadline`.
+    after_checks: Option<u64>,
+    checks: AtomicU64,
+    started: Instant,
+}
+
+/// A cloneable cancellation handle polled by the search driver between
+/// database blocks. See the module docs for the three flavours.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<Inner>>,
+}
+
+impl CancelToken {
+    /// A token that never cancels — polling it is free. This is the
+    /// default, so standalone searches pay nothing for the mechanism.
+    pub fn never() -> Self {
+        Self { inner: None }
+    }
+
+    /// A manually-triggered token: trips when [`cancel`](Self::cancel) is
+    /// called on any clone.
+    pub fn new() -> Self {
+        Self::with_inner(None, None)
+    }
+
+    /// A token that trips once `budget` wall-clock has elapsed from *now*.
+    /// Create it at admission time so queue wait counts against the
+    /// deadline.
+    pub fn with_deadline(budget: Duration) -> Self {
+        Self::with_inner(Some(budget), None)
+    }
+
+    /// Deterministic test mode: trips on the `n`-th [`check`](Self::check)
+    /// call (1-based; `0` trips on the first poll). Wall-clock plays no
+    /// part, so a cancel point between any two specific blocks is exactly
+    /// reproducible.
+    pub fn after_checks(n: u64) -> Self {
+        Self::with_inner(None, Some(n))
+    }
+
+    fn with_inner(deadline: Option<Duration>, after_checks: Option<u64>) -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline,
+                after_checks,
+                checks: AtomicU64::new(0),
+                started: Instant::now(),
+            })),
+        }
+    }
+
+    /// Trip the token: every clone's next poll returns `true`.
+    /// No-op on a [`never`](Self::never) token.
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::Release);
+        }
+    }
+
+    /// True when this token can ever cancel (i.e. it is not
+    /// [`never`](Self::never)).
+    pub fn is_cancellable(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Poll the token: returns `true` once cancelled, deadline-expired, or
+    /// past the deterministic trip point. Each call counts as one
+    /// checkpoint for [`after_checks`](Self::after_checks) mode.
+    pub fn check(&self) -> bool {
+        let Some(inner) = &self.inner else {
+            return false;
+        };
+        if inner.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        let polls = inner.checks.fetch_add(1, Ordering::Relaxed) + 1;
+        let tripped = match (inner.after_checks, inner.deadline) {
+            (Some(n), _) => polls >= n.max(1),
+            (None, Some(budget)) => inner.started.elapsed() >= budget,
+            (None, None) => false,
+        };
+        if tripped {
+            inner.cancelled.store(true, Ordering::Release);
+        }
+        tripped
+    }
+
+    /// Non-counting peek: like [`check`](Self::check) but does not advance
+    /// the deterministic checkpoint counter. Used for "already expired?"
+    /// fast paths that must not perturb `after_checks` placement.
+    pub fn is_cancelled(&self) -> bool {
+        let Some(inner) = &self.inner else {
+            return false;
+        };
+        if inner.cancelled.load(Ordering::Acquire) {
+            return true;
+        }
+        match (inner.after_checks, inner.deadline) {
+            (Some(_), _) => false,
+            (None, Some(budget)) => inner.started.elapsed() >= budget,
+            (None, None) => false,
+        }
+    }
+
+    /// Milliseconds since the token was created (0 for
+    /// [`never`](Self::never)) — the `elapsed_ms` a
+    /// [`DeadlineExceeded`](crate::SearchError::DeadlineExceeded) error
+    /// reports.
+    pub fn elapsed_ms(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.started.elapsed().as_millis() as u64)
+            .unwrap_or(0)
+    }
+
+    /// The wall-clock budget in milliseconds, if this is a deadline token.
+    pub fn budget_ms(&self) -> Option<u64> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.deadline)
+            .map(|d| d.as_millis() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_token_never_trips() {
+        let t = CancelToken::never();
+        assert!(!t.is_cancellable());
+        for _ in 0..100 {
+            assert!(!t.check());
+        }
+        t.cancel(); // no-op
+        assert!(!t.check());
+        assert_eq!(t.elapsed_ms(), 0);
+        assert_eq!(t.budget_ms(), None);
+    }
+
+    #[test]
+    fn manual_cancel_trips_every_clone() {
+        let t = CancelToken::new();
+        let c = t.clone();
+        assert!(!t.check() && !c.check());
+        c.cancel();
+        assert!(t.check());
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn after_checks_trips_deterministically() {
+        let t = CancelToken::after_checks(3);
+        assert!(!t.check(), "poll 1");
+        assert!(!t.check(), "poll 2");
+        assert!(!t.is_cancelled(), "peek does not count");
+        assert!(t.check(), "poll 3 trips");
+        assert!(t.check(), "stays tripped");
+        // n = 0 trips immediately.
+        assert!(CancelToken::after_checks(0).check());
+    }
+
+    #[test]
+    fn expired_deadline_trips_and_reports_elapsed() {
+        let t = CancelToken::with_deadline(Duration::from_millis(0));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(t.is_cancelled());
+        assert!(t.check());
+        assert!(t.elapsed_ms() >= 1);
+        assert_eq!(t.budget_ms(), Some(0));
+    }
+
+    #[test]
+    fn generous_deadline_does_not_trip() {
+        let t = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!t.check());
+        assert!(!t.is_cancelled());
+        assert_eq!(t.budget_ms(), Some(3_600_000));
+    }
+}

@@ -63,7 +63,8 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// Top-level error of a search: what failed and in which category.
 ///
 /// [`SearchError::category`] gives the stable class name the CLI maps to
-/// exit codes (`config` → 2, `input` → 3, `device` → 4, `pipeline` → 5).
+/// exit codes (`config` → 2, `input` → 3, `device` → 4, `pipeline` → 5,
+/// `deadline` → 6, `overloaded` → 7).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SearchError {
     /// Invalid search configuration (e.g. zero block size, retry budget
@@ -89,16 +90,38 @@ pub enum SearchError {
     },
     /// The overlap executor or batch scheduler failed.
     Pipeline(PipelineError),
+    /// The request's deadline expired at a cancellation checkpoint: the
+    /// search stopped between database blocks and freed its slot. Carries
+    /// partial-phase telemetry — how far the pipeline got before the
+    /// budget ran out.
+    DeadlineExceeded {
+        /// Wall-clock spent (queue wait + partial search) in milliseconds.
+        elapsed_ms: u64,
+        /// Database blocks fully processed before cancellation.
+        blocks_completed: u32,
+        /// Total database blocks the search would have covered.
+        blocks_total: u32,
+    },
+    /// The serving layer refused admission: queues or the outstanding
+    /// work budget are full (or a tenant exceeded its rate limit). The
+    /// caller should retry after the suggested backoff.
+    Overloaded {
+        /// Suggested client backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl SearchError {
-    /// Stable category label ("config" | "input" | "device" | "pipeline").
+    /// Stable category label ("config" | "input" | "device" | "pipeline"
+    /// | "deadline" | "overloaded").
     pub fn category(&self) -> &'static str {
         match self {
             SearchError::Config { .. } => "config",
             SearchError::Input { .. } => "input",
             SearchError::Device { .. } => "device",
             SearchError::Pipeline(_) => "pipeline",
+            SearchError::DeadlineExceeded { .. } => "deadline",
+            SearchError::Overloaded { .. } => "overloaded",
         }
     }
 
@@ -131,6 +154,18 @@ impl fmt::Display for SearchError {
                 "device fault on block {block} after {attempts} attempt(s): {source}"
             ),
             SearchError::Pipeline(e) => write!(f, "pipeline failure: {e}"),
+            SearchError::DeadlineExceeded {
+                elapsed_ms,
+                blocks_completed,
+                blocks_total,
+            } => write!(
+                f,
+                "deadline exceeded after {elapsed_ms} ms \
+                 ({blocks_completed}/{blocks_total} blocks completed)"
+            ),
+            SearchError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded, retry after {retry_after_ms} ms")
+            }
         }
     }
 }
@@ -174,6 +209,33 @@ mod tests {
             SearchError::from(PipelineError::ChannelClosed { side: "cpu" }).category(),
             "pipeline"
         );
+        assert_eq!(
+            SearchError::DeadlineExceeded {
+                elapsed_ms: 120,
+                blocks_completed: 2,
+                blocks_total: 5,
+            }
+            .category(),
+            "deadline"
+        );
+        assert_eq!(
+            SearchError::Overloaded { retry_after_ms: 50 }.category(),
+            "overloaded"
+        );
+    }
+
+    #[test]
+    fn serving_errors_display_their_telemetry() {
+        let d = SearchError::DeadlineExceeded {
+            elapsed_ms: 120,
+            blocks_completed: 2,
+            blocks_total: 5,
+        }
+        .to_string();
+        assert!(d.contains("120 ms") && d.contains("2/5"), "{d}");
+        assert!(!d.contains('\n'));
+        let o = SearchError::Overloaded { retry_after_ms: 50 }.to_string();
+        assert!(o.contains("retry after 50 ms"), "{o}");
     }
 
     #[test]

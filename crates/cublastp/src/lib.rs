@@ -46,6 +46,7 @@
 //! process aborts. See DESIGN.md §3.3 for the fault model.
 
 pub mod binning;
+pub mod cancel;
 pub mod cluster;
 pub mod config;
 pub mod devicedata;
@@ -61,6 +62,7 @@ pub mod pipeline;
 pub mod reorder;
 pub mod search;
 
+pub use cancel::CancelToken;
 pub use cluster::{search_cluster, ClusterConfig, ClusterResult};
 pub use config::{
     CuBlastpConfig, ExtensionStrategy, GappedBackend, PipelineConfig, RecoveryPolicy, ScoringMode,
@@ -72,7 +74,7 @@ pub use grouped::DeviceGroupIndex;
 pub use grouping::plan_rounds;
 pub use pipeline::{overlap_blocks, overlap_blocks_depth, schedule, BlockTiming, PipelineSchedule};
 pub use search::{
-    search_batch, search_batch_parallel, search_batch_with, BatchOptions, BatchOutcome, CuBlastp,
-    CuBlastpResult, CuBlastpTiming, GroupedReport, RecoveryReport, RoundReport, SeedMode,
-    DEFAULT_GROUP_BUDGET,
+    search_batch, search_batch_parallel, search_batch_with, BatchOptions, BatchOutcome,
+    BlockProgress, CuBlastp, CuBlastpResult, CuBlastpTiming, GroupedReport, RecoveryReport,
+    RoundReport, SearchHooks, SeedMode, DEFAULT_GROUP_BUDGET,
 };

@@ -9,6 +9,7 @@
 //! integration tests enforce.
 
 use crate::binning::BinnedHits;
+use crate::cancel::CancelToken;
 use crate::config::{CuBlastpConfig, ExtensionStrategy, GappedBackend};
 use crate::devicedata::{DeviceDb, DeviceDbBlock, DeviceQuery};
 use crate::error::{panic_message, PipelineError, SearchError};
@@ -82,12 +83,28 @@ pub struct RecoveryReport {
     /// (`--gapped-backend gpu` only; the hit-path kernels still ran).
     #[serde(default)]
     pub degraded_gapped: u64,
+    /// Host wall-clock spent on the retry path, in microseconds: failed
+    /// launch attempts, workspace resets and backoff sleeps. Separated
+    /// from compute so `--phase-table` can report retry cost distinctly
+    /// instead of folding it into phase times.
+    #[serde(default)]
+    pub retry_wait_us: u64,
+    /// Host wall-clock this query spent queued behind earlier work before
+    /// its search started, in microseconds. Set by the batch drivers and
+    /// the serving layer; zero for a standalone search.
+    #[serde(default)]
+    pub queue_wait_us: u64,
 }
 
 impl RecoveryReport {
     /// True when the search completed without touching the recovery path.
+    /// Wait telemetry (`queue_wait_us`, `retry_wait_us`) does not count:
+    /// a query that merely queued behind a batch is still clean.
     pub fn is_clean(&self) -> bool {
-        *self == Self::default()
+        self.faults == 0
+            && self.retries == 0
+            && self.degraded_blocks == 0
+            && self.degraded_gapped == 0
     }
 
     fn absorb(&mut self, other: &RecoveryReport) {
@@ -95,6 +112,50 @@ impl RecoveryReport {
         self.retries += other.retries;
         self.degraded_blocks += other.degraded_blocks;
         self.degraded_gapped += other.degraded_gapped;
+        self.retry_wait_us += other.retry_wait_us;
+        self.queue_wait_us += other.queue_wait_us;
+    }
+}
+
+/// Progress notification for one completed database block, delivered to
+/// [`SearchHooks::on_block`] from the CPU side of the pipeline as soon as
+/// the block's tail finishes — the serving layer streams these to clients
+/// incrementally instead of waiting for the whole search.
+#[derive(Debug)]
+pub struct BlockProgress<'a> {
+    /// Database block index (pipeline order).
+    pub block: u32,
+    /// Total database blocks in this search.
+    pub blocks_total: u32,
+    /// This block's alignments, pre-merge and pre-ranking. Hits from
+    /// different blocks never alias, so a consumer can accumulate these
+    /// and reach the exact final report (minus `finalize` ranking).
+    pub partial: &'a SearchReport,
+}
+
+/// Per-search hooks for the serving layer (see DESIGN.md §3.8):
+/// cooperative cancellation polled at block boundaries, and an optional
+/// per-block streaming callback. [`SearchHooks::default`] is inert — the
+/// plain [`CuBlastp::search_resident`] path uses it and pays nothing.
+#[derive(Default)]
+pub struct SearchHooks<'a> {
+    /// Polled between database blocks and at every recovery retry; when it
+    /// trips, the search stops at the next checkpoint and returns
+    /// [`SearchError::DeadlineExceeded`] with partial-phase telemetry.
+    pub cancel: CancelToken,
+    /// Called on the consumer thread after each block's CPU tail, with
+    /// that block's partial report. Must be cheap; the pipeline blocks on
+    /// it.
+    pub on_block: Option<&'a (dyn Fn(BlockProgress<'_>) + Sync)>,
+}
+
+impl SearchHooks<'_> {
+    fn deadline_error(&self, blocks_completed: u32, blocks_total: u32) -> SearchError {
+        SearchError::DeadlineExceeded {
+            elapsed_ms: self.cancel.elapsed_ms(),
+            blocks_completed,
+            blocks_total,
+        }
     }
 }
 
@@ -195,6 +256,8 @@ impl CuBlastp {
         &self,
         dev_block: &DeviceDbBlock,
         block_idx: u32,
+        blocks_total: u32,
+        cancel: &CancelToken,
     ) -> Result<(GpuPhaseOutput, RecoveryReport), SearchError> {
         let ctx = FaultCtx {
             query: self.stream_index,
@@ -205,6 +268,15 @@ impl CuBlastp {
         let mut attempts = 0u32;
         let final_err = loop {
             attempts += 1;
+            // A retry is a fresh launch the deadline must cover: poll the
+            // token so an expired query stops retrying and frees its slot.
+            if attempts > 1 && cancel.check() {
+                return Err(SearchError::DeadlineExceeded {
+                    elapsed_ms: cancel.elapsed_ms(),
+                    blocks_completed: block_idx,
+                    blocks_total,
+                });
+            }
             // Re-launches after a fault get their own span, so retry storms
             // are visible as repeated `block_retry` lanes in the trace.
             let _retry_span = if attempts > 1 {
@@ -215,6 +287,7 @@ impl CuBlastp {
             } else {
                 obs::PhaseSpan::inert()
             };
+            let t_attempt = Instant::now();
             match run_gpu_phase(
                 &self.device,
                 &self.config,
@@ -241,8 +314,13 @@ impl CuBlastp {
                                 policy.backoff_ms * attempts as f64 / 1e3,
                             ));
                         }
+                        // The failed attempt, the reset and the backoff are
+                        // retry cost, not compute — billed separately so
+                        // phase tables stay honest.
+                        recovery.retry_wait_us += t_attempt.elapsed().as_micros() as u64;
                         continue;
                     }
+                    recovery.retry_wait_us += t_attempt.elapsed().as_micros() as u64;
                     break e;
                 }
             }
@@ -293,6 +371,7 @@ impl CuBlastp {
             } else {
                 obs::PhaseSpan::inert()
             };
+            let t_attempt = Instant::now();
             let run = {
                 let _span = obs::span("gapped_device", "gpu")
                     .with_block(block_idx)
@@ -339,8 +418,10 @@ impl CuBlastp {
                                 policy.backoff_ms * attempts as f64 / 1e3,
                             ));
                         }
+                        recovery.retry_wait_us += t_attempt.elapsed().as_micros() as u64;
                         continue;
                     }
+                    recovery.retry_wait_us += t_attempt.elapsed().as_micros() as u64;
                     break e;
                 }
             }
@@ -695,6 +776,23 @@ impl CuBlastp {
         dev_db: &DeviceDb,
         charge_h2d: bool,
     ) -> Result<CuBlastpResult, SearchError> {
+        self.search_resident_with_hooks(db, dev_db, charge_h2d, &SearchHooks::default())
+    }
+
+    /// [`search_resident`](Self::search_resident) with serving-layer hooks
+    /// (DESIGN.md §3.8): the hooks' [`CancelToken`] is polled at every
+    /// block boundary (GPU side, CPU side, and recovery retries) so an
+    /// expired query returns [`SearchError::DeadlineExceeded`] between
+    /// blocks instead of running to completion, and `on_block` streams
+    /// each block's partial report as soon as its CPU tail finishes.
+    /// With default hooks this is exactly `search_resident`.
+    pub fn search_resident_with_hooks(
+        &self,
+        db: &SequenceDb,
+        dev_db: &DeviceDb,
+        charge_h2d: bool,
+        hooks: &SearchHooks<'_>,
+    ) -> Result<CuBlastpResult, SearchError> {
         let _search_span = obs::span("search", "host").with_query(self.stream_index);
         self.config.validate()?;
         // Record which SIMD instruction set the CPU phases (gapped
@@ -716,12 +814,20 @@ impl CuBlastp {
         }
         let device = self.device;
 
+        let blocks_total = dev_db.blocks().len() as u32;
+        // Reject an already-expired request before any device work: the
+        // serving layer admits with the deadline clock already running.
+        if hooks.cancel.is_cancelled() {
+            return Err(hooks.deadline_error(0, blocks_total));
+        }
+
         // GPU side of one block: five kernels over the resident block
         // (six under the device gapped backend), under the recovery
         // policy. `Some(alignments)` routes the block's CPU tail to the
         // reporting-only path.
         type GpuSideOut = Result<
             (
+                u32,
                 usize,
                 GpuPhaseOutput,
                 Option<Vec<Vec<Alignment>>>,
@@ -733,6 +839,11 @@ impl CuBlastp {
         >;
         let gpu_side =
             |(idx, (block, dev_block)): (usize, (DbBlock, Arc<DeviceDbBlock>))| -> GpuSideOut {
+                // Cancellation checkpoint between blocks: an expired query
+                // stops launching kernels and frees the device mid-search.
+                if hooks.cancel.check() {
+                    return Err(hooks.deadline_error(idx as u32, blocks_total));
+                }
                 let h2d = if charge_h2d {
                     let ms = device.transfer_ms(dev_block.upload_bytes());
                     obs::modelled(
@@ -751,7 +862,8 @@ impl CuBlastp {
                 } else {
                     0.0
                 };
-                let (mut out, mut recovery) = self.run_block_recovered(&dev_block, idx as u32)?;
+                let (mut out, mut recovery) =
+                    self.run_block_recovered(&dev_block, idx as u32, blocks_total, &hooks.cancel)?;
                 let aligns =
                     self.attach_gapped_backend(&dev_block, &mut out, &mut recovery, idx as u32)?;
                 let d2h = device.transfer_ms(out.download_bytes);
@@ -763,7 +875,7 @@ impl CuBlastp {
                     Some(self.stream_index),
                 );
                 obs::counter("pcie_bytes_total", &[("dir", "d2h")], out.download_bytes);
-                Ok((block.start, out, aligns, recovery, h2d, d2h))
+                Ok((idx as u32, block.start, out, aligns, recovery, h2d, d2h))
             };
 
         // CPU side of one block: gapped extension + traceback on the
@@ -784,28 +896,29 @@ impl CuBlastp {
             SearchError,
         >;
         let cpu_side = |gpu_out: GpuSideOut| -> CpuSideOut {
-            let (base, out, aligns, recovery, h2d, d2h) = gpu_out?;
-            match aligns {
+            let (idx, base, out, aligns, recovery, h2d, d2h) = gpu_out?;
+            // Checkpoint before the CPU tail: the GPU side may be a block
+            // ahead, so an expired query skips its remaining host work too.
+            if hooks.cancel.check() {
+                return Err(hooks.deadline_error(idx, blocks_total));
+            }
+            let (report, times, cpu_wall_ms) = match aligns {
                 // Device gapped backend: the alignments came down the PCIe
                 // link already — the CPU lane only does statistics.
                 Some(a) => {
                     let (report, wall_ms) = self.cpu_report_block(db, base, &a);
-                    Ok((
-                        report,
-                        PhaseTimes::default(),
-                        out,
-                        recovery,
-                        h2d,
-                        d2h,
-                        wall_ms,
-                    ))
+                    (report, PhaseTimes::default(), wall_ms)
                 }
-                None => {
-                    let (report, times, cpu_wall_ms) =
-                        self.cpu_finish_block(db, base, &out.extensions);
-                    Ok((report, times, out, recovery, h2d, d2h, cpu_wall_ms))
-                }
+                None => self.cpu_finish_block(db, base, &out.extensions),
+            };
+            if let Some(on_block) = hooks.on_block {
+                on_block(BlockProgress {
+                    block: idx,
+                    blocks_total,
+                    partial: &report,
+                });
             }
+            Ok((report, times, out, recovery, h2d, d2h, cpu_wall_ms))
         };
 
         // Run the pipeline: actually overlapped (two host threads) when
@@ -1138,7 +1251,10 @@ fn search_batch_per_query(
     let workspace = Arc::new(KernelWorkspace::new());
 
     let run_query = |(i, q): (usize, &Sequence)| -> Result<CuBlastpResult, SearchError> {
-        let result = catch_unwind(AssertUnwindSafe(|| {
+        // Time from batch start to this query's own start: scheduler queue
+        // wait, surfaced separately from compute in the recovery report.
+        let queue_wait_us = t0.elapsed().as_micros() as u64;
+        let mut result = catch_unwind(AssertUnwindSafe(|| {
             let _batch_span = obs::span("batch_query", "batch").with_query(i as u32);
             let mut searcher = CuBlastp::new(q.clone(), params, config, device, db);
             searcher.workspace = Arc::clone(&workspace);
@@ -1154,6 +1270,10 @@ fn search_batch_per_query(
                 payload: panic_message(payload.as_ref()),
             }))
         });
+        if let Ok(r) = &mut result {
+            r.recovery.queue_wait_us = queue_wait_us;
+            obs::observe("batch_queue_wait_ms", &[], queue_wait_us as f64 / 1e3);
+        }
         let outcome = if result.is_ok() { "ok" } else { "err" };
         obs::counter("batch_queries_total", &[("outcome", outcome)], 1);
         result
@@ -1379,7 +1499,8 @@ fn search_batch_grouped(
                 Ok(s) => s,
                 Err(_) => unreachable!("ok_idx only holds Ok slots"),
             };
-            let result = catch_unwind(AssertUnwindSafe(|| {
+            let queue_wait_us = t0.elapsed().as_micros() as u64;
+            let mut result = catch_unwind(AssertUnwindSafe(|| {
                 let _batch_span = obs::span("batch_query", "batch").with_query(qi as u32);
                 searcher.search_resident_prebinned(db, &dev_db, bins)
             }))
@@ -1389,6 +1510,10 @@ fn search_batch_grouped(
                     payload: panic_message(payload.as_ref()),
                 }))
             });
+            if let Ok(r) = &mut result {
+                r.recovery.queue_wait_us = queue_wait_us;
+                obs::observe("batch_queue_wait_ms", &[], queue_wait_us as f64 / 1e3);
+            }
             let outcome = if result.is_ok() { "ok" } else { "err" };
             obs::counter("batch_queries_total", &[("outcome", outcome)], 1);
             per_query[qi] = Some(result);
@@ -2034,6 +2159,120 @@ mod tests {
                 .report
                 .identity_key()
         );
+    }
+
+    #[test]
+    fn cancelled_search_returns_typed_deadline_error_with_telemetry() {
+        let (q, db) = workload();
+        let cfg = CuBlastpConfig {
+            db_block_size: 40,
+            grid_blocks: 2,
+            warps_per_block: 2,
+            overlap: false,
+            ..Default::default()
+        };
+        let gpu = CuBlastp::new(q, SearchParams::default(), cfg, DeviceConfig::k20c(), &db);
+        let dev_db = DeviceDb::upload(&db, cfg.db_block_size);
+        let blocks_total = dev_db.blocks().len() as u32;
+        assert!(blocks_total >= 2, "workload must span multiple blocks");
+        // Trip on the very first checkpoint: no block completes.
+        let hooks = SearchHooks {
+            cancel: CancelToken::after_checks(1),
+            on_block: None,
+        };
+        let err = gpu
+            .search_resident_with_hooks(&db, &dev_db, false, &hooks)
+            .expect_err("tripped token must cancel the search");
+        match err {
+            SearchError::DeadlineExceeded {
+                blocks_completed,
+                blocks_total: total,
+                ..
+            } => {
+                assert_eq!(blocks_completed, 0);
+                assert_eq!(total, blocks_total);
+            }
+            other => panic!("expected deadline error, got {other:?}"),
+        }
+        assert_eq!(err.category(), "deadline");
+        // An expired wall-clock deadline cancels before any device work.
+        let hooks = SearchHooks {
+            cancel: CancelToken::with_deadline(Duration::from_millis(0)),
+            on_block: None,
+        };
+        std::thread::sleep(Duration::from_millis(1));
+        let err = gpu
+            .search_resident_with_hooks(&db, &dev_db, false, &hooks)
+            .expect_err("expired deadline must cancel");
+        assert_eq!(err.category(), "deadline");
+    }
+
+    #[test]
+    fn block_streaming_accumulates_to_the_exact_final_report() {
+        use std::sync::Mutex;
+        let (q, db) = workload();
+        let cfg = CuBlastpConfig {
+            db_block_size: 40,
+            grid_blocks: 2,
+            warps_per_block: 2,
+            ..Default::default()
+        };
+        let gpu = CuBlastp::new(q, SearchParams::default(), cfg, DeviceConfig::k20c(), &db);
+        let dev_db = DeviceDb::upload(&db, cfg.db_block_size);
+        let streamed: Mutex<Vec<(u32, u32, SearchReport)>> = Mutex::new(Vec::new());
+        let on_block = |p: BlockProgress<'_>| {
+            streamed.lock().expect("test mutex").push((
+                p.block,
+                p.blocks_total,
+                SearchReport {
+                    hits: p.partial.hits.clone(),
+                },
+            ));
+        };
+        let hooks = SearchHooks {
+            cancel: CancelToken::never(),
+            on_block: Some(&on_block),
+        };
+        let r = gpu
+            .search_resident_with_hooks(&db, &dev_db, false, &hooks)
+            .expect("fault-free search");
+        let streamed = streamed.into_inner().expect("test mutex");
+        let blocks_total = dev_db.blocks().len();
+        assert_eq!(streamed.len(), blocks_total, "one event per block");
+        // Events arrive in pipeline order and accumulate to the final
+        // report (modulo finalize's ranking).
+        let mut merged = SearchReport::default();
+        for (i, (block, total, partial)) in streamed.into_iter().enumerate() {
+            assert_eq!(block as usize, i);
+            assert_eq!(total as usize, blocks_total);
+            merged.hits.extend(partial.hits);
+        }
+        merged.finalize(gpu.engine.params.max_reported);
+        assert_eq!(merged.identity_key(), r.report.identity_key());
+    }
+
+    #[test]
+    fn batch_queries_report_queue_wait_separately() {
+        let (q, db) = workload();
+        let queries = vec![q, make_query(80), make_query(110)];
+        let cfg = CuBlastpConfig {
+            db_block_size: 60,
+            grid_blocks: 2,
+            warps_per_block: 2,
+            ..Default::default()
+        };
+        let out = search_batch(
+            &queries,
+            SearchParams::default(),
+            cfg,
+            DeviceConfig::k20c(),
+            &db,
+        );
+        // Later queries in a serial batch waited behind earlier ones; the
+        // wait is telemetry, not a recovery action, so they stay clean.
+        let last = out.per_query[2].as_ref().expect("query 2");
+        assert!(last.recovery.queue_wait_us > 0);
+        assert!(last.recovery.is_clean(), "queue wait does not dirty a run");
     }
 
     #[test]

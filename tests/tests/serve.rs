@@ -1,0 +1,306 @@
+//! Serving-layer integration tests (DESIGN.md §3.8). Two invariants the
+//! admission-controlled front-end stands on:
+//!
+//! 1. **Cancellation is all-or-nothing.** A cancel point between any two
+//!    pipeline checkpoints yields either the bit-identical complete
+//!    result or a typed `DeadlineExceeded` with honest progress telemetry
+//!    — never a truncated report presented as success.
+//! 2. **Overload sheds, it never loses.** Under a saturating burst the
+//!    server refuses with typed `Overloaded` errors, keeps the admitted
+//!    set bounded by its configured budgets, and every admitted request
+//!    terminates with exactly one `Done` event.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use bio_seq::generate::{generate_db, make_query, DbPreset, DbSpec};
+use bio_seq::{Sequence, SequenceDb};
+use blast_core::SearchParams;
+use cublastp::{
+    CancelToken, CuBlastp, CuBlastpConfig, DeviceDb, DeviceDbCache, SearchError, SearchHooks,
+};
+use cublastp_serve::{Event, Request, ResponseHandle, ServeConfig, Server};
+use gpu_sim::DeviceConfig;
+use proptest::prelude::*;
+
+/// Enough blocks that a cancel point can land before, between, and after
+/// real work; small enough that the proptest sweep stays fast.
+const NUM_BLOCKS: u32 = 3;
+const BLOCK_SIZE: usize = 15;
+
+/// The serve gauges live in the process-global metrics registry, so tests
+/// that construct a [`Server`] must not overlap (each server publishes its
+/// own `serve_queue_capacity`, and the load controller reads it back).
+static SERVER_LOCK: Mutex<()> = Mutex::new(());
+
+fn serve_config() -> CuBlastpConfig {
+    CuBlastpConfig {
+        db_block_size: BLOCK_SIZE,
+        grid_blocks: 2,
+        warps_per_block: 2,
+        ..CuBlastpConfig::default()
+    }
+}
+
+type IdentityKey = Vec<(usize, i32, u32, u32, u32, u32)>;
+
+/// Shared workload + fault-free reference, built once: the proptest runs
+/// many cases and the reference search is the expensive part.
+struct Fixture {
+    query: Sequence,
+    db: SequenceDb,
+    dev_db: Arc<DeviceDb>,
+    reference: IdentityKey,
+}
+
+fn fixture() -> &'static Fixture {
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let query = make_query(120);
+        let spec = DbSpec {
+            num_sequences: NUM_BLOCKS as usize * BLOCK_SIZE,
+            ..DbPreset::SwissprotMini.spec()
+        };
+        let db = generate_db(&spec, &query).db;
+        let dev_db = DeviceDbCache::new().get(&db, BLOCK_SIZE);
+        let searcher = CuBlastp::new(
+            query.clone(),
+            SearchParams::default(),
+            serve_config(),
+            DeviceConfig::k20c(),
+            &db,
+        );
+        let reference = searcher
+            .search_resident(&db, &dev_db, true)
+            .expect("fault-free reference")
+            .report
+            .identity_key();
+        Fixture {
+            query,
+            db,
+            dev_db,
+            reference,
+        }
+    })
+}
+
+/// Run one search with a deterministic cancel point after `n` checkpoint
+/// polls and assert the all-or-nothing contract. Returns whether the
+/// search ran to completion.
+fn assert_all_or_nothing(n: u64) -> Result<bool, TestCaseError> {
+    let fx = fixture();
+    let searcher = CuBlastp::new(
+        fx.query.clone(),
+        SearchParams::default(),
+        serve_config(),
+        DeviceConfig::k20c(),
+        &fx.db,
+    );
+    let hooks = SearchHooks {
+        cancel: CancelToken::after_checks(n),
+        on_block: None,
+    };
+    match searcher.search_resident_with_hooks(&fx.db, &fx.dev_db, true, &hooks) {
+        Ok(r) => {
+            // Complete means *complete*: bit-identical to the reference.
+            prop_assert_eq!(
+                r.report.identity_key(),
+                fx.reference.clone(),
+                "cancel at {}",
+                n
+            );
+            Ok(true)
+        }
+        Err(SearchError::DeadlineExceeded {
+            blocks_completed,
+            blocks_total,
+            ..
+        }) => {
+            prop_assert_eq!(blocks_total, NUM_BLOCKS, "cancel at {}", n);
+            prop_assert!(
+                blocks_completed < blocks_total,
+                "cancel at {}: a search that finished every block must not report a deadline",
+                n
+            );
+            Ok(false)
+        }
+        Err(e) => Err(TestCaseError::fail(format!(
+            "cancel at {n}: expected Ok or DeadlineExceeded, got {} ({e})",
+            e.category()
+        ))),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random cancel points: every outcome is either the bit-identical
+    /// complete result or a typed deadline error — never partial-but-OK.
+    #[test]
+    fn cancellation_is_all_or_nothing(n in 0u64..12) {
+        assert_all_or_nothing(n)?;
+    }
+}
+
+/// The deterministic endpoints of the sweep, pinned: the first poll always
+/// cancels, and a poll budget beyond every checkpoint always completes.
+/// Together with the proptest this proves both arms are reachable.
+#[test]
+fn cancel_point_endpoints_are_deterministic() {
+    assert!(
+        !assert_all_or_nothing(1).expect("first poll"),
+        "a token tripped on the first poll must cancel the search"
+    );
+    // One counting poll per pipeline side per block, plus retry polls
+    // (zero here, fault-free): 2 * NUM_BLOCKS is the exact budget, so
+    // anything past it completes.
+    assert!(
+        assert_all_or_nothing(2 * u64::from(NUM_BLOCKS) + 1).expect("past the last poll"),
+        "a token past every checkpoint must not cancel"
+    );
+    assert_eq!(
+        SearchError::DeadlineExceeded {
+            elapsed_ms: 0,
+            blocks_completed: 0,
+            blocks_total: NUM_BLOCKS
+        }
+        .category(),
+        "deadline"
+    );
+}
+
+/// Cancellation composed with the serving layer: a deadline that expires
+/// in the queue surfaces as a typed error event, not a lost request.
+#[test]
+fn server_deadline_is_a_typed_event() {
+    let fx = fixture();
+    let _guard = SERVER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let server = Server::new(
+        fx.db.clone(),
+        SearchParams::default(),
+        serve_config(),
+        DeviceConfig::k20c(),
+        ServeConfig {
+            workers: 1,
+            reserved_interactive_workers: 0,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server");
+    let handle = server
+        .submit(
+            Request::interactive(fx.query.clone(), "t-deadline")
+                .with_deadline(Duration::from_millis(0)),
+        )
+        .expect("admitted");
+    match handle.wait() {
+        Err(SearchError::DeadlineExceeded {
+            blocks_completed,
+            blocks_total,
+            ..
+        }) => {
+            assert_eq!(blocks_total, NUM_BLOCKS);
+            assert!(blocks_completed < blocks_total);
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+}
+
+/// Drive one burst of `n` back-to-back submissions against `server`,
+/// drain every admitted handle to its terminal event, and return
+/// `(admitted, shed)`. Panics on any untyped failure or silent loss.
+fn run_burst(server: &Server, fx: &Fixture, n: usize) -> (usize, usize) {
+    let mut pending: VecDeque<ResponseHandle> = VecDeque::new();
+    let mut shed = 0usize;
+    for i in 0..n {
+        let req = Request::bulk(fx.query.clone(), format!("tenant-{}", i % 4));
+        match server.submit(req) {
+            Ok(h) => pending.push_back(h),
+            Err(SearchError::Overloaded { retry_after_ms }) => {
+                assert!(retry_after_ms > 0, "backoff hint must be actionable");
+                shed += 1;
+            }
+            Err(e) => panic!("burst submit {i}: unexpected {} error: {e}", e.category()),
+        }
+    }
+    let admitted = pending.len();
+    // Zero silent loss: every admitted handle reaches exactly one Done.
+    while let Some(h) = pending.pop_front() {
+        let mut done = 0usize;
+        let mut block_events = 0usize;
+        while let Some(ev) = h.next_event() {
+            match ev {
+                Event::Block { .. } => block_events += 1,
+                Event::Done(result) => {
+                    done += 1;
+                    match *result {
+                        Ok(ref r) => assert_eq!(r.result.report.identity_key(), fx.reference),
+                        Err(ref e) => panic!("admitted request failed: {} ({e})", e.category()),
+                    }
+                }
+            }
+        }
+        assert_eq!(done, 1, "exactly one terminal event per admitted request");
+        assert!(
+            block_events <= NUM_BLOCKS as usize,
+            "at most one streamed event per block"
+        );
+    }
+    (admitted, shed)
+}
+
+/// Saturating burst ramp: shedding is typed, monotone in offered load,
+/// and the admitted set stays inside the configured queue budget — the
+/// "bounded memory" half of the overload contract.
+#[test]
+fn overload_sheds_monotonically_and_loses_nothing() {
+    const QUEUE_CAPACITY: usize = 4;
+    let fx = fixture();
+    let _guard = SERVER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let server = Server::new(
+        fx.db.clone(),
+        SearchParams::default(),
+        serve_config(),
+        DeviceConfig::k20c(),
+        ServeConfig {
+            workers: 1,
+            reserved_interactive_workers: 0,
+            queue_capacity: QUEUE_CAPACITY,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server");
+
+    let mut shed_fracs = Vec::new();
+    for burst in [2usize, 8, 16, 32] {
+        let (admitted, shed) = run_burst(&server, fx, burst);
+        assert_eq!(
+            admitted + shed,
+            burst,
+            "every submission got a typed answer"
+        );
+        // A back-to-back burst can admit at most the queue budget plus
+        // what the lone worker drains mid-burst: submission is
+        // microseconds, a search is milliseconds, so a generous multiple
+        // of the budget still proves admission is bounded (an
+        // uncontrolled server would admit all 32).
+        assert!(
+            admitted <= 3 * QUEUE_CAPACITY,
+            "burst {burst}: admitted {admitted} requests past the queue budget"
+        );
+        shed_fracs.push(shed as f64 / burst as f64);
+    }
+    for pair in shed_fracs.windows(2) {
+        assert!(
+            pair[1] + 0.05 >= pair[0],
+            "shed rate must grow with offered load: {shed_fracs:?}"
+        );
+    }
+    let last = shed_fracs.last().copied().unwrap_or_default();
+    assert!(last > 0.0, "an 8x-capacity burst must shed: {shed_fracs:?}");
+    // The controller recovers once the burst drains: a lone follow-up
+    // request is admitted and completes.
+    let (admitted, shed) = run_burst(&server, fx, 1);
+    assert_eq!((admitted, shed), (1, 0), "post-burst request refused");
+}
