@@ -11,12 +11,21 @@ cublastp — protein sequence search (cuBLASTP reproduction)
 
 USAGE:
     cublastp --query <fasta> --db <fasta> [options]
+    cublastp --query <fasta> --db-image <cdb> [options]
     cublastp --demo [options]
     cublastp serve --demo [serve options]
+    cublastp db build --db <fasta> --out <path.cdb> [--block-size <n>]
+    cublastp db verify <path.cdb>
 
 OPTIONS:
     --query <path>       query FASTA (one search per record)
     --db <path>          database FASTA
+    --db-image <path>    persistent database image (`.cdb`, from `db
+                         build`): mapped and validated, searched with no
+                         flatten pass; replaces --db
+    --block-size <n>     sequences per device block (default 1024); for
+                         `db build` this is baked into the image, for a
+                         search it overrides the partitioning
     --demo               use a built-in synthetic query + database
     --engine <name>      cublastp (default) | cpu | cuda-blastp | gpu-blastp
     --evalue <float>     e-value cutoff (default 10)
@@ -58,6 +67,15 @@ OPTIONS:
     --phase-table        print a per-phase timing table (Fig. 11 style)
     --help               this text
 
+DB SUBCOMMAND (persistent database images, DESIGN.md §3.9):
+    db build             serialise a FASTA database (or --demo) into a
+                         versioned, checksummed `.cdb` image at --out;
+                         the write is atomic (tmp file + rename)
+    db verify <path>     map and fully validate an image — header CRC,
+                         section table CRC, per-section CRCs, layout
+                         invariants — and print a section summary
+    --out <path>         output path for `db build`
+
 SERVE OPTIONS (after the `serve` subcommand; the query stream is replayed
 through the admission-controlled server, streaming per-block progress):
     --requests <n>       total requests to replay, round-robin over the
@@ -71,8 +89,19 @@ through the admission-controlled server, streaming per-block progress):
 EXIT CODES:
     0 success   2 config error   3 input error   4 device error
     5 pipeline error   6 deadline exceeded   7 overloaded
+    8 database image error (corrupt, truncated, or version-mismatched
+    `.cdb` — every corruption is a typed error, never a panic)
     (serve mode exits 0 as long as any request completed; 6/7 report a
     run where every request missed its deadline / was shed)";
+
+/// `db` subcommand verb.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbCmd {
+    /// Serialise a database into a `.cdb` image.
+    Build,
+    /// Map and fully validate an image.
+    Verify,
+}
 
 /// Output format of the report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,6 +142,16 @@ impl Engine {
 pub struct Args {
     pub query: Option<String>,
     pub db: Option<String>,
+    /// `--db-image`: search a persistent `.cdb` image instead of a FASTA
+    /// database (mapped, validated, zero flatten passes).
+    pub db_image: Option<String>,
+    /// `--block-size`: sequences per device block. `None` keeps the
+    /// engine default (or, with `--db-image`, the image's stored size).
+    pub block_size: Option<usize>,
+    /// `db` subcommand verb, when the first token was `db`.
+    pub db_cmd: Option<DbCmd>,
+    /// `--out`: output path for `db build`.
+    pub out: Option<String>,
     pub demo: bool,
     pub engine: Engine,
     pub evalue: f64,
@@ -150,6 +189,10 @@ impl Default for Args {
         Self {
             query: None,
             db: None,
+            db_image: None,
+            block_size: None,
+            db_cmd: None,
+            out: None,
             demo: false,
             engine: Engine::CuBlastp,
             evalue: 10.0,
@@ -193,6 +236,26 @@ impl Args {
         while let Some(arg) = argv.next() {
             match arg.as_str() {
                 "serve" if first => args.serve = true,
+                "db" if first => {
+                    args.db_cmd = Some(match value(&mut argv, "db")?.as_str() {
+                        "build" => DbCmd::Build,
+                        "verify" => DbCmd::Verify,
+                        other => {
+                            return Err(format!(
+                                "unknown db subcommand {other:?} (expected build or verify)"
+                            ))
+                        }
+                    })
+                }
+                "--db-image" => args.db_image = Some(value(&mut argv, "--db-image")?),
+                "--block-size" => {
+                    args.block_size = Some(
+                        value(&mut argv, "--block-size")?
+                            .parse()
+                            .map_err(|e| format!("--block-size: {e}"))?,
+                    )
+                }
+                "--out" => args.out = Some(value(&mut argv, "--out")?),
                 "--requests" => {
                     args.serve_requests = value(&mut argv, "--requests")?
                         .parse()
@@ -304,12 +367,58 @@ impl Args {
                 "--metrics-out" => args.metrics_out = Some(value(&mut argv, "--metrics-out")?),
                 "--phase-table" => args.phase_table = true,
                 "--help" | "-h" => args.help = true,
-                other => return Err(format!("unknown option {other:?}")),
+                other => {
+                    // `db verify` takes the image as a positional path.
+                    if args.db_cmd == Some(DbCmd::Verify)
+                        && args.db_image.is_none()
+                        && !other.starts_with('-')
+                    {
+                        args.db_image = Some(other.to_string());
+                    } else {
+                        return Err(format!("unknown option {other:?}"));
+                    }
+                }
             }
             first = false;
         }
-        if !args.help && !args.demo && (args.query.is_none() || args.db.is_none()) {
-            return Err("need --query and --db (or --demo)".into());
+        if !args.help {
+            args.validate()?;
+        }
+        Ok(args)
+    }
+
+    /// Cross-flag validation (skipped under `--help`).
+    fn validate(&self) -> Result<(), String> {
+        let args = self;
+        match args.db_cmd {
+            Some(DbCmd::Build) => {
+                if !args.demo && args.db.is_none() {
+                    return Err("db build needs --db <fasta> (or --demo)".into());
+                }
+                if args.out.is_none() {
+                    return Err("db build needs --out <path.cdb>".into());
+                }
+                if args.block_size == Some(0) {
+                    return Err("--block-size must be positive".into());
+                }
+                return Ok(());
+            }
+            Some(DbCmd::Verify) => {
+                if args.db_image.is_none() {
+                    return Err("db verify needs an image path".into());
+                }
+                return Ok(());
+            }
+            None => {}
+        }
+        if args.db.is_some() && args.db_image.is_some() {
+            return Err("--db and --db-image are mutually exclusive".into());
+        }
+        if args.block_size == Some(0) {
+            return Err("--block-size must be positive".into());
+        }
+        if !args.demo && (args.query.is_none() || (args.db.is_none() && args.db_image.is_none())) {
+            return Err("need --query and --db or --db-image (or --demo)".into());
         }
         if args.bins == 0 {
             return Err("--bins must be positive".into());
@@ -343,7 +452,7 @@ impl Args {
                 return Err("--queue-capacity must be positive".into());
             }
         }
-        Ok(args)
+        Ok(())
     }
 
     /// Search parameters implied by the flags.
@@ -370,6 +479,9 @@ impl Args {
         config.recovery.max_attempts = self.max_retries;
         config.recovery.cpu_fallback = self.cpu_fallback;
         config.pipeline.depth = self.pipeline_depth;
+        if let Some(block_size) = self.block_size {
+            config.db_block_size = block_size;
+        }
         config
     }
 }
@@ -583,6 +695,53 @@ mod tests {
         assert!(parse(&["serve", "--demo", "--workers", "0"]).is_err());
         assert!(parse(&["serve", "--demo", "--queue-capacity", "0"]).is_err());
         assert!(parse(&["serve", "--demo", "--engine", "cpu"]).is_err());
+    }
+
+    #[test]
+    fn db_subcommand_parses_and_validates() {
+        let b = parse(&["db", "build", "--db", "d.fa", "--out", "d.cdb"]).unwrap();
+        assert_eq!(b.db_cmd, Some(DbCmd::Build));
+        assert_eq!(b.out.as_deref(), Some("d.cdb"));
+        assert!(b.block_size.is_none());
+        let b = parse(&[
+            "db",
+            "build",
+            "--demo",
+            "--out",
+            "d.cdb",
+            "--block-size",
+            "64",
+        ])
+        .unwrap();
+        assert_eq!(b.block_size, Some(64));
+        let v = parse(&["db", "verify", "d.cdb"]).unwrap();
+        assert_eq!(v.db_cmd, Some(DbCmd::Verify));
+        assert_eq!(v.db_image.as_deref(), Some("d.cdb"));
+        // `db` is a subcommand: only the first token counts.
+        assert!(parse(&["--demo", "db", "build"]).is_err());
+        assert!(parse(&["db", "explode"]).is_err());
+        assert!(parse(&["db"]).is_err());
+        assert!(parse(&["db", "build", "--out", "d.cdb"]).is_err()); // no --db/--demo
+        assert!(parse(&["db", "build", "--db", "d.fa"]).is_err()); // no --out
+        assert!(parse(&["db", "build", "--demo", "--out", "x", "--block-size", "0"]).is_err());
+        assert!(parse(&["db", "verify"]).is_err()); // no path
+    }
+
+    #[test]
+    fn db_image_search_flags_parse_and_validate() {
+        let a = parse(&["--query", "q.fa", "--db-image", "d.cdb"]).unwrap();
+        assert_eq!(a.db_image.as_deref(), Some("d.cdb"));
+        assert!(a.db.is_none());
+        // Overriding the block partitioning reaches the config.
+        let a = parse(&["--demo", "--block-size", "96"]).unwrap();
+        assert_eq!(a.cublastp_config().db_block_size, 96);
+        assert_eq!(
+            parse(&["--demo"]).unwrap().cublastp_config().db_block_size,
+            CuBlastpConfig::default().db_block_size
+        );
+        assert!(parse(&["--demo", "--block-size", "0"]).is_err());
+        assert!(parse(&["--query", "q.fa", "--db", "d.fa", "--db-image", "d.cdb"]).is_err());
+        assert!(parse(&["--db-image", "d.cdb"]).is_err()); // still needs --query
     }
 
     #[test]

@@ -24,13 +24,15 @@ macro_rules! out {
 mod args;
 mod report;
 
-use args::{Args, Engine};
+use args::{Args, DbCmd, Engine};
 use bio_seq::fasta::read_fasta_strict;
 use bio_seq::{Sequence, SequenceDb};
 use blast_cpu::search::{search_parallel, search_sequential, SearchEngine};
 use cublastp::{
-    search_batch_with, BatchOptions, CuBlastp, DeviceDbCache, GappedBackend, SearchError, SeedMode,
+    search_batch_with, BatchOptions, CuBlastp, DeviceDb, DeviceDbCache, GappedBackend, SearchError,
+    SeedMode,
 };
+use cublastp_db::DbImage;
 use gpu_sim::{DeviceConfig, FaultInjector};
 use std::fs::File;
 use std::io::BufReader;
@@ -49,6 +51,9 @@ const EXIT_PIPELINE: u8 = 5;
 const EXIT_DEADLINE: u8 = 6;
 /// Exit code for a request refused by the admission controller.
 const EXIT_OVERLOADED: u8 = 7;
+/// Exit code for a corrupt, truncated, or version-mismatched `.cdb`
+/// database image (every corruption is a typed error, never a panic).
+const EXIT_DB: u8 = 8;
 
 /// Map a search error to the exit code of its category.
 fn exit_code_for(err: &SearchError) -> u8 {
@@ -58,6 +63,7 @@ fn exit_code_for(err: &SearchError) -> u8 {
         "device" => EXIT_DEVICE,
         "deadline" => EXIT_DEADLINE,
         "overloaded" => EXIT_OVERLOADED,
+        "db" => EXIT_DB,
         _ => EXIT_PIPELINE,
     }
 }
@@ -244,8 +250,30 @@ fn main() -> ExitCode {
         out!("{}", args::USAGE);
         return ExitCode::SUCCESS;
     }
+    if let Some(cmd) = args.db_cmd {
+        return run_db(cmd, &args);
+    }
 
-    let (queries, db) = match load_inputs(&args) {
+    // Map and fully validate the persistent image up front: a corrupt
+    // file must become a typed `db` exit before any search starts.
+    let mut args = args;
+    let image = match &args.db_image {
+        Some(path) => match open_image(path, args.block_size) {
+            Ok(img) => {
+                // The image's stored block size *is* the device layout;
+                // every downstream config must partition the same way.
+                args.block_size = Some(img.block_size());
+                Some(img)
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(exit_code_for(&e));
+            }
+        },
+        None => None,
+    };
+
+    let (queries, db) = match load_inputs(&args, image.as_ref()) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
@@ -254,7 +282,7 @@ fn main() -> ExitCode {
     };
 
     if args.serve {
-        return run_serve(&queries, db, &args);
+        return run_serve(&queries, db, image.as_ref(), &args);
     }
 
     let banner = format!(
@@ -275,9 +303,16 @@ fn main() -> ExitCode {
 
     // The database is parsed once above and flattened into device layout
     // once here: every query of the stream searches the resident copy
-    // (only the first is charged the upload). The CPU worker pool is the
-    // process-wide shared one, built on first use.
+    // (only the first is charged the upload). With `--db-image` the
+    // mapped layout is installed directly — zero flatten passes. The CPU
+    // worker pool is the process-wide shared one, built on first use.
     let dev_cache = DeviceDbCache::new();
+    if let Some(img) = &image {
+        if args.engine == Engine::CuBlastp {
+            dev_cache.insert(Arc::new(DeviceDb::from_image(img)));
+        }
+    }
+    let flattens_before = cublastp::flatten_count();
     let injector = Arc::new(FaultInjector::new(args.fault_plan.clone()));
     obs::arm(args.trace_out.is_some(), args.metrics_out.is_some());
     let mut phase_table = args.phase_table.then(PhaseTable::default);
@@ -314,6 +349,18 @@ fn main() -> ExitCode {
         }
     }
     let batch_wall = t_batch.elapsed();
+    if let Some(img) = &image {
+        // Stderr so `--outfmt tab` stdout stays machine-readable; the CI
+        // equivalence job greps this row for `flattens=0`.
+        eprintln!(
+            "# db image: {} format v{}, {} blocks (block-size {}), flattens={}",
+            img.region().source(),
+            img.format_version(),
+            img.num_blocks(),
+            img.block_size(),
+            cublastp::flatten_count() - flattens_before,
+        );
+    }
     if let Some(table) = &phase_table {
         if args.outfmt != args::OutFmt::Tab {
             table.print();
@@ -362,7 +409,12 @@ fn main() -> ExitCode {
 /// overloaded service, so the run exits 0 as long as at least one
 /// request completed; a run where every request failed exits with the
 /// first failure's code (6 deadline, 7 overloaded, …).
-fn run_serve(queries: &[Sequence], db: SequenceDb, args: &Args) -> ExitCode {
+fn run_serve(
+    queries: &[Sequence],
+    db: SequenceDb,
+    image: Option<&DbImage>,
+    args: &Args,
+) -> ExitCode {
     use cublastp_serve::{Event, Request, ServeConfig, Server};
     use std::time::Duration;
 
@@ -376,14 +428,29 @@ fn run_serve(queries: &[Sequence], db: SequenceDb, args: &Args) -> ExitCode {
     };
     let injector = (!args.fault_plan.is_empty())
         .then(|| Arc::new(FaultInjector::new(args.fault_plan.clone())));
-    let server = match Server::with_injector(
-        db,
-        args.params(),
-        args.cublastp_config(),
-        DeviceConfig::k20c(),
-        serve_cfg,
-        injector,
-    ) {
+    let server = match image {
+        // Serve straight off the mapped generation (zero flatten passes;
+        // later generations arrive via hot swap, not process restart).
+        Some(img) if injector.is_none() => Server::from_image(
+            img,
+            args.params(),
+            args.cublastp_config(),
+            DeviceConfig::k20c(),
+            serve_cfg,
+        ),
+        Some(_) => Err(SearchError::config(
+            "serve: --fault-plan is not supported with --db-image",
+        )),
+        None => Server::with_injector(
+            db,
+            args.params(),
+            args.cublastp_config(),
+            DeviceConfig::k20c(),
+            serve_cfg,
+            injector,
+        ),
+    };
+    let server = match server {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: serve: {e}");
@@ -512,28 +579,151 @@ fn run_serve(queries: &[Sequence], db: SequenceDb, args: &Args) -> ExitCode {
     }
 }
 
-fn load_inputs(args: &Args) -> Result<(Vec<Sequence>, SequenceDb), String> {
-    if args.demo {
-        let query = bio_seq::generate::make_query(220);
-        let spec = bio_seq::generate::DbSpec {
-            name: "demo_db",
-            num_sequences: 1_000,
-            mean_length: 260,
-            homolog_fraction: 0.02,
-            seed: 2024,
-        };
-        let db = bio_seq::generate::generate_db(&spec, &query).db;
-        return Ok((vec![query], db));
+/// Map and validate a `.cdb` image, rejecting a `--block-size` flag that
+/// contradicts the partitioning baked into the file.
+fn open_image(path: &str, requested_block_size: Option<usize>) -> Result<DbImage, SearchError> {
+    let img = DbImage::open(std::path::Path::new(path))?;
+    if let Some(bs) = requested_block_size {
+        if bs != img.block_size() {
+            return Err(SearchError::config(format!(
+                "--block-size {bs} contradicts {path}: image was built at block size {} \
+                 (rebuild with `cublastp db build --block-size {bs}`)",
+                img.block_size(),
+            )));
+        }
     }
-    let qpath = args.query.as_ref().ok_or("missing --query <fasta>")?;
+    Ok(img)
+}
+
+/// The built-in synthetic demo database (the `--demo` search corpus).
+fn demo_db() -> SequenceDb {
+    let query = bio_seq::generate::make_query(220);
+    let spec = bio_seq::generate::DbSpec {
+        name: "demo_db",
+        num_sequences: 1_000,
+        mean_length: 260,
+        homolog_fraction: 0.02,
+        seed: 2024,
+    };
+    bio_seq::generate::generate_db(&spec, &query).db
+}
+
+fn load_inputs(
+    args: &Args,
+    image: Option<&DbImage>,
+) -> Result<(Vec<Sequence>, SequenceDb), String> {
+    let queries = if args.demo {
+        vec![bio_seq::generate::make_query(220)]
+    } else {
+        let qpath = args.query.as_ref().ok_or("missing --query <fasta>")?;
+        let queries = read_fasta_strict(BufReader::new(
+            File::open(qpath).map_err(|e| format!("{qpath}: {e}"))?,
+        ))
+        .map_err(|e| format!("{qpath}: {e}"))?;
+        if queries.is_empty() {
+            return Err(format!("{qpath}: no sequences"));
+        }
+        queries
+    };
+    let db = if let Some(img) = image {
+        // Already mapped and validated; rebuild the host-side view.
+        img.to_sequence_db()
+    } else if args.demo {
+        demo_db()
+    } else {
+        let dpath = args.db.as_ref().ok_or("missing --db <fasta>")?;
+        let subjects = read_fasta_strict(BufReader::new(
+            File::open(dpath).map_err(|e| format!("{dpath}: {e}"))?,
+        ))
+        .map_err(|e| format!("{dpath}: {e}"))?;
+        if subjects.is_empty() {
+            return Err(format!("{dpath}: no sequences"));
+        }
+        SequenceDb::new(dpath.clone(), subjects)
+    };
+    Ok((queries, db))
+}
+
+/// The `db` subcommand: `db build` serialises a FASTA database (or the
+/// demo corpus) into a versioned, checksummed `.cdb` image; `db verify`
+/// maps one and runs the full validation pass. Every corruption is a
+/// typed error and a `db` exit (8) — never a panic.
+fn run_db(cmd: DbCmd, args: &Args) -> ExitCode {
+    match cmd {
+        DbCmd::Build => {
+            let db = if args.demo {
+                demo_db()
+            } else {
+                match load_db_fasta(args) {
+                    Ok(db) => db,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::from(EXIT_INPUT);
+                    }
+                }
+            };
+            let block_size = args
+                .block_size
+                .unwrap_or_else(|| cublastp::CuBlastpConfig::default().db_block_size);
+            let out_path = args.out.as_deref().unwrap_or("db.cdb");
+            match cublastp_db::build_to_file(&db, block_size, std::path::Path::new(out_path)) {
+                Ok(summary) => {
+                    out!(
+                        "# db build: {} -> {out_path}: format v{}, {} sequences, {} residues, \
+                         {} blocks (block-size {block_size}), {} bytes",
+                        db.name(),
+                        cublastp_db::FORMAT_VERSION,
+                        summary.sequences,
+                        summary.residues,
+                        summary.blocks,
+                        summary.bytes,
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    let e = SearchError::from(e);
+                    eprintln!("error: {e}");
+                    ExitCode::from(exit_code_for(&e))
+                }
+            }
+        }
+        DbCmd::Verify => {
+            let path = args.db_image.as_deref().unwrap_or_default();
+            match open_image(path, args.block_size) {
+                Ok(img) => {
+                    let s = img.summary();
+                    out!(
+                        "# db verify: {path}: ok, format v{}, {} sequences, {} residues, \
+                         {} blocks (block-size {}), {} bytes",
+                        s.format_version,
+                        s.sequences,
+                        s.residues,
+                        s.blocks,
+                        s.block_size,
+                        s.bytes,
+                    );
+                    for sec in &s.sections {
+                        out!(
+                            "#   section {:<12} {:>10} bytes crc32 {:08x}",
+                            sec.name,
+                            sec.len,
+                            sec.crc
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::from(exit_code_for(&e))
+                }
+            }
+        }
+    }
+}
+
+/// Read the `--db` FASTA for `db build`.
+fn load_db_fasta(args: &Args) -> Result<SequenceDb, String> {
     let dpath = args.db.as_ref().ok_or("missing --db <fasta>")?;
-    let queries = read_fasta_strict(BufReader::new(
-        File::open(qpath).map_err(|e| format!("{qpath}: {e}"))?,
-    ))
-    .map_err(|e| format!("{qpath}: {e}"))?;
-    if queries.is_empty() {
-        return Err(format!("{qpath}: no sequences"));
-    }
     let subjects = read_fasta_strict(BufReader::new(
         File::open(dpath).map_err(|e| format!("{dpath}: {e}"))?,
     ))
@@ -541,7 +731,7 @@ fn load_inputs(args: &Args) -> Result<(Vec<Sequence>, SequenceDb), String> {
     if subjects.is_empty() {
         return Err(format!("{dpath}: no sequences"));
     }
-    Ok((queries, SequenceDb::new(dpath.clone(), subjects)))
+    Ok(SequenceDb::new(dpath.clone(), subjects))
 }
 
 /// The `--seed-mode grouped` path: the whole query stream runs as one

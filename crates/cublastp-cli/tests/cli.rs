@@ -399,6 +399,185 @@ fn serve_degrades_gapped_faults_without_shedding() {
 }
 
 #[test]
+fn db_build_verify_and_image_search_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("cublastp_cli_db_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let q = dir.join("q.fa");
+    let d = dir.join("d.fa");
+    let img = dir.join("d.cdb");
+    write_fasta(&q, &[("probe", CORE)]);
+    write_fasta(
+        &d,
+        &[
+            ("decoy1", "GGGGGGGGGGGGGGGGGGGGGGGGGGGGGGGGGGGGGGGG"),
+            ("planted", &format!("PPPP{CORE}PPPP")),
+            ("decoy2", "KKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKKK"),
+        ],
+    );
+
+    let out = run(&[
+        "db",
+        "build",
+        "--db",
+        d.to_str().unwrap(),
+        "--out",
+        img.to_str().unwrap(),
+        "--block-size",
+        "2",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("format v1, 3 sequences"), "{text}");
+    assert!(text.contains("2 blocks (block-size 2)"), "{text}");
+
+    let out = run(&["db", "verify", img.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("ok, format v1, 3 sequences"), "{text}");
+    assert!(text.contains("section residues"), "{text}");
+
+    // Searching the image is byte-identical to searching the FASTA at
+    // the image's block size, with zero flatten passes.
+    let tab = |db_args: &[&str]| {
+        let mut argv = vec!["--query", q.to_str().unwrap(), "--outfmt", "tab"];
+        argv.extend_from_slice(db_args);
+        let out = run(&argv);
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            String::from_utf8(out.stdout).unwrap(),
+            String::from_utf8(out.stderr).unwrap(),
+        )
+    };
+    let (direct, _) = tab(&["--db", d.to_str().unwrap(), "--block-size", "2"]);
+    let (mapped, mapped_err) = tab(&["--db-image", img.to_str().unwrap()]);
+    assert_eq!(direct, mapped, "image search diverged from FASTA search");
+    assert!(mapped.contains("planted"), "{mapped}");
+    assert!(mapped_err.contains("flattens=0"), "{mapped_err}");
+
+    // A contradictory --block-size is a config error, not silent re-partitioning.
+    let out = run(&[
+        "--query",
+        q.to_str().unwrap(),
+        "--db-image",
+        img.to_str().unwrap(),
+        "--block-size",
+        "7",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupt_db_image_exits_eight_with_typed_error() {
+    let dir = std::env::temp_dir().join(format!("cublastp_cli_dbcorrupt_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let d = dir.join("d.fa");
+    let img = dir.join("d.cdb");
+    write_fasta(&d, &[("planted", &format!("PPPP{CORE}PPPP"))]);
+    let out = run(&[
+        "db",
+        "build",
+        "--db",
+        d.to_str().unwrap(),
+        "--out",
+        img.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let good = std::fs::read(&img).unwrap();
+
+    // (corruption, expected error-kind fragment)
+    type Corruptor = Box<dyn Fn(&mut Vec<u8>)>;
+    let cases: [(&str, Corruptor, &str); 4] = [
+        (
+            "flipped magic",
+            Box::new(|b: &mut Vec<u8>| b[0] ^= 0xFF),
+            "bad-magic",
+        ),
+        (
+            "truncation",
+            Box::new(|b: &mut Vec<u8>| b.truncate(40)),
+            "truncated",
+        ),
+        (
+            "future version",
+            Box::new(|b: &mut Vec<u8>| b[8] = 99),
+            "bad-version",
+        ),
+        (
+            "payload bit flip",
+            Box::new(|b: &mut Vec<u8>| {
+                let last = b.len() - 1;
+                b[last] ^= 0x01;
+            }),
+            "section-crc",
+        ),
+    ];
+    for (what, corrupt, kind) in &cases {
+        let mut bytes = good.clone();
+        corrupt(&mut bytes);
+        let bad = dir.join("bad.cdb");
+        std::fs::write(&bad, &bytes).unwrap();
+        for argv in [
+            vec!["db", "verify", bad.to_str().unwrap()],
+            vec!["--demo", "--db-image", bad.to_str().unwrap()],
+        ] {
+            let out = run(&argv);
+            assert_eq!(out.status.code(), Some(8), "{what}: {argv:?}");
+            let err = String::from_utf8(out.stderr).unwrap();
+            assert!(err.contains("database image"), "{what}: {err}");
+            assert!(err.contains(kind), "{what}: {err}");
+            assert!(!err.contains("panicked"), "{what}: {err}");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_runs_from_a_mapped_image() {
+    let dir = std::env::temp_dir().join(format!("cublastp_cli_dbserve_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let q = dir.join("q.fa");
+    let d = dir.join("d.fa");
+    let img = dir.join("d.cdb");
+    write_fasta(&q, &[("probe", CORE)]);
+    write_fasta(&d, &[("planted", &format!("PPPP{CORE}PPPP"))]);
+    let out = run(&[
+        "db",
+        "build",
+        "--db",
+        d.to_str().unwrap(),
+        "--out",
+        img.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let out = run(&[
+        "serve",
+        "--query",
+        q.to_str().unwrap(),
+        "--db-image",
+        img.to_str().unwrap(),
+        "--requests",
+        "3",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("# serve summary: 3 requests, 3 ok"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn phase_table_reports_recovery_waits_separately() {
     let out = run(&["--demo", "--phase-table", "--fault-plan", "launch:x1"]);
     assert!(

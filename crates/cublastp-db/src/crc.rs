@@ -1,0 +1,78 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+//!
+//! Implemented in-crate: the build is fully offline and must not pull a
+//! checksum dependency. The variant matches zlib's `crc32()` so fixtures
+//! can be cross-checked with standard tools.
+
+/// 256-entry lookup table for the reflected IEEE polynomial.
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+/// CRC-32 of `bytes` (initial value 0, i.e. a fresh checksum).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_update(0, bytes)
+}
+
+/// Continue a CRC-32 computation: `crc` is a previous [`crc32`] result.
+pub fn crc32_update(crc: u32, bytes: &[u8]) -> u32 {
+    let mut c = !crc;
+    for &b in bytes {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for the IEEE CRC-32.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn update_is_incremental() {
+        let whole = crc32(b"hello world");
+        let part = crc32_update(crc32(b"hello "), b"world");
+        assert_eq!(whole, part);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let base = crc32(b"cublastp");
+        let mut buf = *b"cublastp";
+        for i in 0..buf.len() {
+            for bit in 0..8 {
+                buf[i] ^= 1 << bit;
+                assert_ne!(crc32(&buf), base, "flip at byte {i} bit {bit}");
+                buf[i] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Typed errors for the on-disk database format.
+//!
+//! Every way a `.cdb` file can be wrong maps to exactly one variant here;
+//! the loader never panics and never returns a silently wrong layout. Each
+//! variant carries a stable [`DbError::kind`] label that the CI corruption
+//! matrix and CLI error lines key on.
+
+/// A corruption, version, or I/O failure while building or loading a
+/// database image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// The underlying file could not be read or written.
+    Io {
+        /// Path the operation targeted.
+        path: String,
+        /// OS error message.
+        message: String,
+    },
+    /// The file ends before a required structure.
+    Truncated {
+        /// What we were reading when the bytes ran out.
+        what: &'static str,
+        /// Bytes required to hold it.
+        needed: u64,
+        /// Bytes actually available.
+        actual: u64,
+    },
+    /// The leading magic bytes are not [`crate::format::MAGIC`].
+    BadMagic {
+        /// The eight bytes actually found.
+        found: [u8; 8],
+    },
+    /// The format version is one this reader does not understand.
+    UnsupportedVersion {
+        /// Version stored in the header.
+        found: u32,
+        /// Version this build reads and writes.
+        supported: u32,
+    },
+    /// The fixed header fails its CRC or carries impossible field values.
+    HeaderCorrupt {
+        /// Human-readable detail of the inconsistency.
+        message: String,
+    },
+    /// The section table fails its CRC.
+    TocCorrupt {
+        /// CRC recorded in the header.
+        stored: u32,
+        /// CRC computed over the table bytes.
+        computed: u32,
+    },
+    /// A section's payload fails its CRC.
+    SectionCrc {
+        /// Section name (e.g. `"residues"`).
+        section: &'static str,
+        /// CRC recorded in the section table.
+        stored: u32,
+        /// CRC computed over the payload.
+        computed: u32,
+    },
+    /// A section or record offset points outside the file.
+    OffsetOutOfRange {
+        /// What the offset addresses.
+        what: String,
+        /// The offending offset.
+        offset: u64,
+        /// Length requested from that offset.
+        len: u64,
+        /// Exclusive upper bound that was violated.
+        bound: u64,
+    },
+    /// Sections are individually intact but mutually inconsistent
+    /// (e.g. offset arrays not monotone, counts that disagree).
+    Layout {
+        /// Human-readable detail of the inconsistency.
+        message: String,
+    },
+}
+
+impl DbError {
+    /// Stable machine-readable label, one per failure class. The CI
+    /// corruption matrix asserts on these, so they must not change.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DbError::Io { .. } => "io",
+            DbError::Truncated { .. } => "truncated",
+            DbError::BadMagic { .. } => "bad-magic",
+            DbError::UnsupportedVersion { .. } => "bad-version",
+            DbError::HeaderCorrupt { .. } => "header-corrupt",
+            DbError::TocCorrupt { .. } => "toc-crc",
+            DbError::SectionCrc { .. } => "section-crc",
+            DbError::OffsetOutOfRange { .. } => "offset-range",
+            DbError::Layout { .. } => "layout",
+        }
+    }
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::Io { path, message } => write!(f, "io error on {path}: {message}"),
+            DbError::Truncated {
+                what,
+                needed,
+                actual,
+            } => write!(
+                f,
+                "truncated image: {what} needs {needed} bytes, only {actual} available"
+            ),
+            DbError::BadMagic { found } => {
+                write!(
+                    f,
+                    "bad magic {:02x?} (not a cuBLASTP database image)",
+                    found
+                )
+            }
+            DbError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported format version {found} (this build reads version {supported})"
+            ),
+            DbError::HeaderCorrupt { message } => write!(f, "corrupt header: {message}"),
+            DbError::TocCorrupt { stored, computed } => write!(
+                f,
+                "section table CRC mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            DbError::SectionCrc {
+                section,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "section '{section}' CRC mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            DbError::OffsetOutOfRange {
+                what,
+                offset,
+                len,
+                bound,
+            } => write!(f, "{what}: range {offset}+{len} exceeds bound {bound}"),
+            DbError::Layout { message } => write!(f, "inconsistent layout: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct_and_stable() {
+        let errs = [
+            DbError::Io {
+                path: "x".into(),
+                message: "m".into(),
+            },
+            DbError::Truncated {
+                what: "header",
+                needed: 64,
+                actual: 3,
+            },
+            DbError::BadMagic { found: [0; 8] },
+            DbError::UnsupportedVersion {
+                found: 9,
+                supported: 1,
+            },
+            DbError::HeaderCorrupt {
+                message: "m".into(),
+            },
+            DbError::TocCorrupt {
+                stored: 1,
+                computed: 2,
+            },
+            DbError::SectionCrc {
+                section: "residues",
+                stored: 1,
+                computed: 2,
+            },
+            DbError::OffsetOutOfRange {
+                what: "section".into(),
+                offset: 10,
+                len: 10,
+                bound: 5,
+            },
+            DbError::Layout {
+                message: "m".into(),
+            },
+        ];
+        let kinds: Vec<_> = errs.iter().map(|e| e.kind()).collect();
+        let mut dedup = kinds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), kinds.len(), "kinds must be distinct");
+        for e in &errs {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+}

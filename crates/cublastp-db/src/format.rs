@@ -1,0 +1,286 @@
+//! Writer side of the `.cdb` on-disk format (DESIGN.md §3.9).
+//!
+//! A `.cdb` image is the flattened device layout `DeviceDb` holds in
+//! memory, made durable: one contiguous residue arena plus prefix-offset
+//! arrays, so a loader can map the file and hand out zero-copy block
+//! views with no flatten pass. Layout (all integers little-endian):
+//!
+//! ```text
+//! [ header 64 B ][ section table 24 B × n ][ section payloads ... ]
+//! ```
+//!
+//! * **Header** — magic, format version, header length, block size,
+//!   block / sequence / residue counts, section count, a CRC-32 of the
+//!   section table, and a CRC-32 of the header bytes themselves.
+//! * **Section table** — `(id, crc32, offset, len)` per section, offsets
+//!   absolute from the start of the file.
+//! * **Sections** — residue arena, per-sequence prefix offsets, ids,
+//!   descriptions, and the database name, each independently CRC'd.
+//!
+//! The writer is fully deterministic: byte-identical input produces a
+//! byte-identical image. CI holds a golden fixture against this property
+//! so any layout change forces an explicit [`FORMAT_VERSION`] bump.
+
+use crate::crc::crc32;
+use crate::error::DbError;
+use bio_seq::SequenceDb;
+
+/// Leading magic bytes of every `.cdb` image.
+pub const MAGIC: [u8; 8] = *b"CUBLSTDB";
+
+/// Format version this build writes and reads. Bump on ANY layout change;
+/// the golden-fixture CI job exists to make silent changes impossible.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Size of the fixed header in bytes.
+pub const HEADER_LEN: usize = 64;
+
+/// Size of one section-table entry in bytes.
+pub const TOC_ENTRY_LEN: usize = 24;
+
+/// Byte offset of the header CRC field (the CRC covers `0..HEADER_CRC_OFFSET`).
+pub const HEADER_CRC_OFFSET: usize = 60;
+
+/// Section identifiers, in the order they are written.
+pub mod section {
+    /// Concatenated residue arena, database order (u8 per residue).
+    pub const RESIDUES: u32 = 1;
+    /// `num_sequences + 1` u64 prefix offsets into the residue arena.
+    pub const SEQ_OFFSETS: u32 = 2;
+    /// Concatenated UTF-8 sequence ids.
+    pub const IDS: u32 = 3;
+    /// `num_sequences + 1` u64 prefix offsets into the id bytes.
+    pub const ID_OFFSETS: u32 = 4;
+    /// Concatenated UTF-8 description lines.
+    pub const DESCS: u32 = 5;
+    /// `num_sequences + 1` u64 prefix offsets into the description bytes.
+    pub const DESC_OFFSETS: u32 = 6;
+    /// UTF-8 database name.
+    pub const NAME: u32 = 7;
+}
+
+/// All section ids in write order, with their stable display names.
+pub const SECTIONS: [(u32, &str); 7] = [
+    (section::RESIDUES, "residues"),
+    (section::SEQ_OFFSETS, "seq-offsets"),
+    (section::IDS, "ids"),
+    (section::ID_OFFSETS, "id-offsets"),
+    (section::DESCS, "descs"),
+    (section::DESC_OFFSETS, "desc-offsets"),
+    (section::NAME, "name"),
+];
+
+/// Display name of a section id, or `"unknown"`.
+pub fn section_name(id: u32) -> &'static str {
+    SECTIONS
+        .iter()
+        .find(|(sid, _)| *sid == id)
+        .map(|(_, name)| *name)
+        .unwrap_or("unknown")
+}
+
+/// Number of blocks the image partitions into: `block_size` zero means
+/// one block for everything, matching [`SequenceDb::blocks`].
+pub fn block_count(num_sequences: usize, block_size: usize) -> usize {
+    if num_sequences == 0 {
+        0
+    } else if block_size == 0 {
+        1
+    } else {
+        num_sequences.div_ceil(block_size)
+    }
+}
+
+/// Summary of a completed build, for CLI and bench reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildSummary {
+    /// Total image size in bytes.
+    pub bytes: usize,
+    /// Number of device blocks the image partitions into.
+    pub blocks: usize,
+    /// Number of sequences.
+    pub sequences: usize,
+    /// Total residues in the arena.
+    pub residues: usize,
+}
+
+fn prefix_offsets(lens: impl Iterator<Item = usize>) -> Vec<u64> {
+    let mut offs = Vec::new();
+    let mut acc = 0u64;
+    offs.push(acc);
+    for len in lens {
+        acc += len as u64;
+        offs.push(acc);
+    }
+    offs
+}
+
+fn u64s_to_le(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Serialise `db` into a version-[`FORMAT_VERSION`] image.
+///
+/// Deterministic: the same database (including its name) and block size
+/// always produce byte-identical output.
+pub fn build_to_vec(db: &SequenceDb, block_size: usize) -> Vec<u8> {
+    let seqs = db.sequences();
+
+    let mut residues = Vec::with_capacity(db.total_residues());
+    for s in seqs {
+        residues.extend_from_slice(s.residues());
+    }
+    let seq_offsets = u64s_to_le(&prefix_offsets(seqs.iter().map(|s| s.len())));
+
+    let mut ids = Vec::new();
+    for s in seqs {
+        ids.extend_from_slice(s.id.as_bytes());
+    }
+    let id_offsets = u64s_to_le(&prefix_offsets(seqs.iter().map(|s| s.id.len())));
+
+    let mut descs = Vec::new();
+    for s in seqs {
+        descs.extend_from_slice(s.description.as_bytes());
+    }
+    let desc_offsets = u64s_to_le(&prefix_offsets(seqs.iter().map(|s| s.description.len())));
+
+    let name = db.name().as_bytes().to_vec();
+
+    let payloads: [(u32, Vec<u8>); 7] = [
+        (section::RESIDUES, residues),
+        (section::SEQ_OFFSETS, seq_offsets),
+        (section::IDS, ids),
+        (section::ID_OFFSETS, id_offsets),
+        (section::DESCS, descs),
+        (section::DESC_OFFSETS, desc_offsets),
+        (section::NAME, name),
+    ];
+
+    let toc_len = payloads.len() * TOC_ENTRY_LEN;
+    let mut offset = (HEADER_LEN + toc_len) as u64;
+    let mut toc = Vec::with_capacity(toc_len);
+    for (id, payload) in &payloads {
+        toc.extend_from_slice(&id.to_le_bytes());
+        toc.extend_from_slice(&crc32(payload).to_le_bytes());
+        toc.extend_from_slice(&offset.to_le_bytes());
+        toc.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        offset += payload.len() as u64;
+    }
+
+    let mut header = Vec::with_capacity(HEADER_LEN);
+    header.extend_from_slice(&MAGIC);
+    header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    header.extend_from_slice(&(HEADER_LEN as u32).to_le_bytes());
+    header.extend_from_slice(&(block_size as u64).to_le_bytes());
+    header.extend_from_slice(&(block_count(db.len(), block_size) as u64).to_le_bytes());
+    header.extend_from_slice(&(db.len() as u64).to_le_bytes());
+    header.extend_from_slice(&(db.total_residues() as u64).to_le_bytes());
+    header.extend_from_slice(&(payloads.len() as u32).to_le_bytes());
+    header.extend_from_slice(&crc32(&toc).to_le_bytes());
+    header.extend_from_slice(&0u32.to_le_bytes()); // reserved
+    debug_assert_eq!(header.len(), HEADER_CRC_OFFSET);
+    let hcrc = crc32(&header);
+    header.extend_from_slice(&hcrc.to_le_bytes());
+    debug_assert_eq!(header.len(), HEADER_LEN);
+
+    let mut out = header;
+    out.extend_from_slice(&toc);
+    for (_, payload) in &payloads {
+        out.extend_from_slice(payload);
+    }
+    out
+}
+
+/// Build `db` into a `.cdb` file at `path`.
+///
+/// The write is atomic: bytes land in `path.tmp` first and are renamed
+/// into place, so a crashed build never leaves a half-written image under
+/// the final name.
+pub fn build_to_file(
+    db: &SequenceDb,
+    block_size: usize,
+    path: &std::path::Path,
+) -> Result<BuildSummary, DbError> {
+    let bytes = build_to_vec(db, block_size);
+    let tmp = path.with_extension("cdb.tmp");
+    let io_err = |e: std::io::Error| DbError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    };
+    std::fs::write(&tmp, &bytes).map_err(io_err)?;
+    std::fs::rename(&tmp, path).map_err(io_err)?;
+    Ok(BuildSummary {
+        bytes: bytes.len(),
+        blocks: block_count(db.len(), block_size),
+        sequences: db.len(),
+        residues: db.total_residues(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bio_seq::Sequence;
+
+    fn tiny_db() -> SequenceDb {
+        SequenceDb::new(
+            "tiny",
+            vec![
+                Sequence::from_bytes("s0", b"ARNDCQ"),
+                Sequence::from_bytes("s1", b"MKVLW"),
+                Sequence::from_bytes("s2", b"GHILKMFPST"),
+            ],
+        )
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let db = tiny_db();
+        assert_eq!(build_to_vec(&db, 2), build_to_vec(&db, 2));
+        assert_ne!(build_to_vec(&db, 2), build_to_vec(&db, 3));
+    }
+
+    #[test]
+    fn header_fields_in_place() {
+        let db = tiny_db();
+        let bytes = build_to_vec(&db, 2);
+        assert_eq!(&bytes[0..8], &MAGIC);
+        assert_eq!(
+            u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+            FORMAT_VERSION
+        );
+        assert_eq!(u64::from_le_bytes(bytes[16..24].try_into().unwrap()), 2); // block_size
+        assert_eq!(u64::from_le_bytes(bytes[24..32].try_into().unwrap()), 2); // blocks
+        assert_eq!(u64::from_le_bytes(bytes[32..40].try_into().unwrap()), 3); // sequences
+        assert_eq!(u64::from_le_bytes(bytes[40..48].try_into().unwrap()), 21); // residues
+    }
+
+    #[test]
+    fn block_count_matches_sequencedb_blocks() {
+        let db = tiny_db();
+        for bs in [0usize, 1, 2, 3, 10] {
+            assert_eq!(block_count(db.len(), bs), db.blocks(bs).len(), "bs={bs}");
+        }
+        assert_eq!(block_count(0, 4), 0);
+    }
+
+    #[test]
+    fn file_roundtrip_is_atomic() {
+        let db = tiny_db();
+        let dir = std::env::temp_dir().join("cublastp_db_fmt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.cdb");
+        let summary = build_to_file(&db, 2, &path).unwrap();
+        assert_eq!(summary.sequences, 3);
+        assert_eq!(summary.blocks, 2);
+        let on_disk = std::fs::read(&path).unwrap();
+        assert_eq!(on_disk, build_to_vec(&db, 2));
+        assert_eq!(summary.bytes, on_disk.len());
+        assert!(!path.with_extension("cdb.tmp").exists());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -57,4 +57,6 @@ pub mod server;
 
 pub use admission::{estimate_cost, AdmissionConfig, RateLimitConfig};
 pub use controller::{DegradationLevel, LoadController};
-pub use server::{Event, Priority, Request, ResponseHandle, ServeConfig, ServeResult, Server};
+pub use server::{
+    DbGeneration, Event, Priority, Request, ResponseHandle, ServeConfig, ServeResult, Server,
+};

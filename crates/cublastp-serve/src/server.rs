@@ -40,8 +40,33 @@ use cublastp::{
 };
 use gpu_sim::{DeviceConfig, FaultInjector, KernelWorkspace};
 
+use cublastp_db::DbImage;
+
 use crate::admission::{estimate_cost, Admission, AdmissionConfig, RateLimitConfig, RateLimiter};
 use crate::controller::{DegradationLevel, LoadController};
+
+/// One immutable database generation: a [`SequenceDb`] and its resident
+/// device layout, stamped with a monotonically increasing id.
+///
+/// The server holds the *current* generation behind a mutex; every
+/// admitted job clones the `Arc` at admission and carries it end-to-end,
+/// so a [hot swap](Server::swap_db) never changes the database under a
+/// running search. When the last job pinning an old generation finishes,
+/// the `Arc` count reaches zero and the generation drops — for an
+/// image-backed generation that is the moment its mapping is released
+/// (observable via [`cublastp_db::unmap_count`]).
+pub struct DbGeneration {
+    /// Generation id, starting at 1 for the database the server was
+    /// constructed with.
+    pub id: u64,
+    /// Host-side database (e-value statistics, subject ids).
+    pub db: Arc<SequenceDb>,
+    /// Device-resident layout (flattened or mapped from a `.cdb` image).
+    pub dev_db: Arc<DeviceDb>,
+    /// Where the generation came from: `"inline"` for an uploaded
+    /// [`SequenceDb`], otherwise the image source label.
+    pub source: String,
+}
 
 /// Request priority class. Interactive requests get the weighted share of
 /// worker picks and a reserved lane; bulk requests are the first to shed
@@ -148,6 +173,9 @@ pub struct ServeResult {
     /// True when the degradation ladder forced coarse (CPU) gapped
     /// placement for this request.
     pub degraded_placement: bool,
+    /// Id of the database generation the request was pinned to at
+    /// admission (and served on end-to-end, even across a hot swap).
+    pub generation: u64,
 }
 
 /// Client-side handle for one admitted request.
@@ -256,13 +284,15 @@ impl ServeConfig {
     }
 }
 
-/// An admitted job waiting in a class queue.
+/// An admitted job waiting in a class queue. `generation` is pinned at
+/// admission: the search runs on it even if a swap lands while queued.
 struct Job {
     query: Sequence,
     priority: Priority,
     cost: u64,
     cancel: CancelToken,
     enqueued: Instant,
+    generation: Arc<DbGeneration>,
     tx: mpsc::Sender<Event>,
 }
 
@@ -280,13 +310,13 @@ struct Shared {
     cv: Condvar,
     admission: Admission,
     limiter: RateLimiter,
-    db: Arc<SequenceDb>,
-    dev_db: Arc<DeviceDb>,
+    current: Mutex<Arc<DbGeneration>>,
     params: SearchParams,
     search_cfg: CuBlastpConfig,
     device: DeviceConfig,
     injector: Option<Arc<FaultInjector>>,
     next_id: AtomicU64,
+    next_generation: AtomicU64,
 }
 
 impl Shared {
@@ -304,6 +334,22 @@ impl Shared {
 
     fn level(&self) -> DegradationLevel {
         self.cfg.controller.assess(obs::metrics())
+    }
+
+    /// Pin the current database generation.
+    fn current(&self) -> Arc<DbGeneration> {
+        Arc::clone(&self.current.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Atomically publish `gen` as the current generation. In-flight and
+    /// queued jobs keep their pinned `Arc`; only future admissions see it.
+    fn install(&self, generation: DbGeneration) -> u64 {
+        let id = generation.id;
+        let blocks = generation.dev_db.num_blocks() as f64;
+        *self.current.lock().unwrap_or_else(|e| e.into_inner()) = Arc::new(generation);
+        obs::gauge("serve_db_generation", &[], id as f64);
+        obs::gauge("serve_db_blocks", &[], blocks);
+        id
     }
 }
 
@@ -339,6 +385,62 @@ impl Server {
         cfg: ServeConfig,
         injector: Option<Arc<FaultInjector>>,
     ) -> Result<Self, SearchError> {
+        let cache = DeviceDbCache::new();
+        let dev_db = cache.get(&db, search_cfg.db_block_size);
+        Self::build(
+            Arc::new(db),
+            dev_db,
+            "inline".to_string(),
+            params,
+            search_cfg,
+            device,
+            cfg,
+            injector,
+        )
+    }
+
+    /// Build a server over a validated `.cdb` image: the device layout is
+    /// materialised zero-copy from the mapped arena — no flatten pass —
+    /// and becomes generation 1. The image's stored block size must match
+    /// `search_cfg.db_block_size`.
+    pub fn from_image(
+        img: &DbImage,
+        params: SearchParams,
+        search_cfg: CuBlastpConfig,
+        device: DeviceConfig,
+        cfg: ServeConfig,
+    ) -> Result<Self, SearchError> {
+        if img.block_size() != search_cfg.db_block_size {
+            return Err(SearchError::config(format!(
+                "serve: image was built at block size {}, config wants {}",
+                img.block_size(),
+                search_cfg.db_block_size
+            )));
+        }
+        let dev_db = Arc::new(DeviceDb::from_image(img));
+        Self::build(
+            Arc::new(img.to_sequence_db()),
+            dev_db,
+            img.region().source().to_string(),
+            params,
+            search_cfg,
+            device,
+            cfg,
+            None,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        db: Arc<SequenceDb>,
+        dev_db: Arc<DeviceDb>,
+        source: String,
+        params: SearchParams,
+        search_cfg: CuBlastpConfig,
+        device: DeviceConfig,
+        cfg: ServeConfig,
+        injector: Option<Arc<FaultInjector>>,
+    ) -> Result<Self, SearchError> {
         cfg.validate()?;
         search_cfg.validate()?;
         // The ladder reads gauges back out of the registry, so metrics
@@ -346,8 +448,6 @@ impl Server {
         // prior state).
         obs::arm(obs::tracing_enabled(), true);
 
-        let cache = DeviceDbCache::new();
-        let dev_db = cache.get(&db, search_cfg.db_block_size);
         let shared = Arc::new(Shared {
             admission: Admission::new(AdmissionConfig {
                 queue_capacity: cfg.queue_capacity,
@@ -357,14 +457,25 @@ impl Server {
             cfg,
             state: Mutex::new(QueueState::default()),
             cv: Condvar::new(),
-            db: Arc::new(db),
-            dev_db,
+            current: Mutex::new(Arc::new(DbGeneration {
+                id: 1,
+                db,
+                dev_db,
+                source,
+            })),
             params,
             search_cfg,
             device,
             injector,
             next_id: AtomicU64::new(1),
+            next_generation: AtomicU64::new(2),
         });
+        obs::gauge("serve_db_generation", &[], 1.0);
+        obs::gauge(
+            "serve_db_blocks",
+            &[],
+            shared.current().dev_db.num_blocks() as f64,
+        );
         obs::gauge(
             "serve_queue_capacity",
             &[],
@@ -386,9 +497,62 @@ impl Server {
         Ok(Self { shared, workers })
     }
 
-    /// Number of database blocks a search of this server will run.
+    /// Number of database blocks a search admitted now will run.
     pub fn num_blocks(&self) -> u32 {
-        self.shared.dev_db.blocks().len() as u32
+        self.shared.current().dev_db.blocks().len() as u32
+    }
+
+    /// Id of the generation new admissions are pinned to.
+    pub fn generation(&self) -> u64 {
+        self.shared.current().id
+    }
+
+    /// Hot-swap the database: flatten `db` at the server's block size and
+    /// atomically publish it as the next generation. Returns the new
+    /// generation id. The swap is wait-free for traffic — in-flight and
+    /// queued searches finish on the generation they pinned at admission;
+    /// only admissions after the swap see the new database. The flatten
+    /// runs on the caller's thread, outside every server lock.
+    pub fn swap_db(&self, db: SequenceDb) -> Result<u64, SearchError> {
+        let sh = &self.shared;
+        let _span = obs::span("db_swap", "serve");
+        let dev_db = Arc::new(DeviceDb::upload(&db, sh.search_cfg.db_block_size));
+        let id = sh.next_generation.fetch_add(1, Ordering::Relaxed);
+        let id = sh.install(DbGeneration {
+            id,
+            db: Arc::new(db),
+            dev_db,
+            source: "inline".to_string(),
+        });
+        obs::counter("serve_swaps_total", &[("source", "inline")], 1);
+        Ok(id)
+    }
+
+    /// Hot-swap to a validated `.cdb` image, zero-copy (no flatten pass).
+    /// Same pinning semantics as [`swap_db`](Self::swap_db); additionally
+    /// the *old* generation's mapping (if image-backed) is unmapped only
+    /// when its refcount reaches zero — after the last search pinned to it
+    /// completes. The image block size must match the server's.
+    pub fn swap_image(&self, img: &DbImage) -> Result<u64, SearchError> {
+        let sh = &self.shared;
+        if img.block_size() != sh.search_cfg.db_block_size {
+            return Err(SearchError::config(format!(
+                "serve: image was built at block size {}, config wants {}",
+                img.block_size(),
+                sh.search_cfg.db_block_size
+            )));
+        }
+        let _span = obs::span("db_swap", "serve");
+        let dev_db = Arc::new(DeviceDb::from_image(img));
+        let id = sh.next_generation.fetch_add(1, Ordering::Relaxed);
+        let id = sh.install(DbGeneration {
+            id,
+            db: Arc::new(img.to_sequence_db()),
+            dev_db,
+            source: img.region().source().to_string(),
+        });
+        obs::counter("serve_swaps_total", &[("source", "image")], 1);
+        Ok(id)
     }
 
     /// Current degradation level as seen by the next submission.
@@ -432,7 +596,10 @@ impl Server {
             });
         }
 
-        let cost = estimate_cost(request.query.len(), sh.db.total_residues());
+        // Pin the generation before the cost estimate so the cost refers
+        // to the database the job will actually search.
+        let generation = sh.current();
+        let cost = estimate_cost(request.query.len(), generation.db.total_residues());
         if let Err(e) =
             sh.admission
                 .try_admit(class, cost, level >= DegradationLevel::ShrinkBudgets)
@@ -469,6 +636,7 @@ impl Server {
                 cost,
                 cancel,
                 enqueued: Instant::now(),
+                generation,
                 tx,
             });
         }
@@ -559,7 +727,10 @@ fn process_job(sh: &Shared, workspace: &Arc<KernelWorkspace>, job: Job) {
         &[("class", class.name())],
         queue_wait_ms,
     );
-    let blocks_total = sh.dev_db.blocks().len() as u32;
+    // The job's pinned generation, not the server's current one: a swap
+    // that landed while this job was queued must not change its database.
+    let generation = Arc::clone(&job.generation);
+    let blocks_total = generation.dev_db.blocks().len() as u32;
 
     // A request whose deadline expired while queued is refused before any
     // device work — this is the "server queued you to death" path.
@@ -592,8 +763,13 @@ fn process_job(sh: &Shared, workspace: &Arc<KernelWorkspace>, job: Job) {
 
     let t_service = Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        let mut searcher =
-            CuBlastp::new(job.query.clone(), sh.params, search_cfg, sh.device, &sh.db);
+        let mut searcher = CuBlastp::new(
+            job.query.clone(),
+            sh.params,
+            search_cfg,
+            sh.device,
+            &generation.db,
+        );
         searcher.workspace = Arc::clone(workspace);
         if let Some(inj) = &sh.injector {
             searcher.injector = Arc::clone(inj);
@@ -613,7 +789,7 @@ fn process_job(sh: &Shared, workspace: &Arc<KernelWorkspace>, job: Job) {
             on_block: Some(&on_block),
         };
         // The database is already resident; no request pays the upload.
-        searcher.search_resident_with_hooks(&sh.db, &sh.dev_db, false, &hooks)
+        searcher.search_resident_with_hooks(&generation.db, &generation.dev_db, false, &hooks)
     }));
     let service_ms = t_service.elapsed().as_secs_f64() * 1e3;
 
@@ -663,6 +839,7 @@ fn finish(
                 queue_wait_ms,
                 service_ms,
                 degraded_placement,
+                generation: job.generation.id,
             })
         }
         Err(e) => {
@@ -916,6 +1093,153 @@ mod tests {
             .submit(Request::interactive(q, "t0"))
             .expect_err("closed");
         assert_eq!(err.category(), "config");
+    }
+
+    /// A second, distinguishable database over the same query (different
+    /// seed → different planted homologs, so results differ from
+    /// `workload()`'s db).
+    fn workload_b(q: &Sequence) -> SequenceDb {
+        let spec = DbSpec {
+            name: "serve-t-b",
+            num_sequences: 120,
+            mean_length: 130,
+            homolog_fraction: 0.2,
+            seed: 77,
+        };
+        generate_db(&spec, q).db
+    }
+
+    fn direct_key(q: &Sequence, db: &SequenceDb) -> Vec<(usize, i32, u32, u32, u32, u32)> {
+        CuBlastp::new(
+            q.clone(),
+            SearchParams::default(),
+            search_cfg(),
+            DeviceConfig::k20c(),
+            db,
+        )
+        .search(db)
+        .expect("direct search")
+        .report
+        .identity_key()
+    }
+
+    #[test]
+    fn swap_pins_inflight_and_routes_new_admissions() {
+        let _g = lock();
+        obs::metrics().reset();
+        let (srv, q) = server(ServeConfig::default());
+        assert_eq!(srv.generation(), 1);
+        let (_, db_a) = workload();
+        let db_b = workload_b(&q);
+        let key_a = direct_key(&q, &db_a);
+        let key_b = direct_key(&q, &db_b);
+        assert_ne!(key_a, key_b, "the two generations must be distinguishable");
+
+        // Admit against generation 1, swap, then admit against 2. The
+        // pre-swap requests are queued or running when the swap lands.
+        let before: Vec<_> = (0..3)
+            .map(|_| {
+                srv.submit(Request::interactive(q.clone(), "t0"))
+                    .expect("admitted")
+            })
+            .collect();
+        let new_gen = srv.swap_db(db_b).expect("swap");
+        assert_eq!(new_gen, 2);
+        assert_eq!(srv.generation(), 2);
+        let after = srv
+            .submit(Request::interactive(q.clone(), "t0"))
+            .expect("admitted");
+
+        for h in before {
+            let out = h.wait().expect("pre-swap request completes");
+            assert_eq!(out.generation, 1, "pinned at admission");
+            assert_eq!(out.result.report.identity_key(), key_a);
+        }
+        let out = after.wait().expect("post-swap request completes");
+        assert_eq!(out.generation, 2);
+        assert_eq!(out.result.report.identity_key(), key_b);
+    }
+
+    #[test]
+    fn image_server_and_swap_release_mapping_at_refcount_zero() {
+        let _g = lock();
+        obs::metrics().reset();
+        let (q, db) = workload();
+        let img = cublastp_db::DbImage::from_bytes(
+            cublastp_db::build_to_vec(&db, search_cfg().db_block_size),
+            "serve-img-a",
+        )
+        .expect("valid image");
+        let srv = Server::from_image(
+            &img,
+            SearchParams::default(),
+            search_cfg(),
+            DeviceConfig::k20c(),
+            ServeConfig::default(),
+        )
+        .expect("server from image");
+        drop(img); // the generation keeps the mapping alive
+        let key_a = direct_key(&q, &db);
+        let h = srv
+            .submit(Request::interactive(q.clone(), "t0"))
+            .expect("admitted");
+        let out = h.wait().expect("served from image");
+        assert_eq!(out.generation, 1);
+        assert_eq!(out.result.report.identity_key(), key_a);
+
+        let unmaps_before = cublastp_db::unmap_count();
+        let db_b = workload_b(&q);
+        let img_b = cublastp_db::DbImage::from_bytes(
+            cublastp_db::build_to_vec(&db_b, search_cfg().db_block_size),
+            "serve-img-b",
+        )
+        .expect("valid image");
+        srv.swap_image(&img_b).expect("swap to image b");
+        drop(img_b);
+        // Generation 1's mapping is released once nothing pins it: no job
+        // holds it (the only request completed above) and the server now
+        // points at generation 2. Workers may still be dropping the last
+        // job, so poll briefly instead of asserting instantly.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while cublastp_db::unmap_count() < unmaps_before + 1 && Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(cublastp_db::unmap_count(), unmaps_before + 1);
+
+        let out = srv
+            .submit(Request::interactive(q.clone(), "t0"))
+            .expect("admitted")
+            .wait()
+            .expect("served on generation 2");
+        assert_eq!(out.generation, 2);
+        assert_eq!(out.result.report.identity_key(), direct_key(&q, &db_b));
+    }
+
+    #[test]
+    fn image_block_size_mismatch_is_a_config_error() {
+        let _g = lock();
+        obs::metrics().reset();
+        let (q, db) = workload();
+        let img = cublastp_db::DbImage::from_bytes(
+            cublastp_db::build_to_vec(&db, 999),
+            "serve-img-mismatch",
+        )
+        .expect("valid image");
+        let err = match Server::from_image(
+            &img,
+            SearchParams::default(),
+            search_cfg(),
+            DeviceConfig::k20c(),
+            ServeConfig::default(),
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("block size mismatch must be rejected"),
+        };
+        assert_eq!(err.category(), "config");
+        let (srv, _) = server(ServeConfig::default());
+        let err = srv.swap_image(&img).expect_err("swap mismatch");
+        assert_eq!(err.category(), "config");
+        drop(q);
     }
 
     #[test]

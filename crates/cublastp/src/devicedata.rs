@@ -5,26 +5,93 @@
 
 use bio_seq::{DbBlock, Sequence, SequenceDb};
 use blast_core::{Dfa, Pssm};
+use cublastp_db::{DbImage, MappedRegion};
 use gpu_sim::GlobalBuffer;
 use parking_lot::Mutex;
+use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Process-wide count of database-block flattens ([`DeviceDbBlock::upload`]
 /// calls). Residency is observable through it: a batch of N queries over a
-/// B-block database must flatten B times, not N × B.
+/// B-block database must flatten B times, not N × B — and a database
+/// loaded from a `.cdb` image must flatten zero times.
 static FLATTEN_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide count of blocks materialised zero-copy from a mapped
+/// image ([`DeviceDbBlock::from_mapped`] calls). The dual of
+/// [`flatten_count`]: the image load path is observable through it.
+static MAPPED_BLOCK_COUNT: AtomicU64 = AtomicU64::new(0);
 
 /// Current value of the flatten counter.
 pub fn flatten_count() -> u64 {
     FLATTEN_COUNT.load(Ordering::Relaxed)
 }
 
+/// Current value of the mapped-block counter.
+pub fn mapped_block_count() -> u64 {
+    MAPPED_BLOCK_COUNT.load(Ordering::Relaxed)
+}
+
+/// Storage behind a resident block's residues: either a device buffer
+/// flattened from host sequences, or a zero-copy view of a mapped `.cdb`
+/// arena. Both expose the same contiguous byte layout and a synthetic
+/// 256-aligned device base address, so kernels cannot tell them apart.
+pub enum ResidueStore {
+    /// Flattened into a fresh device buffer by [`DeviceDbBlock::upload`].
+    Owned(GlobalBuffer<u8>),
+    /// Zero-copy view of a shared mapped arena. Holding the `Arc` pins
+    /// the mapping: the file is unmapped only when the last block view
+    /// (and the [`DbImage`] itself) is gone.
+    Mapped {
+        /// The mapped image arena this view aliases.
+        region: Arc<MappedRegion>,
+        /// Byte range of this block's residues within the arena.
+        range: Range<usize>,
+        /// Synthetic device base address of the view.
+        base: u64,
+    },
+}
+
+impl ResidueStore {
+    /// The block's residues as one contiguous slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u8] {
+        match self {
+            ResidueStore::Owned(buf) => buf,
+            ResidueStore::Mapped { region, range, .. } => &region.bytes()[range.clone()],
+        }
+    }
+
+    /// Device address of byte `i` of the block.
+    #[inline]
+    pub fn addr(&self, i: usize) -> u64 {
+        match self {
+            ResidueStore::Owned(buf) => buf.addr(i),
+            ResidueStore::Mapped { base, .. } => base + i as u64,
+        }
+    }
+
+    /// Size of the residue payload in bytes.
+    #[inline]
+    pub fn size_bytes(&self) -> u64 {
+        match self {
+            ResidueStore::Owned(buf) => buf.size_bytes(),
+            ResidueStore::Mapped { range, .. } => range.len() as u64,
+        }
+    }
+
+    /// True when the store aliases a mapped image (no flatten happened).
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, ResidueStore::Mapped { .. })
+    }
+}
+
 /// One database block uploaded to the device: concatenated residues plus
 /// per-sequence offsets (the layout every real GPU BLAST uses).
 pub struct DeviceDbBlock {
     /// Concatenated residues of all sequences in the block.
-    pub residues: GlobalBuffer<u8>,
+    pub residues: ResidueStore,
     /// `offsets[i]..offsets[i+1]` delimits sequence `i` in `residues`.
     pub offsets: Vec<usize>,
     /// Global database index of the block's first sequence.
@@ -49,7 +116,35 @@ impl DeviceDbBlock {
             max_seq_len = max_seq_len.max(s.len());
         }
         Self {
-            residues: GlobalBuffer::new(residues),
+            residues: ResidueStore::Owned(GlobalBuffer::new(residues)),
+            offsets,
+            base_index,
+            max_seq_len,
+        }
+    }
+
+    /// Materialise a block zero-copy from a mapped image arena. `range`
+    /// delimits the block's residues within `region`; `offsets` are
+    /// block-local prefix offsets (same shape [`Self::upload`] builds).
+    /// No flatten pass runs and no residue byte is copied — the view gets
+    /// its own synthetic device address range, so the coalescing model
+    /// sees the identical 256-aligned layout as the upload path.
+    pub fn from_mapped(
+        region: Arc<MappedRegion>,
+        range: Range<usize>,
+        offsets: Vec<usize>,
+        base_index: usize,
+    ) -> Self {
+        MAPPED_BLOCK_COUNT.fetch_add(1, Ordering::Relaxed);
+        debug_assert_eq!(offsets.last().copied(), Some(range.len()));
+        let max_seq_len = offsets.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0);
+        let base = gpu_sim::memory::virtual_alloc(range.len() as u64);
+        Self {
+            residues: ResidueStore::Mapped {
+                region,
+                range,
+                base,
+            },
             offsets,
             base_index,
             max_seq_len,
@@ -64,7 +159,7 @@ impl DeviceDbBlock {
     /// Residues of sequence `i` (block-local index).
     #[inline]
     pub fn seq(&self, i: usize) -> &[u8] {
-        &self.residues[self.offsets[i]..self.offsets[i + 1]]
+        &self.residues.as_slice()[self.offsets[i]..self.offsets[i + 1]]
     }
 
     /// Length of sequence `i`.
@@ -109,9 +204,50 @@ impl DeviceDb {
         Self { blocks, block_size }
     }
 
+    /// Materialise the whole database zero-copy from a validated `.cdb`
+    /// image: every block is a view of the shared mapped arena, built at
+    /// the image's stored block size with no flatten pass. Byte layout,
+    /// offsets, and 256-aligned base addresses are identical to what
+    /// [`DeviceDb::upload`] produces for the equivalent [`SequenceDb`],
+    /// so searches over the two are bit-identical.
+    pub fn from_image(img: &DbImage) -> Self {
+        let seq_offsets = img.seq_offsets();
+        let arena = img.residues_range();
+        let blocks = img
+            .blocks()
+            .into_iter()
+            .map(|b| {
+                let start_byte = seq_offsets[b.start];
+                let end_byte = seq_offsets[b.end];
+                let range = arena.start + start_byte..arena.start + end_byte;
+                let offsets: Vec<usize> = seq_offsets[b.start..=b.end]
+                    .iter()
+                    .map(|&o| o - start_byte)
+                    .collect();
+                let dev = Arc::new(DeviceDbBlock::from_mapped(
+                    Arc::clone(img.region()),
+                    range,
+                    offsets,
+                    b.start,
+                ));
+                (b, dev)
+            })
+            .collect();
+        Self {
+            blocks,
+            block_size: img.block_size(),
+        }
+    }
+
     /// The resident blocks, in database order.
     pub fn blocks(&self) -> &[(DbBlock, Arc<DeviceDbBlock>)] {
         &self.blocks
+    }
+
+    /// True when every block aliases a mapped image arena (loaded via
+    /// [`DeviceDb::from_image`] rather than flattened).
+    pub fn is_mapped(&self) -> bool {
+        !self.blocks.is_empty() && self.blocks.iter().all(|(_, b)| b.residues.is_mapped())
     }
 
     /// Partition size the database was flattened at.
@@ -153,6 +289,20 @@ impl DeviceDbCache {
         let fresh = Arc::new(DeviceDb::upload(db, block_size));
         entries.push((block_size, Arc::clone(&fresh)));
         fresh
+    }
+
+    /// Install an already-resident database (e.g. one materialised via
+    /// [`DeviceDb::from_image`]) under its own block size, replacing any
+    /// cached upload at that size. Subsequent [`DeviceDbCache::get`]
+    /// calls at the same block size share it instead of re-flattening.
+    pub fn insert(&self, dev: Arc<DeviceDb>) {
+        let mut entries = self.entries.lock();
+        let block_size = dev.block_size();
+        if let Some(entry) = entries.iter_mut().find(|(size, _)| *size == block_size) {
+            entry.1 = dev;
+        } else {
+            entries.push((block_size, dev));
+        }
     }
 }
 
@@ -298,6 +448,73 @@ mod tests {
             total += fresh.upload_bytes();
         }
         assert_eq!(dev.upload_bytes(), total);
+    }
+
+    #[test]
+    fn from_image_matches_upload_without_flattening() {
+        let db = tiny_db();
+        let img = cublastp_db::DbImage::from_bytes(cublastp_db::build_to_vec(&db, 3), "test")
+            .expect("valid image");
+        let uploaded = DeviceDb::upload(&db, 3);
+        let flattens_before = flatten_count();
+        let mapped_before = mapped_block_count();
+        let mapped = DeviceDb::from_image(&img);
+        assert_eq!(
+            flatten_count(),
+            flattens_before,
+            "image load must not flatten"
+        );
+        assert_eq!(mapped_block_count(), mapped_before + 3);
+        assert!(mapped.is_mapped());
+        assert!(!uploaded.is_mapped());
+        assert_eq!(mapped.num_blocks(), uploaded.num_blocks());
+        assert_eq!(mapped.block_size(), uploaded.block_size());
+        assert_eq!(mapped.upload_bytes(), uploaded.upload_bytes());
+        for ((ba, a), (bb, b)) in mapped.blocks().iter().zip(uploaded.blocks()) {
+            assert_eq!(ba, bb);
+            assert_eq!(a.offsets, b.offsets);
+            assert_eq!(a.base_index, b.base_index);
+            assert_eq!(a.max_seq_len, b.max_seq_len);
+            for i in 0..a.num_seqs() {
+                assert_eq!(a.seq(i), b.seq(i));
+            }
+            // Same address arithmetic: contiguous within the block, own
+            // 256-aligned base per block.
+            assert_eq!(a.residue_addr(0, 0) % 256, 0);
+            assert_eq!(a.residue_addr(1, 0) - a.residue_addr(0, 0), 12);
+        }
+    }
+
+    #[test]
+    fn mapped_blocks_pin_the_region_until_dropped() {
+        let db = tiny_db();
+        let img = cublastp_db::DbImage::from_bytes(cublastp_db::build_to_vec(&db, 0), "pin-test")
+            .expect("valid image");
+        let unmaps_before = cublastp_db::unmap_count();
+        let dev = DeviceDb::from_image(&img);
+        drop(img);
+        // The resident blocks still alias the arena — not unmapped yet.
+        assert_eq!(cublastp_db::unmap_count(), unmaps_before);
+        assert_eq!(dev.blocks()[0].1.seq_len(0), 12);
+        drop(dev);
+        // Refcount zero: the mapping is released.
+        assert_eq!(cublastp_db::unmap_count(), unmaps_before + 1);
+    }
+
+    #[test]
+    fn cache_insert_installs_mapped_db() {
+        let db = tiny_db();
+        let img = cublastp_db::DbImage::from_bytes(cublastp_db::build_to_vec(&db, 4), "test")
+            .expect("valid image");
+        let cache = DeviceDbCache::new();
+        let mapped = Arc::new(DeviceDb::from_image(&img));
+        cache.insert(Arc::clone(&mapped));
+        let got = cache.get(&db, 4);
+        assert!(Arc::ptr_eq(&mapped, &got), "get must share the inserted db");
+        // Insert replaces an existing upload at the same block size.
+        let other = cache.get(&db, 2);
+        cache.insert(Arc::clone(&mapped));
+        assert!(!Arc::ptr_eq(&other, &cache.get(&db, 2)) || other.block_size() == 2);
     }
 
     #[test]

@@ -109,11 +109,16 @@ pub enum SearchError {
         /// Suggested client backoff before retrying, in milliseconds.
         retry_after_ms: u64,
     },
+    /// A persistent database image (`.cdb`) failed to build, map, or
+    /// validate: truncation, bad magic, version mismatch, CRC failure, or
+    /// an inconsistent layout. Corruption is always surfaced as this typed
+    /// error — never a panic, never a silently wrong layout.
+    Db(cublastp_db::DbError),
 }
 
 impl SearchError {
     /// Stable category label ("config" | "input" | "device" | "pipeline"
-    /// | "deadline" | "overloaded").
+    /// | "deadline" | "overloaded" | "db").
     pub fn category(&self) -> &'static str {
         match self {
             SearchError::Config { .. } => "config",
@@ -122,6 +127,7 @@ impl SearchError {
             SearchError::Pipeline(_) => "pipeline",
             SearchError::DeadlineExceeded { .. } => "deadline",
             SearchError::Overloaded { .. } => "overloaded",
+            SearchError::Db(_) => "db",
         }
     }
 
@@ -166,6 +172,7 @@ impl fmt::Display for SearchError {
             SearchError::Overloaded { retry_after_ms } => {
                 write!(f, "server overloaded, retry after {retry_after_ms} ms")
             }
+            SearchError::Db(e) => write!(f, "database image [{}]: {e}", e.kind()),
         }
     }
 }
@@ -175,6 +182,7 @@ impl std::error::Error for SearchError {
         match self {
             SearchError::Device { source, .. } => Some(source),
             SearchError::Pipeline(e) => Some(e),
+            SearchError::Db(e) => Some(e),
             _ => None,
         }
     }
@@ -183,6 +191,12 @@ impl std::error::Error for SearchError {
 impl From<PipelineError> for SearchError {
     fn from(e: PipelineError) -> Self {
         SearchError::Pipeline(e)
+    }
+}
+
+impl From<cublastp_db::DbError> for SearchError {
+    fn from(e: cublastp_db::DbError) -> Self {
+        SearchError::Db(e)
     }
 }
 
@@ -222,6 +236,25 @@ mod tests {
             SearchError::Overloaded { retry_after_ms: 50 }.category(),
             "overloaded"
         );
+        assert_eq!(
+            SearchError::from(cublastp_db::DbError::BadMagic { found: [0; 8] }).category(),
+            "db"
+        );
+    }
+
+    #[test]
+    fn db_errors_display_their_kind() {
+        let e = SearchError::from(cublastp_db::DbError::UnsupportedVersion {
+            found: 9,
+            supported: 1,
+        });
+        let s = e.to_string();
+        assert!(
+            s.contains("[bad-version]") && s.contains("version 9"),
+            "{s}"
+        );
+        assert!(!s.contains('\n'));
+        assert!(std::error::Error::source(&e).is_some());
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub use cluster::{search_cluster, ClusterConfig, ClusterResult};
 pub use config::{
     CuBlastpConfig, ExtensionStrategy, GappedBackend, PipelineConfig, RecoveryPolicy, ScoringMode,
 };
-pub use devicedata::{flatten_count, DeviceDb, DeviceDbCache};
+pub use devicedata::{flatten_count, mapped_block_count, DeviceDb, DeviceDbCache, ResidueStore};
 pub use error::{PipelineError, SearchError};
 pub use gpu_phase::{ExtensionsCsr, GpuPhaseCounts, GpuPhaseOutput};
 pub use grouped::DeviceGroupIndex;
