@@ -1,90 +1,247 @@
-//! Future-work experiment (§6) — GPU-cluster strong scaling.
+//! `cluster_scaling` — multi-device strong scaling of the sharded engine.
 //!
-//! The paper predicts that on GPU clusters "the result sorting, merging,
-//! and ranking from multiple nodes could become a time-consuming step,
-//! which in turn, would be the performance bottleneck". This harness
-//! shards `env_nr_mini` across 1–32 simulated nodes, runs the full
-//! cuBLASTP pipeline per shard (output stays identical to single-node),
-//! and reports where the merge/rank phase starts to dominate.
+//! The paper's §6 future work asks how the fine-grained pipeline scales
+//! when the database is segmented across devices. This harness drives the
+//! *real* sharded engine (DESIGN.md §3.10) — not an analytic model: it
+//! shards `env_nr_mini` into [`SHARDS`] shards, runs a batch of
+//! [`QUERY_LENS`] queries through [`search_sharded_batch`] (one measured
+//! (query × shard) work item each, cross-shard statistics), then
+//! re-simulates the same measured items across device counts via
+//! [`ShardedBatchOutcome::reschedule`] — identical work, deterministic
+//! schedules, no re-search. It asserts, not just reports:
+//!
+//! 1. **Bit-identical output** — every query's merged sharded report has
+//!    the same identity key and e-value bits as a flat single-DB search.
+//! 2. **≥2× makespan speedup at 4 devices** over the single-device
+//!    schedule of the same items.
+//! 3. **≥0.6 scaling efficiency at 8 devices** (speedup / devices).
+//! 4. **No failed queries** under the fault-free run.
+//!
+//! The committed gate (`ci/baselines/cluster_scaling.json`) covers the
+//! violation counters (all baseline 0); the scaling curve itself varies
+//! with the modelled costs and stays informational.
 
-use bench::runners::figure_config;
-use bench::table::{fmt, pct, print_table};
-use bench::{database, query};
+use bench::workloads::bench_scale;
+use bench::{database, obsenv, print_table, query};
 use bio_seq::generate::DbPreset;
+use bio_seq::Sequence;
 use blast_core::SearchParams;
-use cublastp::{search_cluster, ClusterConfig, CuBlastp};
+use cublastp::{
+    search_sharded_batch, CuBlastp, CuBlastpConfig, ShardedBatchOptions, ShardedBatchOutcome,
+    ShardedDb,
+};
 use gpu_sim::DeviceConfig;
 
+/// Shards the database is partitioned into.
+const SHARDS: usize = 8;
+/// Device counts the scaling curve sweeps (re-simulated, same items).
+const DEVICES: [usize; 4] = [1, 2, 4, 8];
+/// Query lengths of the batch — 8 queries × 8 shards = 64 work items.
+const QUERY_LENS: [usize; 8] = [127, 254, 387, 517, 213, 298, 451, 166];
+/// Re-measurements allowed before a scaling violation counts.
+const RETRIES: usize = 2;
+/// Acceptance floor: makespan speedup at 4 devices.
+const MIN_SPEEDUP_4DEV: f64 = 2.0;
+/// Acceptance floor: scaling efficiency at 8 devices.
+const MIN_EFFICIENCY_8DEV: f64 = 0.6;
+
+struct Violations {
+    speedup_4dev_below_2x: f64,
+    efficiency_8dev_below_0p6: f64,
+    identity_mismatch: f64,
+    query_failures: f64,
+}
+
+fn run_batch(
+    queries: &[Sequence],
+    params: SearchParams,
+    cfg: CuBlastpConfig,
+    sharded: &ShardedDb,
+) -> ShardedBatchOutcome {
+    search_sharded_batch(
+        queries,
+        params,
+        cfg,
+        DeviceConfig::k20c(),
+        sharded,
+        &ShardedBatchOptions::default(),
+    )
+}
+
 fn main() {
-    let q = query(517);
-    let db = database(DbPreset::EnvNrMini, &q);
+    let scale = bench_scale();
+    obsenv::arm_from_env();
     let params = SearchParams::default();
-    let searcher = CuBlastp::new(q, params, figure_config(), DeviceConfig::k20c(), &db);
+    let cfg = CuBlastpConfig::default();
+    let queries: Vec<Sequence> = QUERY_LENS.iter().map(|&len| query(len)).collect();
+    let db = database(DbPreset::EnvNrMini, &queries[0]);
+    let preset = DbPreset::EnvNrMini.spec().name;
+    let sharded = ShardedDb::split(&db, SHARDS, cfg.db_block_size);
 
-    // A merge-heavy configuration: report caps in the hundreds of
-    // thousands stress ranking exactly as large-database mpiBLAST runs do.
-    let cluster_base = ClusterConfig::default();
-
-    let single = searcher.search(&db).expect("fault-free search");
-    let base_ms = single.timing.total_ms();
-
-    let mut rows = Vec::new();
-    let mut reference = None;
-    for nodes in [1usize, 2, 4, 8, 16, 32] {
-        let r = search_cluster(
-            &searcher,
-            &db,
-            &ClusterConfig {
-                nodes,
-                ..cluster_base
-            },
-        )
-        .expect("fault-free cluster search");
-        let key = r.report.identity_key();
-        match &reference {
-            None => reference = Some(key),
-            Some(k) => assert_eq!(&key, k, "cluster output changed at {nodes} nodes"),
+    // Property 1: sharded output is bit-identical to flat single-DB
+    // searches (identity key and e-value bits), every query.
+    let mut outcome = run_batch(&queries, params, cfg, &sharded);
+    let mut identity_mismatch = 0.0;
+    let mut query_failures = 0.0;
+    for (q, result) in queries.iter().zip(&outcome.per_query) {
+        match result {
+            Ok(r) => {
+                let flat = CuBlastp::new(q.clone(), params, cfg, DeviceConfig::k20c(), &db)
+                    .search(&db)
+                    .expect("fault-free flat search");
+                if r.report.identity_key() != flat.report.identity_key()
+                    || r.report.hits.iter().zip(&flat.report.hits).any(|(a, b)| {
+                        a.evalue.to_bits() != b.evalue.to_bits()
+                            || a.bit_score.to_bits() != b.bit_score.to_bits()
+                    })
+                {
+                    eprintln!(
+                        "cluster_scaling: sharded output diverged from flat search \
+                         (query len {})",
+                        q.len()
+                    );
+                    identity_mismatch += 1.0;
+                }
+            }
+            Err(e) => {
+                eprintln!("cluster_scaling: query failed under sharding: {e}");
+                query_failures += 1.0;
+            }
         }
-        rows.push(vec![
-            nodes.to_string(),
-            fmt(r.search_ms),
-            fmt(r.merge_ms),
-            fmt(r.total_ms()),
-            fmt(base_ms / r.total_ms()),
-            pct(r.merge_share()),
-        ]);
+    }
+
+    // Properties 2 and 3, with re-measurement: the schedule is a pure
+    // function of the measured item costs, so a genuine scaling loss
+    // reproduces while a host-noise cost wobble does not.
+    let mut speedup_4dev_below_2x = 0.0;
+    let mut efficiency_8dev_below_0p6 = 0.0;
+    for attempt in 0..=RETRIES {
+        let s4 = outcome.single_device_ms / outcome.reschedule(4).makespan_ms.max(1e-9);
+        let e8 = outcome.reschedule(8).efficiency(outcome.single_device_ms);
+        if s4 >= MIN_SPEEDUP_4DEV && e8 >= MIN_EFFICIENCY_8DEV {
+            break;
+        }
+        eprintln!(
+            "cluster_scaling: speedup(4)={s4:.2} (floor {MIN_SPEEDUP_4DEV}), \
+             efficiency(8)={e8:.2} (floor {MIN_EFFICIENCY_8DEV}) — attempt {}",
+            attempt + 1
+        );
+        if attempt == RETRIES {
+            speedup_4dev_below_2x = f64::from(s4 < MIN_SPEEDUP_4DEV);
+            efficiency_8dev_below_0p6 = f64::from(e8 < MIN_EFFICIENCY_8DEV);
+            break;
+        }
+        outcome = run_batch(&queries, params, cfg, &sharded);
+    }
+
+    // The scaling curve: same measured items, re-simulated per count.
+    let mut curve = Vec::new();
+    for d in DEVICES {
+        let s = outcome.reschedule(d);
+        curve.push((
+            d,
+            s.makespan_ms,
+            outcome.single_device_ms / s.makespan_ms.max(1e-9),
+            s.efficiency(outcome.single_device_ms),
+            s.total_steals(),
+        ));
     }
     print_table(
-        "§6 future work — cluster strong scaling, query517 × env_nr_mini",
+        &format!(
+            "§3.10 sharded fleet strong scaling — {} queries × {SHARDS} shards, {preset}",
+            queries.len()
+        ),
         &[
-            "nodes",
-            "search (ms)",
-            "merge+rank (ms)",
-            "total (ms)",
+            "devices",
+            "makespan (ms)",
             "speedup",
-            "merge share",
+            "efficiency",
+            "steals",
         ],
-        &rows,
+        &curve
+            .iter()
+            .map(|(d, mk, sp, eff, st)| {
+                vec![
+                    d.to_string(),
+                    format!("{mk:.3}"),
+                    format!("{sp:.2}x"),
+                    format!("{eff:.2}"),
+                    st.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
     );
     println!(
-        "Search scales with nodes; the reduction-tree merge grows with node count and \
-         result volume — the bottleneck the paper anticipates for GPU clusters."
+        "Work items are measured once ({} items, {:.3} ms single-device) and \
+         rescheduled deterministically per device count (seed {:#x}).",
+        outcome.item_costs.len(),
+        outcome.single_device_ms,
+        outcome.seed,
     );
 
-    // At NR scale each node contributes orders of magnitude more records;
-    // project the merge phase alone against the measured 32-node search
-    // phase to locate the crossover the paper warns about.
-    let search_32 = rows.last().expect("rows populated")[1].clone();
-    let mut proj = Vec::new();
-    for per_node in [1_000usize, 10_000, 100_000, 1_000_000] {
-        let merge =
-            cublastp::cluster::merge_tree_ms(&vec![per_node; 32], &cluster_base, 10 * per_node);
-        proj.push(vec![format!("{per_node}"), fmt(merge)]);
+    let v = Violations {
+        speedup_4dev_below_2x,
+        efficiency_8dev_below_0p6,
+        identity_mismatch,
+        query_failures,
+    };
+    let json = render_json(&v, &curve, &outcome, preset, scale);
+    let path = "BENCH_cluster_scaling.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
     }
-    print_table(
-        "Projected 32-node merge cost vs records per node (search phase ≈ the measured value above)",
-        &["records/node", "merge+rank (ms)"],
-        &proj,
-    );
-    println!("(32-node search phase measured above: {search_32} ms — merge overtakes it beyond ~10^3 records/node; NR-scale searches sit orders of magnitude past that)");
+    obsenv::write_exports();
+    let total = v.speedup_4dev_below_2x
+        + v.efficiency_8dev_below_0p6
+        + v.identity_mismatch
+        + v.query_failures;
+    if total > 0.0 {
+        eprintln!("cluster_scaling: {total} acceptance violation(s)");
+        std::process::exit(1);
+    }
+}
+
+fn render_json(
+    v: &Violations,
+    curve: &[(usize, f64, f64, f64, u64)],
+    outcome: &ShardedBatchOutcome,
+    preset: &str,
+    scale: f64,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"cluster_scaling\",\n");
+    out.push_str("  \"device\": \"k20c\",\n");
+    out.push_str(&format!("  \"scale\": {scale},\n"));
+    out.push_str(&format!("  \"shards\": {SHARDS},\n"));
+    // Gated numbers: violation counters only, all baseline 0 — any
+    // violation regresses the gate. The curve varies with modelled costs
+    // and stays informational below.
+    out.push_str("  \"phase_medians\": {\n");
+    out.push_str("    \"cluster_scaling\": {\n");
+    out.push_str(&format!(
+        "      \"{preset}\": {{\"speedup_4dev_below_2x\": {:.1}, \
+         \"efficiency_8dev_below_0p6\": {:.1}, \"identity_mismatch\": {:.1}, \
+         \"query_failures\": {:.1}}}\n",
+        v.speedup_4dev_below_2x, v.efficiency_8dev_below_0p6, v.identity_mismatch, v.query_failures,
+    ));
+    out.push_str("    }\n");
+    out.push_str("  },\n");
+    out.push_str(&format!(
+        "  \"single_device_ms\": {:.4},\n",
+        outcome.single_device_ms
+    ));
+    out.push_str(&format!("  \"items\": {},\n", outcome.item_costs.len()));
+    out.push_str("  \"curve\": [\n");
+    for (i, (d, mk, sp, eff, st)) in curve.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"devices\": {d}, \"makespan_ms\": {mk:.4}, \"speedup\": {sp:.4}, \
+             \"efficiency\": {eff:.4}, \"steals\": {st}}}{}\n",
+            if i + 1 < curve.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
 }

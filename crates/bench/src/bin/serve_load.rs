@@ -102,6 +102,8 @@ fn serve_config() -> ServeConfig {
         queue_capacity: 2,
         cost_capacity: 1 << 40,
         interactive_weight: 4,
+        shards: 1,
+        devices: 1,
         default_deadline: None,
         tenant_rate: RateLimitConfig::default(),
         controller: LoadController::default(),

@@ -43,6 +43,21 @@ impl SearchEngine {
     /// from a SEG-masked neighbourhood (masked regions seed nothing);
     /// extensions and scoring still see the full query.
     pub fn new(query: Sequence, params: SearchParams, db: &SequenceDb) -> Self {
+        Self::with_db_stats(query, params, db.total_residues(), db.len())
+    }
+
+    /// Build the engine from explicit database statistics instead of an
+    /// owned [`SequenceDb`]. This is the cross-shard statistics hook
+    /// (DESIGN.md §3.10): a sharded search passes the *global* database's
+    /// residue and sequence totals here so the Karlin–Altschul search
+    /// space, cutoffs and E-values are exactly those of a single-database
+    /// run, even though each device only ever sees its own shard.
+    pub fn with_db_stats(
+        query: Sequence,
+        params: SearchParams,
+        db_residues: usize,
+        db_sequences: usize,
+    ) -> Self {
         let matrix = Matrix::blosum62();
         let pssm = Pssm::build(&query, &matrix);
         let dfa = if params.mask_low_complexity {
@@ -57,7 +72,7 @@ impl SearchEngine {
         } else {
             Dfa::build(&query, &matrix, params.threshold)
         };
-        let mut cutoffs = params.cutoffs(query.len(), db.total_residues(), db.len());
+        let mut cutoffs = params.cutoffs(query.len(), db_residues, db_sequences);
         if params.composition_based_stats {
             cutoffs.gapped_ka =
                 blast_core::KarlinAltschul::composition_adjusted_gapped(&matrix, query.residues());

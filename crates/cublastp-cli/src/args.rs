@@ -2,7 +2,10 @@
 //! CLI dependency).
 
 use blast_core::SearchParams;
-use cublastp::{CuBlastpConfig, ExtensionStrategy, GappedBackend, SeedMode, DEFAULT_GROUP_BUDGET};
+use cublastp::{
+    CuBlastpConfig, ExtensionStrategy, GappedBackend, SeedMode, DEFAULT_GROUP_BUDGET,
+    DEFAULT_STEAL_SEED,
+};
 use gpu_sim::FaultPlan;
 
 /// Usage text.
@@ -14,8 +17,10 @@ USAGE:
     cublastp --query <fasta> --db-image <cdb> [options]
     cublastp --demo [options]
     cublastp serve --demo [serve options]
+    cublastp allvsall --db <fasta> [--shards <n> --devices <n>]
     cublastp db build --db <fasta> --out <path.cdb> [--block-size <n>]
     cublastp db verify <path.cdb>
+    cublastp db shard --db <fasta> --out <dir> --shards <n>
 
 OPTIONS:
     --query <path>       query FASTA (one search per record)
@@ -23,6 +28,18 @@ OPTIONS:
     --db-image <path>    persistent database image (`.cdb`, from `db
                          build`): mapped and validated, searched with no
                          flatten pass; replaces --db
+    --db-set <path>      shard-set manifest (`.cdbset`, from `db shard`):
+                         every shard maps its own image zero-copy and the
+                         search runs on the sharded engine; replaces --db
+    --shards <n>         partition the database into n contiguous shards
+                         and run the sharded engine (default 1: the flat
+                         single-device path); merged output is
+                         bit-identical at every shard count
+    --devices <n>        simulated devices the work-stealing scheduler
+                         distributes (query × shard) items across
+                         (default 1; cublastp engine only)
+    --steal-seed <n>     seed for the deterministic steal order
+                         (default fixed; schedules are reproducible)
     --block-size <n>     sequences per device block (default 1024); for
                          `db build` this is baked into the image, for a
                          search it overrides the partitioning
@@ -67,14 +84,24 @@ OPTIONS:
     --phase-table        print a per-phase timing table (Fig. 11 style)
     --help               this text
 
-DB SUBCOMMAND (persistent database images, DESIGN.md §3.9):
+ALLVSALL SUBCOMMAND (many-against-many, DESIGN.md §3.10): search every
+query (default: the database against itself) against the sharded
+database and print the sparse similarity matrix — one
+`qseqid sseqid score bitscore evalue` line per above-threshold pair,
+best HSP per pair, streamed per (query-tile × shard) work item.
+
+DB SUBCOMMAND (persistent database images, DESIGN.md §3.9–3.10):
     db build             serialise a FASTA database (or --demo) into a
                          versioned, checksummed `.cdb` image at --out;
                          the write is atomic (tmp file + rename)
     db verify <path>     map and fully validate an image — header CRC,
                          section table CRC, per-section CRCs, layout
                          invariants — and print a section summary
-    --out <path>         output path for `db build`
+    db shard             split a database into --shards per-shard `.cdb`
+                         images plus a `shards.cdbset` manifest in the
+                         --out directory (searchable via --db-set)
+    --out <path>         output path for `db build` / directory for
+                         `db shard`
 
 SERVE OPTIONS (after the `serve` subcommand; the query stream is replayed
 through the admission-controlled server, streaming per-block progress):
@@ -101,6 +128,8 @@ pub enum DbCmd {
     Build,
     /// Map and fully validate an image.
     Verify,
+    /// Split a database into per-shard images plus a `.cdbset` manifest.
+    Shard,
 }
 
 /// Output format of the report.
@@ -145,6 +174,17 @@ pub struct Args {
     /// `--db-image`: search a persistent `.cdb` image instead of a FASTA
     /// database (mapped, validated, zero flatten passes).
     pub db_image: Option<String>,
+    /// `--db-set`: search a per-shard image set via its `.cdbset`
+    /// manifest (sharded engine, every shard mapped zero-copy).
+    pub db_set: Option<String>,
+    /// `--shards`: shard count for the sharded engine (1 = flat path).
+    pub shards: usize,
+    /// `--devices`: simulated devices the fleet schedule spans.
+    pub devices: usize,
+    /// `--steal-seed`: deterministic steal-order seed.
+    pub steal_seed: u64,
+    /// `allvsall` subcommand: many-against-many sparse-matrix search.
+    pub allvsall: bool,
     /// `--block-size`: sequences per device block. `None` keeps the
     /// engine default (or, with `--db-image`, the image's stored size).
     pub block_size: Option<usize>,
@@ -190,6 +230,11 @@ impl Default for Args {
             query: None,
             db: None,
             db_image: None,
+            db_set: None,
+            shards: 1,
+            devices: 1,
+            steal_seed: DEFAULT_STEAL_SEED,
+            allvsall: false,
             block_size: None,
             db_cmd: None,
             out: None,
@@ -236,18 +281,36 @@ impl Args {
         while let Some(arg) = argv.next() {
             match arg.as_str() {
                 "serve" if first => args.serve = true,
+                "allvsall" if first => args.allvsall = true,
                 "db" if first => {
                     args.db_cmd = Some(match value(&mut argv, "db")?.as_str() {
                         "build" => DbCmd::Build,
                         "verify" => DbCmd::Verify,
+                        "shard" => DbCmd::Shard,
                         other => {
                             return Err(format!(
-                                "unknown db subcommand {other:?} (expected build or verify)"
+                                "unknown db subcommand {other:?} (expected build, verify or shard)"
                             ))
                         }
                     })
                 }
                 "--db-image" => args.db_image = Some(value(&mut argv, "--db-image")?),
+                "--db-set" => args.db_set = Some(value(&mut argv, "--db-set")?),
+                "--shards" => {
+                    args.shards = value(&mut argv, "--shards")?
+                        .parse()
+                        .map_err(|e| format!("--shards: {e}"))?
+                }
+                "--devices" => {
+                    args.devices = value(&mut argv, "--devices")?
+                        .parse()
+                        .map_err(|e| format!("--devices: {e}"))?
+                }
+                "--steal-seed" => {
+                    args.steal_seed = value(&mut argv, "--steal-seed")?
+                        .parse()
+                        .map_err(|e| format!("--steal-seed: {e}"))?
+                }
                 "--block-size" => {
                     args.block_size = Some(
                         value(&mut argv, "--block-size")?
@@ -409,16 +472,63 @@ impl Args {
                 }
                 return Ok(());
             }
+            Some(DbCmd::Shard) => {
+                if !args.demo && args.db.is_none() {
+                    return Err("db shard needs --db <fasta> (or --demo)".into());
+                }
+                if args.out.is_none() {
+                    return Err("db shard needs --out <dir>".into());
+                }
+                if args.shards == 0 {
+                    return Err("--shards must be positive".into());
+                }
+                if args.block_size == Some(0) {
+                    return Err("--block-size must be positive".into());
+                }
+                return Ok(());
+            }
             None => {}
+        }
+        if args.shards == 0 {
+            return Err("--shards must be positive".into());
+        }
+        if args.devices == 0 {
+            return Err("--devices must be positive".into());
         }
         if args.db.is_some() && args.db_image.is_some() {
             return Err("--db and --db-image are mutually exclusive".into());
         }
+        if args.db_set.is_some() && (args.db.is_some() || args.db_image.is_some()) {
+            return Err("--db-set is mutually exclusive with --db and --db-image".into());
+        }
         if args.block_size == Some(0) {
             return Err("--block-size must be positive".into());
         }
-        if !args.demo && (args.query.is_none() || (args.db.is_none() && args.db_image.is_none())) {
-            return Err("need --query and --db or --db-image (or --demo)".into());
+        let has_db = args.db.is_some() || args.db_image.is_some() || args.db_set.is_some();
+        if args.allvsall {
+            if args.serve {
+                return Err("allvsall and serve are mutually exclusive".into());
+            }
+            if args.engine != Engine::CuBlastp {
+                return Err("allvsall requires --engine cublastp".into());
+            }
+            if args.seed_mode == SeedMode::Grouped {
+                return Err("allvsall drives its own tiling; drop --seed-mode grouped".into());
+            }
+            if !args.demo && !has_db {
+                return Err("allvsall needs --db, --db-image or --db-set (or --demo)".into());
+            }
+        } else if !args.demo && (args.query.is_none() || !has_db) {
+            return Err("need --query and --db, --db-image or --db-set (or --demo)".into());
+        }
+        if (args.shards > 1 || args.db_set.is_some()) && args.engine != Engine::CuBlastp {
+            return Err("--shards / --db-set require --engine cublastp".into());
+        }
+        if (args.shards > 1 || args.db_set.is_some()) && args.seed_mode == SeedMode::Grouped {
+            return Err("--seed-mode grouped is incompatible with sharded search".into());
+        }
+        if args.db_set.is_some() && args.block_size.is_some() {
+            return Err("--block-size is fixed by the shard-set manifest".into());
         }
         if args.bins == 0 {
             return Err("--bins must be positive".into());
@@ -441,6 +551,9 @@ impl Args {
         if args.serve {
             if args.engine != Engine::CuBlastp {
                 return Err("serve requires --engine cublastp".into());
+            }
+            if args.db_set.is_some() {
+                return Err("serve loads --db or --db-image; use --shards to shard it".into());
             }
             if args.serve_requests == 0 {
                 return Err("--requests must be positive".into());
@@ -725,6 +838,76 @@ mod tests {
         assert!(parse(&["db", "build", "--db", "d.fa"]).is_err()); // no --out
         assert!(parse(&["db", "build", "--demo", "--out", "x", "--block-size", "0"]).is_err());
         assert!(parse(&["db", "verify"]).is_err()); // no path
+    }
+
+    #[test]
+    fn db_shard_subcommand_parses_and_validates() {
+        let s = parse(&[
+            "db", "shard", "--db", "d.fa", "--out", "dir", "--shards", "4",
+        ])
+        .unwrap();
+        assert_eq!(s.db_cmd, Some(DbCmd::Shard));
+        assert_eq!(s.out.as_deref(), Some("dir"));
+        assert_eq!(s.shards, 4);
+        assert!(parse(&["db", "shard", "--out", "dir"]).is_err()); // no --db/--demo
+        assert!(parse(&["db", "shard", "--demo"]).is_err()); // no --out
+        assert!(parse(&["db", "shard", "--demo", "--out", "dir", "--shards", "0"]).is_err());
+    }
+
+    #[test]
+    fn shard_flags_parse_and_validate() {
+        let d = parse(&["--demo"]).unwrap();
+        assert_eq!(d.shards, 1);
+        assert_eq!(d.devices, 1);
+        assert_eq!(d.steal_seed, DEFAULT_STEAL_SEED);
+        let a = parse(&[
+            "--demo",
+            "--shards",
+            "4",
+            "--devices",
+            "2",
+            "--steal-seed",
+            "99",
+        ])
+        .unwrap();
+        assert_eq!((a.shards, a.devices, a.steal_seed), (4, 2, 99));
+        assert!(parse(&["--demo", "--shards", "0"]).is_err());
+        assert!(parse(&["--demo", "--devices", "0"]).is_err());
+        assert!(parse(&["--demo", "--shards", "2", "--engine", "cpu"]).is_err());
+        assert!(parse(&["--demo", "--shards", "2", "--seed-mode", "grouped"]).is_err());
+    }
+
+    #[test]
+    fn db_set_flag_parses_and_validates() {
+        let a = parse(&["--query", "q.fa", "--db-set", "s.cdbset"]).unwrap();
+        assert_eq!(a.db_set.as_deref(), Some("s.cdbset"));
+        assert!(parse(&["--query", "q.fa", "--db-set", "s", "--db", "d.fa"]).is_err());
+        assert!(parse(&["--query", "q.fa", "--db-set", "s", "--db-image", "d.cdb"]).is_err());
+        assert!(parse(&["--query", "q.fa", "--db-set", "s", "--block-size", "8"]).is_err());
+        assert!(parse(&["--query", "q.fa", "--db-set", "s", "--engine", "cpu"]).is_err());
+    }
+
+    #[test]
+    fn allvsall_subcommand_parses_and_validates() {
+        let a = parse(&[
+            "allvsall",
+            "--db",
+            "d.fa",
+            "--shards",
+            "3",
+            "--devices",
+            "2",
+        ])
+        .unwrap();
+        assert!(a.allvsall);
+        assert!(a.query.is_none(), "query is optional for all-vs-all");
+        assert_eq!(a.shards, 3);
+        // `allvsall` is a subcommand: only the first token counts.
+        assert!(parse(&["--demo", "allvsall"]).is_err());
+        assert!(parse(&["allvsall"]).is_err()); // no db source
+        assert!(parse(&["allvsall", "--demo"]).is_ok());
+        assert!(parse(&["allvsall", "--db", "d.fa", "--engine", "cpu"]).is_err());
+        assert!(parse(&["allvsall", "--db", "d.fa", "--seed-mode", "grouped"]).is_err());
     }
 
     #[test]

@@ -29,10 +29,11 @@ use bio_seq::fasta::read_fasta_strict;
 use bio_seq::{Sequence, SequenceDb};
 use blast_cpu::search::{search_parallel, search_sequential, SearchEngine};
 use cublastp::{
-    search_batch_with, BatchOptions, CuBlastp, DeviceDb, DeviceDbCache, GappedBackend, SearchError,
-    SeedMode,
+    search_all_vs_all, search_batch_with, search_sharded_batch, AllVsAllOptions, BatchOptions,
+    CuBlastp, DeviceDb, DeviceDbCache, GappedBackend, SearchError, SeedMode, ShardedBatchOptions,
+    ShardedDb, ShardedOptions,
 };
-use cublastp_db::DbImage;
+use cublastp_db::{build_shard_set, DbImage, ShardSetManifest};
 use gpu_sim::{DeviceConfig, FaultInjector};
 use std::fs::File;
 use std::io::BufReader;
@@ -273,7 +274,25 @@ fn main() -> ExitCode {
         None => None,
     };
 
-    let (queries, db) = match load_inputs(&args, image.as_ref()) {
+    // A `--db-set` shard-set manifest maps every per-shard image up
+    // front (zero flatten passes); its stored block size and shard count
+    // override the flags, exactly like a single `--db-image`.
+    let mut sharded_set: Option<ShardedDb> = match &args.db_set {
+        Some(path) => match open_shard_set(path) {
+            Ok(sharded) => {
+                args.block_size = Some(sharded.block_size());
+                args.shards = sharded.num_shards();
+                Some(sharded)
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(exit_code_for(&e));
+            }
+        },
+        None => None,
+    };
+
+    let (queries, db) = match load_inputs(&args, image.as_ref(), sharded_set.as_ref()) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
@@ -283,6 +302,12 @@ fn main() -> ExitCode {
 
     if args.serve {
         return run_serve(&queries, db, image.as_ref(), &args);
+    }
+    if args.allvsall {
+        let sharded = sharded_set.take().unwrap_or_else(|| {
+            ShardedDb::split(&db, args.shards, args.cublastp_config().db_block_size)
+        });
+        return run_allvsall(&queries, &db, &sharded, &args);
     }
 
     let banner = format!(
@@ -322,7 +347,20 @@ fn main() -> ExitCode {
     let mut gapped_summary = (args.engine == Engine::CuBlastp).then(GappedSummary::default);
     let t_batch = std::time::Instant::now();
     let mut failures: Vec<(usize, String, SearchError)> = Vec::new();
-    if args.engine == Engine::CuBlastp && args.seed_mode == SeedMode::Grouped {
+    if args.shards > 1 || sharded_set.is_some() {
+        let sharded = sharded_set.take().unwrap_or_else(|| {
+            ShardedDb::split(&db, args.shards, args.cublastp_config().db_block_size)
+        });
+        failures = run_sharded_batch(
+            &queries,
+            &db,
+            &sharded,
+            &args,
+            &injector,
+            &mut phase_table,
+            &mut gapped_summary,
+        );
+    } else if args.engine == Engine::CuBlastp && args.seed_mode == SeedMode::Grouped {
         failures = run_grouped_batch(
             &queries,
             &db,
@@ -423,6 +461,8 @@ fn run_serve(
         workers: args.serve_workers,
         reserved_interactive_workers: usize::from(args.serve_workers > 1),
         queue_capacity: args.serve_queue_capacity,
+        shards: args.shards,
+        devices: args.devices,
         default_deadline: args.serve_deadline_ms.map(Duration::from_millis),
         ..ServeConfig::default()
     };
@@ -466,6 +506,14 @@ fn run_serve(
             .map_or_else(|| "none".to_string(), |ms| format!("{ms} ms")),
         server.num_blocks(),
     );
+    if args.shards > 1 {
+        out!(
+            "# serve shards: {} over {} simulated device{}",
+            args.shards,
+            args.devices,
+            if args.devices == 1 { "" } else { "s" },
+        );
+    }
 
     let mut handles = Vec::new();
     let mut first_error: Option<SearchError> = None;
@@ -595,6 +643,16 @@ fn open_image(path: &str, requested_block_size: Option<usize>) -> Result<DbImage
     Ok(img)
 }
 
+/// Load a `.cdbset` manifest and map every per-shard image it lists into
+/// a [`ShardedDb`] — the sharded analogue of [`open_image`]. Any stale,
+/// swapped, corrupt, or missing shard is a typed `db` error up front.
+fn open_shard_set(path: &str) -> Result<ShardedDb, SearchError> {
+    let p = std::path::Path::new(path);
+    let manifest = ShardSetManifest::load(p)?;
+    let images = manifest.open_images(p)?;
+    ShardedDb::from_images(&manifest.name, &images)
+}
+
 /// The built-in synthetic demo database (the `--demo` search corpus).
 fn demo_db() -> SequenceDb {
     let query = bio_seq::generate::make_query(220);
@@ -608,12 +666,30 @@ fn demo_db() -> SequenceDb {
     bio_seq::generate::generate_db(&spec, &query).db
 }
 
+/// The smaller `allvsall --demo` corpus: every sequence doubles as a
+/// query, so the demo stays a sub-second run instead of a 10⁶-pair one.
+fn demo_allvsall_db() -> SequenceDb {
+    let query = bio_seq::generate::make_query(150);
+    let spec = bio_seq::generate::DbSpec {
+        name: "demo_allvsall",
+        num_sequences: 40,
+        mean_length: 160,
+        homolog_fraction: 0.3,
+        seed: 77,
+    };
+    bio_seq::generate::generate_db(&spec, &query).db
+}
+
 fn load_inputs(
     args: &Args,
     image: Option<&DbImage>,
+    sharded: Option<&ShardedDb>,
 ) -> Result<(Vec<Sequence>, SequenceDb), String> {
-    let queries = if args.demo {
-        vec![bio_seq::generate::make_query(220)]
+    // Read the query FASTA first so its errors surface before database
+    // errors; `--demo` synthesizes queries and `allvsall` without
+    // `--query` defaults to the database against itself (filled below).
+    let queries_from_file = if args.demo || args.query.is_none() {
+        None
     } else {
         let qpath = args.query.as_ref().ok_or("missing --query <fasta>")?;
         let queries = read_fasta_strict(BufReader::new(
@@ -623,13 +699,26 @@ fn load_inputs(
         if queries.is_empty() {
             return Err(format!("{qpath}: no sequences"));
         }
-        queries
+        Some(queries)
     };
-    let db = if let Some(img) = image {
+    let db = if let Some(s) = sharded {
+        // Concatenating the per-shard host views reconstructs the full
+        // database in manifest order (shards are contiguous slices).
+        let seqs: Vec<Sequence> = s
+            .shards()
+            .iter()
+            .flat_map(|sh| sh.db.sequences().iter().cloned())
+            .collect();
+        SequenceDb::new(s.name().to_string(), seqs)
+    } else if let Some(img) = image {
         // Already mapped and validated; rebuild the host-side view.
         img.to_sequence_db()
     } else if args.demo {
-        demo_db()
+        if args.allvsall {
+            demo_allvsall_db()
+        } else {
+            demo_db()
+        }
     } else {
         let dpath = args.db.as_ref().ok_or("missing --db <fasta>")?;
         let subjects = read_fasta_strict(BufReader::new(
@@ -640,6 +729,13 @@ fn load_inputs(
             return Err(format!("{dpath}: no sequences"));
         }
         SequenceDb::new(dpath.clone(), subjects)
+    };
+    let queries = match queries_from_file {
+        Some(q) if !args.demo => q,
+        // Many-against-many default: the database against itself.
+        _ if args.allvsall => db.sequences().to_vec(),
+        _ if args.demo => vec![bio_seq::generate::make_query(220)],
+        _ => return Err("missing --query <fasta>".into()),
     };
     Ok((queries, db))
 }
@@ -713,6 +809,56 @@ fn run_db(cmd: DbCmd, args: &Args) -> ExitCode {
                     ExitCode::SUCCESS
                 }
                 Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::from(exit_code_for(&e))
+                }
+            }
+        }
+        DbCmd::Shard => {
+            let db = if args.demo {
+                demo_db()
+            } else {
+                match load_db_fasta(args) {
+                    Ok(db) => db,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::from(EXIT_INPUT);
+                    }
+                }
+            };
+            let block_size = args
+                .block_size
+                .unwrap_or_else(|| cublastp::CuBlastpConfig::default().db_block_size);
+            let dir = std::path::Path::new(args.out.as_deref().unwrap_or("shards"));
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: {}: {e}", dir.display());
+                return ExitCode::from(EXIT_INPUT);
+            }
+            match build_shard_set(&db, block_size, args.shards, dir) {
+                Ok((manifest, path)) => {
+                    out!(
+                        "# db shard: {} -> {}: {} shards, {} sequences, {} residues \
+                         (block-size {block_size})",
+                        db.name(),
+                        path.display(),
+                        manifest.shards.len(),
+                        manifest.sequences,
+                        manifest.residues,
+                    );
+                    for (i, s) in manifest.shards.iter().enumerate() {
+                        out!(
+                            "#   shard {:<3} {} start {} ({} sequences, {} residues)",
+                            i,
+                            s.file,
+                            s.start,
+                            s.sequences,
+                            s.residues,
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    let e = SearchError::from(e);
                     eprintln!("error: {e}");
                     ExitCode::from(exit_code_for(&e))
                 }
@@ -831,6 +977,228 @@ fn run_grouped_batch(
         None => eprintln!("# warning: grouped seed mode fell back to per-query seeding"),
     }
     failures
+}
+
+/// The sharded path (`--shards` > 1 or `--db-set`): the whole query
+/// stream runs through the sharded engine — every query searches every
+/// shard, cross-shard statistics keep output bit-identical to the flat
+/// path, and the work-stealing fleet schedule spans `--devices`
+/// simulated devices. The `# shards:` summary row is the grep target of
+/// the CI sharded-equivalence job.
+#[allow(clippy::too_many_arguments)]
+fn run_sharded_batch(
+    queries: &[Sequence],
+    db: &SequenceDb,
+    sharded: &ShardedDb,
+    args: &Args,
+    injector: &Arc<FaultInjector>,
+    phase_table: &mut Option<PhaseTable>,
+    gapped_summary: &mut Option<GappedSummary>,
+) -> Vec<(usize, String, SearchError)> {
+    let t0 = std::time::Instant::now();
+    let mut out = search_sharded_batch(
+        queries,
+        args.params(),
+        args.cublastp_config(),
+        DeviceConfig::k20c(),
+        sharded,
+        &ShardedBatchOptions {
+            sharded: ShardedOptions {
+                devices: args.devices,
+                seed: args.steal_seed,
+            },
+            injector: Some(Arc::clone(injector)),
+        },
+    );
+    // Individual wall-clocks are not observable in a batched run; report
+    // each query's share of the batch.
+    let wall = t0.elapsed().div_f64(queries.len().max(1) as f64);
+    let mut failures = Vec::new();
+    for (i, (query, result)) in queries
+        .iter()
+        .zip(std::mem::take(&mut out.per_query))
+        .enumerate()
+    {
+        match result {
+            Ok(r) => {
+                if let Some(table) = phase_table {
+                    table.absorb(&r, &DeviceConfig::k20c());
+                }
+                if let Some(summary) = gapped_summary {
+                    summary.absorb(&r, &DeviceConfig::k20c());
+                }
+                let mut telemetry = format!(
+                    "hits {} → filtered {} ({:.1}%) → extensions {}; simulated GPU {:.2} ms \
+                     ({} shards)",
+                    r.counts.hits,
+                    r.counts.filtered,
+                    100.0 * r.counts.survival_ratio(),
+                    r.counts.extensions,
+                    r.timing.gpu_ms,
+                    sharded.num_shards(),
+                );
+                if !r.recovery.is_clean() {
+                    telemetry.push_str(&format!(
+                        "; recovered from {} fault{} ({} block{} degraded to CPU)",
+                        r.recovery.faults,
+                        if r.recovery.faults == 1 { "" } else { "s" },
+                        r.recovery.degraded_blocks,
+                        if r.recovery.degraded_blocks == 1 {
+                            ""
+                        } else {
+                            "s"
+                        },
+                    ));
+                }
+                report::print(query, db, &r.report, args, wall, &telemetry);
+            }
+            Err(e) => {
+                eprintln!("error: query {} ({}): {e}", i + 1, query.id);
+                failures.push((i, query.id.clone(), e));
+            }
+        }
+    }
+    let row = format!(
+        "# shards: {} devices={} makespan={:.3}ms single-device={:.3}ms speedup={:.2}x \
+         efficiency={:.2} steals={} upload={:.3}ms",
+        sharded.num_shards(),
+        out.devices,
+        out.schedule.makespan_ms,
+        out.single_device_ms,
+        out.speedup(),
+        out.efficiency(),
+        out.schedule.total_steals(),
+        out.shard_upload_ms.iter().sum::<f64>(),
+    );
+    if args.outfmt == args::OutFmt::Tab {
+        eprintln!("{row}");
+    } else {
+        out!("{row}");
+    }
+    if args.phase_table && args.outfmt != args::OutFmt::Tab {
+        print_fleet_table(sharded, &out);
+    }
+    failures
+}
+
+/// The per-shard / per-device rows of `--phase-table` under the sharded
+/// engine: modelled search time per shard and the fleet timeline each
+/// device executed (busy, upload, items run, items stolen).
+fn print_fleet_table(sharded: &ShardedDb, out: &cublastp::ShardedBatchOutcome) {
+    let n = sharded.num_shards();
+    let mut cost = vec![0.0f64; n];
+    let mut items = vec![0usize; n];
+    for (c, &s) in out.item_costs.iter().zip(&out.item_shards) {
+        cost[s] += c;
+        items[s] += 1;
+    }
+    out!(
+        "# per-shard totals ({n} shards over {} devices):",
+        out.devices
+    );
+    for (i, shard) in sharded.shards().iter().enumerate() {
+        out!(
+            "# shard {:<3} {:>6} seqs {:>4} items {:>10.3} ms search {:>8.3} ms upload",
+            i,
+            shard.len(),
+            items[i],
+            cost[i],
+            out.shard_upload_ms[i],
+        );
+    }
+    for (d, t) in out.schedule.per_device.iter().enumerate() {
+        out!(
+            "# device {:<2} busy {:>10.3} ms ({:>8.3} ms upload), {:>4} items, {} stolen",
+            d,
+            t.busy_ms,
+            t.upload_ms,
+            t.items.len(),
+            t.steals,
+        );
+    }
+}
+
+/// The `allvsall` subcommand: many-against-many search through the
+/// sharded engine, streaming one `qseqid sseqid score bitscore evalue`
+/// line per above-threshold pair (the best HSP of the pair) from the
+/// sparse similarity matrix.
+fn run_allvsall(
+    queries: &[Sequence],
+    db: &SequenceDb,
+    sharded: &ShardedDb,
+    args: &Args,
+) -> ExitCode {
+    obs::arm(args.trace_out.is_some(), args.metrics_out.is_some());
+    let t0 = std::time::Instant::now();
+    let r = match search_all_vs_all(
+        queries,
+        args.params(),
+        args.cublastp_config(),
+        DeviceConfig::k20c(),
+        sharded,
+        &AllVsAllOptions {
+            sharded: ShardedOptions {
+                devices: args.devices,
+                seed: args.steal_seed,
+            },
+            ..AllVsAllOptions::default()
+        },
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: allvsall: {e}");
+            return ExitCode::from(exit_code_for(&e));
+        }
+    };
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    for (q, query) in queries.iter().enumerate() {
+        for e in r.matrix.row(q) {
+            out!(
+                "{}\t{}\t{}\t{:.1}\t{:.2e}",
+                query.id,
+                db.sequences()[e.subject as usize].id,
+                e.score,
+                e.bit_score,
+                e.evalue,
+            );
+        }
+    }
+    let pairs = r.matrix.num_queries * r.matrix.num_subjects;
+    let density = if pairs > 0 {
+        100.0 * r.matrix.nnz() as f64 / pairs as f64
+    } else {
+        0.0
+    };
+    let summary = format!(
+        "# allvsall: {} x {} pairs, {} above threshold ({:.2}% dense), {} tiles, {:.2} ms wall",
+        r.matrix.num_queries,
+        r.matrix.num_subjects,
+        r.matrix.nnz(),
+        density,
+        r.tiles,
+        wall_ms,
+    );
+    let row = format!(
+        "# shards: {} devices={} makespan={:.3}ms single-device={:.3}ms speedup={:.2}x steals={}",
+        sharded.num_shards(),
+        args.devices,
+        r.schedule.makespan_ms,
+        r.single_device_ms,
+        r.speedup(),
+        r.schedule.total_steals(),
+    );
+    if args.outfmt == args::OutFmt::Tab {
+        eprintln!("{summary}");
+        eprintln!("{row}");
+    } else {
+        out!("{summary}");
+        out!("{row}");
+    }
+    if let Err(e) = write_observability(args) {
+        eprintln!("error: {e}");
+        return ExitCode::from(EXIT_INPUT);
+    }
+    ExitCode::SUCCESS
 }
 
 #[allow(clippy::too_many_arguments)]

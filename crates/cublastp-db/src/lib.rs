@@ -32,6 +32,7 @@ pub mod crc;
 pub mod error;
 pub mod format;
 pub mod image;
+pub mod shards;
 
 pub use crc::crc32;
 pub use error::DbError;
@@ -39,3 +40,4 @@ pub use format::{
     block_count, build_to_file, build_to_vec, BuildSummary, FORMAT_VERSION, HEADER_LEN, MAGIC,
 };
 pub use image::{map_count, unmap_count, DbImage, MappedRegion, SectionReport, VerifySummary};
+pub use shards::{build_shard_set, ShardEntry, ShardSetManifest, SHARD_SET_VERSION};

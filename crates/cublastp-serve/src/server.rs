@@ -35,8 +35,8 @@ use blast_cpu::report::SearchReport;
 use cublastp::error::{panic_message, PipelineError};
 use cublastp::CancelToken;
 use cublastp::{
-    BlockProgress, CuBlastp, CuBlastpConfig, CuBlastpResult, DeviceDb, DeviceDbCache,
-    GappedBackend, SearchError, SearchHooks,
+    search_sharded_with_hooks, BlockProgress, CuBlastp, CuBlastpConfig, CuBlastpResult, DeviceDb,
+    DeviceDbCache, GappedBackend, SearchError, SearchHooks, ShardedDb, ShardedOptions,
 };
 use gpu_sim::{DeviceConfig, FaultInjector, KernelWorkspace};
 
@@ -63,6 +63,10 @@ pub struct DbGeneration {
     pub db: Arc<SequenceDb>,
     /// Device-resident layout (flattened or mapped from a `.cdb` image).
     pub dev_db: Arc<DeviceDb>,
+    /// Sharded view of the same database when the server runs with
+    /// `shards > 1`; jobs pinned to this generation route through the
+    /// sharded engine (output identical to the flat path).
+    pub sharded: Option<Arc<ShardedDb>>,
     /// Where the generation came from: `"inline"` for an uploaded
     /// [`SequenceDb`], otherwise the image source label.
     pub source: String,
@@ -235,6 +239,12 @@ pub struct ServeConfig {
     pub cost_capacity: u64,
     /// Interactive picks per bulk pick when both queues are non-empty.
     pub interactive_weight: u32,
+    /// Shards each database generation is partitioned into (1 = the flat
+    /// single-device path). Sharded searches use cross-shard statistics,
+    /// so results are bit-identical to the flat path.
+    pub shards: usize,
+    /// Simulated devices the sharded fleet schedule spans.
+    pub devices: usize,
     /// Deadline applied when a request does not carry its own.
     pub default_deadline: Option<Duration>,
     /// Per-tenant token-bucket limits.
@@ -251,6 +261,8 @@ impl Default for ServeConfig {
             queue_capacity: 16,
             cost_capacity: 1 << 32,
             interactive_weight: 4,
+            shards: 1,
+            devices: 1,
             default_deadline: None,
             tenant_rate: RateLimitConfig::default(),
             controller: LoadController::default(),
@@ -279,6 +291,12 @@ impl ServeConfig {
         }
         if self.interactive_weight == 0 {
             return Err(SearchError::config("serve: interactive_weight must be > 0"));
+        }
+        if self.shards == 0 {
+            return Err(SearchError::config("serve: shards must be > 0"));
+        }
+        if self.devices == 0 {
+            return Err(SearchError::config("serve: devices must be > 0"));
         }
         Ok(())
     }
@@ -443,6 +461,7 @@ impl Server {
     ) -> Result<Self, SearchError> {
         cfg.validate()?;
         search_cfg.validate()?;
+        let sharded = make_sharded(&db, cfg.shards, search_cfg.db_block_size);
         // The ladder reads gauges back out of the registry, so metrics
         // must be armed for the lifetime of the server (tracing keeps its
         // prior state).
@@ -461,6 +480,7 @@ impl Server {
                 id: 1,
                 db,
                 dev_db,
+                sharded,
                 source,
             })),
             params,
@@ -517,11 +537,13 @@ impl Server {
         let sh = &self.shared;
         let _span = obs::span("db_swap", "serve");
         let dev_db = Arc::new(DeviceDb::upload(&db, sh.search_cfg.db_block_size));
+        let sharded = make_sharded(&db, sh.cfg.shards, sh.search_cfg.db_block_size);
         let id = sh.next_generation.fetch_add(1, Ordering::Relaxed);
         let id = sh.install(DbGeneration {
             id,
             db: Arc::new(db),
             dev_db,
+            sharded,
             source: "inline".to_string(),
         });
         obs::counter("serve_swaps_total", &[("source", "inline")], 1);
@@ -544,11 +566,14 @@ impl Server {
         }
         let _span = obs::span("db_swap", "serve");
         let dev_db = Arc::new(DeviceDb::from_image(img));
+        let db = Arc::new(img.to_sequence_db());
+        let sharded = make_sharded(&db, sh.cfg.shards, sh.search_cfg.db_block_size);
         let id = sh.next_generation.fetch_add(1, Ordering::Relaxed);
         let id = sh.install(DbGeneration {
             id,
-            db: Arc::new(img.to_sequence_db()),
+            db,
             dev_db,
+            sharded,
             source: img.region().source().to_string(),
         });
         obs::counter("serve_swaps_total", &[("source", "image")], 1);
@@ -708,6 +733,12 @@ fn pick_job(sh: &Shared, interactive_only: bool) -> Option<Job> {
     }
 }
 
+/// Build the sharded view of a generation when the server is configured
+/// with more than one shard; `None` keeps the flat single-device path.
+fn make_sharded(db: &SequenceDb, shards: usize, block_size: usize) -> Option<Arc<ShardedDb>> {
+    (shards > 1).then(|| Arc::new(ShardedDb::split(db, shards, block_size)))
+}
+
 fn worker_loop(sh: &Shared, interactive_only: bool) {
     // One scratch workspace per worker, reused across requests, so the
     // steady-state hot path allocates nothing (same pooling as the batch
@@ -730,7 +761,11 @@ fn process_job(sh: &Shared, workspace: &Arc<KernelWorkspace>, job: Job) {
     // The job's pinned generation, not the server's current one: a swap
     // that landed while this job was queued must not change its database.
     let generation = Arc::clone(&job.generation);
-    let blocks_total = generation.dev_db.blocks().len() as u32;
+    let blocks_total = match &generation.sharded {
+        // Sharded jobs stream one progress event per shard.
+        Some(s) => s.num_shards() as u32,
+        None => generation.dev_db.blocks().len() as u32,
+    };
 
     // A request whose deadline expired while queued is refused before any
     // device work — this is the "server queued you to death" path.
@@ -763,17 +798,6 @@ fn process_job(sh: &Shared, workspace: &Arc<KernelWorkspace>, job: Job) {
 
     let t_service = Instant::now();
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        let mut searcher = CuBlastp::new(
-            job.query.clone(),
-            sh.params,
-            search_cfg,
-            sh.device,
-            &generation.db,
-        );
-        searcher.workspace = Arc::clone(workspace);
-        if let Some(inj) = &sh.injector {
-            searcher.injector = Arc::clone(inj);
-        }
         let on_block = |p: BlockProgress<'_>| {
             obs::counter("serve_blocks_streamed_total", &[], 1);
             // A receiver that hung up just stops streaming; the search
@@ -788,8 +812,45 @@ fn process_job(sh: &Shared, workspace: &Arc<KernelWorkspace>, job: Job) {
             cancel: job.cancel.clone(),
             on_block: Some(&on_block),
         };
-        // The database is already resident; no request pays the upload.
-        searcher.search_resident_with_hooks(&generation.db, &generation.dev_db, false, &hooks)
+        match &generation.sharded {
+            // Sharded generation: every shard with global statistics,
+            // merged to the same report the flat path produces. Shards
+            // are already resident; no request pays the upload.
+            Some(sharded) => {
+                let mut searcher =
+                    sharded.searcher(job.query.clone(), sh.params, search_cfg, sh.device);
+                searcher.workspace = Arc::clone(workspace);
+                if let Some(inj) = &sh.injector {
+                    searcher.injector = Arc::clone(inj);
+                }
+                let opts = ShardedOptions {
+                    devices: sh.cfg.devices,
+                    ..ShardedOptions::default()
+                };
+                search_sharded_with_hooks(&searcher, sharded, &opts, &hooks).map(|r| r.result)
+            }
+            None => {
+                let mut searcher = CuBlastp::new(
+                    job.query.clone(),
+                    sh.params,
+                    search_cfg,
+                    sh.device,
+                    &generation.db,
+                );
+                searcher.workspace = Arc::clone(workspace);
+                if let Some(inj) = &sh.injector {
+                    searcher.injector = Arc::clone(inj);
+                }
+                // The database is already resident; no request pays the
+                // upload.
+                searcher.search_resident_with_hooks(
+                    &generation.db,
+                    &generation.dev_db,
+                    false,
+                    &hooks,
+                )
+            }
+        }
     }));
     let service_ms = t_service.elapsed().as_secs_f64() * 1e3;
 
@@ -905,6 +966,70 @@ mod tests {
         )
         .expect("server config valid");
         (srv, q)
+    }
+
+    #[test]
+    fn sharded_serve_matches_flat_serve() {
+        let _g = lock();
+        obs::metrics().reset();
+        let (srv, q) = server(ServeConfig::default());
+        let flat = srv
+            .submit(Request::interactive(q.clone(), "t0"))
+            .expect("admitted")
+            .wait()
+            .expect("flat serve");
+        drop(srv);
+
+        let sharded_srv = {
+            let (_, db) = workload();
+            Server::new(
+                db,
+                SearchParams::default(),
+                search_cfg(),
+                DeviceConfig::k20c(),
+                ServeConfig {
+                    shards: 3,
+                    devices: 2,
+                    ..ServeConfig::default()
+                },
+            )
+            .expect("sharded server config valid")
+        };
+        // Per-shard progress events: exactly one Block per shard, then Done.
+        let handle = sharded_srv
+            .submit(Request::interactive(q, "t0"))
+            .expect("admitted");
+        let mut blocks = 0u32;
+        let out = loop {
+            match handle.next_event().expect("event stream open") {
+                Event::Block { blocks_total, .. } => {
+                    assert_eq!(blocks_total, 3);
+                    blocks += 1;
+                }
+                Event::Done(result) => break result.expect("sharded serve"),
+            }
+        };
+        assert_eq!(blocks, 3);
+        assert_eq!(
+            out.result.report.identity_key(),
+            flat.result.report.identity_key()
+        );
+        for (a, b) in out.result.report.hits.iter().zip(&flat.result.report.hits) {
+            assert_eq!(a.evalue.to_bits(), b.evalue.to_bits());
+            assert_eq!(a.bit_score.to_bits(), b.bit_score.to_bits());
+        }
+        assert!(ServeConfig {
+            shards: 0,
+            ..ServeConfig::default()
+        }
+        .validate()
+        .is_err());
+        assert!(ServeConfig {
+            devices: 0,
+            ..ServeConfig::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

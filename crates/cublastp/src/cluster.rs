@@ -18,7 +18,8 @@
 //! plots the crossover.
 
 use crate::error::SearchError;
-use crate::search::{CuBlastp, CuBlastpResult};
+use crate::search::CuBlastp;
+use crate::shard::{search_sharded, ShardedDb, ShardedOptions};
 use bio_seq::SequenceDb;
 use blast_cpu::report::SearchReport;
 use serde::{Deserialize, Serialize};
@@ -111,8 +112,10 @@ pub fn merge_tree_ms(per_node_hits: &[usize], cfg: &ClusterConfig, max_reported:
     total
 }
 
-/// Run a cluster search: shard the database, search every shard with the
-/// given single-node searcher configuration, merge.
+/// Run a cluster search: shard the database across one shard per node,
+/// execute every shard through the sharded engine
+/// ([`crate::shard::search_sharded`]) with one simulated device per node,
+/// and model the reduction-tree merge on top of the merged report.
 ///
 /// The searcher must have been built against the **full** database so
 /// cutoffs and e-values use global statistics (what mpiBLAST distributes
@@ -127,43 +130,23 @@ pub fn search_cluster(
     cluster: &ClusterConfig,
 ) -> Result<ClusterResult, SearchError> {
     let nodes = cluster.nodes.max(1);
-    let shard_size = db.len().div_ceil(nodes).max(1);
-
-    let mut report = SearchReport::default();
-    let mut per_node_ms = Vec::with_capacity(nodes);
-    let mut per_node_hits = Vec::with_capacity(nodes);
-
-    for node in 0..nodes {
-        let start = node * shard_size;
-        if start >= db.len() {
-            per_node_ms.push(0.0);
-            per_node_hits.push(0);
-            continue;
-        }
-        let end = (start + shard_size).min(db.len());
-        let shard = SequenceDb::new(
-            format!("{}:{node}", db.name()),
-            db.sequences()[start..end].to_vec(),
-        );
-        let r: CuBlastpResult = searcher.search(&shard)?;
-        per_node_ms.push(r.timing.total_ms());
-        per_node_hits.push(r.report.hits.len());
-        // Remap shard-local subject indices to global database indices.
-        for mut hit in r.report.hits {
-            hit.subject_index += start;
-            report.hits.push(hit);
-        }
-    }
-
-    report.finalize(searcher.engine.params.max_reported);
-    let merge_ms = merge_tree_ms(&per_node_hits, cluster, searcher.engine.params.max_reported);
-    let search_ms = per_node_ms.iter().copied().fold(0.0, f64::max);
+    let sharded = ShardedDb::split(db, nodes, searcher.config.db_block_size);
+    let opts = ShardedOptions {
+        devices: nodes,
+        ..ShardedOptions::default()
+    };
+    let r = search_sharded(searcher, &sharded, &opts)?;
+    let merge_ms = merge_tree_ms(
+        &r.per_shard_hits,
+        cluster,
+        searcher.engine.params.max_reported,
+    );
 
     Ok(ClusterResult {
-        report,
-        per_node_ms,
-        per_node_hits,
-        search_ms,
+        report: r.result.report,
+        per_node_ms: r.per_shard_ms,
+        per_node_hits: r.per_shard_hits,
+        search_ms: r.schedule.makespan_ms,
         merge_ms,
     })
 }

@@ -60,7 +60,9 @@ pub mod grouping;
 pub mod hitpack;
 pub mod pipeline;
 pub mod reorder;
+pub mod scheduler;
 pub mod search;
+pub mod shard;
 
 pub use cancel::CancelToken;
 pub use cluster::{search_cluster, ClusterConfig, ClusterResult};
@@ -73,8 +75,16 @@ pub use gpu_phase::{ExtensionsCsr, GpuPhaseCounts, GpuPhaseOutput};
 pub use grouped::DeviceGroupIndex;
 pub use grouping::plan_rounds;
 pub use pipeline::{overlap_blocks, overlap_blocks_depth, schedule, BlockTiming, PipelineSchedule};
+pub use scheduler::{
+    schedule_work_stealing, DeviceTimeline, StealEvent, StealSchedule, DEFAULT_STEAL_SEED,
+};
 pub use search::{
     search_batch, search_batch_parallel, search_batch_with, BatchOptions, BatchOutcome,
     BlockProgress, CuBlastp, CuBlastpResult, CuBlastpTiming, GroupedReport, RecoveryReport,
     RoundReport, SearchHooks, SeedMode, DEFAULT_GROUP_BUDGET,
+};
+pub use shard::{
+    search_all_vs_all, search_sharded, search_sharded_batch, search_sharded_with_hooks,
+    AllVsAllOptions, AllVsAllResult, DbShard, ShardedBatchOptions, ShardedBatchOutcome, ShardedDb,
+    ShardedOptions, ShardedResult, SimEntry, SparseSimMatrix,
 };

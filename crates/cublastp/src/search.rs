@@ -107,7 +107,9 @@ impl RecoveryReport {
             && self.degraded_gapped == 0
     }
 
-    fn absorb(&mut self, other: &RecoveryReport) {
+    /// Fold another report into this one (batch drivers, the serving
+    /// layer, and the sharded engine sum recovery telemetry per query).
+    pub fn absorb(&mut self, other: &RecoveryReport) {
         self.faults += other.faults;
         self.retries += other.retries;
         self.degraded_blocks += other.degraded_blocks;
@@ -222,9 +224,27 @@ impl CuBlastp {
         device: DeviceConfig,
         db: &SequenceDb,
     ) -> Self {
+        Self::with_db_stats(query, params, config, device, db.total_residues(), db.len())
+    }
+
+    /// [`new`](Self::new) with explicit database statistics instead of the
+    /// database itself — the sharded engine's constructor (DESIGN.md
+    /// §3.10). Passing the *global* database's residue and sequence totals
+    /// makes every cutoff and E-value identical to a single-database run
+    /// while the searches themselves only ever touch shard-local
+    /// [`SequenceDb`]s, which is exactly the statistics distribution
+    /// mpiBLAST performs for its workers.
+    pub fn with_db_stats(
+        query: Sequence,
+        params: SearchParams,
+        config: CuBlastpConfig,
+        device: DeviceConfig,
+        db_residues: usize,
+        db_sequences: usize,
+    ) -> Self {
         let t0 = Instant::now();
         let setup_span = obs::span("query_setup", "host");
-        let engine = SearchEngine::new(query, params, db);
+        let engine = SearchEngine::with_db_stats(query, params, db_residues, db_sequences);
         let query_device = DeviceQuery::upload(engine.dfa.clone(), engine.pssm.clone());
         drop(setup_span);
         let setup_ms = t0.elapsed().as_secs_f64() * 1e3;

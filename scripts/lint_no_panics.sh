@@ -15,7 +15,8 @@ status=0
 for file in crates/cublastp/src/*.rs crates/gpu-sim/src/*.rs \
             crates/blast-cpu/src/*.rs crates/blast-core/src/*.rs \
             crates/bio-seq/src/*.rs crates/cublastp-serve/src/*.rs \
-            crates/cublastp-db/src/*.rs crates/bench/src/runners.rs; do
+            crates/cublastp-db/src/*.rs crates/cublastp-cli/src/*.rs \
+            crates/bench/src/runners.rs; do
     hits=$(sed '/#\[cfg(test)\]/,$d' "$file" \
         | grep -n 'unwrap()\|expect(' \
         | grep -vE '^[0-9]+:[[:space:]]*//[/!]' || true)
